@@ -1,0 +1,48 @@
+//===- BenchUtil.h - Shared helpers for the bench binaries ------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_BENCH_BENCHUTIL_H
+#define KISS_BENCH_BENCHUTIL_H
+
+#include "lower/Pipeline.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+namespace kiss::bench {
+
+/// A compiled program together with its session context.
+struct Compiled {
+  std::unique_ptr<lower::CompilerContext> Ctx;
+  std::unique_ptr<lang::Program> Program;
+};
+
+/// Compiles \p Source to a core program; aborts the bench on failure
+/// (bench inputs are all generated/fixed sources).
+inline Compiled compileOrDie(const std::string &Name,
+                             const std::string &Source) {
+  Compiled C;
+  C.Ctx = std::make_unique<lower::CompilerContext>();
+  C.Program = lower::compileToCore(*C.Ctx, Name, Source);
+  if (!C.Program) {
+    std::fprintf(stderr, "bench input failed to compile:\n%s\n",
+                 C.Ctx->renderDiagnostics().c_str());
+    std::abort();
+  }
+  return C;
+}
+
+/// Prints a full-width separator line.
+inline void printRule(char Fill = '-') {
+  for (int I = 0; I < 78; ++I)
+    std::putchar(Fill);
+  std::putchar('\n');
+}
+
+} // namespace kiss::bench
+
+#endif // KISS_BENCH_BENCHUTIL_H

@@ -1,0 +1,123 @@
+//===- microbench.cpp - google-benchmark pipeline microbenchmarks ---------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Throughput of the individual pipeline stages on the Figure-2 Bluetooth
+/// model: frontend (parse+check+lower), CFG construction, the KISS
+/// transformation (both modes), the points-to analysis, state encoding,
+/// and the end-to-end check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "alias/Steensgaard.h"
+#include "cfg/CFG.h"
+#include "drivers/Bluetooth.h"
+#include "kiss/KissChecker.h"
+#include "seqcheck/Runtime.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace kiss;
+using namespace kiss::bench;
+using namespace kiss::core;
+
+namespace {
+
+void BM_FrontendBluetooth(benchmark::State &State) {
+  std::string Source = drivers::getBluetoothSource();
+  for (auto _ : State) {
+    lower::CompilerContext Ctx;
+    auto P = lower::compileToCore(Ctx, "bt", Source);
+    benchmark::DoNotOptimize(P);
+  }
+}
+BENCHMARK(BM_FrontendBluetooth);
+
+void BM_CfgBuild(benchmark::State &State) {
+  Compiled C = compileOrDie("bt", drivers::getBluetoothSource());
+  for (auto _ : State) {
+    cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*C.Program);
+    benchmark::DoNotOptimize(CFG.getTotalNodes());
+  }
+}
+BENCHMARK(BM_CfgBuild);
+
+void BM_TransformAssertions(benchmark::State &State) {
+  Compiled C = compileOrDie("bt", drivers::getBluetoothSource());
+  TransformOptions TO;
+  TO.MaxTs = 1;
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto T = transformForAssertions(*C.Program, TO, Diags);
+    benchmark::DoNotOptimize(T);
+  }
+}
+BENCHMARK(BM_TransformAssertions);
+
+void BM_TransformRace(benchmark::State &State) {
+  Compiled C = compileOrDie("bt", drivers::getBluetoothSource());
+  TransformOptions TO;
+  TO.MaxTs = 0;
+  RaceTarget T = RaceTarget::field(C.Ctx->Syms.intern("DEVICE_EXTENSION"),
+                                   C.Ctx->Syms.intern("stoppingFlag"));
+  for (auto _ : State) {
+    DiagnosticEngine Diags;
+    auto TP = transformForRace(*C.Program, T, TO, Diags);
+    benchmark::DoNotOptimize(TP);
+  }
+}
+BENCHMARK(BM_TransformRace);
+
+void BM_PointsToAnalysis(benchmark::State &State) {
+  Compiled C = compileOrDie("bt", drivers::getBluetoothSource());
+  for (auto _ : State) {
+    alias::PointsTo PT = alias::PointsTo::analyze(*C.Program);
+    benchmark::DoNotOptimize(PT.getNumLocations());
+  }
+}
+BENCHMARK(BM_PointsToAnalysis);
+
+void BM_StateEncode(benchmark::State &State) {
+  Compiled C = compileOrDie("bt", drivers::getBluetoothSource());
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*C.Program);
+  uint32_t Entry = C.Program->getFunctionIndex(C.Program->getEntryName());
+  rt::MachineState S = rt::makeInitialState(*C.Program, CFG, Entry);
+  for (auto _ : State) {
+    std::string Key = rt::encodeState(S);
+    benchmark::DoNotOptimize(Key);
+  }
+}
+BENCHMARK(BM_StateEncode);
+
+void BM_EndToEndAssertionCheck(benchmark::State &State) {
+  Compiled C = compileOrDie("bt", drivers::getBluetoothSource());
+  for (auto _ : State) {
+    KissOptions Opts;
+    Opts.MaxTs = 1;
+    KissReport R = checkAssertions(*C.Program, Opts, C.Ctx->Diags);
+    benchmark::DoNotOptimize(R.Verdict);
+  }
+}
+BENCHMARK(BM_EndToEndAssertionCheck);
+
+void BM_EndToEndRaceCheck(benchmark::State &State) {
+  Compiled C = compileOrDie("bt", drivers::getBluetoothSource());
+  RaceTarget T = RaceTarget::field(C.Ctx->Syms.intern("DEVICE_EXTENSION"),
+                                   C.Ctx->Syms.intern("stoppingFlag"));
+  for (auto _ : State) {
+    KissOptions Opts;
+    Opts.MaxTs = 0;
+    KissReport R = checkRace(*C.Program, T, Opts, C.Ctx->Diags);
+    benchmark::DoNotOptimize(R.Verdict);
+  }
+}
+BENCHMARK(BM_EndToEndRaceCheck);
+
+} // namespace
+
+BENCHMARK_MAIN();

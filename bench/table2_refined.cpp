@@ -1,0 +1,69 @@
+//===- table2_refined.cpp - Reproduces Table 2 of the paper ---------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "Experimental results (II)": after feedback from the driver quality
+/// team, the harness is refined with the OS concurrency rules A1–A3 (plus
+/// the filter drivers' no-concurrent-Ioctl guarantee) and KISS is re-run
+/// on exactly the fields reported racy in the first experiment. The paper's
+/// 71 warnings drop to 30.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "drivers/CorpusRunner.h"
+
+#include <cstdio>
+
+using namespace kiss;
+using namespace kiss::bench;
+using namespace kiss::drivers;
+
+int main() {
+  std::printf("Table 2: re-checking the Table-1 races under the refined "
+              "harness (rules A1-A3)\n");
+  printRule('=');
+  std::printf("%-18s %8s | %8s | %8s\n", "Driver", "RacesV1", "Races",
+              "paper");
+  printRule();
+
+  unsigned TotalV1 = 0, TotalV2 = 0, PaperV2 = 0;
+  bool AllMatch = true;
+
+  for (const DriverSpec &D : getTable1Corpus()) {
+    // Experiment 1: find the racy fields with the unconstrained harness.
+    CorpusRunOptions V1;
+    V1.Harness = HarnessVersion::V1Unconstrained;
+    DriverResult R1 = runDriver(D, V1);
+    std::vector<unsigned> Racy = racyFieldIndices(R1);
+    TotalV1 += Racy.size();
+    if (Racy.empty())
+      continue; // Table 2 lists only drivers with Table-1 races.
+
+    // Experiment 2: re-run exactly those fields, refined harness.
+    CorpusRunOptions V2;
+    V2.Harness = HarnessVersion::V2Refined;
+    V2.OnlyFields = Racy;
+    DriverResult R2 = runDriver(D, V2);
+
+    TotalV2 += R2.Races;
+    PaperV2 += D.RacesV2;
+    bool Match = R2.Races == D.RacesV2;
+    AllMatch &= Match;
+    std::printf("%-18s %8zu | %8u | %8u %s\n", D.Name.c_str(), Racy.size(),
+                R2.Races, D.RacesV2, Match ? "" : "<- MISMATCH");
+  }
+
+  printRule();
+  std::printf("%-18s %8u | %8u | %8u\n", "Total", TotalV1, TotalV2, PaperV2);
+  printRule('=');
+  std::printf("Paper: 71 warnings under the unconstrained harness, 30 under "
+              "the refined one;\nthe confirmed bugs include "
+              "toaster/toastmon, mouclass and kbdclass.\n");
+  std::printf("Reproduction %s.\n", AllMatch ? "SUCCEEDED" : "FAILED");
+  return AllMatch ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+//===- quickstart.cpp - Five-minute tour of the KISS library --------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The smallest end-to-end use of the public API:
+///   1. compile a concurrent program written in the modeling language;
+///   2. run the KISS assertion check (Figure 4) and print the mapped
+///      concurrent error trace;
+///   3. run the KISS race check (Figure 5) on a shared global;
+///   4. print the translated sequential program to show what the
+///      sequential model checker actually analyzed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kiss/KissChecker.h"
+#include "lang/ASTPrinter.h"
+#include "lower/Pipeline.h"
+
+#include <cstdio>
+
+using namespace kiss;
+using namespace kiss::core;
+
+namespace {
+
+/// A tiny producer/consumer with two bugs: an assertion that a partially
+/// terminated producer violates, and a race on `shared`.
+const char *Source = R"(
+  int shared = 0;
+  bool published = false;
+
+  void producer() {
+    shared = 42;
+    published = true;
+  }
+
+  void consumer() {
+    if (published) {
+      assert(shared == 42);
+    }
+  }
+
+  void main() {
+    async producer();
+    shared = 0;     // races with the producer's write
+    consumer();
+  }
+)";
+
+} // namespace
+
+int main() {
+  // 1. Compile (parse + type check + lower to the Figure-3 core).
+  lower::CompilerContext Ctx;
+  auto Program = lower::compileToCore(Ctx, "quickstart.kiss", Source);
+  if (!Program) {
+    std::printf("compilation failed:\n%s", Ctx.renderDiagnostics().c_str());
+    return 1;
+  }
+  std::printf("== Input program compiled: %zu functions, %zu globals\n\n",
+              Program->getFunctions().size(), Program->getGlobals().size());
+
+  // 2. Assertion checking (Figure 4). MAX = 0 already lets the forked
+  // producer run (synchronously) and terminate between its two writes.
+  KissOptions Opts;
+  Opts.MaxTs = 0;
+  KissReport Asserts = checkAssertions(*Program, Opts, Ctx.Diags);
+  std::printf("== Assertion check: %s\n", getVerdictName(Asserts.Verdict));
+  if (Asserts.foundError()) {
+    std::printf("-- reconstructed concurrent trace:\n%s\n",
+                formatConcurrentTrace(Asserts.Trace, *Program, &Ctx.SM)
+                    .c_str());
+  }
+
+  // 3. Race checking (Figure 5) on the global `shared`.
+  RaceTarget Target = RaceTarget::global(Ctx.Syms.intern("shared"));
+  KissReport Race = checkRace(*Program, Target, Opts, Ctx.Diags);
+  std::printf("== Race check on 'shared': %s\n",
+              getVerdictName(Race.Verdict));
+  std::printf("   (instrumentation: %u probes emitted, %u pruned by the "
+              "points-to analysis)\n",
+              Race.Stats.ProbesEmitted, Race.Stats.ProbesPruned);
+  if (Race.foundError())
+    std::printf("-- conflicting accesses:\n%s\n",
+                formatConcurrentTrace(Race.Trace, *Program, &Ctx.SM)
+                    .c_str());
+
+  // 4. What did the sequential checker actually see? Print the Figure-4
+  // translation.
+  std::printf("== The KISS translation fed to the sequential checker "
+              "(assertion mode):\n\n%s",
+              lang::printProgram(*Asserts.Transformed).c_str());
+
+  std::printf("== Explored %llu sequential states in total.\n",
+              static_cast<unsigned long long>(
+                  Asserts.Sequential.StatesExplored +
+                  Race.Sequential.StatesExplored));
+  return 0;
+}

@@ -1,0 +1,247 @@
+//===- BebopChecker.cpp ---------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bebop/BebopChecker.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+#include <deque>
+#include <map>
+#include <unordered_set>
+
+using namespace kiss;
+using namespace kiss::bebop;
+
+namespace {
+
+/// A path edge ⟨(GE, LE) ⊢ (Node, G, L)⟩ within one function.
+struct PathEdge {
+  uint32_t Func = 0;
+  uint64_t GE = 0;
+  uint64_t LE = 0;
+  uint32_t Node = 0;
+  uint64_t G = 0;
+  uint64_t L = 0;
+
+  friend bool operator==(const PathEdge &A, const PathEdge &B) {
+    return A.Func == B.Func && A.GE == B.GE && A.LE == B.LE &&
+           A.Node == B.Node && A.G == B.G && A.L == B.L;
+  }
+};
+
+struct PathEdgeHash {
+  size_t operator()(const PathEdge &E) const {
+    StableHasher H;
+    H.addU32(E.Func);
+    H.addU64(E.GE);
+    H.addU64(E.LE);
+    H.addU32(E.Node);
+    H.addU64(E.G);
+    H.addU64(E.L);
+    return H.finish();
+  }
+};
+
+/// A procedure-entry configuration (the summary key).
+struct EntryKey {
+  uint32_t Func = 0;
+  uint64_t GE = 0;
+  uint64_t LE = 0;
+
+  friend bool operator<(const EntryKey &A, const EntryKey &B) {
+    if (A.Func != B.Func)
+      return A.Func < B.Func;
+    if (A.GE != B.GE)
+      return A.GE < B.GE;
+    return A.LE < B.LE;
+  }
+};
+
+/// A caller configuration waiting for a summary.
+struct CallSite {
+  PathEdge AtCall; ///< The caller's path edge at the Call node.
+};
+
+/// Deterministic evaluation (Nondet only appears as a whole Assign RHS).
+bool evalExpr(const BExpr &E, uint64_t G, uint64_t L) {
+  switch (E.K) {
+  case BExpr::Kind::Const:
+    return E.A != 0;
+  case BExpr::Kind::Global:
+    return (G >> E.A) & 1;
+  case BExpr::Kind::Local:
+    return (L >> E.A) & 1;
+  case BExpr::Kind::Not:
+    return !evalExpr(E.Operands[0], G, L);
+  case BExpr::Kind::Eq:
+    return evalExpr(E.Operands[0], G, L) == evalExpr(E.Operands[1], G, L);
+  case BExpr::Kind::Ne:
+    return evalExpr(E.Operands[0], G, L) != evalExpr(E.Operands[1], G, L);
+  case BExpr::Kind::And:
+    return evalExpr(E.Operands[0], G, L) && evalExpr(E.Operands[1], G, L);
+  case BExpr::Kind::Or:
+    return evalExpr(E.Operands[0], G, L) || evalExpr(E.Operands[1], G, L);
+  case BExpr::Kind::Nondet:
+    assert(false && "nondet must be a whole assignment right-hand side");
+    return false;
+  }
+  return false;
+}
+
+uint64_t setBit(uint64_t Bits, uint32_t Index, bool V) {
+  return V ? (Bits | (1ull << Index)) : (Bits & ~(1ull << Index));
+}
+
+/// The saturation engine.
+class Solver {
+public:
+  Solver(const BoolProgram &P, const BebopOptions &Opts) : P(P), Opts(Opts) {}
+
+  BebopResult run() {
+    const BFunction &Main = P.Funcs[P.EntryFunc];
+    (void)Main;
+    seed(PathEdge{P.EntryFunc, P.InitialGlobals, 0,
+                  P.Funcs[P.EntryFunc].Entry, P.InitialGlobals, 0});
+
+    while (!Worklist.empty()) {
+      if (Edges.size() > Opts.MaxPathEdges) {
+        Result.Outcome = BebopOutcome::BoundExceeded;
+        break;
+      }
+      PathEdge E = Worklist.front();
+      Worklist.pop_front();
+      if (!process(E))
+        break; // Assertion failure recorded.
+    }
+
+    Result.PathEdges = Edges.size();
+    Result.SummaryEdges = NumSummaries;
+    return Result;
+  }
+
+private:
+  void seed(PathEdge E) {
+    if (Edges.insert(E).second)
+      Worklist.push_back(E);
+  }
+
+  void propagate(const PathEdge &E, uint32_t Node, uint64_t G, uint64_t L) {
+    seed(PathEdge{E.Func, E.GE, E.LE, Node, G, L});
+  }
+
+  /// \returns false when an assertion failure ends the search.
+  bool process(const PathEdge &E) {
+    const BFunction &F = P.Funcs[E.Func];
+    const BNode &N = F.Nodes[E.Node];
+
+    switch (N.K) {
+    case BNode::Kind::Nop:
+      for (uint32_t S : N.Succs)
+        propagate(E, S, E.G, E.L);
+      return true;
+
+    case BNode::Kind::Assign: {
+      bool Values[2];
+      unsigned NumValues;
+      if (N.Expr.K == BExpr::Kind::Nondet) {
+        Values[0] = false;
+        Values[1] = true;
+        NumValues = 2;
+      } else {
+        Values[0] = evalExpr(N.Expr, E.G, E.L);
+        NumValues = 1;
+      }
+      for (unsigned I = 0; I != NumValues; ++I) {
+        uint64_t G = E.G;
+        uint64_t L = E.L;
+        if (N.IsGlobalTarget)
+          G = setBit(G, N.Target, Values[I]);
+        else
+          L = setBit(L, N.Target, Values[I]);
+        for (uint32_t S : N.Succs)
+          propagate(E, S, G, L);
+      }
+      return true;
+    }
+
+    case BNode::Kind::Assume:
+      if (evalExpr(N.Expr, E.G, E.L))
+        for (uint32_t S : N.Succs)
+          propagate(E, S, E.G, E.L);
+      return true;
+
+    case BNode::Kind::Assert:
+      if (!evalExpr(N.Expr, E.G, E.L)) {
+        Result.Outcome = BebopOutcome::AssertionFailure;
+        Result.ErrorFunc = E.Func;
+        Result.ErrorNode = E.Node;
+        return false;
+      }
+      for (uint32_t S : N.Succs)
+        propagate(E, S, E.G, E.L);
+      return true;
+
+    case BNode::Kind::Call: {
+      const BFunction &Callee = P.Funcs[N.Callee];
+      uint64_t LE = 0;
+      for (unsigned I = 0, A = N.Args.size(); I != A; ++I)
+        LE = setBit(LE, I, evalExpr(N.Args[I], E.G, E.L));
+      EntryKey Key{N.Callee, E.G, LE};
+
+      CallSites[Key].push_back(CallSite{E});
+      // Seed the callee...
+      seed(PathEdge{N.Callee, E.G, LE, Callee.Entry, E.G, LE});
+      // ...and apply already-known summaries immediately.
+      auto It = Summaries.find(Key);
+      if (It != Summaries.end())
+        for (uint64_t GOut : It->second)
+          for (uint32_t S : N.Succs)
+            propagate(E, S, GOut, E.L);
+      return true;
+    }
+
+    case BNode::Kind::Exit: {
+      EntryKey Key{E.Func, E.GE, E.LE};
+      auto &Outs = Summaries[Key];
+      if (!Outs.insert(E.G).second)
+        return true; // Known summary.
+      ++NumSummaries;
+      // Resume every caller waiting on this entry configuration.
+      auto It = CallSites.find(Key);
+      if (It != CallSites.end()) {
+        for (const CallSite &CS : It->second) {
+          const BNode &CallNode =
+              P.Funcs[CS.AtCall.Func].Nodes[CS.AtCall.Node];
+          for (uint32_t S : CallNode.Succs)
+            seed(PathEdge{CS.AtCall.Func, CS.AtCall.GE, CS.AtCall.LE, S,
+                          E.G, CS.AtCall.L});
+        }
+      }
+      return true;
+    }
+    }
+    return true;
+  }
+
+  const BoolProgram &P;
+  const BebopOptions &Opts;
+  BebopResult Result;
+  std::unordered_set<PathEdge, PathEdgeHash> Edges;
+  std::deque<PathEdge> Worklist;
+  std::map<EntryKey, std::unordered_set<uint64_t>> Summaries;
+  std::map<EntryKey, std::vector<CallSite>> CallSites;
+  uint64_t NumSummaries = 0;
+};
+
+} // namespace
+
+BebopResult kiss::bebop::check(const BoolProgram &P,
+                               const BebopOptions &Opts) {
+  assert(P.EntryFunc < P.Funcs.size() && "missing entry function");
+  Solver S(P, Opts);
+  return S.run();
+}

@@ -1,0 +1,64 @@
+//===- BebopChecker.h - Summary-based reachability ---------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interprocedural reachability for boolean programs in the
+/// Reps-Horwitz-Sagiv / Bebop style (the paper's references [34] and [3]):
+/// path edges ⟨entry valuation ⊢ (node, valuation)⟩ are saturated with a
+/// worklist, procedure behaviors are tabulated as summaries
+/// ⟨entry valuation → exit valuation⟩ and reused at every call site.
+///
+/// Properties the explicit-state engine lacks:
+///  * termination on *unbounded recursion* (summaries close the loop);
+///  * the paper's complexity bound: the number of path edges is at most
+///    |C| * 2^(2g + 2l), giving the O(|C| * 2^(g+l))-flavored scaling of
+///    §4 (measured by the complexity_claim bench).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_BEBOP_BEBOPCHECKER_H
+#define KISS_BEBOP_BEBOPCHECKER_H
+
+#include "bebop/BoolProgram.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kiss::bebop {
+
+enum class BebopOutcome : uint8_t {
+  Safe,
+  AssertionFailure,
+  BoundExceeded,
+};
+
+/// One step of a reconstructed witness: function and node id.
+struct BebopTraceStep {
+  uint32_t Func = 0;
+  uint32_t Node = 0;
+};
+
+struct BebopResult {
+  BebopOutcome Outcome = BebopOutcome::Safe;
+  /// Function/node of the failing assert (errors only).
+  uint32_t ErrorFunc = 0;
+  uint32_t ErrorNode = 0;
+  uint64_t PathEdges = 0;
+  uint64_t SummaryEdges = 0;
+};
+
+struct BebopOptions {
+  uint64_t MaxPathEdges = 50'000'000;
+};
+
+/// Decides assertion reachability for \p P.
+BebopResult check(const BoolProgram &P,
+                  const BebopOptions &Opts = BebopOptions());
+
+} // namespace kiss::bebop
+
+#endif // KISS_BEBOP_BEBOPCHECKER_H

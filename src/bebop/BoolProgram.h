@@ -1,0 +1,140 @@
+//===- BoolProgram.h - Boolean program IR -----------------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Boolean programs in the style of SLAM's Bebop back end: procedures over
+/// global and local boolean variables with nondeterministic branching.
+/// The paper's complexity discussion (§4) is stated for exactly this
+/// class: "For a sequential program with boolean variables, the
+/// complexity of model checking (or interprocedural dataflow analysis) is
+/// O(|C| * 2^(g+l))". The summary-based checker (BebopChecker.h) realizes
+/// that bound and, unlike the explicit-state engine, handles unbounded
+/// recursion.
+///
+/// Representation limits: at most 64 globals and 64 locals per function
+/// (valuations are single 64-bit words). Return values travel through
+/// dedicated globals (see FromCore.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_BEBOP_BOOLPROGRAM_H
+#define KISS_BEBOP_BOOLPROGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kiss::bebop {
+
+/// Maximum variables per scope (valuations are uint64 bit masks).
+inline constexpr unsigned MaxVarsPerScope = 64;
+
+/// A boolean expression over the current valuation.
+struct BExpr {
+  enum class Kind : uint8_t {
+    Const,  ///< Value in A (0/1).
+    Global, ///< Global bit A.
+    Local,  ///< Local bit A.
+    Not,    ///< !Operands[0].
+    Eq,     ///< Operands[0] == Operands[1].
+    Ne,     ///< Operands[0] != Operands[1].
+    And,    ///< Operands[0] && Operands[1] (no short-circuit semantics
+            ///< needed: boolean reads have no side effects).
+    Or,     ///< Operands[0] || Operands[1].
+    Nondet, ///< Unknown value: evaluates to both 0 and 1.
+  };
+  Kind K = Kind::Const;
+  uint32_t A = 0;
+  std::vector<BExpr> Operands;
+
+  static BExpr constant(bool V) {
+    BExpr E;
+    E.K = Kind::Const;
+    E.A = V;
+    return E;
+  }
+  static BExpr global(uint32_t Bit) {
+    BExpr E;
+    E.K = Kind::Global;
+    E.A = Bit;
+    return E;
+  }
+  static BExpr local(uint32_t Bit) {
+    BExpr E;
+    E.K = Kind::Local;
+    E.A = Bit;
+    return E;
+  }
+  static BExpr nondet() {
+    BExpr E;
+    E.K = Kind::Nondet;
+    return E;
+  }
+  static BExpr unary(Kind K, BExpr Sub) {
+    BExpr E;
+    E.K = K;
+    E.Operands.push_back(std::move(Sub));
+    return E;
+  }
+  static BExpr binary(Kind K, BExpr L, BExpr R) {
+    BExpr E;
+    E.K = K;
+    E.Operands.push_back(std::move(L));
+    E.Operands.push_back(std::move(R));
+    return E;
+  }
+};
+
+/// One node of a boolean-program CFG.
+struct BNode {
+  enum class Kind : uint8_t {
+    Nop,    ///< Junction; multiple successors = nondet branch.
+    Assign, ///< Target <- Expr (Expr may be Nondet).
+    Assume, ///< Continue only when Expr holds.
+    Assert, ///< Error when Expr can be false.
+    Call,   ///< Invoke Callee with Args bound to its first locals.
+    Exit,   ///< Procedure exit (no successors).
+  };
+  Kind K = Kind::Nop;
+  /// Assign target: the bit index; IsGlobalTarget selects the scope.
+  uint32_t Target = 0;
+  bool IsGlobalTarget = false;
+  BExpr Expr;
+  uint32_t Callee = 0;
+  std::vector<BExpr> Args;
+  std::vector<uint32_t> Succs;
+};
+
+/// One boolean procedure.
+struct BFunction {
+  std::string Name;
+  uint32_t NumParams = 0;
+  uint32_t NumLocals = 0; ///< Includes params (first NumParams bits).
+  std::vector<BNode> Nodes;
+  uint32_t Entry = 0;
+  uint32_t Exit = 0;
+};
+
+/// A whole boolean program.
+struct BoolProgram {
+  uint32_t NumGlobals = 0;
+  std::vector<BFunction> Funcs;
+  uint32_t EntryFunc = 0;
+  /// Initial global valuation.
+  uint64_t InitialGlobals = 0;
+
+  /// Total CFG size |C| (for the complexity claim).
+  uint32_t totalNodes() const {
+    uint32_t N = 0;
+    for (const BFunction &F : Funcs)
+      N += F.Nodes.size();
+    return N;
+  }
+};
+
+} // namespace kiss::bebop
+
+#endif // KISS_BEBOP_BOOLPROGRAM_H

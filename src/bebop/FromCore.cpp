@@ -1,0 +1,301 @@
+//===- FromCore.cpp -------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bebop/FromCore.h"
+
+#include "cfg/CFG.h"
+#include "lower/Lower.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <map>
+
+using namespace kiss;
+using namespace kiss::bebop;
+using namespace kiss::lang;
+
+bool kiss::bebop::isBooleanFragment(const Program &P, std::string *Why) {
+  auto fail = [&](std::string Reason) {
+    if (Why)
+      *Why = std::move(Reason);
+    return false;
+  };
+
+  if (!P.getStructs().empty())
+    return fail("program declares structs");
+  for (const GlobalDecl &G : P.getGlobals())
+    if (!G.Ty->isBool())
+      return fail("global '" + std::string(P.getSymbolTable().str(G.Name)) +
+                  "' is not bool");
+  for (const auto &F : P.getFunctions()) {
+    if (!F->getReturnType()->isVoid() && !F->getReturnType()->isBool())
+      return fail("function '" +
+                  std::string(P.getSymbolTable().str(F->getName())) +
+                  "' returns a non-bool value");
+    for (const VarDecl &L : F->getLocals())
+      if (!L.Ty->isBool())
+        return fail("local '" + std::string(P.getSymbolTable().str(L.Name)) +
+                    "' is not bool");
+  }
+  return true;
+}
+
+namespace {
+
+/// Converts one program; assumes the boolean-fragment check passed.
+class Converter {
+public:
+  Converter(const Program &P, DiagnosticEngine &Diags)
+      : P(P), Diags(Diags) {}
+
+  std::optional<BoolProgram> run();
+
+private:
+  bool convertExpr(const Expr *E, BExpr &Out);
+  bool convertCondition(const Expr *E, BExpr &Out);
+  bool convertFunction(uint32_t FuncIdx, const cfg::FunctionCFG &FCFG);
+
+  bool error(std::string Msg) {
+    Diags.error(SourceLoc(), std::move(Msg));
+    return false;
+  }
+
+  const Program &P;
+  DiagnosticEngine &Diags;
+  BoolProgram Out;
+  /// Return-value global bit per function (-1 when void).
+  std::vector<int> RetGlobal;
+};
+
+bool Converter::convertExpr(const Expr *E, BExpr &Out) {
+  switch (E->getKind()) {
+  case ExprKind::BoolLit:
+    Out = BExpr::constant(cast<BoolLitExpr>(E)->getValue());
+    return true;
+  case ExprKind::VarRef: {
+    VarId Id = cast<VarRefExpr>(E)->getVarId();
+    Out = Id.isGlobal() ? BExpr::global(Id.Index) : BExpr::local(Id.Index);
+    return true;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->getOp() != UnaryOp::Not)
+      return error("non-boolean unary operator");
+    BExpr Sub;
+    if (!convertExpr(U->getSub(), Sub))
+      return false;
+    Out = BExpr::unary(BExpr::Kind::Not, std::move(Sub));
+    return true;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    BExpr::Kind K;
+    switch (B->getOp()) {
+    case BinaryOp::Eq:
+      K = BExpr::Kind::Eq;
+      break;
+    case BinaryOp::Ne:
+      K = BExpr::Kind::Ne;
+      break;
+    default:
+      return error("non-boolean binary operator");
+    }
+    BExpr L, R;
+    if (!convertExpr(B->getLHS(), L) || !convertExpr(B->getRHS(), R))
+      return false;
+    Out = BExpr::binary(K, std::move(L), std::move(R));
+    return true;
+  }
+  case ExprKind::Nondet:
+    Out = BExpr::nondet();
+    return true;
+  default:
+    return error("expression outside the boolean fragment");
+  }
+}
+
+bool Converter::convertCondition(const Expr *E, BExpr &Out) {
+  return convertExpr(E, Out);
+}
+
+bool Converter::convertFunction(uint32_t FuncIdx,
+                                const cfg::FunctionCFG &FCFG) {
+  const FuncDecl &F = *P.getFunctions()[FuncIdx];
+  BFunction &BF = Out.Funcs[FuncIdx];
+  BF.Name = std::string(P.getSymbolTable().str(F.getName()));
+  BF.NumParams = F.getNumParams();
+  BF.NumLocals = F.getLocals().size();
+  if (BF.NumLocals > MaxVarsPerScope)
+    return error("function '" + BF.Name + "' exceeds the 64-local limit");
+
+  // First pass: one primary boolean node per CFG node (placeholders), so
+  // successor ids can be copied through; extra nodes are appended.
+  const uint32_t NumCfgNodes = FCFG.getNumNodes();
+  BF.Nodes.resize(NumCfgNodes);
+  BF.Entry = FCFG.getEntry();
+  // A dedicated exit every Return jumps to.
+  BF.Nodes.push_back(BNode{});
+  uint32_t ExitId = BF.Nodes.size() - 1;
+  BF.Nodes[ExitId].K = BNode::Kind::Exit;
+  BF.Exit = ExitId;
+
+  for (uint32_t I = 0; I != NumCfgNodes; ++I) {
+    const cfg::Node &N = FCFG.getNode(I);
+    // Default: a Nop wired like the CFG node.
+    BF.Nodes[I].K = BNode::Kind::Nop;
+    BF.Nodes[I].Succs = N.Succs;
+
+    switch (N.Kind) {
+    case cfg::NodeKind::Nop:
+    case cfg::NodeKind::AtomicBegin:
+    case cfg::NodeKind::AtomicEnd:
+      break;
+
+    case cfg::NodeKind::Stmt: {
+      const Stmt *S = N.S;
+      switch (S->getKind()) {
+      case StmtKind::Assign: {
+        const auto *A = cast<AssignStmt>(S);
+        const auto *LHS = dyn_cast<VarRefExpr>(A->getLHS());
+        if (!LHS)
+          return error("assignment through memory outside the fragment");
+        BF.Nodes[I].K = BNode::Kind::Assign;
+        BF.Nodes[I].IsGlobalTarget = LHS->getVarId().isGlobal();
+        BF.Nodes[I].Target = LHS->getVarId().Index;
+        if (!convertExpr(A->getRHS(), BF.Nodes[I].Expr))
+          return false;
+        break;
+      }
+      case StmtKind::Assert:
+        BF.Nodes[I].K = BNode::Kind::Assert;
+        if (!convertCondition(cast<AssertStmt>(S)->getCond(),
+                              BF.Nodes[I].Expr))
+          return false;
+        break;
+      case StmtKind::Assume:
+        BF.Nodes[I].K = BNode::Kind::Assume;
+        if (!convertCondition(cast<AssumeStmt>(S)->getCond(),
+                              BF.Nodes[I].Expr))
+          return false;
+        break;
+      case StmtKind::Skip:
+        break;
+      case StmtKind::Async:
+        return error("async statement outside the sequential fragment");
+      default:
+        return error("unexpected statement in the boolean fragment");
+      }
+      break;
+    }
+
+    case cfg::NodeKind::Call: {
+      const CallExpr *Call;
+      const VarRefExpr *ResultVar = nullptr;
+      if (const auto *A = dyn_cast<AssignStmt>(N.S)) {
+        Call = cast<CallExpr>(A->getRHS());
+        ResultVar = cast<VarRefExpr>(A->getLHS());
+      } else {
+        Call = cast<CallExpr>(cast<ExprStmt>(N.S)->getExpr());
+      }
+      const auto *Callee = dyn_cast<FuncRefExpr>(Call->getCallee());
+      if (!Callee)
+        return error("indirect calls are outside the boolean fragment");
+
+      BF.Nodes[I].K = BNode::Kind::Call;
+      BF.Nodes[I].Callee = Callee->getFuncIndex();
+      for (const ExprPtr &Arg : Call->getArgs()) {
+        BExpr BA;
+        if (!convertExpr(Arg.get(), BA))
+          return false;
+        if (BA.K == BExpr::Kind::Nondet)
+          return error("nondet call arguments are not supported");
+        BF.Nodes[I].Args.push_back(std::move(BA));
+      }
+
+      if (ResultVar) {
+        // Call -> (v := ret-global of callee) -> original successors.
+        int Ret = RetGlobal[Callee->getFuncIndex()];
+        assert(Ret >= 0 && "bool-result call to a void function");
+        BNode Copy;
+        Copy.K = BNode::Kind::Assign;
+        Copy.IsGlobalTarget = ResultVar->getVarId().isGlobal();
+        Copy.Target = ResultVar->getVarId().Index;
+        Copy.Expr = BExpr::global(static_cast<uint32_t>(Ret));
+        Copy.Succs = BF.Nodes[I].Succs;
+        BF.Nodes.push_back(std::move(Copy));
+        BF.Nodes[I].Succs = {static_cast<uint32_t>(BF.Nodes.size() - 1)};
+      }
+      break;
+    }
+
+    case cfg::NodeKind::Return: {
+      const Expr *Value =
+          N.S ? cast<ReturnStmt>(N.S)->getValue() : nullptr;
+      if (Value && RetGlobal[FuncIdx] >= 0) {
+        // (ret-global := value) -> exit.
+        BF.Nodes[I].K = BNode::Kind::Assign;
+        BF.Nodes[I].IsGlobalTarget = true;
+        BF.Nodes[I].Target = static_cast<uint32_t>(RetGlobal[FuncIdx]);
+        if (!convertExpr(Value, BF.Nodes[I].Expr))
+          return false;
+      }
+      BF.Nodes[I].Succs = {ExitId};
+      break;
+    }
+    }
+  }
+  return true;
+}
+
+std::optional<BoolProgram> Converter::run() {
+  std::string Why;
+  if (!isBooleanFragment(P, &Why)) {
+    error("program is outside the boolean fragment: " + Why);
+    return std::nullopt;
+  }
+  if (!lower::isCoreProgram(P, &Why)) {
+    error("program is not in core form: " + Why);
+    return std::nullopt;
+  }
+
+  // Globals: program globals first, then one return slot per bool-returning
+  // function.
+  Out.NumGlobals = P.getGlobals().size();
+  for (unsigned I = 0, E = P.getGlobals().size(); I != E; ++I)
+    if (P.getGlobals()[I].Init && P.getGlobals()[I].Init->BoolValue)
+      Out.InitialGlobals |= 1ull << I;
+
+  RetGlobal.assign(P.getFunctions().size(), -1);
+  for (unsigned I = 0, E = P.getFunctions().size(); I != E; ++I)
+    if (P.getFunctions()[I]->getReturnType()->isBool())
+      RetGlobal[I] = Out.NumGlobals++;
+  if (Out.NumGlobals > MaxVarsPerScope) {
+    error("program exceeds the 64-global limit");
+    return std::nullopt;
+  }
+
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(P);
+  Out.Funcs.resize(P.getFunctions().size());
+  for (unsigned I = 0, E = P.getFunctions().size(); I != E; ++I)
+    if (!convertFunction(I, CFG.getFunctionCFG(I)))
+      return std::nullopt;
+
+  int Entry = P.getFunctionIndex(P.getEntryName());
+  if (Entry < 0) {
+    error("program has no entry function");
+    return std::nullopt;
+  }
+  Out.EntryFunc = Entry;
+  return std::move(Out);
+}
+
+} // namespace
+
+std::optional<BoolProgram>
+kiss::bebop::convertFromCore(const Program &P, DiagnosticEngine &Diags) {
+  Converter C(P, Diags);
+  return C.run();
+}

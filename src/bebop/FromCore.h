@@ -1,0 +1,44 @@
+//===- FromCore.h - Core-language to boolean-program conversion -*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts a core program of the *boolean fragment* — every global,
+/// local, parameter, and return type is bool; no pointers, heap, integers,
+/// or async — into a BoolProgram for the summary-based checker. This is
+/// the class SLAM's predicate abstraction produces and the class for which
+/// the paper states its complexity bound.
+///
+/// Return values are threaded through one dedicated global per
+/// bool-returning function (the classic boolean-program encoding).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_BEBOP_FROMCORE_H
+#define KISS_BEBOP_FROMCORE_H
+
+#include "bebop/BoolProgram.h"
+#include "lang/AST.h"
+
+#include <optional>
+
+namespace kiss {
+class DiagnosticEngine;
+} // namespace kiss
+
+namespace kiss::bebop {
+
+/// \returns true if \p P is in the boolean fragment (reasons via \p Why).
+bool isBooleanFragment(const lang::Program &P, std::string *Why = nullptr);
+
+/// Converts core program \p P. \returns nullopt (with diagnostics) when
+/// \p P is outside the boolean fragment or exceeds the 64-variable scope
+/// limits.
+std::optional<BoolProgram> convertFromCore(const lang::Program &P,
+                                           DiagnosticEngine &Diags);
+
+} // namespace kiss::bebop
+
+#endif // KISS_BEBOP_FROMCORE_H

@@ -1,0 +1,205 @@
+//===- ConcChecker.cpp ----------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "conc/ConcChecker.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+using namespace kiss;
+using namespace kiss::rt;
+using namespace kiss::conc;
+
+namespace {
+
+/// Scheduling context carried alongside each state when a context-switch
+/// bound is active.
+struct SchedCtx {
+  int32_t LastThread = -1;
+  uint32_t Switches = 0;
+};
+
+struct ParentInfo {
+  std::string ParentKey;
+  TraceStep Step;
+};
+
+std::vector<TraceStep>
+rebuildTrace(const std::unordered_map<std::string, ParentInfo> &Parents,
+             const std::string &Key, const TraceStep &Last) {
+  std::vector<TraceStep> Trace;
+  Trace.push_back(Last);
+  std::string Cur = Key;
+  while (true) {
+    auto It = Parents.find(Cur);
+    assert(It != Parents.end() && "broken parent chain");
+    if (It->second.ParentKey.empty())
+      break;
+    Trace.push_back(It->second.Step);
+    Cur = It->second.ParentKey;
+  }
+  std::reverse(Trace.begin(), Trace.end());
+  return Trace;
+}
+
+std::string makeKey(const MachineState &S, const SchedCtx &Ctx,
+                    bool Bounded) {
+  std::string Key = encodeState(S);
+  if (Bounded) {
+    Key.push_back(static_cast<char>(Ctx.LastThread & 0xff));
+    Key.push_back(static_cast<char>(Ctx.Switches & 0xff));
+    Key.push_back(static_cast<char>((Ctx.Switches >> 8) & 0xff));
+  }
+  return Key;
+}
+
+} // namespace
+
+CheckResult conc::checkProgram(const lang::Program &P,
+                               const cfg::ProgramCFG &CFG,
+                               const ConcOptions &Opts) {
+  CheckResult R;
+
+  const lang::FuncDecl *Entry = P.getEntryFunction();
+  if (!Entry || Entry->getNumParams() != 0) {
+    R.Outcome = CheckOutcome::RuntimeError;
+    R.Message = "program has no parameterless entry function";
+    return R;
+  }
+  uint32_t EntryIdx = P.getFunctionIndex(P.getEntryName());
+
+  StepOptions SO;
+  SO.AllowAsync = true;
+  SO.MaxThreads = Opts.MaxThreads;
+  SO.MaxFrames = Opts.MaxFrames;
+  const bool Bounded = Opts.ContextSwitchBound >= 0;
+
+  struct WorkItem {
+    MachineState S;
+    SchedCtx Ctx;
+    std::string Key;
+  };
+
+  MachineState Init = makeInitialState(P, CFG, EntryIdx);
+  SchedCtx InitCtx;
+  std::string InitKey = makeKey(Init, InitCtx, Bounded);
+
+  std::deque<WorkItem> Queue;
+  std::unordered_map<std::string, ParentInfo> Parents;
+  Parents.emplace(InitKey, ParentInfo{});
+  Queue.push_back(WorkItem{std::move(Init), InitCtx, InitKey});
+
+  while (!Queue.empty()) {
+    if (Parents.size() > Opts.MaxStates) {
+      R.Outcome = CheckOutcome::BoundExceeded;
+      R.Message = "state budget of " + std::to_string(Opts.MaxStates) +
+                  " states exceeded";
+      return R;
+    }
+
+    WorkItem Item = std::move(Queue.front());
+    Queue.pop_front();
+    ++R.StatesExplored;
+    const MachineState &S = Item.S;
+
+    // Which threads may run? Threads holding atomicity get exclusivity
+    // while enabled.
+    std::vector<uint32_t> Live;
+    std::vector<uint32_t> AtomicLive;
+    for (uint32_t T = 0, E = S.Threads.size(); T != E; ++T) {
+      if (S.Threads[T].isTerminated())
+        continue;
+      Live.push_back(T);
+      if (S.Threads[T].AtomicDepth > 0)
+        AtomicLive.push_back(T);
+    }
+
+    // Step all candidate threads; remember which produced successors.
+    auto tryThreads = [&](const std::vector<uint32_t> &Tids,
+                          bool &AnyEnabled) -> bool {
+      AnyEnabled = false;
+      for (uint32_t T : Tids) {
+        if (Bounded && Item.Ctx.LastThread >= 0 &&
+            static_cast<int32_t>(T) != Item.Ctx.LastThread &&
+            Item.Ctx.Switches >=
+                static_cast<uint32_t>(Opts.ContextSwitchBound))
+          continue; // Switching to T would exceed the bound.
+
+        const Frame &Top = S.Threads[T].Frames.back();
+        TraceStep Step{T, Top.Func, Top.PC};
+        StepResult SR = stepThread(P, CFG, S, T, SO);
+
+        switch (SR.K) {
+        case StepResult::Kind::Blocked:
+          continue;
+        case StepResult::Kind::AssertFailure:
+        case StepResult::Kind::RuntimeError:
+          R.Outcome = SR.K == StepResult::Kind::AssertFailure
+                          ? CheckOutcome::AssertionFailure
+                          : CheckOutcome::RuntimeError;
+          R.Message = SR.Message;
+          R.ErrorLoc = SR.ErrorLoc;
+          R.Trace = rebuildTrace(Parents, Item.Key, Step);
+          return true;
+        case StepResult::Kind::BoundExceeded:
+          R.Outcome = CheckOutcome::BoundExceeded;
+          R.Message = SR.Message;
+          R.ErrorLoc = SR.ErrorLoc;
+          return true;
+        case StepResult::Kind::Ok: {
+          AnyEnabled = true;
+          SchedCtx NCtx = Item.Ctx;
+          if (Bounded) {
+            if (NCtx.LastThread >= 0 &&
+                NCtx.LastThread != static_cast<int32_t>(T))
+              ++NCtx.Switches;
+            NCtx.LastThread = static_cast<int32_t>(T);
+          }
+          for (MachineState &NS : SR.Successors) {
+            ++R.TransitionsExplored;
+            std::string NKey = makeKey(NS, NCtx, Bounded);
+            if (Parents.count(NKey))
+              continue;
+            Parents.emplace(NKey, ParentInfo{Item.Key, Step});
+            Queue.push_back(WorkItem{std::move(NS), NCtx, std::move(NKey)});
+          }
+          break;
+        }
+        }
+      }
+      return false;
+    };
+
+    bool AnyAtomicEnabled = false;
+    if (!AtomicLive.empty()) {
+      if (tryThreads(AtomicLive, AnyAtomicEnabled))
+        return R;
+      if (AnyAtomicEnabled)
+        continue; // Exclusivity: only atomic holders ran from this state.
+      // All atomic holders are blocked: fall through to the other threads.
+      std::vector<uint32_t> Others;
+      for (uint32_t T : Live)
+        if (S.Threads[T].AtomicDepth == 0)
+          Others.push_back(T);
+      bool AnyEnabled = false;
+      if (tryThreads(Others, AnyEnabled))
+        return R;
+      continue;
+    }
+
+    bool AnyEnabled = false;
+    if (tryThreads(Live, AnyEnabled))
+      return R;
+    // No enabled thread: terminal (completion or a permanently blocked
+    // assume) — not an error.
+  }
+
+  R.Outcome = CheckOutcome::Safe;
+  R.StatesExplored = Parents.size();
+  return R;
+}

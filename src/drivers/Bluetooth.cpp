@@ -1,0 +1,176 @@
+//===- Bluetooth.cpp ------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "drivers/Bluetooth.h"
+
+using namespace kiss::drivers;
+
+std::string kiss::drivers::getBluetoothSource() {
+  return R"(// Figure 2: simplified model of the Windows NT Bluetooth driver.
+struct DEVICE_EXTENSION {
+  int pendingIo;
+  bool stoppingFlag;
+  bool stoppingEvent;
+}
+bool stopped = false;
+
+int BCSP_IoIncrement(DEVICE_EXTENSION *e) {
+  if (e->stoppingFlag) { return 0 - 1; }
+  atomic { e->pendingIo = e->pendingIo + 1; }
+  return 0;
+}
+
+void BCSP_IoDecrement(DEVICE_EXTENSION *e) {
+  int pendingIo;
+  atomic {
+    e->pendingIo = e->pendingIo - 1;
+    pendingIo = e->pendingIo;
+  }
+  if (pendingIo == 0) { e->stoppingEvent = true; }
+}
+
+void BCSP_PnpStop(DEVICE_EXTENSION *e) {
+  e->stoppingFlag = true;
+  BCSP_IoDecrement(e);
+  assume(e->stoppingEvent);
+  // release allocated resources
+  stopped = true;
+}
+
+void BCSP_PnpAdd(DEVICE_EXTENSION *e) {
+  int status;
+  status = BCSP_IoIncrement(e);
+  if (status == 0) {
+    // do work here
+    assert(!stopped);
+  }
+  BCSP_IoDecrement(e);
+}
+
+void main() {
+  DEVICE_EXTENSION *e = new DEVICE_EXTENSION;
+  e->pendingIo = 1;
+  e->stoppingFlag = false;
+  e->stoppingEvent = false;
+  stopped = false;
+  async BCSP_PnpStop(e);
+  BCSP_PnpAdd(e);
+}
+)";
+}
+
+std::string kiss::drivers::getFixedBluetoothSource() {
+  return R"(// Figure 2 with the BCSP_IoIncrement bug fixed: the increment
+// happens first, so the stop thread can never observe a zero count while a
+// worker is between its stoppingFlag check and its increment.
+struct DEVICE_EXTENSION {
+  int pendingIo;
+  bool stoppingFlag;
+  bool stoppingEvent;
+}
+bool stopped = false;
+
+void BCSP_IoDecrement(DEVICE_EXTENSION *e) {
+  int pendingIo;
+  atomic {
+    e->pendingIo = e->pendingIo - 1;
+    pendingIo = e->pendingIo;
+  }
+  if (pendingIo == 0) { e->stoppingEvent = true; }
+}
+
+int BCSP_IoIncrement(DEVICE_EXTENSION *e) {
+  atomic { e->pendingIo = e->pendingIo + 1; }
+  if (e->stoppingFlag) {
+    BCSP_IoDecrement(e);
+    return 0 - 1;
+  }
+  return 0;
+}
+
+void BCSP_PnpStop(DEVICE_EXTENSION *e) {
+  e->stoppingFlag = true;
+  BCSP_IoDecrement(e);
+  assume(e->stoppingEvent);
+  stopped = true;
+}
+
+void BCSP_PnpAdd(DEVICE_EXTENSION *e) {
+  int status;
+  status = BCSP_IoIncrement(e);
+  if (status == 0) {
+    assert(!stopped);
+  }
+  BCSP_IoDecrement(e);
+}
+
+void main() {
+  DEVICE_EXTENSION *e = new DEVICE_EXTENSION;
+  e->pendingIo = 1;
+  e->stoppingFlag = false;
+  e->stoppingEvent = false;
+  stopped = false;
+  async BCSP_PnpStop(e);
+  BCSP_PnpAdd(e);
+}
+)";
+}
+
+std::string kiss::drivers::getFakemodemRefcountSource() {
+  return R"(// The fakemodem driver's reference counting (§6): it "behaves
+// exactly according to the fixed implementation of BCSP_IoIncrement".
+struct FDO_DATA {
+  int openCount;
+  bool stoppingFlag;
+  bool removeEvent;
+}
+bool removed = false;
+
+void FakeModem_ReleaseReference(FDO_DATA *d) {
+  int count;
+  atomic {
+    d->openCount = d->openCount - 1;
+    count = d->openCount;
+  }
+  if (count == 0) { d->removeEvent = true; }
+}
+
+int FakeModem_AcquireReference(FDO_DATA *d) {
+  atomic { d->openCount = d->openCount + 1; }
+  if (d->stoppingFlag) {
+    FakeModem_ReleaseReference(d);
+    return 0 - 1;
+  }
+  return 0;
+}
+
+void FakeModem_Remove(FDO_DATA *d) {
+  d->stoppingFlag = true;
+  FakeModem_ReleaseReference(d);
+  assume(d->removeEvent);
+  removed = true;
+}
+
+void FakeModem_Dispatch(FDO_DATA *d) {
+  int status;
+  status = FakeModem_AcquireReference(d);
+  if (status == 0) {
+    assert(!removed);
+  }
+  FakeModem_ReleaseReference(d);
+}
+
+void main() {
+  FDO_DATA *d = new FDO_DATA;
+  d->openCount = 1;
+  d->stoppingFlag = false;
+  d->removeEvent = false;
+  removed = false;
+  async FakeModem_Remove(d);
+  FakeModem_Dispatch(d);
+}
+)";
+}

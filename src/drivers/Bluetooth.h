@@ -1,0 +1,39 @@
+//===- Bluetooth.h - The Figure-2 Bluetooth driver model --------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §2 case study: the simplified model of a Windows NT
+/// Bluetooth driver (Figure 2), its bug-fixed variant (§6: "after fixing
+/// the bug as suggested by the driver quality team ... KISS did not report
+/// any errors"), and the fakemodem reference-counting model that behaves
+/// like the fixed BCSP_IoIncrement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_DRIVERS_BLUETOOTH_H
+#define KISS_DRIVERS_BLUETOOTH_H
+
+#include <string>
+
+namespace kiss::drivers {
+
+/// Figure 2 verbatim: the buggy BCSP model. Exposes
+///  * a race on DEVICE_EXTENSION.stoppingFlag, found at MAX = 0 (§2.2);
+///  * an assert(!stopped) violation, found at MAX = 1 (§2.3).
+std::string getBluetoothSource();
+
+/// The fixed driver: BCSP_IoIncrement increments pendingIo *before*
+/// checking stoppingFlag and backs out if stopping. No assertion violation
+/// at any MAX.
+std::string getFixedBluetoothSource();
+
+/// The fakemodem reference-counting model (§6): structured like the fixed
+/// increment, so KISS reports no refcount error.
+std::string getFakemodemRefcountSource();
+
+} // namespace kiss::drivers
+
+#endif // KISS_DRIVERS_BLUETOOTH_H

@@ -1,0 +1,180 @@
+//===- Corpus.cpp ---------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "drivers/Corpus.h"
+
+#include <cassert>
+
+using namespace kiss::drivers;
+
+const char *kiss::drivers::getIrpCategoryName(IrpCategory C) {
+  switch (C) {
+  case IrpCategory::PnpStartRemove:
+    return "pnp-start-remove";
+  case IrpCategory::PnpOther:
+    return "pnp";
+  case IrpCategory::PowerSystem:
+    return "power-system";
+  case IrpCategory::PowerDevice:
+    return "power-device";
+  case IrpCategory::Ioctl:
+    return "ioctl";
+  case IrpCategory::Read:
+    return "read";
+  case IrpCategory::Write:
+    return "write";
+  case IrpCategory::CreateClose:
+    return "create-close";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A pool of realistic device-extension field names; cycled with numeric
+/// suffixes once exhausted.
+const char *FieldNamePool[] = {
+    "DevicePnPState", "OpenCount",    "PendingIo",     "StoppingFlag",
+    "PowerState",     "QueueState",   "RemoveCount",   "Started",
+    "SymbolicLink",   "WaitCount",    "InterfaceState", "IdleTimer",
+    "WakeEnabled",    "RequestCount", "FilterMode",    "PortIndex",
+};
+
+std::string makeFieldName(unsigned Index, FieldBehavior B) {
+  std::string Base =
+      FieldNamePool[Index % (sizeof(FieldNamePool) / sizeof(char *))];
+  unsigned Round = Index / (sizeof(FieldNamePool) / sizeof(char *));
+  std::string Name = Base;
+  if (Round > 0)
+    Name += std::to_string(Round + 1);
+  (void)B;
+  return Name;
+}
+
+/// Builds the per-field specs for one driver row so that the verdict counts
+/// reproduce the paper's tables under the two harnesses.
+void deriveFields(DriverSpec &D) {
+  assert(D.RacesV2 <= D.RacesV1 && D.RacesV1 + D.NoRacesV1 <= D.NumFields &&
+         "inconsistent table row");
+  assert(D.NoRacesV1 >= 1 && "every driver has at least its lock field");
+
+  unsigned Spurious = D.RacesV1 - D.RacesV2;
+  unsigned Heavy = D.numBoundExceeded();
+  unsigned ProtectedCount = D.NoRacesV1 - 1; // The lock is one no-race field.
+
+  unsigned Index = 0;
+  // The spinlock cell.
+  D.Fields.push_back(FieldSpec{"QueueLock", FieldBehavior::LockField,
+                               IrpCategory::Ioctl, IrpCategory::Read});
+  ++Index;
+
+  // Real races: one side Ioctl, the other Read/Write/CreateClose — pairs
+  // the OS genuinely runs concurrently.
+  const IrpCategory RealPartners[] = {IrpCategory::Read, IrpCategory::Write,
+                                      IrpCategory::CreateClose};
+  for (unsigned I = 0; I != D.RacesV2; ++I, ++Index) {
+    D.Fields.push_back(FieldSpec{makeFieldName(Index - 1, FieldBehavior::RealRace),
+                                 FieldBehavior::RealRace, IrpCategory::Ioctl,
+                                 RealPartners[I % 3]});
+  }
+
+  // Spurious races: both accesses in routines the refined harness never
+  // runs concurrently. Filter drivers use the Ioctl/Ioctl pattern the
+  // paper describes; everyone else cycles through the A1-A3 patterns.
+  for (unsigned I = 0; I != Spurious; ++I, ++Index) {
+    FieldSpec F;
+    F.Name = makeFieldName(Index - 1, FieldBehavior::SpuriousRace);
+    F.Behavior = FieldBehavior::SpuriousRace;
+    if (D.NoConcurrentIoctls) {
+      F.CatA = F.CatB = IrpCategory::Ioctl;
+    } else {
+      switch (I % 4) {
+      case 0:
+        F.CatA = F.CatB = IrpCategory::PnpOther;
+        break;
+      case 1:
+        F.CatA = F.CatB = IrpCategory::PowerSystem;
+        break;
+      case 2:
+        F.CatA = F.CatB = IrpCategory::PowerDevice;
+        break;
+      case 3:
+        F.CatA = IrpCategory::PnpStartRemove;
+        F.CatB = IrpCategory::Read;
+        break;
+      }
+    }
+    D.Fields.push_back(std::move(F));
+  }
+
+  for (unsigned I = 0; I != ProtectedCount; ++I, ++Index) {
+    D.Fields.push_back(
+        FieldSpec{makeFieldName(Index - 1, FieldBehavior::Protected),
+                  FieldBehavior::Protected, IrpCategory::Ioctl,
+                  RealPartners[I % 3]});
+  }
+
+  for (unsigned I = 0; I != Heavy; ++I, ++Index) {
+    D.Fields.push_back(FieldSpec{makeFieldName(Index - 1, FieldBehavior::Heavy),
+                                 FieldBehavior::Heavy, IrpCategory::Ioctl,
+                                 IrpCategory::Read});
+  }
+
+  assert(D.Fields.size() == D.NumFields && "field derivation mismatch");
+}
+
+DriverSpec makeDriver(const char *Name, double Kloc, unsigned Fields,
+                      unsigned RacesV1, unsigned NoRacesV1, unsigned RacesV2,
+                      bool NoConcIoctl = false) {
+  DriverSpec D;
+  D.Name = Name;
+  D.PaperKloc = Kloc;
+  D.NumFields = Fields;
+  D.RacesV1 = RacesV1;
+  D.NoRacesV1 = NoRacesV1;
+  D.RacesV2 = RacesV2;
+  D.NoConcurrentIoctls = NoConcIoctl;
+  deriveFields(D);
+  return D;
+}
+
+} // namespace
+
+std::vector<DriverSpec> kiss::drivers::getTable1Corpus() {
+  // Rows of Table 1 (driver, KLOC, fields, races, no-races) joined with
+  // Table 2 (refined-harness races).
+  std::vector<DriverSpec> Corpus;
+  Corpus.push_back(makeDriver("tracedrv", 0.5, 3, 0, 3, 0));
+  Corpus.push_back(makeDriver("mou.ltr", 1.0, 14, 7, 7, 0,
+                              /*NoConcIoctl=*/true));
+  Corpus.push_back(makeDriver("kb.ltr", 1.1, 15, 8, 7, 0,
+                              /*NoConcIoctl=*/true));
+  Corpus.push_back(makeDriver("imca", 1.1, 5, 1, 4, 1));
+  Corpus.push_back(makeDriver("startio", 1.1, 9, 0, 9, 0));
+  Corpus.push_back(makeDriver("toaster/toastmon", 1.4, 8, 1, 7, 1));
+  Corpus.push_back(makeDriver("diskperf", 2.4, 16, 2, 14, 0));
+  Corpus.push_back(makeDriver("1394diag", 2.7, 18, 1, 17, 1));
+  Corpus.push_back(makeDriver("1394vdev", 2.8, 18, 1, 17, 1));
+  Corpus.push_back(makeDriver("fakemodem", 2.9, 39, 6, 31, 6));
+  Corpus.push_back(makeDriver("gameenum", 3.9, 45, 11, 24, 1));
+  Corpus.push_back(makeDriver("toaster/bus", 5.0, 30, 0, 22, 0));
+  Corpus.push_back(makeDriver("serenum", 5.9, 41, 5, 21, 2));
+  Corpus.push_back(makeDriver("toaster/func", 6.6, 24, 7, 17, 5));
+  Corpus.push_back(makeDriver("mouclass", 7.0, 34, 1, 32, 1));
+  Corpus.push_back(makeDriver("kbdclass", 7.4, 36, 1, 33, 1));
+  Corpus.push_back(makeDriver("mouser", 7.6, 34, 1, 27, 1));
+  Corpus.push_back(makeDriver("fdc", 9.2, 92, 18, 54, 9));
+  return Corpus;
+}
+
+const DriverSpec *
+kiss::drivers::findDriver(const std::vector<DriverSpec> &Corpus,
+                          const std::string &Name) {
+  for (const DriverSpec &D : Corpus)
+    if (D.Name == Name)
+      return &D;
+  return nullptr;
+}

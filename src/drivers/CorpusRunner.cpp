@@ -1,0 +1,88 @@
+//===- CorpusRunner.cpp ---------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "drivers/CorpusRunner.h"
+
+#include "lower/Pipeline.h"
+
+#include <chrono>
+
+using namespace kiss;
+using namespace kiss::core;
+using namespace kiss::drivers;
+
+static unsigned countLines(const std::string &Text) {
+  unsigned N = 0;
+  for (char C : Text)
+    if (C == '\n')
+      ++N;
+  return N;
+}
+
+DriverResult kiss::drivers::runDriver(const DriverSpec &D,
+                                      const CorpusRunOptions &Opts) {
+  DriverResult R;
+  R.Driver = &D;
+  R.ModelLines = countLines(buildFullProgram(D, Opts.Harness));
+
+  std::vector<unsigned> FieldIndices = Opts.OnlyFields;
+  if (FieldIndices.empty())
+    for (unsigned I = 0; I != D.Fields.size(); ++I)
+      FieldIndices.push_back(I);
+
+  auto Start = std::chrono::steady_clock::now();
+  for (unsigned FieldIdx : FieldIndices) {
+    lower::CompilerContext Ctx;
+    auto Program = lower::compileToCore(
+        Ctx, D.Name + "." + D.Fields[FieldIdx].Name,
+        buildFieldProgram(D, FieldIdx, Opts.Harness));
+    FieldResult FR;
+    FR.FieldIndex = FieldIdx;
+    if (!Program) {
+      // Generated models always compile; treat a failure as inconclusive.
+      FR.Verdict = KissVerdict::BoundExceeded;
+      R.Fields.push_back(FR);
+      ++R.BoundExceeded;
+      continue;
+    }
+
+    KissOptions KO;
+    KO.MaxTs = 0; // §6: "we set the size of ts to 0" for race detection.
+    KO.Seq.MaxStates = Opts.FieldStateBudget;
+    RaceTarget Target =
+        RaceTarget::field(Ctx.Syms.intern(getDeviceExtensionName()),
+                          Ctx.Syms.intern(D.Fields[FieldIdx].Name));
+    KissReport Report = checkRace(*Program, Target, KO, Ctx.Diags);
+
+    FR.Verdict = Report.Verdict;
+    FR.StatesExplored = Report.Sequential.StatesExplored;
+    R.Fields.push_back(FR);
+
+    switch (Report.Verdict) {
+    case KissVerdict::RaceDetected:
+      ++R.Races;
+      break;
+    case KissVerdict::NoErrorFound:
+      ++R.NoRaces;
+      break;
+    default:
+      ++R.BoundExceeded;
+      break;
+    }
+  }
+  R.Seconds = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - Start)
+                  .count();
+  return R;
+}
+
+std::vector<unsigned> kiss::drivers::racyFieldIndices(const DriverResult &R) {
+  std::vector<unsigned> Out;
+  for (const FieldResult &F : R.Fields)
+    if (F.Verdict == KissVerdict::RaceDetected)
+      Out.push_back(F.FieldIndex);
+  return Out;
+}

@@ -1,0 +1,56 @@
+//===- Ddk.cpp ------------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "drivers/Ddk.h"
+
+using namespace kiss::drivers;
+
+std::string kiss::drivers::getDdkPrelude() {
+  return R"(// --- DDK synchronization primitive models (see paper §6) ---
+void KeAcquireSpinLock(int *lock) {
+  atomic { assume(*lock == 0); *lock = 1; }
+}
+
+void KeReleaseSpinLock(int *lock) {
+  atomic { *lock = 0; }
+}
+
+void KeSetEvent(bool *event) {
+  *event = true;
+}
+
+void KeClearEvent(bool *event) {
+  *event = false;
+}
+
+void KeWaitForSingleObject(bool *event) {
+  assume(*event);
+}
+
+int InterlockedIncrement(int *value) {
+  int result;
+  atomic { *value = *value + 1; result = *value; }
+  return result;
+}
+
+int InterlockedDecrement(int *value) {
+  int result;
+  atomic { *value = *value - 1; result = *value; }
+  return result;
+}
+
+int InterlockedCompareExchange(int *value, int newValue, int comparand) {
+  int old;
+  atomic {
+    old = *value;
+    if (old == comparand) { *value = newValue; }
+  }
+  return old;
+}
+// --- end DDK prelude ---
+
+)";
+}

@@ -1,0 +1,30 @@
+//===- Ddk.h - Windows DDK synchronization primitive models -----*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models of the Windows kernel synchronization routines the paper lists
+/// (§6: "we modeled several synchronization mechanisms such as locks,
+/// events, interlocked compare and exchange"), written in the modeling
+/// language and prepended to every generated driver program. They follow
+/// §3's recipe: each primitive is an `atomic`/`assume` combination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_DRIVERS_DDK_H
+#define KISS_DRIVERS_DDK_H
+
+#include <string>
+
+namespace kiss::drivers {
+
+/// \returns the DDK prelude source: KeAcquireSpinLock/KeReleaseSpinLock,
+/// KeSetEvent/KeWaitForSingleObject, InterlockedIncrement/Decrement, and
+/// InterlockedCompareExchange.
+std::string getDdkPrelude();
+
+} // namespace kiss::drivers
+
+#endif // KISS_DRIVERS_DDK_H

@@ -1,0 +1,49 @@
+//===- Balanced.cpp -------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kiss/Balanced.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace kiss;
+using namespace kiss::core;
+
+bool core::isBalancedSchedule(const std::vector<uint32_t> &ThreadIds) {
+  // Stack of currently interrupted/running threads (top = running);
+  // Retired holds threads that completed (were popped) and may never run
+  // again.
+  std::vector<uint32_t> Stack;
+  std::set<uint32_t> Retired;
+
+  for (uint32_t T : ThreadIds) {
+    if (!Stack.empty() && Stack.back() == T)
+      continue; // The running thread keeps running.
+
+    auto InStack = std::find(Stack.begin(), Stack.end(), T);
+    if (InStack != Stack.end()) {
+      // Resuming an interrupted thread: everything above it must be done.
+      while (Stack.back() != T) {
+        Retired.insert(Stack.back());
+        Stack.pop_back();
+      }
+      continue;
+    }
+
+    if (Retired.count(T))
+      return false; // A finished thread reappears: unbalanced.
+    Stack.push_back(T); // A fresh thread interrupts the current one.
+  }
+  return true;
+}
+
+std::vector<uint32_t> core::scheduleOf(const ConcurrentTrace &Trace) {
+  std::vector<uint32_t> Out;
+  Out.reserve(Trace.Steps.size());
+  for (const MappedStep &S : Trace.Steps)
+    Out.push_back(S.Thread);
+  return Out;
+}

@@ -1,0 +1,47 @@
+//===- Balanced.h - Theorem 1's balanced executions -------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §4.1 coverage characterization. A string over thread ids is
+/// *balanced* when it belongs to L_X for some finite thread set X, where
+///
+///   L_X = { i·w1·i·w2·...·i·wk·i | {i},X1,...,Xk partition X,
+///                                  each wj a concatenation of L_Xj words }
+///
+/// i.e. one thread forms the spine and between (and after) its events,
+/// freshly started threads run complete balanced sub-executions of their
+/// own. Operationally this is exactly stack-discipline scheduling: a
+/// thread may be interrupted only by threads that then run to completion
+/// before it resumes, and a completed thread never runs again.
+///
+/// Theorem 1: with ts unbounded, Check(s) goes wrong iff some *balanced*
+/// execution of s goes wrong. The property suite uses this module to
+/// verify that every counterexample trace KISS produces is balanced.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_KISS_BALANCED_H
+#define KISS_KISS_BALANCED_H
+
+#include "kiss/TraceMap.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace kiss::core {
+
+/// \returns true if \p ThreadIds is a balanced schedule: threads nest like
+/// stack frames (an interrupted thread only resumes after its interrupters
+/// finish, and finished threads never reappear).
+bool isBalancedSchedule(const std::vector<uint32_t> &ThreadIds);
+
+/// Extracts the thread-id sequence (one entry per executed event) from a
+/// mapped concurrent trace.
+std::vector<uint32_t> scheduleOf(const ConcurrentTrace &Trace);
+
+} // namespace kiss::core
+
+#endif // KISS_KISS_BALANCED_H

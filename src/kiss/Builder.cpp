@@ -1,0 +1,152 @@
+//===- Builder.cpp --------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kiss/Builder.h"
+
+#include <cassert>
+
+using namespace kiss;
+using namespace kiss::core;
+using namespace kiss::lang;
+
+ExprPtr Builder::intLit(int64_t V) {
+  auto E = std::make_unique<IntLitExpr>(V, SourceLoc());
+  E->setType(Types.getIntType());
+  return E;
+}
+
+ExprPtr Builder::boolLit(bool V) {
+  auto E = std::make_unique<BoolLitExpr>(V, SourceLoc());
+  E->setType(Types.getBoolType());
+  return E;
+}
+
+ExprPtr Builder::nullLit(const Type *PtrTy) {
+  assert((PtrTy->isPointer() || PtrTy->isFunc()) && "null needs ptr type");
+  auto E = std::make_unique<NullLitExpr>(SourceLoc());
+  E->setType(PtrTy);
+  return E;
+}
+
+ExprPtr Builder::varRef(VarId Id) {
+  assert(Id.isResolved() && "building an unresolved reference");
+  Symbol Name;
+  const Type *Ty;
+  if (Id.isGlobal()) {
+    Name = P.getGlobals()[Id.Index].Name;
+    Ty = P.getGlobals()[Id.Index].Ty;
+  } else {
+    assert(Func && "local reference outside a function");
+    Name = Func->getLocals()[Id.Index].Name;
+    Ty = Func->getLocals()[Id.Index].Ty;
+  }
+  auto E = std::make_unique<VarRefExpr>(Name, SourceLoc());
+  E->setVarId(Id);
+  E->setType(Ty);
+  return E;
+}
+
+ExprPtr Builder::globalRef(uint32_t Index) {
+  return varRef(VarId{VarScope::Global, Index});
+}
+
+ExprPtr Builder::localRef(uint32_t Slot) {
+  return varRef(VarId{VarScope::Local, Slot});
+}
+
+ExprPtr Builder::funcRef(uint32_t FuncIndex) {
+  FuncDecl *F = P.getFunction(FuncIndex);
+  auto E = std::make_unique<FuncRefExpr>(F->getName(), SourceLoc());
+  E->setFuncIndex(FuncIndex);
+  E->setType(F->getFuncType());
+  return E;
+}
+
+ExprPtr Builder::cmp(BinaryOp Op, ExprPtr L, ExprPtr R) {
+  auto E = std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R),
+                                        SourceLoc());
+  E->setType(Types.getBoolType());
+  return E;
+}
+
+ExprPtr Builder::notOf(ExprPtr E) {
+  auto N = std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(E),
+                                       SourceLoc());
+  N->setType(Types.getBoolType());
+  return N;
+}
+
+StmtPtr Builder::assign(ExprPtr LHS, ExprPtr RHS) {
+  return stamp(std::make_unique<AssignStmt>(std::move(LHS), std::move(RHS),
+                                            SourceLoc()));
+}
+
+StmtPtr Builder::assignVar(VarId Id, ExprPtr RHS) {
+  return assign(varRef(Id), std::move(RHS));
+}
+
+StmtPtr Builder::assertStmt(ExprPtr Cond) {
+  return stamp(std::make_unique<AssertStmt>(std::move(Cond), SourceLoc()));
+}
+
+StmtPtr Builder::assumeStmt(ExprPtr Cond) {
+  return stamp(std::make_unique<AssumeStmt>(std::move(Cond), SourceLoc()));
+}
+
+StmtPtr Builder::returnStmt(ExprPtr Value) {
+  return stamp(std::make_unique<ReturnStmt>(std::move(Value), SourceLoc()));
+}
+
+StmtPtr Builder::skip() {
+  return stamp(std::make_unique<SkipStmt>(SourceLoc()));
+}
+
+StmtPtr Builder::block(std::vector<StmtPtr> Stmts) {
+  return std::make_unique<BlockStmt>(std::move(Stmts), SourceLoc());
+}
+
+StmtPtr Builder::choice(std::vector<StmtPtr> Branches) {
+  return stamp(
+      std::make_unique<ChoiceStmt>(std::move(Branches), SourceLoc()));
+}
+
+StmtPtr Builder::iter(StmtPtr Body) {
+  return stamp(std::make_unique<IterStmt>(std::move(Body), SourceLoc()));
+}
+
+StmtPtr Builder::callIndirect(VarId Result, ExprPtr Callee,
+                              std::vector<ExprPtr> Args) {
+  const Type *CalleeTy = Callee->getType();
+  assert(CalleeTy && CalleeTy->isFunc() && "indirect call needs a func type");
+  auto CallE = std::make_unique<CallExpr>(std::move(Callee), std::move(Args),
+                                          SourceLoc());
+  CallE->setType(CalleeTy->getReturnType());
+  if (Result.isResolved())
+    return assign(varRef(Result), std::move(CallE));
+  return stamp(std::make_unique<ExprStmt>(std::move(CallE), SourceLoc()));
+}
+
+StmtPtr Builder::call(VarId Result, uint32_t FuncIndex,
+                      std::vector<ExprPtr> Args) {
+  return callIndirect(Result, funcRef(FuncIndex), std::move(Args));
+}
+
+VarId Builder::addLocal(std::string_view Name, const Type *Ty) {
+  assert(Func && "adding a local outside a function");
+  uint32_t Slot = Func->addLocal(
+      VarDecl{P.getSymbolTable().intern(Name), Ty, SourceLoc()});
+  return VarId{VarScope::Local, Slot};
+}
+
+VarId Builder::addGlobal(std::string_view Name, const Type *Ty,
+                         std::optional<ConstInit> Init) {
+  GlobalDecl G;
+  G.Name = P.getSymbolTable().intern(Name);
+  G.Ty = Ty;
+  G.Init = Init;
+  uint32_t Index = P.addGlobal(std::move(G));
+  return VarId{VarScope::Global, Index};
+}

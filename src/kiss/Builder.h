@@ -1,0 +1,86 @@
+//===- Builder.h - Typed AST construction helpers ---------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for synthesizing fully-typed, fully-resolved core AST fragments.
+/// The KISS instrumenter builds its entire output program through these, so
+/// the result passes lower::isCoreProgram and runs on the engines without a
+/// second Sema pass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_KISS_BUILDER_H
+#define KISS_KISS_BUILDER_H
+
+#include "lang/AST.h"
+
+namespace kiss::core {
+
+/// Builds typed core AST nodes for one target program/function. Every node
+/// produced carries a type and resolved ids; statements default to the
+/// given instrumentation role.
+class Builder {
+public:
+  Builder(lang::Program &P, lang::InstrRole Role)
+      : P(P), Types(P.getTypeContext()), Role(Role) {}
+
+  /// Sets the function whose locals variable references resolve against.
+  void setFunction(lang::FuncDecl *F) { Func = F; }
+  lang::FuncDecl *getFunction() const { return Func; }
+
+  //===--- Expressions ---===//
+  lang::ExprPtr intLit(int64_t V);
+  lang::ExprPtr boolLit(bool V);
+  lang::ExprPtr nullLit(const lang::Type *PtrTy);
+  lang::ExprPtr globalRef(uint32_t Index);
+  lang::ExprPtr localRef(uint32_t Slot);
+  lang::ExprPtr varRef(lang::VarId Id);
+  lang::ExprPtr funcRef(uint32_t FuncIndex);
+  /// atom == atom (or !=, <, ...).
+  lang::ExprPtr cmp(lang::BinaryOp Op, lang::ExprPtr L, lang::ExprPtr R);
+  lang::ExprPtr notOf(lang::ExprPtr E);
+
+  //===--- Statements ---===//
+  lang::StmtPtr assign(lang::ExprPtr LHS, lang::ExprPtr RHS);
+  lang::StmtPtr assignVar(lang::VarId Id, lang::ExprPtr RHS);
+  lang::StmtPtr assertStmt(lang::ExprPtr Cond);
+  lang::StmtPtr assumeStmt(lang::ExprPtr Cond);
+  lang::StmtPtr returnStmt(lang::ExprPtr Value = nullptr);
+  lang::StmtPtr skip();
+  lang::StmtPtr block(std::vector<lang::StmtPtr> Stmts);
+  lang::StmtPtr choice(std::vector<lang::StmtPtr> Branches);
+  lang::StmtPtr iter(lang::StmtPtr Body);
+  /// result = Callee(Args): an ExprStmt when \p Result is unresolved.
+  lang::StmtPtr call(lang::VarId Result, uint32_t FuncIndex,
+                     std::vector<lang::ExprPtr> Args);
+  lang::StmtPtr callIndirect(lang::VarId Result, lang::ExprPtr Callee,
+                             std::vector<lang::ExprPtr> Args);
+
+  /// Adds a fresh local slot to the current function.
+  lang::VarId addLocal(std::string_view Name, const lang::Type *Ty);
+  /// Adds a global with a default initializer; returns its id.
+  lang::VarId addGlobal(std::string_view Name, const lang::Type *Ty,
+                        std::optional<lang::ConstInit> Init = std::nullopt);
+
+  lang::Program &getProgram() { return P; }
+  lang::TypeContext &getTypes() { return Types; }
+
+private:
+  /// Stamps the default role on a synthesized statement.
+  lang::StmtPtr stamp(lang::StmtPtr S) {
+    S->setRole(Role);
+    return S;
+  }
+
+  lang::Program &P;
+  lang::TypeContext &Types;
+  lang::InstrRole Role;
+  lang::FuncDecl *Func = nullptr;
+};
+
+} // namespace kiss::core
+
+#endif // KISS_KISS_BUILDER_H

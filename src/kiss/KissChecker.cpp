@@ -1,0 +1,106 @@
+//===- KissChecker.cpp ----------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kiss/KissChecker.h"
+
+#include "cfg/CFG.h"
+
+using namespace kiss;
+using namespace kiss::core;
+using namespace kiss::lang;
+
+const char *core::getVerdictName(KissVerdict V) {
+  switch (V) {
+  case KissVerdict::NoErrorFound:
+    return "no error found";
+  case KissVerdict::AssertionViolation:
+    return "assertion violation";
+  case KissVerdict::RaceDetected:
+    return "race detected";
+  case KissVerdict::RuntimeError:
+    return "runtime error";
+  case KissVerdict::BoundExceeded:
+    return "bound exceeded";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Runs the translated program through the sequential checker and
+/// classifies the outcome.
+KissReport runPipeline(const Program &P, std::unique_ptr<Program> Transformed,
+                       const KissOptions &Opts, TransformStats Stats) {
+  (void)P;
+  KissReport R;
+  R.Stats = Stats;
+
+  if (!Transformed) {
+    R.Verdict = KissVerdict::BoundExceeded;
+    R.Message = "transformation failed";
+    return R;
+  }
+
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*Transformed);
+  R.Sequential = seqcheck::checkProgram(*Transformed, CFG, Opts.Seq);
+
+  switch (R.Sequential.Outcome) {
+  case rt::CheckOutcome::Safe:
+    R.Verdict = KissVerdict::NoErrorFound;
+    break;
+  case rt::CheckOutcome::BoundExceeded:
+    R.Verdict = KissVerdict::BoundExceeded;
+    R.Message = R.Sequential.Message;
+    break;
+  case rt::CheckOutcome::RuntimeError:
+    R.Verdict = KissVerdict::RuntimeError;
+    R.Message = R.Sequential.Message;
+    break;
+  case rt::CheckOutcome::AssertionFailure: {
+    // A failing probe assert means a race; any other assert is a program
+    // assertion violation.
+    R.Verdict = KissVerdict::AssertionViolation;
+    if (!R.Sequential.Trace.empty()) {
+      const rt::TraceStep &Last = R.Sequential.Trace.back();
+      const cfg::Node &N =
+          CFG.getFunctionCFG(Last.Func).getNode(Last.Node);
+      if (N.S && N.S->getRole() == InstrRole::Check) {
+        R.Verdict = KissVerdict::RaceDetected;
+        R.Message = "conflicting accesses to the monitored location";
+      }
+    }
+    break;
+  }
+  }
+
+  if (R.Sequential.foundError())
+    R.Trace = mapTrace(R.Sequential.Trace, *Transformed, CFG);
+
+  R.Transformed = std::move(Transformed);
+  return R;
+}
+
+} // namespace
+
+KissReport core::checkAssertions(const Program &P, const KissOptions &Opts,
+                                 DiagnosticEngine &Diags) {
+  TransformOptions TO;
+  TO.MaxTs = Opts.MaxTs;
+  TO.UseAliasAnalysis = Opts.UseAliasAnalysis;
+  TransformStats Stats;
+  auto Transformed = transformForAssertions(P, TO, Diags, &Stats);
+  return runPipeline(P, std::move(Transformed), Opts, Stats);
+}
+
+KissReport core::checkRace(const Program &P, const RaceTarget &Target,
+                           const KissOptions &Opts, DiagnosticEngine &Diags) {
+  TransformOptions TO;
+  TO.MaxTs = Opts.MaxTs;
+  TO.UseAliasAnalysis = Opts.UseAliasAnalysis;
+  TransformStats Stats;
+  auto Transformed = transformForRace(P, Target, TO, Diags, &Stats);
+  return runPipeline(P, std::move(Transformed), Opts, Stats);
+}

@@ -1,0 +1,81 @@
+//===- KissChecker.h - The top-level KISS checker ---------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end checker of Figure 1: concurrent program -> KISS
+/// instrumentation -> sequential model checker -> (mapped) error trace or
+/// "no bug found". This is the library's primary public entry point.
+///
+/// Guarantee (paper, §1): the checker never reports false errors but may
+/// miss errors. Every reported error corresponds to a real execution of the
+/// concurrent input program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_KISS_KISSCHECKER_H
+#define KISS_KISS_KISSCHECKER_H
+
+#include "kiss/TraceMap.h"
+#include "kiss/Transform.h"
+#include "seqcheck/SeqChecker.h"
+
+#include <memory>
+
+namespace kiss::core {
+
+/// Options for one end-to-end check.
+struct KissOptions {
+  /// The paper's MAX — the ts multiset capacity (the coverage/cost knob).
+  unsigned MaxTs = 0;
+  /// Prune race probes with the points-to analysis.
+  bool UseAliasAnalysis = true;
+  /// Budgets of the underlying sequential model checker.
+  seqcheck::SeqOptions Seq;
+};
+
+/// What the checker concluded.
+enum class KissVerdict : uint8_t {
+  NoErrorFound,       ///< Exhaustive over the simulated subset; no error.
+  AssertionViolation, ///< A program assertion fails in a real execution.
+  RaceDetected,       ///< Conflicting accesses to the monitored location.
+  RuntimeError,       ///< A real execution faults (null deref, ...).
+  BoundExceeded,      ///< Resource bound hit; inconclusive.
+};
+
+const char *getVerdictName(KissVerdict V);
+
+/// The result of one end-to-end check.
+struct KissReport {
+  KissVerdict Verdict = KissVerdict::NoErrorFound;
+  std::string Message;
+  /// Thread-attributed trace over the *original* program (errors only).
+  ConcurrentTrace Trace;
+  /// Raw result of the sequential model checker on the translated program.
+  rt::CheckResult Sequential;
+  /// Instrumentation statistics (probe counts, ...).
+  TransformStats Stats;
+  /// The translated sequential program (for inspection/printing).
+  std::unique_ptr<lang::Program> Transformed;
+
+  bool foundError() const {
+    return Verdict == KissVerdict::AssertionViolation ||
+           Verdict == KissVerdict::RaceDetected ||
+           Verdict == KissVerdict::RuntimeError;
+  }
+};
+
+/// Checks the assertions of concurrent core program \p P (Figure 4 mode).
+KissReport checkAssertions(const lang::Program &P, const KissOptions &Opts,
+                           DiagnosticEngine &Diags);
+
+/// Checks for races on \p Target in concurrent core program \p P (Figure 5
+/// mode). Program assertions are checked along the way.
+KissReport checkRace(const lang::Program &P, const RaceTarget &Target,
+                     const KissOptions &Opts, DiagnosticEngine &Diags);
+
+} // namespace kiss::core
+
+#endif // KISS_KISS_KISSCHECKER_H

@@ -1,0 +1,124 @@
+//===- TraceMap.cpp -------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kiss/TraceMap.h"
+
+#include "cfg/CFG.h"
+#include "lang/ASTPrinter.h"
+#include "support/SourceManager.h"
+
+#include <cassert>
+
+using namespace kiss;
+using namespace kiss::core;
+using namespace kiss::lang;
+
+ConcurrentTrace core::mapTrace(const std::vector<rt::TraceStep> &Trace,
+                               const lang::Program &Transformed,
+                               const cfg::ProgramCFG &CFG) {
+  (void)Transformed;
+  ConcurrentTrace Out;
+
+  // The sentinel "no thread": code of the Check(s) driver itself.
+  constexpr uint32_t NoThread = ~0u;
+  std::vector<uint32_t> FrameThreads; // Thread id per live frame.
+  FrameThreads.push_back(NoThread);   // Driver frame.
+  uint32_t NextThread = 0;
+
+  for (const rt::TraceStep &Step : Trace) {
+    const cfg::Node &N = CFG.getFunctionCFG(Step.Func).getNode(Step.Node);
+    uint32_t Cur = FrameThreads.empty() ? NoThread : FrameThreads.back();
+
+    switch (N.Kind) {
+    case cfg::NodeKind::Call: {
+      // A dispatch call starts a new simulated thread; every other call
+      // stays within the current thread.
+      bool IsDispatch = N.S && N.S->getRole() == InstrRole::Schedule;
+      if (N.S && N.S->getRole() == InstrRole::User && N.S->getOrigin() &&
+          Cur != NoThread)
+        Out.Steps.push_back(
+            MappedStep{MappedStep::Kind::Exec, Cur, N.S->getOrigin()});
+      FrameThreads.push_back(IsDispatch ? NextThread++ : Cur);
+      break;
+    }
+
+    case cfg::NodeKind::Return:
+      if (!FrameThreads.empty())
+        FrameThreads.pop_back();
+      break;
+
+    case cfg::NodeKind::Stmt: {
+      if (!N.S)
+        break;
+      const Stmt *Origin = N.S->getOrigin();
+      switch (N.S->getRole()) {
+      case InstrRole::User:
+        if (Origin && Cur != NoThread)
+          Out.Steps.push_back(
+              MappedStep{MappedStep::Kind::Exec, Cur, Origin});
+        break;
+      case InstrRole::TsPut:
+        if (Origin && Cur != NoThread)
+          Out.Steps.push_back(
+              MappedStep{MappedStep::Kind::Spawn, Cur, Origin});
+        break;
+      case InstrRole::Check:
+        if (Origin && Cur != NoThread &&
+            isa<AssertStmt>(N.S)) // One event per probe: its assert.
+          Out.Steps.push_back(
+              MappedStep{MappedStep::Kind::Check, Cur, Origin});
+        break;
+      default:
+        break;
+      }
+      break;
+    }
+
+    case cfg::NodeKind::Nop:
+    case cfg::NodeKind::AtomicBegin:
+    case cfg::NodeKind::AtomicEnd:
+      break;
+    }
+  }
+
+  Out.NumThreads = NextThread;
+  return Out;
+}
+
+std::string core::formatConcurrentTrace(const ConcurrentTrace &Trace,
+                                        const lang::Program &Original,
+                                        const SourceManager *SM) {
+  const SymbolTable &Syms = Original.getSymbolTable();
+  std::string Out;
+  for (const MappedStep &Step : Trace.Steps) {
+    Out += "[t" + std::to_string(Step.Thread) + "] ";
+    switch (Step.K) {
+    case MappedStep::Kind::Exec:
+      break;
+    case MappedStep::Kind::Spawn:
+      Out += "(fork) ";
+      break;
+    case MappedStep::Kind::Check:
+      Out += "(access) ";
+      break;
+    }
+    std::string Text = printStmt(Step.Origin, Syms);
+    while (!Text.empty() && (Text.back() == '\n' || Text.back() == ' '))
+      Text.pop_back();
+    if (auto NL = Text.find('\n'); NL != std::string::npos) {
+      Text.resize(NL);
+      Text += " ...";
+    }
+    Out += Text;
+    if (SM && Step.Origin->getLoc().isValid()) {
+      PresumedLoc PL = SM->getPresumedLoc(Step.Origin->getLoc());
+      if (PL.isValid())
+        Out += "   // " + PL.BufferName + ":" + std::to_string(PL.Line);
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,68 @@
+//===- TraceMap.h - Sequential-to-concurrent trace mapping ------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reconstructs a concurrent error trace of the original program from a
+/// counterexample of the transformed sequential program ("An error trace
+/// produced by SLAM is transformed into an error trace of the original
+/// concurrent program", §1). The mapper replays the sequential trace,
+/// tracking which simulated thread each frame belongs to: the driver's call
+/// into [[main]] starts thread 0, and every dispatch call (a call statement
+/// with role Schedule — the scheduler's indirect dispatch or a full-ts
+/// synchronous async) starts a fresh thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_KISS_TRACEMAP_H
+#define KISS_KISS_TRACEMAP_H
+
+#include "seqcheck/Result.h"
+
+#include <string>
+#include <vector>
+
+namespace kiss::cfg {
+class ProgramCFG;
+} // namespace kiss::cfg
+
+namespace kiss::core {
+
+/// One event of the reconstructed concurrent trace.
+struct MappedStep {
+  enum class Kind : uint8_t {
+    Exec,  ///< Thread executed an original statement.
+    Spawn, ///< Thread forked a new thread (async put into ts).
+    Check, ///< A race probe recorded/flagged an access of this statement.
+  };
+  Kind K = Kind::Exec;
+  uint32_t Thread = 0;
+  /// The original program's statement (valid while the original program
+  /// lives).
+  const lang::Stmt *Origin = nullptr;
+};
+
+/// A thread-attributed error trace over original-program statements.
+struct ConcurrentTrace {
+  std::vector<MappedStep> Steps;
+  /// Total number of simulated threads observed.
+  uint32_t NumThreads = 0;
+};
+
+/// Maps \p Trace (produced by the sequential checker on \p Transformed with
+/// \p CFG) back to a concurrent trace of the original program.
+ConcurrentTrace mapTrace(const std::vector<rt::TraceStep> &Trace,
+                         const lang::Program &Transformed,
+                         const cfg::ProgramCFG &CFG);
+
+/// Renders a concurrent trace with one "[t<i>] stmt" line per step.
+/// \p Original is the pre-transformation program; \p SM adds file:line.
+std::string formatConcurrentTrace(const ConcurrentTrace &Trace,
+                                  const lang::Program &Original,
+                                  const SourceManager *SM = nullptr);
+
+} // namespace kiss::core
+
+#endif // KISS_KISS_TRACEMAP_H

@@ -1,0 +1,1018 @@
+//===- Transform.cpp - The KISS sequentialization -------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "kiss/Transform.h"
+
+#include "alias/Steensgaard.h"
+#include "kiss/Builder.h"
+#include "lower/Lower.h"
+#include "support/Diagnostics.h"
+
+#include <cassert>
+#include <optional>
+
+using namespace kiss;
+using namespace kiss::core;
+using namespace kiss::lang;
+
+std::string RaceTarget::str(const SymbolTable &Syms) const {
+  if (K == Kind::Global)
+    return std::string(Syms.str(GlobalName));
+  return std::string(Syms.str(StructName)) + "." +
+         std::string(Syms.str(FieldName));
+}
+
+namespace {
+
+/// Maximum supported arity of thread start functions.
+constexpr unsigned MaxAsyncArity = 4;
+
+/// Recursively stamps Origin pointers: each node of \p Clone refers to the
+/// structurally matching node of \p Orig.
+void zipOrigins(const Stmt *Orig, Stmt *Clone) {
+  Clone->setOrigin(Orig);
+  switch (Orig->getKind()) {
+  case StmtKind::Block: {
+    const auto *OB = cast<BlockStmt>(Orig);
+    auto *CB = cast<BlockStmt>(Clone);
+    assert(OB->getStmts().size() == CB->getStmts().size());
+    for (unsigned I = 0, E = OB->getStmts().size(); I != E; ++I)
+      zipOrigins(OB->getStmts()[I].get(), CB->getStmts()[I].get());
+    return;
+  }
+  case StmtKind::Atomic:
+    zipOrigins(cast<AtomicStmt>(Orig)->getBody(),
+               cast<AtomicStmt>(Clone)->getBody());
+    return;
+  case StmtKind::Choice: {
+    const auto *OC = cast<ChoiceStmt>(Orig);
+    auto *CC = cast<ChoiceStmt>(Clone);
+    for (unsigned I = 0, E = OC->getBranches().size(); I != E; ++I)
+      zipOrigins(OC->getBranches()[I].get(), CC->getBranches()[I].get());
+    return;
+  }
+  case StmtKind::Iter:
+    zipOrigins(cast<IterStmt>(Orig)->getBody(),
+               cast<IterStmt>(Clone)->getBody());
+    return;
+  default:
+    return;
+  }
+}
+
+/// Rewrites every function reference in \p E to the transformed function's
+/// name (indices are preserved by construction).
+void renameFuncRefs(Expr *E, const std::vector<Symbol> &NewNames) {
+  switch (E->getKind()) {
+  case ExprKind::FuncRef: {
+    auto *F = cast<FuncRefExpr>(E);
+    F->setName(NewNames[F->getFuncIndex()]);
+    return;
+  }
+  case ExprKind::Unary:
+    renameFuncRefs(cast<UnaryExpr>(E)->getSub(), NewNames);
+    return;
+  case ExprKind::Binary: {
+    auto *B = cast<BinaryExpr>(E);
+    renameFuncRefs(B->getLHS(), NewNames);
+    renameFuncRefs(B->getRHS(), NewNames);
+    return;
+  }
+  case ExprKind::Deref:
+    renameFuncRefs(cast<DerefExpr>(E)->getSub(), NewNames);
+    return;
+  case ExprKind::Field:
+    renameFuncRefs(cast<FieldExpr>(E)->getBase(), NewNames);
+    return;
+  case ExprKind::AddrOf:
+    renameFuncRefs(cast<AddrOfExpr>(E)->getSub(), NewNames);
+    return;
+  case ExprKind::Call: {
+    auto *C = cast<CallExpr>(E);
+    renameFuncRefs(C->getCallee(), NewNames);
+    for (ExprPtr &A : C->getArgs())
+      renameFuncRefs(A.get(), NewNames);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void renameFuncRefsInStmt(Stmt *S, const std::vector<Symbol> &NewNames) {
+  switch (S->getKind()) {
+  case StmtKind::Block:
+    for (StmtPtr &Sub : cast<BlockStmt>(S)->getStmts())
+      renameFuncRefsInStmt(Sub.get(), NewNames);
+    return;
+  case StmtKind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    renameFuncRefs(A->getLHS(), NewNames);
+    renameFuncRefs(A->getRHS(), NewNames);
+    return;
+  }
+  case StmtKind::ExprStmt:
+    renameFuncRefs(cast<ExprStmt>(S)->getExpr(), NewNames);
+    return;
+  case StmtKind::Async: {
+    auto *A = cast<AsyncStmt>(S);
+    renameFuncRefs(A->getCallee(), NewNames);
+    for (ExprPtr &Arg : A->getArgs())
+      renameFuncRefs(Arg.get(), NewNames);
+    return;
+  }
+  case StmtKind::Assert:
+    renameFuncRefs(cast<AssertStmt>(S)->getCond(), NewNames);
+    return;
+  case StmtKind::Assume:
+    renameFuncRefs(cast<AssumeStmt>(S)->getCond(), NewNames);
+    return;
+  case StmtKind::Atomic:
+    renameFuncRefsInStmt(cast<AtomicStmt>(S)->getBody(), NewNames);
+    return;
+  case StmtKind::Choice:
+    for (StmtPtr &B : cast<ChoiceStmt>(S)->getBranches())
+      renameFuncRefsInStmt(B.get(), NewNames);
+    return;
+  case StmtKind::Iter:
+    renameFuncRefsInStmt(cast<IterStmt>(S)->getBody(), NewNames);
+    return;
+  case StmtKind::Return:
+    if (auto *V = cast<ReturnStmt>(S)->getValue())
+      renameFuncRefs(V, NewNames);
+    return;
+  default:
+    return;
+  }
+}
+
+/// One syntactic access to memory within a core statement.
+struct Access {
+  enum class Via : uint8_t {
+    Var,        ///< Node is a VarRefExpr read/written directly.
+    DerefPtr,   ///< Node is a DerefExpr: access through a pointer.
+    FieldOfObj, ///< Node is a FieldExpr: access to base->field.
+  };
+  Via V;
+  const Expr *Node;
+  bool IsWrite;
+};
+
+/// The whole translation state for one run.
+class KissTransformer {
+public:
+  KissTransformer(const Program &P, const TransformOptions &Opts,
+                  DiagnosticEngine &Diags, const RaceTarget *Target,
+                  TransformStats *Stats)
+      : P(P), Opts(Opts), Diags(Diags), Target(Target), Stats(Stats),
+        Syms(P.getSymbolTable()), Types(P.getTypeContext()) {}
+
+  std::unique_ptr<Program> run();
+
+private:
+  bool validateInput();
+  bool collectAsyncSignature();
+  void cloneStructs();
+  void copyGlobals();
+  void addInstrumentationGlobals();
+  void declareFunctions();
+  void transformBodies();
+  void buildSchedule();
+  void buildDriver();
+
+  //===--- Statement translation ---===//
+  void xformStmtInto(const Stmt *S, std::vector<StmtPtr> &Out);
+  StmtPtr xformToBlock(const Stmt *S);
+  void emitPrefix(const Stmt *S, std::vector<StmtPtr> &Out,
+                  bool PlainRaiseBranch);
+  void emitScheduleCall(std::vector<StmtPtr> &Out);
+  StmtPtr makeDefaultReturn();
+  StmtPtr makeRaiseBranch();
+  StmtPtr makePropagate();
+  StmtPtr translateUserClone(const Stmt *S);
+  void emitAsync(const AsyncStmt *S, std::vector<StmtPtr> &Out);
+
+  //===--- Race probes ---===//
+  void collectReadsOfExpr(const Expr *E, std::vector<Access> &Out);
+  std::vector<Access> collectAccesses(const Stmt *S);
+  StmtPtr makeProbeBranch(const Access &A, const Stmt *OriginStmt);
+  void emitRaceObjCapture(const AssignStmt *OrigAssign,
+                          std::vector<StmtPtr> &Out);
+  const Type *targetValueType() const;
+
+  bool isRaceMode() const { return Target != nullptr; }
+
+  const Program &P;
+  TransformOptions Opts;
+  DiagnosticEngine &Diags;
+  const RaceTarget *Target;
+  TransformStats *Stats;
+  SymbolTable &Syms;
+  TypeContext &Types;
+
+  std::unique_ptr<Program> Out;
+  std::unique_ptr<Builder> B;
+
+  std::vector<Symbol> NewNames; ///< Transformed name per function index.
+
+  //===--- Instrumentation globals ---===//
+  VarId RaiseVar;
+  VarId TsSizeVar;
+  std::vector<VarId> TsFnVars;
+  std::vector<std::vector<VarId>> TsArgVars;
+  VarId AccessVar;
+  VarId RaceObjVar;
+  VarId RaceAddrVar;
+
+  const Type *AsyncFuncTy = nullptr;
+  bool HasAsync = false;
+  /// Whether the ts machinery (slots + scheduler calls) exists at all.
+  bool HasTs = false;
+
+  uint32_t ScheduleIdx = 0;
+  uint32_t CurFuncIdx = 0;
+
+  std::optional<alias::PointsTo> AA;
+};
+
+bool KissTransformer::validateInput() {
+  std::string Why;
+  if (!lower::isCoreProgram(P, &Why)) {
+    Diags.error(SourceLoc(), "KISS transformation requires a core program: " +
+                                 Why);
+    return false;
+  }
+  const FuncDecl *Entry = P.getEntryFunction();
+  if (!Entry || Entry->getNumParams() != 0) {
+    Diags.error(SourceLoc(),
+                "KISS transformation requires a parameterless entry "
+                "function");
+    return false;
+  }
+  if (Target && Target->K == RaceTarget::Kind::Global &&
+      P.getGlobalIndex(Target->GlobalName) < 0) {
+    Diags.error(SourceLoc(), "race target names an unknown global");
+    return false;
+  }
+  if (Target && Target->K == RaceTarget::Kind::Field) {
+    const StructDecl *S = P.getStruct(Target->StructName);
+    if (!S || S->getFieldIndex(Target->FieldName) < 0) {
+      Diags.error(SourceLoc(), "race target names an unknown struct field");
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Scans for async statements and validates the shared signature rule.
+bool KissTransformer::collectAsyncSignature() {
+  struct Scanner {
+    const Type *Sig = nullptr;
+    bool Mixed = false;
+    void scan(const Stmt *S) {
+      switch (S->getKind()) {
+      case StmtKind::Block:
+        for (const StmtPtr &Sub : cast<BlockStmt>(S)->getStmts())
+          scan(Sub.get());
+        return;
+      case StmtKind::Async: {
+        const Type *T = cast<AsyncStmt>(S)->getCallee()->getType();
+        if (!Sig)
+          Sig = T;
+        else if (Sig != T)
+          Mixed = true;
+        return;
+      }
+      case StmtKind::Atomic:
+        scan(cast<AtomicStmt>(S)->getBody());
+        return;
+      case StmtKind::Choice:
+        for (const StmtPtr &Br : cast<ChoiceStmt>(S)->getBranches())
+          scan(Br.get());
+        return;
+      case StmtKind::Iter:
+        scan(cast<IterStmt>(S)->getBody());
+        return;
+      default:
+        return;
+      }
+    }
+  } Scan;
+  for (const auto &F : P.getFunctions())
+    Scan.scan(F->getBody());
+
+  if (Scan.Mixed) {
+    Diags.error(SourceLoc(),
+                "all async start functions must share one signature");
+    return false;
+  }
+  HasAsync = Scan.Sig != nullptr;
+  AsyncFuncTy = Scan.Sig;
+  if (HasAsync && AsyncFuncTy->getParamTypes().size() > MaxAsyncArity) {
+    Diags.error(SourceLoc(), "async start functions may take at most " +
+                                 std::to_string(MaxAsyncArity) +
+                                 " arguments");
+    return false;
+  }
+  HasTs = HasAsync && Opts.MaxTs > 0;
+  return true;
+}
+
+void KissTransformer::cloneStructs() {
+  for (const auto &S : P.getStructs()) {
+    StructDecl *NS = Out->addStruct(S->getName(), S->getLoc());
+    for (const FieldDecl &F : S->getFields())
+      NS->addField(F);
+  }
+}
+
+void KissTransformer::copyGlobals() {
+  for (const GlobalDecl &G : P.getGlobals())
+    Out->addGlobal(G);
+}
+
+void KissTransformer::addInstrumentationGlobals() {
+  const Type *BoolTy = Types.getBoolType();
+  const Type *IntTy = Types.getIntType();
+
+  RaiseVar = B->addGlobal("__raise", BoolTy, ConstInit::makeBool(false));
+
+  if (HasTs) {
+    TsSizeVar = B->addGlobal("__ts_size", IntTy, ConstInit::makeInt(0));
+    const auto &Params = AsyncFuncTy->getParamTypes();
+    for (unsigned Slot = 0; Slot != Opts.MaxTs; ++Slot) {
+      TsFnVars.push_back(B->addGlobal("__ts_fn" + std::to_string(Slot),
+                                      AsyncFuncTy, ConstInit::makeNull()));
+      std::vector<VarId> ArgVars;
+      for (unsigned J = 0; J != Params.size(); ++J) {
+        std::optional<ConstInit> Init;
+        if (Params[J]->isPointer() || Params[J]->isFunc())
+          Init = ConstInit::makeNull();
+        else if (Params[J]->isInt())
+          Init = ConstInit::makeInt(0);
+        else
+          Init = ConstInit::makeBool(false);
+        ArgVars.push_back(B->addGlobal("__ts_arg" + std::to_string(Slot) +
+                                           "_" + std::to_string(J),
+                                       Params[J], Init));
+      }
+      TsArgVars.push_back(std::move(ArgVars));
+    }
+  }
+
+  if (isRaceMode()) {
+    AccessVar = B->addGlobal("__access", IntTy, ConstInit::makeInt(0));
+    const Type *ValTy = targetValueType();
+    RaceAddrVar = B->addGlobal("__race_addr", Types.getPointerType(ValTy),
+                               ConstInit::makeNull());
+    if (Target->K == RaceTarget::Kind::Field) {
+      const Type *ObjPtrTy =
+          Types.getPointerType(Types.getStructType(Target->StructName));
+      RaceObjVar = B->addGlobal("__race_obj", ObjPtrTy,
+                                ConstInit::makeNull());
+    }
+  }
+}
+
+const Type *KissTransformer::targetValueType() const {
+  assert(Target && "no race target");
+  if (Target->K == RaceTarget::Kind::Global)
+    return P.getGlobals()[P.getGlobalIndex(Target->GlobalName)].Ty;
+  const StructDecl *S = P.getStruct(Target->StructName);
+  return S->getFields()[S->getFieldIndex(Target->FieldName)].Ty;
+}
+
+void KissTransformer::declareFunctions() {
+  for (const auto &F : P.getFunctions()) {
+    Symbol NewName =
+        Syms.intern("__kiss_" + std::string(Syms.str(F->getName())));
+    NewNames.push_back(NewName);
+    FuncDecl *NF = Out->addFunction(NewName, F->getReturnType(), F->getLoc());
+    NF->setNumParams(F->getNumParams());
+    for (const VarDecl &L : F->getLocals())
+      NF->addLocal(L);
+    NF->setFuncType(F->getFuncType());
+  }
+
+  // The scheduler.
+  ScheduleIdx = Out->getFunctions().size();
+  FuncDecl *Sched = Out->addFunction(Syms.intern("__kiss_schedule"),
+                                     Types.getVoidType(), SourceLoc());
+  Sched->setFuncType(Types.getFuncType(Types.getVoidType(), {}));
+
+  // The Check(s) driver becomes the new entry point "main"; the original
+  // main was renamed to __kiss_main above, so the name is free.
+  FuncDecl *Driver = Out->addFunction(Syms.intern("main"),
+                                      Types.getVoidType(), SourceLoc());
+  Driver->setFuncType(Types.getFuncType(Types.getVoidType(), {}));
+  Out->setEntryName(Driver->getName());
+}
+
+/// A `return` matching the current function's return type: RAISE aborts a
+/// thread from anywhere, so non-void functions return a dummy default value
+/// (it is never used — the caller propagates the raise).
+StmtPtr KissTransformer::makeDefaultReturn() {
+  const Type *RetTy = B->getFunction()->getReturnType();
+  if (RetTy->isVoid())
+    return B->returnStmt();
+  if (RetTy->isInt())
+    return B->returnStmt(B->intLit(0));
+  if (RetTy->isBool())
+    return B->returnStmt(B->boolLit(false));
+  return B->returnStmt(B->nullLit(RetTy));
+}
+
+StmtPtr KissTransformer::makeRaiseBranch() {
+  std::vector<StmtPtr> Stmts;
+  Stmts.push_back(B->assignVar(RaiseVar, B->boolLit(true)));
+  Stmts.push_back(makeDefaultReturn());
+  for (StmtPtr &S : Stmts)
+    S->setRole(InstrRole::Raise);
+  return B->block(std::move(Stmts));
+}
+
+StmtPtr KissTransformer::makePropagate() {
+  // if (__raise) return;  ==  choice { assume(__raise); return }
+  //                            or    { assume(!__raise) }
+  std::vector<StmtPtr> TakenStmts;
+  TakenStmts.push_back(B->assumeStmt(B->varRef(RaiseVar)));
+  TakenStmts.push_back(makeDefaultReturn());
+  std::vector<StmtPtr> SkippedStmts;
+  SkippedStmts.push_back(B->assumeStmt(B->notOf(B->varRef(RaiseVar))));
+
+  std::vector<StmtPtr> Branches;
+  Branches.push_back(B->block(std::move(TakenStmts)));
+  Branches.push_back(B->block(std::move(SkippedStmts)));
+  StmtPtr Choice = B->choice(std::move(Branches));
+  Choice->setRole(InstrRole::Propagate);
+  return Choice;
+}
+
+void KissTransformer::emitScheduleCall(std::vector<StmtPtr> &Out) {
+  if (!HasTs)
+    return; // With an empty ts the scheduler is a no-op; elide the call.
+  StmtPtr Call = B->call(VarId(), ScheduleIdx, {});
+  Call->setRole(InstrRole::SchedCall);
+  Out.push_back(std::move(Call));
+}
+
+/// The per-statement prefix of Figures 4/5:
+///   schedule(); choice { skip [] (RAISE | probes...) };
+void KissTransformer::emitPrefix(const Stmt *S, std::vector<StmtPtr> &Out,
+                                 bool PlainRaiseBranch) {
+  emitScheduleCall(Out);
+  if (Stats)
+    ++Stats->StatementsInstrumented;
+
+  std::vector<StmtPtr> Branches;
+  Branches.push_back(B->skip());
+
+  if (!isRaceMode() || PlainRaiseBranch)
+    Branches.push_back(makeRaiseBranch());
+
+  // §6 (future work realized): `benign`-annotated accesses are not
+  // instrumented.
+  if (isRaceMode() && !PlainRaiseBranch && !S->isBenign()) {
+    for (const Access &A : collectAccesses(S)) {
+      StmtPtr Probe = makeProbeBranch(A, S);
+      if (Probe)
+        Branches.push_back(std::move(Probe));
+    }
+  }
+
+  if (Branches.size() == 1)
+    return; // Only skip: the whole choice is a no-op; elide it.
+  Out.push_back(B->choice(std::move(Branches)));
+}
+
+StmtPtr KissTransformer::translateUserClone(const Stmt *S) {
+  StmtPtr Clone = S->clone();
+  zipOrigins(S, Clone.get());
+  renameFuncRefsInStmt(Clone.get(), NewNames);
+  return Clone;
+}
+
+void KissTransformer::collectReadsOfExpr(const Expr *E,
+                                         std::vector<Access> &Out) {
+  switch (E->getKind()) {
+  case ExprKind::VarRef:
+    Out.push_back(Access{Access::Via::Var, E, /*IsWrite=*/false});
+    return;
+  case ExprKind::Unary:
+    collectReadsOfExpr(cast<UnaryExpr>(E)->getSub(), Out);
+    return;
+  case ExprKind::Binary: {
+    const auto *Bin = cast<BinaryExpr>(E);
+    collectReadsOfExpr(Bin->getLHS(), Out);
+    collectReadsOfExpr(Bin->getRHS(), Out);
+    return;
+  }
+  case ExprKind::Deref:
+    collectReadsOfExpr(cast<DerefExpr>(E)->getSub(), Out);
+    Out.push_back(Access{Access::Via::DerefPtr, E, /*IsWrite=*/false});
+    return;
+  case ExprKind::Field:
+    collectReadsOfExpr(cast<FieldExpr>(E)->getBase(), Out);
+    Out.push_back(Access{Access::Via::FieldOfObj, E, /*IsWrite=*/false});
+    return;
+  case ExprKind::AddrOf:
+    // Taking an address reads nothing (Figure 5: v0 = &v1 only writes v0).
+    return;
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    collectReadsOfExpr(C->getCallee(), Out);
+    for (const ExprPtr &A : C->getArgs())
+      collectReadsOfExpr(A.get(), Out);
+    return;
+  }
+  default:
+    return; // Literals, FuncRefs, New, Nondet: no reads.
+  }
+}
+
+std::vector<Access> KissTransformer::collectAccesses(const Stmt *S) {
+  std::vector<Access> Out;
+  switch (S->getKind()) {
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    collectReadsOfExpr(A->getRHS(), Out);
+    const Expr *LHS = A->getLHS();
+    if (isa<VarRefExpr>(LHS)) {
+      Out.push_back(Access{Access::Via::Var, LHS, /*IsWrite=*/true});
+    } else if (const auto *D = dyn_cast<DerefExpr>(LHS)) {
+      collectReadsOfExpr(D->getSub(), Out);
+      Out.push_back(Access{Access::Via::DerefPtr, LHS, /*IsWrite=*/true});
+    } else {
+      const auto *Fd = cast<FieldExpr>(LHS);
+      collectReadsOfExpr(Fd->getBase(), Out);
+      Out.push_back(Access{Access::Via::FieldOfObj, LHS, /*IsWrite=*/true});
+    }
+    return Out;
+  }
+  case StmtKind::ExprStmt:
+    collectReadsOfExpr(cast<ExprStmt>(S)->getExpr(), Out);
+    return Out;
+  case StmtKind::Async: {
+    const auto *A = cast<AsyncStmt>(S);
+    collectReadsOfExpr(A->getCallee(), Out);
+    for (const ExprPtr &Arg : A->getArgs())
+      collectReadsOfExpr(Arg.get(), Out);
+    return Out;
+  }
+  case StmtKind::Assert:
+    collectReadsOfExpr(cast<AssertStmt>(S)->getCond(), Out);
+    return Out;
+  case StmtKind::Assume:
+    collectReadsOfExpr(cast<AssumeStmt>(S)->getCond(), Out);
+    return Out;
+  case StmtKind::Return:
+    if (const Expr *V = cast<ReturnStmt>(S)->getValue())
+      collectReadsOfExpr(V, Out);
+    return Out;
+  default:
+    return Out;
+  }
+}
+
+StmtPtr KissTransformer::makeProbeBranch(const Access &A,
+                                         const Stmt *OriginStmt) {
+  auto pruned = [&]() -> StmtPtr {
+    if (Stats)
+      ++Stats->ProbesPruned;
+    return nullptr;
+  };
+
+  // Guard: a runtime identity test making imprecision harmless, or null
+  // when the access statically is the target.
+  ExprPtr Guard;
+
+  switch (A.V) {
+  case Access::Via::Var: {
+    if (Target->K != RaceTarget::Kind::Global)
+      return pruned();
+    const auto *V = cast<VarRefExpr>(A.Node);
+    VarId Id = V->getVarId();
+    int TargetIdx = P.getGlobalIndex(Target->GlobalName);
+    if (!Id.isGlobal() || Id.Index != static_cast<uint32_t>(TargetIdx))
+      return pruned();
+    break; // Unconditional probe.
+  }
+
+  case Access::Via::DerefPtr: {
+    const Expr *Ptr = cast<DerefExpr>(A.Node)->getSub();
+    const Type *Pointee = Ptr->getType()->getPointee();
+    if (Pointee != targetValueType())
+      return pruned();
+    if (Opts.UseAliasAnalysis && AA) {
+      alias::AbstractLoc TargetLoc =
+          Target->K == RaceTarget::Kind::Global
+              ? alias::AbstractLoc::global(
+                    P.getGlobalIndex(Target->GlobalName))
+              : alias::AbstractLoc::field(
+                    Target->StructName,
+                    P.getStruct(Target->StructName)
+                        ->getFieldIndex(Target->FieldName));
+      if (!AA->exprMayPointTo(Ptr, CurFuncIdx, TargetLoc))
+        return pruned();
+    }
+    Guard = B->cmp(BinaryOp::Eq, Ptr->clone(), B->varRef(RaceAddrVar));
+    break;
+  }
+
+  case Access::Via::FieldOfObj: {
+    if (Target->K != RaceTarget::Kind::Field)
+      return pruned();
+    const auto *Fd = cast<FieldExpr>(A.Node);
+    const Type *BaseTy = Fd->getBase()->getType();
+    if (BaseTy->getPointee()->getStructName() != Target->StructName)
+      return pruned();
+    const StructDecl *SD = P.getStruct(Target->StructName);
+    if (Fd->getFieldIndex() !=
+        static_cast<uint32_t>(SD->getFieldIndex(Target->FieldName)))
+      return pruned();
+    Guard = B->cmp(BinaryOp::Eq, Fd->getBase()->clone(),
+                   B->varRef(RaceObjVar));
+    break;
+  }
+  }
+
+  if (Stats)
+    ++Stats->ProbesEmitted;
+
+  // { [assume(guard);] assert(access-protocol); __access = ...; RAISE }
+  std::vector<StmtPtr> Stmts;
+  if (Guard)
+    Stmts.push_back(B->assumeStmt(std::move(Guard)));
+  if (A.IsWrite) {
+    Stmts.push_back(B->assertStmt(
+        B->cmp(BinaryOp::Eq, B->varRef(AccessVar), B->intLit(0))));
+    Stmts.push_back(B->assignVar(AccessVar, B->intLit(2)));
+  } else {
+    Stmts.push_back(B->assertStmt(
+        B->cmp(BinaryOp::Ne, B->varRef(AccessVar), B->intLit(2))));
+    Stmts.push_back(B->assignVar(AccessVar, B->intLit(1)));
+  }
+  Stmts.push_back(B->assignVar(RaiseVar, B->boolLit(true)));
+  Stmts.push_back(makeDefaultReturn());
+  for (StmtPtr &St : Stmts) {
+    St->setRole(InstrRole::Check);
+    St->setOrigin(OriginStmt);
+  }
+  return B->block(std::move(Stmts));
+}
+
+void KissTransformer::emitRaceObjCapture(const AssignStmt *OrigAssign,
+                                         std::vector<StmtPtr> &Out) {
+  // After `v = new S` (S the monitored struct): capture the first
+  // allocation as the monitored object, exactly like the paper monitors
+  // the (once-allocated) device extension.
+  //   choice { assume(__race_obj == null); __race_obj = v;
+  //            __race_addr = &v->f; }
+  //   or     { assume(__race_obj != null); }
+  const auto *LHS = cast<VarRefExpr>(OrigAssign->getLHS());
+  const Type *ObjPtrTy =
+      Types.getPointerType(Types.getStructType(Target->StructName));
+
+  const StructDecl *SDecl = P.getStruct(Target->StructName);
+  uint32_t FieldIdx = SDecl->getFieldIndex(Target->FieldName);
+  const Type *FieldTy = SDecl->getFields()[FieldIdx].Ty;
+
+  std::vector<StmtPtr> CapStmts;
+  CapStmts.push_back(B->assumeStmt(B->cmp(
+      BinaryOp::Eq, B->varRef(RaceObjVar), B->nullLit(ObjPtrTy))));
+  CapStmts.push_back(
+      B->assign(B->varRef(RaceObjVar), B->varRef(LHS->getVarId())));
+  {
+    // __race_addr = &v->field;
+    auto FieldE = std::make_unique<FieldExpr>(B->varRef(LHS->getVarId()),
+                                              Target->FieldName, SourceLoc());
+    FieldE->setFieldIndex(FieldIdx);
+    FieldE->setType(FieldTy);
+    auto Addr =
+        std::make_unique<AddrOfExpr>(std::move(FieldE), SourceLoc());
+    Addr->setType(Types.getPointerType(FieldTy));
+    CapStmts.push_back(B->assign(B->varRef(RaceAddrVar), std::move(Addr)));
+  }
+
+  std::vector<StmtPtr> ElseStmts;
+  ElseStmts.push_back(B->assumeStmt(B->cmp(
+      BinaryOp::Ne, B->varRef(RaceObjVar), B->nullLit(ObjPtrTy))));
+
+  std::vector<StmtPtr> Branches;
+  Branches.push_back(B->block(std::move(CapStmts)));
+  Branches.push_back(B->block(std::move(ElseStmts)));
+  StmtPtr Choice = B->choice(std::move(Branches));
+  Choice->setRole(InstrRole::Init);
+  Out.push_back(std::move(Choice));
+}
+
+void KissTransformer::emitAsync(const AsyncStmt *S,
+                                std::vector<StmtPtr> &Out) {
+  // Figure 4: if (size() < MAX) put(v0) else { [[v0]](); raise = false }
+  auto makeSyncCall = [&]() -> std::vector<StmtPtr> {
+    std::vector<StmtPtr> Stmts;
+    ExprPtr Callee = S->getCallee()->clone();
+    renameFuncRefs(Callee.get(), NewNames);
+    std::vector<ExprPtr> Args;
+    for (const ExprPtr &A : S->getArgs())
+      Args.push_back(A->clone());
+    StmtPtr Call = B->callIndirect(VarId(), std::move(Callee),
+                                   std::move(Args));
+    Call->setRole(InstrRole::Schedule);
+    Call->setOrigin(S);
+    Stmts.push_back(std::move(Call));
+    StmtPtr Reset = B->assignVar(RaiseVar, B->boolLit(false));
+    Reset->setRole(InstrRole::Schedule);
+    Stmts.push_back(std::move(Reset));
+    return Stmts;
+  };
+
+  if (!HasTs) {
+    // MAX == 0: ts is always full; the async runs synchronously, here.
+    for (StmtPtr &St : makeSyncCall())
+      Out.push_back(std::move(St));
+    return;
+  }
+
+  std::vector<StmtPtr> Branches;
+  for (unsigned Slot = 0; Slot != Opts.MaxTs; ++Slot) {
+    // { assume(__ts_size == Slot); store fn/args; __ts_size = Slot + 1; }
+    std::vector<StmtPtr> Put;
+    Put.push_back(B->assumeStmt(B->cmp(BinaryOp::Eq, B->varRef(TsSizeVar),
+                                       B->intLit(Slot))));
+    ExprPtr Callee = S->getCallee()->clone();
+    renameFuncRefs(Callee.get(), NewNames);
+    Put.push_back(B->assign(B->varRef(TsFnVars[Slot]), std::move(Callee)));
+    for (unsigned J = 0, E = S->getArgs().size(); J != E; ++J)
+      Put.push_back(B->assign(B->varRef(TsArgVars[Slot][J]),
+                              S->getArgs()[J]->clone()));
+    StmtPtr SizeUpd = B->assignVar(TsSizeVar, B->intLit(Slot + 1));
+    SizeUpd->setRole(InstrRole::TsPut);
+    SizeUpd->setOrigin(S);
+    Put.push_back(std::move(SizeUpd));
+    Branches.push_back(B->block(std::move(Put)));
+  }
+
+  // { assume(__ts_size == MAX); [[f]](args); __raise = false; }
+  std::vector<StmtPtr> Full;
+  Full.push_back(B->assumeStmt(B->cmp(BinaryOp::Eq, B->varRef(TsSizeVar),
+                                      B->intLit(Opts.MaxTs))));
+  Full.front()->setRole(InstrRole::Schedule);
+  for (StmtPtr &St : makeSyncCall())
+    Full.push_back(std::move(St));
+  Branches.push_back(B->block(std::move(Full)));
+
+  StmtPtr Choice = B->choice(std::move(Branches));
+  Choice->setRole(InstrRole::TsPut);
+  Choice->setOrigin(S);
+  Out.push_back(std::move(Choice));
+}
+
+StmtPtr KissTransformer::xformToBlock(const Stmt *S) {
+  std::vector<StmtPtr> Stmts;
+  xformStmtInto(S, Stmts);
+  return B->block(std::move(Stmts));
+}
+
+void KissTransformer::xformStmtInto(const Stmt *S,
+                                    std::vector<StmtPtr> &Out) {
+  switch (S->getKind()) {
+  case StmtKind::Block:
+    for (const StmtPtr &Sub : cast<BlockStmt>(S)->getStmts())
+      xformStmtInto(Sub.get(), Out);
+    return;
+
+  case StmtKind::Choice: {
+    // [[choice{s1 [] ... [] sn}]] = choice{[[s1]] [] ... [] [[sn]]}
+    std::vector<StmtPtr> Branches;
+    for (const StmtPtr &Br : cast<ChoiceStmt>(S)->getBranches())
+      Branches.push_back(xformToBlock(Br.get()));
+    StmtPtr C = B->choice(std::move(Branches));
+    C->setRole(InstrRole::User);
+    C->setOrigin(S);
+    Out.push_back(std::move(C));
+    return;
+  }
+
+  case StmtKind::Iter: {
+    // [[iter{s}]] = iter{[[s]]}
+    StmtPtr Body = xformToBlock(cast<IterStmt>(S)->getBody());
+    StmtPtr I = B->iter(std::move(Body));
+    I->setRole(InstrRole::User);
+    I->setOrigin(S);
+    Out.push_back(std::move(I));
+    return;
+  }
+
+  case StmtKind::Atomic: {
+    // [[atomic{s}]] = prefix; s  (s unchanged: no interleaving points
+    // inside an atomic section, so no instrumentation inside either).
+    emitPrefix(S, Out, /*PlainRaiseBranch=*/true);
+    StmtPtr Body = translateUserClone(cast<AtomicStmt>(S)->getBody());
+    Out.push_back(std::move(Body));
+    return;
+  }
+
+  case StmtKind::Return:
+    // [[return]] = schedule(); return
+    emitScheduleCall(Out);
+    Out.push_back(translateUserClone(S));
+    return;
+
+  case StmtKind::Async:
+    emitPrefix(S, Out, /*PlainRaiseBranch=*/false);
+    emitAsync(cast<AsyncStmt>(S), Out);
+    return;
+
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    emitPrefix(S, Out, /*PlainRaiseBranch=*/false);
+    Out.push_back(translateUserClone(S));
+    if (isa<CallExpr>(A->getRHS())) {
+      // [[v = v0()]] = ...; v = [[v0]](); if (__raise) return
+      Out.push_back(makePropagate());
+    } else if (isRaceMode() && Target->K == RaceTarget::Kind::Field &&
+               isa<NewExpr>(A->getRHS()) &&
+               cast<NewExpr>(A->getRHS())->getStructName() ==
+                   Target->StructName) {
+      emitRaceObjCapture(A, Out);
+    }
+    return;
+  }
+
+  case StmtKind::ExprStmt:
+    emitPrefix(S, Out, /*PlainRaiseBranch=*/false);
+    Out.push_back(translateUserClone(S));
+    Out.push_back(makePropagate());
+    return;
+
+  case StmtKind::Assert:
+  case StmtKind::Assume:
+  case StmtKind::Skip:
+    emitPrefix(S, Out, /*PlainRaiseBranch=*/false);
+    Out.push_back(translateUserClone(S));
+    return;
+
+  case StmtKind::Decl:
+  case StmtKind::If:
+  case StmtKind::While:
+    assert(false && "non-core statement in the KISS transformer");
+    return;
+  }
+}
+
+void KissTransformer::transformBodies() {
+  for (uint32_t FI = 0, E = P.getFunctions().size(); FI != E; ++FI) {
+    CurFuncIdx = FI;
+    FuncDecl *NF = Out->getFunction(FI);
+    B->setFunction(NF);
+    std::vector<StmtPtr> Body;
+    xformStmtInto(P.getFunctions()[FI]->getBody(), Body);
+    NF->setBody(B->block(std::move(Body)));
+  }
+}
+
+void KissTransformer::buildSchedule() {
+  FuncDecl *Sched = Out->getFunction(ScheduleIdx);
+  B->setFunction(Sched);
+
+  if (!HasTs) {
+    Sched->setBody(B->block({}));
+    return;
+  }
+
+  const auto &Params = AsyncFuncTy->getParamTypes();
+  VarId FnVar = B->addLocal("__f", AsyncFuncTy);
+  std::vector<VarId> ArgVars;
+  for (unsigned J = 0; J != Params.size(); ++J)
+    ArgVars.push_back(
+        B->addLocal("__a" + std::to_string(J), Params[J]));
+
+  // iter { choice over (slot j taken from a ts of size s) } — get() picks
+  // any live slot; removal moves the last slot down; the dispatched thread
+  // runs to completion and __raise is reset (Figure 4's schedule()).
+  std::vector<StmtPtr> Branches;
+  for (unsigned SlotJ = 0; SlotJ != Opts.MaxTs; ++SlotJ) {
+    for (unsigned Size = SlotJ + 1; Size <= Opts.MaxTs; ++Size) {
+      std::vector<StmtPtr> Br;
+      Br.push_back(B->assumeStmt(B->cmp(BinaryOp::Eq, B->varRef(TsSizeVar),
+                                        B->intLit(Size))));
+      Br.push_back(B->assign(B->varRef(FnVar), B->varRef(TsFnVars[SlotJ])));
+      for (unsigned J = 0; J != Params.size(); ++J)
+        Br.push_back(B->assign(B->varRef(ArgVars[J]),
+                               B->varRef(TsArgVars[SlotJ][J])));
+      if (SlotJ != Size - 1) {
+        Br.push_back(B->assign(B->varRef(TsFnVars[SlotJ]),
+                               B->varRef(TsFnVars[Size - 1])));
+        for (unsigned J = 0; J != Params.size(); ++J)
+          Br.push_back(B->assign(B->varRef(TsArgVars[SlotJ][J]),
+                                 B->varRef(TsArgVars[Size - 1][J])));
+      }
+      Br.push_back(B->assignVar(TsSizeVar, B->intLit(Size - 1)));
+      std::vector<ExprPtr> CallArgs;
+      for (unsigned J = 0; J != Params.size(); ++J)
+        CallArgs.push_back(B->varRef(ArgVars[J]));
+      Br.push_back(
+          B->callIndirect(VarId(), B->varRef(FnVar), std::move(CallArgs)));
+      Br.push_back(B->assignVar(RaiseVar, B->boolLit(false)));
+      for (StmtPtr &St : Br)
+        St->setRole(InstrRole::Schedule);
+      Branches.push_back(B->block(std::move(Br)));
+    }
+  }
+
+  StmtPtr Choice = B->choice(std::move(Branches));
+  Choice->setRole(InstrRole::Schedule);
+  std::vector<StmtPtr> IterBody;
+  IterBody.push_back(std::move(Choice));
+  StmtPtr Loop = B->iter(B->block(std::move(IterBody)));
+  Loop->setRole(InstrRole::Schedule);
+  std::vector<StmtPtr> Body;
+  Body.push_back(std::move(Loop));
+  Sched->setBody(B->block(std::move(Body)));
+}
+
+void KissTransformer::buildDriver() {
+  FuncDecl *Driver = Out->getFunction(Out->getFunctionIndex(
+      Syms.intern("main")));
+  B->setFunction(Driver);
+
+  std::vector<StmtPtr> Body;
+
+  // Check(s) = raise = false; ts = 0; [access = 0;] [[s]]; schedule();
+  // The constant initializations happen via global initializers; only the
+  // address of a monitored global needs runtime setup.
+  if (isRaceMode() && Target->K == RaceTarget::Kind::Global) {
+    int GIdx = P.getGlobalIndex(Target->GlobalName);
+    auto Addr = std::make_unique<AddrOfExpr>(
+        B->globalRef(static_cast<uint32_t>(GIdx)), SourceLoc());
+    Addr->setType(Types.getPointerType(targetValueType()));
+    StmtPtr Init = B->assign(B->varRef(RaceAddrVar), std::move(Addr));
+    Init->setRole(InstrRole::Init);
+    Body.push_back(std::move(Init));
+  }
+
+  uint32_t MainIdx = P.getFunctionIndex(P.getEntryName());
+  StmtPtr CallMain = B->call(VarId(), MainIdx, {});
+  CallMain->setRole(InstrRole::Schedule);
+  Body.push_back(std::move(CallMain));
+
+  StmtPtr Reset = B->assignVar(RaiseVar, B->boolLit(false));
+  Reset->setRole(InstrRole::Init);
+  Body.push_back(std::move(Reset));
+
+  if (HasTs) {
+    StmtPtr FinalSched = B->call(VarId(), ScheduleIdx, {});
+    FinalSched->setRole(InstrRole::SchedCall);
+    Body.push_back(std::move(FinalSched));
+  }
+
+  Driver->setBody(B->block(std::move(Body)));
+}
+
+std::unique_ptr<Program> KissTransformer::run() {
+  if (!validateInput() || !collectAsyncSignature())
+    return nullptr;
+
+  Out = std::make_unique<Program>(Syms, Types);
+  B = std::make_unique<Builder>(*Out, InstrRole::Init);
+
+  if (isRaceMode() && Opts.UseAliasAnalysis)
+    AA.emplace(alias::PointsTo::analyze(P));
+
+  cloneStructs();
+  copyGlobals();
+  addInstrumentationGlobals();
+  declareFunctions();
+  transformBodies();
+  buildSchedule();
+  buildDriver();
+
+  std::string Why;
+  if (!lower::isCoreProgram(*Out, &Why)) {
+    Diags.error(SourceLoc(),
+                "internal error: transformed program is not core: " + Why);
+    return nullptr;
+  }
+  return Out ? std::move(Out) : nullptr;
+}
+
+} // namespace
+
+std::unique_ptr<Program>
+core::transformForAssertions(const Program &P, const TransformOptions &Opts,
+                             DiagnosticEngine &Diags, TransformStats *Stats) {
+  KissTransformer T(P, Opts, Diags, /*Target=*/nullptr, Stats);
+  return T.run();
+}
+
+std::unique_ptr<Program>
+core::transformForRace(const Program &P, const RaceTarget &Target,
+                       const TransformOptions &Opts, DiagnosticEngine &Diags,
+                       TransformStats *Stats) {
+  KissTransformer T(P, Opts, Diags, &Target, Stats);
+  return T.run();
+}

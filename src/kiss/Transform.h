@@ -1,0 +1,111 @@
+//===- Transform.h - The KISS sequentialization (Figures 4 & 5) -*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's contribution: translating a concurrent core program P into a
+/// sequential core program Check(P) that simulates a large subset of P's
+/// interleavings on a single stack (§4), optionally instrumented to detect
+/// race conditions on one distinguished location (§5).
+///
+/// The translation introduces:
+///  * `__raise` — the simulated exception used to terminate a thread
+///    nondeterministically (RAISE = `__raise = true; return`), with
+///    `if (__raise) return` propagation after every call;
+///  * `__ts_*` — the bounded multiset of forked-but-unscheduled threads
+///    (`MAX` slots of captured start function + arguments plus a size
+///    counter); `async f(a)` puts into a free slot, or calls `[[f]](a)`
+///    synchronously when full;
+///  * `__kiss_schedule()` — the stack-based nondeterministic scheduler:
+///    an `iter` that repeatedly removes a nondeterministically chosen
+///    pending thread, runs it to (possibly premature) completion, and
+///    resets `__raise`;
+///  * for race mode: `__access` ∈ {0,1,2} and inlined check_r/check_w
+///    probes guarded by pointer-identity tests against the monitored
+///    location, pruned with the Steensgaard points-to analysis.
+///
+/// Every statement cloned from P carries an Origin pointer to its source
+/// statement (P must outlive the result), which the trace mapper uses to
+/// reconstruct concurrent error traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_KISS_TRANSFORM_H
+#define KISS_KISS_TRANSFORM_H
+
+#include "lang/AST.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace kiss {
+class DiagnosticEngine;
+} // namespace kiss
+
+namespace kiss::core {
+
+/// The distinguished location `r` of §5.
+struct RaceTarget {
+  enum class Kind : uint8_t { Global, Field };
+  Kind K = Kind::Global;
+  Symbol GlobalName;           ///< Kind::Global.
+  Symbol StructName;           ///< Kind::Field.
+  Symbol FieldName;            ///< Kind::Field.
+
+  static RaceTarget global(Symbol Name) {
+    RaceTarget T;
+    T.K = Kind::Global;
+    T.GlobalName = Name;
+    return T;
+  }
+  static RaceTarget field(Symbol Struct, Symbol Field) {
+    RaceTarget T;
+    T.K = Kind::Field;
+    T.StructName = Struct;
+    T.FieldName = Field;
+    return T;
+  }
+
+  std::string str(const SymbolTable &Syms) const;
+};
+
+/// Knobs of the translation.
+struct TransformOptions {
+  /// The paper's MAX: capacity of the ts multiset. 0 turns every async
+  /// into an immediate synchronous call (enough for the §2.2 race).
+  unsigned MaxTs = 0;
+  /// Race mode: prune check probes with the points-to analysis (§5's
+  /// alias-analysis optimization). Turning this off keeps every
+  /// type-compatible probe (sound but slower).
+  bool UseAliasAnalysis = true;
+};
+
+/// Probe accounting for the §5 alias-pruning ablation.
+struct TransformStats {
+  unsigned ProbesEmitted = 0;
+  unsigned ProbesPruned = 0;
+  unsigned StatementsInstrumented = 0;
+};
+
+/// Translates concurrent core program \p P into the sequential assertion-
+/// checking program Check(P) of Figure 4.
+/// \returns null (with diagnostics) if \p P is unsupported (mixed async
+/// signatures, missing entry). \p P must outlive the result.
+std::unique_ptr<lang::Program>
+transformForAssertions(const lang::Program &P, const TransformOptions &Opts,
+                       DiagnosticEngine &Diags,
+                       TransformStats *Stats = nullptr);
+
+/// Translates \p P into the race-detecting sequential program of Figure 5
+/// for the distinguished location \p Target.
+std::unique_ptr<lang::Program>
+transformForRace(const lang::Program &P, const RaceTarget &Target,
+                 const TransformOptions &Opts, DiagnosticEngine &Diags,
+                 TransformStats *Stats = nullptr);
+
+} // namespace kiss::core
+
+#endif // KISS_KISS_TRANSFORM_H

@@ -1,0 +1,415 @@
+//===- ASTPrinter.cpp -----------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/ASTPrinter.h"
+
+using namespace kiss;
+using namespace kiss::lang;
+
+namespace {
+
+/// \returns true if any DeclStmt occurs in \p S (i.e. the body has not been
+/// lowered yet).
+bool containsDeclStmt(const Stmt *S) {
+  switch (S->getKind()) {
+  case StmtKind::Decl:
+    return true;
+  case StmtKind::Block:
+    for (const StmtPtr &Sub : cast<BlockStmt>(S)->getStmts())
+      if (containsDeclStmt(Sub.get()))
+        return true;
+    return false;
+  case StmtKind::Atomic:
+    return containsDeclStmt(cast<AtomicStmt>(S)->getBody());
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    return containsDeclStmt(I->getThen()) ||
+           (I->getElse() && containsDeclStmt(I->getElse()));
+  }
+  case StmtKind::While:
+    return containsDeclStmt(cast<WhileStmt>(S)->getBody());
+  case StmtKind::Choice:
+    for (const StmtPtr &B : cast<ChoiceStmt>(S)->getBranches())
+      if (containsDeclStmt(B.get()))
+        return true;
+    return false;
+  case StmtKind::Iter:
+    return containsDeclStmt(cast<IterStmt>(S)->getBody());
+  default:
+    return false;
+  }
+}
+
+class PrinterImpl {
+public:
+  explicit PrinterImpl(const SymbolTable &Syms) : Syms(Syms) {}
+
+  std::string Out;
+
+  void printExpr(const Expr *E, int ParentPrec = 0);
+  void printStmt(const Stmt *S, unsigned Indent);
+  void printBlockBody(const Stmt *S, unsigned Indent);
+
+  void indent(unsigned Indent) { Out.append(Indent * 2, ' '); }
+  void line(unsigned Indent, std::string_view Text) {
+    indent(Indent);
+    Out += Text;
+    Out += '\n';
+  }
+
+  std::string name(Symbol S) const { return std::string(Syms.str(S)); }
+
+private:
+  const SymbolTable &Syms;
+};
+
+/// Precedence for parenthesization; larger binds tighter.
+static int getPrecedence(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::LOr:
+    return 1;
+  case BinaryOp::LAnd:
+    return 2;
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    return 3;
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+    return 4;
+  case BinaryOp::Mul:
+    return 5;
+  }
+  return 0;
+}
+
+void PrinterImpl::printExpr(const Expr *E, int ParentPrec) {
+  switch (E->getKind()) {
+  case ExprKind::IntLit: {
+    int64_t V = cast<IntLitExpr>(E)->getValue();
+    if (V < 0) {
+      // Negative literals print parenthesized so unary-minus reparses.
+      Out += "(-" + std::to_string(-V) + ")";
+    } else {
+      Out += std::to_string(V);
+    }
+    return;
+  }
+  case ExprKind::BoolLit:
+    Out += cast<BoolLitExpr>(E)->getValue() ? "true" : "false";
+    return;
+  case ExprKind::NullLit:
+    Out += "null";
+    return;
+  case ExprKind::VarRef:
+    Out += name(cast<VarRefExpr>(E)->getName());
+    return;
+  case ExprKind::FuncRef:
+    Out += name(cast<FuncRefExpr>(E)->getName());
+    return;
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    Out += U->getOp() == UnaryOp::Not ? "!" : "-";
+    Out += '(';
+    printExpr(U->getSub());
+    Out += ')';
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    int Prec = getPrecedence(B->getOp());
+    bool Paren = Prec < ParentPrec;
+    if (Paren)
+      Out += '(';
+    printExpr(B->getLHS(), Prec);
+    Out += ' ';
+    Out += getBinaryOpSpelling(B->getOp());
+    Out += ' ';
+    printExpr(B->getRHS(), Prec + 1);
+    if (Paren)
+      Out += ')';
+    return;
+  }
+  case ExprKind::Deref:
+    Out += "*(";
+    printExpr(cast<DerefExpr>(E)->getSub());
+    Out += ')';
+    return;
+  case ExprKind::Field: {
+    const auto *F = cast<FieldExpr>(E);
+    // Base is a postfix expression; parenthesize non-primary bases.
+    const Expr *Base = F->getBase();
+    bool Paren = !isa<VarRefExpr>(Base) && !isa<FieldExpr>(Base);
+    if (Paren)
+      Out += '(';
+    printExpr(Base, 100);
+    if (Paren)
+      Out += ')';
+    Out += "->";
+    Out += name(F->getField());
+    return;
+  }
+  case ExprKind::AddrOf:
+    Out += '&';
+    printExpr(cast<AddrOfExpr>(E)->getSub(), 100);
+    return;
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    const Expr *Callee = C->getCallee();
+    bool Paren = !isa<VarRefExpr>(Callee) && !isa<FuncRefExpr>(Callee);
+    if (Paren)
+      Out += '(';
+    printExpr(Callee, 100);
+    if (Paren)
+      Out += ')';
+    Out += '(';
+    bool First = true;
+    for (const ExprPtr &A : C->getArgs()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      printExpr(A.get());
+    }
+    Out += ')';
+    return;
+  }
+  case ExprKind::New:
+    Out += "new ";
+    Out += name(cast<NewExpr>(E)->getStructName());
+    return;
+  case ExprKind::Nondet: {
+    const auto *N = cast<NondetExpr>(E);
+    if (N->isBool()) {
+      Out += "nondet_bool()";
+    } else {
+      Out += "nondet_int(" + std::to_string(N->getLo()) + ", " +
+             std::to_string(N->getHi()) + ")";
+    }
+    return;
+  }
+  }
+}
+
+void PrinterImpl::printBlockBody(const Stmt *S, unsigned Indent) {
+  if (const auto *B = dyn_cast<BlockStmt>(S)) {
+    for (const StmtPtr &Sub : B->getStmts())
+      printStmt(Sub.get(), Indent);
+    return;
+  }
+  printStmt(S, Indent);
+}
+
+void PrinterImpl::printStmt(const Stmt *S, unsigned Indent) {
+  if (S->isBenign()) {
+    indent(Indent);
+    Out += "benign\n";
+    // Children inherit the marker semantically; printing it once at the
+    // top keeps the output reparseable and minimal.
+  }
+  switch (S->getKind()) {
+  case StmtKind::Block: {
+    line(Indent, "{");
+    printBlockBody(S, Indent + 1);
+    line(Indent, "}");
+    return;
+  }
+  case StmtKind::Decl: {
+    const auto *D = cast<DeclStmt>(S);
+    indent(Indent);
+    Out += D->getDeclType()->str(Syms) + " " + name(D->getName());
+    if (D->getInit()) {
+      Out += " = ";
+      printExpr(D->getInit());
+    }
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    indent(Indent);
+    printExpr(A->getLHS());
+    Out += " = ";
+    printExpr(A->getRHS());
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::ExprStmt: {
+    indent(Indent);
+    printExpr(cast<ExprStmt>(S)->getExpr());
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::Async: {
+    const auto *A = cast<AsyncStmt>(S);
+    indent(Indent);
+    Out += "async ";
+    printExpr(A->getCallee());
+    Out += '(';
+    bool First = true;
+    for (const ExprPtr &Arg : A->getArgs()) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      printExpr(Arg.get());
+    }
+    Out += ");\n";
+    return;
+  }
+  case StmtKind::Assert: {
+    indent(Indent);
+    Out += "assert(";
+    printExpr(cast<AssertStmt>(S)->getCond());
+    Out += ");\n";
+    return;
+  }
+  case StmtKind::Assume: {
+    indent(Indent);
+    Out += "assume(";
+    printExpr(cast<AssumeStmt>(S)->getCond());
+    Out += ");\n";
+    return;
+  }
+  case StmtKind::Atomic: {
+    line(Indent, "atomic {");
+    printBlockBody(cast<AtomicStmt>(S)->getBody(), Indent + 1);
+    line(Indent, "}");
+    return;
+  }
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    indent(Indent);
+    Out += "if (";
+    printExpr(I->getCond());
+    Out += ") {\n";
+    printBlockBody(I->getThen(), Indent + 1);
+    if (I->getElse()) {
+      line(Indent, "} else {");
+      printBlockBody(I->getElse(), Indent + 1);
+    }
+    line(Indent, "}");
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    indent(Indent);
+    Out += "while (";
+    printExpr(W->getCond());
+    Out += ") {\n";
+    printBlockBody(W->getBody(), Indent + 1);
+    line(Indent, "}");
+    return;
+  }
+  case StmtKind::Choice: {
+    const auto *C = cast<ChoiceStmt>(S);
+    bool First = true;
+    for (const StmtPtr &B : C->getBranches()) {
+      line(Indent, First ? "choice {" : "} or {");
+      First = false;
+      printBlockBody(B.get(), Indent + 1);
+    }
+    line(Indent, "}");
+    return;
+  }
+  case StmtKind::Iter: {
+    line(Indent, "iter {");
+    printBlockBody(cast<IterStmt>(S)->getBody(), Indent + 1);
+    line(Indent, "}");
+    return;
+  }
+  case StmtKind::Return: {
+    const auto *R = cast<ReturnStmt>(S);
+    indent(Indent);
+    Out += "return";
+    if (R->getValue()) {
+      Out += ' ';
+      printExpr(R->getValue());
+    }
+    Out += ";\n";
+    return;
+  }
+  case StmtKind::Skip:
+    line(Indent, "skip;");
+    return;
+  }
+}
+
+} // namespace
+
+std::string kiss::lang::printExpr(const Expr *E, const SymbolTable &Syms) {
+  PrinterImpl P(Syms);
+  P.printExpr(E);
+  return std::move(P.Out);
+}
+
+std::string kiss::lang::printStmt(const Stmt *S, const SymbolTable &Syms,
+                                  unsigned Indent) {
+  PrinterImpl P(Syms);
+  P.printStmt(S, Indent);
+  return std::move(P.Out);
+}
+
+std::string kiss::lang::printProgram(const Program &P) {
+  const SymbolTable &Syms = P.getSymbolTable();
+  PrinterImpl Printer(Syms);
+
+  for (const auto &S : P.getStructs()) {
+    Printer.Out += "struct " + Printer.name(S->getName()) + " {\n";
+    for (const FieldDecl &F : S->getFields())
+      Printer.Out +=
+          "  " + F.Ty->str(Syms) + " " + Printer.name(F.Name) + ";\n";
+    Printer.Out += "}\n\n";
+  }
+
+  for (const GlobalDecl &G : P.getGlobals()) {
+    Printer.Out += G.Ty->str(Syms) + " " + Printer.name(G.Name);
+    if (G.Init) {
+      Printer.Out += " = ";
+      switch (G.Init->K) {
+      case ConstInit::Kind::Int:
+        Printer.Out += std::to_string(G.Init->IntValue);
+        break;
+      case ConstInit::Kind::Bool:
+        Printer.Out += G.Init->BoolValue ? "true" : "false";
+        break;
+      case ConstInit::Kind::Null:
+        Printer.Out += "null";
+        break;
+      }
+    }
+    Printer.Out += ";\n";
+  }
+  if (!P.getGlobals().empty())
+    Printer.Out += '\n';
+
+  for (const auto &F : P.getFunctions()) {
+    Printer.Out += F->getReturnType()->str(Syms) + " " +
+                   Printer.name(F->getName()) + "(";
+    for (unsigned I = 0; I != F->getNumParams(); ++I) {
+      if (I)
+        Printer.Out += ", ";
+      const VarDecl &Param = F->getLocals()[I];
+      Printer.Out += Param.Ty->str(Syms) + " " + Printer.name(Param.Name);
+    }
+    Printer.Out += ") {\n";
+    // Lowered bodies have no DeclStmts; declare the hoisted locals up front
+    // so the printed program reparses.
+    if (F->getLocals().size() > F->getNumParams() &&
+        !containsDeclStmt(F->getBody())) {
+      for (unsigned I = F->getNumParams(), E = F->getLocals().size(); I != E;
+           ++I) {
+        const VarDecl &L = F->getLocals()[I];
+        Printer.Out +=
+            "  " + L.Ty->str(Syms) + " " + Printer.name(L.Name) + ";\n";
+      }
+    }
+    Printer.printBlockBody(F->getBody(), 1);
+    Printer.Out += "}\n\n";
+  }
+  return std::move(Printer.Out);
+}

@@ -1,0 +1,35 @@
+//===- ASTPrinter.h - Pretty printer ----------------------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints programs, statements, and expressions back to concrete syntax.
+/// Printed programs reparse to an equivalent AST (round-trip tested), which
+/// is also how KISS-transformed programs can be inspected and re-checked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_LANG_ASTPRINTER_H
+#define KISS_LANG_ASTPRINTER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace kiss::lang {
+
+/// Renders the whole program as concrete syntax.
+std::string printProgram(const Program &P);
+
+/// Renders one statement (and children) at \p Indent levels.
+std::string printStmt(const Stmt *S, const SymbolTable &Syms,
+                      unsigned Indent = 0);
+
+/// Renders one expression.
+std::string printExpr(const Expr *E, const SymbolTable &Syms);
+
+} // namespace kiss::lang
+
+#endif // KISS_LANG_ASTPRINTER_H

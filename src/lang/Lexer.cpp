@@ -1,0 +1,312 @@
+//===- Lexer.cpp ----------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace kiss;
+using namespace kiss::lang;
+
+const char *kiss::lang::getTokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwVoid:
+    return "'void'";
+  case TokenKind::KwBool:
+    return "'bool'";
+  case TokenKind::KwInt:
+    return "'int'";
+  case TokenKind::KwFunc:
+    return "'func'";
+  case TokenKind::KwTrue:
+    return "'true'";
+  case TokenKind::KwFalse:
+    return "'false'";
+  case TokenKind::KwNull:
+    return "'null'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwReturn:
+    return "'return'";
+  case TokenKind::KwAssert:
+    return "'assert'";
+  case TokenKind::KwAssume:
+    return "'assume'";
+  case TokenKind::KwAtomic:
+    return "'atomic'";
+  case TokenKind::KwAsync:
+    return "'async'";
+  case TokenKind::KwBenign:
+    return "'benign'";
+  case TokenKind::KwChoice:
+    return "'choice'";
+  case TokenKind::KwOr:
+    return "'or'";
+  case TokenKind::KwIter:
+    return "'iter'";
+  case TokenKind::KwSkip:
+    return "'skip'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwNondetInt:
+    return "'nondet_int'";
+  case TokenKind::KwNondetBool:
+    return "'nondet_bool'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Amp:
+    return "'&'";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::Arrow:
+    return "'->'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEq:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEq:
+    return "'>='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Unknown:
+    return "unknown token";
+  }
+  return "<?>";
+}
+
+Lexer::Lexer(const SourceManager &SM, uint32_t BufferId,
+             DiagnosticEngine &Diags)
+    : Text(SM.getBufferText(BufferId)), BufferId(BufferId), Diags(Diags) {}
+
+char Lexer::peek(unsigned LookAhead) const {
+  return Pos + LookAhead < Text.size() ? Text[Pos + LookAhead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = peek();
+  ++Pos;
+  return C;
+}
+
+SourceLoc Lexer::locAt(uint32_t Offset) const {
+  return SourceLoc(BufferId, Offset);
+}
+
+void Lexer::skipTrivia() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        ++Pos;
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      uint32_t Begin = Pos;
+      Pos += 2;
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        ++Pos;
+      if (atEnd()) {
+        Diags.error(locAt(Begin), "unterminated block comment");
+        return;
+      }
+      Pos += 2;
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, uint32_t Begin) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = locAt(Begin);
+  T.Text = Text.substr(Begin, Pos - Begin);
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword() {
+  uint32_t Begin = Pos;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    ++Pos;
+  std::string_view Word = Text.substr(Begin, Pos - Begin);
+
+  static const std::unordered_map<std::string_view, TokenKind> Keywords = {
+      {"struct", TokenKind::KwStruct},
+      {"void", TokenKind::KwVoid},
+      {"bool", TokenKind::KwBool},
+      {"int", TokenKind::KwInt},
+      {"func", TokenKind::KwFunc},
+      {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},
+      {"null", TokenKind::KwNull},
+      {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},
+      {"return", TokenKind::KwReturn},
+      {"assert", TokenKind::KwAssert},
+      {"assume", TokenKind::KwAssume},
+      {"atomic", TokenKind::KwAtomic},
+      {"async", TokenKind::KwAsync},
+      {"benign", TokenKind::KwBenign},
+      {"choice", TokenKind::KwChoice},
+      {"or", TokenKind::KwOr},
+      {"iter", TokenKind::KwIter},
+      {"skip", TokenKind::KwSkip},
+      {"new", TokenKind::KwNew},
+      {"nondet_int", TokenKind::KwNondetInt},
+      {"nondet_bool", TokenKind::KwNondetBool},
+  };
+
+  auto It = Keywords.find(Word);
+  return makeToken(It == Keywords.end() ? TokenKind::Identifier : It->second,
+                   Begin);
+}
+
+Token Lexer::lexNumber() {
+  uint32_t Begin = Pos;
+  int64_t Value = 0;
+  bool Overflow = false;
+  while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+    int Digit = advance() - '0';
+    if (Value > (INT64_MAX - Digit) / 10)
+      Overflow = true;
+    else
+      Value = Value * 10 + Digit;
+  }
+  if (Overflow)
+    Diags.error(locAt(Begin), "integer literal too large");
+  Token T = makeToken(TokenKind::IntLiteral, Begin);
+  T.IntValue = Value;
+  return T;
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  if (atEnd())
+    return makeToken(TokenKind::Eof, Pos);
+
+  uint32_t Begin = Pos;
+  char C = peek();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword();
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber();
+
+  ++Pos;
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Begin);
+  case ')':
+    return makeToken(TokenKind::RParen, Begin);
+  case '{':
+    return makeToken(TokenKind::LBrace, Begin);
+  case '}':
+    return makeToken(TokenKind::RBrace, Begin);
+  case ';':
+    return makeToken(TokenKind::Semi, Begin);
+  case ',':
+    return makeToken(TokenKind::Comma, Begin);
+  case '*':
+    return makeToken(TokenKind::Star, Begin);
+  case '+':
+    return makeToken(TokenKind::Plus, Begin);
+  case '&':
+    if (peek() == '&') {
+      ++Pos;
+      return makeToken(TokenKind::AmpAmp, Begin);
+    }
+    return makeToken(TokenKind::Amp, Begin);
+  case '|':
+    if (peek() == '|') {
+      ++Pos;
+      return makeToken(TokenKind::PipePipe, Begin);
+    }
+    break;
+  case '-':
+    if (peek() == '>') {
+      ++Pos;
+      return makeToken(TokenKind::Arrow, Begin);
+    }
+    return makeToken(TokenKind::Minus, Begin);
+  case '=':
+    if (peek() == '=') {
+      ++Pos;
+      return makeToken(TokenKind::EqEq, Begin);
+    }
+    return makeToken(TokenKind::Assign, Begin);
+  case '!':
+    if (peek() == '=') {
+      ++Pos;
+      return makeToken(TokenKind::NotEq, Begin);
+    }
+    return makeToken(TokenKind::Bang, Begin);
+  case '<':
+    if (peek() == '=') {
+      ++Pos;
+      return makeToken(TokenKind::LessEq, Begin);
+    }
+    return makeToken(TokenKind::Less, Begin);
+  case '>':
+    if (peek() == '=') {
+      ++Pos;
+      return makeToken(TokenKind::GreaterEq, Begin);
+    }
+    return makeToken(TokenKind::Greater, Begin);
+  default:
+    break;
+  }
+
+  Diags.error(locAt(Begin), std::string("unexpected character '") + C + "'");
+  return makeToken(TokenKind::Unknown, Begin);
+}

@@ -1,0 +1,125 @@
+//===- Lexer.h - Tokenizer for the modeling language ------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer. Comments are // to end of line and /* */ blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_LANG_LEXER_H
+#define KISS_LANG_LEXER_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace kiss {
+class DiagnosticEngine;
+class SourceManager;
+} // namespace kiss
+
+namespace kiss::lang {
+
+enum class TokenKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KwStruct,
+  KwVoid,
+  KwBool,
+  KwInt,
+  KwFunc,
+  KwTrue,
+  KwFalse,
+  KwNull,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwAssert,
+  KwAssume,
+  KwAtomic,
+  KwAsync,
+  KwBenign,
+  KwChoice,
+  KwOr,
+  KwIter,
+  KwSkip,
+  KwNew,
+  KwNondetInt,
+  KwNondetBool,
+
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Semi,
+  Comma,
+  Star,
+  Amp,
+  AmpAmp,
+  PipePipe,
+  Arrow,
+  Assign,
+  EqEq,
+  NotEq,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  Plus,
+  Minus,
+  Bang,
+
+  Unknown,
+};
+
+/// \returns a human-readable name for \p Kind ("identifier", "'{'", ...).
+const char *getTokenKindName(TokenKind Kind);
+
+/// One lexed token; Text views into the SourceManager buffer.
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  SourceLoc Loc;
+  std::string_view Text;
+  int64_t IntValue = 0;
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Tokenizes one buffer registered with a SourceManager.
+class Lexer {
+public:
+  Lexer(const SourceManager &SM, uint32_t BufferId, DiagnosticEngine &Diags);
+
+  /// Lexes and returns the next token, advancing the cursor.
+  Token next();
+
+private:
+  void skipTrivia();
+  Token makeToken(TokenKind Kind, uint32_t Begin);
+  Token lexIdentifierOrKeyword();
+  Token lexNumber();
+
+  char peek(unsigned LookAhead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Text.size(); }
+  SourceLoc locAt(uint32_t Offset) const;
+
+  std::string_view Text;
+  uint32_t BufferId;
+  uint32_t Pos = 0;
+  DiagnosticEngine &Diags;
+};
+
+} // namespace kiss::lang
+
+#endif // KISS_LANG_LEXER_H

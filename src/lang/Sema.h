@@ -1,0 +1,38 @@
+//===- Sema.h - Name resolution and type checking ---------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for the modeling language: resolves variable and
+/// function references, assigns local slots, computes and checks types, and
+/// enforces the well-formedness rules of §3 (decisions on booleans, typed
+/// function values with matching signatures, scalar-only memory cells).
+///
+/// Run after parsing and before lowering. On success every expression
+/// carries a type and every reference a resolved id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_LANG_SEMA_H
+#define KISS_LANG_SEMA_H
+
+#include "lang/AST.h"
+
+namespace kiss {
+class DiagnosticEngine;
+} // namespace kiss
+
+namespace kiss::lang {
+
+/// Maximum size of a nondet_int range; engines enumerate these values.
+inline constexpr int64_t MaxNondetRange = 4096;
+
+/// Type checks and resolves \p P in place.
+/// \returns true on success; reports diagnostics and returns false on error.
+bool typeCheck(Program &P, DiagnosticEngine &Diags);
+
+} // namespace kiss::lang
+
+#endif // KISS_LANG_SEMA_H

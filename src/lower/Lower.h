@@ -1,0 +1,53 @@
+//===- Lower.h - Desugaring to the Figure-3 core ----------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a type-checked surface program into the paper's core statement
+/// language (Figure 3):
+///
+///  * local declarations are hoisted into function-level slots;
+///  * compound expressions are flattened into three-address assignments
+///    through fresh temporaries;
+///  * `if` and `while` become `choice`/`iter` with `assume` guards, exactly
+///    as defined in §3;
+///  * `&&`/`||` are lowered short-circuit via branching;
+///  * the atomic-block restriction of §3 (no calls, returns, asyncs, or
+///    nested atomics inside `atomic`) is enforced.
+///
+/// After lowering, isCoreProgram() holds; the KISS transformation, CFG
+/// builder, alias analysis, and both engines require core programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_LOWER_LOWER_H
+#define KISS_LOWER_LOWER_H
+
+#include "lang/AST.h"
+
+#include <string>
+
+namespace kiss {
+class DiagnosticEngine;
+} // namespace kiss
+
+namespace kiss::lower {
+
+/// Lowers \p P in place. Requires a successfully type-checked program.
+/// \returns true on success; reports diagnostics and returns false on error
+/// (e.g. atomic-block violations).
+bool lowerProgram(lang::Program &P, DiagnosticEngine &Diags);
+
+/// \returns true if \p P is in core form. On failure, \p Why (if non-null)
+/// receives a human-readable reason.
+bool isCoreProgram(const lang::Program &P, std::string *Why = nullptr);
+
+/// \returns true if \p E is a core atom: a literal, a resolved variable
+/// reference, or a function reference.
+bool isAtom(const lang::Expr *E);
+
+} // namespace kiss::lower
+
+#endif // KISS_LOWER_LOWER_H

@@ -1,0 +1,39 @@
+//===- Pipeline.cpp -------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lower/Pipeline.h"
+
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+
+#include <cassert>
+
+using namespace kiss;
+using namespace kiss::lower;
+
+std::unique_ptr<lang::Program>
+lower::parseAndCheck(CompilerContext &Ctx, std::string Name,
+                     std::string Source) {
+  auto P = lang::parse(Ctx.SM, std::move(Name), std::move(Source), Ctx.Syms,
+                       Ctx.Types, Ctx.Diags);
+  if (!P)
+    return nullptr;
+  if (!lang::typeCheck(*P, Ctx.Diags))
+    return nullptr;
+  return P;
+}
+
+std::unique_ptr<lang::Program> lower::compileToCore(CompilerContext &Ctx,
+                                                    std::string Name,
+                                                    std::string Source) {
+  auto P = parseAndCheck(Ctx, std::move(Name), std::move(Source));
+  if (!P)
+    return nullptr;
+  if (!lowerProgram(*P, Ctx.Diags))
+    return nullptr;
+  assert(isCoreProgram(*P) && "lowering must produce a core program");
+  return P;
+}

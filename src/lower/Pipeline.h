@@ -1,0 +1,53 @@
+//===- Pipeline.h - Source-to-core compilation pipeline ---------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call frontend: parse, type check, and lower a source buffer to a
+/// core program. A CompilerContext bundles the session-wide tables shared
+/// by every program in one analysis run (the original concurrent program
+/// and all its KISS translations share symbols and types).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_LOWER_PIPELINE_H
+#define KISS_LOWER_PIPELINE_H
+
+#include "lang/AST.h"
+#include "lower/Lower.h"
+#include "support/Diagnostics.h"
+#include "support/SourceManager.h"
+
+#include <memory>
+#include <string>
+
+namespace kiss::lower {
+
+/// Session-wide state shared by all programs of one analysis run.
+struct CompilerContext {
+  SourceManager SM;
+  SymbolTable Syms;
+  lang::TypeContext Types;
+  DiagnosticEngine Diags;
+
+  /// Renders all diagnostics collected so far.
+  std::string renderDiagnostics() const { return Diags.render(SM); }
+};
+
+/// Parses and type checks \p Source (surface AST; not yet lowered).
+/// \returns null on error (diagnostics in \p Ctx).
+std::unique_ptr<lang::Program> parseAndCheck(CompilerContext &Ctx,
+                                             std::string Name,
+                                             std::string Source);
+
+/// Parses, type checks, and lowers \p Source to a core program.
+/// \returns null on error (diagnostics in \p Ctx).
+std::unique_ptr<lang::Program> compileToCore(CompilerContext &Ctx,
+                                             std::string Name,
+                                             std::string Source);
+
+} // namespace kiss::lower
+
+#endif // KISS_LOWER_PIPELINE_H

@@ -1,0 +1,62 @@
+//===- Result.cpp ---------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "seqcheck/Result.h"
+
+#include "cfg/CFG.h"
+#include "lang/ASTPrinter.h"
+#include "support/SourceManager.h"
+
+using namespace kiss;
+using namespace kiss::rt;
+
+const char *rt::getOutcomeName(CheckOutcome O) {
+  switch (O) {
+  case CheckOutcome::Safe:
+    return "safe";
+  case CheckOutcome::AssertionFailure:
+    return "assertion failure";
+  case CheckOutcome::RuntimeError:
+    return "runtime error";
+  case CheckOutcome::BoundExceeded:
+    return "bound exceeded";
+  }
+  return "?";
+}
+
+std::string rt::formatTrace(const std::vector<TraceStep> &Trace,
+                            const lang::Program &P,
+                            const cfg::ProgramCFG &CFG,
+                            const SourceManager *SM) {
+  const SymbolTable &Syms = P.getSymbolTable();
+  std::string Out;
+  for (const TraceStep &Step : Trace) {
+    const cfg::Node &N = CFG.getFunctionCFG(Step.Func).getNode(Step.Node);
+    if (!N.S)
+      continue; // Synthetic junction/exit: nothing to show.
+    if (N.Kind == cfg::NodeKind::Nop || N.Kind == cfg::NodeKind::AtomicBegin ||
+        N.Kind == cfg::NodeKind::AtomicEnd)
+      continue;
+    Out += "[t" + std::to_string(Step.Thread) + "] ";
+    Out += Syms.str(P.getFunction(Step.Func)->getName());
+    Out += ": ";
+    std::string Text = lang::printStmt(N.S, Syms);
+    // Trim the trailing newline and inner indentation for one-line steps.
+    while (!Text.empty() && (Text.back() == '\n' || Text.back() == ' '))
+      Text.pop_back();
+    // Multi-line statements (compound) print only their head line.
+    if (auto NL = Text.find('\n'); NL != std::string::npos)
+      Text.resize(NL);
+    Out += Text;
+    if (SM && N.S->getLoc().isValid()) {
+      PresumedLoc PL = SM->getPresumedLoc(N.S->getLoc());
+      if (PL.isValid())
+        Out += "   // " + PL.BufferName + ":" + std::to_string(PL.Line);
+    }
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,81 @@
+//===- Result.h - Model-checking outcomes -----------------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Outcome and counterexample types shared by the sequential and concurrent
+/// model checkers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SEQCHECK_RESULT_H
+#define KISS_SEQCHECK_RESULT_H
+
+#include "lang/AST.h"
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kiss {
+class SourceManager;
+} // namespace kiss
+
+namespace kiss::rt {
+
+enum class CheckOutcome : uint8_t {
+  Safe,             ///< Exhaustive exploration found no violation.
+  AssertionFailure, ///< A reachable assert() is false.
+  RuntimeError,     ///< A reachable execution faults (null deref, ...).
+  BoundExceeded,    ///< State/stack/thread budget hit: result inconclusive
+                    ///< (the paper's "resource bound" outcome).
+};
+
+/// \returns a short human-readable name for \p O.
+const char *getOutcomeName(CheckOutcome O);
+
+/// One executed transition: thread \p Thread ran CFG node \p Node of
+/// function \p Func.
+struct TraceStep {
+  uint32_t Thread = 0;
+  uint32_t Func = 0;
+  uint32_t Node = 0;
+};
+
+/// The result of one model-checking run.
+struct CheckResult {
+  CheckOutcome Outcome = CheckOutcome::Safe;
+  std::string Message;
+  SourceLoc ErrorLoc;
+  /// Root-to-error transition sequence (errors only).
+  std::vector<TraceStep> Trace;
+  uint64_t StatesExplored = 0;
+  uint64_t TransitionsExplored = 0;
+
+  bool foundError() const {
+    return Outcome == CheckOutcome::AssertionFailure ||
+           Outcome == CheckOutcome::RuntimeError;
+  }
+};
+
+} // namespace kiss::rt
+
+namespace kiss::cfg {
+class ProgramCFG;
+} // namespace kiss::cfg
+
+namespace kiss::rt {
+
+/// Renders \p Trace as readable lines (one statement per step, with thread
+/// ids and source positions where available). Steps on synthetic junction
+/// nodes are omitted.
+std::string formatTrace(const std::vector<TraceStep> &Trace,
+                        const lang::Program &P, const cfg::ProgramCFG &CFG,
+                        const SourceManager *SM = nullptr);
+
+} // namespace kiss::rt
+
+#endif // KISS_SEQCHECK_RESULT_H

@@ -1,0 +1,177 @@
+//===- Runtime.cpp --------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "seqcheck/Runtime.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace kiss;
+using namespace kiss::rt;
+using namespace kiss::lang;
+
+Value rt::defaultValue(const Type *Ty) {
+  switch (Ty->getKind()) {
+  case TypeKind::Bool:
+    return Value::makeBool(false);
+  case TypeKind::Int:
+    return Value::makeInt(0);
+  case TypeKind::Pointer:
+    return Value::makeNullPtr();
+  case TypeKind::Func:
+    return Value::makeFunc(-1);
+  case TypeKind::Void:
+  case TypeKind::Struct:
+    return Value::makeUndef();
+  }
+  return Value::makeUndef();
+}
+
+MachineState rt::makeInitialState(const Program &P, const cfg::ProgramCFG &CFG,
+                                  uint32_t EntryFuncIndex) {
+  MachineState S;
+  for (const GlobalDecl &G : P.getGlobals()) {
+    if (!G.Init) {
+      S.Globals.push_back(defaultValue(G.Ty));
+      continue;
+    }
+    switch (G.Init->K) {
+    case ConstInit::Kind::Int:
+      S.Globals.push_back(Value::makeInt(G.Init->IntValue));
+      break;
+    case ConstInit::Kind::Bool:
+      S.Globals.push_back(Value::makeBool(G.Init->BoolValue));
+      break;
+    case ConstInit::Kind::Null:
+      S.Globals.push_back(G.Ty->isFunc() ? Value::makeFunc(-1)
+                                         : Value::makeNullPtr());
+      break;
+    }
+  }
+
+  const FuncDecl *Entry = P.getFunction(EntryFuncIndex);
+  assert(Entry && Entry->getNumParams() == 0 &&
+         "entry function must exist and take no parameters");
+
+  Frame F;
+  F.Func = EntryFuncIndex;
+  F.PC = CFG.getFunctionCFG(EntryFuncIndex).getEntry();
+  F.Locals.resize(Entry->getLocals().size());
+
+  Thread T;
+  T.Frames.push_back(std::move(F));
+  S.Threads.push_back(std::move(T));
+  return S;
+}
+
+namespace {
+
+/// Serializer with heap renumbering. First pass discovers reachable heap
+/// objects in a deterministic order; second pass emits bytes with
+/// renumbered heap bases.
+class StateEncoder {
+public:
+  explicit StateEncoder(const MachineState &S) : S(S) {}
+
+  std::string encode() {
+    discover();
+    emit();
+    return std::move(Out);
+  }
+
+private:
+  void discoverValue(const Value &V) {
+    if (V.K != ValueKind::Ptr || V.A.Space != AddrSpace::Heap)
+      return;
+    if (Renumber.count(V.A.Base))
+      return;
+    Renumber.emplace(V.A.Base, Order.size());
+    Order.push_back(V.A.Base);
+  }
+
+  void discover() {
+    for (const Value &V : S.Globals)
+      discoverValue(V);
+    for (const Thread &T : S.Threads)
+      for (const Frame &F : T.Frames)
+        for (const Value &V : F.Locals)
+          discoverValue(V);
+    // BFS through object fields; Order grows as we scan it.
+    for (size_t I = 0; I != Order.size(); ++I)
+      for (const Value &V : S.Heap[Order[I]].Fields)
+        discoverValue(V);
+  }
+
+  void putU32(uint32_t V) {
+    Out.push_back(static_cast<char>(V & 0xff));
+    Out.push_back(static_cast<char>((V >> 8) & 0xff));
+    Out.push_back(static_cast<char>((V >> 16) & 0xff));
+    Out.push_back(static_cast<char>((V >> 24) & 0xff));
+  }
+
+  void putU64(uint64_t V) {
+    putU32(static_cast<uint32_t>(V));
+    putU32(static_cast<uint32_t>(V >> 32));
+  }
+
+  void putValue(const Value &V) {
+    Out.push_back(static_cast<char>(V.K));
+    if (V.K == ValueKind::Ptr) {
+      Out.push_back(static_cast<char>(V.A.Space));
+      uint32_t Base = V.A.Base;
+      if (V.A.Space == AddrSpace::Heap) {
+        auto It = Renumber.find(Base);
+        assert(It != Renumber.end() && "pointer to undiscovered object");
+        Base = It->second;
+      }
+      putU32(V.A.Thread);
+      putU32(Base);
+      putU32(V.A.Offset);
+      return;
+    }
+    putU64(static_cast<uint64_t>(V.I));
+  }
+
+  void emit() {
+    putU32(S.Globals.size());
+    for (const Value &V : S.Globals)
+      putValue(V);
+
+    putU32(Order.size());
+    for (uint32_t Obj : Order) {
+      const HeapObject &H = S.Heap[Obj];
+      putU32(H.Fields.size());
+      for (const Value &V : H.Fields)
+        putValue(V);
+    }
+
+    putU32(S.Threads.size());
+    for (const Thread &T : S.Threads) {
+      putU32(T.AtomicDepth);
+      putU32(T.Frames.size());
+      for (const Frame &F : T.Frames) {
+        putU32(F.Func);
+        putU32(F.PC);
+        Out.push_back(static_cast<char>(F.RetVar.Scope));
+        putU32(F.RetVar.Index);
+        putU32(F.Locals.size());
+        for (const Value &V : F.Locals)
+          putValue(V);
+      }
+    }
+  }
+
+  const MachineState &S;
+  std::unordered_map<uint32_t, uint32_t> Renumber;
+  std::vector<uint32_t> Order;
+  std::string Out;
+};
+
+} // namespace
+
+std::string rt::encodeState(const MachineState &S) {
+  return StateEncoder(S).encode();
+}

@@ -1,0 +1,152 @@
+//===- Runtime.h - Machine states for the explicit-state engines -*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values, memory, and machine states shared by the sequential
+/// model checker (the SLAM substitute, seqcheck) and the concurrent
+/// baseline checker (conc). A MachineState holds the globals, a heap of
+/// struct objects, and one or more threads each owning a stack of frames.
+///
+/// States are deduplicated via a canonical byte encoding: heap objects are
+/// renumbered in reachability order (which also ignores garbage), so states
+/// differing only in allocation history or dead objects coincide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SEQCHECK_RUNTIME_H
+#define KISS_SEQCHECK_RUNTIME_H
+
+#include "cfg/CFG.h"
+#include "lang/AST.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kiss::rt {
+
+enum class ValueKind : uint8_t { Undef, Bool, Int, Func, Ptr };
+
+enum class AddrSpace : uint8_t {
+  Null,   ///< The null pointer.
+  Global, ///< Base = global index.
+  Heap,   ///< Base = heap object index, Offset = field index.
+  Local,  ///< Thread/Base = frame depth, Offset = local slot.
+};
+
+/// A memory address (the value of a pointer).
+struct MemAddr {
+  AddrSpace Space = AddrSpace::Null;
+  uint32_t Thread = 0; ///< Only for Local.
+  uint32_t Base = 0;
+  uint32_t Offset = 0;
+
+  friend bool operator==(const MemAddr &A, const MemAddr &B) {
+    return A.Space == B.Space && A.Thread == B.Thread && A.Base == B.Base &&
+           A.Offset == B.Offset;
+  }
+};
+
+/// A runtime value. The default-constructed value is Undef.
+struct Value {
+  ValueKind K = ValueKind::Undef;
+  int64_t I = 0; ///< Bool (0/1), Int, or function index (-1 = null func).
+  MemAddr A;     ///< Only for Ptr.
+
+  static Value makeUndef() { return Value(); }
+  static Value makeBool(bool B) {
+    Value V;
+    V.K = ValueKind::Bool;
+    V.I = B;
+    return V;
+  }
+  static Value makeInt(int64_t N) {
+    Value V;
+    V.K = ValueKind::Int;
+    V.I = N;
+    return V;
+  }
+  static Value makeFunc(int64_t FuncIndex) {
+    Value V;
+    V.K = ValueKind::Func;
+    V.I = FuncIndex;
+    return V;
+  }
+  static Value makeNullPtr() {
+    Value V;
+    V.K = ValueKind::Ptr;
+    return V;
+  }
+  static Value makePtr(MemAddr A) {
+    Value V;
+    V.K = ValueKind::Ptr;
+    V.A = A;
+    return V;
+  }
+
+  bool isUndef() const { return K == ValueKind::Undef; }
+  bool isNullPtr() const {
+    return K == ValueKind::Ptr && A.Space == AddrSpace::Null;
+  }
+  bool asBool() const { return I != 0; }
+
+  friend bool operator==(const Value &X, const Value &Y) {
+    if (X.K != Y.K)
+      return false;
+    if (X.K == ValueKind::Ptr)
+      return X.A == Y.A;
+    return X.I == Y.I;
+  }
+};
+
+/// One heap-allocated struct instance.
+struct HeapObject {
+  const lang::StructDecl *Struct = nullptr;
+  std::vector<Value> Fields;
+};
+
+/// One activation record.
+struct Frame {
+  uint32_t Func = 0; ///< Index into Program functions.
+  uint32_t PC = 0;   ///< CFG node about to execute.
+  std::vector<Value> Locals;
+  /// Where the callee's return value goes in the *caller* (invalid scope if
+  /// the result is discarded).
+  lang::VarId RetVar;
+};
+
+/// One thread: a stack of frames plus its atomic-section nesting depth.
+/// A thread with no frames has terminated.
+struct Thread {
+  std::vector<Frame> Frames;
+  uint32_t AtomicDepth = 0;
+
+  bool isTerminated() const { return Frames.empty(); }
+};
+
+/// A complete machine configuration.
+struct MachineState {
+  std::vector<Value> Globals;
+  std::vector<HeapObject> Heap;
+  std::vector<Thread> Threads;
+};
+
+/// \returns the default value for type \p Ty (0, false, null).
+Value defaultValue(const lang::Type *Ty);
+
+/// Builds the initial state: globals set from initializers (or defaults)
+/// and one thread entering \p EntryFunc (which must take no parameters).
+MachineState makeInitialState(const lang::Program &P,
+                              const cfg::ProgramCFG &CFG,
+                              uint32_t EntryFuncIndex);
+
+/// Canonically encodes \p S for visited-set deduplication. Heap objects are
+/// renumbered in reachability order; unreachable objects are dropped.
+std::string encodeState(const MachineState &S);
+
+} // namespace kiss::rt
+
+#endif // KISS_SEQCHECK_RUNTIME_H

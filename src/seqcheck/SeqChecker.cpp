@@ -1,0 +1,128 @@
+//===- SeqChecker.cpp -----------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "seqcheck/SeqChecker.h"
+
+#include <cassert>
+#include <deque>
+#include <unordered_map>
+
+using namespace kiss;
+using namespace kiss::rt;
+using namespace kiss::seqcheck;
+
+namespace {
+
+/// Back-pointers for counterexample reconstruction.
+struct ParentInfo {
+  std::string ParentKey; ///< Empty for the initial state.
+  TraceStep Step;
+};
+
+std::vector<TraceStep>
+rebuildTrace(const std::unordered_map<std::string, ParentInfo> &Parents,
+             const std::string &Key, const TraceStep &Last) {
+  std::vector<TraceStep> Trace;
+  Trace.push_back(Last);
+  std::string Cur = Key;
+  while (true) {
+    auto It = Parents.find(Cur);
+    assert(It != Parents.end() && "broken parent chain");
+    if (It->second.ParentKey.empty())
+      break;
+    Trace.push_back(It->second.Step);
+    Cur = It->second.ParentKey;
+  }
+  std::reverse(Trace.begin(), Trace.end());
+  return Trace;
+}
+
+} // namespace
+
+CheckResult seqcheck::checkProgram(const lang::Program &P,
+                                   const cfg::ProgramCFG &CFG,
+                                   const SeqOptions &Opts) {
+  CheckResult R;
+
+  const lang::FuncDecl *Entry = P.getEntryFunction();
+  if (!Entry || Entry->getNumParams() != 0) {
+    R.Outcome = CheckOutcome::RuntimeError;
+    R.Message = "program has no parameterless entry function";
+    return R;
+  }
+  uint32_t EntryIdx = P.getFunctionIndex(P.getEntryName());
+
+  StepOptions SO;
+  SO.AllowAsync = false;
+  SO.MaxFrames = Opts.MaxFrames;
+
+  MachineState Init = makeInitialState(P, CFG, EntryIdx);
+  std::string InitKey = encodeState(Init);
+
+  std::deque<std::pair<MachineState, std::string>> Queue;
+  std::unordered_map<std::string, ParentInfo> Parents;
+  Parents.emplace(InitKey, ParentInfo{});
+  Queue.emplace_back(std::move(Init), InitKey);
+
+  while (!Queue.empty()) {
+    if (Parents.size() > Opts.MaxStates) {
+      R.Outcome = CheckOutcome::BoundExceeded;
+      R.Message = "state budget of " + std::to_string(Opts.MaxStates) +
+                  " states exceeded";
+      R.StatesExplored = R.StatesExplored ? R.StatesExplored : Parents.size();
+      return R;
+    }
+
+    auto [S, Key] = std::move(Queue.front());
+    Queue.pop_front();
+    ++R.StatesExplored;
+
+    if (isThreadDone(S, 0))
+      continue; // Accepting leaf: the program ran to completion.
+
+    const Frame &Top = S.Threads[0].Frames.back();
+    TraceStep Step{0, Top.Func, Top.PC};
+
+    StepResult SR = stepThread(P, CFG, S, 0, SO);
+    switch (SR.K) {
+    case StepResult::Kind::Blocked:
+      // assume() false on a sequential path: the path is silently pruned
+      // (§3: the program blocks forever; no error).
+      continue;
+
+    case StepResult::Kind::AssertFailure:
+    case StepResult::Kind::RuntimeError:
+      R.Outcome = SR.K == StepResult::Kind::AssertFailure
+                      ? CheckOutcome::AssertionFailure
+                      : CheckOutcome::RuntimeError;
+      R.Message = SR.Message;
+      R.ErrorLoc = SR.ErrorLoc;
+      R.Trace = rebuildTrace(Parents, Key, Step);
+      return R;
+
+    case StepResult::Kind::BoundExceeded:
+      R.Outcome = CheckOutcome::BoundExceeded;
+      R.Message = SR.Message;
+      R.ErrorLoc = SR.ErrorLoc;
+      return R;
+
+    case StepResult::Kind::Ok:
+      for (MachineState &NS : SR.Successors) {
+        ++R.TransitionsExplored;
+        std::string NKey = encodeState(NS);
+        if (Parents.count(NKey))
+          continue;
+        Parents.emplace(NKey, ParentInfo{Key, Step});
+        Queue.emplace_back(std::move(NS), std::move(NKey));
+      }
+      break;
+    }
+  }
+
+  R.Outcome = CheckOutcome::Safe;
+  R.StatesExplored = Parents.size();
+  return R;
+}

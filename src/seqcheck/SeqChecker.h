@@ -1,0 +1,41 @@
+//===- SeqChecker.h - Sequential explicit-state model checker ---*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sequential model checker that plays the role SLAM plays in the
+/// paper: given a *sequential* core program (no async), it exhaustively
+/// explores all nondeterminism (choice, iter, nondet values) by
+/// breadth-first search over canonically-encoded machine states and reports
+/// the first reachable assertion failure with a shortest counterexample
+/// trace. Exploration is sound and complete for programs whose reachable
+/// state space is finite (the class the paper targets: finite data).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SEQCHECK_SEQCHECKER_H
+#define KISS_SEQCHECK_SEQCHECKER_H
+
+#include "seqcheck/Result.h"
+#include "seqcheck/Step.h"
+
+namespace kiss::seqcheck {
+
+/// Budgets for one sequential run (the paper's 20-minute/800MB resource
+/// bound becomes a state budget here).
+struct SeqOptions {
+  uint64_t MaxStates = 1'000'000;
+  uint32_t MaxFrames = 256;
+};
+
+/// Model checks sequential core program \p P (entry: Program entry
+/// function). \p CFG must be built from \p P.
+rt::CheckResult checkProgram(const lang::Program &P,
+                             const cfg::ProgramCFG &CFG,
+                             const SeqOptions &Opts = SeqOptions());
+
+} // namespace kiss::seqcheck
+
+#endif // KISS_SEQCHECK_SEQCHECKER_H

@@ -1,0 +1,577 @@
+//===- Step.cpp -----------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "seqcheck/Step.h"
+
+#include <cassert>
+
+using namespace kiss;
+using namespace kiss::rt;
+using namespace kiss::lang;
+
+namespace {
+
+/// Evaluation/mutation context for one thread of one (mutable) state.
+class Machine {
+public:
+  Machine(const Program &P, MachineState &S, uint32_t Tid)
+      : P(P), S(S), Tid(Tid) {}
+
+  /// The error message of the first failed operation.
+  std::string Error;
+
+  bool failed() const { return !Error.empty(); }
+  bool fail(std::string Msg) {
+    if (Error.empty())
+      Error = std::move(Msg);
+    return false;
+  }
+
+  Frame &topFrame() { return S.Threads[Tid].Frames.back(); }
+
+  //===--- Variable and memory access ---===//
+
+  Value readVar(VarId Id) {
+    if (Id.isGlobal())
+      return S.Globals[Id.Index];
+    return topFrame().Locals[Id.Index];
+  }
+
+  void writeVar(VarId Id, const Value &V) {
+    if (Id.isGlobal())
+      S.Globals[Id.Index] = V;
+    else
+      topFrame().Locals[Id.Index] = V;
+  }
+
+  bool readAddr(const MemAddr &A, Value &Out) {
+    switch (A.Space) {
+    case AddrSpace::Null:
+      return fail("null pointer dereference");
+    case AddrSpace::Global:
+      if (A.Base >= S.Globals.size())
+        return fail("wild global pointer");
+      Out = S.Globals[A.Base];
+      return true;
+    case AddrSpace::Heap:
+      if (A.Base >= S.Heap.size() ||
+          A.Offset >= S.Heap[A.Base].Fields.size())
+        return fail("wild heap pointer");
+      Out = S.Heap[A.Base].Fields[A.Offset];
+      return true;
+    case AddrSpace::Local:
+      if (A.Thread >= S.Threads.size() ||
+          A.Base >= S.Threads[A.Thread].Frames.size() ||
+          A.Offset >= S.Threads[A.Thread].Frames[A.Base].Locals.size())
+        return fail("dangling pointer to a dead stack frame");
+      Out = S.Threads[A.Thread].Frames[A.Base].Locals[A.Offset];
+      return true;
+    }
+    return fail("corrupt address");
+  }
+
+  bool writeAddr(const MemAddr &A, const Value &V) {
+    switch (A.Space) {
+    case AddrSpace::Null:
+      return fail("null pointer store");
+    case AddrSpace::Global:
+      if (A.Base >= S.Globals.size())
+        return fail("wild global pointer");
+      S.Globals[A.Base] = V;
+      return true;
+    case AddrSpace::Heap:
+      if (A.Base >= S.Heap.size() ||
+          A.Offset >= S.Heap[A.Base].Fields.size())
+        return fail("wild heap pointer");
+      S.Heap[A.Base].Fields[A.Offset] = V;
+      return true;
+    case AddrSpace::Local:
+      if (A.Thread >= S.Threads.size() ||
+          A.Base >= S.Threads[A.Thread].Frames.size() ||
+          A.Offset >= S.Threads[A.Thread].Frames[A.Base].Locals.size())
+        return fail("dangling pointer to a dead stack frame");
+      S.Threads[A.Thread].Frames[A.Base].Locals[A.Offset] = V;
+      return true;
+    }
+    return fail("corrupt address");
+  }
+
+  //===--- Expression evaluation ---===//
+
+  /// Evaluates a core atom. Undef results are allowed here; consumers that
+  /// need a defined value must check.
+  bool evalAtom(const Expr *E, Value &Out) {
+    switch (E->getKind()) {
+    case ExprKind::IntLit:
+      Out = Value::makeInt(cast<IntLitExpr>(E)->getValue());
+      return true;
+    case ExprKind::BoolLit:
+      Out = Value::makeBool(cast<BoolLitExpr>(E)->getValue());
+      return true;
+    case ExprKind::NullLit:
+      Out = (E->getType() && E->getType()->isFunc()) ? Value::makeFunc(-1)
+                                                     : Value::makeNullPtr();
+      return true;
+    case ExprKind::VarRef:
+      Out = readVar(cast<VarRefExpr>(E)->getVarId());
+      return true;
+    case ExprKind::FuncRef:
+      Out = Value::makeFunc(cast<FuncRefExpr>(E)->getFuncIndex());
+      return true;
+    default:
+      return fail("expression is not a core atom");
+    }
+  }
+
+  /// Evaluates an atom that must be defined.
+  bool evalDefinedAtom(const Expr *E, Value &Out) {
+    if (!evalAtom(E, Out))
+      return false;
+    if (Out.isUndef())
+      return fail("use of an uninitialized value");
+    return true;
+  }
+
+  /// Evaluates a core condition (atom, !atom, or atom cmp atom) to a
+  /// boolean.
+  bool evalCondition(const Expr *E, bool &Out) {
+    Value V;
+    if (isa<BinaryExpr>(E) || isa<UnaryExpr>(E)) {
+      if (!evalSingleRHS(E, V))
+        return false;
+    } else if (!evalDefinedAtom(E, V)) {
+      return false;
+    }
+    if (V.K != ValueKind::Bool)
+      return fail("condition is not a boolean");
+    Out = V.asBool();
+    return true;
+  }
+
+  /// Computes the address of a core lvalue (x, *x, x->f).
+  bool evalLValueAddr(const Expr *E, MemAddr &Out) {
+    switch (E->getKind()) {
+    case ExprKind::Deref: {
+      Value Ptr;
+      if (!evalDefinedAtom(cast<DerefExpr>(E)->getSub(), Ptr))
+        return false;
+      if (Ptr.K != ValueKind::Ptr)
+        return fail("store through a non-pointer");
+      Out = Ptr.A;
+      return true;
+    }
+    case ExprKind::Field:
+      return fieldAddr(cast<FieldExpr>(E), Out);
+    default:
+      return fail("not a core lvalue");
+    }
+  }
+
+  bool fieldAddr(const FieldExpr *E, MemAddr &Out) {
+    Value Base;
+    if (!evalDefinedAtom(E->getBase(), Base))
+      return false;
+    if (Base.K != ValueKind::Ptr)
+      return fail("field access through a non-pointer");
+    if (Base.A.Space == AddrSpace::Null)
+      return fail("null pointer dereference");
+    if (Base.A.Space != AddrSpace::Heap || Base.A.Offset != 0)
+      return fail("field access through a non-object pointer");
+    if (Base.A.Base >= S.Heap.size())
+      return fail("wild heap pointer");
+    const HeapObject &Obj = S.Heap[Base.A.Base];
+    if (E->getFieldIndex() >= Obj.Fields.size())
+      return fail("field index out of range for the pointed-to object");
+    Out = MemAddr{AddrSpace::Heap, 0, Base.A.Base, E->getFieldIndex()};
+    return true;
+  }
+
+  /// Evaluates a core right-hand side that yields exactly one value
+  /// (everything except Nondet, which the caller expands).
+  bool evalSingleRHS(const Expr *E, Value &Out) {
+    switch (E->getKind()) {
+    case ExprKind::IntLit:
+    case ExprKind::BoolLit:
+    case ExprKind::NullLit:
+    case ExprKind::VarRef:
+    case ExprKind::FuncRef:
+      return evalAtom(E, Out);
+
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      Value V;
+      if (!evalDefinedAtom(U->getSub(), V))
+        return false;
+      if (U->getOp() == UnaryOp::Not) {
+        if (V.K != ValueKind::Bool)
+          return fail("'!' on a non-boolean");
+        Out = Value::makeBool(!V.asBool());
+      } else {
+        if (V.K != ValueKind::Int)
+          return fail("unary '-' on a non-integer");
+        Out = Value::makeInt(-V.I);
+      }
+      return true;
+    }
+
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      Value L, R;
+      if (!evalDefinedAtom(B->getLHS(), L) ||
+          !evalDefinedAtom(B->getRHS(), R))
+        return false;
+      switch (B->getOp()) {
+      case BinaryOp::Add:
+      case BinaryOp::Sub:
+      case BinaryOp::Mul:
+      case BinaryOp::Lt:
+      case BinaryOp::Le:
+      case BinaryOp::Gt:
+      case BinaryOp::Ge: {
+        if (L.K != ValueKind::Int || R.K != ValueKind::Int)
+          return fail("arithmetic on non-integers");
+        switch (B->getOp()) {
+        case BinaryOp::Add:
+          Out = Value::makeInt(L.I + R.I);
+          break;
+        case BinaryOp::Sub:
+          Out = Value::makeInt(L.I - R.I);
+          break;
+        case BinaryOp::Mul:
+          Out = Value::makeInt(L.I * R.I);
+          break;
+        case BinaryOp::Lt:
+          Out = Value::makeBool(L.I < R.I);
+          break;
+        case BinaryOp::Le:
+          Out = Value::makeBool(L.I <= R.I);
+          break;
+        case BinaryOp::Gt:
+          Out = Value::makeBool(L.I > R.I);
+          break;
+        case BinaryOp::Ge:
+          Out = Value::makeBool(L.I >= R.I);
+          break;
+        default:
+          break;
+        }
+        return true;
+      }
+      case BinaryOp::Eq:
+      case BinaryOp::Ne: {
+        if (L.K != R.K)
+          return fail("comparison of differently-typed values");
+        bool Equal = L == R;
+        Out = Value::makeBool(B->getOp() == BinaryOp::Eq ? Equal : !Equal);
+        return true;
+      }
+      case BinaryOp::LAnd:
+      case BinaryOp::LOr:
+        return fail("short-circuit operator survives lowering");
+      }
+      return false;
+    }
+
+    case ExprKind::Deref: {
+      Value Ptr;
+      if (!evalDefinedAtom(cast<DerefExpr>(E)->getSub(), Ptr))
+        return false;
+      if (Ptr.K != ValueKind::Ptr)
+        return fail("dereference of a non-pointer");
+      return readAddr(Ptr.A, Out);
+    }
+
+    case ExprKind::Field: {
+      MemAddr A;
+      if (!fieldAddr(cast<FieldExpr>(E), A))
+        return false;
+      return readAddr(A, Out);
+    }
+
+    case ExprKind::AddrOf: {
+      const Expr *Sub = cast<AddrOfExpr>(E)->getSub();
+      if (const auto *V = dyn_cast<VarRefExpr>(Sub)) {
+        VarId Id = V->getVarId();
+        if (Id.isGlobal()) {
+          Out = Value::makePtr(MemAddr{AddrSpace::Global, 0, Id.Index, 0});
+        } else {
+          uint32_t Depth = S.Threads[Tid].Frames.size() - 1;
+          Out = Value::makePtr(MemAddr{AddrSpace::Local, Tid, Depth,
+                                       Id.Index});
+        }
+        return true;
+      }
+      MemAddr A;
+      if (!fieldAddr(cast<FieldExpr>(Sub), A))
+        return false;
+      Out = Value::makePtr(A);
+      return true;
+    }
+
+    case ExprKind::New: {
+      const auto *N = cast<NewExpr>(E);
+      const StructDecl *SD = P.getStruct(N->getStructName());
+      assert(SD && "Sema admits only known structs in new");
+      HeapObject Obj;
+      Obj.Struct = SD;
+      for (const FieldDecl &F : SD->getFields())
+        Obj.Fields.push_back(defaultValue(F.Ty));
+      S.Heap.push_back(std::move(Obj));
+      Out = Value::makePtr(
+          MemAddr{AddrSpace::Heap, 0,
+                  static_cast<uint32_t>(S.Heap.size() - 1), 0});
+      return true;
+    }
+
+    case ExprKind::Nondet:
+      return fail("nondet right-hand side requires caller expansion");
+    case ExprKind::Call:
+      return fail("call right-hand side must execute as a Call node");
+    }
+    return false;
+  }
+
+  const Program &P;
+  MachineState &S;
+  uint32_t Tid;
+};
+
+/// Resolves the callee of a call/async to a function index.
+bool resolveCallee(Machine &M, const Expr *Callee, const Program &P,
+                   uint32_t &Out) {
+  Value V;
+  if (!M.evalDefinedAtom(Callee, V))
+    return false;
+  if (V.K != ValueKind::Func)
+    return M.fail("call through a non-function value");
+  if (V.I < 0 ||
+      static_cast<size_t>(V.I) >= P.getFunctions().size())
+    return M.fail("call through a null function value");
+  Out = static_cast<uint32_t>(V.I);
+  return true;
+}
+
+} // namespace
+
+StepResult rt::stepThread(const Program &P, const cfg::ProgramCFG &CFG,
+                          const MachineState &S0, uint32_t Tid,
+                          const StepOptions &Opts) {
+  StepResult R;
+  assert(Tid < S0.Threads.size() && !S0.Threads[Tid].isTerminated() &&
+         "stepping a missing or terminated thread");
+
+  const Frame &Top = S0.Threads[Tid].Frames.back();
+  const cfg::FunctionCFG &FCFG = CFG.getFunctionCFG(Top.Func);
+  const cfg::Node &N = FCFG.getNode(Top.PC);
+
+  auto errorOut = [&](StepResult::Kind K, std::string Msg) {
+    R.K = K;
+    R.Message = std::move(Msg);
+    R.ErrorLoc = N.S ? N.S->getLoc() : SourceLoc();
+    R.Successors.clear();
+    return R;
+  };
+
+  // Successor helper: copy the state and reposition the thread's PC.
+  auto makeSucc = [&](uint32_t SuccNode) {
+    MachineState NS = S0;
+    NS.Threads[Tid].Frames.back().PC = SuccNode;
+    return NS;
+  };
+
+  switch (N.Kind) {
+  case cfg::NodeKind::Nop:
+    for (uint32_t Succ : N.Succs)
+      R.Successors.push_back(makeSucc(Succ));
+    return R;
+
+  case cfg::NodeKind::AtomicBegin: {
+    MachineState NS = makeSucc(N.Succs[0]);
+    ++NS.Threads[Tid].AtomicDepth;
+    R.Successors.push_back(std::move(NS));
+    return R;
+  }
+
+  case cfg::NodeKind::AtomicEnd: {
+    MachineState NS = makeSucc(N.Succs[0]);
+    assert(NS.Threads[Tid].AtomicDepth > 0 && "unbalanced atomic brackets");
+    --NS.Threads[Tid].AtomicDepth;
+    R.Successors.push_back(std::move(NS));
+    return R;
+  }
+
+  case cfg::NodeKind::Stmt: {
+    switch (N.S->getKind()) {
+    case StmtKind::Assign: {
+      const auto *A = cast<AssignStmt>(N.S);
+      // Nondet right-hand sides expand into one successor per value.
+      if (const auto *ND = dyn_cast<NondetExpr>(A->getRHS())) {
+        const auto *LHSVar = cast<VarRefExpr>(A->getLHS());
+        if (ND->isBool()) {
+          for (bool B : {false, true}) {
+            MachineState NS = makeSucc(N.Succs[0]);
+            Machine M(P, NS, Tid);
+            M.writeVar(LHSVar->getVarId(), Value::makeBool(B));
+            R.Successors.push_back(std::move(NS));
+          }
+        } else {
+          for (int64_t V = ND->getLo(); V <= ND->getHi(); ++V) {
+            MachineState NS = makeSucc(N.Succs[0]);
+            Machine M(P, NS, Tid);
+            M.writeVar(LHSVar->getVarId(), Value::makeInt(V));
+            R.Successors.push_back(std::move(NS));
+          }
+        }
+        return R;
+      }
+
+      MachineState NS = makeSucc(N.Succs[0]);
+      Machine M(P, NS, Tid);
+      Value V;
+      if (!M.evalSingleRHS(A->getRHS(), V))
+        return errorOut(StepResult::Kind::RuntimeError, M.Error);
+      if (const auto *LHSVar = dyn_cast<VarRefExpr>(A->getLHS())) {
+        M.writeVar(LHSVar->getVarId(), V);
+      } else {
+        MemAddr Addr;
+        if (!M.evalLValueAddr(A->getLHS(), Addr) || !M.writeAddr(Addr, V))
+          return errorOut(StepResult::Kind::RuntimeError, M.Error);
+      }
+      R.Successors.push_back(std::move(NS));
+      return R;
+    }
+
+    case StmtKind::Assert: {
+      MachineState NS = makeSucc(N.Succs[0]);
+      Machine M(P, NS, Tid);
+      bool Cond;
+      if (!M.evalCondition(cast<AssertStmt>(N.S)->getCond(), Cond))
+        return errorOut(StepResult::Kind::RuntimeError, M.Error);
+      if (!Cond)
+        return errorOut(StepResult::Kind::AssertFailure, "assertion failed");
+      R.Successors.push_back(std::move(NS));
+      return R;
+    }
+
+    case StmtKind::Assume: {
+      MachineState NS = makeSucc(N.Succs[0]);
+      Machine M(P, NS, Tid);
+      bool Cond;
+      if (!M.evalCondition(cast<AssumeStmt>(N.S)->getCond(), Cond))
+        return errorOut(StepResult::Kind::RuntimeError, M.Error);
+      if (!Cond) {
+        R.K = StepResult::Kind::Blocked;
+        return R;
+      }
+      R.Successors.push_back(std::move(NS));
+      return R;
+    }
+
+    case StmtKind::Async: {
+      if (!Opts.AllowAsync)
+        return errorOut(StepResult::Kind::RuntimeError,
+                        "async statement in a sequential program");
+      if (S0.Threads.size() >= Opts.MaxThreads)
+        return errorOut(StepResult::Kind::BoundExceeded,
+                        "thread bound exceeded");
+      const auto *A = cast<AsyncStmt>(N.S);
+      MachineState NS = makeSucc(N.Succs[0]);
+      Machine M(P, NS, Tid);
+      uint32_t Callee;
+      if (!resolveCallee(M, A->getCallee(), P, Callee))
+        return errorOut(StepResult::Kind::RuntimeError, M.Error);
+      const FuncDecl *F = P.getFunction(Callee);
+      Frame NF;
+      NF.Func = Callee;
+      NF.PC = CFG.getFunctionCFG(Callee).getEntry();
+      NF.Locals.resize(F->getLocals().size());
+      for (unsigned I = 0, E = A->getArgs().size(); I != E; ++I) {
+        Value V;
+        if (!M.evalAtom(A->getArgs()[I].get(), V))
+          return errorOut(StepResult::Kind::RuntimeError, M.Error);
+        NF.Locals[I] = V;
+      }
+      Thread NT;
+      NT.Frames.push_back(std::move(NF));
+      NS.Threads.push_back(std::move(NT));
+      R.Successors.push_back(std::move(NS));
+      return R;
+    }
+
+    case StmtKind::Skip: {
+      R.Successors.push_back(makeSucc(N.Succs[0]));
+      return R;
+    }
+
+    default:
+      return errorOut(StepResult::Kind::RuntimeError,
+                      "unexpected statement kind in a Stmt node");
+    }
+  }
+
+  case cfg::NodeKind::Call: {
+    const CallExpr *Call;
+    VarId RetVar; // unresolved = discard
+    if (const auto *A = dyn_cast<AssignStmt>(N.S)) {
+      Call = cast<CallExpr>(A->getRHS());
+      RetVar = cast<VarRefExpr>(A->getLHS())->getVarId();
+    } else {
+      Call = cast<CallExpr>(cast<ExprStmt>(N.S)->getExpr());
+    }
+
+    if (S0.Threads[Tid].Frames.size() >= Opts.MaxFrames)
+      return errorOut(StepResult::Kind::BoundExceeded,
+                      "stack depth bound exceeded");
+
+    MachineState NS = makeSucc(N.Succs[0]); // caller resumes after the call
+    Machine M(P, NS, Tid);
+    uint32_t Callee;
+    if (!resolveCallee(M, Call->getCallee(), P, Callee))
+      return errorOut(StepResult::Kind::RuntimeError, M.Error);
+    const FuncDecl *F = P.getFunction(Callee);
+
+    Frame NF;
+    NF.Func = Callee;
+    NF.PC = CFG.getFunctionCFG(Callee).getEntry();
+    NF.Locals.resize(F->getLocals().size());
+    NF.RetVar = RetVar;
+    for (unsigned I = 0, E = Call->getArgs().size(); I != E; ++I) {
+      Value V;
+      if (!M.evalAtom(Call->getArgs()[I].get(), V))
+        return errorOut(StepResult::Kind::RuntimeError, M.Error);
+      NF.Locals[I] = V;
+    }
+    NS.Threads[Tid].Frames.push_back(std::move(NF));
+    R.Successors.push_back(std::move(NS));
+    return R;
+  }
+
+  case cfg::NodeKind::Return: {
+    MachineState NS = S0;
+    Machine M(P, NS, Tid);
+
+    const FuncDecl *F = P.getFunction(Top.Func);
+    Value Ret = defaultValue(F->getReturnType());
+    if (N.S) {
+      if (const Expr *V = cast<ReturnStmt>(N.S)->getValue()) {
+        if (!M.evalAtom(V, Ret))
+          return errorOut(StepResult::Kind::RuntimeError, M.Error);
+      }
+    }
+
+    VarId RetVar = NS.Threads[Tid].Frames.back().RetVar;
+    NS.Threads[Tid].Frames.pop_back();
+    if (!NS.Threads[Tid].Frames.empty() && RetVar.isResolved()) {
+      // writeVar acts on the new top frame (the caller).
+      M.writeVar(RetVar, Ret);
+    }
+    R.Successors.push_back(std::move(NS));
+    return R;
+  }
+  }
+
+  return errorOut(StepResult::Kind::RuntimeError, "unknown CFG node kind");
+}

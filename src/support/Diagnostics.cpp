@@ -1,0 +1,59 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include "support/SourceManager.h"
+
+using namespace kiss;
+
+static const char *severityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::report(DiagSeverity Severity, SourceLoc Loc,
+                              std::string Message) {
+  if (Severity == DiagSeverity::Error)
+    ++NumErrors;
+  Diags.push_back(Diagnostic{Severity, Loc, std::move(Message)});
+}
+
+std::string DiagnosticEngine::render(const SourceManager &SM) const {
+  std::string Out;
+  for (const Diagnostic &D : Diags) {
+    PresumedLoc P = SM.getPresumedLoc(D.Loc);
+    if (P.isValid()) {
+      Out += P.BufferName;
+      Out += ':';
+      Out += std::to_string(P.Line);
+      Out += ':';
+      Out += std::to_string(P.Column);
+      Out += ": ";
+    }
+    Out += severityName(D.Severity);
+    Out += ": ";
+    Out += D.Message;
+    Out += '\n';
+    if (P.isValid()) {
+      std::string_view LineText = SM.getLineText(D.Loc);
+      Out += "  ";
+      Out += LineText;
+      Out += "\n  ";
+      for (unsigned I = 1; I < P.Column; ++I)
+        Out += ' ';
+      Out += "^\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,72 @@
+//===- Diagnostics.h - Error and warning reporting --------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Library code never throws or exits; it
+/// reports problems here and callers inspect hasErrors(). Diagnostics carry
+/// a severity, a location, and a pre-formatted message, and can be rendered
+/// with a caret snippet against a SourceManager.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SUPPORT_DIAGNOSTICS_H
+#define KISS_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace kiss {
+
+class SourceManager;
+
+enum class DiagSeverity { Note, Warning, Error };
+
+/// One reported problem.
+struct Diagnostic {
+  DiagSeverity Severity = DiagSeverity::Error;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics for one compilation/analysis run.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Message));
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Message));
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Message));
+  }
+
+  void report(DiagSeverity Severity, SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned getNumErrors() const { return NumErrors; }
+  const std::vector<Diagnostic> &getDiagnostics() const { return Diags; }
+
+  /// Renders every diagnostic as "file:line:col: severity: message" with a
+  /// source snippet where the location is valid.
+  std::string render(const SourceManager &SM) const;
+
+  /// Forgets all collected diagnostics (for engine reuse across runs).
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace kiss
+
+#endif // KISS_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,61 @@
+//===- Hashing.h - Stable hash combinators ----------------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a based hashing used for canonical-state deduplication in the model
+/// checking engines. Deterministic across runs (unlike std::hash for some
+/// types), which keeps exploration order and bench output reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SUPPORT_HASHING_H
+#define KISS_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace kiss {
+
+/// Incremental FNV-1a 64-bit hasher.
+class StableHasher {
+public:
+  void addByte(uint8_t Byte) {
+    State ^= Byte;
+    State *= 0x100000001b3ull;
+  }
+
+  void addU32(uint32_t V) {
+    for (int I = 0; I != 4; ++I)
+      addByte((V >> (8 * I)) & 0xff);
+  }
+
+  void addU64(uint64_t V) {
+    for (int I = 0; I != 8; ++I)
+      addByte((V >> (8 * I)) & 0xff);
+  }
+
+  void addBytes(std::string_view Bytes) {
+    for (char C : Bytes)
+      addByte(static_cast<uint8_t>(C));
+  }
+
+  uint64_t finish() const { return State; }
+
+private:
+  uint64_t State = 0xcbf29ce484222325ull;
+};
+
+/// One-shot convenience for hashing a byte string.
+inline uint64_t stableHash(std::string_view Bytes) {
+  StableHasher H;
+  H.addBytes(Bytes);
+  return H.finish();
+}
+
+} // namespace kiss
+
+#endif // KISS_SUPPORT_HASHING_H

@@ -1,0 +1,65 @@
+//===- SourceLoc.h - Source locations and ranges ----------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source locations. A SourceLoc is an offset into the buffer of
+/// a file registered with a SourceManager, tagged by a buffer id. Invalid
+/// locations (e.g. on synthesized instrumentation code) are represented by
+/// the default-constructed value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SUPPORT_SOURCELOC_H
+#define KISS_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+
+namespace kiss {
+
+/// A position inside one buffer managed by a SourceManager.
+class SourceLoc {
+public:
+  SourceLoc() = default;
+  SourceLoc(uint32_t BufferId, uint32_t Offset)
+      : BufferId(BufferId), Offset(Offset) {}
+
+  /// \returns true if this location refers to a real buffer position.
+  bool isValid() const { return BufferId != InvalidBuffer; }
+
+  uint32_t getBufferId() const { return BufferId; }
+  uint32_t getOffset() const { return Offset; }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.BufferId == B.BufferId && A.Offset == B.Offset;
+  }
+  friend bool operator!=(SourceLoc A, SourceLoc B) { return !(A == B); }
+
+private:
+  static constexpr uint32_t InvalidBuffer = ~0u;
+
+  uint32_t BufferId = InvalidBuffer;
+  uint32_t Offset = 0;
+};
+
+/// A half-open range [Begin, End) of source text.
+class SourceRange {
+public:
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+  explicit SourceRange(SourceLoc Point) : Begin(Point), End(Point) {}
+
+  bool isValid() const { return Begin.isValid(); }
+  SourceLoc getBegin() const { return Begin; }
+  SourceLoc getEnd() const { return End; }
+
+private:
+  SourceLoc Begin;
+  SourceLoc End;
+};
+
+} // namespace kiss
+
+#endif // KISS_SUPPORT_SOURCELOC_H

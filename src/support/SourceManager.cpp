@@ -1,0 +1,67 @@
+//===- SourceManager.cpp --------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/SourceManager.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace kiss;
+
+uint32_t SourceManager::addBuffer(std::string Name, std::string Text) {
+  Buffer B;
+  B.Name = std::move(Name);
+  B.Text = std::move(Text);
+  B.LineStarts.push_back(0);
+  for (uint32_t I = 0, E = B.Text.size(); I != E; ++I)
+    if (B.Text[I] == '\n')
+      B.LineStarts.push_back(I + 1);
+  Buffers.push_back(std::move(B));
+  return Buffers.size() - 1;
+}
+
+std::string_view SourceManager::getBufferText(uint32_t BufferId) const {
+  assert(BufferId < Buffers.size() && "invalid buffer id");
+  return Buffers[BufferId].Text;
+}
+
+std::string_view SourceManager::getBufferName(uint32_t BufferId) const {
+  assert(BufferId < Buffers.size() && "invalid buffer id");
+  return Buffers[BufferId].Name;
+}
+
+PresumedLoc SourceManager::getPresumedLoc(SourceLoc Loc) const {
+  if (!Loc.isValid() || Loc.getBufferId() >= Buffers.size())
+    return PresumedLoc();
+
+  const Buffer &B = Buffers[Loc.getBufferId()];
+  uint32_t Offset = std::min<uint32_t>(Loc.getOffset(), B.Text.size());
+
+  // Find the last line start <= Offset.
+  auto It = std::upper_bound(B.LineStarts.begin(), B.LineStarts.end(), Offset);
+  assert(It != B.LineStarts.begin() && "LineStarts[0] is always 0");
+  unsigned Line = It - B.LineStarts.begin();
+  uint32_t LineStart = *(It - 1);
+
+  PresumedLoc P;
+  P.BufferName = B.Name;
+  P.Line = Line;
+  P.Column = Offset - LineStart + 1;
+  return P;
+}
+
+std::string_view SourceManager::getLineText(SourceLoc Loc) const {
+  if (!Loc.isValid() || Loc.getBufferId() >= Buffers.size())
+    return std::string_view();
+
+  const Buffer &B = Buffers[Loc.getBufferId()];
+  uint32_t Offset = std::min<uint32_t>(Loc.getOffset(), B.Text.size());
+  auto It = std::upper_bound(B.LineStarts.begin(), B.LineStarts.end(), Offset);
+  uint32_t LineStart = *(It - 1);
+  uint32_t LineEnd =
+      It == B.LineStarts.end() ? B.Text.size() : *It - /*newline*/ 1;
+  return std::string_view(B.Text).substr(LineStart, LineEnd - LineStart);
+}

@@ -1,0 +1,68 @@
+//===- SourceManager.h - Owns source buffers --------------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SourceManager owns the text of every parsed buffer and converts
+/// SourceLoc offsets into human-readable line/column positions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SUPPORT_SOURCEMANAGER_H
+#define KISS_SUPPORT_SOURCEMANAGER_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kiss {
+
+/// A resolved line/column position, 1-based, for diagnostics.
+struct PresumedLoc {
+  std::string BufferName;
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+};
+
+/// Owns source text buffers and maps SourceLocs to line/column info.
+class SourceManager {
+public:
+  /// Registers \p Text under \p Name and returns the new buffer id.
+  uint32_t addBuffer(std::string Name, std::string Text);
+
+  /// \returns the full text of buffer \p BufferId.
+  std::string_view getBufferText(uint32_t BufferId) const;
+
+  /// \returns the name under which buffer \p BufferId was registered.
+  std::string_view getBufferName(uint32_t BufferId) const;
+
+  unsigned getNumBuffers() const { return Buffers.size(); }
+
+  /// Resolves \p Loc to a 1-based line/column. Returns an invalid
+  /// PresumedLoc for invalid locations.
+  PresumedLoc getPresumedLoc(SourceLoc Loc) const;
+
+  /// \returns the text of the line containing \p Loc (without newline),
+  /// for diagnostic snippets. Empty for invalid locations.
+  std::string_view getLineText(SourceLoc Loc) const;
+
+private:
+  struct Buffer {
+    std::string Name;
+    std::string Text;
+    /// Byte offsets at which each line starts; LineStarts[0] == 0.
+    std::vector<uint32_t> LineStarts;
+  };
+
+  std::vector<Buffer> Buffers;
+};
+
+} // namespace kiss
+
+#endif // KISS_SUPPORT_SOURCEMANAGER_H

@@ -1,0 +1,36 @@
+//===- Symbol.cpp ---------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Symbol.h"
+
+#include <cassert>
+
+using namespace kiss;
+
+Symbol SymbolTable::intern(std::string_view Name) {
+  auto It = Map.find(Name);
+  if (It != Map.end())
+    return Symbol(It->second);
+
+  Strings.push_back(std::string(Name));
+  uint32_t Index = Strings.size() - 1;
+  Map.emplace(std::string_view(Strings.back()), Index);
+  return Symbol(Index);
+}
+
+Symbol SymbolTable::lookup(std::string_view Name) const {
+  auto It = Map.find(Name);
+  if (It == Map.end())
+    return Symbol();
+  return Symbol(It->second);
+}
+
+std::string_view SymbolTable::str(Symbol Sym) const {
+  if (!Sym.isValid())
+    return "<invalid>";
+  assert(Sym.getIndex() < Strings.size() && "symbol from another table?");
+  return Strings[Sym.getIndex()];
+}

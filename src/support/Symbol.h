@@ -1,0 +1,82 @@
+//===- Symbol.h - Interned identifiers --------------------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interned identifiers. A Symbol is a small integer index into a
+/// SymbolTable; equality and hashing are O(1) and symbols are cheap to copy.
+/// Every AST identifier (variables, functions, structs, fields) is a Symbol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SUPPORT_SYMBOL_H
+#define KISS_SUPPORT_SYMBOL_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace kiss {
+
+class SymbolTable;
+
+/// An interned identifier; valid only together with the SymbolTable that
+/// produced it. The default-constructed Symbol is the invalid sentinel.
+class Symbol {
+public:
+  Symbol() = default;
+
+  bool isValid() const { return Index != InvalidIndex; }
+  uint32_t getIndex() const { return Index; }
+
+  friend bool operator==(Symbol A, Symbol B) { return A.Index == B.Index; }
+  friend bool operator!=(Symbol A, Symbol B) { return A.Index != B.Index; }
+  friend bool operator<(Symbol A, Symbol B) { return A.Index < B.Index; }
+
+private:
+  friend class SymbolTable;
+  static constexpr uint32_t InvalidIndex = ~0u;
+
+  explicit Symbol(uint32_t Index) : Index(Index) {}
+
+  uint32_t Index = InvalidIndex;
+};
+
+/// Interns strings into Symbols and resolves them back.
+class SymbolTable {
+public:
+  /// Interns \p Name, returning the unique Symbol for it.
+  Symbol intern(std::string_view Name);
+
+  /// \returns the Symbol for \p Name if already interned, else the invalid
+  /// Symbol.
+  Symbol lookup(std::string_view Name) const;
+
+  /// \returns the spelling of \p Sym; "<invalid>" for the sentinel.
+  std::string_view str(Symbol Sym) const;
+
+  unsigned size() const { return Strings.size(); }
+
+private:
+  /// Deque gives element stability: string_view keys into stored strings
+  /// stay valid as the table grows.
+  std::deque<std::string> Strings;
+  std::unordered_map<std::string_view, uint32_t> Map;
+};
+
+} // namespace kiss
+
+namespace std {
+template <> struct hash<kiss::Symbol> {
+  size_t operator()(kiss::Symbol S) const {
+    return std::hash<uint32_t>()(S.getIndex());
+  }
+};
+} // namespace std
+
+#endif // KISS_SUPPORT_SYMBOL_H

@@ -1,0 +1,258 @@
+//===- BebopTest.cpp ------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ProgramGen.h"
+#include "TestUtil.h"
+
+#include "bebop/BebopChecker.h"
+#include "bebop/FromCore.h"
+#include "seqcheck/SeqChecker.h"
+
+using namespace kiss;
+using namespace kiss::bebop;
+using namespace kiss::test;
+
+namespace {
+
+BebopResult runBebop(const std::string &Source,
+                     BebopOptions Opts = BebopOptions()) {
+  auto C = compile(Source);
+  EXPECT_TRUE(C);
+  auto BP = convertFromCore(*C.Program, C.Ctx->Diags);
+  EXPECT_TRUE(BP.has_value()) << C.diagnostics();
+  if (!BP)
+    return BebopResult{};
+  return check(*BP, Opts);
+}
+
+TEST(BebopTest, TrivialSafeAndUnsafe) {
+  EXPECT_EQ(runBebop("void main() { assert(true); }").Outcome,
+            BebopOutcome::Safe);
+  EXPECT_EQ(runBebop("void main() { assert(false); }").Outcome,
+            BebopOutcome::AssertionFailure);
+}
+
+TEST(BebopTest, GlobalInitializersRespected) {
+  EXPECT_EQ(runBebop(R"(
+    bool g = true;
+    bool h;
+    void main() {
+      assert(g);
+      assert(!h);
+    }
+  )").Outcome, BebopOutcome::Safe);
+}
+
+TEST(BebopTest, NondetExploresBothValues) {
+  EXPECT_EQ(runBebop(R"(
+    void main() {
+      bool b = nondet_bool();
+      assert(b);
+    }
+  )").Outcome, BebopOutcome::AssertionFailure);
+}
+
+TEST(BebopTest, ChoiceAndAssumeSemantics) {
+  EXPECT_EQ(runBebop(R"(
+    bool g;
+    void main() {
+      choice { g = true; } or { g = false; }
+      assume(g);
+      assert(g);
+    }
+  )").Outcome, BebopOutcome::Safe);
+}
+
+TEST(BebopTest, CallsPassParametersAndReturnValues) {
+  EXPECT_EQ(runBebop(R"(
+    bool negate(bool x) { return !x; }
+    void main() {
+      bool r = negate(false);
+      assert(r);
+      assert(!negate(r));
+    }
+  )").Outcome, BebopOutcome::Safe);
+}
+
+TEST(BebopTest, SummariesReusedAcrossCallSites) {
+  BebopResult R = runBebop(R"(
+    bool id(bool x) { return x; }
+    void main() {
+      bool a = id(true);
+      bool b = id(true);
+      bool c = id(false);
+      assert(a == b);
+      assert(a != c);
+    }
+  )");
+  EXPECT_EQ(R.Outcome, BebopOutcome::Safe);
+  // Two distinct entry configurations only: id(true), id(false).
+  EXPECT_LE(R.SummaryEdges, 4u);
+}
+
+TEST(BebopTest, UnboundedRecursionTerminates) {
+  // The explicit-state engine hits its frame bound here; summaries close
+  // the recursion.
+  EXPECT_EQ(runBebop(R"(
+    bool flip(bool x) {
+      bool again = nondet_bool();
+      if (again) { return flip(!x); }
+      return x;
+    }
+    void main() {
+      bool r = flip(true);
+      assert(r || !r);
+    }
+  )").Outcome, BebopOutcome::Safe);
+}
+
+TEST(BebopTest, RecursionBugFound) {
+  EXPECT_EQ(runBebop(R"(
+    bool deep(bool x) {
+      bool more = nondet_bool();
+      if (more) { return deep(!x); }
+      return x;
+    }
+    void main() {
+      bool r = deep(true);
+      assert(r);
+    }
+  )").Outcome, BebopOutcome::AssertionFailure);
+}
+
+TEST(BebopTest, MutualRecursionTerminates) {
+  // Mutually recursive procedures of unbounded depth; summaries converge.
+  EXPECT_EQ(runBebop(R"(
+    bool pong(bool x) {
+      bool more = nondet_bool();
+      if (more) { return ping(!x); }
+      return x;
+    }
+    bool ping(bool x) {
+      bool more = nondet_bool();
+      if (more) { return pong(!x); }
+      return !x;
+    }
+    void main() {
+      bool r = ping(true);
+      assert(r || !r);
+    }
+  )").Outcome, BebopOutcome::Safe);
+}
+
+TEST(BebopTest, AgreesWithExplicitEngineOnBooleanPrograms) {
+  const char *Programs[] = {
+      R"(
+        bool g;
+        void set(bool v) { g = v; }
+        void main() {
+          set(true);
+          assert(g);
+          set(false);
+          assert(!g);
+        }
+      )",
+      R"(
+        bool a; bool b;
+        void main() {
+          a = nondet_bool();
+          b = nondet_bool();
+          assume(a == b);
+          assert(a != b);
+        }
+      )",
+      R"(
+        bool flag;
+        void toggle() { flag = !flag; }
+        void main() {
+          iter { toggle(); }
+          assert(!flag);
+        }
+      )",
+  };
+  for (const char *Source : Programs) {
+    auto C = compile(Source);
+    ASSERT_TRUE(C);
+    cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*C.Program);
+    rt::CheckResult Explicit = seqcheck::checkProgram(*C.Program, CFG);
+    auto BP = convertFromCore(*C.Program, C.Ctx->Diags);
+    ASSERT_TRUE(BP.has_value());
+    BebopResult Summary = check(*BP);
+    EXPECT_EQ(Explicit.Outcome == rt::CheckOutcome::AssertionFailure,
+              Summary.Outcome == BebopOutcome::AssertionFailure)
+        << Source;
+  }
+}
+
+TEST(BebopTest, RejectsNonBooleanPrograms) {
+  auto C = compile("int g; void main() { g = 1; }");
+  ASSERT_TRUE(C);
+  std::string Why;
+  EXPECT_FALSE(isBooleanFragment(*C.Program, &Why));
+  EXPECT_NE(Why.find("not bool"), std::string::npos);
+  DiagnosticEngine Diags;
+  EXPECT_FALSE(convertFromCore(*C.Program, Diags).has_value());
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(BebopTest, RejectsStructsAndPointers) {
+  auto C = compile(R"(
+    struct S { bool b; }
+    void main() {
+      S *p = new S;
+      p->b = true;
+    }
+  )");
+  ASSERT_TRUE(C);
+  EXPECT_FALSE(isBooleanFragment(*C.Program));
+}
+
+TEST(BebopTest, PathEdgeBudgetReported) {
+  BebopOptions Opts;
+  Opts.MaxPathEdges = 4;
+  BebopResult R = runBebop(R"(
+    bool a; bool b; bool c;
+    void main() {
+      a = nondet_bool();
+      b = nondet_bool();
+      c = nondet_bool();
+      assert(true);
+    }
+  )", Opts);
+  EXPECT_EQ(R.Outcome, BebopOutcome::BoundExceeded);
+}
+
+//===----------------------------------------------------------------------===//
+// Cross-engine equivalence on random boolean programs
+//===----------------------------------------------------------------------===//
+
+class BebopEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BebopEquivalenceTest, SummaryAndExplicitEnginesAgree) {
+  std::string Source = generateBooleanProgram(GetParam());
+  auto C = compile(Source);
+  ASSERT_TRUE(C) << Source;
+
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*C.Program);
+  rt::CheckResult Explicit = seqcheck::checkProgram(*C.Program, CFG);
+  ASSERT_NE(Explicit.Outcome, rt::CheckOutcome::BoundExceeded);
+  ASSERT_NE(Explicit.Outcome, rt::CheckOutcome::RuntimeError) << Source;
+
+  auto BP = convertFromCore(*C.Program, C.Ctx->Diags);
+  ASSERT_TRUE(BP.has_value()) << C.diagnostics() << Source;
+  BebopResult Summary = check(*BP);
+  ASSERT_NE(Summary.Outcome, BebopOutcome::BoundExceeded);
+
+  EXPECT_EQ(Explicit.Outcome == rt::CheckOutcome::AssertionFailure,
+            Summary.Outcome == BebopOutcome::AssertionFailure)
+      << "engines disagree for seed " << GetParam() << "\n"
+      << Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBooleanPrograms, BebopEquivalenceTest,
+                         ::testing::Range<uint64_t>(500, 560));
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- CFGTest.cpp --------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace kiss;
+using namespace kiss::cfg;
+using namespace kiss::test;
+
+namespace {
+
+TEST(CFGTest, StraightLine) {
+  auto C = compile(R"(
+    void main() {
+      int x = 1;
+      int y = 2;
+      x = x + y;
+    }
+  )");
+  ASSERT_TRUE(C);
+  ProgramCFG CFG = ProgramCFG::build(*C.Program);
+  const FunctionCFG &F = CFG.getFunctionCFG(0);
+  // Entry nop + 3 assigns + synthetic exit return.
+  EXPECT_EQ(F.getNumNodes(), 5u);
+  // Every non-exit node has exactly one successor.
+  for (uint32_t I = 0; I != F.getNumNodes(); ++I) {
+    const Node &N = F.getNode(I);
+    if (N.Kind == NodeKind::Return)
+      EXPECT_TRUE(N.Succs.empty());
+    else
+      EXPECT_EQ(N.Succs.size(), 1u);
+  }
+}
+
+TEST(CFGTest, ChoiceForksAndJoins) {
+  auto C = compile(R"(
+    void main() {
+      int x;
+      choice { x = 1; } or { x = 2; } or { x = 3; }
+      x = 0;
+    }
+  )");
+  ASSERT_TRUE(C);
+  ProgramCFG CFG = ProgramCFG::build(*C.Program);
+  const FunctionCFG &F = CFG.getFunctionCFG(0);
+  bool FoundFork = false;
+  for (uint32_t I = 0; I != F.getNumNodes(); ++I) {
+    const Node &N = F.getNode(I);
+    if (N.Kind == NodeKind::Nop && N.Succs.size() == 3) {
+      FoundFork = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(FoundFork);
+}
+
+TEST(CFGTest, IterLoopsBack) {
+  auto C = compile(R"(
+    void main() {
+      int x = 0;
+      iter { x = x + 1; }
+    }
+  )");
+  ASSERT_TRUE(C);
+  ProgramCFG CFG = ProgramCFG::build(*C.Program);
+  const FunctionCFG &F = CFG.getFunctionCFG(0);
+  // Some node must have a successor with a smaller id (the back edge).
+  bool FoundBackEdge = false;
+  for (uint32_t I = 0; I != F.getNumNodes(); ++I)
+    for (uint32_t S : F.getNode(I).Succs)
+      if (S < I && F.getNode(S).Kind == NodeKind::Nop)
+        FoundBackEdge = true;
+  EXPECT_TRUE(FoundBackEdge);
+}
+
+TEST(CFGTest, AtomicBrackets) {
+  auto C = compile(R"(
+    int g;
+    void main() {
+      atomic { g = 1; g = 2; }
+    }
+  )");
+  ASSERT_TRUE(C);
+  ProgramCFG CFG = ProgramCFG::build(*C.Program);
+  const FunctionCFG &F = CFG.getFunctionCFG(0);
+  unsigned Begins = 0, Ends = 0;
+  for (uint32_t I = 0; I != F.getNumNodes(); ++I) {
+    if (F.getNode(I).Kind == NodeKind::AtomicBegin)
+      ++Begins;
+    if (F.getNode(I).Kind == NodeKind::AtomicEnd)
+      ++Ends;
+  }
+  EXPECT_EQ(Begins, 1u);
+  EXPECT_EQ(Ends, 1u);
+}
+
+TEST(CFGTest, ExplicitReturnHasNoSuccessors) {
+  auto C = compile(R"(
+    int f(int x) {
+      if (x == 0) { return 1; }
+      return 2;
+    }
+    void main() { int r = f(0); }
+  )");
+  ASSERT_TRUE(C);
+  ProgramCFG CFG = ProgramCFG::build(*C.Program);
+  const FunctionCFG &F = CFG.getFunctionCFG(0);
+  unsigned Returns = 0;
+  for (uint32_t I = 0; I != F.getNumNodes(); ++I) {
+    const Node &N = F.getNode(I);
+    if (N.Kind == NodeKind::Return) {
+      ++Returns;
+      EXPECT_TRUE(N.Succs.empty());
+    }
+  }
+  // Two explicit returns plus the synthetic exit.
+  EXPECT_EQ(Returns, 3u);
+}
+
+TEST(CFGTest, CallNodesForCallsWithAndWithoutResult) {
+  auto C = compile(R"(
+    int f() { return 1; }
+    void g() { skip; }
+    void main() {
+      int r = f();
+      g();
+    }
+  )");
+  ASSERT_TRUE(C);
+  ProgramCFG CFG = ProgramCFG::build(*C.Program);
+  int MainIdx = C.Program->getFunctionIndex(C.Ctx->Syms.lookup("main"));
+  const FunctionCFG &F = CFG.getFunctionCFG(MainIdx);
+  unsigned Calls = 0;
+  for (uint32_t I = 0; I != F.getNumNodes(); ++I)
+    if (F.getNode(I).Kind == NodeKind::Call)
+      ++Calls;
+  EXPECT_EQ(Calls, 2u);
+}
+
+TEST(CFGTest, DotDumpContainsNodes) {
+  auto C = compile("void main() { int x = 1; }");
+  ASSERT_TRUE(C);
+  ProgramCFG CFG = ProgramCFG::build(*C.Program);
+  std::string Dot = CFG.getFunctionCFG(0).dump(C.Ctx->Syms);
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+  EXPECT_NE(Dot.find("->"), std::string::npos);
+}
+
+TEST(CFGTest, TotalNodesCountsAllFunctions) {
+  auto C = compile(R"(
+    void f() { skip; }
+    void main() { f(); }
+  )");
+  ASSERT_TRUE(C);
+  ProgramCFG CFG = ProgramCFG::build(*C.Program);
+  EXPECT_EQ(CFG.getNumFunctions(), 2u);
+  EXPECT_EQ(CFG.getTotalNodes(),
+            CFG.getFunctionCFG(0).getNumNodes() +
+                CFG.getFunctionCFG(1).getNumNodes());
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+//===- FuzzTest.cpp - Robustness sweeps over hostile inputs ---------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The frontend must reject arbitrary garbage gracefully (diagnostics, no
+/// crashes, no hangs) — these sweeps feed it deterministic pseudo-random
+/// byte soup, token soup, and truncated/mutated valid programs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ProgramGen.h"
+#include "TestUtil.h"
+
+using namespace kiss;
+using namespace kiss::test;
+
+namespace {
+
+class FuzzSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSeedTest, RandomAsciiNeverCrashesTheFrontend) {
+  Rng R(GetParam());
+  std::string Soup;
+  unsigned Len = 20 + R.next(400);
+  for (unsigned I = 0; I != Len; ++I)
+    Soup += static_cast<char>(32 + R.next(95));
+  lower::CompilerContext Ctx;
+  auto P = lower::compileToCore(Ctx, "soup", Soup);
+  // Virtually always a parse error; the point is: no crash, and failure
+  // comes with diagnostics.
+  if (!P) {
+    EXPECT_TRUE(Ctx.Diags.hasErrors());
+  }
+}
+
+TEST_P(FuzzSeedTest, TokenSoupNeverCrashesTheFrontend) {
+  static const char *Tokens[] = {
+      "struct", "void",  "int",    "bool",   "func",   "if",     "else",
+      "while",  "iter",  "choice", "or",     "atomic", "async",  "assert",
+      "assume", "skip",  "return", "new",    "null",   "true",   "false",
+      "benign", "main",  "x",      "y",      "S",      "{",      "}",
+      "(",      ")",     ";",      ",",      "*",      "&",      "->",
+      "=",      "==",    "!=",     "+",      "-",      "!",      "0",
+      "1",      "42",    "nondet_bool", "nondet_int", "<", ">",
+  };
+  Rng R(GetParam() * 7919);
+  std::string Soup;
+  unsigned Len = 10 + R.next(150);
+  for (unsigned I = 0; I != Len; ++I) {
+    Soup += Tokens[R.next(sizeof(Tokens) / sizeof(char *))];
+    Soup += ' ';
+  }
+  lower::CompilerContext Ctx;
+  auto P = lower::compileToCore(Ctx, "tokens", Soup);
+  if (!P) {
+    EXPECT_TRUE(Ctx.Diags.hasErrors());
+  }
+}
+
+TEST_P(FuzzSeedTest, TruncatedValidProgramsFailGracefully) {
+  std::string Valid = generateProgram(GetParam());
+  Rng R(GetParam() * 31 + 7);
+  std::string Truncated = Valid.substr(0, R.next(Valid.size() + 1));
+  lower::CompilerContext Ctx;
+  auto P = lower::compileToCore(Ctx, "trunc", Truncated);
+  if (!P) {
+    EXPECT_TRUE(Ctx.Diags.hasErrors());
+  }
+}
+
+TEST_P(FuzzSeedTest, MutatedValidProgramsFailGracefully) {
+  std::string Source = generateProgram(GetParam());
+  Rng R(GetParam() * 131 + 3);
+  // Flip a handful of characters.
+  for (int I = 0; I < 5 && !Source.empty(); ++I)
+    Source[R.next(Source.size())] = static_cast<char>(32 + R.next(95));
+  lower::CompilerContext Ctx;
+  auto P = lower::compileToCore(Ctx, "mutant", Source);
+  if (!P) {
+    EXPECT_TRUE(Ctx.Diags.hasErrors());
+  } else {
+    // Mutation survived the frontend: the program must still be core.
+    std::string Why;
+    EXPECT_TRUE(lower::isCoreProgram(*P, &Why)) << Why;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeedTest,
+                         ::testing::Range<uint64_t>(1000, 1050));
+
+} // namespace

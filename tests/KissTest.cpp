@@ -1,0 +1,509 @@
+//===- KissTest.cpp - End-to-end tests of the KISS checker ----------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "conc/ConcChecker.h"
+#include "kiss/KissChecker.h"
+#include "lang/ASTPrinter.h"
+
+using namespace kiss;
+using namespace kiss::core;
+using namespace kiss::test;
+
+namespace {
+
+/// Figure 2 of the paper: the simplified Bluetooth driver model.
+const char *BluetoothSource = R"(
+  struct DEVICE_EXTENSION {
+    int pendingIo;
+    bool stoppingFlag;
+    bool stoppingEvent;
+  }
+  bool stopped = false;
+
+  int BCSP_IoIncrement(DEVICE_EXTENSION *e) {
+    if (e->stoppingFlag) { return 0 - 1; }
+    atomic { e->pendingIo = e->pendingIo + 1; }
+    return 0;
+  }
+
+  void BCSP_IoDecrement(DEVICE_EXTENSION *e) {
+    int pendingIo;
+    atomic {
+      e->pendingIo = e->pendingIo - 1;
+      pendingIo = e->pendingIo;
+    }
+    if (pendingIo == 0) { e->stoppingEvent = true; }
+  }
+
+  void BCSP_PnpStop(DEVICE_EXTENSION *e) {
+    e->stoppingFlag = true;
+    BCSP_IoDecrement(e);
+    assume(e->stoppingEvent);
+    stopped = true;
+  }
+
+  void BCSP_PnpAdd(DEVICE_EXTENSION *e) {
+    int status;
+    status = BCSP_IoIncrement(e);
+    if (status == 0) {
+      assert(!stopped);
+    }
+    BCSP_IoDecrement(e);
+  }
+
+  void main() {
+    DEVICE_EXTENSION *e = new DEVICE_EXTENSION;
+    e->pendingIo = 1;
+    e->stoppingFlag = false;
+    e->stoppingEvent = false;
+    stopped = false;
+    async BCSP_PnpStop(e);
+    BCSP_PnpAdd(e);
+  }
+)";
+
+KissReport runAssertions(const Compiled &C, unsigned MaxTs) {
+  KissOptions Opts;
+  Opts.MaxTs = MaxTs;
+  return checkAssertions(*C.Program, Opts, C.Ctx->Diags);
+}
+
+KissReport runRace(const Compiled &C, const RaceTarget &T, unsigned MaxTs,
+                   bool UseAlias = true) {
+  KissOptions Opts;
+  Opts.MaxTs = MaxTs;
+  Opts.UseAliasAnalysis = UseAlias;
+  return checkRace(*C.Program, T, Opts, C.Ctx->Diags);
+}
+
+RaceTarget fieldTarget(const Compiled &C, const char *Struct,
+                       const char *Field) {
+  return RaceTarget::field(C.Ctx->Syms.intern(Struct),
+                           C.Ctx->Syms.intern(Field));
+}
+
+//===----------------------------------------------------------------------===//
+// Transformation shape
+//===----------------------------------------------------------------------===//
+
+TEST(KissTransformTest, OutputIsCoreAndSequential) {
+  auto C = compile(BluetoothSource);
+  ASSERT_TRUE(C);
+  TransformOptions TO;
+  TO.MaxTs = 1;
+  auto T = transformForAssertions(*C.Program, TO, C.Ctx->Diags);
+  ASSERT_TRUE(T != nullptr) << C.diagnostics();
+
+  std::string Why;
+  EXPECT_TRUE(lower::isCoreProgram(*T, &Why)) << Why;
+
+  // Sequential: no async statements anywhere in the output.
+  std::string Printed = lang::printProgram(*T);
+  EXPECT_EQ(Printed.find("async "), std::string::npos) << Printed;
+  // The instrumentation exists.
+  EXPECT_NE(Printed.find("__raise"), std::string::npos);
+  EXPECT_NE(Printed.find("__kiss_schedule"), std::string::npos);
+  EXPECT_NE(Printed.find("__ts_fn0"), std::string::npos);
+}
+
+TEST(KissTransformTest, TransformedProgramReparses) {
+  auto C = compile(BluetoothSource);
+  ASSERT_TRUE(C);
+  TransformOptions TO;
+  TO.MaxTs = 2;
+  auto T = transformForAssertions(*C.Program, TO, C.Ctx->Diags);
+  ASSERT_TRUE(T != nullptr);
+  std::string Printed = lang::printProgram(*T);
+  lower::CompilerContext Ctx2;
+  auto P2 = lower::compileToCore(Ctx2, "kiss-out.kiss", Printed);
+  EXPECT_TRUE(P2 != nullptr) << Ctx2.renderDiagnostics() << "\n" << Printed;
+}
+
+TEST(KissTransformTest, MaxZeroHasNoTsMachinery) {
+  auto C = compile(BluetoothSource);
+  ASSERT_TRUE(C);
+  TransformOptions TO;
+  TO.MaxTs = 0;
+  auto T = transformForAssertions(*C.Program, TO, C.Ctx->Diags);
+  ASSERT_TRUE(T != nullptr);
+  std::string Printed = lang::printProgram(*T);
+  EXPECT_EQ(Printed.find("__ts_fn"), std::string::npos);
+  EXPECT_EQ(Printed.find("__ts_size"), std::string::npos);
+}
+
+TEST(KissTransformTest, MixedAsyncSignaturesRejected) {
+  auto C = compile(R"(
+    void a() { skip; }
+    void b(int x) { skip; }
+    void main() {
+      async a();
+      async b(1);
+    }
+  )");
+  ASSERT_TRUE(C);
+  TransformOptions TO;
+  TO.MaxTs = 1;
+  DiagnosticEngine Diags;
+  auto T = transformForAssertions(*C.Program, TO, Diags);
+  EXPECT_TRUE(T == nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// §2.3: the reference-counting assertion needs MAX = 1
+//===----------------------------------------------------------------------===//
+
+TEST(KissEndToEndTest, BluetoothAssertionNotFoundAtMaxZero) {
+  auto C = compile(BluetoothSource);
+  ASSERT_TRUE(C);
+  KissReport R = runAssertions(C, /*MaxTs=*/0);
+  EXPECT_EQ(R.Verdict, KissVerdict::NoErrorFound)
+      << R.Message << "\n"
+      << formatConcurrentTrace(R.Trace, *C.Program, &C.Ctx->SM);
+}
+
+TEST(KissEndToEndTest, BluetoothAssertionFoundAtMaxOne) {
+  auto C = compile(BluetoothSource);
+  ASSERT_TRUE(C);
+  KissReport R = runAssertions(C, /*MaxTs=*/1);
+  EXPECT_EQ(R.Verdict, KissVerdict::AssertionViolation) << R.Message;
+  EXPECT_FALSE(R.Trace.Steps.empty());
+  // The paper's trace: PnpAdd runs on thread 0, PnpStop interleaves as
+  // thread 1, then the assert fires on thread 0.
+  EXPECT_GE(R.Trace.NumThreads, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// §2.2: the stoppingFlag race is found at MAX = 0
+//===----------------------------------------------------------------------===//
+
+TEST(KissEndToEndTest, BluetoothStoppingFlagRaceAtMaxZero) {
+  auto C = compile(BluetoothSource);
+  ASSERT_TRUE(C);
+  KissReport R = runRace(C, fieldTarget(C, "DEVICE_EXTENSION",
+                                        "stoppingFlag"), /*MaxTs=*/0);
+  EXPECT_EQ(R.Verdict, KissVerdict::RaceDetected) << R.Message;
+  EXPECT_FALSE(R.Trace.Steps.empty());
+}
+
+TEST(KissEndToEndTest, AtomicallyProtectedFieldHasNoRaceProbes) {
+  // pendingIo is only touched inside atomic blocks, which Figure 5 leaves
+  // unprobed; no race can be reported on it.
+  auto C = compile(BluetoothSource);
+  ASSERT_TRUE(C);
+  KissReport R = runRace(C, fieldTarget(C, "DEVICE_EXTENSION", "pendingIo"),
+                         /*MaxTs=*/0);
+  EXPECT_EQ(R.Verdict, KissVerdict::NoErrorFound) << R.Message;
+}
+
+//===----------------------------------------------------------------------===//
+// Race detection on globals and through pointers
+//===----------------------------------------------------------------------===//
+
+TEST(KissEndToEndTest, GlobalVariableRaceDetected) {
+  auto C = compile(R"(
+    int shared = 0;
+    void worker() { shared = 1; }
+    void main() {
+      async worker();
+      int r = shared;
+    }
+  )");
+  ASSERT_TRUE(C);
+  RaceTarget T = RaceTarget::global(C.Ctx->Syms.intern("shared"));
+  KissReport R = runRace(C, T, /*MaxTs=*/0);
+  EXPECT_EQ(R.Verdict, KissVerdict::RaceDetected) << R.Message;
+}
+
+TEST(KissEndToEndTest, LockProtectedGlobalHasNoRace) {
+  auto C = compile(R"(
+    int lock = 0;
+    int shared = 0;
+    void lock_acquire(int *l) { atomic { assume(*l == 0); *l = 1; } }
+    void lock_release(int *l) { atomic { *l = 0; } }
+    void worker() {
+      lock_acquire(&lock);
+      shared = 1;
+      lock_release(&lock);
+    }
+    void main() {
+      async worker();
+      lock_acquire(&lock);
+      int r = shared;
+      lock_release(&lock);
+    }
+  )");
+  ASSERT_TRUE(C);
+  RaceTarget T = RaceTarget::global(C.Ctx->Syms.intern("shared"));
+  KissReport R = runRace(C, T, /*MaxTs=*/0);
+  EXPECT_EQ(R.Verdict, KissVerdict::NoErrorFound)
+      << R.Message << "\n"
+      << formatConcurrentTrace(R.Trace, *C.Program, &C.Ctx->SM);
+}
+
+TEST(KissEndToEndTest, RaceThroughPointerDetected) {
+  auto C = compile(R"(
+    int shared = 0;
+    void worker() {
+      int *p = &shared;
+      *p = 1;
+    }
+    void main() {
+      async worker();
+      int r = shared;
+    }
+  )");
+  ASSERT_TRUE(C);
+  RaceTarget T = RaceTarget::global(C.Ctx->Syms.intern("shared"));
+  KissReport R = runRace(C, T, /*MaxTs=*/0);
+  EXPECT_EQ(R.Verdict, KissVerdict::RaceDetected) << R.Message;
+}
+
+TEST(KissEndToEndTest, ReadReadIsNotARace) {
+  auto C = compile(R"(
+    int shared = 7;
+    void worker() { int r = shared; }
+    void main() {
+      async worker();
+      int r2 = shared;
+    }
+  )");
+  ASSERT_TRUE(C);
+  RaceTarget T = RaceTarget::global(C.Ctx->Syms.intern("shared"));
+  KissReport R = runRace(C, T, /*MaxTs=*/0);
+  EXPECT_EQ(R.Verdict, KissVerdict::NoErrorFound) << R.Message;
+}
+
+TEST(KissEndToEndTest, WriteWriteIsARace) {
+  auto C = compile(R"(
+    int shared = 0;
+    void worker() { shared = 1; }
+    void main() {
+      async worker();
+      shared = 2;
+    }
+  )");
+  ASSERT_TRUE(C);
+  RaceTarget T = RaceTarget::global(C.Ctx->Syms.intern("shared"));
+  KissReport R = runRace(C, T, /*MaxTs=*/0);
+  EXPECT_EQ(R.Verdict, KissVerdict::RaceDetected) << R.Message;
+}
+
+TEST(KissEndToEndTest, AliasAnalysisPrunesUnrelatedProbes) {
+  auto C = compile(R"(
+    int shared = 0;
+    int unrelated = 0;
+    void worker() {
+      int *q = &unrelated;
+      *q = 5;
+      shared = 1;
+    }
+    void main() {
+      async worker();
+      int r = shared;
+    }
+  )");
+  ASSERT_TRUE(C);
+  RaceTarget T = RaceTarget::global(C.Ctx->Syms.intern("shared"));
+
+  KissReport WithAlias = runRace(C, T, 0, /*UseAlias=*/true);
+  KissReport WithoutAlias = runRace(C, T, 0, /*UseAlias=*/false);
+  // Both find the race (soundness of pruning)...
+  EXPECT_EQ(WithAlias.Verdict, KissVerdict::RaceDetected);
+  EXPECT_EQ(WithoutAlias.Verdict, KissVerdict::RaceDetected);
+  // ...but the analysis removes the *q probe (different points-to class).
+  EXPECT_LT(WithAlias.Stats.ProbesEmitted,
+            WithoutAlias.Stats.ProbesEmitted);
+}
+
+//===----------------------------------------------------------------------===//
+// Assertion checking details
+//===----------------------------------------------------------------------===//
+
+TEST(KissEndToEndTest, SequentialAssertionsStillChecked) {
+  auto C = compile(R"(
+    void main() {
+      int x = nondet_int(0, 5);
+      assert(x != 3);
+    }
+  )");
+  ASSERT_TRUE(C);
+  KissReport R = runAssertions(C, 0);
+  EXPECT_EQ(R.Verdict, KissVerdict::AssertionViolation);
+}
+
+TEST(KissEndToEndTest, SafeConcurrentProgramStaysSafe) {
+  auto C = compile(R"(
+    int count = 0;
+    void worker() { atomic { count = count + 1; } }
+    void main() {
+      async worker();
+      async worker();
+      assert(count >= 0);
+    }
+  )");
+  ASSERT_TRUE(C);
+  for (unsigned MaxTs : {0u, 1u, 2u}) {
+    KissReport R = runAssertions(C, MaxTs);
+    EXPECT_EQ(R.Verdict, KissVerdict::NoErrorFound)
+        << "MaxTs=" << MaxTs << ": " << R.Message;
+  }
+}
+
+TEST(KissEndToEndTest, RaiseTerminationExposesPartialThreadEffects) {
+  // Thread t writes a=1 then b=1. KISS can terminate t between the writes
+  // (RAISE), so main can observe a==1 && b==0.
+  auto C = compile(R"(
+    int a = 0;
+    int b = 0;
+    void t() {
+      a = 1;
+      b = 1;
+    }
+    void main() {
+      async t();
+      bool partial = a == 1 && b == 0;
+      assert(!partial);
+    }
+  )");
+  ASSERT_TRUE(C);
+  KissReport R = runAssertions(C, 0);
+  EXPECT_EQ(R.Verdict, KissVerdict::AssertionViolation) << R.Message;
+}
+
+TEST(KissEndToEndTest, IncreasingMaxTsIncreasesCoverage) {
+  // Two forked threads must both run *after* main's last statement to
+  // violate the assertion; with MAX=0 both async calls run inline before
+  // the flag flips, with MAX=2 both can be deferred.
+  auto C = compile(R"(
+    int hits = 0;
+    bool armed = false;
+    void w() {
+      if (armed) { hits = hits + 1; }
+      assert(hits != 2);
+    }
+    void main() {
+      async w();
+      async w();
+      armed = true;
+    }
+  )");
+  ASSERT_TRUE(C);
+  EXPECT_EQ(runAssertions(C, 0).Verdict, KissVerdict::NoErrorFound);
+  EXPECT_EQ(runAssertions(C, 2).Verdict, KissVerdict::AssertionViolation);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace mapping
+//===----------------------------------------------------------------------===//
+
+TEST(KissTraceTest, MappedTraceAttributesThreads) {
+  auto C = compile(BluetoothSource);
+  ASSERT_TRUE(C);
+  KissReport R = runAssertions(C, 1);
+  ASSERT_EQ(R.Verdict, KissVerdict::AssertionViolation);
+  std::string Text = formatConcurrentTrace(R.Trace, *C.Program, &C.Ctx->SM);
+  // Both threads appear, and the trace ends at the assert statement.
+  EXPECT_NE(Text.find("[t0]"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("[t1]"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("assert"), std::string::npos) << Text;
+  // Every step references an original source line of the input buffer.
+  EXPECT_NE(Text.find("test.kiss:"), std::string::npos) << Text;
+}
+
+TEST(KissTraceTest, SpawnEventsAppearForDeferredThreads) {
+  auto C = compile(R"(
+    int x = 0;
+    void w() { x = 1; }
+    void main() {
+      async w();
+      assert(x == 0);
+    }
+  )");
+  ASSERT_TRUE(C);
+  // With MAX=1 the spawn is deferred into ts; the violating path schedules
+  // w after the assert... actually the assert must fail before main ends,
+  // so the failing path runs w inline (full-ts branch) or via ts+schedule
+  // mid-main. Either way the error is found.
+  KissReport R = runAssertions(C, 1);
+  ASSERT_EQ(R.Verdict, KissVerdict::AssertionViolation);
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's central guarantee: no false errors
+//===----------------------------------------------------------------------===//
+
+/// Programs with seeded bugs and safe variants; KISS verdicts must be
+/// confirmed by the full interleaving exploration.
+struct SoundnessCase {
+  const char *Name;
+  const char *Source;
+};
+
+class KissSoundnessTest : public ::testing::TestWithParam<SoundnessCase> {};
+
+TEST_P(KissSoundnessTest, KissErrorsAreRealErrors) {
+  auto C = compile(GetParam().Source);
+  ASSERT_TRUE(C);
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*C.Program);
+  rt::CheckResult Truth = conc::checkProgram(*C.Program, CFG);
+
+  for (unsigned MaxTs : {0u, 1u, 2u}) {
+    KissReport R = runAssertions(C, MaxTs);
+    if (R.foundError()) {
+      // Completeness direction of Theorem 1 applied as soundness of the
+      // tool: an error KISS reports exists in the concurrent program.
+      EXPECT_TRUE(Truth.foundError())
+          << GetParam().Name << " MaxTs=" << MaxTs
+          << ": KISS reported a false error";
+    }
+  }
+}
+
+const SoundnessCase SoundnessCases[] = {
+    {"safe_atomic_counter", R"(
+      int c = 0;
+      void w() { atomic { c = c + 1; } }
+      void main() { async w(); async w(); assert(c >= 0); }
+    )"},
+    {"racy_flag", R"(
+      bool flag = false;
+      void w() { flag = true; }
+      void main() { async w(); assert(!flag); }
+    )"},
+    {"partial_write", R"(
+      int a = 0; int b = 0;
+      void w() { a = 1; b = 1; }
+      void main() { async w(); bool bad = a == 1 && b == 0; assert(!bad); }
+    )"},
+    {"event_handshake_safe", R"(
+      bool ev = false; int d = 0;
+      void w() { d = 5; ev = true; }
+      void main() { async w(); assume(ev); assert(d == 5); }
+    )"},
+    {"double_spawn_bug", R"(
+      int n = 0;
+      void w() { n = n + 1; assert(n <= 2); }
+      void main() { async w(); async w(); async w(); }
+    )"},
+    {"lock_protected_safe", R"(
+      int l = 0; int c = 0;
+      void acq(int *x) { atomic { assume(*x == 0); *x = 1; } }
+      void rel(int *x) { atomic { *x = 0; } }
+      void w() { acq(&l); c = c + 1; assert(c == 1); c = c - 1; rel(&l); }
+      void main() { async w(); async w(); }
+    )"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Soundness, KissSoundnessTest,
+                         ::testing::ValuesIn(SoundnessCases),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+} // namespace

@@ -1,0 +1,162 @@
+//===- PrinterTest.cpp ----------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "lang/ASTPrinter.h"
+
+using namespace kiss;
+using namespace kiss::lang;
+using namespace kiss::test;
+
+namespace {
+
+/// Compiles a main with a single assignment and returns the printed RHS.
+std::string printedBody(const std::string &Body) {
+  auto C = parseOnly("int a; int b; int c; bool p; bool q;\nvoid main() {\n" +
+                     Body + "\n}");
+  EXPECT_TRUE(C) << C.diagnostics();
+  if (!C)
+    return "";
+  return printStmt(
+      cast<BlockStmt>(C.Program->getEntryFunction()->getBody())
+          ->getStmts()
+          .back()
+          .get(),
+      C.Ctx->Syms);
+}
+
+TEST(PrinterTest, PrecedenceNeedsNoRedundantParens) {
+  EXPECT_EQ(printedBody("a = a + b * c;"), "a = a + b * c;\n");
+  EXPECT_EQ(printedBody("a = (a + b) * c;"), "a = (a + b) * c;\n");
+  EXPECT_EQ(printedBody("p = a + 1 == b;"), "p = a + 1 == b;\n");
+  EXPECT_EQ(printedBody("p = p && q || q;"), "p = p && q || q;\n");
+  EXPECT_EQ(printedBody("p = p && (q || q);"), "p = p && (q || q);\n");
+}
+
+TEST(PrinterTest, NegativeLiteralsReparse) {
+  auto C = parseOnly(R"(
+    int g = -5;
+    void main() {
+      int x = nondet_int(-3, -1);
+      g = x;
+    }
+  )");
+  ASSERT_TRUE(C) << C.diagnostics();
+  std::string Printed = printProgram(*C.Program);
+  auto C2 = parseOnly(Printed);
+  ASSERT_TRUE(C2) << Printed << C2.diagnostics();
+  EXPECT_EQ(C2.Program->getGlobals()[0].Init->IntValue, -5);
+}
+
+TEST(PrinterTest, PointerAndFieldSyntax) {
+  auto C = parseOnly(R"(
+    struct S { int x; S *next; }
+    void main() {
+      S *s = new S;
+      int *p = &s->x;
+      *p = 1;
+      s->next = s;
+      int v = s->next->x;
+    }
+  )");
+  ASSERT_TRUE(C) << C.diagnostics();
+  std::string Printed = printProgram(*C.Program);
+  EXPECT_NE(Printed.find("&s->x"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("s->next->x"), std::string::npos) << Printed;
+  EXPECT_NE(Printed.find("*(p) = 1;"), std::string::npos) << Printed;
+  EXPECT_TRUE(parseOnly(Printed)) << Printed;
+}
+
+TEST(PrinterTest, AllStatementFormsPrintAndReparse) {
+  const char *Source = R"(
+    int g = 0;
+    void w() { skip; }
+    void main() {
+      int x = 0;
+      if (x == 0) { g = 1; } else { g = 2; }
+      while (x < 3) { x = x + 1; }
+      choice { g = 1; } or { g = 2; }
+      iter { x = x + 1; }
+      atomic { g = g + 1; }
+      async w();
+      assume(g >= 0);
+      assert(true);
+      benign g = 5;
+      return;
+    }
+  )";
+  auto C = parseOnly(Source);
+  ASSERT_TRUE(C) << C.diagnostics();
+  std::string Printed = printProgram(*C.Program);
+  for (const char *Needle :
+       {"if (", "} else {", "while (", "choice {", "} or {", "iter {",
+        "atomic {", "async w()", "assume(", "assert(", "benign", "return;"})
+    EXPECT_NE(Printed.find(Needle), std::string::npos)
+        << "missing " << Needle << " in\n"
+        << Printed;
+  EXPECT_TRUE(parseOnly(Printed)) << Printed;
+}
+
+TEST(PrinterTest, FuncTypesRoundTrip) {
+  auto C = parseOnly(R"(
+    struct D { int x; }
+    void h(D *d, int n) { skip; }
+    void main() {
+      func<void(D*, int)> f = h;
+      D *d = new D;
+      f(d, 3);
+    }
+  )");
+  ASSERT_TRUE(C) << C.diagnostics();
+  std::string Printed = printProgram(*C.Program);
+  EXPECT_NE(Printed.find("func<void(D*, int)>"), std::string::npos)
+      << Printed;
+  EXPECT_TRUE(parseOnly(Printed)) << Printed;
+}
+
+TEST(PrinterTest, ExprPrinterStandalone) {
+  auto C = parseOnly(R"(
+    void main() {
+      int a = 1;
+      bool p = a + 2 * 3 == 7;
+    }
+  )");
+  ASSERT_TRUE(C);
+  const auto *Body =
+      cast<BlockStmt>(C.Program->getEntryFunction()->getBody());
+  const auto *Decl = cast<DeclStmt>(Body->getStmts()[1].get());
+  EXPECT_EQ(printExpr(Decl->getInit(), C.Ctx->Syms), "a + 2 * 3 == 7");
+}
+
+TEST(PrinterTest, TypeRendering) {
+  lang::TypeContext Types;
+  SymbolTable Syms;
+  const Type *S = Types.getStructType(Syms.intern("Dev"));
+  EXPECT_EQ(Types.getIntType()->str(Syms), "int");
+  EXPECT_EQ(Types.getPointerType(Types.getPointerType(S))->str(Syms),
+            "Dev**");
+  EXPECT_EQ(Types
+                .getFuncType(Types.getBoolType(),
+                             {Types.getPointerType(S), Types.getIntType()})
+                ->str(Syms),
+            "func<bool(Dev*, int)>");
+}
+
+TEST(TypeContextTest, TypesAreInterned) {
+  lang::TypeContext Types;
+  SymbolTable Syms;
+  const Type *I = Types.getIntType();
+  EXPECT_EQ(Types.getPointerType(I), Types.getPointerType(I));
+  Symbol S = Syms.intern("S");
+  EXPECT_EQ(Types.getStructType(S), Types.getStructType(S));
+  EXPECT_EQ(Types.getFuncType(I, {I}), Types.getFuncType(I, {I}));
+  EXPECT_NE(Types.getFuncType(I, {I}), Types.getFuncType(I, {}));
+  EXPECT_NE(Types.getPointerType(I),
+            Types.getPointerType(Types.getBoolType()));
+}
+
+} // namespace

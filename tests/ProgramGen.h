@@ -1,0 +1,205 @@
+//===- ProgramGen.h - Deterministic random concurrent programs --*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded generator of small well-typed concurrent programs for the
+/// property suites. Programs have a few int/bool globals, one or two
+/// worker functions (shared signature void()), assertions over the
+/// globals, optional locking, and a main that forks workers and runs
+/// statements of its own. Deterministic per seed so failures reproduce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_TESTS_PROGRAMGEN_H
+#define KISS_TESTS_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace kiss::test {
+
+/// Deterministic xorshift generator.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed * 2654435761u + 1) {}
+
+  uint32_t next(uint32_t Bound) {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return static_cast<uint32_t>(State % Bound);
+  }
+
+  bool chance(uint32_t Percent) { return next(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+/// Configuration of the generated family.
+struct GenOptions {
+  unsigned NumIntGlobals = 2;
+  unsigned NumBoolGlobals = 2;
+  unsigned NumWorkers = 2;
+  unsigned StmtsPerWorker = 4;
+  unsigned StmtsInMain = 3;
+  bool WithLocks = true;
+  bool WithAsserts = true;
+  /// Upper bound of assert thresholds: smaller values make generated
+  /// assertions easier to violate (0 gives assert(g <= 0/1)).
+  unsigned AssertSlack = 4;
+};
+
+/// Generates one program from \p Seed.
+inline std::string generateProgram(uint64_t Seed,
+                                   const GenOptions &Opts = GenOptions()) {
+  Rng R(Seed);
+  std::string Src;
+
+  for (unsigned I = 0; I != Opts.NumIntGlobals; ++I)
+    Src += "int g" + std::to_string(I) + " = 0;\n";
+  for (unsigned I = 0; I != Opts.NumBoolGlobals; ++I)
+    Src += "bool b" + std::to_string(I) + " = false;\n";
+  if (Opts.WithLocks)
+    Src += "int lock = 0;\n";
+  Src += "\n";
+  if (Opts.WithLocks) {
+    Src += "void acquire(int *l) { atomic { assume(*l == 0); *l = 1; } }\n";
+    Src += "void release(int *l) { atomic { *l = 0; } }\n\n";
+  }
+
+  auto intVar = [&] { return "g" + std::to_string(R.next(Opts.NumIntGlobals)); };
+  auto boolVar = [&] {
+    return "b" + std::to_string(R.next(Opts.NumBoolGlobals));
+  };
+
+  // One random simple statement at the given indent.
+  auto makeStmt = [&](unsigned Indent, bool AllowAssert) {
+    std::string Pad(Indent * 2, ' ');
+    switch (R.next(AllowAssert && Opts.WithAsserts ? 8 : 6)) {
+    case 0:
+      return Pad + intVar() + " = " + intVar() + " + 1;\n";
+    case 1:
+      return Pad + intVar() + " = " + std::to_string(R.next(3)) + ";\n";
+    case 2:
+      return Pad + boolVar() + " = " + (R.chance(50) ? "true" : "false") +
+             ";\n";
+    case 3:
+      return Pad + boolVar() + " = !" + boolVar() + ";\n";
+    case 4: {
+      std::string Cond = R.chance(50)
+                             ? boolVar()
+                             : intVar() + " == " + std::to_string(R.next(3));
+      return Pad + "if (" + Cond + ") { " + intVar() + " = " + intVar() +
+             " + 1; }\n";
+    }
+    case 5:
+      return Pad + "atomic { " + intVar() + " = " + intVar() + " + 1; }\n";
+    case 6:
+      return Pad + "assert(" + intVar() + " <= " +
+             std::to_string(R.next(Opts.AssertSlack + 1)) + ");\n";
+    default:
+      return Pad + "assert(!" + boolVar() + " || true);\n";
+    }
+  };
+
+  for (unsigned W = 0; W != Opts.NumWorkers; ++W) {
+    Src += "void worker" + std::to_string(W) + "() {\n";
+    bool Locked = Opts.WithLocks && R.chance(40);
+    if (Locked)
+      Src += "  acquire(&lock);\n";
+    for (unsigned S = 0; S != Opts.StmtsPerWorker; ++S)
+      Src += makeStmt(1, /*AllowAssert=*/true);
+    if (Locked)
+      Src += "  release(&lock);\n";
+    Src += "}\n\n";
+  }
+
+  Src += "void main() {\n";
+  // Interleave forks with main's own statements.
+  unsigned Forks = 1 + R.next(Opts.NumWorkers);
+  for (unsigned F = 0; F != Forks; ++F) {
+    Src += "  async worker" + std::to_string(R.next(Opts.NumWorkers)) +
+           "();\n";
+    if (F + 1 != Forks || R.chance(60))
+      Src += makeStmt(1, /*AllowAssert=*/false);
+  }
+  for (unsigned S = 0; S != Opts.StmtsInMain; ++S)
+    Src += makeStmt(1, /*AllowAssert=*/true);
+  Src += "}\n";
+  return Src;
+}
+
+/// Generates a sequential program of the *boolean fragment* (bool-only
+/// variables, no pointers/async) from \p Seed — for cross-checking the
+/// summary-based checker against the explicit-state engine.
+inline std::string generateBooleanProgram(uint64_t Seed) {
+  Rng R(Seed);
+  std::string Src;
+  const unsigned NumGlobals = 3;
+  for (unsigned I = 0; I != NumGlobals; ++I)
+    Src += "bool g" + std::to_string(I) +
+           (R.chance(50) ? " = true;\n" : " = false;\n");
+
+  auto g = [&] { return "g" + std::to_string(R.next(NumGlobals)); };
+
+  auto expr = [&]() -> std::string {
+    switch (R.next(5)) {
+    case 0:
+      return g();
+    case 1:
+      return "!" + g();
+    case 2:
+      return g() + " == " + g();
+    case 3:
+      return g() + " != " + g();
+    default:
+      return "nondet_bool()";
+    }
+  };
+
+  // A couple of helper procedures exercising params/returns/summaries.
+  Src += "bool flip(bool x) { return !x; }\n";
+  Src += "bool pick(bool a, bool b) {\n"
+         "  bool take = nondet_bool();\n"
+         "  if (take) { return a; }\n"
+         "  return b;\n"
+         "}\n\n";
+
+  auto stmt = [&](unsigned Indent) -> std::string {
+    std::string Pad(Indent * 2, ' ');
+    switch (R.next(7)) {
+    case 0:
+      return Pad + g() + " = " + expr() + ";\n";
+    case 1:
+      return Pad + g() + " = flip(" + g() + ");\n";
+    case 2:
+      return Pad + g() + " = pick(" + g() + ", " + g() + ");\n";
+    case 3:
+      return Pad + "if (" + g() + ") { " + g() + " = " + expr() + "; }\n";
+    case 4:
+      return Pad + "iter { " + g() + " = " + expr() + "; }\n";
+    case 5:
+      return Pad + "assume(" + expr() + ");\n";
+    default:
+      return Pad + "assert(" + g() + " || !" + g() + " || " + expr() +
+             ");\n";
+    }
+  };
+
+  Src += "void main() {\n";
+  unsigned N = 4 + R.next(5);
+  for (unsigned I = 0; I != N; ++I)
+    Src += stmt(1);
+  // One final assertion that can genuinely fail on some seeds.
+  Src += "  assert(" + g() + " == " + g() + " || " + g() + ");\n";
+  Src += "}\n";
+  return Src;
+}
+
+} // namespace kiss::test
+
+#endif // KISS_TESTS_PROGRAMGEN_H

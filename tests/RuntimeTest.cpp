@@ -1,0 +1,163 @@
+//===- RuntimeTest.cpp ----------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "seqcheck/Runtime.h"
+
+using namespace kiss;
+using namespace kiss::rt;
+using namespace kiss::test;
+
+namespace {
+
+TEST(ValueTest, Constructors) {
+  EXPECT_TRUE(Value::makeUndef().isUndef());
+  EXPECT_EQ(Value::makeBool(true).K, ValueKind::Bool);
+  EXPECT_TRUE(Value::makeBool(true).asBool());
+  EXPECT_EQ(Value::makeInt(-7).I, -7);
+  EXPECT_EQ(Value::makeFunc(3).K, ValueKind::Func);
+  EXPECT_TRUE(Value::makeNullPtr().isNullPtr());
+  MemAddr A{AddrSpace::Heap, 0, 2, 1};
+  EXPECT_FALSE(Value::makePtr(A).isNullPtr());
+}
+
+TEST(ValueTest, EqualitySemantics) {
+  EXPECT_EQ(Value::makeInt(5), Value::makeInt(5));
+  EXPECT_FALSE(Value::makeInt(5) == Value::makeInt(6));
+  EXPECT_FALSE(Value::makeInt(1) == Value::makeBool(true));
+  MemAddr A{AddrSpace::Heap, 0, 1, 0};
+  MemAddr B{AddrSpace::Heap, 0, 1, 1};
+  EXPECT_EQ(Value::makePtr(A), Value::makePtr(A));
+  EXPECT_FALSE(Value::makePtr(A) == Value::makePtr(B));
+  EXPECT_EQ(Value::makeNullPtr(), Value::makeNullPtr());
+}
+
+TEST(ValueTest, DefaultValuesByType) {
+  lang::TypeContext Types;
+  EXPECT_EQ(defaultValue(Types.getIntType()), Value::makeInt(0));
+  EXPECT_EQ(defaultValue(Types.getBoolType()), Value::makeBool(false));
+  EXPECT_TRUE(
+      defaultValue(Types.getPointerType(Types.getIntType())).isNullPtr());
+  EXPECT_EQ(defaultValue(Types.getFuncType(Types.getVoidType(), {})).I, -1);
+}
+
+TEST(InitialStateTest, GlobalsFromInitializers) {
+  auto C = compile(R"(
+    int a = 41;
+    bool b = true;
+    int c;
+    void main() { skip; }
+  )");
+  ASSERT_TRUE(C);
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*C.Program);
+  MachineState S = makeInitialState(
+      *C.Program, CFG, C.Program->getFunctionIndex(C.Ctx->Syms.lookup("main")));
+  ASSERT_EQ(S.Globals.size(), 3u);
+  EXPECT_EQ(S.Globals[0], Value::makeInt(41));
+  EXPECT_EQ(S.Globals[1], Value::makeBool(true));
+  EXPECT_EQ(S.Globals[2], Value::makeInt(0));
+  ASSERT_EQ(S.Threads.size(), 1u);
+  EXPECT_EQ(S.Threads[0].Frames.size(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical state encoding
+//===----------------------------------------------------------------------===//
+
+MachineState makeStateWithHeap() {
+  MachineState S;
+  S.Globals.push_back(Value::makeInt(1));
+  S.Threads.emplace_back();
+  Frame F;
+  F.Func = 0;
+  F.PC = 0;
+  S.Threads[0].Frames.push_back(F);
+  return S;
+}
+
+TEST(EncodeStateTest, EqualStatesEqualEncodings) {
+  MachineState A = makeStateWithHeap();
+  MachineState B = makeStateWithHeap();
+  EXPECT_EQ(encodeState(A), encodeState(B));
+}
+
+TEST(EncodeStateTest, DifferentGlobalsDiffer) {
+  MachineState A = makeStateWithHeap();
+  MachineState B = makeStateWithHeap();
+  B.Globals[0] = Value::makeInt(2);
+  EXPECT_NE(encodeState(A), encodeState(B));
+}
+
+TEST(EncodeStateTest, UnreachableHeapObjectsIgnored) {
+  MachineState A = makeStateWithHeap();
+  MachineState B = makeStateWithHeap();
+  // B has a garbage object nothing points to.
+  HeapObject Garbage;
+  Garbage.Fields.push_back(Value::makeInt(99));
+  B.Heap.push_back(Garbage);
+  EXPECT_EQ(encodeState(A), encodeState(B));
+}
+
+TEST(EncodeStateTest, HeapRenumberedByReachabilityOrder) {
+  // A: object X at index 0 referenced by the global; B: same object at
+  // index 1 (after a garbage object). The encodings must agree.
+  MachineState A = makeStateWithHeap();
+  HeapObject Obj;
+  Obj.Fields.push_back(Value::makeInt(7));
+  A.Heap.push_back(Obj);
+  A.Globals[0] = Value::makePtr(MemAddr{AddrSpace::Heap, 0, 0, 0});
+
+  MachineState B = makeStateWithHeap();
+  HeapObject Garbage;
+  Garbage.Fields.push_back(Value::makeInt(1234));
+  B.Heap.push_back(Garbage);
+  B.Heap.push_back(Obj);
+  B.Globals[0] = Value::makePtr(MemAddr{AddrSpace::Heap, 0, 1, 0});
+
+  EXPECT_EQ(encodeState(A), encodeState(B));
+}
+
+TEST(EncodeStateTest, CyclicHeapTerminates) {
+  MachineState S = makeStateWithHeap();
+  HeapObject A, B;
+  A.Fields.push_back(Value::makePtr(MemAddr{AddrSpace::Heap, 0, 1, 0}));
+  B.Fields.push_back(Value::makePtr(MemAddr{AddrSpace::Heap, 0, 0, 0}));
+  S.Heap.push_back(A);
+  S.Heap.push_back(B);
+  S.Globals[0] = Value::makePtr(MemAddr{AddrSpace::Heap, 0, 0, 0});
+  std::string Enc = encodeState(S); // Must not loop forever.
+  EXPECT_FALSE(Enc.empty());
+}
+
+TEST(EncodeStateTest, PcAndLocalsMatter) {
+  MachineState A = makeStateWithHeap();
+  MachineState B = makeStateWithHeap();
+  B.Threads[0].Frames[0].PC = 1;
+  EXPECT_NE(encodeState(A), encodeState(B));
+
+  MachineState C1 = makeStateWithHeap();
+  MachineState C2 = makeStateWithHeap();
+  C1.Threads[0].Frames[0].Locals.push_back(Value::makeInt(1));
+  C2.Threads[0].Frames[0].Locals.push_back(Value::makeInt(2));
+  EXPECT_NE(encodeState(C1), encodeState(C2));
+}
+
+TEST(EncodeStateTest, AtomicDepthMatters) {
+  MachineState A = makeStateWithHeap();
+  MachineState B = makeStateWithHeap();
+  B.Threads[0].AtomicDepth = 1;
+  EXPECT_NE(encodeState(A), encodeState(B));
+}
+
+TEST(EncodeStateTest, TerminatedThreadsStillEncoded) {
+  MachineState A = makeStateWithHeap();
+  MachineState B = makeStateWithHeap();
+  B.Threads.emplace_back(); // An extra (terminated) thread.
+  EXPECT_NE(encodeState(A), encodeState(B));
+}
+
+} // namespace

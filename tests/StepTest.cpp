@@ -1,0 +1,266 @@
+//===- StepTest.cpp - Transition-relation unit tests ----------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct tests of rt::stepThread, the single transition relation both
+/// engines share: node-by-node effects, nondeterministic fan-out,
+/// call/return mechanics, atomic bracket counting, and analysis bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "seqcheck/Step.h"
+
+using namespace kiss;
+using namespace kiss::rt;
+using namespace kiss::test;
+
+namespace {
+
+/// Pipeline harness: compile, build CFG, make the initial state.
+struct Machine {
+  Compiled C;
+  cfg::ProgramCFG CFG;
+  MachineState State;
+  StepOptions Opts;
+
+  explicit Machine(const std::string &Source, bool AllowAsync = false)
+      : C(compile(Source)), CFG(cfg::ProgramCFG::build(*C.Program)) {
+    uint32_t Entry = C.Program->getFunctionIndex(C.Program->getEntryName());
+    State = makeInitialState(*C.Program, CFG, Entry);
+    Opts.AllowAsync = AllowAsync;
+  }
+
+  StepResult step(uint32_t Tid = 0) {
+    return stepThread(*C.Program, CFG, State, Tid, Opts);
+  }
+
+  /// Steps thread \p Tid until it reaches a node with multiple successors,
+  /// an error, or termination; follows the single successor chain.
+  StepResult runToFanout(uint32_t Tid = 0, unsigned MaxSteps = 200) {
+    for (unsigned I = 0; I != MaxSteps; ++I) {
+      if (isThreadDone(State, Tid))
+        break;
+      StepResult R = step(Tid);
+      if (R.K != StepResult::Kind::Ok || R.Successors.size() != 1)
+        return R;
+      State = std::move(R.Successors[0]);
+    }
+    StepResult Done;
+    Done.K = StepResult::Kind::Ok;
+    return Done;
+  }
+
+  int globalIdx(const char *Name) {
+    return C.Program->getGlobalIndex(C.Ctx->Syms.lookup(Name));
+  }
+};
+
+TEST(StepTest, StraightLineAssignmentsExecute) {
+  Machine M("int g; void main() { g = 41; g = g + 1; }");
+  M.runToFanout();
+  EXPECT_TRUE(isThreadDone(M.State, 0));
+  EXPECT_EQ(M.State.Globals[M.globalIdx("g")], Value::makeInt(42));
+}
+
+TEST(StepTest, NondetAssignFansOut) {
+  Machine M("int g; void main() { g = nondet_int(3, 7); }");
+  // Step until we reach the nondet assignment.
+  StepResult R;
+  while (true) {
+    R = M.step();
+    ASSERT_EQ(R.K, StepResult::Kind::Ok);
+    if (R.Successors.size() != 1)
+      break;
+    M.State = std::move(R.Successors[0]);
+  }
+  EXPECT_EQ(R.Successors.size(), 5u);
+  std::set<int64_t> Values;
+  int G = M.globalIdx("g");
+  for (const MachineState &S : R.Successors)
+    Values.insert(S.Globals[G].I);
+  EXPECT_EQ(Values, (std::set<int64_t>{3, 4, 5, 6, 7}));
+}
+
+TEST(StepTest, NondetBoolFansOutToTwo) {
+  Machine M("bool b; void main() { b = nondet_bool(); }");
+  StepResult R;
+  while (true) {
+    R = M.step();
+    ASSERT_EQ(R.K, StepResult::Kind::Ok);
+    if (R.Successors.size() != 1)
+      break;
+    M.State = std::move(R.Successors[0]);
+  }
+  EXPECT_EQ(R.Successors.size(), 2u);
+}
+
+TEST(StepTest, AssertFalseReportsFailureWithLocation) {
+  Machine M("void main() { assert(false); }");
+  StepResult R = M.runToFanout();
+  EXPECT_EQ(R.K, StepResult::Kind::AssertFailure);
+  EXPECT_TRUE(R.ErrorLoc.isValid());
+}
+
+TEST(StepTest, AssumeFalseBlocks) {
+  Machine M("bool b; void main() { assume(b); }");
+  StepResult R = M.runToFanout();
+  EXPECT_EQ(R.K, StepResult::Kind::Blocked);
+}
+
+TEST(StepTest, CallPushesFrameAndReturnPops) {
+  Machine M(R"(
+    int g;
+    int five() { return 5; }
+    void main() { g = five(); }
+  )");
+  // Run main to completion; along the way the stack grows to 2 frames.
+  bool SawTwoFrames = false;
+  while (!isThreadDone(M.State, 0)) {
+    StepResult R = M.step();
+    ASSERT_EQ(R.K, StepResult::Kind::Ok);
+    ASSERT_EQ(R.Successors.size(), 1u);
+    M.State = std::move(R.Successors[0]);
+    if (!M.State.Threads[0].Frames.empty() &&
+        M.State.Threads[0].Frames.size() == 2)
+      SawTwoFrames = true;
+  }
+  EXPECT_TRUE(SawTwoFrames);
+  EXPECT_EQ(M.State.Globals[M.globalIdx("g")], Value::makeInt(5));
+}
+
+TEST(StepTest, AtomicBracketsTrackDepth) {
+  Machine M("int g; void main() { atomic { g = 1; } }");
+  bool SawAtomic = false;
+  while (!isThreadDone(M.State, 0)) {
+    StepResult R = M.step();
+    ASSERT_EQ(R.K, StepResult::Kind::Ok);
+    M.State = std::move(R.Successors[0]);
+    if (M.State.Threads[0].AtomicDepth > 0)
+      SawAtomic = true;
+  }
+  EXPECT_TRUE(SawAtomic);
+  // Balanced at exit.
+  EXPECT_TRUE(M.State.Threads.back().AtomicDepth == 0);
+}
+
+TEST(StepTest, AsyncRejectedWhenDisallowed) {
+  Machine M("void w() { skip; } void main() { async w(); }",
+            /*AllowAsync=*/false);
+  StepResult R = M.runToFanout();
+  EXPECT_EQ(R.K, StepResult::Kind::RuntimeError);
+  EXPECT_NE(R.Message.find("async"), std::string::npos);
+}
+
+TEST(StepTest, AsyncSpawnsThreadWithArguments) {
+  Machine M(R"(
+    struct S { int x; }
+    void w(S *p) { p->x = 1; }
+    void main() {
+      S *s = new S;
+      async w(s);
+    }
+  )", /*AllowAsync=*/true);
+  while (M.State.Threads.size() == 1 && !isThreadDone(M.State, 0)) {
+    StepResult R = M.step();
+    ASSERT_EQ(R.K, StepResult::Kind::Ok);
+    ASSERT_EQ(R.Successors.size(), 1u);
+    M.State = std::move(R.Successors[0]);
+  }
+  ASSERT_EQ(M.State.Threads.size(), 2u);
+  const Frame &F = M.State.Threads[1].Frames.back();
+  EXPECT_EQ(F.Locals[0].K, ValueKind::Ptr);
+  EXPECT_EQ(F.Locals[0].A.Space, AddrSpace::Heap);
+}
+
+TEST(StepTest, ThreadBoundReported) {
+  Machine M("void w() { skip; } void main() { async w(); }",
+            /*AllowAsync=*/true);
+  M.Opts.MaxThreads = 1;
+  StepResult R = M.runToFanout();
+  EXPECT_EQ(R.K, StepResult::Kind::BoundExceeded);
+}
+
+TEST(StepTest, FrameBoundReported) {
+  Machine M(R"(
+    void f() { f(); }
+    void main() { f(); }
+  )");
+  M.Opts.MaxFrames = 8;
+  // Drive until the bound trips.
+  StepResult R;
+  for (int I = 0; I < 100; ++I) {
+    R = M.step();
+    if (R.K != StepResult::Kind::Ok)
+      break;
+    M.State = std::move(R.Successors[0]);
+  }
+  EXPECT_EQ(R.K, StepResult::Kind::BoundExceeded);
+}
+
+TEST(StepTest, NullDerefAndUndefUseAreRuntimeErrors) {
+  {
+    Machine M(R"(
+      struct S { int x; }
+      void main() {
+        S *p = null;
+        int v = p->x;
+      }
+    )");
+    StepResult R = M.runToFanout();
+    EXPECT_EQ(R.K, StepResult::Kind::RuntimeError);
+    EXPECT_NE(R.Message.find("null"), std::string::npos);
+  }
+  {
+    Machine M("void main() { int x; int y = x + 1; }");
+    StepResult R = M.runToFanout();
+    EXPECT_EQ(R.K, StepResult::Kind::RuntimeError);
+    EXPECT_NE(R.Message.find("uninitialized"), std::string::npos);
+  }
+}
+
+TEST(StepTest, ChoiceNodeFansOutPerBranch) {
+  Machine M(R"(
+    int g;
+    void main() {
+      choice { g = 1; } or { g = 2; } or { g = 3; } or { g = 4; }
+    }
+  )");
+  StepResult R = M.runToFanout();
+  ASSERT_EQ(R.K, StepResult::Kind::Ok);
+  EXPECT_EQ(R.Successors.size(), 4u);
+}
+
+TEST(StepTest, ReturnWritesResultIntoCallerSlot) {
+  Machine M(R"(
+    int g;
+    int mk() { return 9; }
+    void main() {
+      int local = mk();
+      g = local;
+    }
+  )");
+  M.runToFanout();
+  EXPECT_TRUE(isThreadDone(M.State, 0));
+  EXPECT_EQ(M.State.Globals[M.globalIdx("g")], Value::makeInt(9));
+}
+
+TEST(StepTest, IndirectCallThroughFuncValue) {
+  Machine M(R"(
+    int g;
+    int one() { return 1; }
+    void main() {
+      func<int()> f = one;
+      g = f();
+    }
+  )");
+  M.runToFanout();
+  EXPECT_TRUE(isThreadDone(M.State, 0));
+  EXPECT_EQ(M.State.Globals[M.globalIdx("g")], Value::makeInt(1));
+}
+
+} // namespace

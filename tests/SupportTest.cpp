@@ -1,0 +1,143 @@
+//===- SupportTest.cpp ----------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Hashing.h"
+#include "support/SourceManager.h"
+#include "support/Symbol.h"
+
+#include <gtest/gtest.h>
+
+using namespace kiss;
+
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable T;
+  Symbol A = T.intern("foo");
+  Symbol B = T.intern("foo");
+  Symbol C = T.intern("bar");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(T.str(A), "foo");
+  EXPECT_EQ(T.str(C), "bar");
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST(SymbolTableTest, LookupWithoutInterning) {
+  SymbolTable T;
+  EXPECT_FALSE(T.lookup("missing").isValid());
+  Symbol A = T.intern("present");
+  EXPECT_EQ(T.lookup("present"), A);
+  EXPECT_EQ(T.size(), 1u);
+}
+
+TEST(SymbolTableTest, InvalidSymbolRendering) {
+  SymbolTable T;
+  EXPECT_EQ(T.str(Symbol()), "<invalid>");
+}
+
+TEST(SymbolTableTest, ManySymbolsStayStable) {
+  SymbolTable T;
+  std::vector<Symbol> Syms;
+  for (int I = 0; I < 1000; ++I)
+    Syms.push_back(T.intern("sym" + std::to_string(I)));
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_EQ(T.str(Syms[I]), "sym" + std::to_string(I));
+    EXPECT_EQ(T.lookup("sym" + std::to_string(I)), Syms[I]);
+  }
+}
+
+TEST(SourceManagerTest, LineAndColumnResolution) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("f.kiss", "abc\ndef\n\nghi");
+  EXPECT_EQ(SM.getBufferName(Id), "f.kiss");
+
+  PresumedLoc P = SM.getPresumedLoc(SourceLoc(Id, 0));
+  EXPECT_EQ(P.Line, 1u);
+  EXPECT_EQ(P.Column, 1u);
+
+  P = SM.getPresumedLoc(SourceLoc(Id, 5)); // 'e'
+  EXPECT_EQ(P.Line, 2u);
+  EXPECT_EQ(P.Column, 2u);
+
+  P = SM.getPresumedLoc(SourceLoc(Id, 8)); // empty line
+  EXPECT_EQ(P.Line, 3u);
+  EXPECT_EQ(P.Column, 1u);
+
+  P = SM.getPresumedLoc(SourceLoc(Id, 9)); // 'g'
+  EXPECT_EQ(P.Line, 4u);
+  EXPECT_EQ(P.Column, 1u);
+}
+
+TEST(SourceManagerTest, LineTextExtraction) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("f", "first\nsecond\nthird");
+  EXPECT_EQ(SM.getLineText(SourceLoc(Id, 7)), "second");
+  EXPECT_EQ(SM.getLineText(SourceLoc(Id, 0)), "first");
+  EXPECT_EQ(SM.getLineText(SourceLoc(Id, 14)), "third");
+}
+
+TEST(SourceManagerTest, InvalidLocationsHandled) {
+  SourceManager SM;
+  EXPECT_FALSE(SM.getPresumedLoc(SourceLoc()).isValid());
+  EXPECT_TRUE(SM.getLineText(SourceLoc()).empty());
+}
+
+TEST(SourceManagerTest, MultipleBuffers) {
+  SourceManager SM;
+  uint32_t A = SM.addBuffer("a", "aaa");
+  uint32_t B = SM.addBuffer("b", "bbb");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(SM.getBufferText(A), "aaa");
+  EXPECT_EQ(SM.getBufferText(B), "bbb");
+}
+
+TEST(DiagnosticsTest, ErrorCountingAndSeverities) {
+  DiagnosticEngine D;
+  EXPECT_FALSE(D.hasErrors());
+  D.warning(SourceLoc(), "w");
+  D.note(SourceLoc(), "n");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc(), "e1");
+  D.error(SourceLoc(), "e2");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.getNumErrors(), 2u);
+  EXPECT_EQ(D.getDiagnostics().size(), 4u);
+  D.clear();
+  EXPECT_FALSE(D.hasErrors());
+  EXPECT_TRUE(D.getDiagnostics().empty());
+}
+
+TEST(DiagnosticsTest, RenderWithCaret) {
+  SourceManager SM;
+  uint32_t Id = SM.addBuffer("t.kiss", "int x = wrong;\n");
+  DiagnosticEngine D;
+  D.error(SourceLoc(Id, 8), "unknown identifier");
+  std::string Out = D.render(SM);
+  EXPECT_NE(Out.find("t.kiss:1:9: error: unknown identifier"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find("int x = wrong;"), std::string::npos);
+  EXPECT_NE(Out.find("^"), std::string::npos);
+}
+
+TEST(HashingTest, DeterministicAndSensitive) {
+  EXPECT_EQ(stableHash("hello"), stableHash("hello"));
+  EXPECT_NE(stableHash("hello"), stableHash("hellp"));
+  EXPECT_NE(stableHash(""), stableHash(std::string_view("\0", 1)));
+
+  StableHasher A, B;
+  A.addU32(1);
+  A.addU64(2);
+  B.addU32(1);
+  B.addU64(2);
+  EXPECT_EQ(A.finish(), B.finish());
+  B.addByte(0);
+  EXPECT_NE(A.finish(), B.finish());
+}
+
+} // namespace

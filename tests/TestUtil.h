@@ -1,0 +1,56 @@
+//===- TestUtil.h - Shared test helpers -------------------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_TESTS_TESTUTIL_H
+#define KISS_TESTS_TESTUTIL_H
+
+#include "cfg/CFG.h"
+#include "lower/Pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace kiss::test {
+
+/// A parsed+checked+lowered program with its session context.
+struct Compiled {
+  std::unique_ptr<lower::CompilerContext> Ctx;
+  std::unique_ptr<lang::Program> Program;
+
+  explicit operator bool() const { return Program != nullptr; }
+  std::string diagnostics() const { return Ctx->renderDiagnostics(); }
+};
+
+/// Compiles \p Source to a core program; EXPECTs success.
+inline Compiled compile(const std::string &Source) {
+  Compiled C;
+  C.Ctx = std::make_unique<lower::CompilerContext>();
+  C.Program = lower::compileToCore(*C.Ctx, "test.kiss", Source);
+  EXPECT_TRUE(C.Program != nullptr) << C.diagnostics();
+  return C;
+}
+
+/// Parses and type checks only (no lowering); may return null.
+inline Compiled parseOnly(const std::string &Source) {
+  Compiled C;
+  C.Ctx = std::make_unique<lower::CompilerContext>();
+  C.Program = lower::parseAndCheck(*C.Ctx, "test.kiss", Source);
+  return C;
+}
+
+/// Compiles expecting failure; returns the rendered diagnostics.
+inline std::string compileError(const std::string &Source) {
+  lower::CompilerContext Ctx;
+  auto P = lower::compileToCore(Ctx, "test.kiss", Source);
+  EXPECT_TRUE(P == nullptr) << "expected compilation to fail";
+  return Ctx.renderDiagnostics();
+}
+
+} // namespace kiss::test
+
+#endif // KISS_TESTS_TESTUTIL_H

@@ -1,0 +1,302 @@
+//===- kisscheck.cpp - The KISS command-line checker ----------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end mirroring Figure 1: read a concurrent program in
+/// the modeling language, translate it, model check the translation, and
+/// report the mapped concurrent error trace.
+///
+///   kisscheck file.kiss                          assertion check, MAX=0
+///   kisscheck --max-ts=2 file.kiss               assertion check, MAX=2
+///   kisscheck --race=g file.kiss                 race check on global g
+///   kisscheck --race=S.f file.kiss               race check on field S.f
+///   kisscheck --engine=conc file.kiss            ground-truth interleaving
+///                                                exploration instead
+///   kisscheck --dump-translation file.kiss       print the sequential
+///                                                program and exit
+///   kisscheck --dump-cfg file.kiss               print CFGs (dot) and exit
+///   kisscheck --max-states=N ... --no-alias ...  budgets / ablations
+///
+/// Exit codes: 0 = no error found, 1 = error found, 2 = usage/compile
+/// problem, 3 = bound exceeded.
+///
+//===----------------------------------------------------------------------===//
+
+#include "conc/ConcChecker.h"
+#include "drivers/Bluetooth.h"
+#include "kiss/KissChecker.h"
+#include "lang/ASTPrinter.h"
+#include "lower/Pipeline.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace kiss;
+using namespace kiss::core;
+
+namespace {
+
+struct CliOptions {
+  std::string InputFile;
+  std::string RaceTargetSpec;
+  bool RaceAll = false;
+  unsigned MaxTs = 0;
+  uint64_t MaxStates = 1'000'000;
+  bool UseAlias = true;
+  bool DumpTranslation = false;
+  bool DumpCfg = false;
+  bool UseConcEngine = false;
+  bool ShowStats = false;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: kisscheck [options] <file.kiss>\n"
+      "  --race=<global | Struct.field>  check races on one location\n"
+      "  --race-all                      check every global and field\n"
+      "  --max-ts=<n>                    ts multiset bound MAX "
+      "(default 0)\n"
+      "  --max-states=<n>                state budget (default 1000000)\n"
+      "  --no-alias                      disable probe pruning\n"
+      "  --engine=conc                   explore all interleavings "
+      "instead\n"
+      "  --dump-translation              print the sequential program\n"
+      "  --dump-cfg                      print the CFGs in dot syntax\n"
+      "  --stats                         print exploration statistics\n"
+      "  --demo                          check the built-in Figure-2 "
+      "model\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts, bool &Demo) {
+  Demo = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--race=", 0) == 0) {
+      Opts.RaceTargetSpec = Arg.substr(7);
+    } else if (Arg == "--race-all") {
+      Opts.RaceAll = true;
+    } else if (Arg.rfind("--max-ts=", 0) == 0) {
+      Opts.MaxTs = std::strtoul(Arg.c_str() + 9, nullptr, 10);
+    } else if (Arg.rfind("--max-states=", 0) == 0) {
+      Opts.MaxStates = std::strtoull(Arg.c_str() + 13, nullptr, 10);
+    } else if (Arg == "--no-alias") {
+      Opts.UseAlias = false;
+    } else if (Arg == "--engine=conc") {
+      Opts.UseConcEngine = true;
+    } else if (Arg == "--engine=kiss") {
+      Opts.UseConcEngine = false;
+    } else if (Arg == "--dump-translation") {
+      Opts.DumpTranslation = true;
+    } else if (Arg == "--dump-cfg") {
+      Opts.DumpCfg = true;
+    } else if (Arg == "--stats") {
+      Opts.ShowStats = true;
+    } else if (Arg == "--demo") {
+      Demo = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      return false;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      Opts.InputFile = Arg;
+    }
+  }
+  return Demo || !Opts.InputFile.empty();
+}
+
+/// Parses "global" or "Struct.field" into a RaceTarget.
+bool parseRaceTarget(const std::string &Spec, lower::CompilerContext &Ctx,
+                     const lang::Program &P, RaceTarget &Out) {
+  auto Dot = Spec.find('.');
+  if (Dot == std::string::npos) {
+    Symbol G = Ctx.Syms.intern(Spec);
+    if (P.getGlobalIndex(G) < 0) {
+      std::fprintf(stderr, "error: no global named '%s'\n", Spec.c_str());
+      return false;
+    }
+    Out = RaceTarget::global(G);
+    return true;
+  }
+  Symbol S = Ctx.Syms.intern(Spec.substr(0, Dot));
+  Symbol F = Ctx.Syms.intern(Spec.substr(Dot + 1));
+  const lang::StructDecl *SD = P.getStruct(S);
+  if (!SD || SD->getFieldIndex(F) < 0) {
+    std::fprintf(stderr, "error: no field named '%s'\n", Spec.c_str());
+    return false;
+  }
+  Out = RaceTarget::field(S, F);
+  return true;
+}
+
+/// The paper's per-field workflow: one race check per global and per
+/// struct field, with a summary table (§6).
+int runRaceAll(const lang::Program &P, const CliOptions &Opts,
+               lower::CompilerContext &Ctx) {
+  struct Row {
+    std::string Name;
+    KissVerdict V;
+    uint64_t States;
+  };
+  std::vector<Row> Rows;
+
+  KissOptions KO;
+  KO.MaxTs = Opts.MaxTs;
+  KO.UseAliasAnalysis = Opts.UseAlias;
+  KO.Seq.MaxStates = Opts.MaxStates;
+
+  auto runOne = [&](const RaceTarget &T, std::string Name) {
+    KissReport R = checkRace(P, T, KO, Ctx.Diags);
+    Rows.push_back(Row{std::move(Name), R.Verdict,
+                       R.Sequential.StatesExplored});
+  };
+
+  for (const lang::GlobalDecl &G : P.getGlobals())
+    runOne(RaceTarget::global(G.Name),
+           std::string(Ctx.Syms.str(G.Name)));
+  for (const auto &S : P.getStructs())
+    for (const lang::FieldDecl &F : S->getFields())
+      runOne(RaceTarget::field(S->getName(), F.Name),
+             std::string(Ctx.Syms.str(S->getName())) + "." +
+                 std::string(Ctx.Syms.str(F.Name)));
+
+  unsigned Races = 0, Clean = 0, Other = 0;
+  std::printf("%-40s %-20s %10s\n", "location", "verdict", "states");
+  for (const Row &R : Rows) {
+    std::printf("%-40s %-20s %10llu\n", R.Name.c_str(),
+                getVerdictName(R.V),
+                static_cast<unsigned long long>(R.States));
+    if (R.V == KissVerdict::RaceDetected)
+      ++Races;
+    else if (R.V == KissVerdict::NoErrorFound)
+      ++Clean;
+    else
+      ++Other;
+  }
+  std::printf("\nsummary: %u race(s), %u clean, %u inconclusive over %zu "
+              "locations\n", Races, Clean, Other, Rows.size());
+  return Races ? 1 : 0;
+}
+
+int runConcEngine(const lang::Program &P, const CliOptions &Opts,
+                  const lower::CompilerContext &Ctx) {
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(P);
+  conc::ConcOptions CO;
+  CO.MaxStates = Opts.MaxStates;
+  rt::CheckResult R = conc::checkProgram(P, CFG, CO);
+  std::printf("verdict: %s\n", rt::getOutcomeName(R.Outcome));
+  if (!R.Message.empty())
+    std::printf("detail: %s\n", R.Message.c_str());
+  if (R.foundError())
+    std::printf("trace:\n%s",
+                rt::formatTrace(R.Trace, P, CFG, &Ctx.SM).c_str());
+  if (Opts.ShowStats)
+    std::printf("states: %llu, transitions: %llu\n",
+                static_cast<unsigned long long>(R.StatesExplored),
+                static_cast<unsigned long long>(R.TransitionsExplored));
+  if (R.Outcome == rt::CheckOutcome::BoundExceeded)
+    return 3;
+  return R.foundError() ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  bool Demo = false;
+  if (!parseArgs(Argc, Argv, Opts, Demo)) {
+    printUsage();
+    return 2;
+  }
+
+  std::string Source;
+  std::string Name;
+  if (Demo) {
+    Source = drivers::getBluetoothSource();
+    Name = "bluetooth.kiss";
+  } else {
+    std::ifstream In(Opts.InputFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   Opts.InputFile.c_str());
+      return 2;
+    }
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Source = Buffer.str();
+    Name = Opts.InputFile;
+  }
+
+  lower::CompilerContext Ctx;
+  auto Program = lower::compileToCore(Ctx, Name, Source);
+  if (!Program) {
+    std::fprintf(stderr, "%s", Ctx.renderDiagnostics().c_str());
+    return 2;
+  }
+
+  if (Opts.DumpCfg) {
+    cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*Program);
+    for (uint32_t I = 0; I != CFG.getNumFunctions(); ++I)
+      std::printf("%s\n", CFG.getFunctionCFG(I).dump(Ctx.Syms).c_str());
+    return 0;
+  }
+
+  if (Opts.UseConcEngine)
+    return runConcEngine(*Program, Opts, Ctx);
+
+  KissOptions KO;
+  KO.MaxTs = Opts.MaxTs;
+  KO.UseAliasAnalysis = Opts.UseAlias;
+  KO.Seq.MaxStates = Opts.MaxStates;
+
+  if (Opts.RaceAll)
+    return runRaceAll(*Program, Opts, Ctx);
+
+  KissReport R;
+  if (!Opts.RaceTargetSpec.empty()) {
+    RaceTarget Target;
+    if (!parseRaceTarget(Opts.RaceTargetSpec, Ctx, *Program, Target))
+      return 2;
+    R = checkRace(*Program, Target, KO, Ctx.Diags);
+  } else {
+    R = checkAssertions(*Program, KO, Ctx.Diags);
+  }
+
+  if (Ctx.Diags.hasErrors()) {
+    std::fprintf(stderr, "%s", Ctx.renderDiagnostics().c_str());
+    return 2;
+  }
+
+  if (Opts.DumpTranslation) {
+    std::printf("%s", lang::printProgram(*R.Transformed).c_str());
+    return 0;
+  }
+
+  std::printf("verdict: %s\n", getVerdictName(R.Verdict));
+  if (!R.Message.empty())
+    std::printf("detail: %s\n", R.Message.c_str());
+  if (R.foundError()) {
+    std::printf("concurrent error trace (%u threads):\n%s",
+                R.Trace.NumThreads,
+                formatConcurrentTrace(R.Trace, *Program, &Ctx.SM).c_str());
+  }
+  if (Opts.ShowStats) {
+    std::printf("sequential states: %llu, transitions: %llu\n",
+                static_cast<unsigned long long>(
+                    R.Sequential.StatesExplored),
+                static_cast<unsigned long long>(
+                    R.Sequential.TransitionsExplored));
+    std::printf("probes: %u emitted, %u pruned\n", R.Stats.ProbesEmitted,
+                R.Stats.ProbesPruned);
+  }
+  if (R.Verdict == KissVerdict::BoundExceeded)
+    return 3;
+  return R.foundError() ? 1 : 0;
+}
