@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/alias_ablation"
+  "../bench/alias_ablation.pdb"
+  "CMakeFiles/alias_ablation.dir/alias_ablation.cpp.o"
+  "CMakeFiles/alias_ablation.dir/alias_ablation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alias_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bluetooth_case"
+  "../bench/bluetooth_case.pdb"
+  "CMakeFiles/bluetooth_case.dir/bluetooth_case.cpp.o"
+  "CMakeFiles/bluetooth_case.dir/bluetooth_case.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluetooth_case.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

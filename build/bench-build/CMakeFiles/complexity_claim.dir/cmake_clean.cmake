@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/complexity_claim"
+  "../bench/complexity_claim.pdb"
+  "CMakeFiles/complexity_claim.dir/complexity_claim.cpp.o"
+  "CMakeFiles/complexity_claim.dir/complexity_claim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/complexity_claim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/max_sweep"
+  "../bench/max_sweep.pdb"
+  "CMakeFiles/max_sweep.dir/max_sweep.cpp.o"
+  "CMakeFiles/max_sweep.dir/max_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/max_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_races"
+  "../bench/table1_races.pdb"
+  "CMakeFiles/table1_races.dir/table1_races.cpp.o"
+  "CMakeFiles/table1_races.dir/table1_races.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_races.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

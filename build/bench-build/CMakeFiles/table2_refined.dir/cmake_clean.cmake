@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_refined"
+  "../bench/table2_refined.pdb"
+  "CMakeFiles/table2_refined.dir/table2_refined.cpp.o"
+  "CMakeFiles/table2_refined.dir/table2_refined.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_refined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bluetooth_walkthrough.dir/bluetooth_walkthrough.cpp.o"
+  "CMakeFiles/bluetooth_walkthrough.dir/bluetooth_walkthrough.cpp.o.d"
+  "bluetooth_walkthrough"
+  "bluetooth_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bluetooth_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drivers/CMakeFiles/kiss_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/conc/CMakeFiles/kiss_conc.dir/DependInfo.cmake"
+  "/root/repo/build/src/kiss/CMakeFiles/kiss_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/alias/CMakeFiles/kiss_alias.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqcheck/CMakeFiles/kiss_seqcheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/kiss_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/kiss_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/kiss_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kiss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

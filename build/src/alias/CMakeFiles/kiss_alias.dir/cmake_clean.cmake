@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_alias.dir/Steensgaard.cpp.o"
+  "CMakeFiles/kiss_alias.dir/Steensgaard.cpp.o.d"
+  "libkiss_alias.a"
+  "libkiss_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_bebop.dir/BebopChecker.cpp.o"
+  "CMakeFiles/kiss_bebop.dir/BebopChecker.cpp.o.d"
+  "CMakeFiles/kiss_bebop.dir/FromCore.cpp.o"
+  "CMakeFiles/kiss_bebop.dir/FromCore.cpp.o.d"
+  "libkiss_bebop.a"
+  "libkiss_bebop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_bebop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_cfg.dir/CFG.cpp.o"
+  "CMakeFiles/kiss_cfg.dir/CFG.cpp.o.d"
+  "libkiss_cfg.a"
+  "libkiss_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

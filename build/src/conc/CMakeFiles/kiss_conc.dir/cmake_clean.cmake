@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_conc.dir/ConcChecker.cpp.o"
+  "CMakeFiles/kiss_conc.dir/ConcChecker.cpp.o.d"
+  "libkiss_conc.a"
+  "libkiss_conc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_conc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

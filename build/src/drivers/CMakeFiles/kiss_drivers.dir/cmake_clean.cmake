@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_drivers.dir/Bluetooth.cpp.o"
+  "CMakeFiles/kiss_drivers.dir/Bluetooth.cpp.o.d"
+  "CMakeFiles/kiss_drivers.dir/Corpus.cpp.o"
+  "CMakeFiles/kiss_drivers.dir/Corpus.cpp.o.d"
+  "CMakeFiles/kiss_drivers.dir/CorpusRunner.cpp.o"
+  "CMakeFiles/kiss_drivers.dir/CorpusRunner.cpp.o.d"
+  "CMakeFiles/kiss_drivers.dir/Ddk.cpp.o"
+  "CMakeFiles/kiss_drivers.dir/Ddk.cpp.o.d"
+  "CMakeFiles/kiss_drivers.dir/ModelGen.cpp.o"
+  "CMakeFiles/kiss_drivers.dir/ModelGen.cpp.o.d"
+  "libkiss_drivers.a"
+  "libkiss_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

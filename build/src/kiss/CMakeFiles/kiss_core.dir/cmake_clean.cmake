@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_core.dir/Balanced.cpp.o"
+  "CMakeFiles/kiss_core.dir/Balanced.cpp.o.d"
+  "CMakeFiles/kiss_core.dir/Builder.cpp.o"
+  "CMakeFiles/kiss_core.dir/Builder.cpp.o.d"
+  "CMakeFiles/kiss_core.dir/KissChecker.cpp.o"
+  "CMakeFiles/kiss_core.dir/KissChecker.cpp.o.d"
+  "CMakeFiles/kiss_core.dir/TraceMap.cpp.o"
+  "CMakeFiles/kiss_core.dir/TraceMap.cpp.o.d"
+  "CMakeFiles/kiss_core.dir/Transform.cpp.o"
+  "CMakeFiles/kiss_core.dir/Transform.cpp.o.d"
+  "libkiss_core.a"
+  "libkiss_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

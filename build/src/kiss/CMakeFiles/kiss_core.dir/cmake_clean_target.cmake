@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkiss_core.a"
+)

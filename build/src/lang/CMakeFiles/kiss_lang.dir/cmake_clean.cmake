@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_lang.dir/AST.cpp.o"
+  "CMakeFiles/kiss_lang.dir/AST.cpp.o.d"
+  "CMakeFiles/kiss_lang.dir/ASTPrinter.cpp.o"
+  "CMakeFiles/kiss_lang.dir/ASTPrinter.cpp.o.d"
+  "CMakeFiles/kiss_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/kiss_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/kiss_lang.dir/Parser.cpp.o"
+  "CMakeFiles/kiss_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/kiss_lang.dir/Sema.cpp.o"
+  "CMakeFiles/kiss_lang.dir/Sema.cpp.o.d"
+  "CMakeFiles/kiss_lang.dir/Type.cpp.o"
+  "CMakeFiles/kiss_lang.dir/Type.cpp.o.d"
+  "libkiss_lang.a"
+  "libkiss_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

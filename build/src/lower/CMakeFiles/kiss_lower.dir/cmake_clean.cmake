@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_lower.dir/CoreCheck.cpp.o"
+  "CMakeFiles/kiss_lower.dir/CoreCheck.cpp.o.d"
+  "CMakeFiles/kiss_lower.dir/Lower.cpp.o"
+  "CMakeFiles/kiss_lower.dir/Lower.cpp.o.d"
+  "CMakeFiles/kiss_lower.dir/Pipeline.cpp.o"
+  "CMakeFiles/kiss_lower.dir/Pipeline.cpp.o.d"
+  "libkiss_lower.a"
+  "libkiss_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seqcheck/Result.cpp" "src/seqcheck/CMakeFiles/kiss_seqcheck.dir/Result.cpp.o" "gcc" "src/seqcheck/CMakeFiles/kiss_seqcheck.dir/Result.cpp.o.d"
+  "/root/repo/src/seqcheck/Runtime.cpp" "src/seqcheck/CMakeFiles/kiss_seqcheck.dir/Runtime.cpp.o" "gcc" "src/seqcheck/CMakeFiles/kiss_seqcheck.dir/Runtime.cpp.o.d"
+  "/root/repo/src/seqcheck/SeqChecker.cpp" "src/seqcheck/CMakeFiles/kiss_seqcheck.dir/SeqChecker.cpp.o" "gcc" "src/seqcheck/CMakeFiles/kiss_seqcheck.dir/SeqChecker.cpp.o.d"
+  "/root/repo/src/seqcheck/Step.cpp" "src/seqcheck/CMakeFiles/kiss_seqcheck.dir/Step.cpp.o" "gcc" "src/seqcheck/CMakeFiles/kiss_seqcheck.dir/Step.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/kiss_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/kiss_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/kiss_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kiss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_seqcheck.dir/Result.cpp.o"
+  "CMakeFiles/kiss_seqcheck.dir/Result.cpp.o.d"
+  "CMakeFiles/kiss_seqcheck.dir/Runtime.cpp.o"
+  "CMakeFiles/kiss_seqcheck.dir/Runtime.cpp.o.d"
+  "CMakeFiles/kiss_seqcheck.dir/SeqChecker.cpp.o"
+  "CMakeFiles/kiss_seqcheck.dir/SeqChecker.cpp.o.d"
+  "CMakeFiles/kiss_seqcheck.dir/Step.cpp.o"
+  "CMakeFiles/kiss_seqcheck.dir/Step.cpp.o.d"
+  "libkiss_seqcheck.a"
+  "libkiss_seqcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_seqcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kiss_seqcheck.
+# This may be replaced when dependencies are built.

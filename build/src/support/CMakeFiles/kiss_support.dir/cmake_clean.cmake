@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/kiss_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/kiss_support.dir/SourceManager.cpp.o"
+  "CMakeFiles/kiss_support.dir/SourceManager.cpp.o.d"
+  "CMakeFiles/kiss_support.dir/Symbol.cpp.o"
+  "CMakeFiles/kiss_support.dir/Symbol.cpp.o.d"
+  "libkiss_support.a"
+  "libkiss_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

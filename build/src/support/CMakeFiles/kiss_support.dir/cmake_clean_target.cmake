@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkiss_support.a"
+)

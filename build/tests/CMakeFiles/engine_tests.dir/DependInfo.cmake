@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ConcCheckTest.cpp" "tests/CMakeFiles/engine_tests.dir/ConcCheckTest.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/ConcCheckTest.cpp.o.d"
+  "/root/repo/tests/SeqCheckTest.cpp" "tests/CMakeFiles/engine_tests.dir/SeqCheckTest.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/SeqCheckTest.cpp.o.d"
+  "/root/repo/tests/StepTest.cpp" "tests/CMakeFiles/engine_tests.dir/StepTest.cpp.o" "gcc" "tests/CMakeFiles/engine_tests.dir/StepTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/conc/CMakeFiles/kiss_conc.dir/DependInfo.cmake"
+  "/root/repo/build/src/seqcheck/CMakeFiles/kiss_seqcheck.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/kiss_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/kiss_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/kiss_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kiss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_tests.dir/ConcCheckTest.cpp.o"
+  "CMakeFiles/engine_tests.dir/ConcCheckTest.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/SeqCheckTest.cpp.o"
+  "CMakeFiles/engine_tests.dir/SeqCheckTest.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/StepTest.cpp.o"
+  "CMakeFiles/engine_tests.dir/StepTest.cpp.o.d"
+  "engine_tests"
+  "engine_tests.pdb"
+  "engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/CFGTest.cpp" "tests/CMakeFiles/frontend_tests.dir/CFGTest.cpp.o" "gcc" "tests/CMakeFiles/frontend_tests.dir/CFGTest.cpp.o.d"
+  "/root/repo/tests/FuzzTest.cpp" "tests/CMakeFiles/frontend_tests.dir/FuzzTest.cpp.o" "gcc" "tests/CMakeFiles/frontend_tests.dir/FuzzTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/frontend_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/frontend_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/LowerTest.cpp" "tests/CMakeFiles/frontend_tests.dir/LowerTest.cpp.o" "gcc" "tests/CMakeFiles/frontend_tests.dir/LowerTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/frontend_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/frontend_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PrinterTest.cpp" "tests/CMakeFiles/frontend_tests.dir/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/frontend_tests.dir/PrinterTest.cpp.o.d"
+  "/root/repo/tests/SemaTest.cpp" "tests/CMakeFiles/frontend_tests.dir/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/frontend_tests.dir/SemaTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/frontend_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/frontend_tests.dir/SupportTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/kiss_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lower/CMakeFiles/kiss_lower.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/kiss_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kiss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_tests.dir/CFGTest.cpp.o"
+  "CMakeFiles/frontend_tests.dir/CFGTest.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/FuzzTest.cpp.o"
+  "CMakeFiles/frontend_tests.dir/FuzzTest.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/LexerTest.cpp.o"
+  "CMakeFiles/frontend_tests.dir/LexerTest.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/LowerTest.cpp.o"
+  "CMakeFiles/frontend_tests.dir/LowerTest.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/ParserTest.cpp.o"
+  "CMakeFiles/frontend_tests.dir/ParserTest.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/PrinterTest.cpp.o"
+  "CMakeFiles/frontend_tests.dir/PrinterTest.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/SemaTest.cpp.o"
+  "CMakeFiles/frontend_tests.dir/SemaTest.cpp.o.d"
+  "CMakeFiles/frontend_tests.dir/SupportTest.cpp.o"
+  "CMakeFiles/frontend_tests.dir/SupportTest.cpp.o.d"
+  "frontend_tests"
+  "frontend_tests.pdb"
+  "frontend_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

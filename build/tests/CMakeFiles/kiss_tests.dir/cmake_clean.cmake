@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kiss_tests.dir/AliasTest.cpp.o"
+  "CMakeFiles/kiss_tests.dir/AliasTest.cpp.o.d"
+  "CMakeFiles/kiss_tests.dir/BebopTest.cpp.o"
+  "CMakeFiles/kiss_tests.dir/BebopTest.cpp.o.d"
+  "CMakeFiles/kiss_tests.dir/BenignTest.cpp.o"
+  "CMakeFiles/kiss_tests.dir/BenignTest.cpp.o.d"
+  "CMakeFiles/kiss_tests.dir/DdkTest.cpp.o"
+  "CMakeFiles/kiss_tests.dir/DdkTest.cpp.o.d"
+  "CMakeFiles/kiss_tests.dir/DriversTest.cpp.o"
+  "CMakeFiles/kiss_tests.dir/DriversTest.cpp.o.d"
+  "CMakeFiles/kiss_tests.dir/IntegrationTest.cpp.o"
+  "CMakeFiles/kiss_tests.dir/IntegrationTest.cpp.o.d"
+  "CMakeFiles/kiss_tests.dir/KissTest.cpp.o"
+  "CMakeFiles/kiss_tests.dir/KissTest.cpp.o.d"
+  "kiss_tests"
+  "kiss_tests.pdb"
+  "kiss_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kiss_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kisscheck.dir/kisscheck.cpp.o"
+  "CMakeFiles/kisscheck.dir/kisscheck.cpp.o.d"
+  "kisscheck"
+  "kisscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kisscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
