@@ -10,6 +10,7 @@
 #include "lower/Pipeline.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -41,6 +42,25 @@ inline void printRule(char Fill = '-') {
   for (int I = 0; I < 78; ++I)
     std::putchar(Fill);
   std::putchar('\n');
+}
+
+/// Parses the one flag the table benches take: `--jobs N` / `--jobs=N`
+/// (0 = all hardware threads, the default). \returns false (after printing
+/// usage) on anything unrecognized.
+inline bool parseJobsFlag(int Argc, char **Argv, unsigned &Jobs) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--jobs=", 0) == 0) {
+      Jobs = static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]  (0 = all cores)\n",
+                   Argv[0]);
+      return false;
+    }
+  }
+  return true;
 }
 
 } // namespace kiss::bench

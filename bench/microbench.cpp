@@ -8,7 +8,9 @@
 /// Throughput of the individual pipeline stages on the Figure-2 Bluetooth
 /// model: frontend (parse+check+lower), CFG construction, the KISS
 /// transformation (both modes), the points-to analysis, state encoding,
-/// and the end-to-end check.
+/// the BFS explorers, and the end-to-end check. After the google-benchmark
+/// run, writes BENCH_seqcheck.json (per-phase wall time, states/sec, peak
+/// states) so the perf trajectory is tracked across PRs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,11 +18,16 @@
 
 #include "alias/Steensgaard.h"
 #include "cfg/CFG.h"
+#include "conc/ConcChecker.h"
 #include "drivers/Bluetooth.h"
 #include "kiss/KissChecker.h"
+#include "kiss/Transform.h"
 #include "seqcheck/Runtime.h"
+#include "seqcheck/SeqChecker.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 using namespace kiss;
 using namespace kiss::bench;
@@ -94,6 +101,59 @@ void BM_StateEncode(benchmark::State &State) {
 }
 BENCHMARK(BM_StateEncode);
 
+/// The scalability bench's thread family (k threads, m private-global
+/// updates each): safe, so both explorers run to exhaustion — a pure
+/// visited-set/BFS workload with no error-path shortcuts.
+std::string makeFamily(unsigned Threads, unsigned Steps) {
+  std::string Src = "int g = 0;\n";
+  Src += "void w() {\n";
+  for (unsigned S = 0; S != Steps; ++S)
+    Src += "  g = " + std::to_string(S + 1) + ";\n";
+  Src += "}\n";
+  Src += "void main() {\n";
+  for (unsigned T = 0; T != Threads; ++T)
+    Src += "  async w();\n";
+  Src += "  assert(true);\n";
+  Src += "}\n";
+  return Src;
+}
+
+void BM_SeqCheckerBFS(benchmark::State &State) {
+  Compiled C = compileOrDie("family", makeFamily(5, 4));
+  TransformOptions TO;
+  TO.MaxTs = 1;
+  DiagnosticEngine Diags;
+  auto TP = transformForAssertions(*C.Program, TO, Diags);
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*TP);
+  seqcheck::SeqOptions SO;
+  uint64_t States = 0;
+  for (auto _ : State) {
+    rt::CheckResult R = seqcheck::checkProgram(*TP, CFG, SO);
+    States += R.StatesExplored;
+    benchmark::DoNotOptimize(R.Outcome);
+  }
+  State.counters["states/s"] =
+      benchmark::Counter(static_cast<double>(States),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SeqCheckerBFS);
+
+void BM_ConcCheckerBFS(benchmark::State &State) {
+  Compiled C = compileOrDie("family", makeFamily(4, 4));
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*C.Program);
+  conc::ConcOptions CO;
+  uint64_t States = 0;
+  for (auto _ : State) {
+    rt::CheckResult R = conc::checkProgram(*C.Program, CFG, CO);
+    States += R.StatesExplored;
+    benchmark::DoNotOptimize(R.Outcome);
+  }
+  State.counters["states/s"] =
+      benchmark::Counter(static_cast<double>(States),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ConcCheckerBFS);
+
 void BM_EndToEndAssertionCheck(benchmark::State &State) {
   Compiled C = compileOrDie("bt", drivers::getBluetoothSource());
   for (auto _ : State) {
@@ -118,6 +178,98 @@ void BM_EndToEndRaceCheck(benchmark::State &State) {
 }
 BENCHMARK(BM_EndToEndRaceCheck);
 
+/// Times one phase: repeats \p Fn until ~0.2 s has accumulated and
+/// returns the mean seconds per call.
+template <typename F> double timePhase(F &&Fn) {
+  using Clock = std::chrono::steady_clock;
+  double Total = 0;
+  unsigned Iters = 0;
+  do {
+    auto T0 = Clock::now();
+    Fn();
+    Total += std::chrono::duration<double>(Clock::now() - T0).count();
+    ++Iters;
+  } while (Total < 0.2);
+  return Total / Iters;
+}
+
+/// Emits the machine-readable perf record future PRs diff against:
+/// per-phase wall time on the Figure-2 Bluetooth model and the BFS
+/// explorer's throughput on the thread-family workload.
+void writeSeqcheckJson(const char *Path) {
+  std::string BtSource = drivers::getBluetoothSource();
+
+  double FrontendSec = timePhase([&] {
+    lower::CompilerContext Ctx;
+    auto P = lower::compileToCore(Ctx, "bt", BtSource);
+    benchmark::DoNotOptimize(P);
+  });
+
+  Compiled Bt = compileOrDie("bt", BtSource);
+  double CfgSec = timePhase([&] {
+    cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*Bt.Program);
+    benchmark::DoNotOptimize(CFG.getTotalNodes());
+  });
+
+  TransformOptions TO;
+  TO.MaxTs = 1;
+  double TransformSec = timePhase([&] {
+    DiagnosticEngine Diags;
+    auto T = transformForAssertions(*Bt.Program, TO, Diags);
+    benchmark::DoNotOptimize(T);
+  });
+
+  // The BFS workload of BM_SeqCheckerBFS: safe, exhaustive exploration.
+  Compiled Fam = compileOrDie("family", makeFamily(5, 4));
+  DiagnosticEngine Diags;
+  auto TP = transformForAssertions(*Fam.Program, TO, Diags);
+  cfg::ProgramCFG FamCFG = cfg::ProgramCFG::build(*TP);
+  seqcheck::SeqOptions SO;
+  rt::CheckResult Probe = seqcheck::checkProgram(*TP, FamCFG, SO);
+  double ExploreSec = timePhase([&] {
+    rt::CheckResult R = seqcheck::checkProgram(*TP, FamCFG, SO);
+    benchmark::DoNotOptimize(R.Outcome);
+  });
+
+  std::FILE *Out = std::fopen(Path, "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(Out,
+               "{\n"
+               "  \"schema\": 1,\n"
+               "  \"phases\": {\n"
+               "    \"frontend_s\": %.9f,\n"
+               "    \"cfg_s\": %.9f,\n"
+               "    \"transform_s\": %.9f,\n"
+               "    \"explore_s\": %.9f\n"
+               "  },\n"
+               "  \"explore\": {\n"
+               "    \"workload\": \"family k=5 m=4, MAX=1\",\n"
+               "    \"states\": %llu,\n"
+               "    \"transitions\": %llu,\n"
+               "    \"peak_states\": %llu,\n"
+               "    \"states_per_sec\": %.1f\n"
+               "  }\n"
+               "}\n",
+               FrontendSec, CfgSec, TransformSec, ExploreSec,
+               static_cast<unsigned long long>(Probe.StatesExplored),
+               static_cast<unsigned long long>(Probe.TransitionsExplored),
+               static_cast<unsigned long long>(Probe.StatesExplored),
+               static_cast<double>(Probe.StatesExplored) / ExploreSec);
+  std::fclose(Out);
+  std::printf("wrote %s\n", Path);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  writeSeqcheckJson("BENCH_seqcheck.json");
+  return 0;
+}

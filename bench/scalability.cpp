@@ -28,6 +28,7 @@
 #include "cfg/CFG.h"
 #include "conc/ConcChecker.h"
 #include "kiss/KissChecker.h"
+#include "support/Parallel.h"
 
 #include <chrono>
 #include <cstdio>
@@ -66,50 +67,75 @@ double seconds(std::chrono::steady_clock::time_point Start) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   constexpr unsigned Steps = 4;
   constexpr unsigned MaxTs = 1;
   constexpr unsigned MaxThreads = 6;
   constexpr uint64_t Budget = 8000000;
 
+  // The k points are independent (each compiles its own program), so the
+  // sweep fans out over --jobs workers. The default stays sequential: the
+  // per-k wall-clock columns are this bench's point, and co-scheduled
+  // checks would perturb them. State counts are identical either way.
+  unsigned Jobs = 1;
+  if (!parseJobsFlag(Argc, Argv, Jobs))
+    return 2;
+
   std::printf("Scalability: exhaustive interleavings vs. the KISS "
-              "translation\n(m = %u steps/thread, MAX = %u fixed)\n", Steps,
-              MaxTs);
+              "translation\n(m = %u steps/thread, MAX = %u fixed, %u "
+              "worker thread(s))\n", Steps, MaxTs, resolveJobs(Jobs));
   printRule('=');
   std::printf("%2s | %12s %9s %7s | %12s %9s %7s\n", "k", "conc states",
               "conc s", "growth", "kiss states", "kiss s", "growth");
   printRule();
 
-  std::vector<uint64_t> ConcSeries, KissSeries;
+  struct Row {
+    uint64_t ConcStates = 0, KissStates = 0;
+    double ConcSec = 0, KissSec = 0;
+    rt::CheckOutcome ConcOutcome = rt::CheckOutcome::Safe;
+    KissVerdict KissV = KissVerdict::NoErrorFound;
+  };
+  std::vector<Row> Rows(MaxThreads);
 
-  for (unsigned K = 1; K <= MaxThreads; ++K) {
+  parallelFor(MaxThreads, Jobs, [&](size_t I) {
+    unsigned K = static_cast<unsigned>(I) + 1;
     Compiled C = compileOrDie("family", makeFamily(K, Steps));
     cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*C.Program);
+    Row &R = Rows[I];
 
     auto T0 = std::chrono::steady_clock::now();
     conc::ConcOptions CO;
     CO.MaxStates = Budget;
     CO.MaxThreads = MaxThreads + 2;
     rt::CheckResult Conc = conc::checkProgram(*C.Program, CFG, CO);
-    double ConcSec = seconds(T0);
+    R.ConcSec = seconds(T0);
+    R.ConcStates = Conc.StatesExplored;
+    R.ConcOutcome = Conc.Outcome;
 
     auto T1 = std::chrono::steady_clock::now();
     KissOptions KO;
     KO.MaxTs = MaxTs;
     KO.Seq.MaxStates = Budget;
     KissReport Kiss = checkAssertions(*C.Program, KO, C.Ctx->Diags);
-    double KissSec = seconds(T1);
+    R.KissSec = seconds(T1);
+    R.KissStates = Kiss.Sequential.StatesExplored;
+    R.KissV = Kiss.Verdict;
+  });
 
-    if (Conc.Outcome != rt::CheckOutcome::Safe ||
-        Kiss.Verdict != KissVerdict::NoErrorFound) {
+  std::vector<uint64_t> ConcSeries, KissSeries;
+
+  for (unsigned K = 1; K <= MaxThreads; ++K) {
+    const Row &R = Rows[K - 1];
+    if (R.ConcOutcome != rt::CheckOutcome::Safe ||
+        R.KissV != KissVerdict::NoErrorFound) {
       std::printf("unexpected verdict on a safe program (conc=%s, "
-                  "kiss=%s)\n", rt::getOutcomeName(Conc.Outcome),
-                  getVerdictName(Kiss.Verdict));
+                  "kiss=%s)\n", rt::getOutcomeName(R.ConcOutcome),
+                  getVerdictName(R.KissV));
       return 1;
     }
 
-    ConcSeries.push_back(Conc.StatesExplored);
-    KissSeries.push_back(Kiss.Sequential.StatesExplored);
+    ConcSeries.push_back(R.ConcStates);
+    KissSeries.push_back(R.KissStates);
     double ConcGrowth =
         K > 1 ? static_cast<double>(ConcSeries[K - 1]) / ConcSeries[K - 2]
               : 0.0;
@@ -117,11 +143,10 @@ int main() {
         K > 1 ? static_cast<double>(KissSeries[K - 1]) / KissSeries[K - 2]
               : 0.0;
     std::printf("%2u | %12llu %9.3f %6.2fx | %12llu %9.3f %6.2fx\n", K,
-                static_cast<unsigned long long>(Conc.StatesExplored),
-                ConcSec, ConcGrowth,
-                static_cast<unsigned long long>(
-                    Kiss.Sequential.StatesExplored),
-                KissSec, KissGrowth);
+                static_cast<unsigned long long>(R.ConcStates), R.ConcSec,
+                ConcGrowth,
+                static_cast<unsigned long long>(R.KissStates), R.KissSec,
+                KissGrowth);
   }
 
   // Shape: the concurrent series grows by a roughly constant factor > 2

@@ -16,6 +16,7 @@
 #include "BenchUtil.h"
 
 #include "drivers/CorpusRunner.h"
+#include "support/Parallel.h"
 
 #include <cstdio>
 
@@ -23,11 +24,16 @@ using namespace kiss;
 using namespace kiss::bench;
 using namespace kiss::drivers;
 
-int main() {
+int main(int Argc, char **Argv) {
+  unsigned Jobs = 0;
+  if (!parseJobsFlag(Argc, Argv, Jobs))
+    return 2;
+
   std::printf("Table 1: race detection with the unconstrained harness "
               "(MAX = 0)\n");
   std::printf("Per-field resource bound: 25000 states (paper: 20 min / "
-              "800 MB per field)\n");
+              "800 MB per field); %u worker thread(s)\n",
+              resolveJobs(Jobs));
   printRule('=');
   std::printf("%-18s %6s %6s %7s | %6s %6s %6s | %6s %6s %6s\n", "Driver",
               "KLOC*", "MdlLoC", "Fields", "Races", "NoRace", "Bound",
@@ -36,6 +42,7 @@ int main() {
 
   CorpusRunOptions Opts;
   Opts.Harness = HarnessVersion::V1Unconstrained;
+  Opts.Jobs = Jobs;
 
   unsigned TotalFields = 0, TotalRaces = 0, TotalNoRaces = 0, TotalBound = 0;
   unsigned PaperRaces = 0, PaperNoRaces = 0, PaperBound = 0;
@@ -58,8 +65,9 @@ int main() {
     AllMatch &= Match;
 
     std::printf("%-18s %6.1f %6u %7u | %6u %6u %6u | %6u %6u %6u %s\n",
-                D.Name.c_str(), D.PaperKloc, R.ModelLines, D.NumFields,
-                R.Races, R.NoRaces, R.BoundExceeded, D.RacesV1, D.NoRacesV1,
+                D.Name.c_str(), D.PaperKloc,
+                countModelLines(D, Opts.Harness), D.NumFields, R.Races,
+                R.NoRaces, R.BoundExceeded, D.RacesV1, D.NoRacesV1,
                 D.numBoundExceeded(), Match ? "" : "<- MISMATCH");
   }
 

@@ -16,6 +16,7 @@
 #include "BenchUtil.h"
 
 #include "drivers/CorpusRunner.h"
+#include "support/Parallel.h"
 
 #include <cstdio>
 
@@ -23,9 +24,14 @@ using namespace kiss;
 using namespace kiss::bench;
 using namespace kiss::drivers;
 
-int main() {
+int main(int Argc, char **Argv) {
+  unsigned Jobs = 0;
+  if (!parseJobsFlag(Argc, Argv, Jobs))
+    return 2;
+
   std::printf("Table 2: re-checking the Table-1 races under the refined "
-              "harness (rules A1-A3)\n");
+              "harness (rules A1-A3); %u worker thread(s)\n",
+              resolveJobs(Jobs));
   printRule('=');
   std::printf("%-18s %8s | %8s | %8s\n", "Driver", "RacesV1", "Races",
               "paper");
@@ -38,6 +44,7 @@ int main() {
     // Experiment 1: find the racy fields with the unconstrained harness.
     CorpusRunOptions V1;
     V1.Harness = HarnessVersion::V1Unconstrained;
+    V1.Jobs = Jobs;
     DriverResult R1 = runDriver(D, V1);
     std::vector<unsigned> Racy = racyFieldIndices(R1);
     TotalV1 += Racy.size();
@@ -48,6 +55,7 @@ int main() {
     CorpusRunOptions V2;
     V2.Harness = HarnessVersion::V2Refined;
     V2.OnlyFields = Racy;
+    V2.Jobs = Jobs;
     DriverResult R2 = runDriver(D, V2);
 
     TotalV2 += R2.Races;

@@ -6,14 +6,16 @@
 
 #include "conc/ConcChecker.h"
 
+#include "seqcheck/StateStore.h"
+
 #include <algorithm>
 #include <cassert>
 #include <deque>
-#include <unordered_map>
 
 using namespace kiss;
 using namespace kiss::rt;
 using namespace kiss::conc;
+using kiss::seqcheck::StateStore;
 
 namespace {
 
@@ -24,38 +26,32 @@ struct SchedCtx {
   uint32_t Switches = 0;
 };
 
-struct ParentInfo {
-  std::string ParentKey;
+/// Back-pointer for counterexample reconstruction, indexed by state id.
+struct ParentLink {
+  uint32_t Parent = StateStore::InvalidId; ///< InvalidId for the root.
   TraceStep Step;
 };
 
-std::vector<TraceStep>
-rebuildTrace(const std::unordered_map<std::string, ParentInfo> &Parents,
-             const std::string &Key, const TraceStep &Last) {
+std::vector<TraceStep> rebuildTrace(const std::vector<ParentLink> &Links,
+                                    uint32_t Id, const TraceStep &Last) {
   std::vector<TraceStep> Trace;
   Trace.push_back(Last);
-  std::string Cur = Key;
-  while (true) {
-    auto It = Parents.find(Cur);
-    assert(It != Parents.end() && "broken parent chain");
-    if (It->second.ParentKey.empty())
-      break;
-    Trace.push_back(It->second.Step);
-    Cur = It->second.ParentKey;
+  while (Links[Id].Parent != StateStore::InvalidId) {
+    Trace.push_back(Links[Id].Step);
+    Id = Links[Id].Parent;
   }
   std::reverse(Trace.begin(), Trace.end());
   return Trace;
 }
 
-std::string makeKey(const MachineState &S, const SchedCtx &Ctx,
-                    bool Bounded) {
-  std::string Key = encodeState(S);
+void makeKeyInto(const MachineState &S, const SchedCtx &Ctx, bool Bounded,
+                 std::string &Out) {
+  encodeStateInto(S, Out);
   if (Bounded) {
-    Key.push_back(static_cast<char>(Ctx.LastThread & 0xff));
-    Key.push_back(static_cast<char>(Ctx.Switches & 0xff));
-    Key.push_back(static_cast<char>((Ctx.Switches >> 8) & 0xff));
+    Out.push_back(static_cast<char>(Ctx.LastThread & 0xff));
+    Out.push_back(static_cast<char>(Ctx.Switches & 0xff));
+    Out.push_back(static_cast<char>((Ctx.Switches >> 8) & 0xff));
   }
-  return Key;
 }
 
 } // namespace
@@ -82,29 +78,34 @@ CheckResult conc::checkProgram(const lang::Program &P,
   struct WorkItem {
     MachineState S;
     SchedCtx Ctx;
-    std::string Key;
+    uint32_t Id;
   };
+
+  StateStore Store;
+  std::vector<ParentLink> Links;
+  std::deque<WorkItem> Queue;
+  std::string Scratch;
 
   MachineState Init = makeInitialState(P, CFG, EntryIdx);
   SchedCtx InitCtx;
-  std::string InitKey = makeKey(Init, InitCtx, Bounded);
+  makeKeyInto(Init, InitCtx, Bounded, Scratch);
+  uint32_t InitId = Store.intern(Scratch).first;
+  Links.push_back(ParentLink{});
+  Queue.push_back(WorkItem{std::move(Init), InitCtx, InitId});
 
-  std::deque<WorkItem> Queue;
-  std::unordered_map<std::string, ParentInfo> Parents;
-  Parents.emplace(InitKey, ParentInfo{});
-  Queue.push_back(WorkItem{std::move(Init), InitCtx, InitKey});
-
+  // StatesExplored is the number of distinct states discovered
+  // (= Store.size()) on every exit path.
   while (!Queue.empty()) {
-    if (Parents.size() > Opts.MaxStates) {
+    if (Store.size() > Opts.MaxStates) {
       R.Outcome = CheckOutcome::BoundExceeded;
       R.Message = "state budget of " + std::to_string(Opts.MaxStates) +
                   " states exceeded";
+      R.StatesExplored = Store.size();
       return R;
     }
 
     WorkItem Item = std::move(Queue.front());
     Queue.pop_front();
-    ++R.StatesExplored;
     const MachineState &S = Item.S;
 
     // Which threads may run? Threads holding atomicity get exclusivity
@@ -144,12 +145,14 @@ CheckResult conc::checkProgram(const lang::Program &P,
                           : CheckOutcome::RuntimeError;
           R.Message = SR.Message;
           R.ErrorLoc = SR.ErrorLoc;
-          R.Trace = rebuildTrace(Parents, Item.Key, Step);
+          R.Trace = rebuildTrace(Links, Item.Id, Step);
+          R.StatesExplored = Store.size();
           return true;
         case StepResult::Kind::BoundExceeded:
           R.Outcome = CheckOutcome::BoundExceeded;
           R.Message = SR.Message;
           R.ErrorLoc = SR.ErrorLoc;
+          R.StatesExplored = Store.size();
           return true;
         case StepResult::Kind::Ok: {
           AnyEnabled = true;
@@ -162,11 +165,14 @@ CheckResult conc::checkProgram(const lang::Program &P,
           }
           for (MachineState &NS : SR.Successors) {
             ++R.TransitionsExplored;
-            std::string NKey = makeKey(NS, NCtx, Bounded);
-            if (Parents.count(NKey))
+            makeKeyInto(NS, NCtx, Bounded, Scratch);
+            auto [NId, Inserted] = Store.intern(Scratch);
+            if (!Inserted)
               continue;
-            Parents.emplace(NKey, ParentInfo{Item.Key, Step});
-            Queue.push_back(WorkItem{std::move(NS), NCtx, std::move(NKey)});
+            assert(NId == Links.size() &&
+                   "ids are dense in insertion order");
+            Links.push_back(ParentLink{Item.Id, Step});
+            Queue.push_back(WorkItem{std::move(NS), NCtx, NId});
           }
           break;
         }
@@ -200,6 +206,6 @@ CheckResult conc::checkProgram(const lang::Program &P,
   }
 
   R.Outcome = CheckOutcome::Safe;
-  R.StatesExplored = Parents.size();
+  R.StatesExplored = Store.size();
   return R;
 }

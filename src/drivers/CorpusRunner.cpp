@@ -7,6 +7,7 @@
 #include "drivers/CorpusRunner.h"
 
 #include "lower/Pipeline.h"
+#include "support/Parallel.h"
 
 #include <chrono>
 
@@ -22,11 +23,46 @@ static unsigned countLines(const std::string &Text) {
   return N;
 }
 
+unsigned kiss::drivers::countModelLines(const DriverSpec &D,
+                                        HarnessVersion V) {
+  return countLines(buildFullProgram(D, V));
+}
+
+/// One per-field check: compile the sliced model and run the KISS race
+/// check. Self-contained (own CompilerContext), so fields fan out across
+/// threads without sharing.
+static FieldResult checkOneField(const DriverSpec &D, unsigned FieldIdx,
+                                 const CorpusRunOptions &Opts) {
+  FieldResult FR;
+  FR.FieldIndex = FieldIdx;
+
+  lower::CompilerContext Ctx;
+  auto Program = lower::compileToCore(
+      Ctx, D.Name + "." + D.Fields[FieldIdx].Name,
+      buildFieldProgram(D, FieldIdx, Opts.Harness));
+  if (!Program) {
+    // Generated models always compile; treat a failure as inconclusive.
+    FR.Verdict = KissVerdict::BoundExceeded;
+    return FR;
+  }
+
+  KissOptions KO;
+  KO.MaxTs = 0; // §6: "we set the size of ts to 0" for race detection.
+  KO.Seq.MaxStates = Opts.FieldStateBudget;
+  RaceTarget Target =
+      RaceTarget::field(Ctx.Syms.intern(getDeviceExtensionName()),
+                        Ctx.Syms.intern(D.Fields[FieldIdx].Name));
+  KissReport Report = checkRace(*Program, Target, KO, Ctx.Diags);
+
+  FR.Verdict = Report.Verdict;
+  FR.StatesExplored = Report.Sequential.StatesExplored;
+  return FR;
+}
+
 DriverResult kiss::drivers::runDriver(const DriverSpec &D,
                                       const CorpusRunOptions &Opts) {
   DriverResult R;
   R.Driver = &D;
-  R.ModelLines = countLines(buildFullProgram(D, Opts.Harness));
 
   std::vector<unsigned> FieldIndices = Opts.OnlyFields;
   if (FieldIndices.empty())
@@ -34,34 +70,17 @@ DriverResult kiss::drivers::runDriver(const DriverSpec &D,
       FieldIndices.push_back(I);
 
   auto Start = std::chrono::steady_clock::now();
-  for (unsigned FieldIdx : FieldIndices) {
-    lower::CompilerContext Ctx;
-    auto Program = lower::compileToCore(
-        Ctx, D.Name + "." + D.Fields[FieldIdx].Name,
-        buildFieldProgram(D, FieldIdx, Opts.Harness));
-    FieldResult FR;
-    FR.FieldIndex = FieldIdx;
-    if (!Program) {
-      // Generated models always compile; treat a failure as inconclusive.
-      FR.Verdict = KissVerdict::BoundExceeded;
-      R.Fields.push_back(FR);
-      ++R.BoundExceeded;
-      continue;
-    }
 
-    KissOptions KO;
-    KO.MaxTs = 0; // §6: "we set the size of ts to 0" for race detection.
-    KO.Seq.MaxStates = Opts.FieldStateBudget;
-    RaceTarget Target =
-        RaceTarget::field(Ctx.Syms.intern(getDeviceExtensionName()),
-                          Ctx.Syms.intern(D.Fields[FieldIdx].Name));
-    KissReport Report = checkRace(*Program, Target, KO, Ctx.Diags);
+  // Fan the independent field checks out over the thread pool; each worker
+  // writes its slot, so R.Fields keeps the requested field order and the
+  // tallies below are identical at every job count.
+  R.Fields.resize(FieldIndices.size());
+  parallelFor(FieldIndices.size(), Opts.Jobs, [&](size_t I) {
+    R.Fields[I] = checkOneField(D, FieldIndices[I], Opts);
+  });
 
-    FR.Verdict = Report.Verdict;
-    FR.StatesExplored = Report.Sequential.StatesExplored;
-    R.Fields.push_back(FR);
-
-    switch (Report.Verdict) {
+  for (const FieldResult &FR : R.Fields) {
+    switch (FR.Verdict) {
     case KissVerdict::RaceDetected:
       ++R.Races;
       break;
@@ -73,6 +92,7 @@ DriverResult kiss::drivers::runDriver(const DriverSpec &D,
       break;
     }
   }
+
   R.Seconds = std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - Start)
                   .count();

@@ -38,9 +38,6 @@ struct DriverResult {
   unsigned NoRaces = 0;
   unsigned BoundExceeded = 0;
   std::vector<FieldResult> Fields;
-  /// Lines of the full driver model (the reproduction's analogue of the
-  /// paper's KLOC column).
-  unsigned ModelLines = 0;
   double Seconds = 0;
 };
 
@@ -52,10 +49,20 @@ struct CorpusRunOptions {
   /// If non-empty, only these field indices are checked (Table 2 re-runs
   /// the fields reported racy under the unconstrained harness).
   std::vector<unsigned> OnlyFields;
+  /// Worker threads for the per-field fan-out; 0 = all hardware threads.
+  /// Verdicts, counts, and field order are identical at every job count.
+  unsigned Jobs = 0;
 };
 
-/// Checks (a subset of) the fields of one driver.
+/// Checks (a subset of) the fields of one driver. Fields are independent
+/// checks (each builds its own CompilerContext) and run on Opts.Jobs
+/// threads; results are aggregated in field order.
 DriverResult runDriver(const DriverSpec &D, const CorpusRunOptions &Opts);
+
+/// Lines of the full driver model (the reproduction's analogue of the
+/// paper's KLOC column). Split out of runDriver so corpus runs don't
+/// regenerate the full-model text on every call.
+unsigned countModelLines(const DriverSpec &D, HarnessVersion V);
 
 /// Convenience: the indices of fields reported racy by \p R.
 std::vector<unsigned> racyFieldIndices(const DriverResult &R);

@@ -147,6 +147,11 @@ MachineState makeInitialState(const lang::Program &P,
 /// renumbered in reachability order; unreachable objects are dropped.
 std::string encodeState(const MachineState &S);
 
+/// As encodeState, but clears \p Out and encodes into it, reusing its
+/// capacity. Successor loops call this with one scratch buffer instead of
+/// allocating a fresh string per state.
+void encodeStateInto(const MachineState &S, std::string &Out);
+
 } // namespace kiss::rt
 
 #endif // KISS_SEQCHECK_RUNTIME_H

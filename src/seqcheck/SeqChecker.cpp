@@ -6,9 +6,10 @@
 
 #include "seqcheck/SeqChecker.h"
 
+#include "seqcheck/StateStore.h"
+
 #include <cassert>
 #include <deque>
-#include <unordered_map>
 
 using namespace kiss;
 using namespace kiss::rt;
@@ -16,25 +17,19 @@ using namespace kiss::seqcheck;
 
 namespace {
 
-/// Back-pointers for counterexample reconstruction.
-struct ParentInfo {
-  std::string ParentKey; ///< Empty for the initial state.
+/// Back-pointer for counterexample reconstruction, indexed by state id.
+struct ParentLink {
+  uint32_t Parent = StateStore::InvalidId; ///< InvalidId for the root.
   TraceStep Step;
 };
 
-std::vector<TraceStep>
-rebuildTrace(const std::unordered_map<std::string, ParentInfo> &Parents,
-             const std::string &Key, const TraceStep &Last) {
+std::vector<TraceStep> rebuildTrace(const std::vector<ParentLink> &Links,
+                                    uint32_t Id, const TraceStep &Last) {
   std::vector<TraceStep> Trace;
   Trace.push_back(Last);
-  std::string Cur = Key;
-  while (true) {
-    auto It = Parents.find(Cur);
-    assert(It != Parents.end() && "broken parent chain");
-    if (It->second.ParentKey.empty())
-      break;
-    Trace.push_back(It->second.Step);
-    Cur = It->second.ParentKey;
+  while (Links[Id].Parent != StateStore::InvalidId) {
+    Trace.push_back(Links[Id].Step);
+    Id = Links[Id].Parent;
   }
   std::reverse(Trace.begin(), Trace.end());
   return Trace;
@@ -59,26 +54,30 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
   SO.AllowAsync = false;
   SO.MaxFrames = Opts.MaxFrames;
 
+  StateStore Store;
+  std::vector<ParentLink> Links;
+  std::deque<std::pair<MachineState, uint32_t>> Queue;
+  std::string Scratch;
+
   MachineState Init = makeInitialState(P, CFG, EntryIdx);
-  std::string InitKey = encodeState(Init);
+  encodeStateInto(Init, Scratch);
+  uint32_t InitId = Store.intern(Scratch).first;
+  Links.push_back(ParentLink{});
+  Queue.emplace_back(std::move(Init), InitId);
 
-  std::deque<std::pair<MachineState, std::string>> Queue;
-  std::unordered_map<std::string, ParentInfo> Parents;
-  Parents.emplace(InitKey, ParentInfo{});
-  Queue.emplace_back(std::move(Init), InitKey);
-
+  // StatesExplored is the number of distinct states discovered
+  // (= Store.size()) on every exit path.
   while (!Queue.empty()) {
-    if (Parents.size() > Opts.MaxStates) {
+    if (Store.size() > Opts.MaxStates) {
       R.Outcome = CheckOutcome::BoundExceeded;
       R.Message = "state budget of " + std::to_string(Opts.MaxStates) +
                   " states exceeded";
-      R.StatesExplored = R.StatesExplored ? R.StatesExplored : Parents.size();
+      R.StatesExplored = Store.size();
       return R;
     }
 
-    auto [S, Key] = std::move(Queue.front());
+    auto [S, Id] = std::move(Queue.front());
     Queue.pop_front();
-    ++R.StatesExplored;
 
     if (isThreadDone(S, 0))
       continue; // Accepting leaf: the program ran to completion.
@@ -100,29 +99,33 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
                       : CheckOutcome::RuntimeError;
       R.Message = SR.Message;
       R.ErrorLoc = SR.ErrorLoc;
-      R.Trace = rebuildTrace(Parents, Key, Step);
+      R.Trace = rebuildTrace(Links, Id, Step);
+      R.StatesExplored = Store.size();
       return R;
 
     case StepResult::Kind::BoundExceeded:
       R.Outcome = CheckOutcome::BoundExceeded;
       R.Message = SR.Message;
       R.ErrorLoc = SR.ErrorLoc;
+      R.StatesExplored = Store.size();
       return R;
 
     case StepResult::Kind::Ok:
       for (MachineState &NS : SR.Successors) {
         ++R.TransitionsExplored;
-        std::string NKey = encodeState(NS);
-        if (Parents.count(NKey))
+        encodeStateInto(NS, Scratch);
+        auto [NId, Inserted] = Store.intern(Scratch);
+        if (!Inserted)
           continue;
-        Parents.emplace(NKey, ParentInfo{Key, Step});
-        Queue.emplace_back(std::move(NS), std::move(NKey));
+        assert(NId == Links.size() && "ids are dense in insertion order");
+        Links.push_back(ParentLink{Id, Step});
+        Queue.emplace_back(std::move(NS), NId);
       }
       break;
     }
   }
 
   R.Outcome = CheckOutcome::Safe;
-  R.StatesExplored = Parents.size();
+  R.StatesExplored = Store.size();
   return R;
 }

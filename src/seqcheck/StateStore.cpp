@@ -1,0 +1,68 @@
+//===- StateStore.cpp -----------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "seqcheck/StateStore.h"
+
+#include "support/Hashing.h"
+
+#include <cassert>
+
+using namespace kiss;
+using namespace kiss::seqcheck;
+
+namespace {
+constexpr size_t InitialSlots = 1024; // Power of two.
+} // namespace
+
+StateStore::StateStore() : Slots(InitialSlots, Slot{0, InvalidId}) {}
+
+std::string_view StateStore::key(uint32_t Id) const {
+  assert(Id < Records.size() && "state id out of range");
+  const Record &R = Records[Id];
+  return std::string_view(Arena.data() + R.Offset, R.Length);
+}
+
+std::pair<uint32_t, bool> StateStore::intern(std::string_view Key) {
+  return intern(Key, stableHashFast(Key));
+}
+
+std::pair<uint32_t, bool> StateStore::intern(std::string_view Key,
+                                             uint64_t Hash) {
+  // Keep the load factor under 7/10.
+  if ((Records.size() + 1) * 10 >= Slots.size() * 7)
+    grow();
+
+  const size_t Mask = Slots.size() - 1;
+  size_t I = Hash & Mask;
+  while (Slots[I].Id != InvalidId) {
+    // Full-key confirmation on every hash hit: a 64-bit collision lands
+    // two keys in one probe chain, never in one state.
+    if (Slots[I].Hash == Hash && key(Slots[I].Id) == Key)
+      return {Slots[I].Id, false};
+    I = (I + 1) & Mask;
+  }
+
+  uint32_t Id = static_cast<uint32_t>(Records.size());
+  assert(Id != InvalidId && "state store full");
+  Records.push_back(Record{Arena.size(), static_cast<uint32_t>(Key.size())});
+  Arena.insert(Arena.end(), Key.begin(), Key.end());
+  Slots[I] = Slot{Hash, Id};
+  return {Id, true};
+}
+
+void StateStore::grow() {
+  std::vector<Slot> Old(Slots.size() * 2, Slot{0, InvalidId});
+  Old.swap(Slots);
+  const size_t Mask = Slots.size() - 1;
+  for (const Slot &S : Old) {
+    if (S.Id == InvalidId)
+      continue;
+    size_t I = S.Hash & Mask;
+    while (Slots[I].Id != InvalidId)
+      I = (I + 1) & Mask;
+    Slots[I] = S;
+  }
+}

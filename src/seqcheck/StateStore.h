@@ -1,0 +1,81 @@
+//===- StateStore.h - Compact visited-state store ---------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The visited set of the explicit-state engines. Encoded states are
+/// appended to one contiguous byte arena and deduplicated through an
+/// open-addressing index of (hash64, state id) entries. A hash hit is
+/// always confirmed by comparing the full encoded key, so two distinct
+/// states can never be conflated — the paper's no-false-errors guarantee
+/// does not rest on 64 bits of fingerprint.
+///
+/// Compared to the previous unordered_map<std::string, ParentInfo> +
+/// deque<pair<MachineState, std::string>> layout, each state costs one
+/// arena copy of its encoding plus ~16 bytes of record and ~23 bytes of
+/// index instead of two heap-allocated string copies plus map-node
+/// overhead, and states are addressed by dense 32-bit ids that back-pointer
+/// chains and work queues can store directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SEQCHECK_STATESTORE_H
+#define KISS_SEQCHECK_STATESTORE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kiss::seqcheck {
+
+class StateStore {
+public:
+  /// Sentinel id: never returned by intern(); used for "no parent" links.
+  static constexpr uint32_t InvalidId = 0xffffffffu;
+
+  StateStore();
+
+  /// Interns encoded state \p Key. \returns the state's dense id (ids are
+  /// assigned 0, 1, 2, ... in first-seen order) and whether the key was
+  /// newly inserted. The bytes are copied; \p Key may be a reused scratch
+  /// buffer.
+  std::pair<uint32_t, bool> intern(std::string_view Key);
+
+  /// As above with a caller-supplied 64-bit hash. Exposed so tests can
+  /// force two distinct keys into the same index bucket; production
+  /// callers use the one-argument form.
+  std::pair<uint32_t, bool> intern(std::string_view Key, uint64_t Hash);
+
+  /// Number of distinct states interned.
+  size_t size() const { return Records.size(); }
+
+  /// The encoded bytes of state \p Id. Invalidated by the next intern().
+  std::string_view key(uint32_t Id) const;
+
+  /// Bytes held by the encoding arena (diagnostics/benchmarks).
+  size_t arenaBytes() const { return Arena.size(); }
+
+private:
+  struct Record {
+    uint64_t Offset; ///< Start of the encoding in Arena.
+    uint32_t Length;
+  };
+  struct Slot {
+    uint64_t Hash;
+    uint32_t Id; ///< InvalidId = empty slot.
+  };
+
+  void grow();
+
+  std::vector<char> Arena;
+  std::vector<Record> Records;
+  std::vector<Slot> Slots; ///< Capacity is always a power of two.
+};
+
+} // namespace kiss::seqcheck
+
+#endif // KISS_SEQCHECK_STATESTORE_H

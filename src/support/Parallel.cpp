@@ -1,0 +1,47 @@
+//===- Parallel.cpp -------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parallel.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace kiss;
+
+unsigned kiss::resolveJobs(unsigned Requested) {
+  if (Requested)
+    return Requested;
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 1;
+}
+
+void kiss::parallelFor(size_t N, unsigned Jobs,
+                       const std::function<void(size_t)> &Fn) {
+  Jobs = resolveJobs(Jobs);
+  if (Jobs > N)
+    Jobs = static_cast<unsigned>(N);
+  if (Jobs <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Fn(I);
+    return;
+  }
+
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (size_t I = Next.fetch_add(1, std::memory_order_relaxed); I < N;
+         I = Next.fetch_add(1, std::memory_order_relaxed))
+      Fn(I);
+  };
+
+  std::vector<std::thread> Threads;
+  Threads.reserve(Jobs - 1);
+  for (unsigned T = 1; T != Jobs; ++T)
+    Threads.emplace_back(Worker);
+  Worker(); // The calling thread is worker 0.
+  for (std::thread &T : Threads)
+    T.join();
+}

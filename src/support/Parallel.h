@@ -1,0 +1,37 @@
+//===- Parallel.h - Minimal fork-join helpers -------------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fork-join primitive behind every --jobs flag: a work-stealing-free
+/// parallel index loop over independent tasks (per-field corpus checks,
+/// per-location race sweeps). Each task owns its CompilerContext, so the
+/// only sharing is the atomic work counter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SUPPORT_PARALLEL_H
+#define KISS_SUPPORT_PARALLEL_H
+
+#include <cstddef>
+#include <functional>
+
+namespace kiss {
+
+/// Resolves a --jobs request: \p Requested workers, or
+/// hardware_concurrency() when \p Requested is 0 (never less than 1).
+unsigned resolveJobs(unsigned Requested);
+
+/// Runs \p Fn(I) for every I in [0, N) on up to \p Jobs threads, blocking
+/// until all indices are done. \p Fn must be safe to call concurrently for
+/// distinct indices, must not throw, and should write its result into a
+/// caller-provided slot keyed by I (execution order is unspecified; slot
+/// order is how callers stay deterministic). Jobs <= 1 runs inline.
+void parallelFor(size_t N, unsigned Jobs,
+                 const std::function<void(size_t)> &Fn);
+
+} // namespace kiss
+
+#endif // KISS_SUPPORT_PARALLEL_H

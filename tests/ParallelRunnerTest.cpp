@@ -1,0 +1,124 @@
+//===- ParallelRunnerTest.cpp ---------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The corpus runner's thread-pool fan-out must be invisible in results:
+/// every DriverResult field except wall time is identical at every job
+/// count, in the same field order.
+///
+//===----------------------------------------------------------------------===//
+
+#include "drivers/Corpus.h"
+#include "drivers/CorpusRunner.h"
+#include "support/Parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+
+using namespace kiss;
+using namespace kiss::drivers;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// parallelFor
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (unsigned Jobs : {1u, 3u, 8u}) {
+    constexpr size_t N = 1000;
+    std::vector<std::atomic<unsigned>> Hits(N);
+    parallelFor(N, Jobs, [&](size_t I) { ++Hits[I]; });
+    for (size_t I = 0; I != N; ++I)
+      EXPECT_EQ(Hits[I].load(), 1u) << "index " << I << " jobs " << Jobs;
+  }
+}
+
+TEST(ParallelForTest, HandlesEmptyAndTinyRanges) {
+  parallelFor(0, 4, [&](size_t) { FAIL() << "no indices to run"; });
+  std::atomic<unsigned> Count{0};
+  parallelFor(1, 4, [&](size_t) { ++Count; });
+  EXPECT_EQ(Count.load(), 1u);
+}
+
+TEST(ParallelForTest, ResolveJobsNeverReturnsZero) {
+  EXPECT_GE(resolveJobs(0), 1u);
+  EXPECT_EQ(resolveJobs(3), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus runner determinism across job counts
+//===----------------------------------------------------------------------===//
+
+void expectSameResults(const DriverResult &A, const DriverResult &B) {
+  EXPECT_EQ(A.Races, B.Races);
+  EXPECT_EQ(A.NoRaces, B.NoRaces);
+  EXPECT_EQ(A.BoundExceeded, B.BoundExceeded);
+  ASSERT_EQ(A.Fields.size(), B.Fields.size());
+  for (size_t I = 0; I != A.Fields.size(); ++I) {
+    EXPECT_EQ(A.Fields[I].FieldIndex, B.Fields[I].FieldIndex) << I;
+    EXPECT_EQ(A.Fields[I].Verdict, B.Fields[I].Verdict) << I;
+    EXPECT_EQ(A.Fields[I].StatesExplored, B.Fields[I].StatesExplored) << I;
+  }
+}
+
+TEST(ParallelRunnerTest, JobCountDoesNotChangeDriverResults) {
+  auto Corpus = getTable1Corpus();
+  ASSERT_GE(Corpus.size(), 2u);
+
+  // The two smallest drivers keep the test fast while still covering
+  // several fields each.
+  std::vector<const DriverSpec *> ByFields;
+  for (const DriverSpec &D : Corpus)
+    ByFields.push_back(&D);
+  std::sort(ByFields.begin(), ByFields.end(),
+            [](const DriverSpec *A, const DriverSpec *B) {
+              return A->Fields.size() < B->Fields.size();
+            });
+
+  for (const DriverSpec *D : {ByFields[0], ByFields[1]}) {
+    ASSERT_GE(D->Fields.size(), 1u);
+    CorpusRunOptions Serial;
+    Serial.Jobs = 1;
+    DriverResult R1 = runDriver(*D, Serial);
+
+    CorpusRunOptions Pooled;
+    Pooled.Jobs = 4;
+    DriverResult R4 = runDriver(*D, Pooled);
+
+    expectSameResults(R1, R4);
+  }
+}
+
+TEST(ParallelRunnerTest, JobCountDoesNotChangeFieldSubsetRuns) {
+  auto Corpus = getTable1Corpus();
+  const DriverSpec *D = nullptr;
+  for (const DriverSpec &Spec : Corpus)
+    if (Spec.Fields.size() >= 3 && (!D || Spec.Fields.size() < D->Fields.size()))
+      D = &Spec;
+  ASSERT_NE(D, nullptr);
+
+  // Re-running a field subset (the Table-2 path) out of order must also be
+  // job-count invariant and preserve the requested order.
+  CorpusRunOptions Serial;
+  Serial.Harness = HarnessVersion::V2Refined;
+  Serial.OnlyFields = {2, 0};
+  Serial.Jobs = 1;
+  DriverResult R1 = runDriver(*D, Serial);
+
+  CorpusRunOptions Pooled = Serial;
+  Pooled.Jobs = 4;
+  DriverResult R4 = runDriver(*D, Pooled);
+
+  ASSERT_EQ(R1.Fields.size(), 2u);
+  EXPECT_EQ(R1.Fields[0].FieldIndex, 2u);
+  EXPECT_EQ(R1.Fields[1].FieldIndex, 0u);
+  expectSameResults(R1, R4);
+}
+
+} // namespace

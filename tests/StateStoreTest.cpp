@@ -1,0 +1,197 @@
+//===- StateStoreTest.cpp -------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compact visited-state store: dedup correctness (including forced
+/// 64-bit hash collisions — the no-false-errors guarantee must not rest on
+/// the fingerprint), determinism of the canonical encoding's heap
+/// renumbering, and a golden-count regression pinning checkProgram's
+/// distinct-state counts on the sample programs to the values the
+/// pre-StateStore implementation produced.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "kiss/KissChecker.h"
+#include "seqcheck/Runtime.h"
+#include "seqcheck/StateStore.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace kiss;
+using namespace kiss::rt;
+using namespace kiss::seqcheck;
+using namespace kiss::test;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Interning and dedup
+//===----------------------------------------------------------------------===//
+
+TEST(StateStoreTest, InternAssignsDenseIdsAndDedups) {
+  StateStore Store;
+  auto [A, AIns] = Store.intern("alpha");
+  auto [B, BIns] = Store.intern("beta");
+  EXPECT_EQ(A, 0u);
+  EXPECT_EQ(B, 1u);
+  EXPECT_TRUE(AIns);
+  EXPECT_TRUE(BIns);
+
+  auto [A2, A2Ins] = Store.intern("alpha");
+  EXPECT_EQ(A2, A);
+  EXPECT_FALSE(A2Ins);
+  EXPECT_EQ(Store.size(), 2u);
+  EXPECT_EQ(Store.key(A), "alpha");
+  EXPECT_EQ(Store.key(B), "beta");
+}
+
+TEST(StateStoreTest, ForcedHashCollisionKeepsStatesDistinct) {
+  StateStore Store;
+  // Seed two different keys into the same bucket with an identical 64-bit
+  // hash: the full-key check must separate them.
+  constexpr uint64_t Hash = 0x1234567890abcdefull;
+  auto [A, AIns] = Store.intern("first-state", Hash);
+  auto [B, BIns] = Store.intern("second-state", Hash);
+  EXPECT_TRUE(AIns);
+  EXPECT_TRUE(BIns);
+  EXPECT_NE(A, B);
+
+  // Re-interning under the same hash finds the right entry for each.
+  EXPECT_EQ(Store.intern("first-state", Hash),
+            (std::pair<uint32_t, bool>{A, false}));
+  EXPECT_EQ(Store.intern("second-state", Hash),
+            (std::pair<uint32_t, bool>{B, false}));
+  EXPECT_EQ(Store.key(A), "first-state");
+  EXPECT_EQ(Store.key(B), "second-state");
+}
+
+TEST(StateStoreTest, SurvivesRehashing) {
+  StateStore Store;
+  // Enough keys to force several index growths past the initial capacity.
+  constexpr unsigned N = 10000;
+  for (unsigned I = 0; I != N; ++I) {
+    auto [Id, Inserted] = Store.intern("key-" + std::to_string(I));
+    EXPECT_EQ(Id, I);
+    EXPECT_TRUE(Inserted);
+  }
+  EXPECT_EQ(Store.size(), N);
+  for (unsigned I = 0; I != N; ++I) {
+    auto [Id, Inserted] = Store.intern("key-" + std::to_string(I));
+    EXPECT_EQ(Id, I);
+    EXPECT_FALSE(Inserted);
+  }
+  EXPECT_EQ(Store.key(4321), "key-4321");
+}
+
+//===----------------------------------------------------------------------===//
+// Canonical encoding determinism
+//===----------------------------------------------------------------------===//
+
+/// A state with two heap objects X (one field pointing at Y) and Y, the
+/// first global pointing at X. \p XSlot selects which physical heap slot
+/// X occupies, exercising renumbering by reachability order.
+MachineState makeTwoObjectState(uint32_t XSlot) {
+  uint32_t YSlot = 1 - XSlot;
+  MachineState S;
+  S.Heap.resize(2);
+  S.Heap[XSlot].Fields = {
+      Value::makePtr({AddrSpace::Heap, 0, YSlot, 0}),
+      Value::makeInt(7),
+  };
+  S.Heap[YSlot].Fields = {Value::makeInt(42)};
+  S.Globals = {Value::makePtr({AddrSpace::Heap, 0, XSlot, 0}),
+               Value::makeBool(true)};
+  S.Threads.resize(1);
+  Frame F;
+  F.Func = 3;
+  F.PC = 9;
+  F.Locals = {Value::makeUndef()};
+  S.Threads[0].Frames.push_back(std::move(F));
+  return S;
+}
+
+TEST(StateStoreTest, EncodingRenumbersHeapByReachability) {
+  // The same logical state with swapped physical heap slots must encode
+  // identically: allocation history is not part of the canonical form.
+  std::string A = encodeState(makeTwoObjectState(0));
+  std::string B = encodeState(makeTwoObjectState(1));
+  EXPECT_EQ(A, B);
+  EXPECT_FALSE(A.empty());
+}
+
+TEST(StateStoreTest, EncodingDropsUnreachableObjects) {
+  MachineState S = makeTwoObjectState(0);
+  MachineState G = makeTwoObjectState(0);
+  G.Heap.push_back(HeapObject{nullptr, {Value::makeInt(99)}}); // Garbage.
+  EXPECT_EQ(encodeState(S), encodeState(G));
+}
+
+TEST(StateStoreTest, EncodeIntoIsDeterministicAcrossCalls) {
+  MachineState S = makeTwoObjectState(0);
+  std::string Scratch;
+  encodeStateInto(S, Scratch);
+  std::string First = Scratch;
+
+  // Dirty the scratch buffer with a different state, then re-encode.
+  encodeStateInto(makeTwoObjectState(1), Scratch);
+  encodeStateInto(S, Scratch);
+  EXPECT_EQ(Scratch, First);
+  EXPECT_EQ(Scratch, encodeState(S));
+}
+
+TEST(StateStoreTest, EncodingDistinguishesDifferentStates) {
+  MachineState S = makeTwoObjectState(0);
+  MachineState T = makeTwoObjectState(0);
+  T.Heap[1].Fields[0] = Value::makeInt(43); // Y's payload differs.
+  EXPECT_NE(encodeState(S), encodeState(T));
+}
+
+//===----------------------------------------------------------------------===//
+// Golden state counts (pre/post-refactor regression)
+//===----------------------------------------------------------------------===//
+
+std::string readSample(const std::string &Name) {
+  std::ifstream In(std::string(KISS_SAMPLES_DIR) + "/" + Name);
+  EXPECT_TRUE(In) << "cannot open sample " << Name;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Distinct-state counts recorded from the seed implementation
+/// (unordered_map visited set) on the safe sample programs; the StateStore
+/// BFS must visit exactly the same states.
+struct GoldenCount {
+  const char *File;
+  unsigned MaxTs;
+  uint64_t States;
+};
+
+TEST(StateStoreTest, CheckProgramVisitsSameStateCountAsSeed) {
+  const GoldenCount Goldens[] = {
+      {"queue.kiss", 0, 174},    {"queue.kiss", 2, 790},
+      {"bank_fixed.kiss", 0, 565}, {"bank_fixed.kiss", 2, 4167},
+      {"pingpong.kiss", 0, 47},  {"pingpong.kiss", 2, 638},
+      {"refcount.kiss", 0, 777},
+  };
+  for (const GoldenCount &G : Goldens) {
+    Compiled C = compile(readSample(G.File));
+    ASSERT_TRUE(C);
+    core::KissOptions Opts;
+    Opts.MaxTs = G.MaxTs;
+    core::KissReport R =
+        core::checkAssertions(*C.Program, Opts, C.Ctx->Diags);
+    EXPECT_EQ(R.Verdict, core::KissVerdict::NoErrorFound)
+        << G.File << " MAX=" << G.MaxTs;
+    EXPECT_EQ(R.Sequential.StatesExplored, G.States)
+        << G.File << " MAX=" << G.MaxTs;
+  }
+}
+
+} // namespace

@@ -30,6 +30,7 @@
 #include "kiss/KissChecker.h"
 #include "lang/ASTPrinter.h"
 #include "lower/Pipeline.h"
+#include "support/Parallel.h"
 
 #include <cstdio>
 #include <cstring>
@@ -53,6 +54,7 @@ struct CliOptions {
   bool DumpCfg = false;
   bool UseConcEngine = false;
   bool ShowStats = false;
+  unsigned Jobs = 1;
 };
 
 void printUsage() {
@@ -64,6 +66,8 @@ void printUsage() {
       "  --max-ts=<n>                    ts multiset bound MAX "
       "(default 0)\n"
       "  --max-states=<n>                state budget (default 1000000)\n"
+      "  --jobs=<n>                      worker threads for --race-all "
+      "(0 = all cores)\n"
       "  --no-alias                      disable probe pruning\n"
       "  --engine=conc                   explore all interleavings "
       "instead\n"
@@ -86,6 +90,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, bool &Demo) {
       Opts.MaxTs = std::strtoul(Arg.c_str() + 9, nullptr, 10);
     } else if (Arg.rfind("--max-states=", 0) == 0) {
       Opts.MaxStates = std::strtoull(Arg.c_str() + 13, nullptr, 10);
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      Opts.Jobs = std::strtoul(Arg.c_str() + 7, nullptr, 10);
     } else if (Arg == "--no-alias") {
       Opts.UseAlias = false;
     } else if (Arg == "--engine=conc") {
@@ -137,35 +143,43 @@ bool parseRaceTarget(const std::string &Spec, lower::CompilerContext &Ctx,
 }
 
 /// The paper's per-field workflow: one race check per global and per
-/// struct field, with a summary table (§6).
+/// struct field, with a summary table (§6). Locations fan out over
+/// --jobs workers; the transform interns symbols into the program's
+/// table, so every worker task compiles its own copy of the source.
 int runRaceAll(const lang::Program &P, const CliOptions &Opts,
-               lower::CompilerContext &Ctx) {
+               lower::CompilerContext &Ctx, const std::string &Name,
+               const std::string &Source) {
   struct Row {
     std::string Name;
-    KissVerdict V;
-    uint64_t States;
+    KissVerdict V = KissVerdict::BoundExceeded;
+    uint64_t States = 0;
   };
   std::vector<Row> Rows;
 
-  KissOptions KO;
-  KO.MaxTs = Opts.MaxTs;
-  KO.UseAliasAnalysis = Opts.UseAlias;
-  KO.Seq.MaxStates = Opts.MaxStates;
-
-  auto runOne = [&](const RaceTarget &T, std::string Name) {
-    KissReport R = checkRace(P, T, KO, Ctx.Diags);
-    Rows.push_back(Row{std::move(Name), R.Verdict,
-                       R.Sequential.StatesExplored});
-  };
-
   for (const lang::GlobalDecl &G : P.getGlobals())
-    runOne(RaceTarget::global(G.Name),
-           std::string(Ctx.Syms.str(G.Name)));
+    Rows.push_back(Row{std::string(Ctx.Syms.str(G.Name)), {}, 0});
   for (const auto &S : P.getStructs())
     for (const lang::FieldDecl &F : S->getFields())
-      runOne(RaceTarget::field(S->getName(), F.Name),
-             std::string(Ctx.Syms.str(S->getName())) + "." +
-                 std::string(Ctx.Syms.str(F.Name)));
+      Rows.push_back(Row{std::string(Ctx.Syms.str(S->getName())) + "." +
+                             std::string(Ctx.Syms.str(F.Name)),
+                         {}, 0});
+
+  parallelFor(Rows.size(), Opts.Jobs, [&](size_t I) {
+    lower::CompilerContext TaskCtx;
+    auto TaskP = lower::compileToCore(TaskCtx, Name, Source);
+    RaceTarget T;
+    if (!TaskP || !parseRaceTarget(Rows[I].Name, TaskCtx, *TaskP, T)) {
+      Rows[I].V = KissVerdict::BoundExceeded; // Cannot happen: P compiled.
+      return;
+    }
+    KissOptions KO;
+    KO.MaxTs = Opts.MaxTs;
+    KO.UseAliasAnalysis = Opts.UseAlias;
+    KO.Seq.MaxStates = Opts.MaxStates;
+    KissReport R = checkRace(*TaskP, T, KO, TaskCtx.Diags);
+    Rows[I].V = R.Verdict;
+    Rows[I].States = R.Sequential.StatesExplored;
+  });
 
   unsigned Races = 0, Clean = 0, Other = 0;
   std::printf("%-40s %-20s %10s\n", "location", "verdict", "states");
@@ -257,7 +271,7 @@ int main(int Argc, char **Argv) {
   KO.Seq.MaxStates = Opts.MaxStates;
 
   if (Opts.RaceAll)
-    return runRaceAll(*Program, Opts, Ctx);
+    return runRaceAll(*Program, Opts, Ctx, Name, Source);
 
   KissReport R;
   if (!Opts.RaceTargetSpec.empty()) {
