@@ -9,8 +9,12 @@
 /// model: frontend (parse+check+lower), CFG construction, the KISS
 /// transformation (both modes), the points-to analysis, state encoding,
 /// the BFS explorers, and the end-to-end check. After the google-benchmark
-/// run, writes BENCH_seqcheck.json (per-phase wall time, states/sec, peak
-/// states) so the perf trajectory is tracked across PRs.
+/// run, writes BENCH_seqcheck.json through the shared telemetry report
+/// writer (phase spans, exploration counters, per-check records) so the
+/// perf trajectory is tracked across PRs; tools/bench_diff.py compares two
+/// such reports. `--json-only` skips the google-benchmark run and only
+/// writes the report (used by the bench_diff CTest guard); `--json-out=P`
+/// overrides the output path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,10 +28,13 @@
 #include "kiss/Transform.h"
 #include "seqcheck/Runtime.h"
 #include "seqcheck/SeqChecker.h"
+#include "telemetry/Telemetry.h"
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstring>
+#include <vector>
 
 using namespace kiss;
 using namespace kiss::bench;
@@ -193,23 +200,29 @@ template <typename F> double timePhase(F &&Fn) {
   return Total / Iters;
 }
 
-/// Emits the machine-readable perf record future PRs diff against:
-/// per-phase wall time on the Figure-2 Bluetooth model and the BFS
-/// explorer's throughput on the thread-family workload.
+/// Emits the machine-readable perf record future PRs diff against
+/// (tools/bench_diff.py): per-phase wall time on the Figure-2 Bluetooth
+/// model and the BFS explorer's throughput on the thread-family workload,
+/// through the shared telemetry report writer.
 void writeSeqcheckJson(const char *Path) {
   std::string BtSource = drivers::getBluetoothSource();
+  telemetry::RunRecorder Rec;
+  Rec.setMeta("bench", "microbench");
+  Rec.setMeta("workload", "bluetooth + family k=5 m=4, MAX=1");
 
   double FrontendSec = timePhase([&] {
     lower::CompilerContext Ctx;
     auto P = lower::compileToCore(Ctx, "bt", BtSource);
     benchmark::DoNotOptimize(P);
   });
+  Rec.addPhase("frontend", FrontendSec * 1000.0);
 
   Compiled Bt = compileOrDie("bt", BtSource);
   double CfgSec = timePhase([&] {
     cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*Bt.Program);
     benchmark::DoNotOptimize(CFG.getTotalNodes());
   });
+  Rec.addPhase("cfg", CfgSec * 1000.0);
 
   TransformOptions TO;
   TO.MaxTs = 1;
@@ -218,6 +231,7 @@ void writeSeqcheckJson(const char *Path) {
     auto T = transformForAssertions(*Bt.Program, TO, Diags);
     benchmark::DoNotOptimize(T);
   });
+  Rec.addPhase("transform", TransformSec * 1000.0);
 
   // The BFS workload of BM_SeqCheckerBFS: safe, exhaustive exploration.
   Compiled Fam = compileOrDie("family", makeFamily(5, 4));
@@ -230,46 +244,53 @@ void writeSeqcheckJson(const char *Path) {
     rt::CheckResult R = seqcheck::checkProgram(*TP, FamCFG, SO);
     benchmark::DoNotOptimize(R.Outcome);
   });
+  telemetry::PhaseRecord &Explore =
+      Rec.addPhase("explore", ExploreSec * 1000.0);
+  Explore.Counters.emplace_back(
+      "states_per_sec",
+      static_cast<uint64_t>(
+          static_cast<double>(Probe.StatesExplored) / ExploreSec));
 
-  std::FILE *Out = std::fopen(Path, "w");
-  if (!Out) {
-    std::fprintf(stderr, "cannot write %s\n", Path);
-    return;
-  }
-  std::fprintf(Out,
-               "{\n"
-               "  \"schema\": 1,\n"
-               "  \"phases\": {\n"
-               "    \"frontend_s\": %.9f,\n"
-               "    \"cfg_s\": %.9f,\n"
-               "    \"transform_s\": %.9f,\n"
-               "    \"explore_s\": %.9f\n"
-               "  },\n"
-               "  \"explore\": {\n"
-               "    \"workload\": \"family k=5 m=4, MAX=1\",\n"
-               "    \"states\": %llu,\n"
-               "    \"transitions\": %llu,\n"
-               "    \"peak_states\": %llu,\n"
-               "    \"states_per_sec\": %.1f\n"
-               "  }\n"
-               "}\n",
-               FrontendSec, CfgSec, TransformSec, ExploreSec,
-               static_cast<unsigned long long>(Probe.StatesExplored),
-               static_cast<unsigned long long>(Probe.TransitionsExplored),
-               static_cast<unsigned long long>(Probe.StatesExplored),
-               static_cast<double>(Probe.StatesExplored) / ExploreSec);
-  std::fclose(Out);
-  std::printf("wrote %s\n", Path);
+  telemetry::CheckRecord C;
+  C.Name = "family k=5 m=4, MAX=1";
+  C.Outcome = rt::getOutcomeName(Probe.Outcome);
+  C.WallMs = ExploreSec * 1000.0;
+  C.States = Probe.StatesExplored;
+  C.Transitions = Probe.TransitionsExplored;
+  C.DedupHits = Probe.Exploration.DedupHits;
+  C.ArenaBytes = Probe.Exploration.ArenaBytes;
+  C.FrontierPeak = Probe.Exploration.FrontierPeak;
+  C.DepthMax = Probe.Exploration.DepthMax;
+  Rec.addCheck(std::move(C));
+
+  if (telemetry::writeReport(Rec, Path))
+    std::printf("wrote %s\n", Path);
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv))
-    return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  writeSeqcheckJson("BENCH_seqcheck.json");
+  // Strip our own flags before google-benchmark sees the command line.
+  bool JsonOnly = false;
+  const char *JsonPath = "BENCH_seqcheck.json";
+  std::vector<char *> Args;
+  for (int I = 0; I != argc; ++I) {
+    if (std::strcmp(argv[I], "--json-only") == 0)
+      JsonOnly = true;
+    else if (std::strncmp(argv[I], "--json-out=", 11) == 0)
+      JsonPath = argv[I] + 11;
+    else
+      Args.push_back(argv[I]);
+  }
+  int BenchArgc = static_cast<int>(Args.size());
+
+  if (!JsonOnly) {
+    benchmark::Initialize(&BenchArgc, Args.data());
+    if (benchmark::ReportUnrecognizedArguments(BenchArgc, Args.data()))
+      return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  writeSeqcheckJson(JsonPath);
   return 0;
 }

@@ -29,9 +29,12 @@
 #include "conc/ConcChecker.h"
 #include "kiss/KissChecker.h"
 #include "support/Parallel.h"
+#include "telemetry/Telemetry.h"
 
 #include <chrono>
 #include <cstdio>
+#include <numeric>
+#include <string>
 #include <vector>
 
 using namespace kiss;
@@ -94,6 +97,7 @@ int main(int Argc, char **Argv) {
     double ConcSec = 0, KissSec = 0;
     rt::CheckOutcome ConcOutcome = rt::CheckOutcome::Safe;
     KissVerdict KissV = KissVerdict::NoErrorFound;
+    rt::CheckResult Conc, Kiss; ///< Full results for the report.
   };
   std::vector<Row> Rows(MaxThreads);
 
@@ -111,6 +115,7 @@ int main(int Argc, char **Argv) {
     R.ConcSec = seconds(T0);
     R.ConcStates = Conc.StatesExplored;
     R.ConcOutcome = Conc.Outcome;
+    R.Conc = std::move(Conc);
 
     auto T1 = std::chrono::steady_clock::now();
     KissOptions KO;
@@ -120,7 +125,31 @@ int main(int Argc, char **Argv) {
     R.KissSec = seconds(T1);
     R.KissStates = Kiss.Sequential.StatesExplored;
     R.KissV = Kiss.Verdict;
+    R.Kiss = std::move(Kiss.Sequential);
   });
+
+  telemetry::RunRecorder Rec;
+  Rec.setMeta("bench", "scalability");
+  Rec.setMeta("workload", "family sweep k=1.." + std::to_string(MaxThreads) +
+                              ", m=" + std::to_string(Steps) +
+                              ", MAX=" + std::to_string(MaxTs));
+
+  // Record both series in k order after the join, so the report is
+  // deterministic regardless of --jobs.
+  auto record = [&Rec](const std::string &Name, const rt::CheckResult &R,
+                       const char *Outcome, double Sec) {
+    telemetry::CheckRecord C;
+    C.Name = Name;
+    C.Outcome = Outcome;
+    C.WallMs = Sec * 1000.0;
+    C.States = R.StatesExplored;
+    C.Transitions = R.TransitionsExplored;
+    C.DedupHits = R.Exploration.DedupHits;
+    C.ArenaBytes = R.Exploration.ArenaBytes;
+    C.FrontierPeak = R.Exploration.FrontierPeak;
+    C.DepthMax = R.Exploration.DepthMax;
+    Rec.addCheck(std::move(C));
+  };
 
   std::vector<uint64_t> ConcSeries, KissSeries;
 
@@ -133,6 +162,11 @@ int main(int Argc, char **Argv) {
                   getVerdictName(R.KissV));
       return 1;
     }
+
+    record("conc k=" + std::to_string(K), R.Conc,
+           rt::getOutcomeName(R.ConcOutcome), R.ConcSec);
+    record("kiss k=" + std::to_string(K), R.Kiss, getVerdictName(R.KissV),
+           R.KissSec);
 
     ConcSeries.push_back(R.ConcStates);
     KissSeries.push_back(R.KissStates);
@@ -169,5 +203,15 @@ int main(int Argc, char **Argv) {
   std::printf("Last growth factors: conc %.2fx, kiss %.2fx.\n", ConcLast,
               KissLast);
   std::printf("Shape %s.\n", ShapeHolds ? "HOLDS" : "VIOLATED");
+
+  Rec.addCounter("conc_states_total",
+                 std::accumulate(ConcSeries.begin(), ConcSeries.end(),
+                                 uint64_t(0)));
+  Rec.addCounter("kiss_states_total",
+                 std::accumulate(KissSeries.begin(), KissSeries.end(),
+                                 uint64_t(0)));
+  Rec.setMeta("shape_holds", ShapeHolds ? "true" : "false");
+  telemetry::writeReport(Rec, "BENCH_scalability.json");
+  std::printf("wrote BENCH_scalability.json\n");
   return ShapeHolds ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 #include "conc/ConcChecker.h"
 
 #include "seqcheck/StateStore.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
@@ -79,6 +80,7 @@ CheckResult conc::checkProgram(const lang::Program &P,
     MachineState S;
     SchedCtx Ctx;
     uint32_t Id;
+    uint32_t Depth = 0; ///< BFS layer (root = 0).
   };
 
   StateStore Store;
@@ -86,12 +88,28 @@ CheckResult conc::checkProgram(const lang::Program &P,
   std::deque<WorkItem> Queue;
   std::string Scratch;
 
+  // Exploration telemetry (rt::ExplorationStats): store-side counters come
+  // from the StateStore at exit; the loop tracks frontier peak and depth.
+  uint64_t FrontierPeak = 1;
+  uint64_t DepthMax = 0;
+  auto finish = [&](CheckResult &R) {
+    R.StatesExplored = Store.size();
+    const StateStore::IndexStats &IS = Store.indexStats();
+    R.Exploration.DedupHits = IS.Hits;
+    R.Exploration.HashProbes = IS.Probes;
+    R.Exploration.KeyVerifies = IS.Verifies;
+    R.Exploration.HashCollisions = IS.Collisions;
+    R.Exploration.ArenaBytes = Store.arenaBytes();
+    R.Exploration.FrontierPeak = FrontierPeak;
+    R.Exploration.DepthMax = DepthMax;
+  };
+
   MachineState Init = makeInitialState(P, CFG, EntryIdx);
   SchedCtx InitCtx;
   makeKeyInto(Init, InitCtx, Bounded, Scratch);
   uint32_t InitId = Store.intern(Scratch).first;
   Links.push_back(ParentLink{});
-  Queue.push_back(WorkItem{std::move(Init), InitCtx, InitId});
+  Queue.push_back(WorkItem{std::move(Init), InitCtx, InitId, 0});
 
   // StatesExplored is the number of distinct states discovered
   // (= Store.size()) on every exit path.
@@ -100,13 +118,17 @@ CheckResult conc::checkProgram(const lang::Program &P,
       R.Outcome = CheckOutcome::BoundExceeded;
       R.Message = "state budget of " + std::to_string(Opts.MaxStates) +
                   " states exceeded";
-      R.StatesExplored = Store.size();
+      finish(R);
       return R;
     }
+    if (Opts.Progress)
+      Opts.Progress->tick(Store.size(), Queue.size());
 
     WorkItem Item = std::move(Queue.front());
     Queue.pop_front();
     const MachineState &S = Item.S;
+    if (Item.Depth > DepthMax)
+      DepthMax = Item.Depth;
 
     // Which threads may run? Threads holding atomicity get exclusivity
     // while enabled.
@@ -146,13 +168,13 @@ CheckResult conc::checkProgram(const lang::Program &P,
           R.Message = SR.Message;
           R.ErrorLoc = SR.ErrorLoc;
           R.Trace = rebuildTrace(Links, Item.Id, Step);
-          R.StatesExplored = Store.size();
+          finish(R);
           return true;
         case StepResult::Kind::BoundExceeded:
           R.Outcome = CheckOutcome::BoundExceeded;
           R.Message = SR.Message;
           R.ErrorLoc = SR.ErrorLoc;
-          R.StatesExplored = Store.size();
+          finish(R);
           return true;
         case StepResult::Kind::Ok: {
           AnyEnabled = true;
@@ -172,8 +194,11 @@ CheckResult conc::checkProgram(const lang::Program &P,
             assert(NId == Links.size() &&
                    "ids are dense in insertion order");
             Links.push_back(ParentLink{Item.Id, Step});
-            Queue.push_back(WorkItem{std::move(NS), NCtx, NId});
+            Queue.push_back(
+                WorkItem{std::move(NS), NCtx, NId, Item.Depth + 1});
           }
+          if (Queue.size() > FrontierPeak)
+            FrontierPeak = Queue.size();
           break;
         }
         }
@@ -206,6 +231,6 @@ CheckResult conc::checkProgram(const lang::Program &P,
   }
 
   R.Outcome = CheckOutcome::Safe;
-  R.StatesExplored = Store.size();
+  finish(R);
   return R;
 }

@@ -35,6 +35,10 @@
 #include "seqcheck/Result.h"
 #include "seqcheck/Step.h"
 
+namespace kiss::telemetry {
+class Heartbeat;
+} // namespace kiss::telemetry
+
 namespace kiss::conc {
 
 /// Budgets and options for one concurrent run.
@@ -45,6 +49,9 @@ struct ConcOptions {
   /// If >= 0, only executions with at most this many context switches are
   /// explored (used to validate Theorem 1; -1 = unbounded).
   int32_t ContextSwitchBound = -1;
+  /// If set, ticked once per expanded state with (distinct states,
+  /// frontier size) — the CLI's --progress heartbeat. Not owned.
+  telemetry::Heartbeat *Progress = nullptr;
 };
 
 /// Model checks concurrent core program \p P from its entry function.

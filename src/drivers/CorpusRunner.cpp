@@ -8,6 +8,7 @@
 
 #include "lower/Pipeline.h"
 #include "support/Parallel.h"
+#include "telemetry/Telemetry.h"
 
 #include <chrono>
 
@@ -35,6 +36,12 @@ static FieldResult checkOneField(const DriverSpec &D, unsigned FieldIdx,
                                  const CorpusRunOptions &Opts) {
   FieldResult FR;
   FR.FieldIndex = FieldIdx;
+  auto Start = std::chrono::steady_clock::now();
+  auto finish = [&] {
+    FR.Seconds = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+  };
 
   lower::CompilerContext Ctx;
   auto Program = lower::compileToCore(
@@ -43,6 +50,7 @@ static FieldResult checkOneField(const DriverSpec &D, unsigned FieldIdx,
   if (!Program) {
     // Generated models always compile; treat a failure as inconclusive.
     FR.Verdict = KissVerdict::BoundExceeded;
+    finish();
     return FR;
   }
 
@@ -56,6 +64,9 @@ static FieldResult checkOneField(const DriverSpec &D, unsigned FieldIdx,
 
   FR.Verdict = Report.Verdict;
   FR.StatesExplored = Report.Sequential.StatesExplored;
+  FR.TransitionsExplored = Report.Sequential.TransitionsExplored;
+  FR.Exploration = Report.Sequential.Exploration;
+  finish();
   return FR;
 }
 
@@ -96,6 +107,39 @@ DriverResult kiss::drivers::runDriver(const DriverSpec &D,
   R.Seconds = std::chrono::duration<double>(
                   std::chrono::steady_clock::now() - Start)
                   .count();
+
+  // Telemetry is recorded here, after the join, walking R.Fields in the
+  // requested field order — never from the workers — so the report is
+  // deterministic at every job count (timings aside).
+  if (telemetry::RunRecorder *Rec = Opts.Recorder) {
+    const char *HarnessName =
+        Opts.Harness == HarnessVersion::V2Refined ? "refined"
+                                                  : "unconstrained";
+    telemetry::PhaseRecord &Span =
+        Rec->addPhase("driver/" + D.Name + "/" + HarnessName,
+                      R.Seconds * 1000.0);
+    auto counter = [&](std::string_view Name, uint64_t V) {
+      Span.Counters.emplace_back(std::string(Name), V);
+    };
+    counter("fields_checked", R.Fields.size());
+    counter("races", R.Races);
+    counter("no_races", R.NoRaces);
+    counter("bound_exceeded", R.BoundExceeded);
+
+    for (const FieldResult &FR : R.Fields) {
+      telemetry::CheckRecord C;
+      C.Name = D.Name + "." + D.Fields[FR.FieldIndex].Name;
+      C.Outcome = core::getVerdictName(FR.Verdict);
+      C.WallMs = FR.Seconds * 1000.0;
+      C.States = FR.StatesExplored;
+      C.Transitions = FR.TransitionsExplored;
+      C.DedupHits = FR.Exploration.DedupHits;
+      C.ArenaBytes = FR.Exploration.ArenaBytes;
+      C.FrontierPeak = FR.Exploration.FrontierPeak;
+      C.DepthMax = FR.Exploration.DepthMax;
+      Rec->addCheck(std::move(C));
+    }
+  }
   return R;
 }
 

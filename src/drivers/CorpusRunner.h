@@ -22,6 +22,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace kiss::telemetry {
+class RunRecorder;
+} // namespace kiss::telemetry
+
 namespace kiss::drivers {
 
 /// Per-field outcome of one corpus run.
@@ -29,6 +33,12 @@ struct FieldResult {
   unsigned FieldIndex = 0;
   core::KissVerdict Verdict = core::KissVerdict::NoErrorFound;
   uint64_t StatesExplored = 0;
+  uint64_t TransitionsExplored = 0;
+  /// Exploration telemetry of the field's sequential run.
+  rt::ExplorationStats Exploration;
+  /// Wall time of this field's check alone (compile + transform + check),
+  /// so reports can rank the slowest fields.
+  double Seconds = 0;
 };
 
 /// Per-driver tallies of one corpus run.
@@ -52,6 +62,11 @@ struct CorpusRunOptions {
   /// Worker threads for the per-field fan-out; 0 = all hardware threads.
   /// Verdicts, counts, and field order are identical at every job count.
   unsigned Jobs = 0;
+  /// If set, runDriver appends one phase span per driver and one check
+  /// record per field, *after* the worker join and in field order — every
+  /// report field except wall times is identical at every job count. Not
+  /// owned; null means telemetry is off.
+  telemetry::RunRecorder *Recorder = nullptr;
 };
 
 /// Checks (a subset of) the fields of one driver. Fields are independent

@@ -7,6 +7,7 @@
 #include "kiss/KissChecker.h"
 
 #include "cfg/CFG.h"
+#include "telemetry/Telemetry.h"
 
 using namespace kiss;
 using namespace kiss::core;
@@ -30,6 +31,15 @@ const char *core::getVerdictName(KissVerdict V) {
 
 namespace {
 
+/// Opens a phase span on the options' recorder, or a no-op span when
+/// telemetry is off.
+telemetry::RunRecorder::Span phase(const KissOptions &Opts,
+                                   std::string_view Name) {
+  if (!Opts.Recorder)
+    return telemetry::RunRecorder::Span();
+  return Opts.Recorder->beginPhase(Name);
+}
+
 /// Runs the translated program through the sequential checker and
 /// classifies the outcome.
 KissReport runPipeline(const Program &P, std::unique_ptr<Program> Transformed,
@@ -44,8 +54,19 @@ KissReport runPipeline(const Program &P, std::unique_ptr<Program> Transformed,
     return R;
   }
 
+  auto CfgSpan = phase(Opts, "cfg");
   cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*Transformed);
+  CfgSpan.counter("cfg_nodes", CFG.getTotalNodes());
+  CfgSpan.end();
+
+  auto CheckSpan = phase(Opts, "check");
   R.Sequential = seqcheck::checkProgram(*Transformed, CFG, Opts.Seq);
+  CheckSpan.counter("states", R.Sequential.StatesExplored);
+  CheckSpan.counter("transitions", R.Sequential.TransitionsExplored);
+  CheckSpan.counter("dedup_hits", R.Sequential.Exploration.DedupHits);
+  CheckSpan.counter("frontier_peak", R.Sequential.Exploration.FrontierPeak);
+  CheckSpan.counter("depth_max", R.Sequential.Exploration.DepthMax);
+  CheckSpan.end();
 
   switch (R.Sequential.Outcome) {
   case rt::CheckOutcome::Safe:
@@ -85,13 +106,25 @@ KissReport runPipeline(const Program &P, std::unique_ptr<Program> Transformed,
 
 } // namespace
 
+/// Adds the instrumentation counters to an open "transform" span.
+static void recordTransformStats(telemetry::RunRecorder::Span &Span,
+                                 const TransformStats &Stats) {
+  Span.counter("probes_emitted", Stats.ProbesEmitted);
+  Span.counter("probes_pruned", Stats.ProbesPruned);
+  Span.counter("statements_instrumented", Stats.StatementsInstrumented);
+}
+
 KissReport core::checkAssertions(const Program &P, const KissOptions &Opts,
                                  DiagnosticEngine &Diags) {
   TransformOptions TO;
   TO.MaxTs = Opts.MaxTs;
   TO.UseAliasAnalysis = Opts.UseAliasAnalysis;
+  TO.Recorder = Opts.Recorder;
   TransformStats Stats;
+  auto TransformSpan = phase(Opts, "transform");
   auto Transformed = transformForAssertions(P, TO, Diags, &Stats);
+  recordTransformStats(TransformSpan, Stats);
+  TransformSpan.end();
   return runPipeline(P, std::move(Transformed), Opts, Stats);
 }
 
@@ -100,7 +133,11 @@ KissReport core::checkRace(const Program &P, const RaceTarget &Target,
   TransformOptions TO;
   TO.MaxTs = Opts.MaxTs;
   TO.UseAliasAnalysis = Opts.UseAliasAnalysis;
+  TO.Recorder = Opts.Recorder;
   TransformStats Stats;
+  auto TransformSpan = phase(Opts, "transform");
   auto Transformed = transformForRace(P, Target, TO, Diags, &Stats);
+  recordTransformStats(TransformSpan, Stats);
+  TransformSpan.end();
   return runPipeline(P, std::move(Transformed), Opts, Stats);
 }

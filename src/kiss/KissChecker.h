@@ -34,6 +34,10 @@ struct KissOptions {
   bool UseAliasAnalysis = true;
   /// Budgets of the underlying sequential model checker.
   seqcheck::SeqOptions Seq;
+  /// If set, the checker records transform / alias / cfg / check phase
+  /// spans and their counters here (see docs/observability.md). Not owned;
+  /// null means telemetry is off.
+  telemetry::RunRecorder *Recorder = nullptr;
 };
 
 /// What the checker concluded.

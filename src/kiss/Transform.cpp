@@ -10,6 +10,7 @@
 #include "kiss/Builder.h"
 #include "lower/Lower.h"
 #include "support/Diagnostics.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 #include <optional>
@@ -980,8 +981,14 @@ std::unique_ptr<Program> KissTransformer::run() {
   Out = std::make_unique<Program>(Syms, Types);
   B = std::make_unique<Builder>(*Out, InstrRole::Init);
 
-  if (isRaceMode() && Opts.UseAliasAnalysis)
+  if (isRaceMode() && Opts.UseAliasAnalysis) {
+    telemetry::RunRecorder::Span AliasSpan;
+    if (Opts.Recorder)
+      AliasSpan = Opts.Recorder->beginPhase("alias");
     AA.emplace(alias::PointsTo::analyze(P));
+    if (Opts.Recorder)
+      AliasSpan.counter("pointsto_locations", AA->getNumLocations());
+  }
 
   cloneStructs();
   copyGlobals();

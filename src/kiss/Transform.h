@@ -45,6 +45,10 @@ namespace kiss {
 class DiagnosticEngine;
 } // namespace kiss
 
+namespace kiss::telemetry {
+class RunRecorder;
+} // namespace kiss::telemetry
+
 namespace kiss::core {
 
 /// The distinguished location `r` of §5.
@@ -81,6 +85,9 @@ struct TransformOptions {
   /// alias-analysis optimization). Turning this off keeps every
   /// type-compatible probe (sound but slower).
   bool UseAliasAnalysis = true;
+  /// If set, the transform records an "alias" phase span around the
+  /// points-to analysis (nested under the caller's open span). Not owned.
+  telemetry::RunRecorder *Recorder = nullptr;
 };
 
 /// Probe accounting for the §5 alias-pruning ablation.

@@ -8,20 +8,39 @@
 
 #include "lang/Parser.h"
 #include "lang/Sema.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 
 using namespace kiss;
 using namespace kiss::lower;
 
+namespace {
+
+/// Opens a phase span on the context's recorder, or a no-op span when
+/// telemetry is off.
+telemetry::RunRecorder::Span phase(CompilerContext &Ctx,
+                                   std::string_view Name) {
+  if (!Ctx.Recorder)
+    return telemetry::RunRecorder::Span();
+  return Ctx.Recorder->beginPhase(Name);
+}
+
+} // namespace
+
 std::unique_ptr<lang::Program>
 lower::parseAndCheck(CompilerContext &Ctx, std::string Name,
                      std::string Source) {
+  auto ParseSpan = phase(Ctx, "parse");
   auto P = lang::parse(Ctx.SM, std::move(Name), std::move(Source), Ctx.Syms,
                        Ctx.Types, Ctx.Diags);
+  ParseSpan.end();
   if (!P)
     return nullptr;
-  if (!lang::typeCheck(*P, Ctx.Diags))
+  auto SemaSpan = phase(Ctx, "sema");
+  bool Checked = lang::typeCheck(*P, Ctx.Diags);
+  SemaSpan.end();
+  if (!Checked)
     return nullptr;
   return P;
 }
@@ -32,7 +51,10 @@ std::unique_ptr<lang::Program> lower::compileToCore(CompilerContext &Ctx,
   auto P = parseAndCheck(Ctx, std::move(Name), std::move(Source));
   if (!P)
     return nullptr;
-  if (!lowerProgram(*P, Ctx.Diags))
+  auto LowerSpan = phase(Ctx, "lower");
+  bool Lowered = lowerProgram(*P, Ctx.Diags);
+  LowerSpan.end();
+  if (!Lowered)
     return nullptr;
   assert(isCoreProgram(*P) && "lowering must produce a core program");
   return P;

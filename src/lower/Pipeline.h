@@ -23,6 +23,10 @@
 #include <memory>
 #include <string>
 
+namespace kiss::telemetry {
+class RunRecorder;
+} // namespace kiss::telemetry
+
 namespace kiss::lower {
 
 /// Session-wide state shared by all programs of one analysis run.
@@ -31,6 +35,10 @@ struct CompilerContext {
   SymbolTable Syms;
   lang::TypeContext Types;
   DiagnosticEngine Diags;
+  /// If set, the pipeline records parse/sema/lower phase spans here (and
+  /// downstream layers record theirs; see docs/observability.md). Not
+  /// owned; null means telemetry is off.
+  telemetry::RunRecorder *Recorder = nullptr;
 
   /// Renders all diagnostics collected so far.
   std::string renderDiagnostics() const { return Diags.render(SM); }

@@ -45,6 +45,28 @@ struct TraceStep {
   uint32_t Node = 0;
 };
 
+/// Exploration-side telemetry of one model-checking run, populated from
+/// the visited-set StateStore and the BFS loop on every exit path (safe,
+/// error, and budget-exceeded alike). All counters are deterministic for a
+/// fixed input program and options.
+struct ExplorationStats {
+  /// intern() calls that found the state already visited.
+  uint64_t DedupHits = 0;
+  /// Occupied index slots inspected across all intern() probes.
+  uint64_t HashProbes = 0;
+  /// Full-key confirmations run after a 64-bit hash match.
+  uint64_t KeyVerifies = 0;
+  /// Confirmations that failed: genuine 64-bit hash collisions between
+  /// distinct states (the hash-then-verify invariant absorbing them).
+  uint64_t HashCollisions = 0;
+  /// Bytes held by the store's encoding arena at exit.
+  uint64_t ArenaBytes = 0;
+  /// Largest BFS frontier (queued, unexpanded states) seen.
+  uint64_t FrontierPeak = 0;
+  /// Deepest BFS layer reached (root = 0).
+  uint64_t DepthMax = 0;
+};
+
 /// The result of one model-checking run.
 struct CheckResult {
   CheckOutcome Outcome = CheckOutcome::Safe;
@@ -54,6 +76,7 @@ struct CheckResult {
   std::vector<TraceStep> Trace;
   uint64_t StatesExplored = 0;
   uint64_t TransitionsExplored = 0;
+  ExplorationStats Exploration;
 
   bool foundError() const {
     return Outcome == CheckOutcome::AssertionFailure ||

@@ -7,6 +7,7 @@
 #include "seqcheck/SeqChecker.h"
 
 #include "seqcheck/StateStore.h"
+#include "telemetry/Telemetry.h"
 
 #include <cassert>
 #include <deque>
@@ -54,16 +55,38 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
   SO.AllowAsync = false;
   SO.MaxFrames = Opts.MaxFrames;
 
+  struct WorkItem {
+    MachineState S;
+    uint32_t Id;
+    uint32_t Depth; ///< BFS layer (root = 0).
+  };
+
   StateStore Store;
   std::vector<ParentLink> Links;
-  std::deque<std::pair<MachineState, uint32_t>> Queue;
+  std::deque<WorkItem> Queue;
   std::string Scratch;
+
+  // Exploration telemetry (rt::ExplorationStats): store-side counters come
+  // from the StateStore at exit; the loop tracks frontier peak and depth.
+  uint64_t FrontierPeak = 1;
+  uint64_t DepthMax = 0;
+  auto finish = [&](CheckResult &R) {
+    R.StatesExplored = Store.size();
+    const StateStore::IndexStats &IS = Store.indexStats();
+    R.Exploration.DedupHits = IS.Hits;
+    R.Exploration.HashProbes = IS.Probes;
+    R.Exploration.KeyVerifies = IS.Verifies;
+    R.Exploration.HashCollisions = IS.Collisions;
+    R.Exploration.ArenaBytes = Store.arenaBytes();
+    R.Exploration.FrontierPeak = FrontierPeak;
+    R.Exploration.DepthMax = DepthMax;
+  };
 
   MachineState Init = makeInitialState(P, CFG, EntryIdx);
   encodeStateInto(Init, Scratch);
   uint32_t InitId = Store.intern(Scratch).first;
   Links.push_back(ParentLink{});
-  Queue.emplace_back(std::move(Init), InitId);
+  Queue.push_back(WorkItem{std::move(Init), InitId, 0});
 
   // StatesExplored is the number of distinct states discovered
   // (= Store.size()) on every exit path.
@@ -72,12 +95,18 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
       R.Outcome = CheckOutcome::BoundExceeded;
       R.Message = "state budget of " + std::to_string(Opts.MaxStates) +
                   " states exceeded";
-      R.StatesExplored = Store.size();
+      finish(R);
       return R;
     }
+    if (Opts.Progress)
+      Opts.Progress->tick(Store.size(), Queue.size());
 
-    auto [S, Id] = std::move(Queue.front());
+    WorkItem Item = std::move(Queue.front());
     Queue.pop_front();
+    MachineState &S = Item.S;
+    uint32_t Id = Item.Id;
+    if (Item.Depth > DepthMax)
+      DepthMax = Item.Depth;
 
     if (isThreadDone(S, 0))
       continue; // Accepting leaf: the program ran to completion.
@@ -100,14 +129,14 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
       R.Message = SR.Message;
       R.ErrorLoc = SR.ErrorLoc;
       R.Trace = rebuildTrace(Links, Id, Step);
-      R.StatesExplored = Store.size();
+      finish(R);
       return R;
 
     case StepResult::Kind::BoundExceeded:
       R.Outcome = CheckOutcome::BoundExceeded;
       R.Message = SR.Message;
       R.ErrorLoc = SR.ErrorLoc;
-      R.StatesExplored = Store.size();
+      finish(R);
       return R;
 
     case StepResult::Kind::Ok:
@@ -119,13 +148,15 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
           continue;
         assert(NId == Links.size() && "ids are dense in insertion order");
         Links.push_back(ParentLink{Id, Step});
-        Queue.emplace_back(std::move(NS), NId);
+        Queue.push_back(WorkItem{std::move(NS), NId, Item.Depth + 1});
       }
+      if (Queue.size() > FrontierPeak)
+        FrontierPeak = Queue.size();
       break;
     }
   }
 
   R.Outcome = CheckOutcome::Safe;
-  R.StatesExplored = Store.size();
+  finish(R);
   return R;
 }

@@ -21,6 +21,10 @@
 #include "seqcheck/Result.h"
 #include "seqcheck/Step.h"
 
+namespace kiss::telemetry {
+class Heartbeat;
+} // namespace kiss::telemetry
+
 namespace kiss::seqcheck {
 
 /// Budgets for one sequential run (the paper's 20-minute/800MB resource
@@ -28,6 +32,9 @@ namespace kiss::seqcheck {
 struct SeqOptions {
   uint64_t MaxStates = 1'000'000;
   uint32_t MaxFrames = 256;
+  /// If set, ticked once per expanded state with (distinct states,
+  /// frontier size) — the CLI's --progress heartbeat. Not owned.
+  telemetry::Heartbeat *Progress = nullptr;
 };
 
 /// Model checks sequential core program \p P (entry: Program entry

@@ -38,10 +38,17 @@ std::pair<uint32_t, bool> StateStore::intern(std::string_view Key,
   const size_t Mask = Slots.size() - 1;
   size_t I = Hash & Mask;
   while (Slots[I].Id != InvalidId) {
+    ++Stats.Probes;
     // Full-key confirmation on every hash hit: a 64-bit collision lands
     // two keys in one probe chain, never in one state.
-    if (Slots[I].Hash == Hash && key(Slots[I].Id) == Key)
-      return {Slots[I].Id, false};
+    if (Slots[I].Hash == Hash) {
+      ++Stats.Verifies;
+      if (key(Slots[I].Id) == Key) {
+        ++Stats.Hits;
+        return {Slots[I].Id, false};
+      }
+      ++Stats.Collisions;
+    }
     I = (I + 1) & Mask;
   }
 

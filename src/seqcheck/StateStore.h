@@ -59,6 +59,17 @@ public:
   /// Bytes held by the encoding arena (diagnostics/benchmarks).
   size_t arenaBytes() const { return Arena.size(); }
 
+  /// Index-traffic counters, maintained by intern() (grow()'s rehash
+  /// probes are not counted). Feeds rt::ExplorationStats.
+  struct IndexStats {
+    uint64_t Hits = 0;       ///< intern() found the key already present.
+    uint64_t Probes = 0;     ///< Occupied slots inspected.
+    uint64_t Verifies = 0;   ///< Full-key comparisons after a hash match.
+    uint64_t Collisions = 0; ///< Comparisons that failed: true 64-bit
+                             ///< collisions between distinct keys.
+  };
+  const IndexStats &indexStats() const { return Stats; }
+
 private:
   struct Record {
     uint64_t Offset; ///< Start of the encoding in Arena.
@@ -74,6 +85,7 @@ private:
   std::vector<char> Arena;
   std::vector<Record> Records;
   std::vector<Slot> Slots; ///< Capacity is always a power of two.
+  IndexStats Stats;
 };
 
 } // namespace kiss::seqcheck

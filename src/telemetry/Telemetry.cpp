@@ -1,0 +1,279 @@
+//===- Telemetry.cpp ------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+
+using namespace kiss;
+using namespace kiss::telemetry;
+
+std::string telemetry::escapeJson(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// RunRecorder
+//===----------------------------------------------------------------------===//
+
+static void bumpCounter(std::vector<std::pair<std::string, uint64_t>> &List,
+                        std::string_view Name, uint64_t Delta) {
+  for (auto &[N, V] : List) {
+    if (N == Name) {
+      V += Delta;
+      return;
+    }
+  }
+  List.emplace_back(std::string(Name), Delta);
+}
+
+RunRecorder::Span RunRecorder::beginPhase(std::string_view Name) {
+  std::string Full;
+  if (!OpenSpans.empty()) {
+    Full = Phases[OpenSpans.back().first].Name;
+    Full += '/';
+  }
+  Full += Name;
+  size_t Index = Phases.size();
+  Phases.push_back(PhaseRecord{std::move(Full), 0, {}});
+  OpenSpans.emplace_back(Index, std::chrono::steady_clock::now());
+  return Span(this, Index);
+}
+
+PhaseRecord &RunRecorder::addPhase(std::string_view Name, double WallMs) {
+  Phases.push_back(PhaseRecord{std::string(Name), WallMs, {}});
+  return Phases.back();
+}
+
+void RunRecorder::addCounter(std::string_view Name, uint64_t Delta) {
+  bumpCounter(Counters, Name, Delta);
+}
+
+void RunRecorder::setMeta(std::string_view Key, std::string_view Value) {
+  for (auto &[K, V] : Meta) {
+    if (K == Key) {
+      V = Value;
+      return;
+    }
+  }
+  Meta.emplace_back(std::string(Key), std::string(Value));
+}
+
+void RunRecorder::Span::counter(std::string_view Name, uint64_t Delta) {
+  if (!R)
+    return;
+  bumpCounter(R->Phases[Index].Counters, Name, Delta);
+}
+
+void RunRecorder::Span::end() {
+  if (!R)
+    return;
+  assert(!R->OpenSpans.empty() && R->OpenSpans.back().first == Index &&
+         "phase spans must close in LIFO order");
+  auto Start = R->OpenSpans.back().second;
+  R->OpenSpans.pop_back();
+  R->Phases[Index].WallMs =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - Start)
+          .count();
+  R = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Report rendering
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendMs(std::string &Out, double Ms, bool Zero) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3f", Zero ? 0.0 : Ms);
+  Out += Buf;
+}
+
+void appendU64(std::string &Out, uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  Out += Buf;
+}
+
+/// Renders a {"k": v, ...} object of counters, sorted by name, on one line.
+void appendCounters(std::string &Out,
+                    std::vector<std::pair<std::string, uint64_t>> Counters) {
+  std::sort(Counters.begin(), Counters.end());
+  Out += '{';
+  for (size_t I = 0; I != Counters.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += '"';
+    Out += escapeJson(Counters[I].first);
+    Out += "\": ";
+    appendU64(Out, Counters[I].second);
+  }
+  Out += '}';
+}
+
+} // namespace
+
+std::string telemetry::renderReport(const RunRecorder &R,
+                                    const ReportOptions &Opts) {
+  std::string Out;
+  Out += "{\n";
+  Out += "  \"schema_version\": " + std::to_string(ReportSchemaVersion) +
+         ",\n";
+  Out += "  \"kind\": \"kiss-telemetry-report\",\n";
+
+  auto Meta = R.Meta;
+  std::sort(Meta.begin(), Meta.end());
+  Out += "  \"meta\": {";
+  for (size_t I = 0; I != Meta.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += '"';
+    Out += escapeJson(Meta[I].first);
+    Out += "\": \"";
+    Out += escapeJson(Meta[I].second);
+    Out += '"';
+  }
+  Out += "},\n";
+
+  Out += "  \"counters\": ";
+  appendCounters(Out, R.Counters);
+  Out += ",\n";
+
+  Out += "  \"phases\": [";
+  for (size_t I = 0; I != R.Phases.size(); ++I) {
+    const PhaseRecord &P = R.Phases[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "{\"name\": \"";
+    Out += escapeJson(P.Name);
+    Out += "\", \"wall_ms\": ";
+    appendMs(Out, P.WallMs, Opts.ZeroTimings);
+    Out += ", \"counters\": ";
+    appendCounters(Out, P.Counters);
+    Out += '}';
+  }
+  Out += R.Phases.empty() ? "],\n" : "\n  ],\n";
+
+  Out += "  \"checks\": [";
+  for (size_t I = 0; I != R.Checks.size(); ++I) {
+    const CheckRecord &C = R.Checks[I];
+    Out += I ? ",\n    " : "\n    ";
+    Out += "{\"name\": \"";
+    Out += escapeJson(C.Name);
+    Out += "\", \"outcome\": \"";
+    Out += escapeJson(C.Outcome);
+    Out += "\", \"wall_ms\": ";
+    appendMs(Out, C.WallMs, Opts.ZeroTimings);
+    Out += ", \"states\": ";
+    appendU64(Out, C.States);
+    Out += ", \"transitions\": ";
+    appendU64(Out, C.Transitions);
+    Out += ", \"dedup_hits\": ";
+    appendU64(Out, C.DedupHits);
+    Out += ", \"arena_bytes\": ";
+    appendU64(Out, C.ArenaBytes);
+    Out += ", \"frontier_peak\": ";
+    appendU64(Out, C.FrontierPeak);
+    Out += ", \"depth_max\": ";
+    appendU64(Out, C.DepthMax);
+    Out += '}';
+  }
+  Out += R.Checks.empty() ? "]\n" : "\n  ]\n";
+
+  Out += "}\n";
+  return Out;
+}
+
+bool telemetry::writeReport(const RunRecorder &R, const std::string &Path,
+                            const ReportOptions &Opts) {
+  std::string Text = renderReport(R, Opts);
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write report to '%s'\n",
+                 Path.c_str());
+    return false;
+  }
+  bool Ok = std::fwrite(Text.data(), 1, Text.size(), F) == Text.size();
+  Ok &= std::fclose(F) == 0;
+  if (!Ok)
+    std::fprintf(stderr, "error: short write to '%s'\n", Path.c_str());
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Heartbeat
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Ticks between steady_clock reads; the hot loop pays one decrement and
+/// compare per tick in between.
+constexpr uint32_t ClockCheckStride = 4096;
+} // namespace
+
+Heartbeat::Heartbeat(double IntervalSec, std::FILE *Out)
+    : Out(Out), IntervalSec(IntervalSec),
+      Start(std::chrono::steady_clock::now()), LastBeat(Start) {}
+
+void Heartbeat::tick(uint64_t States, uint64_t Frontier) {
+  if (TicksUntilClockCheck-- != 0)
+    return;
+  TicksUntilClockCheck = ClockCheckStride;
+
+  auto Now = std::chrono::steady_clock::now();
+  double SinceBeat =
+      std::chrono::duration<double>(Now - LastBeat).count();
+  if (SinceBeat < IntervalSec)
+    return;
+
+  double Elapsed = std::chrono::duration<double>(Now - Start).count();
+  double Rate =
+      static_cast<double>(States - LastStates) / SinceBeat;
+  std::fprintf(Out,
+               "[progress] t=%.1fs states=%" PRIu64 " (%.0f/s) frontier=%"
+               PRIu64 "\n",
+               Elapsed, States, Rate, Frontier);
+  std::fflush(Out);
+  LastBeat = Now;
+  LastStates = States;
+}

@@ -1,0 +1,183 @@
+//===- Telemetry.h - Structured run telemetry -------------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform telemetry layer of the whole pipeline: a RunRecorder collects
+/// nested phase spans (parse -> sema -> lower -> transform -> alias -> cfg
+/// -> check), named monotonic counters, and per-check exploration records,
+/// and renders them as a versioned machine-readable JSON report
+/// (schema_version 1; see docs/observability.md for the schema reference).
+///
+/// Conventions:
+///  * Phase spans nest; a nested span's reported name is its full
+///    slash-joined path ("transform/alias"). Spans close LIFO.
+///  * Counters are monotonic: only ever added to, never reset. Counter and
+///    meta keys are lower_snake_case.
+///  * Every field of the report except the "wall_ms" timing fields is
+///    deterministic for a fixed input — reports are byte-identical across
+///    --jobs settings once timings are zeroed (ReportOptions::ZeroTimings).
+///
+/// The recorder is not thread-safe; parallel producers (the corpus runner)
+/// measure into their own result slots and append records after the join,
+/// in deterministic order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_TELEMETRY_TELEMETRY_H
+#define KISS_TELEMETRY_TELEMETRY_H
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kiss::telemetry {
+
+/// Escapes \p S for inclusion in a JSON string literal (quotes, backslash,
+/// and control characters; other bytes pass through unchanged).
+std::string escapeJson(std::string_view S);
+
+/// One completed (or still open) phase span.
+struct PhaseRecord {
+  std::string Name; ///< Full slash-joined path ("transform/alias").
+  double WallMs = 0;
+  /// Insertion-ordered; rendered sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+};
+
+/// One model-checking run's exploration record (the per-check envelope of
+/// the report; mirrors rt::ExplorationStats plus identity and outcome).
+struct CheckRecord {
+  std::string Name;    ///< What was checked ("bank.kiss", "toaster.irpSp").
+  std::string Outcome; ///< Verdict/outcome name ("race detected", ...).
+  double WallMs = 0;
+  uint64_t States = 0;
+  uint64_t Transitions = 0;
+  uint64_t DedupHits = 0;
+  uint64_t ArenaBytes = 0;
+  uint64_t FrontierPeak = 0;
+  uint64_t DepthMax = 0;
+};
+
+/// Collects the telemetry of one run. Create one per process/run, thread a
+/// pointer through the pipeline (a null recorder everywhere means "off"),
+/// and render with renderReport()/writeReport().
+class RunRecorder {
+public:
+  /// RAII handle for an open phase span; ends the span on destruction.
+  /// Move-only. Spans must end in LIFO order.
+  class Span {
+  public:
+    Span() = default;
+    Span(Span &&O) noexcept : R(O.R), Index(O.Index) { O.R = nullptr; }
+    Span &operator=(Span &&O) noexcept {
+      end();
+      R = O.R;
+      Index = O.Index;
+      O.R = nullptr;
+      return *this;
+    }
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+    ~Span() { end(); }
+
+    /// Adds \p Delta to counter \p Name of this span.
+    void counter(std::string_view Name, uint64_t Delta = 1);
+
+    /// Ends the span now (idempotent).
+    void end();
+
+  private:
+    friend class RunRecorder;
+    Span(RunRecorder *R, size_t Index) : R(R), Index(Index) {}
+    RunRecorder *R = nullptr;
+    size_t Index = 0;
+  };
+
+  /// Opens a phase span named \p Name, nested under the innermost open
+  /// span. The wall timer starts now.
+  Span beginPhase(std::string_view Name);
+
+  /// Appends an already-measured phase (benches time phases themselves).
+  /// The phase is recorded closed, at top level, with \p WallMs as its
+  /// wall time.
+  PhaseRecord &addPhase(std::string_view Name, double WallMs);
+
+  /// Adds \p Delta to run-level counter \p Name.
+  void addCounter(std::string_view Name, uint64_t Delta = 1);
+
+  /// Appends one per-check record.
+  void addCheck(CheckRecord R) { Checks.push_back(std::move(R)); }
+
+  /// Sets report metadata \p Key to \p Value (string-valued; last write
+  /// wins).
+  void setMeta(std::string_view Key, std::string_view Value);
+
+  const std::vector<PhaseRecord> &phases() const { return Phases; }
+  const std::vector<CheckRecord> &checks() const { return Checks; }
+
+private:
+  friend class Span;
+
+  std::vector<PhaseRecord> Phases;
+  std::vector<CheckRecord> Checks;
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<std::pair<std::string, std::string>> Meta;
+  /// Indices into Phases of the open spans, innermost last, paired with
+  /// their start times.
+  std::vector<std::pair<size_t, std::chrono::steady_clock::time_point>>
+      OpenSpans;
+
+  friend std::string renderReport(const RunRecorder &,
+                                  const struct ReportOptions &);
+};
+
+/// Rendering knobs.
+struct ReportOptions {
+  /// Render every wall_ms field as 0.000 — used by the golden and
+  /// jobs-equivalence tests to compare reports modulo timings.
+  bool ZeroTimings = false;
+};
+
+/// Renders \p R as the versioned JSON report (trailing newline included).
+std::string renderReport(const RunRecorder &R,
+                         const ReportOptions &Opts = ReportOptions());
+
+/// Writes the report to \p Path. \returns false (with a message on stderr)
+/// if the file cannot be written.
+bool writeReport(const RunRecorder &R, const std::string &Path,
+                 const ReportOptions &Opts = ReportOptions());
+
+/// The schema_version emitted by renderReport.
+inline constexpr int ReportSchemaVersion = 1;
+
+/// Rate-limited progress printer for long explorations: call tick() from
+/// the hot loop; roughly every IntervalSec seconds it prints one heartbeat
+/// line (elapsed time, states, states/s since the last beat, frontier
+/// size) to the configured stream. The clock is only consulted every few
+/// thousand ticks, so the per-tick cost is an increment and a compare.
+class Heartbeat {
+public:
+  explicit Heartbeat(double IntervalSec = 2.0, std::FILE *Out = stderr);
+
+  /// Reports progress: \p States distinct states so far, \p Frontier
+  /// states currently queued.
+  void tick(uint64_t States, uint64_t Frontier);
+
+private:
+  std::FILE *Out;
+  double IntervalSec;
+  std::chrono::steady_clock::time_point Start, LastBeat;
+  uint64_t LastStates = 0;
+  uint32_t TicksUntilClockCheck = 0;
+};
+
+} // namespace kiss::telemetry
+
+#endif // KISS_TELEMETRY_TELEMETRY_H

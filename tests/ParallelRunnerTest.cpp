@@ -14,6 +14,7 @@
 #include "drivers/Corpus.h"
 #include "drivers/CorpusRunner.h"
 #include "support/Parallel.h"
+#include "telemetry/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -119,6 +120,35 @@ TEST(ParallelRunnerTest, JobCountDoesNotChangeFieldSubsetRuns) {
   EXPECT_EQ(R1.Fields[0].FieldIndex, 2u);
   EXPECT_EQ(R1.Fields[1].FieldIndex, 0u);
   expectSameResults(R1, R4);
+}
+
+TEST(ParallelRunnerTest, JobCountDoesNotChangeTheTelemetryReport) {
+  // The documented determinism contract: with timings zeroed, the rendered
+  // report is byte-identical at every job count — same phases, same check
+  // records, same order, same counts.
+  auto Corpus = getTable1Corpus();
+  const DriverSpec *D = nullptr;
+  for (const DriverSpec &Spec : Corpus)
+    if (Spec.Fields.size() >= 3 && (!D || Spec.Fields.size() < D->Fields.size()))
+      D = &Spec;
+  ASSERT_NE(D, nullptr);
+
+  auto report = [&](unsigned Jobs) {
+    telemetry::RunRecorder Rec;
+    CorpusRunOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.Recorder = &Rec;
+    runDriver(*D, Opts);
+    telemetry::ReportOptions ZeroTimings;
+    ZeroTimings.ZeroTimings = true;
+    return renderReport(Rec, ZeroTimings);
+  };
+
+  std::string R1 = report(1), R4 = report(4);
+  EXPECT_EQ(R1, R4);
+  // And the report actually has content: one check record per field.
+  for (const FieldSpec &F : D->Fields)
+    EXPECT_NE(R1.find(D->Name + "." + F.Name), std::string::npos) << F.Name;
 }
 
 } // namespace

@@ -1,0 +1,248 @@
+//===- TelemetryTest.cpp - Telemetry layer unit + golden tests ------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The telemetry contract: JSON escaping, span nesting, counter
+/// aggregation, the report envelope (schema golden test on a real .kiss
+/// run), and the determinism guarantee that reports are byte-identical
+/// modulo timings.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "kiss/KissChecker.h"
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace kiss;
+using namespace kiss::core;
+using namespace kiss::telemetry;
+using kiss::test::compile;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// escapeJson
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, EscapeJsonHandlesQuotesBackslashesAndControls) {
+  EXPECT_EQ(escapeJson("plain text"), "plain text");
+  EXPECT_EQ(escapeJson("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escapeJson("C:\\path\\file"), "C:\\\\path\\\\file");
+  EXPECT_EQ(escapeJson("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(escapeJson(std::string("\b\f")), "\\b\\f");
+  // Control characters without a short escape get the \u00xx form.
+  EXPECT_EQ(escapeJson(std::string_view("\x01\x1f", 2)), "\\u0001\\u001f");
+  // NUL must not truncate the string.
+  EXPECT_EQ(escapeJson(std::string_view("a\0b", 3)), "a\\u0000b");
+  // Bytes >= 0x20 (including UTF-8 continuation bytes) pass through.
+  EXPECT_EQ(escapeJson("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(TelemetryTest, EscapedStringsRoundTripThroughTheReport) {
+  RunRecorder Rec;
+  Rec.setMeta("input", "dir\\sub/\"quoted\"\nname.kiss");
+  std::string Report = renderReport(Rec);
+  EXPECT_NE(
+      Report.find("\"input\": \"dir\\\\sub/\\\"quoted\\\"\\nname.kiss\""),
+      std::string::npos)
+      << Report;
+  // The rendered report must never contain a raw control character beyond
+  // its own layout newlines — escaping keeps string payloads one-line.
+  for (char C : Report)
+    if (C != '\n')
+      EXPECT_GE(static_cast<unsigned char>(C), 0x20u);
+}
+
+//===----------------------------------------------------------------------===//
+// Spans, counters, rendering
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, SpansNestIntoSlashJoinedPaths) {
+  RunRecorder Rec;
+  {
+    auto Outer = Rec.beginPhase("transform");
+    auto Inner = Rec.beginPhase("alias");
+    Inner.counter("pointsto_locations", 7);
+  }
+  ASSERT_EQ(Rec.phases().size(), 2u);
+  EXPECT_EQ(Rec.phases()[0].Name, "transform");
+  EXPECT_EQ(Rec.phases()[1].Name, "transform/alias");
+  ASSERT_EQ(Rec.phases()[1].Counters.size(), 1u);
+  EXPECT_EQ(Rec.phases()[1].Counters[0].first, "pointsto_locations");
+  EXPECT_EQ(Rec.phases()[1].Counters[0].second, 7u);
+}
+
+TEST(TelemetryTest, CountersAccumulateAndRenderSorted) {
+  RunRecorder Rec;
+  Rec.addCounter("zebra", 1);
+  Rec.addCounter("apple", 2);
+  Rec.addCounter("zebra", 3);
+  std::string Report = renderReport(Rec);
+  EXPECT_NE(Report.find("\"counters\": {\"apple\": 2, \"zebra\": 4}"),
+            std::string::npos)
+      << Report;
+}
+
+TEST(TelemetryTest, EmptyRecorderRendersTheBareEnvelope) {
+  RunRecorder Rec;
+  EXPECT_EQ(renderReport(Rec), "{\n"
+                               "  \"schema_version\": 1,\n"
+                               "  \"kind\": \"kiss-telemetry-report\",\n"
+                               "  \"meta\": {},\n"
+                               "  \"counters\": {},\n"
+                               "  \"phases\": [],\n"
+                               "  \"checks\": []\n"
+                               "}\n");
+}
+
+TEST(TelemetryTest, ZeroTimingsZeroesEveryWallMsField) {
+  RunRecorder Rec;
+  Rec.addPhase("explore", 123.456);
+  CheckRecord C;
+  C.Name = "c";
+  C.Outcome = "safe";
+  C.WallMs = 99.9;
+  Rec.addCheck(std::move(C));
+
+  ReportOptions Zero;
+  Zero.ZeroTimings = true;
+  std::string Report = renderReport(Rec, Zero);
+  EXPECT_EQ(Report.find("123.456"), std::string::npos);
+  EXPECT_EQ(Report.find("99.9"), std::string::npos);
+  // Both wall_ms fields render as exactly 0.000.
+  size_t First = Report.find("\"wall_ms\": 0.000");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_NE(Report.find("\"wall_ms\": 0.000", First + 1), std::string::npos);
+}
+
+TEST(TelemetryTest, WriteReportRoundTripsThroughDisk) {
+  RunRecorder Rec;
+  Rec.setMeta("tool", "test");
+  Rec.addCounter("n", 42);
+  Rec.addPhase("p", 1.5);
+
+  std::string Path = testing::TempDir() + "telemetry_roundtrip.json";
+  ASSERT_TRUE(writeReport(Rec, Path));
+  std::ifstream In(Path, std::ios::binary);
+  ASSERT_TRUE(In.good());
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), renderReport(Rec));
+  std::remove(Path.c_str());
+}
+
+TEST(TelemetryTest, WriteReportFailsCleanlyOnBadPath) {
+  RunRecorder Rec;
+  EXPECT_FALSE(writeReport(Rec, "/nonexistent-dir/report.json"));
+}
+
+//===----------------------------------------------------------------------===//
+// Schema golden test on a real .kiss run
+//===----------------------------------------------------------------------===//
+
+/// Compiles and checks the fixed two-thread increment program with
+/// telemetry on, returning the ZeroTimings rendering.
+std::string checkedReport() {
+  RunRecorder Rec;
+  Rec.setMeta("input", "golden.kiss");
+
+  auto Ctx = std::make_unique<lower::CompilerContext>();
+  Ctx->Recorder = &Rec;
+  auto P = lower::compileToCore(*Ctx, "golden.kiss",
+                                "int g = 0;\n"
+                                "void w() { g = g + 1; }\n"
+                                "void main() {\n"
+                                "  async w();\n"
+                                "  g = g + 1;\n"
+                                "  assert(g > 0);\n"
+                                "}\n");
+  EXPECT_TRUE(P != nullptr) << Ctx->renderDiagnostics();
+  if (!P)
+    return "";
+
+  KissOptions Opts;
+  Opts.MaxTs = 1;
+  Opts.Recorder = &Rec;
+  KissReport R = checkAssertions(*P, Opts, Ctx->Diags);
+  EXPECT_EQ(R.Verdict, KissVerdict::NoErrorFound);
+
+  CheckRecord C;
+  C.Name = "golden.kiss";
+  C.Outcome = getVerdictName(R.Verdict);
+  C.States = R.Sequential.StatesExplored;
+  C.Transitions = R.Sequential.TransitionsExplored;
+  C.DedupHits = R.Sequential.Exploration.DedupHits;
+  C.ArenaBytes = R.Sequential.Exploration.ArenaBytes;
+  C.FrontierPeak = R.Sequential.Exploration.FrontierPeak;
+  C.DepthMax = R.Sequential.Exploration.DepthMax;
+  Rec.addCheck(std::move(C));
+
+  ReportOptions ZeroTimings;
+  ZeroTimings.ZeroTimings = true;
+  return renderReport(Rec, ZeroTimings);
+}
+
+/// The expected ZeroTimings rendering of checkedReport(). Every non-timing
+/// field is deterministic, so this can be byte-exact; when a deliberate
+/// schema or engine change shifts it, rerun the test and paste the new
+/// actual value.
+const char *const GOLDEN_REPORT =
+    "{\n"
+    "  \"schema_version\": 1,\n"
+    "  \"kind\": \"kiss-telemetry-report\",\n"
+    "  \"meta\": {\"input\": \"golden.kiss\"},\n"
+    "  \"counters\": {},\n"
+    "  \"phases\": [\n"
+    "    {\"name\": \"parse\", \"wall_ms\": 0.000, \"counters\": {}},\n"
+    "    {\"name\": \"sema\", \"wall_ms\": 0.000, \"counters\": {}},\n"
+    "    {\"name\": \"lower\", \"wall_ms\": 0.000, \"counters\": {}},\n"
+    "    {\"name\": \"transform\", \"wall_ms\": 0.000, \"counters\": "
+    "{\"probes_emitted\": 0, \"probes_pruned\": 0, "
+    "\"statements_instrumented\": 5}},\n"
+    "    {\"name\": \"cfg\", \"wall_ms\": 0.000, \"counters\": "
+    "{\"cfg_nodes\": 67}},\n"
+    "    {\"name\": \"check\", \"wall_ms\": 0.000, \"counters\": "
+    "{\"dedup_hits\": 15, \"depth_max\": 63, \"frontier_peak\": 18, "
+    "\"states\": 344, \"transitions\": 358}}\n"
+    "  ],\n"
+    "  \"checks\": [\n"
+    "    {\"name\": \"golden.kiss\", \"outcome\": \"no error found\", "
+    "\"wall_ms\": 0.000, \"states\": 344, \"transitions\": 358, "
+    "\"dedup_hits\": 15, \"arena_bytes\": 38999, \"frontier_peak\": 18, "
+    "\"depth_max\": 63}\n"
+    "  ]\n"
+    "}\n";
+
+TEST(TelemetryGoldenTest, SmallRunMatchesTheSchemaGolden) {
+  std::string Report = checkedReport();
+  ASSERT_FALSE(Report.empty());
+
+  // The span structure is part of the schema contract: the full pipeline
+  // reports at least parse, sema, lower, transform, cfg and check.
+  for (const char *Phase :
+       {"\"name\": \"parse\"", "\"name\": \"sema\"", "\"name\": \"lower\"",
+        "\"name\": \"transform\"", "\"name\": \"cfg\"",
+        "\"name\": \"check\""})
+    EXPECT_NE(Report.find(Phase), std::string::npos) << Phase << "\n"
+                                                     << Report;
+
+  // Byte-exact golden: every non-timing field is deterministic, so any
+  // diff here is a real schema or behavior change. Update deliberately.
+  EXPECT_EQ(Report, GOLDEN_REPORT);
+}
+
+TEST(TelemetryGoldenTest, ReportIsByteIdenticalAcrossRuns) {
+  EXPECT_EQ(checkedReport(), checkedReport());
+}
+
+} // namespace

@@ -1,0 +1,252 @@
+#!/usr/bin/env python3
+"""Compare two kiss-telemetry bench reports and flag regressions.
+
+The bench binaries (microbench --json-only, table1_races, table2_refined,
+scalability) all emit the same envelope through telemetry::writeReport:
+
+    {"schema_version": 1, "kind": "kiss-telemetry-report",
+     "meta": {...}, "counters": {...},
+     "phases": [{"name", "wall_ms", "counters"}, ...],
+     "checks": [{"name", "outcome", "wall_ms", "states", ...}, ...]}
+
+Usage:
+    bench_diff.py BASELINE.json CURRENT.json [--threshold=0.20] [--counts-only]
+    bench_diff.py --validate REPORT.json
+    bench_diff.py --selftest
+
+Default mode diffs both wall-clock phase timings and the deterministic
+exploration counts, exiting 1 if anything regressed by more than the
+threshold (20% by default). --counts-only restricts the comparison to the
+deterministic fields (states, transitions, dedup hits, counter values) so
+it is safe to run on shared CI machines where timings are noisy; the CTest
+guard uses this mode. --validate checks a single report against the
+envelope expected by this script (used to gate kisscheck --report output).
+--selftest exercises the comparison logic on built-in fixtures.
+
+Exit codes: 0 ok, 1 regression/validation failure, 2 usage/IO error.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+KIND = "kiss-telemetry-report"
+
+# Deterministic per-check fields: identical across runs and --jobs settings
+# for the same binary, so any change is a real behavior change, not noise.
+COUNT_FIELDS = ("states", "transitions", "dedup_hits", "arena_bytes",
+                "frontier_peak", "depth_max")
+
+
+def fail_usage(msg):
+    sys.stderr.write("bench_diff: %s\n" % msg)
+    sys.stderr.write("usage: bench_diff.py BASELINE.json CURRENT.json "
+                     "[--threshold=F] [--counts-only]\n"
+                     "       bench_diff.py --validate REPORT.json\n"
+                     "       bench_diff.py --selftest\n")
+    sys.exit(2)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        sys.stderr.write("bench_diff: cannot read %s: %s\n" % (path, e))
+        sys.exit(2)
+
+
+def validate(report, where="report"):
+    """Checks the envelope; returns a list of problems (empty if valid)."""
+    problems = []
+    if not isinstance(report, dict):
+        return ["%s: not a JSON object" % where]
+    if report.get("schema_version") != SCHEMA_VERSION:
+        problems.append("%s: schema_version is %r, expected %d"
+                        % (where, report.get("schema_version"), SCHEMA_VERSION))
+    if report.get("kind") != KIND:
+        problems.append("%s: kind is %r, expected %r"
+                        % (where, report.get("kind"), KIND))
+    for key in ("meta", "counters"):
+        if not isinstance(report.get(key), dict):
+            problems.append("%s: missing object field %r" % (where, key))
+    for key in ("phases", "checks"):
+        if not isinstance(report.get(key), list):
+            problems.append("%s: missing array field %r" % (where, key))
+    for i, p in enumerate(report.get("phases") or []):
+        for field, ty in (("name", str), ("wall_ms", (int, float)),
+                          ("counters", dict)):
+            if not isinstance(p.get(field), ty):
+                problems.append("%s: phases[%d] bad field %r" % (where, i, field))
+    for i, c in enumerate(report.get("checks") or []):
+        for field, ty in (("name", str), ("outcome", str),
+                          ("wall_ms", (int, float))):
+            if not isinstance(c.get(field), ty):
+                problems.append("%s: checks[%d] bad field %r" % (where, i, field))
+        for field in COUNT_FIELDS:
+            if not isinstance(c.get(field), int):
+                problems.append("%s: checks[%d] bad field %r" % (where, i, field))
+    return problems
+
+
+def ratio_regressed(base, cur, threshold):
+    """True if cur regressed (grew) past base by more than threshold."""
+    if base == 0:
+        return cur > 0
+    return (cur - base) / base > threshold
+
+
+def compare(base, cur, threshold, counts_only):
+    """Returns (regressions, notes): lists of human-readable lines."""
+    regressions = []
+    notes = []
+
+    # Top-level counters: deterministic, any growth past threshold flags.
+    bc, cc = base.get("counters", {}), cur.get("counters", {})
+    for name in sorted(set(bc) & set(cc)):
+        if ratio_regressed(bc[name], cc[name], threshold):
+            regressions.append("counter %s: %d -> %d" % (name, bc[name], cc[name]))
+    for name in sorted(set(bc) ^ set(cc)):
+        notes.append("counter %s only in %s" %
+                     (name, "baseline" if name in bc else "current"))
+
+    # Per-check deterministic counts, matched by check name.
+    bchecks = {c["name"]: c for c in base.get("checks", [])}
+    cchecks = {c["name"]: c for c in cur.get("checks", [])}
+    for name in sorted(set(bchecks) & set(cchecks)):
+        b, c = bchecks[name], cchecks[name]
+        if b.get("outcome") != c.get("outcome"):
+            regressions.append("check %s: outcome %s -> %s"
+                               % (name, b.get("outcome"), c.get("outcome")))
+        for field in COUNT_FIELDS:
+            if field in b and field in c and \
+                    ratio_regressed(b[field], c[field], threshold):
+                regressions.append("check %s: %s %d -> %d"
+                                   % (name, field, b[field], c[field]))
+        if not counts_only and ratio_regressed(b.get("wall_ms", 0.0),
+                                               c.get("wall_ms", 0.0), threshold):
+            regressions.append("check %s: wall_ms %.3f -> %.3f"
+                               % (name, b["wall_ms"], c["wall_ms"]))
+    for name in sorted(set(bchecks) ^ set(cchecks)):
+        notes.append("check %s only in %s" %
+                     (name, "baseline" if name in bchecks else "current"))
+
+    # Phase wall times: timing-noise-prone, skipped under --counts-only.
+    if not counts_only:
+        bphases = {p["name"]: p for p in base.get("phases", [])}
+        cphases = {p["name"]: p for p in cur.get("phases", [])}
+        for name in sorted(set(bphases) & set(cphases)):
+            if ratio_regressed(bphases[name].get("wall_ms", 0.0),
+                               cphases[name].get("wall_ms", 0.0), threshold):
+                regressions.append(
+                    "phase %s: wall_ms %.3f -> %.3f"
+                    % (name, bphases[name]["wall_ms"], cphases[name]["wall_ms"]))
+        for name in sorted(set(bphases) ^ set(cphases)):
+            notes.append("phase %s only in %s" %
+                         (name, "baseline" if name in bphases else "current"))
+
+    return regressions, notes
+
+
+def selftest():
+    def report(states, wall, counters=None):
+        return {
+            "schema_version": 1, "kind": KIND, "meta": {},
+            "counters": counters or {},
+            "phases": [{"name": "explore", "wall_ms": wall, "counters": {}}],
+            "checks": [{"name": "c", "outcome": "safe", "wall_ms": wall,
+                        "states": states, "transitions": states * 2,
+                        "dedup_hits": 1, "arena_bytes": 64,
+                        "frontier_peak": 4, "depth_max": 8}],
+        }
+
+    base = report(1000, 10.0)
+    cases = [
+        # (current, counts_only, expect_regressions)
+        (report(1000, 10.0), False, False),   # identical
+        (report(1100, 10.0), False, False),   # +10% states, under threshold
+        (report(1300, 10.0), True, True),     # +30% states regresses
+        (report(1000, 14.0), False, True),    # +40% time regresses
+        (report(1000, 14.0), True, False),    # ... unless counts-only
+        (report(1000, 10.0, {"races": 40}), True, True),  # counter growth
+    ]
+    base["counters"] = {"races": 30}
+    ok = True
+    for i, (cur, counts_only, expect) in enumerate(cases):
+        cur.setdefault("counters", {})
+        if "races" not in cur["counters"]:
+            cur["counters"]["races"] = 30
+        regs, _ = compare(base, cur, 0.20, counts_only)
+        got = bool(regs)
+        if got != expect:
+            ok = False
+            sys.stderr.write("selftest case %d: expected %s, got %s (%s)\n"
+                             % (i, expect, got, regs))
+    probs = validate(report(1, 1.0))
+    if probs:
+        ok = False
+        sys.stderr.write("selftest: valid report rejected: %s\n" % probs)
+    if not validate({"schema_version": 2}):
+        ok = False
+        sys.stderr.write("selftest: invalid report accepted\n")
+    print("selftest %s" % ("PASSED" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
+def main(argv):
+    if "--selftest" in argv:
+        return selftest()
+
+    if argv and argv[0] == "--validate":
+        if len(argv) != 2:
+            fail_usage("--validate takes exactly one report")
+        problems = validate(load(argv[1]), argv[1])
+        for p in problems:
+            sys.stderr.write("bench_diff: %s\n" % p)
+        if not problems:
+            print("%s: valid %s (schema v%d)" % (argv[1], KIND, SCHEMA_VERSION))
+        return 1 if problems else 0
+
+    threshold = 0.20
+    counts_only = False
+    paths = []
+    for a in argv:
+        if a.startswith("--threshold="):
+            try:
+                threshold = float(a.split("=", 1)[1])
+            except ValueError:
+                fail_usage("bad threshold %r" % a)
+            if threshold <= 0:
+                fail_usage("threshold must be positive")
+        elif a == "--counts-only":
+            counts_only = True
+        elif a.startswith("-"):
+            fail_usage("unknown flag %r" % a)
+        else:
+            paths.append(a)
+    if len(paths) != 2:
+        fail_usage("expected BASELINE.json and CURRENT.json")
+
+    base, cur = load(paths[0]), load(paths[1])
+    problems = validate(base, paths[0]) + validate(cur, paths[1])
+    if problems:
+        for p in problems:
+            sys.stderr.write("bench_diff: %s\n" % p)
+        return 1
+
+    regressions, notes = compare(base, cur, threshold, counts_only)
+    for n in notes:
+        print("note: %s" % n)
+    if regressions:
+        print("REGRESSIONS (> %d%%):" % round(threshold * 100))
+        for r in regressions:
+            print("  %s" % r)
+        return 1
+    print("ok: no regression past %d%% (%s)"
+          % (round(threshold * 100),
+             "counts only" if counts_only else "counts + timings"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

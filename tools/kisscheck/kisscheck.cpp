@@ -18,6 +18,8 @@
 ///   kisscheck --dump-translation file.kiss       print the sequential
 ///                                                program and exit
 ///   kisscheck --dump-cfg file.kiss               print CFGs (dot) and exit
+///   kisscheck --report=out.json file.kiss        machine-readable telemetry
+///   kisscheck --progress=5 file.kiss             heartbeats during long runs
 ///   kisscheck --max-states=N ... --no-alias ...  budgets / ablations
 ///
 /// Exit codes: 0 = no error found, 1 = error found, 2 = usage/compile
@@ -31,7 +33,9 @@
 #include "lang/ASTPrinter.h"
 #include "lower/Pipeline.h"
 #include "support/Parallel.h"
+#include "telemetry/Telemetry.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -55,6 +59,8 @@ struct CliOptions {
   bool UseConcEngine = false;
   bool ShowStats = false;
   unsigned Jobs = 1;
+  std::string ReportPath;  ///< --report=<path>; empty = no report.
+  double ProgressSec = 0;  ///< --progress interval; 0 = no heartbeats.
 };
 
 void printUsage() {
@@ -73,7 +79,20 @@ void printUsage() {
       "instead\n"
       "  --dump-translation              print the sequential program\n"
       "  --dump-cfg                      print the CFGs in dot syntax\n"
-      "  --stats                         print exploration statistics\n"
+      "  --report=<path>                 write a machine-readable JSON run\n"
+      "                                  report (schema_version 1: phase\n"
+      "                                  spans, counters, per-check\n"
+      "                                  exploration records; see\n"
+      "                                  docs/observability.md)\n"
+      "  --progress[=<secs>]             print heartbeats (states, states/s,\n"
+      "                                  frontier size) to stderr every\n"
+      "                                  <secs> seconds (default 2) during\n"
+      "                                  exploration\n"
+      "  --stats                         print exploration statistics:\n"
+      "                                  states, transitions, dedup hits,\n"
+      "                                  hash probes/verifies/collisions,\n"
+      "                                  arena bytes, frontier peak, BFS\n"
+      "                                  depth, probe counts\n"
       "  --demo                          check the built-in Figure-2 "
       "model\n");
 }
@@ -92,6 +111,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, bool &Demo) {
       Opts.MaxStates = std::strtoull(Arg.c_str() + 13, nullptr, 10);
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       Opts.Jobs = std::strtoul(Arg.c_str() + 7, nullptr, 10);
+    } else if (Arg.rfind("--report=", 0) == 0) {
+      Opts.ReportPath = Arg.substr(9);
+      if (Opts.ReportPath.empty()) {
+        std::fprintf(stderr, "--report needs a path\n");
+        return false;
+      }
+    } else if (Arg == "--progress") {
+      Opts.ProgressSec = 2.0;
+    } else if (Arg.rfind("--progress=", 0) == 0) {
+      Opts.ProgressSec = std::strtod(Arg.c_str() + 11, nullptr);
+      if (Opts.ProgressSec <= 0) {
+        std::fprintf(stderr, "--progress needs a positive interval\n");
+        return false;
+      }
     } else if (Arg == "--no-alias") {
       Opts.UseAlias = false;
     } else if (Arg == "--engine=conc") {
@@ -142,29 +175,81 @@ bool parseRaceTarget(const std::string &Spec, lower::CompilerContext &Ctx,
   return true;
 }
 
+/// Converts an exploration result to a report check record.
+telemetry::CheckRecord makeCheckRecord(std::string Name, std::string Outcome,
+                                       const rt::CheckResult &R,
+                                       double WallMs) {
+  telemetry::CheckRecord C;
+  C.Name = std::move(Name);
+  C.Outcome = std::move(Outcome);
+  C.WallMs = WallMs;
+  C.States = R.StatesExplored;
+  C.Transitions = R.TransitionsExplored;
+  C.DedupHits = R.Exploration.DedupHits;
+  C.ArenaBytes = R.Exploration.ArenaBytes;
+  C.FrontierPeak = R.Exploration.FrontierPeak;
+  C.DepthMax = R.Exploration.DepthMax;
+  return C;
+}
+
+/// Prints the full per-run exploration statistics (--stats).
+void printExplorationStats(const rt::CheckResult &R) {
+  const rt::ExplorationStats &E = R.Exploration;
+  std::printf("sequential states: %llu, transitions: %llu\n",
+              static_cast<unsigned long long>(R.StatesExplored),
+              static_cast<unsigned long long>(R.TransitionsExplored));
+  std::printf("dedup hits: %llu, hash probes: %llu, key verifies: %llu, "
+              "hash collisions: %llu\n",
+              static_cast<unsigned long long>(E.DedupHits),
+              static_cast<unsigned long long>(E.HashProbes),
+              static_cast<unsigned long long>(E.KeyVerifies),
+              static_cast<unsigned long long>(E.HashCollisions));
+  std::printf("arena bytes: %llu, frontier peak: %llu, depth max: %llu\n",
+              static_cast<unsigned long long>(E.ArenaBytes),
+              static_cast<unsigned long long>(E.FrontierPeak),
+              static_cast<unsigned long long>(E.DepthMax));
+}
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+/// Writes the report if --report was given. \returns false on I/O failure.
+bool maybeWriteReport(const CliOptions &Opts, telemetry::RunRecorder &Rec) {
+  if (Opts.ReportPath.empty())
+    return true;
+  return telemetry::writeReport(Rec, Opts.ReportPath);
+}
+
 /// The paper's per-field workflow: one race check per global and per
 /// struct field, with a summary table (§6). Locations fan out over
 /// --jobs workers; the transform interns symbols into the program's
 /// table, so every worker task compiles its own copy of the source.
+/// Telemetry: check records are appended after the join, in location
+/// order, so reports are deterministic at every job count.
 int runRaceAll(const lang::Program &P, const CliOptions &Opts,
                lower::CompilerContext &Ctx, const std::string &Name,
-               const std::string &Source) {
+               const std::string &Source, telemetry::RunRecorder &Rec) {
   struct Row {
     std::string Name;
     KissVerdict V = KissVerdict::BoundExceeded;
-    uint64_t States = 0;
+    rt::CheckResult Sequential;
+    double WallMs = 0;
   };
   std::vector<Row> Rows;
 
   for (const lang::GlobalDecl &G : P.getGlobals())
-    Rows.push_back(Row{std::string(Ctx.Syms.str(G.Name)), {}, 0});
+    Rows.push_back(Row{std::string(Ctx.Syms.str(G.Name)), {}, {}, 0});
   for (const auto &S : P.getStructs())
     for (const lang::FieldDecl &F : S->getFields())
       Rows.push_back(Row{std::string(Ctx.Syms.str(S->getName())) + "." +
                              std::string(Ctx.Syms.str(F.Name)),
-                         {}, 0});
+                         {}, {}, 0});
 
   parallelFor(Rows.size(), Opts.Jobs, [&](size_t I) {
+    auto Start = std::chrono::steady_clock::now();
     lower::CompilerContext TaskCtx;
     auto TaskP = lower::compileToCore(TaskCtx, Name, Source);
     RaceTarget T;
@@ -178,7 +263,8 @@ int runRaceAll(const lang::Program &P, const CliOptions &Opts,
     KO.Seq.MaxStates = Opts.MaxStates;
     KissReport R = checkRace(*TaskP, T, KO, TaskCtx.Diags);
     Rows[I].V = R.Verdict;
-    Rows[I].States = R.Sequential.StatesExplored;
+    Rows[I].Sequential = std::move(R.Sequential);
+    Rows[I].WallMs = msSince(Start);
   });
 
   unsigned Races = 0, Clean = 0, Other = 0;
@@ -186,25 +272,48 @@ int runRaceAll(const lang::Program &P, const CliOptions &Opts,
   for (const Row &R : Rows) {
     std::printf("%-40s %-20s %10llu\n", R.Name.c_str(),
                 getVerdictName(R.V),
-                static_cast<unsigned long long>(R.States));
+                static_cast<unsigned long long>(
+                    R.Sequential.StatesExplored));
     if (R.V == KissVerdict::RaceDetected)
       ++Races;
     else if (R.V == KissVerdict::NoErrorFound)
       ++Clean;
     else
       ++Other;
+    Rec.addCheck(makeCheckRecord(Name + ":" + R.Name, getVerdictName(R.V),
+                                 R.Sequential, R.WallMs));
   }
+  Rec.addCounter("locations_checked", Rows.size());
+  Rec.addCounter("races", Races);
+  Rec.addCounter("clean", Clean);
+  Rec.addCounter("inconclusive", Other);
   std::printf("\nsummary: %u race(s), %u clean, %u inconclusive over %zu "
               "locations\n", Races, Clean, Other, Rows.size());
+  if (!maybeWriteReport(Opts, Rec))
+    return 2;
   return Races ? 1 : 0;
 }
 
 int runConcEngine(const lang::Program &P, const CliOptions &Opts,
-                  const lower::CompilerContext &Ctx) {
+                  const lower::CompilerContext &Ctx,
+                  telemetry::RunRecorder &Rec, const std::string &Name,
+                  telemetry::Heartbeat *Beat) {
+  auto CfgSpan = Rec.beginPhase("cfg");
   cfg::ProgramCFG CFG = cfg::ProgramCFG::build(P);
+  CfgSpan.end();
+
   conc::ConcOptions CO;
   CO.MaxStates = Opts.MaxStates;
+  CO.Progress = Beat;
+  auto Start = std::chrono::steady_clock::now();
+  auto CheckSpan = Rec.beginPhase("check");
   rt::CheckResult R = conc::checkProgram(P, CFG, CO);
+  CheckSpan.counter("states", R.StatesExplored);
+  CheckSpan.counter("transitions", R.TransitionsExplored);
+  CheckSpan.end();
+  Rec.addCheck(makeCheckRecord(Name, rt::getOutcomeName(R.Outcome), R,
+                               msSince(Start)));
+
   std::printf("verdict: %s\n", rt::getOutcomeName(R.Outcome));
   if (!R.Message.empty())
     std::printf("detail: %s\n", R.Message.c_str());
@@ -212,9 +321,9 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
     std::printf("trace:\n%s",
                 rt::formatTrace(R.Trace, P, CFG, &Ctx.SM).c_str());
   if (Opts.ShowStats)
-    std::printf("states: %llu, transitions: %llu\n",
-                static_cast<unsigned long long>(R.StatesExplored),
-                static_cast<unsigned long long>(R.TransitionsExplored));
+    printExplorationStats(R);
+  if (!maybeWriteReport(Opts, Rec))
+    return 2;
   if (R.Outcome == rt::CheckOutcome::BoundExceeded)
     return 3;
   return R.foundError() ? 1 : 0;
@@ -248,7 +357,21 @@ int main(int Argc, char **Argv) {
     Name = Opts.InputFile;
   }
 
+  // One recorder per invocation; phases/counters/checks are recorded
+  // unconditionally (the cost is negligible) and written only with
+  // --report.
+  telemetry::RunRecorder Rec;
+  Rec.setMeta("tool", "kisscheck");
+  Rec.setMeta("input", Name);
+  Rec.setMeta("engine", Opts.UseConcEngine ? "conc" : "kiss");
+  Rec.setMeta("max_ts", std::to_string(Opts.MaxTs));
+  Rec.setMeta("max_states", std::to_string(Opts.MaxStates));
+
+  telemetry::Heartbeat Beat(Opts.ProgressSec > 0 ? Opts.ProgressSec : 2.0);
+  telemetry::Heartbeat *BeatPtr = Opts.ProgressSec > 0 ? &Beat : nullptr;
+
   lower::CompilerContext Ctx;
+  Ctx.Recorder = &Rec;
   auto Program = lower::compileToCore(Ctx, Name, Source);
   if (!Program) {
     std::fprintf(stderr, "%s", Ctx.renderDiagnostics().c_str());
@@ -263,23 +386,31 @@ int main(int Argc, char **Argv) {
   }
 
   if (Opts.UseConcEngine)
-    return runConcEngine(*Program, Opts, Ctx);
+    return runConcEngine(*Program, Opts, Ctx, Rec, Name, BeatPtr);
+
+  if (Opts.RaceAll) {
+    Rec.setMeta("mode", "race-all");
+    return runRaceAll(*Program, Opts, Ctx, Name, Source, Rec);
+  }
 
   KissOptions KO;
   KO.MaxTs = Opts.MaxTs;
   KO.UseAliasAnalysis = Opts.UseAlias;
   KO.Seq.MaxStates = Opts.MaxStates;
+  KO.Seq.Progress = BeatPtr;
+  KO.Recorder = &Rec;
 
-  if (Opts.RaceAll)
-    return runRaceAll(*Program, Opts, Ctx, Name, Source);
-
+  auto Start = std::chrono::steady_clock::now();
   KissReport R;
   if (!Opts.RaceTargetSpec.empty()) {
+    Rec.setMeta("mode", "race");
+    Rec.setMeta("race_target", Opts.RaceTargetSpec);
     RaceTarget Target;
     if (!parseRaceTarget(Opts.RaceTargetSpec, Ctx, *Program, Target))
       return 2;
     R = checkRace(*Program, Target, KO, Ctx.Diags);
   } else {
+    Rec.setMeta("mode", "assert");
     R = checkAssertions(*Program, KO, Ctx.Diags);
   }
 
@@ -293,6 +424,11 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  Rec.addCheck(makeCheckRecord(Name, getVerdictName(R.Verdict),
+                               R.Sequential, msSince(Start)));
+  Rec.addCounter("probes_emitted", R.Stats.ProbesEmitted);
+  Rec.addCounter("probes_pruned", R.Stats.ProbesPruned);
+
   std::printf("verdict: %s\n", getVerdictName(R.Verdict));
   if (!R.Message.empty())
     std::printf("detail: %s\n", R.Message.c_str());
@@ -302,14 +438,12 @@ int main(int Argc, char **Argv) {
                 formatConcurrentTrace(R.Trace, *Program, &Ctx.SM).c_str());
   }
   if (Opts.ShowStats) {
-    std::printf("sequential states: %llu, transitions: %llu\n",
-                static_cast<unsigned long long>(
-                    R.Sequential.StatesExplored),
-                static_cast<unsigned long long>(
-                    R.Sequential.TransitionsExplored));
+    printExplorationStats(R.Sequential);
     std::printf("probes: %u emitted, %u pruned\n", R.Stats.ProbesEmitted,
                 R.Stats.ProbesPruned);
   }
+  if (!maybeWriteReport(Opts, Rec))
+    return 2;
   if (R.Verdict == KissVerdict::BoundExceeded)
     return 3;
   return R.foundError() ? 1 : 0;
