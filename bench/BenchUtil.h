@@ -8,7 +8,9 @@
 #define KISS_BENCH_BENCHUTIL_H
 
 #include "lower/Pipeline.h"
+#include "support/Governor.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -61,6 +63,68 @@ inline bool parseJobsFlag(int Argc, char **Argv, unsigned &Jobs) {
     }
   }
   return true;
+}
+
+/// Flags shared by the corpus benches (table1_races, table2_refined):
+/// worker count plus the per-field resource budget.
+struct CorpusBenchOptions {
+  unsigned Jobs = 0;           ///< 0 = all hardware threads.
+  double FieldTimeoutSec = 0;  ///< --field-timeout; 0 = none.
+  uint64_t FieldMemoryMB = 0;  ///< --field-memory; 0 = none.
+};
+
+/// Parses `--jobs N|--jobs=N`, `--field-timeout=SECS`, `--field-memory=MB`.
+/// \returns false (after printing usage) on anything unrecognized.
+inline bool parseCorpusFlags(int Argc, char **Argv, CorpusBenchOptions &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--jobs=", 0) == 0) {
+      O.Jobs = static_cast<unsigned>(std::strtoul(Arg.c_str() + 7, nullptr, 10));
+    } else if (Arg == "--jobs" && I + 1 < Argc) {
+      O.Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (Arg.rfind("--field-timeout=", 0) == 0) {
+      O.FieldTimeoutSec = std::strtod(Arg.c_str() + 16, nullptr);
+    } else if (Arg.rfind("--field-memory=", 0) == 0) {
+      O.FieldMemoryMB = std::strtoull(Arg.c_str() + 15, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--field-timeout=SECS] "
+                   "[--field-memory=MB]\n",
+                   Argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The process-wide cancellation token of a bench run.
+inline gov::CancellationToken &benchCancelToken() {
+  static gov::CancellationToken Token;
+  return Token;
+}
+
+extern "C" inline void benchHandleSignal(int) {
+  kiss::bench::benchCancelToken().requestCancel();
+}
+
+/// Installs SIGINT/SIGTERM -> cancel-and-drain for a corpus bench, so an
+/// interrupted Table run still flushes a partial BENCH_*.json (marked
+/// interrupted) instead of losing everything. \returns the token to put
+/// into the per-field RunBudget.
+inline gov::CancellationToken *installBenchCancellation() {
+  std::signal(SIGINT, benchHandleSignal);
+  std::signal(SIGTERM, benchHandleSignal);
+  return &benchCancelToken();
+}
+
+/// The per-field budget a corpus bench passes to runDriver.
+inline gov::RunBudget makeFieldBudget(const CorpusBenchOptions &O,
+                                      gov::CancellationToken *Cancel) {
+  gov::RunBudget B;
+  B.DeadlineSec = O.FieldTimeoutSec;
+  B.MemoryBytes = O.FieldMemoryMB * 1024 * 1024;
+  B.Cancel = Cancel;
+  return B;
 }
 
 } // namespace kiss::bench

@@ -259,8 +259,10 @@ void writeSeqcheckJson(const char *Path) {
   C.Transitions = Probe.TransitionsExplored;
   C.DedupHits = Probe.Exploration.DedupHits;
   C.ArenaBytes = Probe.Exploration.ArenaBytes;
+  C.IndexBytes = Probe.Exploration.IndexBytes;
   C.FrontierPeak = Probe.Exploration.FrontierPeak;
   C.DepthMax = Probe.Exploration.DepthMax;
+  C.BoundReason = gov::getBoundReasonName(Probe.Bound);
   Rec.addCheck(std::move(C));
 
   if (telemetry::writeReport(Rec, Path))

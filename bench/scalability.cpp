@@ -146,8 +146,10 @@ int main(int Argc, char **Argv) {
     C.Transitions = R.TransitionsExplored;
     C.DedupHits = R.Exploration.DedupHits;
     C.ArenaBytes = R.Exploration.ArenaBytes;
+    C.IndexBytes = R.Exploration.IndexBytes;
     C.FrontierPeak = R.Exploration.FrontierPeak;
     C.DepthMax = R.Exploration.DepthMax;
+    C.BoundReason = gov::getBoundReasonName(R.Bound);
     Rec.addCheck(std::move(C));
   };
 

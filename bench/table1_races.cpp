@@ -26,9 +26,11 @@ using namespace kiss::bench;
 using namespace kiss::drivers;
 
 int main(int Argc, char **Argv) {
-  unsigned Jobs = 0;
-  if (!parseJobsFlag(Argc, Argv, Jobs))
+  CorpusBenchOptions Bench;
+  if (!parseCorpusFlags(Argc, Argv, Bench))
     return 2;
+  unsigned Jobs = Bench.Jobs;
+  gov::CancellationToken *Cancel = installBenchCancellation();
 
   telemetry::RunRecorder Rec;
   Rec.setMeta("bench", "table1_races");
@@ -49,6 +51,7 @@ int main(int Argc, char **Argv) {
   Opts.Harness = HarnessVersion::V1Unconstrained;
   Opts.Jobs = Jobs;
   Opts.Recorder = &Rec;
+  Opts.FieldBudget = makeFieldBudget(Bench, Cancel);
 
   unsigned TotalFields = 0, TotalRaces = 0, TotalNoRaces = 0, TotalBound = 0;
   unsigned PaperRaces = 0, PaperNoRaces = 0, PaperBound = 0;
@@ -56,6 +59,8 @@ int main(int Argc, char **Argv) {
   bool AllMatch = true;
 
   for (const DriverSpec &D : getTable1Corpus()) {
+    if (Cancel->isCancelled())
+      break; // Cancel-and-drain: flush what we have below, exit 3.
     DriverResult R = runDriver(D, Opts);
     TotalFields += D.NumFields;
     TotalRaces += R.Races;
@@ -96,7 +101,13 @@ int main(int Argc, char **Argv) {
   Rec.addCounter("no_races", TotalNoRaces);
   Rec.addCounter("bound_exceeded", TotalBound);
   Rec.setMeta("matches_paper", AllMatch ? "true" : "false");
+  if (Cancel->isCancelled()) {
+    Rec.setInterrupted(true);
+    std::printf("bench interrupted; partial results above\n");
+  }
   telemetry::writeReport(Rec, "BENCH_table1_races.json");
   std::printf("wrote BENCH_table1_races.json\n");
+  if (Cancel->isCancelled())
+    return 3;
   return AllMatch ? 0 : 1;
 }

@@ -26,9 +26,11 @@ using namespace kiss::bench;
 using namespace kiss::drivers;
 
 int main(int Argc, char **Argv) {
-  unsigned Jobs = 0;
-  if (!parseJobsFlag(Argc, Argv, Jobs))
+  CorpusBenchOptions Bench;
+  if (!parseCorpusFlags(Argc, Argv, Bench))
     return 2;
+  unsigned Jobs = Bench.Jobs;
+  gov::CancellationToken *Cancel = installBenchCancellation();
 
   telemetry::RunRecorder Rec;
   Rec.setMeta("bench", "table2_refined");
@@ -45,10 +47,13 @@ int main(int Argc, char **Argv) {
   bool AllMatch = true;
 
   for (const DriverSpec &D : getTable1Corpus()) {
+    if (Cancel->isCancelled())
+      break; // Cancel-and-drain: flush what we have below, exit 3.
     // Experiment 1: find the racy fields with the unconstrained harness.
     CorpusRunOptions V1;
     V1.Harness = HarnessVersion::V1Unconstrained;
     V1.Jobs = Jobs;
+    V1.FieldBudget = makeFieldBudget(Bench, Cancel);
     DriverResult R1 = runDriver(D, V1);
     std::vector<unsigned> Racy = racyFieldIndices(R1);
     TotalV1 += Racy.size();
@@ -63,6 +68,7 @@ int main(int Argc, char **Argv) {
     V2.OnlyFields = Racy;
     V2.Jobs = Jobs;
     V2.Recorder = &Rec;
+    V2.FieldBudget = makeFieldBudget(Bench, Cancel);
     DriverResult R2 = runDriver(D, V2);
 
     TotalV2 += R2.Races;
@@ -85,7 +91,13 @@ int main(int Argc, char **Argv) {
   Rec.addCounter("races_refined", TotalV2);
   Rec.addCounter("races_refined_paper", PaperV2);
   Rec.setMeta("matches_paper", AllMatch ? "true" : "false");
+  if (Cancel->isCancelled()) {
+    Rec.setInterrupted(true);
+    std::printf("bench interrupted; partial results above\n");
+  }
   telemetry::writeReport(Rec, "BENCH_table2_refined.json");
   std::printf("wrote BENCH_table2_refined.json\n");
+  if (Cancel->isCancelled())
+    return 3;
   return AllMatch ? 0 : 1;
 }

@@ -100,6 +100,7 @@ CheckResult conc::checkProgram(const lang::Program &P,
     R.Exploration.KeyVerifies = IS.Verifies;
     R.Exploration.HashCollisions = IS.Collisions;
     R.Exploration.ArenaBytes = Store.arenaBytes();
+    R.Exploration.IndexBytes = Store.indexBytes();
     R.Exploration.FrontierPeak = FrontierPeak;
     R.Exploration.DepthMax = DepthMax;
   };
@@ -111,13 +112,26 @@ CheckResult conc::checkProgram(const lang::Program &P,
   Links.push_back(ParentLink{});
   Queue.push_back(WorkItem{std::move(Init), InitCtx, InitId, 0});
 
+  // The resource governor (deadline / memory / cancellation); its fast
+  // path is one decrement-and-compare per expanded state, like the
+  // heartbeat's tick.
+  gov::Governor Gov(Opts.Budget);
+
   // StatesExplored is the number of distinct states discovered
   // (= Store.size()) on every exit path.
   while (!Queue.empty()) {
     if (Store.size() > Opts.MaxStates) {
       R.Outcome = CheckOutcome::BoundExceeded;
+      R.Bound = gov::BoundReason::States;
       R.Message = "state budget of " + std::to_string(Opts.MaxStates) +
                   " states exceeded";
+      finish(R);
+      return R;
+    }
+    if (Gov.shouldStop(Store.memoryBytes())) {
+      R.Outcome = CheckOutcome::BoundExceeded;
+      R.Bound = Gov.reason();
+      R.Message = Gov.message();
       finish(R);
       return R;
     }
@@ -172,6 +186,7 @@ CheckResult conc::checkProgram(const lang::Program &P,
           return true;
         case StepResult::Kind::BoundExceeded:
           R.Outcome = CheckOutcome::BoundExceeded;
+          R.Bound = gov::BoundReason::States; // Frame/thread bound.
           R.Message = SR.Message;
           R.ErrorLoc = SR.ErrorLoc;
           finish(R);

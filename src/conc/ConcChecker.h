@@ -34,6 +34,7 @@
 
 #include "seqcheck/Result.h"
 #include "seqcheck/Step.h"
+#include "support/Governor.h"
 
 namespace kiss::telemetry {
 class Heartbeat;
@@ -46,6 +47,9 @@ struct ConcOptions {
   uint64_t MaxStates = 1'000'000;
   uint32_t MaxThreads = 16;
   uint32_t MaxFrames = 256;
+  /// Deadline / memory / cancellation budget, checked from the BFS hot
+  /// loop. A default budget never trips.
+  gov::RunBudget Budget;
   /// If >= 0, only executions with at most this many context switches are
   /// explored (used to validate Theorem 1; -1 = unbounded).
   int32_t ContextSwitchBound = -1;

@@ -11,6 +11,8 @@
 #include "telemetry/Telemetry.h"
 
 #include <chrono>
+#include <exception>
+#include <new>
 
 using namespace kiss;
 using namespace kiss::core;
@@ -29,20 +31,12 @@ unsigned kiss::drivers::countModelLines(const DriverSpec &D,
   return countLines(buildFullProgram(D, V));
 }
 
-/// One per-field check: compile the sliced model and run the KISS race
-/// check. Self-contained (own CompilerContext), so fields fan out across
-/// threads without sharing.
-static FieldResult checkOneField(const DriverSpec &D, unsigned FieldIdx,
-                                 const CorpusRunOptions &Opts) {
-  FieldResult FR;
-  FR.FieldIndex = FieldIdx;
-  auto Start = std::chrono::steady_clock::now();
-  auto finish = [&] {
-    FR.Seconds = std::chrono::duration<double>(
-                     std::chrono::steady_clock::now() - Start)
-                     .count();
-  };
-
+/// The body of one per-field check: compile the sliced model and run the
+/// KISS race check. Self-contained (own CompilerContext), so fields fan
+/// out across threads without sharing. May throw (OOM, injected fault);
+/// checkOneField is the isolation boundary that catches.
+static void checkFieldBody(const DriverSpec &D, unsigned FieldIdx,
+                           const CorpusRunOptions &Opts, FieldResult &FR) {
   lower::CompilerContext Ctx;
   auto Program = lower::compileToCore(
       Ctx, D.Name + "." + D.Fields[FieldIdx].Name,
@@ -50,23 +44,74 @@ static FieldResult checkOneField(const DriverSpec &D, unsigned FieldIdx,
   if (!Program) {
     // Generated models always compile; treat a failure as inconclusive.
     FR.Verdict = KissVerdict::BoundExceeded;
-    finish();
-    return FR;
+    FR.Bound = gov::BoundReason::Fault;
+    return;
   }
+
+  if (static_cast<int>(FieldIdx) == Opts.InjectFailField)
+    throw std::bad_alloc(); // Deterministic stand-in for a real OOM.
 
   KissOptions KO;
   KO.MaxTs = 0; // §6: "we set the size of ts to 0" for race detection.
   KO.Seq.MaxStates = Opts.FieldStateBudget;
+  KO.Seq.Budget = Opts.FieldBudget;
+  // Injected budget trips target exactly one field; every other field
+  // runs under the plain budget.
+  if (static_cast<int>(FieldIdx) == Opts.InjectTripField) {
+    if (KO.Seq.Budget.TripAtTick == 0)
+      KO.Seq.Budget.TripAtTick = 1;
+  } else {
+    KO.Seq.Budget.TripAtTick = 0;
+  }
   RaceTarget Target =
       RaceTarget::field(Ctx.Syms.intern(getDeviceExtensionName()),
                         Ctx.Syms.intern(D.Fields[FieldIdx].Name));
   KissReport Report = checkRace(*Program, Target, KO, Ctx.Diags);
 
   FR.Verdict = Report.Verdict;
+  FR.Bound = Report.Sequential.Bound;
   FR.StatesExplored = Report.Sequential.StatesExplored;
   FR.TransitionsExplored = Report.Sequential.TransitionsExplored;
   FR.Exploration = Report.Sequential.Exploration;
-  finish();
+}
+
+/// One per-field check under the fault-isolation boundary: a task that
+/// throws (std::bad_alloc included) or is cancelled before it starts
+/// degrades to a per-field BoundExceeded-style result — the rest of the
+/// corpus run is unaffected.
+static FieldResult checkOneField(const DriverSpec &D, unsigned FieldIdx,
+                                 const CorpusRunOptions &Opts) {
+  FieldResult FR;
+  FR.FieldIndex = FieldIdx;
+  auto Start = std::chrono::steady_clock::now();
+
+  // Cancel-and-drain: once the run is cancelled, fields that have not
+  // started yet report Cancelled without doing any work (fields already
+  // running trip through their own governor).
+  if (Opts.FieldBudget.Cancel && Opts.FieldBudget.Cancel->isCancelled()) {
+    FR.Verdict = KissVerdict::BoundExceeded;
+    FR.Bound = gov::BoundReason::Cancelled;
+    return FR;
+  }
+
+  try {
+    checkFieldBody(D, FieldIdx, Opts, FR);
+  } catch (const std::bad_alloc &) {
+    FR.Verdict = KissVerdict::BoundExceeded;
+    FR.Bound = gov::BoundReason::Memory;
+    FR.StatesExplored = 0;
+    FR.TransitionsExplored = 0;
+    FR.Exploration = rt::ExplorationStats();
+  } catch (const std::exception &) {
+    FR.Verdict = KissVerdict::BoundExceeded;
+    FR.Bound = gov::BoundReason::Fault;
+    FR.StatesExplored = 0;
+    FR.TransitionsExplored = 0;
+    FR.Exploration = rt::ExplorationStats();
+  }
+  FR.Seconds = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - Start)
+                   .count();
   return FR;
 }
 
@@ -112,6 +157,8 @@ DriverResult kiss::drivers::runDriver(const DriverSpec &D,
   // requested field order — never from the workers — so the report is
   // deterministic at every job count (timings aside).
   if (telemetry::RunRecorder *Rec = Opts.Recorder) {
+    if (Opts.FieldBudget.Cancel && Opts.FieldBudget.Cancel->isCancelled())
+      Rec->setInterrupted(true);
     const char *HarnessName =
         Opts.Harness == HarnessVersion::V2Refined ? "refined"
                                                   : "unconstrained";
@@ -135,8 +182,10 @@ DriverResult kiss::drivers::runDriver(const DriverSpec &D,
       C.Transitions = FR.TransitionsExplored;
       C.DedupHits = FR.Exploration.DedupHits;
       C.ArenaBytes = FR.Exploration.ArenaBytes;
+      C.IndexBytes = FR.Exploration.IndexBytes;
       C.FrontierPeak = FR.Exploration.FrontierPeak;
       C.DepthMax = FR.Exploration.DepthMax;
+      C.BoundReason = gov::getBoundReasonName(FR.Bound);
       Rec->addCheck(std::move(C));
     }
   }

@@ -32,6 +32,10 @@ namespace kiss::drivers {
 struct FieldResult {
   unsigned FieldIndex = 0;
   core::KissVerdict Verdict = core::KissVerdict::NoErrorFound;
+  /// Why a BoundExceeded verdict stopped short (None otherwise). A field
+  /// task that threw is isolated here as BoundReason::Fault (Memory for
+  /// std::bad_alloc) instead of aborting the run.
+  gov::BoundReason Bound = gov::BoundReason::None;
   uint64_t StatesExplored = 0;
   uint64_t TransitionsExplored = 0;
   /// Exploration telemetry of the field's sequential run.
@@ -56,6 +60,21 @@ struct CorpusRunOptions {
   HarnessVersion Harness = HarnessVersion::V1Unconstrained;
   /// Per-field state budget (the paper's 20-minute/800MB resource bound).
   uint64_t FieldStateBudget = 25000;
+  /// Per-field deadline / memory / cancellation budget; each field's
+  /// exploration runs under its own governor. If Budget.Cancel is set and
+  /// cancelled, fields not yet started degrade to a Cancelled
+  /// BoundExceeded result without running (cancel-and-drain).
+  gov::RunBudget FieldBudget;
+  /// Fault injection (deterministic per field index, so results and
+  /// reports stay identical at every job count):
+  ///  * InjectTripField: this field's governor trips on its first tick
+  ///    with FieldBudget.TripReason (deadline by default) — the test
+  ///    stand-in for "this field exceeded its 20-minute bound".
+  ///  * InjectFailField: the check of this field throws std::bad_alloc
+  ///    mid-run, exercising the fault-isolation boundary.
+  /// -1 = off.
+  int InjectTripField = -1;
+  int InjectFailField = -1;
   /// If non-empty, only these field indices are checked (Table 2 re-runs
   /// the fields reported racy under the unconstrained harness).
   std::vector<unsigned> OnlyFields;

@@ -51,6 +51,8 @@ KissReport runPipeline(const Program &P, std::unique_ptr<Program> Transformed,
   if (!Transformed) {
     R.Verdict = KissVerdict::BoundExceeded;
     R.Message = "transformation failed";
+    R.Sequential.Outcome = rt::CheckOutcome::BoundExceeded;
+    R.Sequential.Bound = gov::BoundReason::Fault;
     return R;
   }
 

@@ -69,6 +69,10 @@ struct KissReport {
            Verdict == KissVerdict::RaceDetected ||
            Verdict == KissVerdict::RuntimeError;
   }
+
+  /// Why a BoundExceeded verdict stopped short (None otherwise): state
+  /// budget, deadline, memory budget, or cooperative cancellation.
+  gov::BoundReason boundReason() const { return Sequential.Bound; }
 };
 
 /// Checks the assertions of concurrent core program \p P (Figure 4 mode).

@@ -14,6 +14,7 @@
 #define KISS_SEQCHECK_RESULT_H
 
 #include "lang/AST.h"
+#include "support/Governor.h"
 #include "support/SourceLoc.h"
 
 #include <cstdint>
@@ -61,6 +62,10 @@ struct ExplorationStats {
   uint64_t HashCollisions = 0;
   /// Bytes held by the store's encoding arena at exit.
   uint64_t ArenaBytes = 0;
+  /// Bytes held by the store's hash index and record table at exit.
+  /// ArenaBytes + IndexBytes is exactly what a gov::RunBudget memory
+  /// budget accounts, so telemetry and governance agree on "memory".
+  uint64_t IndexBytes = 0;
   /// Largest BFS frontier (queued, unexpanded states) seen.
   uint64_t FrontierPeak = 0;
   /// Deepest BFS layer reached (root = 0).
@@ -70,6 +75,8 @@ struct ExplorationStats {
 /// The result of one model-checking run.
 struct CheckResult {
   CheckOutcome Outcome = CheckOutcome::Safe;
+  /// Why a BoundExceeded outcome stopped short (None otherwise).
+  gov::BoundReason Bound = gov::BoundReason::None;
   std::string Message;
   SourceLoc ErrorLoc;
   /// Root-to-error transition sequence (errors only).

@@ -20,6 +20,7 @@
 
 #include "seqcheck/Result.h"
 #include "seqcheck/Step.h"
+#include "support/Governor.h"
 
 namespace kiss::telemetry {
 class Heartbeat;
@@ -27,11 +28,15 @@ class Heartbeat;
 
 namespace kiss::seqcheck {
 
-/// Budgets for one sequential run (the paper's 20-minute/800MB resource
-/// bound becomes a state budget here).
+/// Budgets for one sequential run: the state budget approximates the
+/// paper's 20-minute/800MB resource bound structurally; Budget enforces
+/// it literally (wall-clock deadline, byte budget, cancellation).
 struct SeqOptions {
   uint64_t MaxStates = 1'000'000;
   uint32_t MaxFrames = 256;
+  /// Deadline / memory / cancellation budget, checked from the BFS hot
+  /// loop. A default budget never trips.
+  gov::RunBudget Budget;
   /// If set, ticked once per expanded state with (distinct states,
   /// frontier size) — the CLI's --progress heartbeat. Not owned.
   telemetry::Heartbeat *Progress = nullptr;

@@ -59,6 +59,16 @@ public:
   /// Bytes held by the encoding arena (diagnostics/benchmarks).
   size_t arenaBytes() const { return Arena.size(); }
 
+  /// Bytes held by the hash index and the record table (the store's
+  /// non-arena footprint).
+  size_t indexBytes() const {
+    return Slots.size() * sizeof(Slot) + Records.size() * sizeof(Record);
+  }
+
+  /// Total accounted bytes (arena + index): what a gov::RunBudget memory
+  /// budget measures and what ExplorationStats reports.
+  size_t memoryBytes() const { return arenaBytes() + indexBytes(); }
+
   /// Index-traffic counters, maintained by intern() (grow()'s rehash
   /// probes are not counted). Feeds rt::ExplorationStats.
   struct IndexStats {

@@ -162,6 +162,8 @@ std::string telemetry::renderReport(const RunRecorder &R,
   Out += "  \"schema_version\": " + std::to_string(ReportSchemaVersion) +
          ",\n";
   Out += "  \"kind\": \"kiss-telemetry-report\",\n";
+  Out += R.Interrupted ? "  \"interrupted\": true,\n"
+                       : "  \"interrupted\": false,\n";
 
   auto Meta = R.Meta;
   std::sort(Meta.begin(), Meta.end());
@@ -213,11 +215,15 @@ std::string telemetry::renderReport(const RunRecorder &R,
     appendU64(Out, C.DedupHits);
     Out += ", \"arena_bytes\": ";
     appendU64(Out, C.ArenaBytes);
+    Out += ", \"index_bytes\": ";
+    appendU64(Out, C.IndexBytes);
     Out += ", \"frontier_peak\": ";
     appendU64(Out, C.FrontierPeak);
     Out += ", \"depth_max\": ";
     appendU64(Out, C.DepthMax);
-    Out += '}';
+    Out += ", \"bound_reason\": \"";
+    Out += escapeJson(C.BoundReason);
+    Out += "\"}";
   }
   Out += R.Checks.empty() ? "]\n" : "\n  ]\n";
 

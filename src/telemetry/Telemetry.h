@@ -9,7 +9,7 @@
 /// nested phase spans (parse -> sema -> lower -> transform -> alias -> cfg
 /// -> check), named monotonic counters, and per-check exploration records,
 /// and renders them as a versioned machine-readable JSON report
-/// (schema_version 1; see docs/observability.md for the schema reference).
+/// (schema_version 2; see docs/observability.md for the schema reference).
 ///
 /// Conventions:
 ///  * Phase spans nest; a nested span's reported name is its full
@@ -61,8 +61,12 @@ struct CheckRecord {
   uint64_t Transitions = 0;
   uint64_t DedupHits = 0;
   uint64_t ArenaBytes = 0;
+  uint64_t IndexBytes = 0;
   uint64_t FrontierPeak = 0;
   uint64_t DepthMax = 0;
+  /// Why the check stopped short ("none" when it completed); a
+  /// gov::BoundReason name.
+  std::string BoundReason = "none";
 };
 
 /// Collects the telemetry of one run. Create one per process/run, thread a
@@ -119,6 +123,11 @@ public:
   /// wins).
   void setMeta(std::string_view Key, std::string_view Value);
 
+  /// Marks the run as interrupted (SIGINT/SIGTERM or injected cancel):
+  /// the rendered report is a valid but *partial* account of the run.
+  void setInterrupted(bool Value = true) { Interrupted = Value; }
+  bool interrupted() const { return Interrupted; }
+
   const std::vector<PhaseRecord> &phases() const { return Phases; }
   const std::vector<CheckRecord> &checks() const { return Checks; }
 
@@ -127,6 +136,7 @@ private:
 
   std::vector<PhaseRecord> Phases;
   std::vector<CheckRecord> Checks;
+  bool Interrupted = false;
   std::vector<std::pair<std::string, uint64_t>> Counters;
   std::vector<std::pair<std::string, std::string>> Meta;
   /// Indices into Phases of the open spans, innermost last, paired with
@@ -154,8 +164,12 @@ std::string renderReport(const RunRecorder &R,
 bool writeReport(const RunRecorder &R, const std::string &Path,
                  const ReportOptions &Opts = ReportOptions());
 
-/// The schema_version emitted by renderReport.
-inline constexpr int ReportSchemaVersion = 1;
+/// The schema_version emitted by renderReport. Version history:
+///  * 1 — initial envelope (meta/counters/phases/checks).
+///  * 2 — adds the top-level "interrupted" bool and the per-check
+///    "index_bytes" and "bound_reason" fields (see docs/robustness.md for
+///    the migration note; tools/bench_diff.py accepts both versions).
+inline constexpr int ReportSchemaVersion = 2;
 
 /// Rate-limited progress printer for long explorations: call tick() from
 /// the hot loop; roughly every IntervalSec seconds it prints one heartbeat

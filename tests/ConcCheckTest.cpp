@@ -220,6 +220,78 @@ TEST(ConcCheckTest, ThreadBoundReported) {
     void main() { async spam(); }
   )", Opts);
   EXPECT_EQ(R.Outcome, CheckOutcome::BoundExceeded);
+  EXPECT_EQ(R.Bound, gov::BoundReason::States);
+}
+
+TEST(ConcCheckTest, StateBudgetSetsBoundReason) {
+  conc::ConcOptions Opts;
+  Opts.MaxStates = 10;
+  CheckResult R = run(R"(
+    int x = 0;
+    void worker() { x = x + 1; }
+    void main() {
+      async worker();
+      async worker();
+      async worker();
+    }
+  )", Opts);
+  EXPECT_EQ(R.Outcome, CheckOutcome::BoundExceeded);
+  EXPECT_EQ(R.Bound, gov::BoundReason::States);
+}
+
+TEST(ConcCheckTest, InjectedDeadlineTripReportsReason) {
+  conc::ConcOptions Opts;
+  Opts.Budget.TripAtTick = 2;
+  Opts.Budget.TripReason = gov::BoundReason::Deadline;
+  CheckResult R = run(R"(
+    int x = 0;
+    void worker() { x = x + 1; }
+    void main() {
+      async worker();
+      async worker();
+    }
+  )", Opts);
+  EXPECT_EQ(R.Outcome, CheckOutcome::BoundExceeded);
+  EXPECT_EQ(R.Bound, gov::BoundReason::Deadline);
+  EXPECT_NE(R.Message.find("deadline"), std::string::npos);
+}
+
+TEST(ConcCheckTest, InjectedMemoryTripReportsReason) {
+  conc::ConcOptions Opts;
+  Opts.Budget.TripAtTick = 1;
+  Opts.Budget.TripReason = gov::BoundReason::Memory;
+  CheckResult R = run("void main() { assert(true); }", Opts);
+  EXPECT_EQ(R.Outcome, CheckOutcome::BoundExceeded);
+  EXPECT_EQ(R.Bound, gov::BoundReason::Memory);
+}
+
+TEST(ConcCheckTest, InjectedCancellationReportsReason) {
+  gov::CancellationToken Token;
+  conc::ConcOptions Opts;
+  Opts.Budget.Cancel = &Token;
+  Opts.Budget.CancelAtTick = 2;
+  CheckResult R = run(R"(
+    int x = 0;
+    void worker() { x = x + 1; }
+    void main() {
+      async worker();
+      async worker();
+    }
+  )", Opts);
+  EXPECT_EQ(R.Outcome, CheckOutcome::BoundExceeded);
+  EXPECT_EQ(R.Bound, gov::BoundReason::Cancelled);
+  EXPECT_TRUE(Token.isCancelled());
+}
+
+TEST(ConcCheckTest, SafeRunReportsIndexBytes) {
+  CheckResult R = run(R"(
+    int x = 0;
+    void worker() { x = x + 1; }
+    void main() { async worker(); }
+  )");
+  EXPECT_EQ(R.Outcome, CheckOutcome::Safe);
+  EXPECT_EQ(R.Bound, gov::BoundReason::None);
+  EXPECT_GT(R.Exploration.IndexBytes, 0u);
 }
 
 TEST(ConcCheckTest, CounterexampleTraceIdentifiesThreads) {

@@ -64,8 +64,20 @@ void expectSameResults(const DriverResult &A, const DriverResult &B) {
   for (size_t I = 0; I != A.Fields.size(); ++I) {
     EXPECT_EQ(A.Fields[I].FieldIndex, B.Fields[I].FieldIndex) << I;
     EXPECT_EQ(A.Fields[I].Verdict, B.Fields[I].Verdict) << I;
+    EXPECT_EQ(A.Fields[I].Bound, B.Fields[I].Bound) << I;
     EXPECT_EQ(A.Fields[I].StatesExplored, B.Fields[I].StatesExplored) << I;
   }
+}
+
+/// The smallest Table-1 driver with at least \p MinFields fields.
+const DriverSpec *smallestDriverWith(const std::vector<DriverSpec> &Corpus,
+                                     size_t MinFields) {
+  const DriverSpec *D = nullptr;
+  for (const DriverSpec &Spec : Corpus)
+    if (Spec.Fields.size() >= MinFields &&
+        (!D || Spec.Fields.size() < D->Fields.size()))
+      D = &Spec;
+  return D;
 }
 
 TEST(ParallelRunnerTest, JobCountDoesNotChangeDriverResults) {
@@ -149,6 +161,113 @@ TEST(ParallelRunnerTest, JobCountDoesNotChangeTheTelemetryReport) {
   // And the report actually has content: one check record per field.
   for (const FieldSpec &F : D->Fields)
     EXPECT_NE(R1.find(D->Name + "." + F.Name), std::string::npos) << F.Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Fault isolation: one failing field never takes down the corpus run
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelRunnerTest, InjectedFaultDegradesOneFieldOnly) {
+  auto Corpus = getTable1Corpus();
+  const DriverSpec *D = smallestDriverWith(Corpus, 3);
+  ASSERT_NE(D, nullptr);
+
+  CorpusRunOptions Clean;
+  Clean.Jobs = 1;
+  DriverResult Baseline = runDriver(*D, Clean);
+
+  // Field 1 throws bad_alloc mid-check; the runner must degrade it to a
+  // BoundExceeded(memory) result and leave every other field untouched.
+  CorpusRunOptions Faulty = Clean;
+  Faulty.InjectFailField = 1;
+  DriverResult R = runDriver(*D, Faulty);
+
+  ASSERT_EQ(R.Fields.size(), Baseline.Fields.size());
+  EXPECT_EQ(R.Fields[1].Verdict, core::KissVerdict::BoundExceeded);
+  EXPECT_EQ(R.Fields[1].Bound, gov::BoundReason::Memory);
+  EXPECT_EQ(R.Fields[1].StatesExplored, 0u);
+  for (size_t I = 0; I != R.Fields.size(); ++I) {
+    if (I == 1)
+      continue;
+    EXPECT_EQ(R.Fields[I].Verdict, Baseline.Fields[I].Verdict) << I;
+    EXPECT_EQ(R.Fields[I].Bound, Baseline.Fields[I].Bound) << I;
+    EXPECT_EQ(R.Fields[I].StatesExplored, Baseline.Fields[I].StatesExplored)
+        << I;
+  }
+  EXPECT_EQ(R.BoundExceeded, Baseline.BoundExceeded + 1);
+}
+
+TEST(ParallelRunnerTest, InjectedTripReportsRequestedReason) {
+  auto Corpus = getTable1Corpus();
+  const DriverSpec *D = smallestDriverWith(Corpus, 2);
+  ASSERT_NE(D, nullptr);
+
+  CorpusRunOptions Opts;
+  Opts.Jobs = 1;
+  Opts.InjectTripField = 0;
+  Opts.FieldBudget.TripReason = gov::BoundReason::Deadline;
+  DriverResult R = runDriver(*D, Opts);
+
+  ASSERT_GE(R.Fields.size(), 2u);
+  EXPECT_EQ(R.Fields[0].Verdict, core::KissVerdict::BoundExceeded);
+  EXPECT_EQ(R.Fields[0].Bound, gov::BoundReason::Deadline);
+  // The untargeted fields ran to their normal verdicts.
+  EXPECT_NE(R.Fields[1].Bound, gov::BoundReason::Deadline);
+}
+
+TEST(ParallelRunnerTest, FaultInjectedRunsAreJobCountInvariant) {
+  // The acceptance contract: with one field killed by an injected fault,
+  // jobs=1 and jobs=4 still agree on every result and render byte-identical
+  // reports (timings zeroed).
+  auto Corpus = getTable1Corpus();
+  const DriverSpec *D = smallestDriverWith(Corpus, 3);
+  ASSERT_NE(D, nullptr);
+
+  auto runAt = [&](unsigned Jobs, telemetry::RunRecorder *Rec) {
+    CorpusRunOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.InjectFailField = 1;
+    Opts.Recorder = Rec;
+    return runDriver(*D, Opts);
+  };
+
+  telemetry::RunRecorder Rec1, Rec4;
+  DriverResult R1 = runAt(1, &Rec1);
+  DriverResult R4 = runAt(4, &Rec4);
+  expectSameResults(R1, R4);
+
+  telemetry::ReportOptions ZeroTimings;
+  ZeroTimings.ZeroTimings = true;
+  std::string Report1 = renderReport(Rec1, ZeroTimings);
+  std::string Report4 = renderReport(Rec4, ZeroTimings);
+  EXPECT_EQ(Report1, Report4);
+  EXPECT_NE(Report1.find("\"bound_reason\": \"memory\""), std::string::npos);
+}
+
+TEST(ParallelRunnerTest, CancelledRunShortCircuitsAndMarksInterrupted) {
+  auto Corpus = getTable1Corpus();
+  const DriverSpec *D = smallestDriverWith(Corpus, 2);
+  ASSERT_NE(D, nullptr);
+
+  // A token cancelled before the run starts: every field drains without
+  // work and the report is marked interrupted.
+  gov::CancellationToken Token;
+  Token.requestCancel();
+  telemetry::RunRecorder Rec;
+  CorpusRunOptions Opts;
+  Opts.Jobs = 1;
+  Opts.FieldBudget.Cancel = &Token;
+  Opts.Recorder = &Rec;
+  DriverResult R = runDriver(*D, Opts);
+
+  for (const FieldResult &F : R.Fields) {
+    EXPECT_EQ(F.Verdict, core::KissVerdict::BoundExceeded);
+    EXPECT_EQ(F.Bound, gov::BoundReason::Cancelled);
+    EXPECT_EQ(F.StatesExplored, 0u);
+  }
+  EXPECT_TRUE(Rec.interrupted());
+  EXPECT_NE(renderReport(Rec).find("\"interrupted\": true"),
+            std::string::npos);
 }
 
 } // namespace

@@ -293,6 +293,70 @@ TEST(SeqCheckTest, StateBudgetReportsBoundExceeded) {
     }
   )", Opts);
   EXPECT_EQ(R.Outcome, CheckOutcome::BoundExceeded);
+  EXPECT_EQ(R.Bound, gov::BoundReason::States);
+}
+
+TEST(SeqCheckTest, InjectedDeadlineTripReportsReason) {
+  const std::string Source = R"(
+    void main() {
+      int x = nondet_int(0, 100);
+      assert(x >= 0);
+    }
+  )";
+  CheckResult Full = run(Source);
+  ASSERT_EQ(Full.Outcome, CheckOutcome::Safe);
+
+  seqcheck::SeqOptions Opts;
+  Opts.Budget.TripAtTick = 3; // Trip on the third expanded state.
+  Opts.Budget.TripReason = gov::BoundReason::Deadline;
+  CheckResult R = run(Source, Opts);
+  EXPECT_EQ(R.Outcome, CheckOutcome::BoundExceeded);
+  EXPECT_EQ(R.Bound, gov::BoundReason::Deadline);
+  EXPECT_NE(R.Message.find("deadline"), std::string::npos);
+  // The trip cut exploration short, and deterministically so.
+  EXPECT_LT(R.StatesExplored, Full.StatesExplored);
+  CheckResult Again = run(Source, Opts);
+  EXPECT_EQ(Again.StatesExplored, R.StatesExplored);
+}
+
+TEST(SeqCheckTest, InjectedMemoryTripReportsReason) {
+  seqcheck::SeqOptions Opts;
+  Opts.Budget.TripAtTick = 1;
+  Opts.Budget.TripReason = gov::BoundReason::Memory;
+  CheckResult R = run("void main() { assert(true); }", Opts);
+  EXPECT_EQ(R.Outcome, CheckOutcome::BoundExceeded);
+  EXPECT_EQ(R.Bound, gov::BoundReason::Memory);
+}
+
+TEST(SeqCheckTest, InjectedCancellationReportsReason) {
+  gov::CancellationToken Token;
+  seqcheck::SeqOptions Opts;
+  Opts.Budget.Cancel = &Token;
+  Opts.Budget.CancelAtTick = 2;
+  CheckResult R = run(R"(
+    void main() {
+      int x = nondet_int(0, 100);
+      assert(x >= 0);
+    }
+  )", Opts);
+  EXPECT_EQ(R.Outcome, CheckOutcome::BoundExceeded);
+  EXPECT_EQ(R.Bound, gov::BoundReason::Cancelled);
+  EXPECT_TRUE(Token.isCancelled());
+}
+
+TEST(SeqCheckTest, SafeRunReportsNoBoundAndIndexBytes) {
+  CheckResult R = run(R"(
+    void main() {
+      int x = nondet_int(0, 10);
+      assert(x >= 0);
+    }
+  )");
+  EXPECT_EQ(R.Outcome, CheckOutcome::Safe);
+  EXPECT_EQ(R.Bound, gov::BoundReason::None);
+  // The visited-set index is populated, so accounted index bytes are
+  // nonzero alongside the arena bytes.
+  EXPECT_GT(R.Exploration.IndexBytes, 0u);
+  EXPECT_GT(R.Exploration.ArenaBytes, 0u);
 }
 
 TEST(SeqCheckTest, HeapGarbageIsCanonicalizedAway) {

@@ -96,13 +96,23 @@ TEST(TelemetryTest, CountersAccumulateAndRenderSorted) {
 TEST(TelemetryTest, EmptyRecorderRendersTheBareEnvelope) {
   RunRecorder Rec;
   EXPECT_EQ(renderReport(Rec), "{\n"
-                               "  \"schema_version\": 1,\n"
+                               "  \"schema_version\": 2,\n"
                                "  \"kind\": \"kiss-telemetry-report\",\n"
+                               "  \"interrupted\": false,\n"
                                "  \"meta\": {},\n"
                                "  \"counters\": {},\n"
                                "  \"phases\": [],\n"
                                "  \"checks\": []\n"
                                "}\n");
+}
+
+TEST(TelemetryTest, InterruptedFlagRendersTrue) {
+  RunRecorder Rec;
+  EXPECT_FALSE(Rec.interrupted());
+  Rec.setInterrupted();
+  EXPECT_TRUE(Rec.interrupted());
+  EXPECT_NE(renderReport(Rec).find("\"interrupted\": true"),
+            std::string::npos);
 }
 
 TEST(TelemetryTest, ZeroTimingsZeroesEveryWallMsField) {
@@ -183,8 +193,10 @@ std::string checkedReport() {
   C.Transitions = R.Sequential.TransitionsExplored;
   C.DedupHits = R.Sequential.Exploration.DedupHits;
   C.ArenaBytes = R.Sequential.Exploration.ArenaBytes;
+  C.IndexBytes = R.Sequential.Exploration.IndexBytes;
   C.FrontierPeak = R.Sequential.Exploration.FrontierPeak;
   C.DepthMax = R.Sequential.Exploration.DepthMax;
+  C.BoundReason = gov::getBoundReasonName(R.boundReason());
   Rec.addCheck(std::move(C));
 
   ReportOptions ZeroTimings;
@@ -198,8 +210,9 @@ std::string checkedReport() {
 /// actual value.
 const char *const GOLDEN_REPORT =
     "{\n"
-    "  \"schema_version\": 1,\n"
+    "  \"schema_version\": 2,\n"
     "  \"kind\": \"kiss-telemetry-report\",\n"
+    "  \"interrupted\": false,\n"
     "  \"meta\": {\"input\": \"golden.kiss\"},\n"
     "  \"counters\": {},\n"
     "  \"phases\": [\n"
@@ -218,8 +231,9 @@ const char *const GOLDEN_REPORT =
     "  \"checks\": [\n"
     "    {\"name\": \"golden.kiss\", \"outcome\": \"no error found\", "
     "\"wall_ms\": 0.000, \"states\": 344, \"transitions\": 358, "
-    "\"dedup_hits\": 15, \"arena_bytes\": 38999, \"frontier_peak\": 18, "
-    "\"depth_max\": 63}\n"
+    "\"dedup_hits\": 15, \"arena_bytes\": 38999, \"index_bytes\": 21888, "
+    "\"frontier_peak\": 18, \"depth_max\": 63, "
+    "\"bound_reason\": \"none\"}\n"
     "  ]\n"
     "}\n";
 

@@ -4,10 +4,16 @@
 The bench binaries (microbench --json-only, table1_races, table2_refined,
 scalability) all emit the same envelope through telemetry::writeReport:
 
-    {"schema_version": 1, "kind": "kiss-telemetry-report",
-     "meta": {...}, "counters": {...},
+    {"schema_version": 2, "kind": "kiss-telemetry-report",
+     "interrupted": false, "meta": {...}, "counters": {...},
      "phases": [{"name", "wall_ms", "counters"}, ...],
-     "checks": [{"name", "outcome", "wall_ms", "states", ...}, ...]}
+     "checks": [{"name", "outcome", "wall_ms", "states", ...,
+                 "index_bytes", ..., "bound_reason"}, ...]}
+
+Schema v2 (see docs/robustness.md) adds a top-level "interrupted" bool and
+per-check "index_bytes" / "bound_reason". This script accepts both v1 and
+v2 reports so committed v1 baselines keep working: the v2-only fields are
+optional during validation and only compared when present on both sides.
 
 Usage:
     bench_diff.py BASELINE.json CURRENT.json [--threshold=0.20] [--counts-only]
@@ -29,13 +35,17 @@ Exit codes: 0 ok, 1 regression/validation failure, 2 usage/IO error.
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSIONS = (1, 2)
 KIND = "kiss-telemetry-report"
 
 # Deterministic per-check fields: identical across runs and --jobs settings
 # for the same binary, so any change is a real behavior change, not noise.
 COUNT_FIELDS = ("states", "transitions", "dedup_hits", "arena_bytes",
                 "frontier_peak", "depth_max")
+
+# Added in schema v2; optional so v1 baselines still validate. Counts among
+# them are compared only when both reports carry them.
+V2_COUNT_FIELDS = ("index_bytes",)
 
 
 def fail_usage(msg):
@@ -61,9 +71,13 @@ def validate(report, where="report"):
     problems = []
     if not isinstance(report, dict):
         return ["%s: not a JSON object" % where]
-    if report.get("schema_version") != SCHEMA_VERSION:
-        problems.append("%s: schema_version is %r, expected %d"
-                        % (where, report.get("schema_version"), SCHEMA_VERSION))
+    if report.get("schema_version") not in SCHEMA_VERSIONS:
+        problems.append("%s: schema_version is %r, expected one of %s"
+                        % (where, report.get("schema_version"),
+                           list(SCHEMA_VERSIONS)))
+    if "interrupted" in report and \
+            not isinstance(report["interrupted"], bool):
+        problems.append("%s: 'interrupted' is not a bool" % where)
     if report.get("kind") != KIND:
         problems.append("%s: kind is %r, expected %r"
                         % (where, report.get("kind"), KIND))
@@ -86,6 +100,12 @@ def validate(report, where="report"):
         for field in COUNT_FIELDS:
             if not isinstance(c.get(field), int):
                 problems.append("%s: checks[%d] bad field %r" % (where, i, field))
+        for field in V2_COUNT_FIELDS:
+            if field in c and not isinstance(c[field], int):
+                problems.append("%s: checks[%d] bad field %r" % (where, i, field))
+        if "bound_reason" in c and not isinstance(c["bound_reason"], str):
+            problems.append("%s: checks[%d] bad field 'bound_reason'"
+                            % (where, i))
     return problems
 
 
@@ -118,7 +138,11 @@ def compare(base, cur, threshold, counts_only):
         if b.get("outcome") != c.get("outcome"):
             regressions.append("check %s: outcome %s -> %s"
                                % (name, b.get("outcome"), c.get("outcome")))
-        for field in COUNT_FIELDS:
+        if "bound_reason" in b and "bound_reason" in c and \
+                b["bound_reason"] != c["bound_reason"]:
+            regressions.append("check %s: bound_reason %s -> %s"
+                               % (name, b["bound_reason"], c["bound_reason"]))
+        for field in COUNT_FIELDS + V2_COUNT_FIELDS:
             if field in b and field in c and \
                     ratio_regressed(b[field], c[field], threshold):
                 regressions.append("check %s: %s %d -> %d"
@@ -149,9 +173,9 @@ def compare(base, cur, threshold, counts_only):
 
 
 def selftest():
-    def report(states, wall, counters=None):
-        return {
-            "schema_version": 1, "kind": KIND, "meta": {},
+    def report(states, wall, counters=None, version=1):
+        r = {
+            "schema_version": version, "kind": KIND, "meta": {},
             "counters": counters or {},
             "phases": [{"name": "explore", "wall_ms": wall, "counters": {}}],
             "checks": [{"name": "c", "outcome": "safe", "wall_ms": wall,
@@ -159,6 +183,11 @@ def selftest():
                         "dedup_hits": 1, "arena_bytes": 64,
                         "frontier_peak": 4, "depth_max": 8}],
         }
+        if version >= 2:
+            r["interrupted"] = False
+            r["checks"][0]["index_bytes"] = 32
+            r["checks"][0]["bound_reason"] = "none"
+        return r
 
     base = report(1000, 10.0)
     cases = [
@@ -169,6 +198,8 @@ def selftest():
         (report(1000, 14.0), False, True),    # +40% time regresses
         (report(1000, 14.0), True, False),    # ... unless counts-only
         (report(1000, 10.0, {"races": 40}), True, True),  # counter growth
+        # v1 baseline vs v2 current: v2-only fields are ignored one-sided.
+        (report(1000, 10.0, version=2), True, False),
     ]
     base["counters"] = {"races": 30}
     ok = True
@@ -182,13 +213,22 @@ def selftest():
             ok = False
             sys.stderr.write("selftest case %d: expected %s, got %s (%s)\n"
                              % (i, expect, got, regs))
-    probs = validate(report(1, 1.0))
-    if probs:
-        ok = False
-        sys.stderr.write("selftest: valid report rejected: %s\n" % probs)
-    if not validate({"schema_version": 2}):
+    for version in (1, 2):
+        probs = validate(report(1, 1.0, version=version))
+        if probs:
+            ok = False
+            sys.stderr.write("selftest: valid v%d report rejected: %s\n"
+                             % (version, probs))
+    if not validate({"schema_version": 3}):
         ok = False
         sys.stderr.write("selftest: invalid report accepted\n")
+    # v2-vs-v2 with a bound_reason flip must flag.
+    b2, c2 = report(1000, 10.0, version=2), report(1000, 10.0, version=2)
+    c2["checks"][0]["bound_reason"] = "deadline"
+    regs, _ = compare(b2, c2, 0.20, True)
+    if not regs:
+        ok = False
+        sys.stderr.write("selftest: bound_reason change not flagged\n")
     print("selftest %s" % ("PASSED" if ok else "FAILED"))
     return 0 if ok else 1
 
@@ -204,7 +244,8 @@ def main(argv):
         for p in problems:
             sys.stderr.write("bench_diff: %s\n" % p)
         if not problems:
-            print("%s: valid %s (schema v%d)" % (argv[1], KIND, SCHEMA_VERSION))
+            print("%s: valid %s (schema v%r)"
+                  % (argv[1], KIND, load(argv[1]).get("schema_version")))
         return 1 if problems else 0
 
     threshold = 0.20

@@ -21,9 +21,13 @@
 ///   kisscheck --report=out.json file.kiss        machine-readable telemetry
 ///   kisscheck --progress=5 file.kiss             heartbeats during long runs
 ///   kisscheck --max-states=N ... --no-alias ...  budgets / ablations
+///   kisscheck --timeout=20 --memory-budget=800   the paper's §6 resource
+///                                                bound, literally
 ///
-/// Exit codes: 0 = no error found, 1 = error found, 2 = usage/compile
-/// problem, 3 = bound exceeded.
+/// Exit codes: 0 = no error found, 1 = error found, 2 = usage/compile/IO
+/// problem, 3 = bound exceeded or interrupted (SIGINT/SIGTERM cancel the
+/// run cooperatively and flush a partial --report marked
+/// "interrupted": true). The full contract lives in docs/robustness.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,10 +36,12 @@
 #include "kiss/KissChecker.h"
 #include "lang/ASTPrinter.h"
 #include "lower/Pipeline.h"
+#include "support/Governor.h"
 #include "support/Parallel.h"
 #include "telemetry/Telemetry.h"
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -46,6 +52,12 @@ using namespace kiss;
 using namespace kiss::core;
 
 namespace {
+
+/// The process-wide cancellation token: set by SIGINT/SIGTERM (and by the
+/// --inject-cancel-at test hook), polled cooperatively by every checker.
+gov::CancellationToken GlobalCancel;
+
+extern "C" void handleTerminationSignal(int) { GlobalCancel.requestCancel(); }
 
 struct CliOptions {
   std::string InputFile;
@@ -61,7 +73,27 @@ struct CliOptions {
   unsigned Jobs = 1;
   std::string ReportPath;  ///< --report=<path>; empty = no report.
   double ProgressSec = 0;  ///< --progress interval; 0 = no heartbeats.
+  double TimeoutSec = 0;   ///< --timeout per-check deadline; 0 = none.
+  uint64_t MemoryBudgetMB = 0; ///< --memory-budget per check; 0 = none.
+  /// --inject-trip=N:REASON — deterministic budget trip (tests).
+  uint64_t InjectTripTick = 0;
+  gov::BoundReason InjectTripReason = gov::BoundReason::Deadline;
+  /// --inject-cancel-at=N — simulated SIGINT at governor tick N (tests).
+  uint64_t InjectCancelTick = 0;
 };
+
+/// The per-check resource budget from the CLI flags. Every check of the
+/// run shares GlobalCancel, so one SIGINT drains them all.
+gov::RunBudget makeBudget(const CliOptions &Opts) {
+  gov::RunBudget B;
+  B.DeadlineSec = Opts.TimeoutSec;
+  B.MemoryBytes = Opts.MemoryBudgetMB * 1024 * 1024;
+  B.Cancel = &GlobalCancel;
+  B.TripAtTick = Opts.InjectTripTick;
+  B.TripReason = Opts.InjectTripReason;
+  B.CancelAtTick = Opts.InjectCancelTick;
+  return B;
+}
 
 void printUsage() {
   std::fprintf(
@@ -72,6 +104,11 @@ void printUsage() {
       "  --max-ts=<n>                    ts multiset bound MAX "
       "(default 0)\n"
       "  --max-states=<n>                state budget (default 1000000)\n"
+      "  --timeout=<secs>                wall-clock deadline per check;\n"
+      "                                  exceeding it is a 'bound exceeded'\n"
+      "                                  verdict (reason: deadline), exit 3\n"
+      "  --memory-budget=<mb>            visited-set byte budget per check\n"
+      "                                  (reason: memory), exit 3\n"
       "  --jobs=<n>                      worker threads for --race-all "
       "(0 = all cores)\n"
       "  --no-alias                      disable probe pruning\n"
@@ -94,7 +131,18 @@ void printUsage() {
       "                                  arena bytes, frontier peak, BFS\n"
       "                                  depth, probe counts\n"
       "  --demo                          check the built-in Figure-2 "
-      "model\n");
+      "model\n"
+      "  --inject-trip=<n>:<reason>      (testing) trip the budget at\n"
+      "                                  governor tick <n> with reason\n"
+      "                                  deadline|memory — deterministic\n"
+      "                                  stand-in for a real budget trip\n"
+      "  --inject-cancel-at=<n>          (testing) simulate SIGINT at\n"
+      "                                  governor tick <n>: cancel, drain,\n"
+      "                                  flush a partial report with\n"
+      "                                  interrupted: true, exit 3\n"
+      "\n"
+      "exit codes: 0 no error found; 1 error found; 2 usage/compile/IO\n"
+      "problem; 3 bound exceeded or interrupted (see docs/robustness.md)\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts, bool &Demo) {
@@ -109,6 +157,40 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts, bool &Demo) {
       Opts.MaxTs = std::strtoul(Arg.c_str() + 9, nullptr, 10);
     } else if (Arg.rfind("--max-states=", 0) == 0) {
       Opts.MaxStates = std::strtoull(Arg.c_str() + 13, nullptr, 10);
+    } else if (Arg.rfind("--timeout=", 0) == 0) {
+      Opts.TimeoutSec = std::strtod(Arg.c_str() + 10, nullptr);
+      if (Opts.TimeoutSec <= 0) {
+        std::fprintf(stderr, "--timeout needs a positive number of seconds\n");
+        return false;
+      }
+    } else if (Arg.rfind("--memory-budget=", 0) == 0) {
+      Opts.MemoryBudgetMB = std::strtoull(Arg.c_str() + 16, nullptr, 10);
+      if (Opts.MemoryBudgetMB == 0) {
+        std::fprintf(stderr, "--memory-budget needs a positive MB count\n");
+        return false;
+      }
+    } else if (Arg.rfind("--inject-trip=", 0) == 0) {
+      std::string Spec = Arg.substr(14);
+      auto Colon = Spec.find(':');
+      if (Colon == std::string::npos) {
+        std::fprintf(stderr, "--inject-trip needs <tick>:<reason>\n");
+        return false;
+      }
+      Opts.InjectTripTick = std::strtoull(Spec.c_str(), nullptr, 10);
+      if (Opts.InjectTripTick == 0 ||
+          !gov::parseBoundReason(Spec.substr(Colon + 1),
+                                 Opts.InjectTripReason)) {
+        std::fprintf(stderr,
+                     "--inject-trip needs a positive tick and a reason "
+                     "(deadline|memory|states|cancelled)\n");
+        return false;
+      }
+    } else if (Arg.rfind("--inject-cancel-at=", 0) == 0) {
+      Opts.InjectCancelTick = std::strtoull(Arg.c_str() + 19, nullptr, 10);
+      if (Opts.InjectCancelTick == 0) {
+        std::fprintf(stderr, "--inject-cancel-at needs a positive tick\n");
+        return false;
+      }
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       Opts.Jobs = std::strtoul(Arg.c_str() + 7, nullptr, 10);
     } else if (Arg.rfind("--report=", 0) == 0) {
@@ -187,8 +269,10 @@ telemetry::CheckRecord makeCheckRecord(std::string Name, std::string Outcome,
   C.Transitions = R.TransitionsExplored;
   C.DedupHits = R.Exploration.DedupHits;
   C.ArenaBytes = R.Exploration.ArenaBytes;
+  C.IndexBytes = R.Exploration.IndexBytes;
   C.FrontierPeak = R.Exploration.FrontierPeak;
   C.DepthMax = R.Exploration.DepthMax;
+  C.BoundReason = gov::getBoundReasonName(R.Bound);
   return C;
 }
 
@@ -204,10 +288,13 @@ void printExplorationStats(const rt::CheckResult &R) {
               static_cast<unsigned long long>(E.HashProbes),
               static_cast<unsigned long long>(E.KeyVerifies),
               static_cast<unsigned long long>(E.HashCollisions));
-  std::printf("arena bytes: %llu, frontier peak: %llu, depth max: %llu\n",
+  std::printf("arena bytes: %llu, index bytes: %llu, frontier peak: %llu, "
+              "depth max: %llu\n",
               static_cast<unsigned long long>(E.ArenaBytes),
+              static_cast<unsigned long long>(E.IndexBytes),
               static_cast<unsigned long long>(E.FrontierPeak),
               static_cast<unsigned long long>(E.DepthMax));
+  std::printf("bound reason: %s\n", gov::getBoundReasonName(R.Bound));
 }
 
 double msSince(std::chrono::steady_clock::time_point Start) {
@@ -250,6 +337,16 @@ int runRaceAll(const lang::Program &P, const CliOptions &Opts,
 
   parallelFor(Rows.size(), Opts.Jobs, [&](size_t I) {
     auto Start = std::chrono::steady_clock::now();
+    // Cancel-and-drain: locations not yet started degrade to a cancelled
+    // bound-exceeded row without running; locations already exploring
+    // trip through their own governor.
+    if (GlobalCancel.isCancelled()) {
+      Rows[I].V = KissVerdict::BoundExceeded;
+      Rows[I].Sequential.Outcome = rt::CheckOutcome::BoundExceeded;
+      Rows[I].Sequential.Bound = gov::BoundReason::Cancelled;
+      Rows[I].Sequential.Message = "run cancelled";
+      return;
+    }
     lower::CompilerContext TaskCtx;
     auto TaskP = lower::compileToCore(TaskCtx, Name, Source);
     RaceTarget T;
@@ -261,6 +358,7 @@ int runRaceAll(const lang::Program &P, const CliOptions &Opts,
     KO.MaxTs = Opts.MaxTs;
     KO.UseAliasAnalysis = Opts.UseAlias;
     KO.Seq.MaxStates = Opts.MaxStates;
+    KO.Seq.Budget = makeBudget(Opts);
     KissReport R = checkRace(*TaskP, T, KO, TaskCtx.Diags);
     Rows[I].V = R.Verdict;
     Rows[I].Sequential = std::move(R.Sequential);
@@ -270,8 +368,13 @@ int runRaceAll(const lang::Program &P, const CliOptions &Opts,
   unsigned Races = 0, Clean = 0, Other = 0;
   std::printf("%-40s %-20s %10s\n", "location", "verdict", "states");
   for (const Row &R : Rows) {
-    std::printf("%-40s %-20s %10llu\n", R.Name.c_str(),
-                getVerdictName(R.V),
+    std::string VerdictText = getVerdictName(R.V);
+    if (R.V == KissVerdict::BoundExceeded &&
+        R.Sequential.Bound != gov::BoundReason::None)
+      VerdictText +=
+          std::string(" (") + gov::getBoundReasonName(R.Sequential.Bound) +
+          ")";
+    std::printf("%-40s %-20s %10llu\n", R.Name.c_str(), VerdictText.c_str(),
                 static_cast<unsigned long long>(
                     R.Sequential.StatesExplored));
     if (R.V == KissVerdict::RaceDetected)
@@ -289,6 +392,15 @@ int runRaceAll(const lang::Program &P, const CliOptions &Opts,
   Rec.addCounter("inconclusive", Other);
   std::printf("\nsummary: %u race(s), %u clean, %u inconclusive over %zu "
               "locations\n", Races, Clean, Other, Rows.size());
+  if (GlobalCancel.isCancelled()) {
+    // Interrupted run: flush what we have as a valid *partial* report
+    // marked interrupted, then exit through the bound-exceeded code.
+    Rec.setInterrupted(true);
+    std::printf("run interrupted; partial results above\n");
+    if (!maybeWriteReport(Opts, Rec))
+      return 2;
+    return 3;
+  }
   if (!maybeWriteReport(Opts, Rec))
     return 2;
   return Races ? 1 : 0;
@@ -304,6 +416,7 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
 
   conc::ConcOptions CO;
   CO.MaxStates = Opts.MaxStates;
+  CO.Budget = makeBudget(Opts);
   CO.Progress = Beat;
   auto Start = std::chrono::steady_clock::now();
   auto CheckSpan = Rec.beginPhase("check");
@@ -314,7 +427,12 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
   Rec.addCheck(makeCheckRecord(Name, rt::getOutcomeName(R.Outcome), R,
                                msSince(Start)));
 
-  std::printf("verdict: %s\n", rt::getOutcomeName(R.Outcome));
+  if (R.Outcome == rt::CheckOutcome::BoundExceeded &&
+      R.Bound != gov::BoundReason::None)
+    std::printf("verdict: %s (%s)\n", rt::getOutcomeName(R.Outcome),
+                gov::getBoundReasonName(R.Bound));
+  else
+    std::printf("verdict: %s\n", rt::getOutcomeName(R.Outcome));
   if (!R.Message.empty())
     std::printf("detail: %s\n", R.Message.c_str());
   if (R.foundError())
@@ -322,6 +440,8 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
                 rt::formatTrace(R.Trace, P, CFG, &Ctx.SM).c_str());
   if (Opts.ShowStats)
     printExplorationStats(R);
+  if (R.Bound == gov::BoundReason::Cancelled || GlobalCancel.isCancelled())
+    Rec.setInterrupted(true);
   if (!maybeWriteReport(Opts, Rec))
     return 2;
   if (R.Outcome == rt::CheckOutcome::BoundExceeded)
@@ -338,6 +458,12 @@ int main(int Argc, char **Argv) {
     printUsage();
     return 2;
   }
+
+  // Cooperative shutdown: the first SIGINT/SIGTERM cancels every running
+  // and queued check; the run drains, flushes a partial report marked
+  // interrupted, and exits 3 (never a crash, never a lost report).
+  std::signal(SIGINT, handleTerminationSignal);
+  std::signal(SIGTERM, handleTerminationSignal);
 
   std::string Source;
   std::string Name;
@@ -397,6 +523,7 @@ int main(int Argc, char **Argv) {
   KO.MaxTs = Opts.MaxTs;
   KO.UseAliasAnalysis = Opts.UseAlias;
   KO.Seq.MaxStates = Opts.MaxStates;
+  KO.Seq.Budget = makeBudget(Opts);
   KO.Seq.Progress = BeatPtr;
   KO.Recorder = &Rec;
 
@@ -429,7 +556,12 @@ int main(int Argc, char **Argv) {
   Rec.addCounter("probes_emitted", R.Stats.ProbesEmitted);
   Rec.addCounter("probes_pruned", R.Stats.ProbesPruned);
 
-  std::printf("verdict: %s\n", getVerdictName(R.Verdict));
+  if (R.Verdict == KissVerdict::BoundExceeded &&
+      R.Sequential.Bound != gov::BoundReason::None)
+    std::printf("verdict: %s (%s)\n", getVerdictName(R.Verdict),
+                gov::getBoundReasonName(R.Sequential.Bound));
+  else
+    std::printf("verdict: %s\n", getVerdictName(R.Verdict));
   if (!R.Message.empty())
     std::printf("detail: %s\n", R.Message.c_str());
   if (R.foundError()) {
@@ -442,6 +574,9 @@ int main(int Argc, char **Argv) {
     std::printf("probes: %u emitted, %u pruned\n", R.Stats.ProbesEmitted,
                 R.Stats.ProbesPruned);
   }
+  if (R.Sequential.Bound == gov::BoundReason::Cancelled ||
+      GlobalCancel.isCancelled())
+    Rec.setInterrupted(true);
   if (!maybeWriteReport(Opts, Rec))
     return 2;
   if (R.Verdict == KissVerdict::BoundExceeded)
