@@ -1,0 +1,272 @@
+//===- Generator.cpp ------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Generator.h"
+
+using namespace kiss;
+using namespace kiss::fuzz;
+
+namespace {
+
+/// Emission context of one program: the options, the RNG, and the scalar
+/// names in scope. Compound statements are emitted on a single line so the
+/// shrinker can delete whole statements at line granularity.
+class Emitter {
+public:
+  Emitter(Rng &R, const GenOptions &Opts) : R(R), Opts(Opts) {}
+
+  std::string intVar() {
+    return "g" + std::to_string(R.next(Opts.IntGlobals));
+  }
+  std::string boolVar() {
+    return "b" + std::to_string(R.next(Opts.BoolGlobals));
+  }
+  std::string intConst() { return std::to_string(R.next(Opts.ConstRange + 1)); }
+
+  /// A boolean condition over the globals.
+  std::string cond() {
+    switch (R.next(5)) {
+    case 0:
+      return boolVar();
+    case 1:
+      return "!" + boolVar();
+    case 2:
+      return intVar() + " == " + intConst();
+    case 3:
+      return intVar() + " <= " + intConst();
+    default:
+      return intVar() + " != " + intConst();
+    }
+  }
+
+  /// An int-valued expression. With \p AllowGrowth false the value is
+  /// drawn from the existing value set (constants, other variables,
+  /// bounded nondet) so iter bodies cannot grow the state space.
+  std::string intExpr(bool AllowGrowth, bool AllowCall) {
+    unsigned Arms = AllowGrowth ? (AllowCall && Opts.Helpers ? 6 : 5) : 3;
+    switch (R.next(Arms)) {
+    case 0:
+      return intConst();
+    case 1:
+      return intVar();
+    case 2:
+      return "nondet_int(0, " + std::to_string(Opts.ConstRange) + ")";
+    case 3:
+      return intVar() + " + " + intConst();
+    case 4:
+      return intVar() + " + " + intVar();
+    default:
+      return "h" + std::to_string(R.next(Opts.Helpers)) + "(" + intVar() +
+             ")";
+    }
+  }
+
+  std::string boolExpr() {
+    switch (R.next(5)) {
+    case 0:
+      return R.chance(50) ? "true" : "false";
+    case 1:
+      return "!" + boolVar();
+    case 2:
+      return boolVar();
+    case 3:
+      return "nondet_bool()";
+    default:
+      return intVar() + " == " + intConst();
+    }
+  }
+
+  /// One statement (no trailing newline). Flags:
+  ///  * Depth — remaining nesting budget for compound statements;
+  ///  * AllowGrowth — false inside iter (see intExpr);
+  ///  * AllowCall — false inside atomic (the core fragment forbids it);
+  ///  * AllowAssert — false where an always-failing assert would make the
+  ///    whole family trivially erroneous (main's fork prologue).
+  std::string stmt(unsigned Depth, bool AllowGrowth, bool AllowCall,
+                   bool AllowAssert) {
+    // Weighted arm choice: simple assignments dominate, compound forms
+    // and asserts are salted in.
+    unsigned Roll = R.next(100);
+    if (Roll < 22)
+      return intVar() + " = " + intExpr(AllowGrowth, AllowCall) + ";";
+    if (Roll < 36)
+      return boolVar() + " = " + boolExpr() + ";";
+    if (Roll < 44 && Opts.WithPointers)
+      return pointerStmt(AllowGrowth);
+    if (Roll < 52 && Depth > 0)
+      return ifStmt(Depth, AllowGrowth, AllowCall, AllowAssert);
+    if (Roll < 60 && Depth > 0)
+      return "choice { " + block(1 + R.next(2), Depth - 1, AllowGrowth,
+                                 AllowCall, AllowAssert) +
+             " } or { " +
+             block(1, Depth - 1, AllowGrowth, AllowCall, AllowAssert) + " }";
+    if (Roll < 66 && Depth > 0)
+      return "iter { " +
+             block(1, Depth - 1, /*AllowGrowth=*/false, AllowCall,
+                   /*AllowAssert=*/false) +
+             " }";
+    if (Roll < 74 && Depth > 0 && AllowCall)
+      return "atomic { " +
+             block(1 + R.next(2), 0, AllowGrowth, /*AllowCall=*/false,
+                   /*AllowAssert=*/false) +
+             " }";
+    if (Roll < 80)
+      return "assume(" + cond() + ");";
+    if (Roll < 86 && AllowCall && Opts.Helpers)
+      return intVar() + " = h" + std::to_string(R.next(Opts.Helpers)) + "(" +
+             intExpr(false, false) + ");";
+    if (Roll < 96 && AllowAssert && Opts.WithAsserts)
+      return assertStmt();
+    return "skip;";
+  }
+
+  /// \p N statements joined by single spaces (single-line block body).
+  std::string block(unsigned N, unsigned Depth, bool AllowGrowth,
+                    bool AllowCall, bool AllowAssert) {
+    std::string Out;
+    for (unsigned I = 0; I != N; ++I) {
+      if (I)
+        Out += ' ';
+      Out += stmt(Depth, AllowGrowth, AllowCall, AllowAssert);
+    }
+    return Out;
+  }
+
+private:
+  std::string ifStmt(unsigned Depth, bool AllowGrowth, bool AllowCall,
+                     bool AllowAssert) {
+    std::string S = "if (" + cond() + ") { " +
+                    block(1 + R.next(2), Depth - 1, AllowGrowth, AllowCall,
+                          AllowAssert) +
+                    " }";
+    if (R.chance(40))
+      S += " else { " +
+           block(1, Depth - 1, AllowGrowth, AllowCall, AllowAssert) + " }";
+    return S;
+  }
+
+  std::string assertStmt() {
+    switch (R.next(3)) {
+    case 0:
+      return "assert(" + intVar() + " <= " +
+             std::to_string(R.next(Opts.AssertSlack + 1)) + ");";
+    case 1:
+      return "assert(!" + boolVar() + " || " + cond() + ");";
+    default:
+      return "assert(" + intVar() + " != " +
+             std::to_string(Opts.ConstRange + 1 + R.next(2)) + ");";
+    }
+  }
+
+  /// Pointer-bearing statement over the shared `S *p` global: allocation,
+  /// field writes/reads, and null comparisons. Field accesses through a
+  /// possibly-null p are intentional — they exercise the runtime-error
+  /// verdict of both engines. Field writes never use nondet: core nondet
+  /// is only legal as the full RHS of a *variable* assignment.
+  std::string pointerStmt(bool AllowGrowth) {
+    switch (R.next(5)) {
+    case 0:
+      return "p = new S;";
+    case 1: {
+      std::string RHS = AllowGrowth && R.chance(40)
+                            ? intVar() + " + " + intConst()
+                            : (R.chance(50) ? intVar() : intConst());
+      return "if (p != null) { p->x = " + RHS + "; }";
+    }
+    case 2:
+      return "if (p != null) { " + intVar() + " = p->x; }";
+    case 3:
+      return boolVar() + " = p == null;";
+    default:
+      // Unguarded access: a real null dereference on some paths.
+      return "p->o = " + (R.chance(50) ? boolVar() : "!" + boolVar()) + ";";
+    }
+  }
+
+  Rng &R;
+  const GenOptions &Opts;
+};
+
+} // namespace
+
+std::string fuzz::generateProgram(uint64_t Seed, const GenOptions &Opts) {
+  Rng R(Seed);
+  Emitter E(R, Opts);
+  std::string Src;
+
+  if (Opts.WithPointers) {
+    Src += "struct S { int x; bool o; }\n";
+    Src += "S *p = null;\n";
+  }
+  for (unsigned I = 0; I != Opts.IntGlobals; ++I)
+    Src += "int g" + std::to_string(I) + " = " +
+           std::to_string(R.next(Opts.ConstRange + 1)) + ";\n";
+  for (unsigned I = 0; I != Opts.BoolGlobals; ++I)
+    Src += "bool b" + std::to_string(I) +
+           (R.chance(50) ? " = true;\n" : " = false;\n");
+  if (Opts.WithLocks) {
+    Src += "int lock = 0;\n";
+    Src += "void acquire(int *l) { atomic { assume(*l == 0); *l = 1; } }\n";
+    Src += "void release(int *l) { atomic { *l = 0; } }\n";
+  }
+
+  // Helper procedures: parameters, returns, and branching — the
+  // summarizable sequential fragment.
+  for (unsigned H = 0; H != Opts.Helpers; ++H) {
+    std::string Name = "h" + std::to_string(H);
+    Src += "int " + Name + "(int a) { if (a == " + E.intConst() +
+           ") { return " + E.intConst() + "; } return a; }\n";
+  }
+
+  // Workers share the void() async signature.
+  unsigned Workers = Opts.Threads > 1 ? Opts.Threads - 1 : 0;
+  for (unsigned W = 0; W != Workers; ++W) {
+    Src += "void w" + std::to_string(W) + "() {\n";
+    bool Locked = Opts.WithLocks && R.chance(40);
+    if (Locked)
+      Src += "  acquire(&lock);\n";
+    for (unsigned I = 0; I != Opts.Stmts; ++I)
+      Src += "  " +
+             E.stmt(Opts.Depth, /*AllowGrowth=*/true, /*AllowCall=*/true,
+                    /*AllowAssert=*/true) +
+             "\n";
+    if (Locked)
+      Src += "  release(&lock);\n";
+    Src += "}\n";
+  }
+
+  Src += "void main() {\n";
+  for (unsigned W = 0; W != Workers; ++W) {
+    Src += "  async w" + std::to_string(W) + "();\n";
+    if (R.chance(50))
+      Src += "  " +
+             E.stmt(Opts.Depth, /*AllowGrowth=*/true, /*AllowCall=*/true,
+                    /*AllowAssert=*/false) +
+             "\n";
+  }
+  for (unsigned I = 0; I != Opts.Stmts; ++I)
+    Src += "  " +
+           E.stmt(Opts.Depth, /*AllowGrowth=*/true, /*AllowCall=*/true,
+                  /*AllowAssert=*/true) +
+           "\n";
+  Src += "}\n";
+  return Src;
+}
+
+GenOptions fuzz::varyOptions(uint64_t Seed, const GenOptions &Base) {
+  // A distinct stream from the program generator's: the variation must not
+  // perturb program content for a fixed derived grammar.
+  Rng R(Seed ^ 0xc0ffee5eedull);
+  GenOptions O = Base;
+  O.Threads = 1 + R.next(Base.Threads > 0 ? Base.Threads : 1);
+  O.Stmts = 1 + R.next(Base.Stmts > 0 ? Base.Stmts : 1);
+  O.Depth = R.next(Base.Depth + 1);
+  O.Helpers = R.next(Base.Helpers + 1);
+  O.WithPointers = Base.WithPointers && R.chance(35);
+  O.WithLocks = Base.WithLocks && R.chance(40);
+  O.WithAsserts = Base.WithAsserts && !R.chance(15);
+  return O;
+}

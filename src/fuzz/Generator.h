@@ -1,0 +1,93 @@
+//===- Generator.h - Seeded random Figure-3 programs ------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program generator behind kissfuzz: emits well-formed surface
+/// programs of the paper's Figure-3 language — procedures with parameters
+/// and returns, async forks, atomic sections, assume, nondeterministic
+/// choice/iter, and (optionally) pointer-bearing struct code — from one
+/// 64-bit seed. The same seed always yields byte-identical source, so any
+/// oracle disagreement reproduces from its seed alone.
+///
+/// Well-formedness is by construction: generated programs always compile
+/// (pinned by the property suite), the async signature rule holds (all
+/// start functions are void()), atomic bodies contain no calls, and loop
+/// bodies only copy or reset scalars so reachable state spaces stay finite
+/// and the differential ground truth stays affordable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_FUZZ_GENERATOR_H
+#define KISS_FUZZ_GENERATOR_H
+
+#include <cstdint>
+#include <string>
+
+namespace kiss::fuzz {
+
+/// Deterministic splitmix64 generator: high-quality 64-bit stream from one
+/// seed, identical on every platform.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed + 0x9e3779b97f4a7c15ull) {}
+
+  uint64_t nextRaw() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, Bound); Bound must be nonzero.
+  uint32_t next(uint32_t Bound) {
+    return static_cast<uint32_t>(nextRaw() % Bound);
+  }
+
+  bool chance(uint32_t Percent) { return next(100) < Percent; }
+
+private:
+  uint64_t State;
+};
+
+/// Grammar knobs of the generated family (the "tunable thread/statement/
+/// depth budgets" of the fuzz subsystem).
+struct GenOptions {
+  /// Maximum simultaneous threads including main: main forks Threads-1
+  /// workers. 1 yields purely sequential programs.
+  unsigned Threads = 2;
+  /// Statement budget per worker body and per main body.
+  unsigned Stmts = 4;
+  /// Nesting depth budget for compound statements (if/choice/iter/atomic).
+  unsigned Depth = 2;
+  /// Helper procedures exercising parameters and return values.
+  unsigned Helpers = 1;
+  unsigned IntGlobals = 2;
+  unsigned BoolGlobals = 2;
+  /// Pointer-bearing variant: a struct, a pointer global, new, field
+  /// accesses (and therefore potential null-dereference runtime errors).
+  bool WithPointers = false;
+  /// Lock idiom: atomic-assume acquire/release around worker bodies.
+  bool WithLocks = true;
+  bool WithAsserts = true;
+  /// Upper bound of assert thresholds; smaller = easier to violate.
+  unsigned AssertSlack = 2;
+  /// Integer constants are drawn from [0, ConstRange].
+  unsigned ConstRange = 2;
+};
+
+/// Generates one program from \p Seed. Deterministic: same seed and
+/// options, same source bytes.
+std::string generateProgram(uint64_t Seed, const GenOptions &Opts = {});
+
+/// The default-grammar sweep: derives a per-case variation of \p Base from
+/// \p Seed (thread count 1..Base.Threads, pointers/locks/asserts toggled,
+/// statement and depth budgets varied within the configured caps), so one
+/// campaign covers the whole grammar without per-case flags.
+GenOptions varyOptions(uint64_t Seed, const GenOptions &Base);
+
+} // namespace kiss::fuzz
+
+#endif // KISS_FUZZ_GENERATOR_H

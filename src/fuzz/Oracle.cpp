@@ -1,0 +1,246 @@
+//===- Oracle.cpp ---------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include "conc/ConcChecker.h"
+#include "lower/Pipeline.h"
+
+using namespace kiss;
+using namespace kiss::fuzz;
+
+const char *fuzz::getOracleVerdictName(OracleVerdict V) {
+  switch (V) {
+  case OracleVerdict::Agree:
+    return "agree";
+  case OracleVerdict::SoundnessBug:
+    return "soundness-bug";
+  case OracleVerdict::TraceBug:
+    return "trace-bug";
+  case OracleVerdict::CompletenessBug:
+    return "completeness-bug";
+  case OracleVerdict::Discard:
+    return "discard";
+  case OracleVerdict::Inconclusive:
+    return "inconclusive";
+  }
+  return "unknown";
+}
+
+bool fuzz::parseOracleVerdict(std::string_view Name, OracleVerdict &Out) {
+  for (auto V :
+       {OracleVerdict::Agree, OracleVerdict::SoundnessBug,
+        OracleVerdict::TraceBug, OracleVerdict::CompletenessBug,
+        OracleVerdict::Discard, OracleVerdict::Inconclusive}) {
+    if (Name == getOracleVerdictName(V)) {
+      Out = V;
+      return true;
+    }
+  }
+  return false;
+}
+
+uint32_t fuzz::countContextSwitches(const core::ConcurrentTrace &Trace) {
+  uint32_t Switches = 0;
+  bool HaveLast = false;
+  uint32_t Last = 0;
+  for (const core::MappedStep &S : Trace.Steps) {
+    if (HaveLast && S.Thread != Last)
+      ++Switches;
+    Last = S.Thread;
+    HaveLast = true;
+  }
+  return Switches;
+}
+
+namespace {
+
+/// Static fork shape of a program: how many async statements it has and
+/// whether any sits outside the entry function or under a loop (either
+/// makes the runtime thread count statically unknown).
+struct AsyncShape {
+  unsigned Count = 0;
+  bool Unbounded = false;
+};
+
+void scanStmt(const lang::Stmt *S, bool InLoop, bool InEntry, AsyncShape &A) {
+  if (!S)
+    return;
+  using lang::StmtKind;
+  switch (S->getKind()) {
+  case StmtKind::Async:
+    ++A.Count;
+    if (InLoop || !InEntry)
+      A.Unbounded = true;
+    return;
+  case StmtKind::Block:
+    for (const auto &C : cast<lang::BlockStmt>(S)->getStmts())
+      scanStmt(C.get(), InLoop, InEntry, A);
+    return;
+  case StmtKind::If: {
+    const auto *I = cast<lang::IfStmt>(S);
+    scanStmt(I->getThen(), InLoop, InEntry, A);
+    scanStmt(I->getElse(), InLoop, InEntry, A);
+    return;
+  }
+  case StmtKind::While:
+    scanStmt(cast<lang::WhileStmt>(S)->getBody(), true, InEntry,
+             A);
+    return;
+  case StmtKind::Iter:
+    scanStmt(cast<lang::IterStmt>(S)->getBody(), true, InEntry,
+             A);
+    return;
+  case StmtKind::Choice:
+    for (const auto &B : cast<lang::ChoiceStmt>(S)->getBranches())
+      scanStmt(B.get(), InLoop, InEntry, A);
+    return;
+  case StmtKind::Atomic:
+    scanStmt(cast<lang::AtomicStmt>(S)->getBody(), InLoop,
+             InEntry, A);
+    return;
+  default:
+    return;
+  }
+}
+
+AsyncShape analyzeAsyncShape(const lang::Program &P) {
+  AsyncShape A;
+  for (const auto &F : P.getFunctions())
+    scanStmt(F->getBody(), /*InLoop=*/false,
+             F->getName() == P.getEntryName(), A);
+  return A;
+}
+
+} // namespace
+
+OracleResult fuzz::runOracle(const std::string &Source,
+                             const OracleOptions &Opts) {
+  OracleResult Res;
+
+  lower::CompilerContext Ctx;
+  auto P = lower::compileToCore(Ctx, "fuzz.kiss", Source);
+  if (!P) {
+    Res.V = OracleVerdict::Discard;
+    Res.DiscardDiagnostics = Ctx.renderDiagnostics();
+    return Res;
+  }
+
+  AsyncShape Shape = analyzeAsyncShape(*P);
+  Res.TwoThread = Shape.Count == 1 && !Shape.Unbounded;
+
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*P);
+
+  // Ground truth: unbounded interleaving exploration.
+  conc::ConcOptions CO;
+  CO.MaxStates = Opts.MaxStates;
+  CO.Budget = Opts.Budget;
+  rt::CheckResult Truth = conc::checkProgram(*P, CFG, CO);
+  Res.Conc = Truth.Outcome;
+
+  // System under test: the KISS pipeline.
+  core::KissOptions KO;
+  KO.MaxTs = Opts.MaxTs;
+  KO.Seq.MaxStates = Opts.MaxStates;
+  KO.Seq.Budget = Opts.Budget;
+  KO.InjectBreakAsserts = Opts.InjectBreakAsserts;
+  core::KissReport K = core::checkAssertions(*P, KO, Ctx.Diags);
+  Res.Kiss = K.Verdict;
+  if (Ctx.Diags.hasErrors()) {
+    // The transform rejected a program the frontend accepted (async
+    // signature/arity rules). Out of the generated family by contract.
+    Res.V = OracleVerdict::Discard;
+    Res.DiscardDiagnostics = Ctx.renderDiagnostics();
+    return Res;
+  }
+
+  if (K.foundError()) {
+    Res.TraceThreads = K.Trace.NumThreads;
+    Res.TraceSwitches = countContextSwitches(K.Trace);
+
+    // Soundness: the ground truth must confirm some erroneous execution.
+    if (Truth.Outcome == rt::CheckOutcome::BoundExceeded) {
+      Res.V = OracleVerdict::Inconclusive;
+      Res.Detail = "ground truth exceeded its budget; KISS error unchecked";
+      return Res;
+    }
+    if (!Truth.foundError()) {
+      Res.V = OracleVerdict::SoundnessBug;
+      Res.Detail = std::string("KISS reported ") +
+                   core::getVerdictName(K.Verdict) +
+                   " but exhaustive interleaving exploration found the "
+                   "program safe";
+      return Res;
+    }
+
+    // Trace replay: the mapped concurrent trace claims the error is
+    // reachable within its own context-switch count; a ground-truth run
+    // bounded to that count must agree.
+    conc::ConcOptions Replay = CO;
+    Replay.ContextSwitchBound = static_cast<int32_t>(Res.TraceSwitches);
+    rt::CheckResult Bounded = conc::checkProgram(*P, CFG, Replay);
+    if (Bounded.Outcome == rt::CheckOutcome::BoundExceeded) {
+      Res.V = OracleVerdict::Inconclusive;
+      Res.Detail = "trace replay exceeded its budget";
+      return Res;
+    }
+    if (!Bounded.foundError()) {
+      Res.V = OracleVerdict::TraceBug;
+      Res.Detail = "mapped trace uses " +
+                   std::to_string(Res.TraceSwitches) +
+                   " context switches but no erroneous execution exists "
+                   "within that bound";
+      return Res;
+    }
+    Res.V = OracleVerdict::Agree;
+    return Res;
+  }
+
+  if (K.Verdict == core::KissVerdict::BoundExceeded ||
+      Truth.Outcome == rt::CheckOutcome::BoundExceeded) {
+    Res.V = OracleVerdict::Inconclusive;
+    Res.Detail = K.Verdict == core::KissVerdict::BoundExceeded
+                     ? "KISS side exceeded its budget"
+                     : "ground truth exceeded its budget";
+    return Res;
+  }
+
+  // Completeness, sequential direction: with no forks the translation
+  // preserves the program's semantics exactly, so KISS must find whatever
+  // the ground truth finds.
+  if (Opts.CheckCompleteness && Shape.Count == 0 && Truth.foundError()) {
+    Res.V = OracleVerdict::CompletenessBug;
+    Res.Detail = std::string("sequential program: ground truth found ") +
+                 rt::getOutcomeName(Truth.Outcome) +
+                 " but KISS found nothing";
+    return Res;
+  }
+
+  // Completeness, Theorem-1 direction: on a 2-thread program every
+  // execution with at most two context switches is simulated at MAX >= 2.
+  if (Opts.CheckCompleteness && Res.TwoThread && Opts.MaxTs >= 2) {
+    conc::ConcOptions TwoSwitch = CO;
+    TwoSwitch.ContextSwitchBound = 2;
+    rt::CheckResult Within = conc::checkProgram(*P, CFG, TwoSwitch);
+    if (Within.Outcome == rt::CheckOutcome::BoundExceeded) {
+      Res.V = OracleVerdict::Inconclusive;
+      Res.Detail = "two-switch exploration exceeded its budget";
+      return Res;
+    }
+    if (Within.foundError()) {
+      Res.V = OracleVerdict::CompletenessBug;
+      Res.Detail = std::string("ground truth found ") +
+                   rt::getOutcomeName(Within.Outcome) +
+                   " within two context switches on a 2-thread program "
+                   "but KISS at MAX=" +
+                   std::to_string(Opts.MaxTs) + " found nothing";
+      return Res;
+    }
+  }
+
+  Res.V = OracleVerdict::Agree;
+  return Res;
+}

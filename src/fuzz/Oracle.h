@@ -1,0 +1,99 @@
+//===- Oracle.h - The Theorem-1 differential oracle -------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable form of the paper's correctness contract (Theorem 1): for a
+/// concurrent program P, Check(P) goes wrong iff some balanced execution
+/// of P goes wrong. One oracle run compares the KISS pipeline (Transform +
+/// sequential checker, the system under test) against the concurrent
+/// explicit-state checker (ground truth) on one program and classifies the
+/// pair of outcomes:
+///
+///  * soundness — every KISS-reported error must be a real concurrent
+///    error. Cross-checked twice: the ground-truth engine must find an
+///    error, and replaying the TraceMap-recovered concurrent trace — a
+///    bounded ground-truth run restricted to the mapped trace's context-
+///    switch count — must still find one.
+///  * bounded completeness — on 2-thread programs (one static fork), any
+///    assertion failure reachable within two context switches must be
+///    caught by KISS at MAX >= 2 (the §2 statement of Theorem 1).
+///
+/// Programs that fail to compile are discards (the generator's contract
+/// says they should not happen; discards carry their diagnostics for the
+/// frontend-location audit). Runs that trip a budget are inconclusive,
+/// never violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_FUZZ_ORACLE_H
+#define KISS_FUZZ_ORACLE_H
+
+#include "kiss/KissChecker.h"
+
+#include <string>
+
+namespace kiss::fuzz {
+
+/// What one differential run concluded.
+enum class OracleVerdict : uint8_t {
+  Agree,            ///< No disagreement (both clean, or error confirmed).
+  SoundnessBug,     ///< KISS reported an error the ground truth refutes.
+  TraceBug,         ///< KISS error confirmed, but the mapped trace does not
+                    ///< replay within its own context-switch budget.
+  CompletenessBug,  ///< A two-switch 2-thread error KISS failed to find.
+  Discard,          ///< The program did not compile (generator defect).
+  Inconclusive,     ///< A state/deadline/memory budget tripped somewhere.
+};
+
+const char *getOracleVerdictName(OracleVerdict V);
+
+/// Parses a name produced by getOracleVerdictName (the regression-corpus
+/// expectation format). \returns false if \p Name is not a verdict name.
+bool parseOracleVerdict(std::string_view Name, OracleVerdict &Out);
+
+/// Budgets and knobs of one differential run.
+struct OracleOptions {
+  /// MAX for the KISS side. Theorem 1's completeness direction needs >= 2;
+  /// below that the completeness check is skipped.
+  unsigned MaxTs = 2;
+  /// Per-engine state budget (each of the up-to-four explorations).
+  uint64_t MaxStates = 150'000;
+  /// Per-engine deadline/memory/cancellation budget.
+  gov::RunBudget Budget;
+  /// Check the bounded-completeness direction on 2-thread programs.
+  bool CheckCompleteness = true;
+  /// Test-only: run the KISS side with the deliberately broken transform
+  /// (negated assertions) to prove the oracle catches unsoundness.
+  bool InjectBreakAsserts = false;
+};
+
+/// One differential run's outcome.
+struct OracleResult {
+  OracleVerdict V = OracleVerdict::Agree;
+  /// What each side concluded (engine names in the fuzz report).
+  core::KissVerdict Kiss = core::KissVerdict::NoErrorFound;
+  rt::CheckOutcome Conc = rt::CheckOutcome::Safe;
+  /// Human-readable explanation of a disagreement (repro file header).
+  std::string Detail;
+  /// Rendered diagnostics of a Discard (the line:col audit input).
+  std::string DiscardDiagnostics;
+  /// Mapped-trace shape when KISS found an error.
+  uint32_t TraceThreads = 0;
+  uint32_t TraceSwitches = 0;
+  /// Whether the completeness precondition held (2-thread program).
+  bool TwoThread = false;
+};
+
+/// Runs the differential oracle on \p Source (surface syntax).
+OracleResult runOracle(const std::string &Source, const OracleOptions &Opts);
+
+/// \returns the number of context switches in \p Trace: adjacent step
+/// pairs attributed to different threads.
+uint32_t countContextSwitches(const core::ConcurrentTrace &Trace);
+
+} // namespace kiss::fuzz
+
+#endif // KISS_FUZZ_ORACLE_H

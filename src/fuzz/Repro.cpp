@@ -1,0 +1,93 @@
+//===- Repro.cpp ----------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Repro.h"
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace kiss;
+using namespace kiss::fuzz;
+
+std::string fuzz::renderRepro(const Repro &R) {
+  std::string Out = "// kissfuzz repro\n";
+  Out += "// kissfuzz-seed: " + std::to_string(R.Seed) + "\n";
+  Out += "// kissfuzz-max-ts: " + std::to_string(R.MaxTs) + "\n";
+  if (R.BreakTransform)
+    Out += "// kissfuzz-break-transform: true\n";
+  Out += std::string("// kissfuzz-expect: ") + getOracleVerdictName(R.Expect) +
+         "\n";
+  if (!R.Detail.empty()) {
+    // Keep the detail single-line: newlines would escape the comment.
+    std::string Flat = R.Detail;
+    for (char &C : Flat)
+      if (C == '\n')
+        C = ' ';
+    Out += "// detail: " + Flat + "\n";
+  }
+  Out += R.Source;
+  if (!R.Source.empty() && R.Source.back() != '\n')
+    Out += '\n';
+  return Out;
+}
+
+namespace {
+
+/// If \p Line starts with \p Key (after "// "), returns its trimmed value.
+bool headerValue(const std::string &Line, const char *Key,
+                 std::string &Value) {
+  std::string Prefix = std::string("// ") + Key + ":";
+  if (Line.rfind(Prefix, 0) != 0)
+    return false;
+  size_t Start = Prefix.size();
+  while (Start < Line.size() && Line[Start] == ' ')
+    ++Start;
+  size_t End = Line.size();
+  while (End > Start && (Line[End - 1] == ' ' || Line[End - 1] == '\r'))
+    --End;
+  Value = Line.substr(Start, End - Start);
+  return true;
+}
+
+} // namespace
+
+bool fuzz::parseRepro(const std::string &Text, Repro &Out,
+                      std::string &Error) {
+  Out = Repro{};
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::string Value;
+    if (headerValue(Line, "kissfuzz-seed", Value)) {
+      Out.Seed = std::strtoull(Value.c_str(), nullptr, 10);
+    } else if (headerValue(Line, "kissfuzz-max-ts", Value)) {
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+      if (End == Value.c_str() || *End != '\0') {
+        Error = "malformed kissfuzz-max-ts header: '" + Value + "'";
+        return false;
+      }
+      Out.MaxTs = static_cast<unsigned>(N);
+    } else if (headerValue(Line, "kissfuzz-break-transform", Value)) {
+      if (Value != "true" && Value != "false") {
+        Error = "malformed kissfuzz-break-transform header: '" + Value + "'";
+        return false;
+      }
+      Out.BreakTransform = Value == "true";
+    } else if (headerValue(Line, "kissfuzz-expect", Value)) {
+      if (!parseOracleVerdict(Value, Out.Expect)) {
+        Error = "unknown kissfuzz-expect verdict: '" + Value + "'";
+        return false;
+      }
+    } else if (headerValue(Line, "detail", Value)) {
+      Out.Detail = Value;
+    }
+    // Headers are comments, so the program text keeps every line: the
+    // lexer skips them and source locations stay those of the file.
+  }
+  Out.Source = Text;
+  return true;
+}

@@ -1,0 +1,60 @@
+//===- Repro.h - Self-describing .kiss repro files --------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fuzz finding interchange format: a plain .kiss program whose leading
+/// comment lines record how it was found and what the oracle concluded,
+/// so a repro is replayable with no side-channel state:
+///
+///   // kissfuzz repro
+///   // kissfuzz-seed: 42
+///   // kissfuzz-max-ts: 2
+///   // kissfuzz-expect: soundness-bug
+///   // detail: KISS reported assertion violation but ...
+///   int g0 = 0;
+///   ...
+///
+/// `kissfuzz --verify-repro FILE` re-runs the oracle and checks the
+/// recorded verdict; the tests/regress corpus is exactly a directory of
+/// these files, each re-verified by CTest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_FUZZ_REPRO_H
+#define KISS_FUZZ_REPRO_H
+
+#include "fuzz/Oracle.h"
+
+namespace kiss::fuzz {
+
+/// A parsed repro file (or one about to be written).
+struct Repro {
+  /// The generator seed the finding came from (0 if hand-written).
+  uint64_t Seed = 0;
+  /// MAX the oracle ran with.
+  unsigned MaxTs = 2;
+  /// Whether the finding was produced under the sabotaged transform
+  /// (kissfuzz --break-transform); replay re-applies it.
+  bool BreakTransform = false;
+  /// The recorded oracle verdict.
+  OracleVerdict Expect = OracleVerdict::Agree;
+  /// One-line explanation copied from the oracle (informational).
+  std::string Detail;
+  /// The program text (no header lines).
+  std::string Source;
+};
+
+/// Renders \p R as a self-describing .kiss file.
+std::string renderRepro(const Repro &R);
+
+/// Parses repro text \p Text (header + program). Header lines are
+/// optional; a bare program parses as an Agree expectation. \returns false
+/// only on a malformed header (unknown verdict, bad number).
+bool parseRepro(const std::string &Text, Repro &Out, std::string &Error);
+
+} // namespace kiss::fuzz
+
+#endif // KISS_FUZZ_REPRO_H

@@ -1,0 +1,108 @@
+//===- Shrinker.cpp -------------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Shrinker.h"
+
+#include <vector>
+
+using namespace kiss;
+using namespace kiss::fuzz;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &S) {
+  std::vector<std::string> Lines;
+  size_t Start = 0;
+  while (Start < S.size()) {
+    size_t NL = S.find('\n', Start);
+    if (NL == std::string::npos) {
+      Lines.push_back(S.substr(Start));
+      break;
+    }
+    Lines.push_back(S.substr(Start, NL - Start));
+    Start = NL + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines,
+                      const std::vector<bool> &Keep) {
+  std::string Out;
+  for (size_t I = 0; I != Lines.size(); ++I)
+    if (Keep[I]) {
+      Out += Lines[I];
+      Out += '\n';
+    }
+  return Out;
+}
+
+} // namespace
+
+ShrinkResult fuzz::shrink(const std::string &Source, OracleVerdict Target,
+                          const OracleOptions &OOpts,
+                          const ShrinkOptions &SOpts) {
+  ShrinkResult R;
+  R.Source = Source;
+
+  std::vector<std::string> Lines = splitLines(Source);
+  std::vector<bool> Keep(Lines.size(), true);
+
+  // Re-runs the oracle on the candidate and accepts it when the violation
+  // survives. Discards (non-compiling candidates) never match Target.
+  auto StillFails = [&](const std::vector<bool> &Cand) {
+    if (R.Evals >= SOpts.MaxEvals)
+      return false;
+    ++R.Evals;
+    OracleResult O = runOracle(joinLines(Lines, Cand), OOpts);
+    if (O.V != Target)
+      return false;
+    R.Final = std::move(O);
+    return true;
+  };
+
+  size_t Alive = Lines.size();
+  bool Progress = true;
+  while (Progress && R.Evals < SOpts.MaxEvals) {
+    Progress = false;
+    // Chunk sizes Alive/2, Alive/4, ..., 1.
+    for (size_t Chunk = (Alive + 1) / 2; Chunk >= 1; Chunk /= 2) {
+      for (size_t At = 0; At < Lines.size();) {
+        // Select the next Chunk live lines starting at index At.
+        std::vector<bool> Cand = Keep;
+        size_t Removed = 0, I = At;
+        for (; I < Lines.size() && Removed < Chunk; ++I)
+          if (Cand[I]) {
+            Cand[I] = false;
+            ++Removed;
+          }
+        if (Removed == 0)
+          break;
+        if (StillFails(Cand)) {
+          Keep = std::move(Cand);
+          Alive -= Removed;
+          ++R.Steps;
+          Progress = true;
+          // Retry the same window: more may go at this position.
+        } else {
+          At = I;
+        }
+        if (R.Evals >= SOpts.MaxEvals)
+          break;
+      }
+      if (Chunk == 1 || R.Evals >= SOpts.MaxEvals)
+        break;
+    }
+  }
+
+  R.Source = joinLines(Lines, Keep);
+  if (R.Final.V != Target) {
+    // No candidate was ever accepted; re-establish the original verdict so
+    // callers always get a consistent (Source, Final) pair.
+    R.Final = runOracle(R.Source, OOpts);
+    ++R.Evals;
+  }
+  return R;
+}

@@ -1,0 +1,53 @@
+//===- Shrinker.h - Greedy delta-debugging reducer --------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reduces a disagreeing program to a minimal repro by greedy line-level
+/// delta debugging (ddmin): repeatedly try deleting chunks of lines —
+/// halves first, then quarters, down to single lines — keeping any
+/// candidate on which the oracle still reports the same violation, until a
+/// full pass removes nothing. The generator emits every statement on one
+/// line precisely so that deleting a line deletes a whole statement;
+/// candidates that no longer compile are rejected by the oracle predicate
+/// itself (verdict becomes Discard, not a match).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_FUZZ_SHRINKER_H
+#define KISS_FUZZ_SHRINKER_H
+
+#include "fuzz/Oracle.h"
+
+namespace kiss::fuzz {
+
+/// Outcome of one shrink run.
+struct ShrinkResult {
+  /// The smallest source still reproducing the violation.
+  std::string Source;
+  /// Oracle result on that source (same verdict as the input's).
+  OracleResult Final;
+  /// Number of successful reductions (accepted candidates).
+  unsigned Steps = 0;
+  /// Number of oracle evaluations spent.
+  unsigned Evals = 0;
+};
+
+/// Budgets for one shrink run.
+struct ShrinkOptions {
+  /// Upper bound on oracle evaluations; the shrinker returns its best
+  /// current source when the budget is exhausted.
+  unsigned MaxEvals = 400;
+};
+
+/// Shrinks \p Source, which the oracle classifies as \p Target (one of the
+/// violation verdicts), preserving that verdict. \p OOpts must be the
+/// options that produced the violation.
+ShrinkResult shrink(const std::string &Source, OracleVerdict Target,
+                    const OracleOptions &OOpts, const ShrinkOptions &SOpts);
+
+} // namespace kiss::fuzz
+
+#endif // KISS_FUZZ_SHRINKER_H

@@ -122,6 +122,7 @@ KissReport core::checkAssertions(const Program &P, const KissOptions &Opts,
   TO.MaxTs = Opts.MaxTs;
   TO.UseAliasAnalysis = Opts.UseAliasAnalysis;
   TO.Recorder = Opts.Recorder;
+  TO.InjectBreakAsserts = Opts.InjectBreakAsserts;
   TransformStats Stats;
   auto TransformSpan = phase(Opts, "transform");
   auto Transformed = transformForAssertions(P, TO, Diags, &Stats);
@@ -136,6 +137,7 @@ KissReport core::checkRace(const Program &P, const RaceTarget &Target,
   TO.MaxTs = Opts.MaxTs;
   TO.UseAliasAnalysis = Opts.UseAliasAnalysis;
   TO.Recorder = Opts.Recorder;
+  TO.InjectBreakAsserts = Opts.InjectBreakAsserts;
   TransformStats Stats;
   auto TransformSpan = phase(Opts, "transform");
   auto Transformed = transformForRace(P, Target, TO, Diags, &Stats);

@@ -38,6 +38,10 @@ struct KissOptions {
   /// spans and their counters here (see docs/observability.md). Not owned;
   /// null means telemetry is off.
   telemetry::RunRecorder *Recorder = nullptr;
+  /// Test-only: run the deliberately broken transform (negated assertion
+  /// clones) so the fuzzing oracle's unsoundness detection can be
+  /// validated end to end (kissfuzz --break-transform).
+  bool InjectBreakAsserts = false;
 };
 
 /// What the checker concluded.

@@ -194,6 +194,7 @@ private:
   StmtPtr makeRaiseBranch();
   StmtPtr makePropagate();
   StmtPtr translateUserClone(const Stmt *S);
+  void instrumentAtomicAssumes(Stmt *S);
   void emitAsync(const AsyncStmt *S, std::vector<StmtPtr> &Out);
 
   //===--- Race probes ---===//
@@ -241,14 +242,15 @@ private:
 
 bool KissTransformer::validateInput() {
   std::string Why;
-  if (!lower::isCoreProgram(P, &Why)) {
-    Diags.error(SourceLoc(), "KISS transformation requires a core program: " +
-                                 Why);
+  SourceLoc WhyLoc;
+  if (!lower::isCoreProgram(P, &Why, &WhyLoc)) {
+    Diags.error(WhyLoc, "KISS transformation requires a core program: " +
+                            Why);
     return false;
   }
   const FuncDecl *Entry = P.getEntryFunction();
   if (!Entry || Entry->getNumParams() != 0) {
-    Diags.error(SourceLoc(),
+    Diags.error(Entry ? Entry->getLoc() : SourceLoc(),
                 "KISS transformation requires a parameterless entry "
                 "function");
     return false;
@@ -273,6 +275,8 @@ bool KissTransformer::collectAsyncSignature() {
   struct Scanner {
     const Type *Sig = nullptr;
     bool Mixed = false;
+    SourceLoc FirstLoc;  ///< The async that established the signature.
+    SourceLoc MixedLoc;  ///< The first async that deviates from it.
     void scan(const Stmt *S) {
       switch (S->getKind()) {
       case StmtKind::Block:
@@ -281,10 +285,13 @@ bool KissTransformer::collectAsyncSignature() {
         return;
       case StmtKind::Async: {
         const Type *T = cast<AsyncStmt>(S)->getCallee()->getType();
-        if (!Sig)
+        if (!Sig) {
           Sig = T;
-        else if (Sig != T)
+          FirstLoc = S->getLoc();
+        } else if (Sig != T && !Mixed) {
           Mixed = true;
+          MixedLoc = S->getLoc();
+        }
         return;
       }
       case StmtKind::Atomic:
@@ -306,16 +313,16 @@ bool KissTransformer::collectAsyncSignature() {
     Scan.scan(F->getBody());
 
   if (Scan.Mixed) {
-    Diags.error(SourceLoc(),
+    Diags.error(Scan.MixedLoc,
                 "all async start functions must share one signature");
     return false;
   }
   HasAsync = Scan.Sig != nullptr;
   AsyncFuncTy = Scan.Sig;
   if (HasAsync && AsyncFuncTy->getParamTypes().size() > MaxAsyncArity) {
-    Diags.error(SourceLoc(), "async start functions may take at most " +
-                                 std::to_string(MaxAsyncArity) +
-                                 " arguments");
+    Diags.error(Scan.FirstLoc, "async start functions may take at most " +
+                                   std::to_string(MaxAsyncArity) +
+                                   " arguments");
     return false;
   }
   HasTs = HasAsync && Opts.MaxTs > 0;
@@ -494,6 +501,62 @@ StmtPtr KissTransformer::translateUserClone(const Stmt *S) {
   zipOrigins(S, Clone.get());
   renameFuncRefsInStmt(Clone.get(), NewNames);
   return Clone;
+}
+
+/// Rewrites a cloned atomic body in place: every assume(C) gains a
+/// preceding `choice { assume(!C); RAISE } or { skip }` so that blocking
+/// releases atomicity (and only blocking — the raise arm is guarded on
+/// !C). Recurses into blocks, choice branches, and iter bodies; the
+/// atomic-block restrictions (no calls/asyncs/returns/nested atomics)
+/// bound what can appear here.
+void KissTransformer::instrumentAtomicAssumes(Stmt *S) {
+  switch (S->getKind()) {
+  case StmtKind::Block: {
+    auto &Stmts = cast<BlockStmt>(S)->getStmts();
+    for (size_t I = 0; I != Stmts.size(); ++I) {
+      if (auto *A = dyn_cast<AssumeStmt>(Stmts[I].get())) {
+        // Core assume conditions are atom or !atom: negate by unwrapping
+        // an outer ! rather than stacking a second one.
+        ExprPtr Neg;
+        if (const auto *U = dyn_cast<UnaryExpr>(A->getCond());
+            U && U->getOp() == UnaryOp::Not)
+          Neg = U->getSub()->clone();
+        else
+          Neg = B->notOf(A->getCond()->clone());
+        std::vector<StmtPtr> Blocked;
+        Blocked.push_back(B->assumeStmt(std::move(Neg)));
+        Blocked.front()->setRole(InstrRole::Raise);
+        Blocked.push_back(makeRaiseBranch());
+        std::vector<StmtPtr> Branches;
+        Branches.push_back(B->block(std::move(Blocked)));
+        Branches.push_back(B->skip());
+        StmtPtr Release = B->choice(std::move(Branches));
+        Release->setRole(InstrRole::Raise);
+        Stmts.insert(Stmts.begin() + I, std::move(Release));
+        ++I; // Past the inserted choice; the assume itself stays as-is.
+      } else {
+        instrumentAtomicAssumes(Stmts[I].get());
+      }
+    }
+    return;
+  }
+  case StmtKind::Choice:
+    for (StmtPtr &Br : cast<ChoiceStmt>(S)->getBranches())
+      instrumentAtomicAssumes(Br.get());
+    return;
+  case StmtKind::Iter:
+    instrumentAtomicAssumes(cast<IterStmt>(S)->getBody());
+    return;
+  case StmtKind::Assume: {
+    // An assume that is itself a branch/iter body rather than a block
+    // member: wrap-in-place is not possible without the parent list, but
+    // lowering always materialises bodies as blocks, so this cannot be
+    // reached from lowered core programs.
+    return;
+  }
+  default:
+    return;
+  }
 }
 
 void KissTransformer::collectReadsOfExpr(const Expr *E,
@@ -809,10 +872,24 @@ void KissTransformer::xformStmtInto(const Stmt *S,
   }
 
   case StmtKind::Atomic: {
-    // [[atomic{s}]] = prefix; s  (s unchanged: no interleaving points
-    // inside an atomic section, so no instrumentation inside either).
+    // [[atomic{s}]] = prefix; s'  — no interleaving points inside an
+    // atomic section, with one exception: a blocked assume releases
+    // atomicity (the lock idiom `atomic { assume(!held); held = true; }`
+    // depends on other threads running while the acquirer waits, see
+    // ConcChecker.h). So s' is s with every assume(C) instrumented to
+    // raise exactly when it blocks:
+    //   choice { assume(!C); RAISE } or { skip }; assume(C)
+    // The guard keeps this sound — a thread parked on a false condition
+    // is a real scheduling point, an enabled assume inside atomic is not.
+    // Unguarded, it would fabricate mid-atomic preemptions; without it,
+    // KISS misses errors another thread causes while this one is parked
+    // after a partial write (a bounded-completeness gap the differential
+    // fuzzer found, seed 4045). The atomic wrapper itself is dropped:
+    // sequentially it means nothing, and the injected RAISE `return`
+    // would otherwise violate the no-return-inside-atomic core rule.
     emitPrefix(S, Out, /*PlainRaiseBranch=*/true);
     StmtPtr Body = translateUserClone(cast<AtomicStmt>(S)->getBody());
+    instrumentAtomicAssumes(Body.get());
     Out.push_back(std::move(Body));
     return;
   }
@@ -831,11 +908,32 @@ void KissTransformer::xformStmtInto(const Stmt *S,
   case StmtKind::Assign: {
     const auto *A = cast<AssignStmt>(S);
     emitPrefix(S, Out, /*PlainRaiseBranch=*/false);
-    Out.push_back(translateUserClone(S));
     if (isa<CallExpr>(A->getRHS())) {
-      // [[v = v0()]] = ...; v = [[v0]](); if (__raise) return
+      // [[v = v0()]] = ...; __callN = [[v0]](); if (__raise) return;
+      //                     v = __callN
+      // The call lands in a fresh temp and the write-back commits only on
+      // the no-raise path. Assigning the call directly to v would let an
+      // abandoned callee (RAISE unwinds through a dummy `return 0`)
+      // clobber v with a value no real execution ever writes — a
+      // soundness hole the differential fuzzer caught (seed 20041365:
+      // the phantom write unblocked an assume that is unreachable in
+      // every concurrent execution).
+      StmtPtr Clone = translateUserClone(S);
+      auto *CA = cast<AssignStmt>(Clone.get());
+      VarId Tmp = B->addLocal(
+          "__call" + std::to_string(B->getFunction()->getLocals().size()),
+          CA->getRHS()->getType());
+      ExprPtr Dest = std::move(CA->getLHSRef());
+      CA->getLHSRef() = B->varRef(Tmp);
+      Out.push_back(std::move(Clone));
       Out.push_back(makePropagate());
-    } else if (isRaceMode() && Target->K == RaceTarget::Kind::Field &&
+      StmtPtr Commit = B->assign(std::move(Dest), B->varRef(Tmp));
+      Commit->setRole(InstrRole::Propagate);
+      Out.push_back(std::move(Commit));
+      return;
+    }
+    Out.push_back(translateUserClone(S));
+    if (isRaceMode() && Target->K == RaceTarget::Kind::Field &&
                isa<NewExpr>(A->getRHS()) &&
                cast<NewExpr>(A->getRHS())->getStructName() ==
                    Target->StructName) {
@@ -850,7 +948,19 @@ void KissTransformer::xformStmtInto(const Stmt *S,
     Out.push_back(makePropagate());
     return;
 
-  case StmtKind::Assert:
+  case StmtKind::Assert: {
+    emitPrefix(S, Out, /*PlainRaiseBranch=*/false);
+    StmtPtr Clone = translateUserClone(S);
+    if (Opts.InjectBreakAsserts) {
+      // Deliberate unsoundness for oracle validation (see
+      // TransformOptions::InjectBreakAsserts).
+      auto *A = cast<AssertStmt>(Clone.get());
+      A->getCondRef() = B->notOf(std::move(A->getCondRef()));
+    }
+    Out.push_back(std::move(Clone));
+    return;
+  }
+
   case StmtKind::Assume:
   case StmtKind::Skip:
     emitPrefix(S, Out, /*PlainRaiseBranch=*/false);

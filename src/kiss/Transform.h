@@ -88,6 +88,10 @@ struct TransformOptions {
   /// If set, the transform records an "alias" phase span around the
   /// points-to analysis (nested under the caller's open span). Not owned.
   telemetry::RunRecorder *Recorder = nullptr;
+  /// Test-only sabotage switch: negate every cloned user assertion, so a
+  /// safe program yields a false KISS error. Exists solely to prove the
+  /// fuzzing oracle detects an unsound transform; never set in production.
+  bool InjectBreakAsserts = false;
 };
 
 /// Probe accounting for the §5 alias-pruning ablation.

@@ -15,10 +15,13 @@ namespace {
 /// Tracks the first violation found.
 struct CoreValidator {
   std::string Why;
+  SourceLoc WhyLoc;
 
-  bool fail(std::string Reason) {
-    if (Why.empty())
+  bool fail(const Stmt *At, std::string Reason) {
+    if (Why.empty()) {
       Why = std::move(Reason);
+      WhyLoc = At ? At->getLoc() : SourceLoc();
+    }
     return false;
   }
 
@@ -116,53 +119,53 @@ struct CoreValidator {
           return false;
       return true;
     case StmtKind::Decl:
-      return fail("declaration statement survives lowering");
+      return fail(S, "declaration statement survives lowering");
     case StmtKind::If:
-      return fail("if statement survives lowering");
+      return fail(S, "if statement survives lowering");
     case StmtKind::While:
-      return fail("while statement survives lowering");
+      return fail(S, "while statement survives lowering");
     case StmtKind::Assign: {
       const auto *A = cast<AssignStmt>(S);
       if (!isCoreLValue(A->getLHS()))
-        return fail("assignment target is not a core lvalue");
+        return fail(S, "assignment target is not a core lvalue");
       if (isa<CallExpr>(A->getRHS())) {
         if (InAtomic)
-          return fail("call inside atomic block");
+          return fail(S, "call inside atomic block");
         if (!isAtomVar(A->getLHS()))
-          return fail("call result must be assigned to a variable");
+          return fail(S, "call result must be assigned to a variable");
         return isCoreCall(A->getRHS()) ||
-               fail("call with non-atom callee or arguments");
+               fail(S, "call with non-atom callee or arguments");
       }
       if (!isAtomVar(A->getLHS()) && !isAtom(A->getRHS()))
-        return fail("store through pointer/field with non-atom source");
+        return fail(S, "store through pointer/field with non-atom source");
       return isCoreRHS(A->getRHS()) ||
-             fail("assignment source is not a core right-hand side");
+             fail(S, "assignment source is not a core right-hand side");
     }
     case StmtKind::ExprStmt:
       if (InAtomic)
-        return fail("call inside atomic block");
+        return fail(S, "call inside atomic block");
       return isCoreCall(cast<ExprStmt>(S)->getExpr()) ||
-             fail("expression statement is not a core call");
+             fail(S, "expression statement is not a core call");
     case StmtKind::Async: {
       if (InAtomic)
-        return fail("async inside atomic block");
+        return fail(S, "async inside atomic block");
       const auto *A = cast<AsyncStmt>(S);
       if (!isAtom(A->getCallee()))
-        return fail("async callee is not an atom");
+        return fail(S, "async callee is not an atom");
       for (const ExprPtr &Arg : A->getArgs())
         if (!isAtom(Arg.get()))
-          return fail("async argument is not an atom");
+          return fail(S, "async argument is not an atom");
       return true;
     }
     case StmtKind::Assert:
       return isCondition(cast<AssertStmt>(S)->getCond()) ||
-             fail("assert condition is not atom or !atom");
+             fail(S, "assert condition is not atom or !atom");
     case StmtKind::Assume:
       return isCondition(cast<AssumeStmt>(S)->getCond()) ||
-             fail("assume condition is not atom or !atom");
+             fail(S, "assume condition is not atom or !atom");
     case StmtKind::Atomic:
       if (InAtomic)
-        return fail("nested atomic block");
+        return fail(S, "nested atomic block");
       return checkStmt(cast<AtomicStmt>(S)->getBody(), true);
     case StmtKind::Choice:
       for (const StmtPtr &B : cast<ChoiceStmt>(S)->getBranches())
@@ -173,27 +176,30 @@ struct CoreValidator {
       return checkStmt(cast<IterStmt>(S)->getBody(), InAtomic);
     case StmtKind::Return: {
       if (InAtomic)
-        return fail("return inside atomic block");
+        return fail(S, "return inside atomic block");
       const auto *R = cast<ReturnStmt>(S);
       if (R->getValue() && !isAtom(R->getValue()))
-        return fail("return value is not an atom");
+        return fail(S, "return value is not an atom");
       return true;
     }
     case StmtKind::Skip:
       return true;
     }
-    return fail("unknown statement kind");
+    return fail(S, "unknown statement kind");
   }
 };
 
 } // namespace
 
-bool kiss::lower::isCoreProgram(const Program &P, std::string *Why) {
+bool kiss::lower::isCoreProgram(const Program &P, std::string *Why,
+                                SourceLoc *WhyLoc) {
   CoreValidator V;
   for (const auto &F : P.getFunctions()) {
     if (!F->getBody()) {
       if (Why)
         *Why = "function without a body";
+      if (WhyLoc)
+        *WhyLoc = F->getLoc();
       return false;
     }
     if (!V.checkStmt(F->getBody(), false)) {
@@ -201,6 +207,8 @@ bool kiss::lower::isCoreProgram(const Program &P, std::string *Why) {
         *Why = "in function '" +
                std::string(P.getSymbolTable().str(F->getName())) +
                "': " + V.Why;
+      if (WhyLoc)
+        *WhyLoc = V.WhyLoc;
       return false;
     }
   }

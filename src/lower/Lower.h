@@ -42,7 +42,8 @@ bool lowerProgram(lang::Program &P, DiagnosticEngine &Diags);
 
 /// \returns true if \p P is in core form. On failure, \p Why (if non-null)
 /// receives a human-readable reason.
-bool isCoreProgram(const lang::Program &P, std::string *Why = nullptr);
+bool isCoreProgram(const lang::Program &P, std::string *Why = nullptr,
+                   SourceLoc *WhyLoc = nullptr);
 
 /// \returns true if \p E is a core atom: a literal, a resolved variable
 /// reference, or a function reference.

@@ -152,6 +152,41 @@ TEST(KissTransformTest, MixedAsyncSignaturesRejected) {
   auto T = transformForAssertions(*C.Program, TO, Diags);
   EXPECT_TRUE(T == nullptr);
   EXPECT_TRUE(Diags.hasErrors());
+  // The diagnostic points at the deviating async, not a blank location.
+  std::string Rendered = Diags.render(C.Ctx->SM);
+  EXPECT_NE(Rendered.find("test.kiss:6:"), std::string::npos) << Rendered;
+}
+
+TEST(KissTransformTest, AsyncArityRejectedAtItsLocation) {
+  auto C = compile(R"(
+    void w(int a, int b, int c, int d, int e) { skip; }
+    void main() {
+      async w(1, 2, 3, 4, 5);
+    }
+  )");
+  ASSERT_TRUE(C);
+  TransformOptions TO;
+  TO.MaxTs = 1;
+  DiagnosticEngine Diags;
+  auto T = transformForAssertions(*C.Program, TO, Diags);
+  EXPECT_TRUE(T == nullptr);
+  std::string Rendered = Diags.render(C.Ctx->SM);
+  EXPECT_NE(Rendered.find("at most"), std::string::npos) << Rendered;
+  // Points at the async that established the too-wide signature.
+  EXPECT_NE(Rendered.find("test.kiss:4:"), std::string::npos) << Rendered;
+}
+
+TEST(KissTransformTest, ParameterizedEntryRejectedAtItsLocation) {
+  auto C = compile("void main(int x) { skip; }");
+  ASSERT_TRUE(C);
+  TransformOptions TO;
+  DiagnosticEngine Diags;
+  auto T = transformForAssertions(*C.Program, TO, Diags);
+  EXPECT_TRUE(T == nullptr);
+  std::string Rendered = Diags.render(C.Ctx->SM);
+  EXPECT_NE(Rendered.find("parameterless entry"), std::string::npos)
+      << Rendered;
+  EXPECT_NE(Rendered.find("test.kiss:1:"), std::string::npos) << Rendered;
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,81 @@
+//===- RoundTripTest.cpp - ASTPrinter round-trip property -----------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The printer/parser round-trip property: for every example program and a
+/// sweep of generated programs, parse -> print -> reparse -> print must be
+/// a fixpoint (the two printed forms are byte-identical). This pins the
+/// printer's output to the grammar the parser accepts, which the shrinker
+/// and repro files depend on.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include "fuzz/Generator.h"
+#include "lang/ASTPrinter.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace kiss;
+using namespace kiss::test;
+
+namespace {
+
+/// Parses, prints, reparses, reprints, and compares. \returns the first
+/// printed form for further inspection.
+std::string expectRoundTrip(const std::string &Source,
+                            const std::string &Label) {
+  auto C1 = parseOnly(Source);
+  EXPECT_TRUE(C1) << Label << ":\n" << Source << "\n" << C1.diagnostics();
+  if (!C1)
+    return "";
+  std::string P1 = lang::printProgram(*C1.Program);
+  auto C2 = parseOnly(P1);
+  EXPECT_TRUE(C2) << Label << ": printed form does not reparse:\n" << P1
+                  << "\n"
+                  << C2.diagnostics();
+  if (!C2)
+    return P1;
+  std::string P2 = lang::printProgram(*C2.Program);
+  EXPECT_EQ(P1, P2) << Label << ": print is not a reparse fixpoint";
+  return P1;
+}
+
+TEST(RoundTripTest, EveryExampleProgramRoundTrips) {
+  unsigned Seen = 0;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(KISS_SAMPLES_DIR)) {
+    if (Entry.path().extension() != ".kiss")
+      continue;
+    std::ifstream In(Entry.path());
+    ASSERT_TRUE(In) << Entry.path();
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    expectRoundTrip(Buf.str(), Entry.path().filename().string());
+    ++Seen;
+  }
+  EXPECT_GE(Seen, 5u) << "example gallery went missing";
+}
+
+class RoundTripSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripSeedTest, GeneratedProgramsRoundTrip) {
+  uint64_t Seed = GetParam();
+  fuzz::GenOptions Base;
+  Base.Threads = 3;
+  Base.WithPointers = true;
+  std::string Source =
+      fuzz::generateProgram(Seed, fuzz::varyOptions(Seed, Base));
+  expectRoundTrip(Source, "seed " + std::to_string(Seed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripSeedTest,
+                         ::testing::Range<uint64_t>(0, 200));
+
+} // namespace

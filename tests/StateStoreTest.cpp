@@ -176,9 +176,15 @@ struct GoldenCount {
 TEST(StateStoreTest, CheckProgramVisitsSameStateCountAsSeed) {
   const GoldenCount Goldens[] = {
       {"queue.kiss", 0, 174},    {"queue.kiss", 2, 790},
-      {"bank_fixed.kiss", 0, 565}, {"bank_fixed.kiss", 2, 4167},
+      // bank_fixed re-recorded after the atomicity-release fix: its lock
+      // acquire (`atomic { assume(*l == 0); ... }`) now carries the
+      // guarded raise choice that models blocking releasing atomicity.
+      {"bank_fixed.kiss", 0, 593}, {"bank_fixed.kiss", 2, 4283},
       {"pingpong.kiss", 0, 47},  {"pingpong.kiss", 2, 638},
-      {"refcount.kiss", 0, 777},
+      // refcount re-recorded after the call write-back fix: `v = f()` now
+      // routes through a temp committed on the no-raise path, which adds a
+      // handful of intermediate states.
+      {"refcount.kiss", 0, 782},
   };
   for (const GoldenCount &G : Goldens) {
     Compiled C = compile(readSample(G.File));

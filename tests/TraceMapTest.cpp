@@ -176,6 +176,90 @@ TEST(TraceMapTest, NestedCallsStayOnTheirThread) {
   EXPECT_TRUE(DepthUpdateOnT1);
 }
 
+/// Context switches in a mapped trace: adjacent steps on different threads.
+unsigned switchesIn(const core::ConcurrentTrace &T) {
+  unsigned N = 0;
+  for (size_t I = 1; I < T.Steps.size(); ++I)
+    N += T.Steps[I].Thread != T.Steps[I - 1].Thread;
+  return N;
+}
+
+// Golden walkthroughs: thread-id shape and context-switch counts of the
+// shortest counterexamples on small canonical programs. BFS makes these
+// deterministic; a change here means the mapped trace's shape changed.
+
+TEST(TraceMapTest, GoldenSynchronousErrorHasNoSwitches) {
+  // The error is reachable with w run synchronously at its fork point and
+  // main contributes no steps of its own (a synchronous fork emits no
+  // spawn event), so the mapped trace is w's steps only: zero switches.
+  auto C = compile(R"(
+    int g = 0;
+    void w() { g = 1; assert(g == 0); }
+    void main() { async w(); }
+  )");
+  ASSERT_TRUE(C);
+  KissReport R = findError(C, 0);
+  ASSERT_EQ(R.Verdict, KissVerdict::AssertionViolation);
+  EXPECT_EQ(R.Trace.NumThreads, 2u);
+  EXPECT_EQ(switchesIn(R.Trace), 0u);
+  for (const MappedStep &S : R.Trace.Steps)
+    EXPECT_EQ(S.Thread, 1u);
+}
+
+TEST(TraceMapTest, GoldenTwoSwitchErrorCountsTwo) {
+  // main arms after the fork, w must run between the arming and the
+  // assert: t0 -> t1 -> t0, exactly two context switches.
+  auto C = compile(R"(
+    bool armed = false;
+    bool fired = false;
+    void w() {
+      assume(armed);
+      fired = true;
+    }
+    void main() {
+      async w();
+      armed = true;
+      assert(!fired);
+    }
+  )");
+  ASSERT_TRUE(C);
+  KissReport R = findError(C, 2);
+  ASSERT_EQ(R.Verdict, KissVerdict::AssertionViolation);
+  EXPECT_EQ(R.Trace.NumThreads, 2u);
+  EXPECT_EQ(switchesIn(R.Trace), 2u);
+  // The trace is t0+, t1+, t0+: the failing assert is back on main.
+  EXPECT_EQ(R.Trace.Steps.front().Thread, 0u);
+  EXPECT_EQ(R.Trace.Steps.back().Thread, 0u);
+}
+
+TEST(TraceMapTest, GoldenThreeThreadChainUsesFreshIds) {
+  // Both workers must run, in order, for the assert to fail; the mapped
+  // trace attributes their steps to distinct fresh thread ids.
+  auto C = compile(R"(
+    int stage = 0;
+    void w0() { stage = 1; }
+    void w1() {
+      assume(stage == 1);
+      stage = 2;
+    }
+    void main() {
+      async w0();
+      async w1();
+      assert(stage != 2);
+    }
+  )");
+  ASSERT_TRUE(C);
+  KissReport R = findError(C, 2);
+  ASSERT_EQ(R.Verdict, KissVerdict::AssertionViolation);
+  EXPECT_EQ(R.Trace.NumThreads, 3u);
+  std::set<uint32_t> ExecThreads;
+  for (const MappedStep &S : R.Trace.Steps)
+    if (S.K == MappedStep::Kind::Exec)
+      ExecThreads.insert(S.Thread);
+  EXPECT_EQ(ExecThreads, (std::set<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(R.Trace.Steps.back().Thread, 0u);
+}
+
 TEST(TraceMapTest, FormatterShowsThreadsAndLocations) {
   auto C = compile(R"(
     int g = 0;

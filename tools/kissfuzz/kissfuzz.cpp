@@ -1,0 +1,380 @@
+//===- kissfuzz.cpp - Differential fuzzing front end ----------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line driver of the differential fuzzing subsystem: generate
+/// seeded random Figure-3 programs, run each through both the KISS
+/// pipeline and the ground-truth interleaving checker, flag Theorem-1
+/// disagreements, and shrink them to minimal .kiss repro files.
+///
+///   kissfuzz --seed=1 --cases=1000           a campaign
+///   kissfuzz --smoke                         the fixed-seed CI smoke run
+///   kissfuzz --dump=42                       print the program of seed 42
+///   kissfuzz --verify-repro=f.kiss           re-check a repro's recorded
+///                                            verdict (regression corpus)
+///   kissfuzz --break-transform ...           sabotage the transform; the
+///                                            oracle must catch it
+///   kissfuzz --report=out.json --zero-timings  deterministic JSON report
+///
+/// Exit codes match the repo contract (docs/robustness.md): 0 = no
+/// violation, 1 = violation found (or repro verdict mismatch), 2 = usage
+/// or I/O problem, 3 = interrupted.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "fuzz/Repro.h"
+#include "support/Governor.h"
+#include "telemetry/Telemetry.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace kiss;
+using namespace kiss::fuzz;
+
+namespace {
+
+gov::CancellationToken GlobalCancel;
+
+extern "C" void handleTerminationSignal(int) { GlobalCancel.requestCancel(); }
+
+struct CliOptions {
+  uint64_t Seed = 1;
+  uint64_t Cases = 100;
+  unsigned Jobs = 1;
+  unsigned MaxTs = 2;
+  uint64_t MaxStates = 150'000;
+  double TimeoutSec = 0;       ///< Per engine run; 0 = none.
+  uint64_t MemoryBudgetMB = 0; ///< Per engine run; 0 = none.
+  GenOptions Grammar;
+  bool VaryGrammar = true;
+  bool Shrink = true;
+  bool CheckCompleteness = true;
+  bool BreakTransform = false;
+  bool Smoke = false;
+  bool ZeroTimings = false;
+  std::string ReportPath;
+  std::string ReproDir;
+  std::string VerifyReproPath;
+  bool DumpProgram = false;
+  uint64_t DumpSeed = 0;
+};
+
+void printUsage() {
+  std::fprintf(
+      stderr,
+      "usage: kissfuzz [options]\n"
+      "  --seed=<n>             campaign seed (case I uses seed+I; "
+      "default 1)\n"
+      "  --cases=<n>            number of cases (default 100)\n"
+      "  --jobs=<n>             worker threads (0 = all cores)\n"
+      "  --max-ts=<n>           MAX for the KISS side (default 2)\n"
+      "  --max-states=<n>       per-engine state budget (default 150000)\n"
+      "  --timeout=<secs>       per-engine wall-clock deadline\n"
+      "  --memory-budget=<mb>   per-engine visited-set byte budget\n"
+      "  --threads=<n>          grammar: max threads incl. main "
+      "(default 2)\n"
+      "  --stmts=<n>            grammar: statements per body (default 4)\n"
+      "  --depth=<n>            grammar: nesting budget (default 2)\n"
+      "  --helpers=<n>          grammar: helper procedures (default 1)\n"
+      "  --pointers             grammar: enable the pointer-bearing "
+      "variant\n"
+      "  --no-locks             grammar: drop the lock idiom\n"
+      "  --no-asserts           grammar: drop user assertions\n"
+      "  --no-vary              use the grammar verbatim (no per-case "
+      "sweep)\n"
+      "  --no-shrink            report findings unshrunk\n"
+      "  --no-completeness      soundness-only oracle\n"
+      "  --break-transform      (testing) sabotage the transform — the\n"
+      "                         oracle must flag every reported error\n"
+      "  --smoke                the fixed-seed CI preset (~30 s)\n"
+      "  --dump=<seed>          print the generated program and exit\n"
+      "  --verify-repro=<file>  re-run a repro, check its recorded "
+      "verdict\n"
+      "  --repro-dir=<dir>      write shrunk findings there as .kiss "
+      "files\n"
+      "  --report=<path>        machine-readable JSON campaign report\n"
+      "  --zero-timings         zero wall_ms fields (byte-identical "
+      "reports)\n"
+      "\n"
+      "exit codes: 0 no violation; 1 violation found / repro mismatch;\n"
+      "2 usage or I/O problem; 3 interrupted\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Num = [&](size_t Prefix) -> uint64_t {
+      return std::strtoull(Arg.c_str() + Prefix, nullptr, 10);
+    };
+    if (Arg.rfind("--seed=", 0) == 0) {
+      Opts.Seed = Num(7);
+    } else if (Arg.rfind("--cases=", 0) == 0) {
+      Opts.Cases = Num(8);
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      Opts.Jobs = static_cast<unsigned>(Num(7));
+    } else if (Arg.rfind("--max-ts=", 0) == 0) {
+      Opts.MaxTs = static_cast<unsigned>(Num(9));
+    } else if (Arg.rfind("--max-states=", 0) == 0) {
+      Opts.MaxStates = Num(13);
+    } else if (Arg.rfind("--timeout=", 0) == 0) {
+      Opts.TimeoutSec = std::strtod(Arg.c_str() + 10, nullptr);
+      if (Opts.TimeoutSec <= 0) {
+        std::fprintf(stderr, "--timeout needs a positive number of seconds\n");
+        return false;
+      }
+    } else if (Arg.rfind("--memory-budget=", 0) == 0) {
+      Opts.MemoryBudgetMB = Num(16);
+      if (Opts.MemoryBudgetMB == 0) {
+        std::fprintf(stderr, "--memory-budget needs a positive MB count\n");
+        return false;
+      }
+    } else if (Arg.rfind("--threads=", 0) == 0) {
+      Opts.Grammar.Threads = static_cast<unsigned>(Num(10));
+      if (Opts.Grammar.Threads == 0) {
+        std::fprintf(stderr, "--threads needs at least 1\n");
+        return false;
+      }
+    } else if (Arg.rfind("--stmts=", 0) == 0) {
+      Opts.Grammar.Stmts = static_cast<unsigned>(Num(8));
+    } else if (Arg.rfind("--depth=", 0) == 0) {
+      Opts.Grammar.Depth = static_cast<unsigned>(Num(8));
+    } else if (Arg.rfind("--helpers=", 0) == 0) {
+      Opts.Grammar.Helpers = static_cast<unsigned>(Num(10));
+    } else if (Arg == "--pointers") {
+      Opts.Grammar.WithPointers = true;
+    } else if (Arg == "--no-locks") {
+      Opts.Grammar.WithLocks = false;
+    } else if (Arg == "--no-asserts") {
+      Opts.Grammar.WithAsserts = false;
+    } else if (Arg == "--no-vary") {
+      Opts.VaryGrammar = false;
+    } else if (Arg == "--no-shrink") {
+      Opts.Shrink = false;
+    } else if (Arg == "--no-completeness") {
+      Opts.CheckCompleteness = false;
+    } else if (Arg == "--break-transform") {
+      Opts.BreakTransform = true;
+    } else if (Arg == "--smoke") {
+      Opts.Smoke = true;
+    } else if (Arg.rfind("--dump=", 0) == 0) {
+      Opts.DumpProgram = true;
+      Opts.DumpSeed = Num(7);
+    } else if (Arg.rfind("--verify-repro=", 0) == 0) {
+      Opts.VerifyReproPath = Arg.substr(15);
+      if (Opts.VerifyReproPath.empty()) {
+        std::fprintf(stderr, "--verify-repro needs a path\n");
+        return false;
+      }
+    } else if (Arg.rfind("--repro-dir=", 0) == 0) {
+      Opts.ReproDir = Arg.substr(12);
+      if (Opts.ReproDir.empty()) {
+        std::fprintf(stderr, "--repro-dir needs a path\n");
+        return false;
+      }
+    } else if (Arg.rfind("--report=", 0) == 0) {
+      Opts.ReportPath = Arg.substr(9);
+      if (Opts.ReportPath.empty()) {
+        std::fprintf(stderr, "--report needs a path\n");
+        return false;
+      }
+    } else if (Arg == "--zero-timings") {
+      Opts.ZeroTimings = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// The CI preset: fixed seed, a case count that finishes in ~30 s on a
+/// small runner, and per-case budgets that bound tail latency.
+void applySmokePreset(CliOptions &Opts) {
+  Opts.Seed = 20040601; // The paper's year/month — fixed forever.
+  Opts.Cases = 1200;
+  Opts.MaxStates = 60'000;
+  Opts.TimeoutSec = 1.0;
+  Opts.Grammar.WithPointers = true;
+  Opts.Grammar.Threads = 3;
+}
+
+OracleOptions makeOracleOptions(const CliOptions &Opts) {
+  OracleOptions OO;
+  OO.MaxTs = Opts.MaxTs;
+  OO.MaxStates = Opts.MaxStates;
+  OO.Budget.DeadlineSec = Opts.TimeoutSec;
+  OO.Budget.MemoryBytes = Opts.MemoryBudgetMB * 1024 * 1024;
+  OO.Budget.Cancel = &GlobalCancel;
+  OO.CheckCompleteness = Opts.CheckCompleteness;
+  OO.InjectBreakAsserts = Opts.BreakTransform;
+  return OO;
+}
+
+int runVerifyRepro(const CliOptions &Opts) {
+  std::ifstream In(Opts.VerifyReproPath);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n",
+                 Opts.VerifyReproPath.c_str());
+    return 2;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+
+  Repro R;
+  std::string Error;
+  if (!parseRepro(Buffer.str(), R, Error)) {
+    std::fprintf(stderr, "error: %s: %s\n", Opts.VerifyReproPath.c_str(),
+                 Error.c_str());
+    return 2;
+  }
+
+  OracleOptions OO = makeOracleOptions(Opts);
+  OO.MaxTs = R.MaxTs;
+  OO.InjectBreakAsserts = OO.InjectBreakAsserts || R.BreakTransform;
+  OracleResult O = runOracle(R.Source, OO);
+  std::printf("%s: recorded %s, observed %s\n", Opts.VerifyReproPath.c_str(),
+              getOracleVerdictName(R.Expect), getOracleVerdictName(O.V));
+  if (O.V == R.Expect)
+    return 0;
+  if (!O.Detail.empty())
+    std::printf("detail: %s\n", O.Detail.c_str());
+  if (!O.DiscardDiagnostics.empty())
+    std::printf("%s", O.DiscardDiagnostics.c_str());
+  return 1;
+}
+
+/// Writes each finding to \p Dir as a self-describing repro file.
+/// \returns false on I/O failure.
+bool writeRepros(const std::string &Dir, const FuzzSummary &Sum) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC) {
+    std::fprintf(stderr, "error: cannot create '%s': %s\n", Dir.c_str(),
+                 EC.message().c_str());
+    return false;
+  }
+  for (const Finding &F : Sum.Findings) {
+    Repro R;
+    R.Seed = F.Seed;
+    R.MaxTs = F.MaxTs;
+    R.BreakTransform = F.BreakTransform;
+    R.Expect = F.V;
+    R.Detail = F.Detail;
+    R.Source = F.Source;
+    std::string Path = Dir + "/seed-" + std::to_string(F.Seed) + "-" +
+                       getOracleVerdictName(F.V) + ".kiss";
+    std::ofstream Out(Path);
+    Out << renderRepro(R);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", Path.c_str());
+      return false;
+    }
+    std::printf("wrote %s\n", Path.c_str());
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage();
+    return 2;
+  }
+  if (Opts.Smoke)
+    applySmokePreset(Opts);
+
+  std::signal(SIGINT, handleTerminationSignal);
+  std::signal(SIGTERM, handleTerminationSignal);
+
+  if (Opts.DumpProgram) {
+    GenOptions G = Opts.VaryGrammar ? varyOptions(Opts.DumpSeed, Opts.Grammar)
+                                    : Opts.Grammar;
+    std::printf("%s", generateProgram(Opts.DumpSeed, G).c_str());
+    return 0;
+  }
+
+  if (!Opts.VerifyReproPath.empty())
+    return runVerifyRepro(Opts);
+
+  FuzzOptions FO;
+  FO.Seed = Opts.Seed;
+  FO.Cases = Opts.Cases;
+  FO.Jobs = Opts.Jobs;
+  FO.Grammar = Opts.Grammar;
+  FO.VaryGrammar = Opts.VaryGrammar;
+  FO.Oracle = makeOracleOptions(Opts);
+  FO.Shrink = Opts.Shrink;
+
+  telemetry::RunRecorder Rec;
+  Rec.setMeta("tool", "kissfuzz");
+  Rec.setMeta("seed", std::to_string(Opts.Seed));
+  Rec.setMeta("cases", std::to_string(Opts.Cases));
+  Rec.setMeta("max_ts", std::to_string(Opts.MaxTs));
+  Rec.setMeta("max_states", std::to_string(Opts.MaxStates));
+  Rec.setMeta("grammar_threads", std::to_string(Opts.Grammar.Threads));
+  Rec.setMeta("grammar_pointers",
+              Opts.Grammar.WithPointers ? "true" : "false");
+  Rec.setMeta("break_transform", Opts.BreakTransform ? "true" : "false");
+
+  auto FuzzSpan = Rec.beginPhase("fuzz");
+  FuzzSummary Sum = runCampaign(FO, &Rec);
+  FuzzSpan.end();
+
+  std::printf("cases: %llu run, %llu skipped\n",
+              static_cast<unsigned long long>(Sum.CasesRun),
+              static_cast<unsigned long long>(Sum.CasesSkipped));
+  std::printf("verdicts: %llu agree, %llu discard, %llu inconclusive\n",
+              static_cast<unsigned long long>(
+                  Sum.Counts[static_cast<int>(OracleVerdict::Agree)]),
+              static_cast<unsigned long long>(Sum.discards()),
+              static_cast<unsigned long long>(
+                  Sum.Counts[static_cast<int>(OracleVerdict::Inconclusive)]));
+  std::printf("violations: %llu (%llu soundness, %llu trace, "
+              "%llu completeness)\n",
+              static_cast<unsigned long long>(Sum.violations()),
+              static_cast<unsigned long long>(
+                  Sum.Counts[static_cast<int>(OracleVerdict::SoundnessBug)]),
+              static_cast<unsigned long long>(
+                  Sum.Counts[static_cast<int>(OracleVerdict::TraceBug)]),
+              static_cast<unsigned long long>(Sum.Counts[static_cast<int>(
+                  OracleVerdict::CompletenessBug)]));
+  if (Sum.ShrinkSteps)
+    std::printf("shrink: %llu steps over %llu oracle evaluations\n",
+                static_cast<unsigned long long>(Sum.ShrinkSteps),
+                static_cast<unsigned long long>(Sum.ShrinkEvals));
+  for (const Finding &F : Sum.Findings)
+    std::printf("finding: seed %llu — %s (%s)\n",
+                static_cast<unsigned long long>(F.Seed),
+                getOracleVerdictName(F.V), F.Detail.c_str());
+  for (const std::string &D : Sum.DiscardDiagnostics)
+    std::fprintf(stderr, "discard diagnostics:\n%s", D.c_str());
+
+  if (!Opts.ReproDir.empty() && !writeRepros(Opts.ReproDir, Sum))
+    return 2;
+
+  telemetry::ReportOptions RO;
+  RO.ZeroTimings = Opts.ZeroTimings;
+  if (!Opts.ReportPath.empty() &&
+      !telemetry::writeReport(Rec, Opts.ReportPath, RO))
+    return 2;
+
+  if (Sum.Interrupted) {
+    std::printf("run interrupted; partial results above\n");
+    return 3;
+  }
+  return Sum.violations() ? 1 : 0;
+}
