@@ -7,6 +7,7 @@
 #ifndef KISS_BENCH_BENCHUTIL_H
 #define KISS_BENCH_BENCHUTIL_H
 
+#include "kiss/Kiss.h"
 #include "lower/Pipeline.h"
 #include "support/Governor.h"
 
@@ -18,22 +19,28 @@
 
 namespace kiss::bench {
 
-/// A compiled program together with its session context.
+/// A compiled program together with the kiss::Session that owns it.
+/// Benches tweak `config()` between `check()` calls to sweep knobs.
 struct Compiled {
-  std::unique_ptr<lower::CompilerContext> Ctx;
+  std::unique_ptr<kiss::Session> S;
   std::unique_ptr<lang::Program> Program;
+
+  kiss::CheckConfig &config() { return S->config(); }
+  kiss::CheckResult check() { return S->check(*Program); }
+  lower::CompilerContext &ctx() { return S->context(); }
 };
 
-/// Compiles \p Source to a core program; aborts the bench on failure
+/// Compiles \p Source in a fresh Session; aborts the bench on failure
 /// (bench inputs are all generated/fixed sources).
 inline Compiled compileOrDie(const std::string &Name,
-                             const std::string &Source) {
+                             const std::string &Source,
+                             kiss::CheckConfig Cfg = kiss::CheckConfig()) {
   Compiled C;
-  C.Ctx = std::make_unique<lower::CompilerContext>();
-  C.Program = lower::compileToCore(*C.Ctx, Name, Source);
+  C.S = std::make_unique<kiss::Session>(std::move(Cfg));
+  C.Program = C.S->compile(Name, Source);
   if (!C.Program) {
     std::fprintf(stderr, "bench input failed to compile:\n%s\n",
-                 C.Ctx->renderDiagnostics().c_str());
+                 C.S->diagnostics().c_str());
     std::abort();
   }
   return C;

@@ -34,26 +34,31 @@ struct ProbeCounts {
   uint64_t Pruned = 0;
 };
 
-/// Transforms every field program of \p D and accumulates probe stats.
+/// Instruments every field program of \p D and accumulates probe stats.
+/// MaxStates = 1 stops the exploration right after the transform: the
+/// probe counters are filled in either way, and this table is about
+/// instrumentation, not checking.
 ProbeCounts countProbes(const DriverSpec &D, bool UseAlias) {
   ProbeCounts Out;
   for (unsigned I = 0; I != D.Fields.size(); ++I) {
-    lower::CompilerContext Ctx;
-    auto P = lower::compileToCore(
-        Ctx, "probe", buildFieldProgram(D, I, HarnessVersion::V1Unconstrained));
+    CheckConfig Cfg;
+    Cfg.M = CheckConfig::Mode::Race;
+    Cfg.MaxTs = 0;
+    Cfg.UseAliasAnalysis = UseAlias;
+    Cfg.MaxStates = 1;
+    Session S(Cfg);
+    auto P = S.compile("probe",
+                       buildFieldProgram(D, I, HarnessVersion::V1Unconstrained));
     if (!P)
       continue;
-    TransformOptions TO;
-    TO.MaxTs = 0;
-    TO.UseAliasAnalysis = UseAlias;
-    TransformStats Stats;
-    RaceTarget T = RaceTarget::field(Ctx.Syms.intern(getDeviceExtensionName()),
-                                     Ctx.Syms.intern(D.Fields[I].Name));
-    auto TP = transformForRace(*P, T, TO, Ctx.Diags, &Stats);
-    if (!TP)
+    S.config().Race =
+        RaceTarget::field(S.context().Syms.intern(getDeviceExtensionName()),
+                          S.context().Syms.intern(D.Fields[I].Name));
+    KissReport R = S.check(*P);
+    if (S.hasErrors())
       continue;
-    Out.Emitted += Stats.ProbesEmitted;
-    Out.Pruned += Stats.ProbesPruned;
+    Out.Emitted += R.Stats.ProbesEmitted;
+    Out.Pruned += R.Stats.ProbesPruned;
   }
   return Out;
 }
@@ -99,18 +104,18 @@ int main() {
     uint64_t States = 0;
     unsigned Races = 0;
     for (unsigned I = 0; I != D->Fields.size(); ++I) {
-      lower::CompilerContext Ctx;
-      auto P = lower::compileToCore(
-          Ctx, "fdc",
-          buildFieldProgram(*D, I, HarnessVersion::V1Unconstrained));
-      KissOptions KO;
-      KO.MaxTs = 0;
-      KO.UseAliasAnalysis = UseAlias;
-      KO.Seq.MaxStates = 25000;
-      RaceTarget T =
-          RaceTarget::field(Ctx.Syms.intern(getDeviceExtensionName()),
-                            Ctx.Syms.intern(D->Fields[I].Name));
-      KissReport R = checkRace(*P, T, KO, Ctx.Diags);
+      CheckConfig Cfg;
+      Cfg.M = CheckConfig::Mode::Race;
+      Cfg.MaxTs = 0;
+      Cfg.UseAliasAnalysis = UseAlias;
+      Cfg.MaxStates = 25000;
+      Compiled C = compileOrDie(
+          "fdc", buildFieldProgram(*D, I, HarnessVersion::V1Unconstrained),
+          Cfg);
+      C.config().Race =
+          RaceTarget::field(C.ctx().Syms.intern(getDeviceExtensionName()),
+                            C.ctx().Syms.intern(D->Fields[I].Name));
+      KissReport R = C.check();
       States += R.Sequential.StatesExplored;
       if (R.Verdict == KissVerdict::RaceDetected)
         ++Races;

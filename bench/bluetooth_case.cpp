@@ -36,17 +36,18 @@ struct Row {
 };
 
 KissReport runAsserts(Compiled &C, unsigned MaxTs) {
-  KissOptions Opts;
-  Opts.MaxTs = MaxTs;
-  return checkAssertions(*C.Program, Opts, C.Ctx->Diags);
+  C.config().M = CheckConfig::Mode::Assertions;
+  C.config().MaxTs = MaxTs;
+  return C.check();
 }
 
 KissReport runRaceOn(Compiled &C, const char *Field, unsigned MaxTs) {
-  KissOptions Opts;
-  Opts.MaxTs = MaxTs;
-  RaceTarget T = RaceTarget::field(C.Ctx->Syms.intern("DEVICE_EXTENSION"),
-                                   C.Ctx->Syms.intern(Field));
-  return checkRace(*C.Program, T, Opts, C.Ctx->Diags);
+  C.config().M = CheckConfig::Mode::Race;
+  C.config().MaxTs = MaxTs;
+  C.config().Race =
+      RaceTarget::field(C.ctx().Syms.intern("DEVICE_EXTENSION"),
+                        C.ctx().Syms.intern(Field));
+  return C.check();
 }
 
 } // namespace
@@ -78,7 +79,7 @@ int main() {
     if (A1.foundError() && !PrintedTrace) {
       std::printf("Reconstructed concurrent error trace (MAX = 1):\n");
       std::printf("%s", formatConcurrentTrace(A1.Trace, *C.Program,
-                                              &C.Ctx->SM)
+                                              &C.ctx().SM)
                             .c_str());
       printRule();
       PrintedTrace = true;

@@ -116,6 +116,8 @@ int main() {
   core::TransformOptions TO;
   TO.MaxTs = 1;
   DiagnosticEngine Diags;
+  // Direct transform call (not Session::check): this claim measures the
+  // translation's output size without running any exploration.
   auto Transformed = core::transformForAssertions(*BT.Program, TO, Diags);
   if (!Transformed)
     return 1;

@@ -75,9 +75,8 @@ int main() {
     bool CostGrows = true;
     for (unsigned Max = 0; Max <= 3; ++Max) {
       Compiled C = compileOrDie(Ca.Name, Ca.Source);
-      KissOptions Opts;
-      Opts.MaxTs = Max;
-      KissReport R = checkAssertions(*C.Program, Opts, C.Ctx->Diags);
+      C.config().MaxTs = Max;
+      KissReport R = C.check();
 
       bool ExpectFound = Max >= Ca.NeededMax;
       bool Match = ExpectFound == R.foundError();

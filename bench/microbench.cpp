@@ -45,8 +45,8 @@ namespace {
 void BM_FrontendBluetooth(benchmark::State &State) {
   std::string Source = drivers::getBluetoothSource();
   for (auto _ : State) {
-    lower::CompilerContext Ctx;
-    auto P = lower::compileToCore(Ctx, "bt", Source);
+    Session S;
+    auto P = S.compile("bt", Source);
     benchmark::DoNotOptimize(P);
   }
 }
@@ -61,6 +61,10 @@ void BM_CfgBuild(benchmark::State &State) {
 }
 BENCHMARK(BM_CfgBuild);
 
+// The phase benchmarks below call the transform layer directly — they
+// time one pipeline stage in isolation, which Session::check (end to
+// end by design) cannot express. Everything end-to-end goes through
+// kiss::Session.
 void BM_TransformAssertions(benchmark::State &State) {
   Compiled C = compileOrDie("bt", drivers::getBluetoothSource());
   TransformOptions TO;
@@ -77,8 +81,8 @@ void BM_TransformRace(benchmark::State &State) {
   Compiled C = compileOrDie("bt", drivers::getBluetoothSource());
   TransformOptions TO;
   TO.MaxTs = 0;
-  RaceTarget T = RaceTarget::field(C.Ctx->Syms.intern("DEVICE_EXTENSION"),
-                                   C.Ctx->Syms.intern("stoppingFlag"));
+  RaceTarget T = RaceTarget::field(C.ctx().Syms.intern("DEVICE_EXTENSION"),
+                                   C.ctx().Syms.intern("stoppingFlag"));
   for (auto _ : State) {
     DiagnosticEngine Diags;
     auto TP = transformForRace(*C.Program, T, TO, Diags);
@@ -163,10 +167,9 @@ BENCHMARK(BM_ConcCheckerBFS);
 
 void BM_EndToEndAssertionCheck(benchmark::State &State) {
   Compiled C = compileOrDie("bt", drivers::getBluetoothSource());
+  C.config().MaxTs = 1;
   for (auto _ : State) {
-    KissOptions Opts;
-    Opts.MaxTs = 1;
-    KissReport R = checkAssertions(*C.Program, Opts, C.Ctx->Diags);
+    KissReport R = C.check();
     benchmark::DoNotOptimize(R.Verdict);
   }
 }
@@ -174,12 +177,13 @@ BENCHMARK(BM_EndToEndAssertionCheck);
 
 void BM_EndToEndRaceCheck(benchmark::State &State) {
   Compiled C = compileOrDie("bt", drivers::getBluetoothSource());
-  RaceTarget T = RaceTarget::field(C.Ctx->Syms.intern("DEVICE_EXTENSION"),
-                                   C.Ctx->Syms.intern("stoppingFlag"));
+  RaceTarget T = RaceTarget::field(C.ctx().Syms.intern("DEVICE_EXTENSION"),
+                                   C.ctx().Syms.intern("stoppingFlag"));
+  C.config().M = CheckConfig::Mode::Race;
+  C.config().MaxTs = 0;
+  C.config().Race = T;
   for (auto _ : State) {
-    KissOptions Opts;
-    Opts.MaxTs = 0;
-    KissReport R = checkRace(*C.Program, T, Opts, C.Ctx->Diags);
+    KissReport R = C.check();
     benchmark::DoNotOptimize(R.Verdict);
   }
 }
@@ -211,8 +215,8 @@ void writeSeqcheckJson(const char *Path) {
   Rec.setMeta("workload", "bluetooth + family k=5 m=4, MAX=1");
 
   double FrontendSec = timePhase([&] {
-    lower::CompilerContext Ctx;
-    auto P = lower::compileToCore(Ctx, "bt", BtSource);
+    Session S;
+    auto P = S.compile("bt", BtSource);
     benchmark::DoNotOptimize(P);
   });
   Rec.addPhase("frontend", FrontendSec * 1000.0);

@@ -118,10 +118,9 @@ int main(int Argc, char **Argv) {
     R.Conc = std::move(Conc);
 
     auto T1 = std::chrono::steady_clock::now();
-    KissOptions KO;
-    KO.MaxTs = MaxTs;
-    KO.Seq.MaxStates = Budget;
-    KissReport Kiss = checkAssertions(*C.Program, KO, C.Ctx->Diags);
+    C.config().MaxTs = MaxTs;
+    C.config().MaxStates = Budget;
+    KissReport Kiss = C.check();
     R.KissSec = seconds(T1);
     R.KissStates = Kiss.Sequential.StatesExplored;
     R.KissV = Kiss.Verdict;

@@ -49,9 +49,9 @@ int main(int Argc, char **Argv) {
 
   CorpusRunOptions Opts;
   Opts.Harness = HarnessVersion::V1Unconstrained;
-  Opts.Jobs = Jobs;
-  Opts.Recorder = &Rec;
-  Opts.FieldBudget = makeFieldBudget(Bench, Cancel);
+  Opts.Common.Jobs = Jobs;
+  Opts.Common.Recorder = &Rec;
+  Opts.Common.Budget = makeFieldBudget(Bench, Cancel);
 
   unsigned TotalFields = 0, TotalRaces = 0, TotalNoRaces = 0, TotalBound = 0;
   unsigned PaperRaces = 0, PaperNoRaces = 0, PaperBound = 0;

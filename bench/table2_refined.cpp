@@ -52,8 +52,8 @@ int main(int Argc, char **Argv) {
     // Experiment 1: find the racy fields with the unconstrained harness.
     CorpusRunOptions V1;
     V1.Harness = HarnessVersion::V1Unconstrained;
-    V1.Jobs = Jobs;
-    V1.FieldBudget = makeFieldBudget(Bench, Cancel);
+    V1.Common.Jobs = Jobs;
+    V1.Common.Budget = makeFieldBudget(Bench, Cancel);
     DriverResult R1 = runDriver(D, V1);
     std::vector<unsigned> Racy = racyFieldIndices(R1);
     TotalV1 += Racy.size();
@@ -66,9 +66,9 @@ int main(int Argc, char **Argv) {
     CorpusRunOptions V2;
     V2.Harness = HarnessVersion::V2Refined;
     V2.OnlyFields = Racy;
-    V2.Jobs = Jobs;
-    V2.Recorder = &Rec;
-    V2.FieldBudget = makeFieldBudget(Bench, Cancel);
+    V2.Common.Jobs = Jobs;
+    V2.Common.Recorder = &Rec;
+    V2.Common.Budget = makeFieldBudget(Bench, Cancel);
     DriverResult R2 = runDriver(D, V2);
 
     TotalV2 += R2.Races;

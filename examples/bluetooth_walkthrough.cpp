@@ -17,7 +17,7 @@
 
 #include "conc/ConcChecker.h"
 #include "drivers/Bluetooth.h"
-#include "kiss/KissChecker.h"
+#include "kiss/Kiss.h"
 #include "lower/Pipeline.h"
 
 #include <cstdio>
@@ -27,25 +27,26 @@ using namespace kiss::core;
 
 namespace {
 
-struct Session {
-  lower::CompilerContext Ctx;
+struct Loaded {
+  std::unique_ptr<kiss::Session> S;
   std::unique_ptr<lang::Program> Program;
 };
 
-Session load(const char *Name, const std::string &Source) {
-  Session S;
-  S.Program = lower::compileToCore(S.Ctx, Name, Source);
-  if (!S.Program) {
+Loaded load(const char *Name, const std::string &Source) {
+  Loaded L;
+  L.S = std::make_unique<kiss::Session>();
+  L.Program = L.S->compile(Name, Source);
+  if (!L.Program) {
     std::printf("failed to compile %s:\n%s", Name,
-                S.Ctx.renderDiagnostics().c_str());
+                L.S->diagnostics().c_str());
     std::exit(1);
   }
-  return S;
+  return L;
 }
 
-rt::CheckOutcome groundTruth(Session &S) {
-  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*S.Program);
-  return conc::checkProgram(*S.Program, CFG).Outcome;
+rt::CheckOutcome groundTruth(Loaded &L) {
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*L.Program);
+  return conc::checkProgram(*L.Program, CFG).Outcome;
 }
 
 } // namespace
@@ -54,7 +55,7 @@ int main() {
   std::printf("The Bluetooth driver case study (Qadeer & Wu, PLDI 2004, "
               "section 2)\n\n");
 
-  Session Buggy = load("bluetooth.kiss", drivers::getBluetoothSource());
+  Loaded Buggy = load("bluetooth.kiss", drivers::getBluetoothSource());
 
   // --- §2.2: the race on stoppingFlag, ts bound 0. ---
   std::printf("Step 1 (sec. 2.2). Race detection on "
@@ -62,18 +63,22 @@ int main() {
   std::printf("The paper: \"a size 0 for the multiset ts is enough to "
               "expose the race.\"\n");
   {
-    KissOptions Opts;
-    Opts.MaxTs = 0;
-    RaceTarget T =
-        RaceTarget::field(Buggy.Ctx.Syms.intern("DEVICE_EXTENSION"),
-                          Buggy.Ctx.Syms.intern("stoppingFlag"));
-    KissReport R = checkRace(*Buggy.Program, T, Opts, Buggy.Ctx.Diags);
+    Buggy.S->config().M = CheckConfig::Mode::Race;
+    Buggy.S->config().MaxTs = 0;
+    std::string Error;
+    if (!Buggy.S->resolveRaceTarget("DEVICE_EXTENSION.stoppingFlag",
+                                    *Buggy.Program, Buggy.S->config().Race,
+                                    Error)) {
+      std::printf("error: %s\n", Error.c_str());
+      return 1;
+    }
+    KissReport R = Buggy.S->check(*Buggy.Program);
     std::printf("KISS verdict: %s (%llu sequential states)\n",
                 getVerdictName(R.Verdict),
                 static_cast<unsigned long long>(
                     R.Sequential.StatesExplored));
     std::printf("%s\n", formatConcurrentTrace(R.Trace, *Buggy.Program,
-                                              &Buggy.Ctx.SM)
+                                              &Buggy.S->context().SM)
                             .c_str());
   }
 
@@ -82,17 +87,17 @@ int main() {
               "be simulated ... if the\nsize of ts is 0. However, the "
               "error trace can be simulated if the size of ts is\n"
               "increased to 1.\"\n");
+  Buggy.S->config().M = CheckConfig::Mode::Assertions;
   for (unsigned MaxTs : {0u, 1u}) {
-    KissOptions Opts;
-    Opts.MaxTs = MaxTs;
-    KissReport R = checkAssertions(*Buggy.Program, Opts, Buggy.Ctx.Diags);
+    Buggy.S->config().MaxTs = MaxTs;
+    KissReport R = Buggy.S->check(*Buggy.Program);
     std::printf("MAX = %u -> %s (%llu states)\n", MaxTs,
                 getVerdictName(R.Verdict),
                 static_cast<unsigned long long>(
                     R.Sequential.StatesExplored));
     if (R.foundError())
       std::printf("%s", formatConcurrentTrace(R.Trace, *Buggy.Program,
-                                              &Buggy.Ctx.SM)
+                                              &Buggy.S->context().SM)
                             .c_str());
   }
 
@@ -107,12 +112,11 @@ int main() {
   std::printf("Step 4 (sec. 6). \"After fixing the bug as suggested by "
               "the driver quality team,\nwe ran KISS again and this time "
               "KISS did not report any errors.\"\n");
-  Session Fixed = load("bluetooth-fixed.kiss",
-                       drivers::getFixedBluetoothSource());
+  Loaded Fixed = load("bluetooth-fixed.kiss",
+                      drivers::getFixedBluetoothSource());
   for (unsigned MaxTs : {0u, 1u, 2u}) {
-    KissOptions Opts;
-    Opts.MaxTs = MaxTs;
-    KissReport R = checkAssertions(*Fixed.Program, Opts, Fixed.Ctx.Diags);
+    Fixed.S->config().MaxTs = MaxTs;
+    KissReport R = Fixed.S->check(*Fixed.Program);
     std::printf("fixed driver, MAX = %u -> %s\n", MaxTs,
                 getVerdictName(R.Verdict));
   }
@@ -123,11 +127,10 @@ int main() {
   std::printf("Step 5 (sec. 6). fakemodem's reference counting already "
               "matches the fixed\npattern: \"KISS did not report any "
               "errors in the fakemodem driver.\"\n");
-  Session Modem = load("fakemodem.kiss",
-                       drivers::getFakemodemRefcountSource());
-  KissOptions Opts;
-  Opts.MaxTs = 1;
-  KissReport R = checkAssertions(*Modem.Program, Opts, Modem.Ctx.Diags);
+  Loaded Modem = load("fakemodem.kiss",
+                      drivers::getFakemodemRefcountSource());
+  Modem.S->config().MaxTs = 1;
+  KissReport R = Modem.S->check(*Modem.Program);
   std::printf("fakemodem, MAX = 1 -> %s\n", getVerdictName(R.Verdict));
   return 0;
 }

@@ -20,7 +20,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "conc/ConcChecker.h"
-#include "kiss/KissChecker.h"
+#include "kiss/Kiss.h"
 #include "lower/Pipeline.h"
 
 #include <cstdio>
@@ -65,15 +65,16 @@ const char *PingPongSource = R"(
 )";
 
 struct Loaded {
-  lower::CompilerContext Ctx;
+  std::unique_ptr<kiss::Session> S;
   std::unique_ptr<lang::Program> Program;
 };
 
 Loaded load(const char *Name, const char *Source) {
   Loaded L;
-  L.Program = lower::compileToCore(L.Ctx, Name, Source);
+  L.S = std::make_unique<kiss::Session>();
+  L.Program = L.S->compile(Name, Source);
   if (!L.Program) {
-    std::printf("compile error:\n%s", L.Ctx.renderDiagnostics().c_str());
+    std::printf("compile error:\n%s", L.S->diagnostics().c_str());
     std::exit(1);
   }
   return L;
@@ -86,9 +87,8 @@ void explore(const char *Title, const char *Source) {
 
   // KISS at several ts bounds.
   for (unsigned MaxTs : {0u, 1u, 2u}) {
-    KissOptions Opts;
-    Opts.MaxTs = MaxTs;
-    KissReport R = checkAssertions(*L.Program, Opts, L.Ctx.Diags);
+    L.S->config().MaxTs = MaxTs;
+    KissReport R = L.S->check(*L.Program);
     std::printf("  KISS MAX=%u:                 %s\n", MaxTs,
                 getVerdictName(R.Verdict));
   }

@@ -15,7 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "kiss/KissChecker.h"
+#include "kiss/Kiss.h"
 #include "lang/ASTPrinter.h"
 #include "lower/Pipeline.h"
 
@@ -53,11 +53,12 @@ const char *Source = R"(
 } // namespace
 
 int main() {
-  // 1. Compile (parse + type check + lower to the Figure-3 core).
-  lower::CompilerContext Ctx;
-  auto Program = lower::compileToCore(Ctx, "quickstart.kiss", Source);
+  // 1. Open a session and compile (parse + type check + lower to the
+  // Figure-3 core). The Session owns symbols, diagnostics, and budgets.
+  Session S;
+  auto Program = S.compile("quickstart.kiss", Source);
   if (!Program) {
-    std::printf("compilation failed:\n%s", Ctx.renderDiagnostics().c_str());
+    std::printf("compilation failed:\n%s", S.diagnostics().c_str());
     return 1;
   }
   std::printf("== Input program compiled: %zu functions, %zu globals\n\n",
@@ -65,19 +66,23 @@ int main() {
 
   // 2. Assertion checking (Figure 4). MAX = 0 already lets the forked
   // producer run (synchronously) and terminate between its two writes.
-  KissOptions Opts;
-  Opts.MaxTs = 0;
-  KissReport Asserts = checkAssertions(*Program, Opts, Ctx.Diags);
+  S.config().MaxTs = 0;
+  KissReport Asserts = S.check(*Program);
   std::printf("== Assertion check: %s\n", getVerdictName(Asserts.Verdict));
   if (Asserts.foundError()) {
     std::printf("-- reconstructed concurrent trace:\n%s\n",
-                formatConcurrentTrace(Asserts.Trace, *Program, &Ctx.SM)
+                formatConcurrentTrace(Asserts.Trace, *Program, &S.context().SM)
                     .c_str());
   }
 
   // 3. Race checking (Figure 5) on the global `shared`.
-  RaceTarget Target = RaceTarget::global(Ctx.Syms.intern("shared"));
-  KissReport Race = checkRace(*Program, Target, Opts, Ctx.Diags);
+  S.config().M = CheckConfig::Mode::Race;
+  std::string Error;
+  if (!S.resolveRaceTarget("shared", *Program, S.config().Race, Error)) {
+    std::printf("error: %s\n", Error.c_str());
+    return 1;
+  }
+  KissReport Race = S.check(*Program);
   std::printf("== Race check on 'shared': %s\n",
               getVerdictName(Race.Verdict));
   std::printf("   (instrumentation: %u probes emitted, %u pruned by the "
@@ -85,7 +90,7 @@ int main() {
               Race.Stats.ProbesEmitted, Race.Stats.ProbesPruned);
   if (Race.foundError())
     std::printf("-- conflicting accesses:\n%s\n",
-                formatConcurrentTrace(Race.Trace, *Program, &Ctx.SM)
+                formatConcurrentTrace(Race.Trace, *Program, &S.context().SM)
                     .c_str());
 
   // 4. What did the sequential checker actually see? Print the Figure-4

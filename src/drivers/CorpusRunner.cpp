@@ -6,6 +6,7 @@
 
 #include "drivers/CorpusRunner.h"
 
+#include "kiss/Kiss.h"
 #include "lower/Pipeline.h"
 #include "support/Parallel.h"
 #include "telemetry/Telemetry.h"
@@ -32,15 +33,27 @@ unsigned kiss::drivers::countModelLines(const DriverSpec &D,
 }
 
 /// The body of one per-field check: compile the sliced model and run the
-/// KISS race check. Self-contained (own CompilerContext), so fields fan
-/// out across threads without sharing. May throw (OOM, injected fault);
-/// checkOneField is the isolation boundary that catches.
+/// KISS race check. Self-contained (one Session per field), so fields
+/// fan out across threads without sharing. May throw (OOM, injected
+/// fault); checkOneField is the isolation boundary that catches.
 static void checkFieldBody(const DriverSpec &D, unsigned FieldIdx,
                            const CorpusRunOptions &Opts, FieldResult &FR) {
-  lower::CompilerContext Ctx;
-  auto Program = lower::compileToCore(
-      Ctx, D.Name + "." + D.Fields[FieldIdx].Name,
-      buildFieldProgram(D, FieldIdx, Opts.Harness));
+  CheckConfig Cfg;
+  Cfg.M = CheckConfig::Mode::Race;
+  Cfg.MaxTs = 0; // §6: "we set the size of ts to 0" for race detection.
+  Cfg.MaxStates = Opts.FieldStateBudget;
+  Cfg.Common.Budget = Opts.Common.Budget;
+  // Injected budget trips target exactly one field; every other field
+  // runs under the plain budget.
+  if (static_cast<int>(FieldIdx) == Opts.InjectTripField) {
+    if (Cfg.Common.Budget.TripAtTick == 0)
+      Cfg.Common.Budget.TripAtTick = 1;
+  } else {
+    Cfg.Common.Budget.TripAtTick = 0;
+  }
+  Session S(Cfg);
+  auto Program = S.compile(D.Name + "." + D.Fields[FieldIdx].Name,
+                           buildFieldProgram(D, FieldIdx, Opts.Harness));
   if (!Program) {
     // Generated models always compile; treat a failure as inconclusive.
     FR.Verdict = KissVerdict::BoundExceeded;
@@ -51,22 +64,10 @@ static void checkFieldBody(const DriverSpec &D, unsigned FieldIdx,
   if (static_cast<int>(FieldIdx) == Opts.InjectFailField)
     throw std::bad_alloc(); // Deterministic stand-in for a real OOM.
 
-  KissOptions KO;
-  KO.MaxTs = 0; // §6: "we set the size of ts to 0" for race detection.
-  KO.Seq.MaxStates = Opts.FieldStateBudget;
-  KO.Seq.Budget = Opts.FieldBudget;
-  // Injected budget trips target exactly one field; every other field
-  // runs under the plain budget.
-  if (static_cast<int>(FieldIdx) == Opts.InjectTripField) {
-    if (KO.Seq.Budget.TripAtTick == 0)
-      KO.Seq.Budget.TripAtTick = 1;
-  } else {
-    KO.Seq.Budget.TripAtTick = 0;
-  }
-  RaceTarget Target =
-      RaceTarget::field(Ctx.Syms.intern(getDeviceExtensionName()),
-                        Ctx.Syms.intern(D.Fields[FieldIdx].Name));
-  KissReport Report = checkRace(*Program, Target, KO, Ctx.Diags);
+  S.config().Race =
+      RaceTarget::field(S.context().Syms.intern(getDeviceExtensionName()),
+                        S.context().Syms.intern(D.Fields[FieldIdx].Name));
+  CheckResult Report = S.check(*Program);
 
   FR.Verdict = Report.Verdict;
   FR.Bound = Report.Sequential.Bound;
@@ -88,7 +89,7 @@ static FieldResult checkOneField(const DriverSpec &D, unsigned FieldIdx,
   // Cancel-and-drain: once the run is cancelled, fields that have not
   // started yet report Cancelled without doing any work (fields already
   // running trip through their own governor).
-  if (Opts.FieldBudget.Cancel && Opts.FieldBudget.Cancel->isCancelled()) {
+  if (Opts.Common.Budget.Cancel && Opts.Common.Budget.Cancel->isCancelled()) {
     FR.Verdict = KissVerdict::BoundExceeded;
     FR.Bound = gov::BoundReason::Cancelled;
     return FR;
@@ -131,7 +132,7 @@ DriverResult kiss::drivers::runDriver(const DriverSpec &D,
   // writes its slot, so R.Fields keeps the requested field order and the
   // tallies below are identical at every job count.
   R.Fields.resize(FieldIndices.size());
-  parallelFor(FieldIndices.size(), Opts.Jobs, [&](size_t I) {
+  parallelFor(FieldIndices.size(), Opts.Common.Jobs, [&](size_t I) {
     R.Fields[I] = checkOneField(D, FieldIndices[I], Opts);
   });
 
@@ -156,8 +157,8 @@ DriverResult kiss::drivers::runDriver(const DriverSpec &D,
   // Telemetry is recorded here, after the join, walking R.Fields in the
   // requested field order — never from the workers — so the report is
   // deterministic at every job count (timings aside).
-  if (telemetry::RunRecorder *Rec = Opts.Recorder) {
-    if (Opts.FieldBudget.Cancel && Opts.FieldBudget.Cancel->isCancelled())
+  if (telemetry::RunRecorder *Rec = Opts.Common.Recorder) {
+    if (Opts.Common.Budget.Cancel && Opts.Common.Budget.Cancel->isCancelled())
       Rec->setInterrupted(true);
     const char *HarnessName =
         Opts.Harness == HarnessVersion::V2Refined ? "refined"

@@ -18,6 +18,7 @@
 
 #include "drivers/ModelGen.h"
 #include "kiss/KissChecker.h"
+#include "seqcheck/CommonOptions.h"
 
 #include <cstdint>
 #include <vector>
@@ -60,15 +61,24 @@ struct CorpusRunOptions {
   HarnessVersion Harness = HarnessVersion::V1Unconstrained;
   /// Per-field state budget (the paper's 20-minute/800MB resource bound).
   uint64_t FieldStateBudget = 25000;
-  /// Per-field deadline / memory / cancellation budget; each field's
-  /// exploration runs under its own governor. If Budget.Cancel is set and
-  /// cancelled, fields not yet started degrade to a Cancelled
-  /// BoundExceeded result without running (cancel-and-drain).
-  gov::RunBudget FieldBudget;
+  /// Shared budget / recorder / jobs configuration.
+  ///  * Common.Budget: the per-field deadline / memory / cancellation
+  ///    budget; each field's exploration runs under its own governor. If
+  ///    Budget.Cancel is set and cancelled, fields not yet started degrade
+  ///    to a Cancelled BoundExceeded result without running
+  ///    (cancel-and-drain).
+  ///  * Common.Jobs: worker threads for the per-field fan-out (0 = all
+  ///    hardware threads; the historical corpus default). Verdicts,
+  ///    counts, and field order are identical at every job count.
+  ///  * Common.Recorder: if set, runDriver appends one phase span per
+  ///    driver and one check record per field, *after* the worker join and
+  ///    in field order — every report field except wall times is identical
+  ///    at every job count.
+  rt::CommonOptions Common{gov::RunBudget(), nullptr, /*Jobs=*/0};
   /// Fault injection (deterministic per field index, so results and
   /// reports stay identical at every job count):
   ///  * InjectTripField: this field's governor trips on its first tick
-  ///    with FieldBudget.TripReason (deadline by default) — the test
+  ///    with Common.Budget.TripReason (deadline by default) — the test
   ///    stand-in for "this field exceeded its 20-minute bound".
   ///  * InjectFailField: the check of this field throws std::bad_alloc
   ///    mid-run, exercising the fault-isolation boundary.
@@ -78,14 +88,6 @@ struct CorpusRunOptions {
   /// If non-empty, only these field indices are checked (Table 2 re-runs
   /// the fields reported racy under the unconstrained harness).
   std::vector<unsigned> OnlyFields;
-  /// Worker threads for the per-field fan-out; 0 = all hardware threads.
-  /// Verdicts, counts, and field order are identical at every job count.
-  unsigned Jobs = 0;
-  /// If set, runDriver appends one phase span per driver and one check
-  /// record per field, *after* the worker join and in field order — every
-  /// report field except wall times is identical at every job count. Not
-  /// owned; null means telemetry is off.
-  telemetry::RunRecorder *Recorder = nullptr;
 };
 
 /// Checks (a subset of) the fields of one driver. Fields are independent

@@ -12,8 +12,7 @@
 using namespace kiss;
 using namespace kiss::fuzz;
 
-FuzzSummary fuzz::runCampaign(const FuzzOptions &Opts,
-                              telemetry::RunRecorder *Rec) {
+FuzzSummary fuzz::runCampaign(const FuzzOptions &Opts) {
   struct Slot {
     OracleResult O;
     std::string Source;
@@ -23,9 +22,12 @@ FuzzSummary fuzz::runCampaign(const FuzzOptions &Opts,
   };
   std::vector<Slot> Slots(Opts.Cases);
 
-  const gov::CancellationToken *Cancel = Opts.Oracle.Budget.Cancel;
+  telemetry::RunRecorder *Rec = Opts.Common.Recorder;
+  OracleOptions OO = Opts.Oracle;
+  OO.Budget = Opts.Common.Budget;
+  const gov::CancellationToken *Cancel = OO.Budget.Cancel;
 
-  parallelFor(Opts.Cases, Opts.Jobs, [&](size_t I) {
+  parallelFor(Opts.Cases, Opts.Common.Jobs, [&](size_t I) {
     // Cancel-and-drain: queued cases degrade to skipped slots.
     if (Cancel && Cancel->isCancelled())
       return;
@@ -36,14 +38,13 @@ FuzzSummary fuzz::runCampaign(const FuzzOptions &Opts,
     GenOptions G = Opts.VaryGrammar ? varyOptions(CaseSeed, Opts.Grammar)
                                     : Opts.Grammar;
     S.Source = generateProgram(CaseSeed, G);
-    S.O = runOracle(S.Source, Opts.Oracle);
+    S.O = runOracle(S.Source, OO);
 
     bool Violation = S.O.V == OracleVerdict::SoundnessBug ||
                      S.O.V == OracleVerdict::TraceBug ||
                      S.O.V == OracleVerdict::CompletenessBug;
     if (Violation && Opts.Shrink) {
-      ShrinkResult SR =
-          shrink(S.Source, S.O.V, Opts.Oracle, Opts.ShrinkOpts);
+      ShrinkResult SR = shrink(S.Source, S.O.V, OO, Opts.ShrinkOpts);
       // The shrinker guarantees (Source, Final) are consistent; prefer the
       // reduced program and its fresh oracle result.
       S.Source = std::move(SR.Source);
@@ -75,6 +76,7 @@ FuzzSummary fuzz::runCampaign(const FuzzOptions &Opts,
       F.Source = std::move(S.Source);
       F.ShrinkSteps = S.ShrinkSteps;
       F.MaxTs = Opts.Oracle.MaxTs;
+      F.MaxSwitches = Opts.Oracle.MaxSwitches;
       F.BreakTransform = Opts.Oracle.InjectBreakAsserts;
       Sum.Findings.push_back(std::move(F));
       break;

@@ -23,6 +23,7 @@
 #include "fuzz/Generator.h"
 #include "fuzz/Oracle.h"
 #include "fuzz/Shrinker.h"
+#include "seqcheck/CommonOptions.h"
 
 #include <vector>
 
@@ -38,13 +39,20 @@ struct FuzzOptions {
   uint64_t Seed = 1;
   /// Number of cases.
   uint64_t Cases = 100;
-  /// Worker threads (parallelFor semantics; 0 = all cores).
-  unsigned Jobs = 1;
+  /// Shared budget / recorder / jobs configuration: Common.Jobs workers
+  /// fan the cases out (parallelFor semantics; 0 = all cores),
+  /// Common.Budget is copied into the per-case oracle budget, and
+  /// Common.Recorder (if set) receives the campaign's verdict histogram,
+  /// discard rate, shrink totals, and one check record per violation (all
+  /// appended post-join, in case order — reports are byte-identical
+  /// across job counts under ZeroTimings).
+  rt::CommonOptions Common;
   /// Grammar caps; each case draws its variation within these via
   /// varyOptions. With VaryGrammar off every case uses Grammar verbatim.
   GenOptions Grammar;
   bool VaryGrammar = true;
-  /// Per-case oracle configuration (budgets, MAX, injection).
+  /// Per-case oracle configuration (MAX, K, state budget, injection).
+  /// Oracle.Budget is overwritten from Common.Budget.
   OracleOptions Oracle;
   /// Shrink violations before reporting them.
   bool Shrink = true;
@@ -61,6 +69,7 @@ struct Finding {
   std::string Source;
   unsigned ShrinkSteps = 0;
   unsigned MaxTs = 0;
+  unsigned MaxSwitches = 2;
   bool BreakTransform = false;
 };
 
@@ -89,12 +98,9 @@ struct FuzzSummary {
   }
 };
 
-/// Runs the campaign. If \p Rec is non-null, records the verdict
-/// histogram, discard rate, shrink totals, and one check record per
-/// violation (all appended post-join, in case order — reports are
-/// byte-identical across job counts under ZeroTimings).
-FuzzSummary runCampaign(const FuzzOptions &Opts,
-                        telemetry::RunRecorder *Rec = nullptr);
+/// Runs the campaign. Budget, recorder, and worker count all come from
+/// Opts.Common (see FuzzOptions).
+FuzzSummary runCampaign(const FuzzOptions &Opts);
 
 } // namespace kiss::fuzz
 

@@ -7,7 +7,7 @@
 #include "fuzz/Oracle.h"
 
 #include "conc/ConcChecker.h"
-#include "lower/Pipeline.h"
+#include "kiss/Kiss.h"
 
 using namespace kiss;
 using namespace kiss::fuzz;
@@ -121,11 +121,17 @@ OracleResult fuzz::runOracle(const std::string &Source,
                              const OracleOptions &Opts) {
   OracleResult Res;
 
-  lower::CompilerContext Ctx;
-  auto P = lower::compileToCore(Ctx, "fuzz.kiss", Source);
+  CheckConfig Cfg;
+  Cfg.MaxTs = Opts.MaxTs;
+  Cfg.MaxSwitches = Opts.MaxSwitches;
+  Cfg.MaxStates = Opts.MaxStates;
+  Cfg.Common.Budget = Opts.Budget;
+  Cfg.InjectBreakAsserts = Opts.InjectBreakAsserts;
+  Session S(Cfg);
+  auto P = S.compile("fuzz.kiss", Source);
   if (!P) {
     Res.V = OracleVerdict::Discard;
-    Res.DiscardDiagnostics = Ctx.renderDiagnostics();
+    Res.DiscardDiagnostics = S.diagnostics();
     return Res;
   }
 
@@ -134,7 +140,8 @@ OracleResult fuzz::runOracle(const std::string &Source,
 
   cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*P);
 
-  // Ground truth: unbounded interleaving exploration.
+  // Ground truth: unbounded interleaving exploration, deliberately
+  // outside the Session pipeline — it is the independent oracle.
   conc::ConcOptions CO;
   CO.MaxStates = Opts.MaxStates;
   CO.Budget = Opts.Budget;
@@ -142,18 +149,13 @@ OracleResult fuzz::runOracle(const std::string &Source,
   Res.Conc = Truth.Outcome;
 
   // System under test: the KISS pipeline.
-  core::KissOptions KO;
-  KO.MaxTs = Opts.MaxTs;
-  KO.Seq.MaxStates = Opts.MaxStates;
-  KO.Seq.Budget = Opts.Budget;
-  KO.InjectBreakAsserts = Opts.InjectBreakAsserts;
-  core::KissReport K = core::checkAssertions(*P, KO, Ctx.Diags);
+  core::KissReport K = S.check(*P);
   Res.Kiss = K.Verdict;
-  if (Ctx.Diags.hasErrors()) {
+  if (S.hasErrors()) {
     // The transform rejected a program the frontend accepted (async
     // signature/arity rules). Out of the generated family by contract.
     Res.V = OracleVerdict::Discard;
-    Res.DiscardDiagnostics = Ctx.renderDiagnostics();
+    Res.DiscardDiagnostics = S.diagnostics();
     return Res;
   }
 
@@ -221,22 +223,32 @@ OracleResult fuzz::runOracle(const std::string &Source,
 
   // Completeness, Theorem-1 direction: on a 2-thread program every
   // execution with at most two context switches is simulated at MAX >= 2.
+  // At K > 2 the bound rises to 2*((K-1)/2)+2 switches — but only when
+  // every async site actually became resumable; ineligible or indirect
+  // sites fall back to run-to-completion, i.e. the two-switch guarantee.
   if (Opts.CheckCompleteness && Res.TwoThread && Opts.MaxTs >= 2) {
-    conc::ConcOptions TwoSwitch = CO;
-    TwoSwitch.ContextSwitchBound = 2;
-    rt::CheckResult Within = conc::checkProgram(*P, CFG, TwoSwitch);
+    uint32_t EffBound = 2;
+    if (Opts.MaxSwitches > 2 && K.Stats.IneligibleCandidates == 0 &&
+        K.Stats.IndirectAsyncSites == 0)
+      EffBound = 2 * ((Opts.MaxSwitches - 1) / 2) + 2;
+    conc::ConcOptions Bounded = CO;
+    Bounded.ContextSwitchBound = static_cast<int32_t>(EffBound);
+    rt::CheckResult Within = conc::checkProgram(*P, CFG, Bounded);
     if (Within.Outcome == rt::CheckOutcome::BoundExceeded) {
       Res.V = OracleVerdict::Inconclusive;
-      Res.Detail = "two-switch exploration exceeded its budget";
+      Res.Detail = "bounded-switch exploration exceeded its budget";
       return Res;
     }
     if (Within.foundError()) {
       Res.V = OracleVerdict::CompletenessBug;
       Res.Detail = std::string("ground truth found ") +
-                   rt::getOutcomeName(Within.Outcome) +
-                   " within two context switches on a 2-thread program "
-                   "but KISS at MAX=" +
-                   std::to_string(Opts.MaxTs) + " found nothing";
+                   rt::getOutcomeName(Within.Outcome) + " within " +
+                   std::to_string(EffBound) +
+                   " context switches on a 2-thread program but KISS at "
+                   "MAX=" +
+                   std::to_string(Opts.MaxTs) +
+                   " K=" + std::to_string(Opts.MaxSwitches) +
+                   " found nothing";
       return Res;
     }
   }

@@ -59,6 +59,12 @@ struct OracleOptions {
   /// MAX for the KISS side. Theorem 1's completeness direction needs >= 2;
   /// below that the completeness check is skipped.
   unsigned MaxTs = 2;
+  /// Context-switch bound K for the KISS side (default 2 = Theorem 1).
+  /// K > 2 raises the completeness bound to 2*((K-1)/2)+2 switches on
+  /// 2-thread programs, provided every async site was made resumable
+  /// (TransformStats reports ineligible/indirect sites; any of those
+  /// falls back to the two-switch bound).
+  unsigned MaxSwitches = 2;
   /// Per-engine state budget (each of the up-to-four explorations).
   uint64_t MaxStates = 150'000;
   /// Per-engine deadline/memory/cancellation budget.

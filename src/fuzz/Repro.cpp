@@ -16,6 +16,9 @@ std::string fuzz::renderRepro(const Repro &R) {
   std::string Out = "// kissfuzz repro\n";
   Out += "// kissfuzz-seed: " + std::to_string(R.Seed) + "\n";
   Out += "// kissfuzz-max-ts: " + std::to_string(R.MaxTs) + "\n";
+  if (R.MaxSwitches != 2)
+    Out += "// kissfuzz-max-switches: " + std::to_string(R.MaxSwitches) +
+           "\n";
   if (R.BreakTransform)
     Out += "// kissfuzz-break-transform: true\n";
   Out += std::string("// kissfuzz-expect: ") + getOracleVerdictName(R.Expect) +
@@ -71,6 +74,14 @@ bool fuzz::parseRepro(const std::string &Text, Repro &Out,
         return false;
       }
       Out.MaxTs = static_cast<unsigned>(N);
+    } else if (headerValue(Line, "kissfuzz-max-switches", Value)) {
+      char *End = nullptr;
+      unsigned long N = std::strtoul(Value.c_str(), &End, 10);
+      if (End == Value.c_str() || *End != '\0') {
+        Error = "malformed kissfuzz-max-switches header: '" + Value + "'";
+        return false;
+      }
+      Out.MaxSwitches = static_cast<unsigned>(N);
     } else if (headerValue(Line, "kissfuzz-break-transform", Value)) {
       if (Value != "true" && Value != "false") {
         Error = "malformed kissfuzz-break-transform header: '" + Value + "'";

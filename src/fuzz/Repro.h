@@ -36,6 +36,10 @@ struct Repro {
   uint64_t Seed = 0;
   /// MAX the oracle ran with.
   unsigned MaxTs = 2;
+  /// Context-switch bound K the oracle ran with. The header line is only
+  /// written when it differs from the default 2, so pre-K repros
+  /// round-trip unchanged.
+  unsigned MaxSwitches = 2;
   /// Whether the finding was produced under the sabotaged transform
   /// (kissfuzz --break-transform); replay re-applies it.
   bool BreakTransform = false;

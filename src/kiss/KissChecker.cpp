@@ -35,9 +35,9 @@ namespace {
 /// telemetry is off.
 telemetry::RunRecorder::Span phase(const KissOptions &Opts,
                                    std::string_view Name) {
-  if (!Opts.Recorder)
+  if (!Opts.Common.Recorder)
     return telemetry::RunRecorder::Span();
-  return Opts.Recorder->beginPhase(Name);
+  return Opts.Common.Recorder->beginPhase(Name);
 }
 
 /// Runs the translated program through the sequential checker and
@@ -62,7 +62,9 @@ KissReport runPipeline(const Program &P, std::unique_ptr<Program> Transformed,
   CfgSpan.end();
 
   auto CheckSpan = phase(Opts, "check");
-  R.Sequential = seqcheck::checkProgram(*Transformed, CFG, Opts.Seq);
+  seqcheck::SeqOptions SO = Opts.Seq;
+  SO.Budget = Opts.Common.Budget;
+  R.Sequential = seqcheck::checkProgram(*Transformed, CFG, SO);
   CheckSpan.counter("states", R.Sequential.StatesExplored);
   CheckSpan.counter("transitions", R.Sequential.TransitionsExplored);
   CheckSpan.counter("dedup_hits", R.Sequential.Exploration.DedupHits);
@@ -120,8 +122,9 @@ KissReport core::checkAssertions(const Program &P, const KissOptions &Opts,
                                  DiagnosticEngine &Diags) {
   TransformOptions TO;
   TO.MaxTs = Opts.MaxTs;
+  TO.MaxSwitches = Opts.MaxSwitches;
   TO.UseAliasAnalysis = Opts.UseAliasAnalysis;
-  TO.Recorder = Opts.Recorder;
+  TO.Recorder = Opts.Common.Recorder;
   TO.InjectBreakAsserts = Opts.InjectBreakAsserts;
   TransformStats Stats;
   auto TransformSpan = phase(Opts, "transform");
@@ -135,8 +138,9 @@ KissReport core::checkRace(const Program &P, const RaceTarget &Target,
                            const KissOptions &Opts, DiagnosticEngine &Diags) {
   TransformOptions TO;
   TO.MaxTs = Opts.MaxTs;
+  TO.MaxSwitches = Opts.MaxSwitches;
   TO.UseAliasAnalysis = Opts.UseAliasAnalysis;
-  TO.Recorder = Opts.Recorder;
+  TO.Recorder = Opts.Common.Recorder;
   TO.InjectBreakAsserts = Opts.InjectBreakAsserts;
   TransformStats Stats;
   auto TransformSpan = phase(Opts, "transform");

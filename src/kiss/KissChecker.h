@@ -20,6 +20,7 @@
 
 #include "kiss/TraceMap.h"
 #include "kiss/Transform.h"
+#include "seqcheck/CommonOptions.h"
 #include "seqcheck/SeqChecker.h"
 
 #include <memory>
@@ -30,14 +31,19 @@ namespace kiss::core {
 struct KissOptions {
   /// The paper's MAX — the ts multiset capacity (the coverage/cost knob).
   unsigned MaxTs = 0;
+  /// The context-switch bound K (default 2 = the paper's Theorem 1).
+  /// K > 2 adds (K-1)/2 suspend/resume rounds to the translation; see
+  /// TransformOptions::MaxSwitches.
+  unsigned MaxSwitches = 2;
   /// Prune race probes with the points-to analysis.
   bool UseAliasAnalysis = true;
-  /// Budgets of the underlying sequential model checker.
+  /// Budgets of the underlying sequential model checker. Seq.Budget is
+  /// overwritten from Common.Budget — set the budget there.
   seqcheck::SeqOptions Seq;
-  /// If set, the checker records transform / alias / cfg / check phase
-  /// spans and their counters here (see docs/observability.md). Not owned;
-  /// null means telemetry is off.
-  telemetry::RunRecorder *Recorder = nullptr;
+  /// Shared budget / recorder / jobs configuration. The recorder (if any)
+  /// receives transform / alias / cfg / check phase spans and their
+  /// counters (see docs/observability.md).
+  rt::CommonOptions Common;
   /// Test-only: run the deliberately broken transform (negated assertion
   /// clones) so the fuzzing oracle's unsoundness detection can be
   /// validated end to end (kissfuzz --break-transform).

@@ -27,6 +27,9 @@ ConcurrentTrace core::mapTrace(const std::vector<rt::TraceStep> &Trace,
   std::vector<uint32_t> FrameThreads; // Thread id per live frame.
   FrameThreads.push_back(NoThread);   // Driver frame.
   uint32_t NextThread = 0;
+  // K > 2: at most one simulated thread is parked at a time (the transform
+  // guards every suspend with !__susp_active), so one cell suffices.
+  uint32_t SuspendedThread = NoThread;
 
   for (const rt::TraceStep &Step : Trace) {
     const cfg::Node &N = CFG.getFunctionCFG(Step.Func).getNode(Step.Node);
@@ -34,14 +37,21 @@ ConcurrentTrace core::mapTrace(const std::vector<rt::TraceStep> &Trace,
 
     switch (N.Kind) {
     case cfg::NodeKind::Call: {
-      // A dispatch call starts a new simulated thread; every other call
-      // stays within the current thread.
+      // A dispatch call starts a new simulated thread; a resume call
+      // re-enters the parked one; every other call stays within the
+      // current thread.
       bool IsDispatch = N.S && N.S->getRole() == InstrRole::Schedule;
+      bool IsResume = N.S && N.S->getRole() == InstrRole::Resume;
       if (N.S && N.S->getRole() == InstrRole::User && N.S->getOrigin() &&
           Cur != NoThread)
         Out.Steps.push_back(
             MappedStep{MappedStep::Kind::Exec, Cur, N.S->getOrigin()});
-      FrameThreads.push_back(IsDispatch ? NextThread++ : Cur);
+      if (IsResume) {
+        FrameThreads.push_back(SuspendedThread);
+        SuspendedThread = NoThread;
+      } else {
+        FrameThreads.push_back(IsDispatch ? NextThread++ : Cur);
+      }
       break;
     }
 
@@ -70,6 +80,11 @@ ConcurrentTrace core::mapTrace(const std::vector<rt::TraceStep> &Trace,
             isa<AssertStmt>(N.S)) // One event per probe: its assert.
           Out.Steps.push_back(
               MappedStep{MappedStep::Kind::Check, Cur, Origin});
+        break;
+      case InstrRole::Suspend:
+        // The current thread parks itself; the matching Resume call
+        // re-enters it under the same id.
+        SuspendedThread = Cur;
         break;
       default:
         break;

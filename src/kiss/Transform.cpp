@@ -13,7 +13,10 @@
 #include "telemetry/Telemetry.h"
 
 #include <cassert>
+#include <functional>
+#include <map>
 #include <optional>
+#include <set>
 
 using namespace kiss;
 using namespace kiss::core;
@@ -162,6 +165,27 @@ struct Access {
   bool IsWrite;
 };
 
+/// Static navigation ids for the K>2 suspend/resume machinery, assigned
+/// per original statement in DFS pre-order. A statement owns the id range
+/// [Lo, Hi] covering itself and everything nested inside it; call
+/// statements get a second id (Inner) meaning "suspended somewhere inside
+/// the callee".
+struct StmtIds {
+  int Id = 0;
+  int Inner = -1;
+  int Lo = 0;
+  int Hi = 0;
+};
+
+/// Per-function state for a resumable (__kiss_susp_*) variant.
+struct SuspFunc {
+  uint32_t SuspIdx = 0;          ///< Function index of the variant in Out.
+  VarId Pc;                      ///< __pc_<f>: where the frame suspended.
+  std::vector<VarId> LocalSlots; ///< Globalized original locals (params first).
+  std::vector<VarId> TempSlots;  ///< Globalized synthesized call temps.
+  std::map<const Stmt *, StmtIds> Ids;
+};
+
 /// The whole translation state for one run.
 class KissTransformer {
 public:
@@ -176,6 +200,7 @@ public:
 private:
   bool validateInput();
   bool collectAsyncSignature();
+  void analyzeResumable();
   void cloneStructs();
   void copyGlobals();
   void addInstrumentationGlobals();
@@ -188,7 +213,7 @@ private:
   void xformStmtInto(const Stmt *S, std::vector<StmtPtr> &Out);
   StmtPtr xformToBlock(const Stmt *S);
   void emitPrefix(const Stmt *S, std::vector<StmtPtr> &Out,
-                  bool PlainRaiseBranch);
+                  bool PlainRaiseBranch, const StmtIds *Susp = nullptr);
   void emitScheduleCall(std::vector<StmtPtr> &Out);
   StmtPtr makeDefaultReturn();
   StmtPtr makeRaiseBranch();
@@ -196,6 +221,28 @@ private:
   StmtPtr translateUserClone(const Stmt *S);
   void instrumentAtomicAssumes(Stmt *S);
   void emitAsync(const AsyncStmt *S, std::vector<StmtPtr> &Out);
+
+  //===--- K>2 suspend/resume (the susp-variant bodies) ---===//
+  void numberStmts(const Stmt *S, SuspFunc &F, int &Next);
+  void suspStmtInto(const Stmt *S, std::vector<StmtPtr> &Out);
+  void suspAtomicMemberInto(StmtPtr M, std::vector<StmtPtr> &Out);
+  StmtPtr makeSuspendArm(int PcId, ExprPtr Guard = nullptr);
+  StmtPtr makeSuspPropagate(int InnerPc);
+  StmtPtr makeSkipArm(const StmtIds &I);
+  StmtPtr makeNavRangeGuard(const StmtIds &I);
+  StmtPtr makeLeafEntry(const Stmt *S, const StmtIds &I, bool PlainRaise);
+  void emitGuarded(const StmtIds &I, std::vector<StmtPtr> Enter,
+                   std::vector<StmtPtr> &Out);
+  void emitSuspCall(const Stmt *S, std::vector<StmtPtr> &Out);
+  void suspAdjustExpr(Expr *E);
+  void suspAdjustStmt(Stmt *S);
+  int tagOfCallee(const Expr *Callee) const;
+  std::vector<StmtPtr> makeResumableSiteStmts(const AsyncStmt *S, int Tag);
+  void emitParamAssigns(uint32_t CandIdx,
+                        const std::vector<ExprPtr> &Args, bool FromTsSlot,
+                        unsigned Slot, std::vector<StmtPtr> &Out);
+  void emitPostDispatchCleanup(uint32_t CandIdx, std::vector<StmtPtr> &Out);
+  ExprPtr defaultValueOf(const Type *Ty);
 
   //===--- Race probes ---===//
   void collectReadsOfExpr(const Expr *E, std::vector<Access> &Out);
@@ -233,6 +280,35 @@ private:
   bool HasAsync = false;
   /// Whether the ts machinery (slots + scheduler calls) exists at all.
   bool HasTs = false;
+
+  //===--- K>2 suspend/resume state ---===//
+  /// Suspend/resume round budget: (MaxSwitches-1)/2, 0 at the default K=2.
+  unsigned Rounds = 0;
+  /// Whether any suspend/resume machinery is emitted at all (Rounds > 0
+  /// and at least one async callee with an eligible call closure).
+  bool HasSusp = false;
+  /// Whether __kiss_schedule exists and is called at prefixes: the ts
+  /// machinery needs it, and so do resumable threads (which must be
+  /// re-entered from somewhere even when MaxTs == 0).
+  bool HasSched = false;
+  /// Eligible async callees, in function-index order; the position in this
+  /// vector is the static dispatch tag stored in __susp_tag/__ts_tag<j>.
+  std::vector<uint32_t> Candidates;
+  /// Function indices (in P) that get a __kiss_susp_* variant.
+  std::vector<uint32_t> SuspClosureFns;
+  /// Per-candidate call closure (function indices in P, candidate first).
+  std::map<uint32_t, std::vector<uint32_t>> CandClosure;
+  std::map<uint32_t, SuspFunc> SuspFns;
+  /// Non-null while transforming a susp-variant body.
+  SuspFunc *CurSusp = nullptr;
+
+  VarId RoundsVar;
+  VarId NavVar;
+  VarId SuspActiveVar;
+  VarId SuspBusyVar;
+  VarId SuspendingVar;
+  VarId SuspTagVar;
+  std::vector<VarId> TsTagVars;
 
   uint32_t ScheduleIdx = 0;
   uint32_t CurFuncIdx = 0;
@@ -329,6 +405,163 @@ bool KissTransformer::collectAsyncSignature() {
   return true;
 }
 
+/// Assigns navigation ids (DFS pre-order over the original body). Call
+/// statements reserve a second id right after their own for the
+/// "suspended inside the callee" state.
+void KissTransformer::numberStmts(const Stmt *S, SuspFunc &F, int &Next) {
+  StmtIds I;
+  I.Id = Next++;
+  I.Lo = I.Id;
+  const Expr *CallE = nullptr;
+  if (const auto *A = dyn_cast<AssignStmt>(S))
+    CallE = dyn_cast<CallExpr>(A->getRHS());
+  else if (const auto *E = dyn_cast<ExprStmt>(S))
+    CallE = dyn_cast<CallExpr>(E->getExpr());
+  if (CallE)
+    I.Inner = Next++;
+  switch (S->getKind()) {
+  case StmtKind::Block:
+    for (const StmtPtr &Sub : cast<BlockStmt>(S)->getStmts())
+      numberStmts(Sub.get(), F, Next);
+    break;
+  case StmtKind::Atomic:
+    numberStmts(cast<AtomicStmt>(S)->getBody(), F, Next);
+    break;
+  case StmtKind::Choice:
+    for (const StmtPtr &Br : cast<ChoiceStmt>(S)->getBranches())
+      numberStmts(Br.get(), F, Next);
+    break;
+  case StmtKind::Iter:
+    numberStmts(cast<IterStmt>(S)->getBody(), F, Next);
+    break;
+  default:
+    break;
+  }
+  I.Hi = Next - 1;
+  F.Ids[S] = I;
+}
+
+/// Decides which forked threads can suspend and resume (K > 2 only). A
+/// thread started by `async f(...)` is resumable when f is a function
+/// literal and every function in f's direct-call closure is free of
+/// recursion and indirect calls: then all of its live state can be
+/// globalized into per-function slots (the single-frame-per-function
+/// property), which is what lets a suspended stack be reconstructed by
+/// plain statement-level navigation instead of a saved stack.
+void KissTransformer::analyzeResumable() {
+  Rounds = Opts.MaxSwitches <= 2 ? 0 : (Opts.MaxSwitches - 1) / 2;
+  if (Stats)
+    Stats->Rounds = Rounds;
+  if (Rounds == 0 || !HasAsync)
+    return;
+
+  unsigned NumFns = P.getFunctions().size();
+
+  // Direct call graph + indirect-call flags + async callee candidates.
+  std::vector<std::vector<uint32_t>> Callees(NumFns);
+  std::vector<bool> HasIndirect(NumFns, false);
+  std::set<uint32_t> CandSet;
+
+  struct Scanner {
+    std::vector<std::vector<uint32_t>> &Callees;
+    std::vector<bool> &HasIndirect;
+    std::set<uint32_t> &CandSet;
+    TransformStats *Stats;
+    uint32_t Cur = 0;
+    void onCall(const Expr *E) {
+      const auto *C = dyn_cast<CallExpr>(E);
+      if (!C)
+        return;
+      if (const auto *FR = dyn_cast<FuncRefExpr>(C->getCallee()))
+        Callees[Cur].push_back(FR->getFuncIndex());
+      else
+        HasIndirect[Cur] = true;
+    }
+    void scan(const Stmt *S) {
+      switch (S->getKind()) {
+      case StmtKind::Block:
+        for (const StmtPtr &Sub : cast<BlockStmt>(S)->getStmts())
+          scan(Sub.get());
+        return;
+      case StmtKind::Assign:
+        onCall(cast<AssignStmt>(S)->getRHS());
+        return;
+      case StmtKind::ExprStmt:
+        onCall(cast<ExprStmt>(S)->getExpr());
+        return;
+      case StmtKind::Async: {
+        const auto *A = cast<AsyncStmt>(S);
+        if (const auto *FR = dyn_cast<FuncRefExpr>(A->getCallee()))
+          CandSet.insert(FR->getFuncIndex());
+        else if (Stats)
+          ++Stats->IndirectAsyncSites;
+        return;
+      }
+      case StmtKind::Atomic:
+        scan(cast<AtomicStmt>(S)->getBody());
+        return;
+      case StmtKind::Choice:
+        for (const StmtPtr &Br : cast<ChoiceStmt>(S)->getBranches())
+          scan(Br.get());
+        return;
+      case StmtKind::Iter:
+        scan(cast<IterStmt>(S)->getBody());
+        return;
+      default:
+        return;
+      }
+    }
+  } Scan{Callees, HasIndirect, CandSet, Stats};
+  for (uint32_t FI = 0; FI != NumFns; ++FI) {
+    Scan.Cur = FI;
+    Scan.scan(P.getFunctions()[FI]->getBody());
+  }
+
+  // Per-candidate closure with cycle detection (colors: 0 new, 1 on the
+  // DFS stack, 2 done-and-acyclic-from-here).
+  std::set<uint32_t> ClosureUnion;
+  for (uint32_t Cand : CandSet) {
+    std::vector<uint8_t> Color(NumFns, 0);
+    std::vector<uint32_t> Closure;
+    bool Ok = true;
+    std::function<void(uint32_t)> Dfs = [&](uint32_t F) {
+      if (!Ok || Color[F] == 2)
+        return;
+      if (Color[F] == 1 || HasIndirect[F]) {
+        Ok = false;
+        return;
+      }
+      Color[F] = 1;
+      Closure.push_back(F);
+      for (uint32_t G : Callees[F])
+        Dfs(G);
+      Color[F] = 2;
+    };
+    Dfs(Cand);
+    if (!Ok) {
+      if (Stats)
+        ++Stats->IneligibleCandidates;
+      continue;
+    }
+    Candidates.push_back(Cand);
+    CandClosure[Cand] = Closure;
+    ClosureUnion.insert(Closure.begin(), Closure.end());
+  }
+
+  HasSusp = !Candidates.empty();
+  if (!HasSusp)
+    return;
+
+  SuspClosureFns.assign(ClosureUnion.begin(), ClosureUnion.end());
+  if (Stats)
+    Stats->ResumableFunctions = SuspClosureFns.size();
+  for (uint32_t FI : SuspClosureFns) {
+    SuspFunc &F = SuspFns[FI];
+    int Next = 1;
+    numberStmts(P.getFunctions()[FI]->getBody(), F, Next);
+  }
+}
+
 void KissTransformer::cloneStructs() {
   for (const auto &S : P.getStructs()) {
     StructDecl *NS = Out->addStruct(S->getName(), S->getLoc());
@@ -368,6 +601,44 @@ void KissTransformer::addInstrumentationGlobals() {
                                        Params[J], Init));
       }
       TsArgVars.push_back(std::move(ArgVars));
+    }
+  }
+
+  if (HasSusp) {
+    RoundsVar = B->addGlobal("__rounds", IntTy,
+                             ConstInit::makeInt(static_cast<int>(Rounds)));
+    NavVar = B->addGlobal("__nav", BoolTy, ConstInit::makeBool(false));
+    SuspActiveVar =
+        B->addGlobal("__susp_active", BoolTy, ConstInit::makeBool(false));
+    SuspBusyVar =
+        B->addGlobal("__susp_busy", BoolTy, ConstInit::makeBool(false));
+    SuspendingVar =
+        B->addGlobal("__suspending", BoolTy, ConstInit::makeBool(false));
+    SuspTagVar = B->addGlobal("__susp_tag", IntTy, ConstInit::makeInt(0));
+    if (HasTs)
+      for (unsigned Slot = 0; Slot != Opts.MaxTs; ++Slot)
+        TsTagVars.push_back(B->addGlobal("__ts_tag" + std::to_string(Slot),
+                                         IntTy, ConstInit::makeInt(-1)));
+    for (uint32_t FI : SuspClosureFns) {
+      SuspFunc &F = SuspFns[FI];
+      const FuncDecl *OF = P.getFunctions()[FI].get();
+      std::string FName(Syms.str(OF->getName()));
+      F.Pc = B->addGlobal("__pc_" + FName, IntTy, ConstInit::makeInt(0));
+      const auto &Locals = OF->getLocals();
+      for (unsigned L = 0; L != Locals.size(); ++L) {
+        const Type *Ty = Locals[L].Ty;
+        std::optional<ConstInit> Init;
+        if (Ty->isInt())
+          Init = ConstInit::makeInt(0);
+        else if (Ty->isBool())
+          Init = ConstInit::makeBool(false);
+        else
+          Init = ConstInit::makeNull();
+        F.LocalSlots.push_back(
+            B->addGlobal("__susp_" + FName + "_" + std::to_string(L) + "_" +
+                             std::string(Syms.str(Locals[L].Name)),
+                         Ty, Init));
+      }
     }
   }
 
@@ -417,6 +688,20 @@ void KissTransformer::declareFunctions() {
                                       Types.getVoidType(), SourceLoc());
   Driver->setFuncType(Types.getFuncType(Types.getVoidType(), {}));
   Out->setEntryName(Driver->getName());
+
+  // K>2: resumable variants of every function in an eligible async
+  // callee's call closure. They take no parameters and have no locals —
+  // all of that state lives in the globalized __susp_* slots, which is
+  // what makes a suspended activation navigable.
+  for (uint32_t FI : SuspClosureFns) {
+    const FuncDecl *OF = P.getFunctions()[FI].get();
+    SuspFunc &SF = SuspFns[FI];
+    SF.SuspIdx = Out->getFunctions().size();
+    FuncDecl *NF = Out->addFunction(
+        Syms.intern("__kiss_susp_" + std::string(Syms.str(OF->getName()))),
+        OF->getReturnType(), OF->getLoc());
+    NF->setFuncType(Types.getFuncType(OF->getReturnType(), {}));
+  }
 }
 
 /// A `return` matching the current function's return type: RAISE aborts a
@@ -460,8 +745,9 @@ StmtPtr KissTransformer::makePropagate() {
 }
 
 void KissTransformer::emitScheduleCall(std::vector<StmtPtr> &Out) {
-  if (!HasTs)
-    return; // With an empty ts the scheduler is a no-op; elide the call.
+  if (!HasSched)
+    return; // With an empty ts and no resumable threads the scheduler is
+            // a no-op; elide the call.
   StmtPtr Call = B->call(VarId(), ScheduleIdx, {});
   Call->setRole(InstrRole::SchedCall);
   Out.push_back(std::move(Call));
@@ -470,7 +756,7 @@ void KissTransformer::emitScheduleCall(std::vector<StmtPtr> &Out) {
 /// The per-statement prefix of Figures 4/5:
 ///   schedule(); choice { skip [] (RAISE | probes...) };
 void KissTransformer::emitPrefix(const Stmt *S, std::vector<StmtPtr> &Out,
-                                 bool PlainRaiseBranch) {
+                                 bool PlainRaiseBranch, const StmtIds *Susp) {
   emitScheduleCall(Out);
   if (Stats)
     ++Stats->StatementsInstrumented;
@@ -486,10 +772,18 @@ void KissTransformer::emitPrefix(const Stmt *S, std::vector<StmtPtr> &Out,
   if (isRaceMode() && !PlainRaiseBranch && !S->isBenign()) {
     for (const Access &A : collectAccesses(S)) {
       StmtPtr Probe = makeProbeBranch(A, S);
-      if (Probe)
+      if (Probe) {
+        if (CurSusp)
+          suspAdjustStmt(Probe.get());
         Branches.push_back(std::move(Probe));
+      }
     }
   }
+
+  // K>2, inside a susp variant: the thread may park here instead of
+  // executing the statement (resume re-enters right at it).
+  if (Susp && CurSusp)
+    Branches.push_back(makeSuspendArm(Susp->Id));
 
   if (Branches.size() == 1)
     return; // Only skip: the whole choice is a no-op; elide it.
@@ -500,6 +794,8 @@ StmtPtr KissTransformer::translateUserClone(const Stmt *S) {
   StmtPtr Clone = S->clone();
   zipOrigins(S, Clone.get());
   renameFuncRefsInStmt(Clone.get(), NewNames);
+  if (CurSusp)
+    suspAdjustStmt(Clone.get());
   return Clone;
 }
 
@@ -557,6 +853,520 @@ void KissTransformer::instrumentAtomicAssumes(Stmt *S) {
   default:
     return;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// K>2 suspend/resume emission
+//
+// A resumable thread body is a clone where every local lives in a global
+// __susp_* slot and every statement is wrapped in a navigation guard. A
+// thread parks by stamping its __pc_* globals and unwinding with __raise
+// (role Suspend); the scheduler re-enters it with __nav set, and the
+// guards deterministically skip to the parked statement, whose saved
+// effects are all in globals — nothing is re-executed.
+//===----------------------------------------------------------------------===//
+
+ExprPtr KissTransformer::defaultValueOf(const Type *Ty) {
+  if (Ty->isInt())
+    return B->intLit(0);
+  if (Ty->isBool())
+    return B->boolLit(false);
+  return B->nullLit(Ty);
+}
+
+/// The static dispatch tag of an async callee: its position among the
+/// eligible candidates, or -1 when the thread cannot suspend (indirect
+/// callee or ineligible closure — those keep K=2 run-to-completion).
+int KissTransformer::tagOfCallee(const Expr *Callee) const {
+  const auto *FR = dyn_cast<FuncRefExpr>(Callee);
+  if (!FR)
+    return -1;
+  for (unsigned T = 0; T != Candidates.size(); ++T)
+    if (Candidates[T] == FR->getFuncIndex())
+      return static_cast<int>(T);
+  return -1;
+}
+
+/// `assume(__nav); assume(pc outside [Lo, Hi])` — taken when navigating
+/// past this statement to the parked one.
+StmtPtr KissTransformer::makeSkipArm(const StmtIds &I) {
+  std::vector<StmtPtr> Stmts;
+  Stmts.push_back(B->assumeStmt(B->varRef(NavVar)));
+  ExprPtr Pc = B->varRef(CurSusp->Pc);
+  if (I.Lo == I.Hi) {
+    Stmts.push_back(
+        B->assumeStmt(B->cmp(BinaryOp::Ne, std::move(Pc), B->intLit(I.Id))));
+  } else {
+    std::vector<StmtPtr> Below;
+    Below.push_back(B->assumeStmt(
+        B->cmp(BinaryOp::Lt, std::move(Pc), B->intLit(I.Lo))));
+    std::vector<StmtPtr> Above;
+    Above.push_back(B->assumeStmt(
+        B->cmp(BinaryOp::Gt, B->varRef(CurSusp->Pc), B->intLit(I.Hi))));
+    std::vector<StmtPtr> Branches;
+    Branches.push_back(B->block(std::move(Below)));
+    Branches.push_back(B->block(std::move(Above)));
+    Stmts.push_back(B->choice(std::move(Branches)));
+  }
+  return B->block(std::move(Stmts));
+}
+
+/// `choice { assume(!__nav) } or { assume(__nav); assume(pc in range) }` —
+/// placed at the head of a composite (or choice branch) so navigation can
+/// only descend into the subtree holding the parked statement.
+StmtPtr KissTransformer::makeNavRangeGuard(const StmtIds &I) {
+  std::vector<StmtPtr> Off;
+  Off.push_back(B->assumeStmt(B->notOf(B->varRef(NavVar))));
+  std::vector<StmtPtr> On;
+  On.push_back(B->assumeStmt(B->varRef(NavVar)));
+  if (I.Lo == I.Hi) {
+    On.push_back(B->assumeStmt(
+        B->cmp(BinaryOp::Eq, B->varRef(CurSusp->Pc), B->intLit(I.Id))));
+  } else {
+    On.push_back(B->assumeStmt(
+        B->cmp(BinaryOp::Ge, B->varRef(CurSusp->Pc), B->intLit(I.Lo))));
+    On.push_back(B->assumeStmt(
+        B->cmp(BinaryOp::Le, B->varRef(CurSusp->Pc), B->intLit(I.Hi))));
+  }
+  std::vector<StmtPtr> Branches;
+  Branches.push_back(B->block(std::move(Off)));
+  Branches.push_back(B->block(std::move(On)));
+  return B->choice(std::move(Branches));
+}
+
+/// The suspend arm: with round budget left and no other thread already
+/// parked, stamp the pc, mark the park, and unwind via __raise. The
+/// `__suspending` marker distinguishes this unwind from an abandonment at
+/// the dispatch site; the assignment setting it carries InstrRole::Suspend
+/// so the trace mapper knows which thread parked.
+StmtPtr KissTransformer::makeSuspendArm(int PcId, ExprPtr Guard) {
+  std::vector<StmtPtr> Stmts;
+  if (Guard)
+    Stmts.push_back(B->assumeStmt(std::move(Guard)));
+  Stmts.push_back(B->assumeStmt(
+      B->cmp(BinaryOp::Gt, B->varRef(RoundsVar), B->intLit(0))));
+  Stmts.push_back(B->assumeStmt(B->notOf(B->varRef(SuspActiveVar))));
+  Stmts.push_back(B->assignVar(CurSusp->Pc, B->intLit(PcId)));
+  Stmts.push_back(B->assignVar(SuspActiveVar, B->boolLit(true)));
+  StmtPtr Mark = B->assignVar(SuspendingVar, B->boolLit(true));
+  Mark->setRole(InstrRole::Suspend);
+  Stmts.push_back(std::move(Mark));
+  StmtPtr Raise = B->assignVar(RaiseVar, B->boolLit(true));
+  Raise->setRole(InstrRole::Raise);
+  Stmts.push_back(std::move(Raise));
+  StmtPtr Ret = makeDefaultReturn();
+  Ret->setRole(InstrRole::Raise);
+  Stmts.push_back(std::move(Ret));
+  return B->block(std::move(Stmts));
+}
+
+/// Propagation after a call in a susp body: an abandoning unwind returns
+/// as usual, but a *suspending* unwind first stamps this frame's pc with
+/// the call's Inner id so resume re-enters the callee without re-binding
+/// its (already live) parameter slots.
+StmtPtr KissTransformer::makeSuspPropagate(int InnerPc) {
+  std::vector<StmtPtr> Taken;
+  Taken.push_back(B->assumeStmt(B->varRef(RaiseVar)));
+  {
+    std::vector<StmtPtr> Parked;
+    Parked.push_back(B->assumeStmt(B->varRef(SuspendingVar)));
+    Parked.push_back(B->assignVar(CurSusp->Pc, B->intLit(InnerPc)));
+    std::vector<StmtPtr> Plain;
+    Plain.push_back(B->assumeStmt(B->notOf(B->varRef(SuspendingVar))));
+    std::vector<StmtPtr> Inner;
+    Inner.push_back(B->block(std::move(Parked)));
+    Inner.push_back(B->block(std::move(Plain)));
+    Taken.push_back(B->choice(std::move(Inner)));
+  }
+  Taken.push_back(makeDefaultReturn());
+  std::vector<StmtPtr> Skipped;
+  Skipped.push_back(B->assumeStmt(B->notOf(B->varRef(RaiseVar))));
+  std::vector<StmtPtr> Branches;
+  Branches.push_back(B->block(std::move(Taken)));
+  Branches.push_back(B->block(std::move(Skipped)));
+  StmtPtr Choice = B->choice(std::move(Branches));
+  Choice->setRole(InstrRole::Propagate);
+  return Choice;
+}
+
+/// `choice { [assume(!__nav); prefix...] [] [assume(__nav); assume(pc ==
+/// Id); __nav := false] }` — the entry of a leaf statement: a fresh pass
+/// runs the Figure-4 prefix (now including a suspend arm); a resume lands
+/// here directly, skipping the prefix, and clears navigation.
+StmtPtr KissTransformer::makeLeafEntry(const Stmt *S, const StmtIds &I,
+                                       bool PlainRaise) {
+  std::vector<StmtPtr> Fresh;
+  Fresh.push_back(B->assumeStmt(B->notOf(B->varRef(NavVar))));
+  emitPrefix(S, Fresh, PlainRaise, &I);
+  std::vector<StmtPtr> Landed;
+  Landed.push_back(B->assumeStmt(B->varRef(NavVar)));
+  Landed.push_back(B->assumeStmt(
+      B->cmp(BinaryOp::Eq, B->varRef(CurSusp->Pc), B->intLit(I.Id))));
+  Landed.push_back(B->assignVar(NavVar, B->boolLit(false)));
+  std::vector<StmtPtr> Branches;
+  Branches.push_back(B->block(std::move(Fresh)));
+  Branches.push_back(B->block(std::move(Landed)));
+  return B->choice(std::move(Branches));
+}
+
+void KissTransformer::emitGuarded(const StmtIds &I, std::vector<StmtPtr> Enter,
+                                  std::vector<StmtPtr> &Out) {
+  std::vector<StmtPtr> Branches;
+  Branches.push_back(makeSkipArm(I));
+  Branches.push_back(B->block(std::move(Enter)));
+  Out.push_back(B->choice(std::move(Branches)));
+}
+
+void KissTransformer::suspAdjustExpr(Expr *E) {
+  switch (E->getKind()) {
+  case ExprKind::VarRef: {
+    auto *V = cast<VarRefExpr>(E);
+    if (V->getVarId().isLocal()) {
+      VarId G = CurSusp->LocalSlots[V->getVarId().Index];
+      V->setVarId(G);
+      V->setName(Out->getGlobals()[G.Index].Name);
+    }
+    return;
+  }
+  case ExprKind::Unary:
+    suspAdjustExpr(cast<UnaryExpr>(E)->getSub());
+    return;
+  case ExprKind::Binary: {
+    auto *Bin = cast<BinaryExpr>(E);
+    suspAdjustExpr(Bin->getLHS());
+    suspAdjustExpr(Bin->getRHS());
+    return;
+  }
+  case ExprKind::Deref:
+    suspAdjustExpr(cast<DerefExpr>(E)->getSub());
+    return;
+  case ExprKind::Field:
+    suspAdjustExpr(cast<FieldExpr>(E)->getBase());
+    return;
+  case ExprKind::AddrOf:
+    suspAdjustExpr(cast<AddrOfExpr>(E)->getSub());
+    return;
+  case ExprKind::Call: {
+    auto *C = cast<CallExpr>(E);
+    suspAdjustExpr(C->getCallee());
+    for (ExprPtr &A : C->getArgs())
+      suspAdjustExpr(A.get());
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+void KissTransformer::suspAdjustStmt(Stmt *S) {
+  switch (S->getKind()) {
+  case StmtKind::Block:
+    for (StmtPtr &Sub : cast<BlockStmt>(S)->getStmts())
+      suspAdjustStmt(Sub.get());
+    return;
+  case StmtKind::Assign: {
+    auto *A = cast<AssignStmt>(S);
+    suspAdjustExpr(A->getLHS());
+    suspAdjustExpr(A->getRHS());
+    return;
+  }
+  case StmtKind::ExprStmt:
+    suspAdjustExpr(cast<ExprStmt>(S)->getExpr());
+    return;
+  case StmtKind::Async: {
+    auto *A = cast<AsyncStmt>(S);
+    suspAdjustExpr(A->getCallee());
+    for (ExprPtr &Arg : A->getArgs())
+      suspAdjustExpr(Arg.get());
+    return;
+  }
+  case StmtKind::Assert:
+    suspAdjustExpr(cast<AssertStmt>(S)->getCond());
+    return;
+  case StmtKind::Assume:
+    suspAdjustExpr(cast<AssumeStmt>(S)->getCond());
+    return;
+  case StmtKind::Atomic:
+    suspAdjustStmt(cast<AtomicStmt>(S)->getBody());
+    return;
+  case StmtKind::Choice:
+    for (StmtPtr &Br : cast<ChoiceStmt>(S)->getBranches())
+      suspAdjustStmt(Br.get());
+    return;
+  case StmtKind::Iter:
+    suspAdjustStmt(cast<IterStmt>(S)->getBody());
+    return;
+  case StmtKind::Return:
+    if (auto *V = cast<ReturnStmt>(S)->getValue())
+      suspAdjustExpr(V);
+    return;
+  default:
+    return;
+  }
+}
+
+/// A direct call in a susp body: parameters are bound into the callee's
+/// globalized slots, the call targets the callee's susp variant, and the
+/// result lands in a globalized temp so a suspended callee clobbers
+/// nothing. Entry has three arms: fresh execution, resume *at* the call
+/// (re-binding parameters is safe — a parked frame is never at pc == Id),
+/// and resume *inside* the callee (slots already live, skip the binding).
+void KissTransformer::emitSuspCall(const Stmt *S, std::vector<StmtPtr> &Out) {
+  const auto *A = dyn_cast<AssignStmt>(S);
+  const auto *CallE = A ? cast<CallExpr>(A->getRHS())
+                        : cast<CallExpr>(cast<ExprStmt>(S)->getExpr());
+  const auto *FR = cast<FuncRefExpr>(CallE->getCallee());
+  SuspFunc &CF = SuspFns.at(FR->getFuncIndex());
+  const StmtIds &I = CurSusp->Ids.at(S);
+
+  auto paramAssigns = [&](std::vector<StmtPtr> &Dst) {
+    for (unsigned K = 0; K != CallE->getArgs().size(); ++K) {
+      ExprPtr Arg = CallE->getArgs()[K]->clone();
+      renameFuncRefs(Arg.get(), NewNames);
+      suspAdjustExpr(Arg.get());
+      Dst.push_back(B->assign(B->varRef(CF.LocalSlots[K]), std::move(Arg)));
+    }
+  };
+
+  std::vector<StmtPtr> Fresh;
+  Fresh.push_back(B->assumeStmt(B->notOf(B->varRef(NavVar))));
+  emitPrefix(S, Fresh, /*PlainRaiseBranch=*/false, &I);
+  paramAssigns(Fresh);
+
+  std::vector<StmtPtr> AtCall;
+  AtCall.push_back(B->assumeStmt(B->varRef(NavVar)));
+  AtCall.push_back(B->assumeStmt(
+      B->cmp(BinaryOp::Eq, B->varRef(CurSusp->Pc), B->intLit(I.Id))));
+  AtCall.push_back(B->assignVar(NavVar, B->boolLit(false)));
+  paramAssigns(AtCall);
+
+  std::vector<StmtPtr> InCallee;
+  InCallee.push_back(B->assumeStmt(B->varRef(NavVar)));
+  InCallee.push_back(B->assumeStmt(
+      B->cmp(BinaryOp::Eq, B->varRef(CurSusp->Pc), B->intLit(I.Inner))));
+
+  std::vector<StmtPtr> Branches;
+  Branches.push_back(B->block(std::move(Fresh)));
+  Branches.push_back(B->block(std::move(AtCall)));
+  Branches.push_back(B->block(std::move(InCallee)));
+  Out.push_back(B->choice(std::move(Branches)));
+
+  VarId Result;
+  if (A) {
+    std::string TmpName =
+        "__susp_" + std::string(Syms.str(P.getFunctions()[CurFuncIdx]->getName())) +
+        "_call" + std::to_string(CurSusp->TempSlots.size());
+    const Type *RetTy = CallE->getType();
+    std::optional<ConstInit> Init;
+    if (RetTy->isInt())
+      Init = ConstInit::makeInt(0);
+    else if (RetTy->isBool())
+      Init = ConstInit::makeBool(false);
+    else
+      Init = ConstInit::makeNull();
+    Result = B->addGlobal(TmpName, RetTy, Init);
+    CurSusp->TempSlots.push_back(Result);
+  }
+  StmtPtr Call = B->call(Result, CF.SuspIdx, {});
+  Call->setRole(InstrRole::User);
+  Call->setOrigin(S);
+  Out.push_back(std::move(Call));
+  Out.push_back(makeSuspPropagate(I.Inner));
+  if (A) {
+    ExprPtr Dest = A->getLHS()->clone();
+    suspAdjustExpr(Dest.get());
+    StmtPtr Commit = B->assign(std::move(Dest), B->varRef(Result));
+    Commit->setRole(InstrRole::Propagate);
+    Out.push_back(std::move(Commit));
+  }
+}
+
+/// One member of a (cloned, already susp-adjusted) atomic body. There are
+/// no prefixes inside an atomic section; the only suspend points are the
+/// atomicity-releasing assumes, which gain a suspend arm next to the K=2
+/// RAISE arm — parking while blocked mid-atomic is a real scheduling
+/// point, and the resume re-tests the condition.
+void KissTransformer::suspAtomicMemberInto(StmtPtr M,
+                                           std::vector<StmtPtr> &Out) {
+  const Stmt *O = M->getOrigin();
+  switch (M->getKind()) {
+  case StmtKind::Block: {
+    auto &Stmts = cast<BlockStmt>(M.get())->getStmts();
+    for (StmtPtr &Sub : Stmts)
+      suspAtomicMemberInto(std::move(Sub), Out);
+    return;
+  }
+  case StmtKind::Assume: {
+    const StmtIds &I = CurSusp->Ids.at(O);
+    const auto *As = cast<AssumeStmt>(M.get());
+    auto negated = [&]() -> ExprPtr {
+      if (const auto *U = dyn_cast<UnaryExpr>(As->getCond());
+          U && U->getOp() == UnaryOp::Not)
+        return U->getSub()->clone();
+      return B->notOf(As->getCond()->clone());
+    };
+
+    std::vector<StmtPtr> Enter;
+    {
+      std::vector<StmtPtr> Fresh;
+      Fresh.push_back(B->assumeStmt(B->notOf(B->varRef(NavVar))));
+      std::vector<StmtPtr> Landed;
+      Landed.push_back(B->assumeStmt(B->varRef(NavVar)));
+      Landed.push_back(B->assumeStmt(
+          B->cmp(BinaryOp::Eq, B->varRef(CurSusp->Pc), B->intLit(I.Id))));
+      Landed.push_back(B->assignVar(NavVar, B->boolLit(false)));
+      std::vector<StmtPtr> EB;
+      EB.push_back(B->block(std::move(Fresh)));
+      EB.push_back(B->block(std::move(Landed)));
+      Enter.push_back(B->choice(std::move(EB)));
+    }
+    {
+      // choice { assume(!C); RAISE } or { assume(!C); park } or { skip }
+      std::vector<StmtPtr> Blocked;
+      Blocked.push_back(B->assumeStmt(negated()));
+      Blocked.front()->setRole(InstrRole::Raise);
+      Blocked.push_back(makeRaiseBranch());
+      std::vector<StmtPtr> RB;
+      RB.push_back(B->block(std::move(Blocked)));
+      RB.push_back(makeSuspendArm(I.Id, negated()));
+      RB.push_back(B->skip());
+      StmtPtr Release = B->choice(std::move(RB));
+      Release->setRole(InstrRole::Raise);
+      Enter.push_back(std::move(Release));
+    }
+    Enter.push_back(std::move(M));
+    emitGuarded(I, std::move(Enter), Out);
+    return;
+  }
+  case StmtKind::Choice: {
+    const StmtIds &I = CurSusp->Ids.at(O);
+    auto *C = cast<ChoiceStmt>(M.get());
+    std::vector<StmtPtr> NewBranches;
+    for (StmtPtr &Br : C->getBranches()) {
+      const StmtIds &BI = CurSusp->Ids.at(Br->getOrigin());
+      std::vector<StmtPtr> BrStmts;
+      BrStmts.push_back(makeNavRangeGuard(BI));
+      suspAtomicMemberInto(std::move(Br), BrStmts);
+      NewBranches.push_back(B->block(std::move(BrStmts)));
+    }
+    StmtPtr NewC = B->choice(std::move(NewBranches));
+    NewC->setRole(M->getRole());
+    NewC->setOrigin(O);
+    std::vector<StmtPtr> Enter;
+    Enter.push_back(makeNavRangeGuard(I));
+    Enter.push_back(std::move(NewC));
+    emitGuarded(I, std::move(Enter), Out);
+    return;
+  }
+  case StmtKind::Iter: {
+    const StmtIds &I = CurSusp->Ids.at(O);
+    auto *It = cast<IterStmt>(M.get());
+    std::vector<StmtPtr> BodyStmts;
+    suspAtomicMemberInto(It->takeBody(), BodyStmts);
+    StmtPtr NewIt = B->iter(B->block(std::move(BodyStmts)));
+    NewIt->setRole(M->getRole());
+    NewIt->setOrigin(O);
+    std::vector<StmtPtr> Enter;
+    Enter.push_back(makeNavRangeGuard(I));
+    Enter.push_back(std::move(NewIt));
+    emitGuarded(I, std::move(Enter), Out);
+    return;
+  }
+  default: {
+    // Leaves other than assume are never parked at: skip them wholesale
+    // while navigating, run them otherwise.
+    std::vector<StmtPtr> Skip;
+    Skip.push_back(B->assumeStmt(B->varRef(NavVar)));
+    std::vector<StmtPtr> Run;
+    Run.push_back(B->assumeStmt(B->notOf(B->varRef(NavVar))));
+    Run.push_back(std::move(M));
+    std::vector<StmtPtr> Branches;
+    Branches.push_back(B->block(std::move(Skip)));
+    Branches.push_back(B->block(std::move(Run)));
+    Out.push_back(B->choice(std::move(Branches)));
+    return;
+  }
+  }
+}
+
+/// Parameter binding for a resumable dispatch: either from the ts slot's
+/// captured argument globals, or from the async site's argument atoms.
+void KissTransformer::emitParamAssigns(uint32_t CandIdx,
+                                       const std::vector<ExprPtr> &Args,
+                                       bool FromTsSlot, unsigned Slot,
+                                       std::vector<StmtPtr> &Out) {
+  SuspFunc &CF = SuspFns.at(CandIdx);
+  for (unsigned K = 0; K != Args.size(); ++K) {
+    ExprPtr V;
+    if (FromTsSlot) {
+      V = B->varRef(TsArgVars[Slot][K]);
+    } else {
+      V = Args[K]->clone();
+      renameFuncRefs(V.get(), NewNames);
+      if (CurSusp)
+        suspAdjustExpr(V.get());
+    }
+    Out.push_back(B->assign(B->varRef(CF.LocalSlots[K]), std::move(V)));
+  }
+}
+
+/// After a resumable dispatch returns: either the thread completed — wipe
+/// the closure's globalized state back to defaults so the run merges with
+/// non-resumable completions in the dedup store — or it parked, which
+/// just consumes the __suspending marker. Either way the busy flag,
+/// navigation, and __raise are cleared (the latter exactly as Figure 4's
+/// schedule() does after a dispatch).
+void KissTransformer::emitPostDispatchCleanup(uint32_t CandIdx,
+                                              std::vector<StmtPtr> &Out) {
+  std::vector<StmtPtr> Done;
+  Done.push_back(B->assumeStmt(B->notOf(B->varRef(SuspendingVar))));
+  Done.push_back(B->assignVar(SuspTagVar, B->intLit(0)));
+  for (uint32_t FI : CandClosure.at(CandIdx)) {
+    SuspFunc &F = SuspFns.at(FI);
+    Done.push_back(B->assignVar(F.Pc, B->intLit(0)));
+    const auto &Globals = B->getProgram().getGlobals();
+    for (VarId Slot : F.LocalSlots)
+      Done.push_back(
+          B->assignVar(Slot, defaultValueOf(Globals[Slot.Index].Ty)));
+    for (VarId Slot : F.TempSlots)
+      Done.push_back(
+          B->assignVar(Slot, defaultValueOf(Globals[Slot.Index].Ty)));
+  }
+  std::vector<StmtPtr> Parked;
+  Parked.push_back(B->assumeStmt(B->varRef(SuspendingVar)));
+  Parked.push_back(B->assignVar(SuspendingVar, B->boolLit(false)));
+  std::vector<StmtPtr> Branches;
+  Branches.push_back(B->block(std::move(Done)));
+  Branches.push_back(B->block(std::move(Parked)));
+  Out.push_back(B->choice(std::move(Branches)));
+  Out.push_back(B->assignVar(SuspBusyVar, B->boolLit(false)));
+  Out.push_back(B->assignVar(NavVar, B->boolLit(false)));
+  StmtPtr Reset = B->assignVar(RaiseVar, B->boolLit(false));
+  Reset->setRole(InstrRole::Schedule);
+  Out.push_back(std::move(Reset));
+}
+
+/// The "run it synchronously, but resumably" alternative at an async
+/// site: instead of the Figure-4 synchronous call, dispatch the thread's
+/// susp variant right here so it may park and be resumed later by the
+/// scheduler. Guarded on no other thread being parked or mid-dispatch.
+std::vector<StmtPtr>
+KissTransformer::makeResumableSiteStmts(const AsyncStmt *S, int Tag) {
+  uint32_t Cand = Candidates[Tag];
+  std::vector<StmtPtr> Br;
+  Br.push_back(B->assumeStmt(
+      B->cmp(BinaryOp::Gt, B->varRef(RoundsVar), B->intLit(0))));
+  Br.push_back(B->assumeStmt(B->notOf(B->varRef(SuspBusyVar))));
+  Br.push_back(B->assumeStmt(B->notOf(B->varRef(SuspActiveVar))));
+  emitParamAssigns(Cand, S->getArgs(), /*FromTsSlot=*/false, 0, Br);
+  Br.push_back(B->assignVar(SuspTagVar, B->intLit(Tag)));
+  Br.push_back(B->assignVar(SuspBusyVar, B->boolLit(true)));
+  StmtPtr Call = B->call(VarId(), SuspFns.at(Cand).SuspIdx, {});
+  Call->setRole(InstrRole::Schedule);
+  Call->setOrigin(S);
+  Br.push_back(std::move(Call));
+  emitPostDispatchCleanup(Cand, Br);
+  return Br;
 }
 
 void KissTransformer::collectReadsOfExpr(const Expr *E,
@@ -780,9 +1590,14 @@ void KissTransformer::emitAsync(const AsyncStmt *S,
     std::vector<StmtPtr> Stmts;
     ExprPtr Callee = S->getCallee()->clone();
     renameFuncRefs(Callee.get(), NewNames);
+    if (CurSusp)
+      suspAdjustExpr(Callee.get());
     std::vector<ExprPtr> Args;
-    for (const ExprPtr &A : S->getArgs())
+    for (const ExprPtr &A : S->getArgs()) {
       Args.push_back(A->clone());
+      if (CurSusp)
+        suspAdjustExpr(Args.back().get());
+    }
     StmtPtr Call = B->callIndirect(VarId(), std::move(Callee),
                                    std::move(Args));
     Call->setRole(InstrRole::Schedule);
@@ -794,8 +1609,20 @@ void KissTransformer::emitAsync(const AsyncStmt *S,
     return Stmts;
   };
 
+  // K>2: whether this thread can be dispatched resumably right here
+  // (inside a susp body it cannot — the busy guard would be false anyway,
+  // so the branch would be dead weight).
+  int Tag = HasSusp && !CurSusp ? tagOfCallee(S->getCallee()) : -1;
+
   if (!HasTs) {
     // MAX == 0: ts is always full; the async runs synchronously, here.
+    if (Tag >= 0) {
+      std::vector<StmtPtr> Branches;
+      Branches.push_back(B->block(makeSyncCall()));
+      Branches.push_back(B->block(makeResumableSiteStmts(S, Tag)));
+      Out.push_back(B->choice(std::move(Branches)));
+      return;
+    }
     for (StmtPtr &St : makeSyncCall())
       Out.push_back(std::move(St));
     return;
@@ -809,10 +1636,19 @@ void KissTransformer::emitAsync(const AsyncStmt *S,
                                        B->intLit(Slot))));
     ExprPtr Callee = S->getCallee()->clone();
     renameFuncRefs(Callee.get(), NewNames);
+    if (CurSusp)
+      suspAdjustExpr(Callee.get());
     Put.push_back(B->assign(B->varRef(TsFnVars[Slot]), std::move(Callee)));
-    for (unsigned J = 0, E = S->getArgs().size(); J != E; ++J)
+    for (unsigned J = 0, E = S->getArgs().size(); J != E; ++J) {
+      ExprPtr Arg = S->getArgs()[J]->clone();
+      if (CurSusp)
+        suspAdjustExpr(Arg.get());
       Put.push_back(B->assign(B->varRef(TsArgVars[Slot][J]),
-                              S->getArgs()[J]->clone()));
+                              std::move(Arg)));
+    }
+    if (HasSusp)
+      Put.push_back(B->assign(B->varRef(TsTagVars[Slot]),
+                              B->intLit(tagOfCallee(S->getCallee()))));
     StmtPtr SizeUpd = B->assignVar(TsSizeVar, B->intLit(Slot + 1));
     SizeUpd->setRole(InstrRole::TsPut);
     SizeUpd->setOrigin(S);
@@ -829,6 +1665,16 @@ void KissTransformer::emitAsync(const AsyncStmt *S,
     Full.push_back(std::move(St));
   Branches.push_back(B->block(std::move(Full)));
 
+  if (Tag >= 0) {
+    // A resumable alternative to the synchronous full-ts call.
+    std::vector<StmtPtr> Res;
+    Res.push_back(B->assumeStmt(B->cmp(BinaryOp::Eq, B->varRef(TsSizeVar),
+                                       B->intLit(Opts.MaxTs))));
+    for (StmtPtr &St : makeResumableSiteStmts(S, Tag))
+      Res.push_back(std::move(St));
+    Branches.push_back(B->block(std::move(Res)));
+  }
+
   StmtPtr Choice = B->choice(std::move(Branches));
   Choice->setRole(InstrRole::TsPut);
   Choice->setOrigin(S);
@@ -841,8 +1687,182 @@ StmtPtr KissTransformer::xformToBlock(const Stmt *S) {
   return B->block(std::move(Stmts));
 }
 
+/// The susp-variant counterpart of xformStmtInto: every statement is
+/// wrapped `choice { skip-past [] enter }` keyed on (__nav, pc), entering
+/// leaves clears navigation, and composites recurse with range guards so
+/// a resume descends deterministically to the parked statement.
+void KissTransformer::suspStmtInto(const Stmt *S, std::vector<StmtPtr> &Out) {
+  if (S->getKind() == StmtKind::Block) {
+    for (const StmtPtr &Sub : cast<BlockStmt>(S)->getStmts())
+      suspStmtInto(Sub.get(), Out);
+    return;
+  }
+  const StmtIds &I = CurSusp->Ids.at(S);
+
+  switch (S->getKind()) {
+  case StmtKind::Choice: {
+    std::vector<StmtPtr> Branches;
+    for (const StmtPtr &Br : cast<ChoiceStmt>(S)->getBranches()) {
+      std::vector<StmtPtr> BrStmts;
+      BrStmts.push_back(makeNavRangeGuard(CurSusp->Ids.at(Br.get())));
+      suspStmtInto(Br.get(), BrStmts);
+      Branches.push_back(B->block(std::move(BrStmts)));
+    }
+    StmtPtr C = B->choice(std::move(Branches));
+    C->setRole(InstrRole::User);
+    C->setOrigin(S);
+    std::vector<StmtPtr> Enter;
+    Enter.push_back(makeNavRangeGuard(I));
+    Enter.push_back(std::move(C));
+    emitGuarded(I, std::move(Enter), Out);
+    return;
+  }
+
+  case StmtKind::Iter: {
+    std::vector<StmtPtr> BodyStmts;
+    suspStmtInto(cast<IterStmt>(S)->getBody(), BodyStmts);
+    StmtPtr It = B->iter(B->block(std::move(BodyStmts)));
+    It->setRole(InstrRole::User);
+    It->setOrigin(S);
+    std::vector<StmtPtr> Enter;
+    Enter.push_back(makeNavRangeGuard(I));
+    Enter.push_back(std::move(It));
+    emitGuarded(I, std::move(Enter), Out);
+    return;
+  }
+
+  case StmtKind::Atomic: {
+    // Entry arms: fresh (with the prefix's plain-raise + suspend arms),
+    // resume at the atomic itself (pc stamped by the prefix suspend arm:
+    // the whole section re-executes), or navigate into it (parked at an
+    // atomicity-releasing assume).
+    std::vector<StmtPtr> Fresh;
+    Fresh.push_back(B->assumeStmt(B->notOf(B->varRef(NavVar))));
+    emitPrefix(S, Fresh, /*PlainRaiseBranch=*/true, &I);
+    std::vector<StmtPtr> AtSelf;
+    AtSelf.push_back(B->assumeStmt(B->varRef(NavVar)));
+    AtSelf.push_back(B->assumeStmt(
+        B->cmp(BinaryOp::Eq, B->varRef(CurSusp->Pc), B->intLit(I.Id))));
+    AtSelf.push_back(B->assignVar(NavVar, B->boolLit(false)));
+    std::vector<StmtPtr> EnterArms;
+    EnterArms.push_back(B->block(std::move(Fresh)));
+    EnterArms.push_back(B->block(std::move(AtSelf)));
+    if (I.Hi > I.Id) {
+      std::vector<StmtPtr> Inside;
+      Inside.push_back(B->assumeStmt(B->varRef(NavVar)));
+      Inside.push_back(B->assumeStmt(
+          B->cmp(BinaryOp::Gt, B->varRef(CurSusp->Pc), B->intLit(I.Id))));
+      Inside.push_back(B->assumeStmt(
+          B->cmp(BinaryOp::Le, B->varRef(CurSusp->Pc), B->intLit(I.Hi))));
+      EnterArms.push_back(B->block(std::move(Inside)));
+    }
+    std::vector<StmtPtr> Enter;
+    Enter.push_back(B->choice(std::move(EnterArms)));
+    StmtPtr Body = translateUserClone(cast<AtomicStmt>(S)->getBody());
+    suspAtomicMemberInto(std::move(Body), Enter);
+    emitGuarded(I, std::move(Enter), Out);
+    return;
+  }
+
+  case StmtKind::Return: {
+    std::vector<StmtPtr> Fresh;
+    Fresh.push_back(B->assumeStmt(B->notOf(B->varRef(NavVar))));
+    emitScheduleCall(Fresh);
+    {
+      std::vector<StmtPtr> Arms;
+      Arms.push_back(B->skip());
+      Arms.push_back(makeSuspendArm(I.Id));
+      Fresh.push_back(B->choice(std::move(Arms)));
+    }
+    std::vector<StmtPtr> Landed;
+    Landed.push_back(B->assumeStmt(B->varRef(NavVar)));
+    Landed.push_back(B->assumeStmt(
+        B->cmp(BinaryOp::Eq, B->varRef(CurSusp->Pc), B->intLit(I.Id))));
+    Landed.push_back(B->assignVar(NavVar, B->boolLit(false)));
+    std::vector<StmtPtr> EnterArms;
+    EnterArms.push_back(B->block(std::move(Fresh)));
+    EnterArms.push_back(B->block(std::move(Landed)));
+    std::vector<StmtPtr> Enter;
+    Enter.push_back(B->choice(std::move(EnterArms)));
+    Enter.push_back(translateUserClone(S));
+    emitGuarded(I, std::move(Enter), Out);
+    return;
+  }
+
+  case StmtKind::Async: {
+    std::vector<StmtPtr> Enter;
+    Enter.push_back(makeLeafEntry(S, I, /*PlainRaise=*/false));
+    emitAsync(cast<AsyncStmt>(S), Enter);
+    emitGuarded(I, std::move(Enter), Out);
+    return;
+  }
+
+  case StmtKind::Assign: {
+    const auto *A = cast<AssignStmt>(S);
+    if (isa<CallExpr>(A->getRHS())) {
+      std::vector<StmtPtr> Enter;
+      emitSuspCall(S, Enter);
+      emitGuarded(I, std::move(Enter), Out);
+      return;
+    }
+    std::vector<StmtPtr> Enter;
+    Enter.push_back(makeLeafEntry(S, I, /*PlainRaise=*/false));
+    Enter.push_back(translateUserClone(S));
+    if (isRaceMode() && Target->K == RaceTarget::Kind::Field &&
+        isa<NewExpr>(A->getRHS()) &&
+        cast<NewExpr>(A->getRHS())->getStructName() == Target->StructName) {
+      std::vector<StmtPtr> Cap;
+      emitRaceObjCapture(A, Cap);
+      for (StmtPtr &CS : Cap) {
+        suspAdjustStmt(CS.get());
+        Enter.push_back(std::move(CS));
+      }
+    }
+    emitGuarded(I, std::move(Enter), Out);
+    return;
+  }
+
+  case StmtKind::ExprStmt: {
+    std::vector<StmtPtr> Enter;
+    emitSuspCall(S, Enter);
+    emitGuarded(I, std::move(Enter), Out);
+    return;
+  }
+
+  case StmtKind::Assert: {
+    std::vector<StmtPtr> Enter;
+    Enter.push_back(makeLeafEntry(S, I, /*PlainRaise=*/false));
+    StmtPtr Clone = translateUserClone(S);
+    if (Opts.InjectBreakAsserts) {
+      auto *A = cast<AssertStmt>(Clone.get());
+      A->getCondRef() = B->notOf(std::move(A->getCondRef()));
+    }
+    Enter.push_back(std::move(Clone));
+    emitGuarded(I, std::move(Enter), Out);
+    return;
+  }
+
+  case StmtKind::Assume:
+  case StmtKind::Skip: {
+    std::vector<StmtPtr> Enter;
+    Enter.push_back(makeLeafEntry(S, I, /*PlainRaise=*/false));
+    Enter.push_back(translateUserClone(S));
+    emitGuarded(I, std::move(Enter), Out);
+    return;
+  }
+
+  default:
+    assert(false && "non-core statement in the KISS transformer");
+    return;
+  }
+}
+
 void KissTransformer::xformStmtInto(const Stmt *S,
                                     std::vector<StmtPtr> &Out) {
+  if (CurSusp) {
+    suspStmtInto(S, Out);
+    return;
+  }
   switch (S->getKind()) {
   case StmtKind::Block:
     for (const StmtPtr &Sub : cast<BlockStmt>(S)->getStmts())
@@ -976,6 +1996,20 @@ void KissTransformer::xformStmtInto(const Stmt *S,
 }
 
 void KissTransformer::transformBodies() {
+  // Susp variants first: their globalized call temps must all exist
+  // before any post-dispatch cleanup (which resets them) is emitted into
+  // normal bodies or the scheduler.
+  for (uint32_t FI : SuspClosureFns) {
+    CurFuncIdx = FI;
+    CurSusp = &SuspFns.at(FI);
+    FuncDecl *NF = Out->getFunction(CurSusp->SuspIdx);
+    B->setFunction(NF);
+    std::vector<StmtPtr> Body;
+    xformStmtInto(P.getFunctions()[FI]->getBody(), Body);
+    NF->setBody(B->block(std::move(Body)));
+    CurSusp = nullptr;
+  }
+
   for (uint32_t FI = 0, E = P.getFunctions().size(); FI != E; ++FI) {
     CurFuncIdx = FI;
     FuncDecl *NF = Out->getFunction(FI);
@@ -990,47 +2024,138 @@ void KissTransformer::buildSchedule() {
   FuncDecl *Sched = Out->getFunction(ScheduleIdx);
   B->setFunction(Sched);
 
-  if (!HasTs) {
+  if (!HasSched) {
     Sched->setBody(B->block({}));
     return;
   }
 
-  const auto &Params = AsyncFuncTy->getParamTypes();
-  VarId FnVar = B->addLocal("__f", AsyncFuncTy);
-  std::vector<VarId> ArgVars;
-  for (unsigned J = 0; J != Params.size(); ++J)
-    ArgVars.push_back(
-        B->addLocal("__a" + std::to_string(J), Params[J]));
-
-  // iter { choice over (slot j taken from a ts of size s) } — get() picks
-  // any live slot; removal moves the last slot down; the dispatched thread
-  // runs to completion and __raise is reset (Figure 4's schedule()).
   std::vector<StmtPtr> Branches;
-  for (unsigned SlotJ = 0; SlotJ != Opts.MaxTs; ++SlotJ) {
-    for (unsigned Size = SlotJ + 1; Size <= Opts.MaxTs; ++Size) {
-      std::vector<StmtPtr> Br;
-      Br.push_back(B->assumeStmt(B->cmp(BinaryOp::Eq, B->varRef(TsSizeVar),
-                                        B->intLit(Size))));
-      Br.push_back(B->assign(B->varRef(FnVar), B->varRef(TsFnVars[SlotJ])));
-      for (unsigned J = 0; J != Params.size(); ++J)
-        Br.push_back(B->assign(B->varRef(ArgVars[J]),
-                               B->varRef(TsArgVars[SlotJ][J])));
-      if (SlotJ != Size - 1) {
-        Br.push_back(B->assign(B->varRef(TsFnVars[SlotJ]),
-                               B->varRef(TsFnVars[Size - 1])));
+
+  if (HasTs) {
+    const auto &Params = AsyncFuncTy->getParamTypes();
+    VarId FnVar = B->addLocal("__f", AsyncFuncTy);
+    std::vector<VarId> ArgVars;
+    for (unsigned J = 0; J != Params.size(); ++J)
+      ArgVars.push_back(
+          B->addLocal("__a" + std::to_string(J), Params[J]));
+
+    // iter { choice over (slot j taken from a ts of size s) } — get()
+    // picks any live slot; removal moves the last slot down; the
+    // dispatched thread runs to completion and __raise is reset
+    // (Figure 4's schedule()).
+    for (unsigned SlotJ = 0; SlotJ != Opts.MaxTs; ++SlotJ) {
+      for (unsigned Size = SlotJ + 1; Size <= Opts.MaxTs; ++Size) {
+        std::vector<StmtPtr> Br;
+        Br.push_back(B->assumeStmt(B->cmp(
+            BinaryOp::Eq, B->varRef(TsSizeVar), B->intLit(Size))));
+        Br.push_back(
+            B->assign(B->varRef(FnVar), B->varRef(TsFnVars[SlotJ])));
         for (unsigned J = 0; J != Params.size(); ++J)
-          Br.push_back(B->assign(B->varRef(TsArgVars[SlotJ][J]),
-                                 B->varRef(TsArgVars[Size - 1][J])));
+          Br.push_back(B->assign(B->varRef(ArgVars[J]),
+                                 B->varRef(TsArgVars[SlotJ][J])));
+        if (SlotJ != Size - 1) {
+          Br.push_back(B->assign(B->varRef(TsFnVars[SlotJ]),
+                                 B->varRef(TsFnVars[Size - 1])));
+          for (unsigned J = 0; J != Params.size(); ++J)
+            Br.push_back(B->assign(B->varRef(TsArgVars[SlotJ][J]),
+                                   B->varRef(TsArgVars[Size - 1][J])));
+          if (HasSusp)
+            Br.push_back(B->assign(B->varRef(TsTagVars[SlotJ]),
+                                   B->varRef(TsTagVars[Size - 1])));
+        }
+        Br.push_back(B->assignVar(TsSizeVar, B->intLit(Size - 1)));
+        std::vector<ExprPtr> CallArgs;
+        for (unsigned J = 0; J != Params.size(); ++J)
+          CallArgs.push_back(B->varRef(ArgVars[J]));
+        Br.push_back(B->callIndirect(VarId(), B->varRef(FnVar),
+                                     std::move(CallArgs)));
+        Br.push_back(B->assignVar(RaiseVar, B->boolLit(false)));
+        for (StmtPtr &St : Br)
+          St->setRole(InstrRole::Schedule);
+        Branches.push_back(B->block(std::move(Br)));
       }
-      Br.push_back(B->assignVar(TsSizeVar, B->intLit(Size - 1)));
-      std::vector<ExprPtr> CallArgs;
-      for (unsigned J = 0; J != Params.size(); ++J)
-        CallArgs.push_back(B->varRef(ArgVars[J]));
-      Br.push_back(
-          B->callIndirect(VarId(), B->varRef(FnVar), std::move(CallArgs)));
-      Br.push_back(B->assignVar(RaiseVar, B->boolLit(false)));
+    }
+
+    // K>2: dispatch a pending thread *resumably* — run its susp variant,
+    // which may park and be picked up again by the resume arms below.
+    if (HasSusp) {
+      for (unsigned SlotJ = 0; SlotJ != Opts.MaxTs; ++SlotJ) {
+        for (unsigned Size = SlotJ + 1; Size <= Opts.MaxTs; ++Size) {
+          for (unsigned T = 0; T != Candidates.size(); ++T) {
+            uint32_t Cand = Candidates[T];
+            std::vector<StmtPtr> Br;
+            Br.push_back(B->assumeStmt(B->cmp(
+                BinaryOp::Eq, B->varRef(TsSizeVar), B->intLit(Size))));
+            Br.push_back(B->assumeStmt(
+                B->cmp(BinaryOp::Eq, B->varRef(TsTagVars[SlotJ]),
+                       B->intLit(static_cast<int>(T)))));
+            Br.push_back(B->assumeStmt(B->cmp(
+                BinaryOp::Gt, B->varRef(RoundsVar), B->intLit(0))));
+            Br.push_back(
+                B->assumeStmt(B->notOf(B->varRef(SuspBusyVar))));
+            Br.push_back(
+                B->assumeStmt(B->notOf(B->varRef(SuspActiveVar))));
+            {
+              SuspFunc &CF = SuspFns.at(Cand);
+              for (unsigned J = 0;
+                   J != AsyncFuncTy->getParamTypes().size(); ++J)
+                Br.push_back(B->assign(B->varRef(CF.LocalSlots[J]),
+                                       B->varRef(TsArgVars[SlotJ][J])));
+            }
+            if (SlotJ != Size - 1) {
+              Br.push_back(B->assign(B->varRef(TsFnVars[SlotJ]),
+                                     B->varRef(TsFnVars[Size - 1])));
+              for (unsigned J = 0;
+                   J != AsyncFuncTy->getParamTypes().size(); ++J)
+                Br.push_back(B->assign(B->varRef(TsArgVars[SlotJ][J]),
+                                       B->varRef(TsArgVars[Size - 1][J])));
+              Br.push_back(B->assign(B->varRef(TsTagVars[SlotJ]),
+                                     B->varRef(TsTagVars[Size - 1])));
+            }
+            Br.push_back(B->assignVar(TsSizeVar, B->intLit(Size - 1)));
+            Br.push_back(
+                B->assignVar(SuspTagVar, B->intLit(static_cast<int>(T))));
+            Br.push_back(B->assignVar(SuspBusyVar, B->boolLit(true)));
+            for (StmtPtr &St : Br)
+              St->setRole(InstrRole::Schedule);
+            StmtPtr Call = B->call(VarId(), SuspFns.at(Cand).SuspIdx, {});
+            Call->setRole(InstrRole::Schedule);
+            Br.push_back(std::move(Call));
+            emitPostDispatchCleanup(Cand, Br);
+            Branches.push_back(B->block(std::move(Br)));
+          }
+        }
+      }
+    }
+  }
+
+  // K>2: re-enter the parked thread (this is the round boundary — it
+  // consumes one unit of the round budget).
+  if (HasSusp) {
+    for (unsigned T = 0; T != Candidates.size(); ++T) {
+      uint32_t Cand = Candidates[T];
+      std::vector<StmtPtr> Br;
+      Br.push_back(B->assumeStmt(B->varRef(SuspActiveVar)));
+      Br.push_back(B->assumeStmt(B->notOf(B->varRef(SuspBusyVar))));
+      Br.push_back(B->assumeStmt(
+          B->cmp(BinaryOp::Gt, B->varRef(RoundsVar), B->intLit(0))));
+      Br.push_back(B->assumeStmt(B->cmp(BinaryOp::Eq, B->varRef(SuspTagVar),
+                                        B->intLit(static_cast<int>(T)))));
+      {
+        auto Minus = std::make_unique<BinaryExpr>(
+            BinaryOp::Sub, B->varRef(RoundsVar), B->intLit(1), SourceLoc());
+        Minus->setType(Types.getIntType());
+        Br.push_back(B->assignVar(RoundsVar, std::move(Minus)));
+      }
+      Br.push_back(B->assignVar(SuspActiveVar, B->boolLit(false)));
+      Br.push_back(B->assignVar(SuspBusyVar, B->boolLit(true)));
+      Br.push_back(B->assignVar(NavVar, B->boolLit(true)));
       for (StmtPtr &St : Br)
         St->setRole(InstrRole::Schedule);
+      StmtPtr Call = B->call(VarId(), SuspFns.at(Cand).SuspIdx, {});
+      Call->setRole(InstrRole::Resume);
+      Br.push_back(std::move(Call));
+      emitPostDispatchCleanup(Cand, Br);
       Branches.push_back(B->block(std::move(Br)));
     }
   }
@@ -1075,7 +2200,7 @@ void KissTransformer::buildDriver() {
   Reset->setRole(InstrRole::Init);
   Body.push_back(std::move(Reset));
 
-  if (HasTs) {
+  if (HasSched) {
     StmtPtr FinalSched = B->call(VarId(), ScheduleIdx, {});
     FinalSched->setRole(InstrRole::SchedCall);
     Body.push_back(std::move(FinalSched));
@@ -1087,6 +2212,8 @@ void KissTransformer::buildDriver() {
 std::unique_ptr<Program> KissTransformer::run() {
   if (!validateInput() || !collectAsyncSignature())
     return nullptr;
+  analyzeResumable();
+  HasSched = HasTs || HasSusp;
 
   Out = std::make_unique<Program>(Syms, Types);
   B = std::make_unique<Builder>(*Out, InstrRole::Init);

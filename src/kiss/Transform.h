@@ -81,6 +81,13 @@ struct TransformOptions {
   /// The paper's MAX: capacity of the ts multiset. 0 turns every async
   /// into an immediate synchronous call (enough for the §2.2 race).
   unsigned MaxTs = 0;
+  /// The context-switch bound K. The default 2 is the paper's Theorem 1
+  /// (and emits exactly the Figure 4/5 program). K > 2 adds
+  /// (K-1)/2 suspend/resume rounds: forked threads may park mid-body and
+  /// the scheduler may re-enter them later, covering every execution of a
+  /// 2-thread program with at most 2*((K-1)/2)+2 context switches (so an
+  /// odd K is rounded up to K+1). Values below 2 are treated as 2.
+  unsigned MaxSwitches = 2;
   /// Race mode: prune check probes with the points-to analysis (§5's
   /// alias-analysis optimization). Turning this off keeps every
   /// type-compatible probe (sound but slower).
@@ -94,11 +101,23 @@ struct TransformOptions {
   bool InjectBreakAsserts = false;
 };
 
-/// Probe accounting for the §5 alias-pruning ablation.
+/// Probe accounting for the §5 alias-pruning ablation, plus K-round
+/// coverage accounting.
 struct TransformStats {
   unsigned ProbesEmitted = 0;
   unsigned ProbesPruned = 0;
   unsigned StatementsInstrumented = 0;
+  /// Suspend/resume rounds generated ((MaxSwitches-1)/2; 0 at K=2).
+  unsigned Rounds = 0;
+  /// Functions that got a resumable __kiss_susp_* variant.
+  unsigned ResumableFunctions = 0;
+  /// Async sites whose callee (or its call closure) could not be made
+  /// resumable (recursion or indirect calls): those threads fall back to
+  /// run-to-completion, i.e. K=2 behavior.
+  unsigned IneligibleCandidates = 0;
+  /// Async sites whose callee is not a function literal; they also fall
+  /// back to K=2 behavior.
+  unsigned IndirectAsyncSites = 0;
 };
 
 /// Translates concurrent core program \p P into the sequential assertion-

@@ -418,6 +418,10 @@ enum class InstrRole : uint8_t {
   TsPut,     ///< Adding a forked thread to ts.
   Check,     ///< Inlined check_r/check_w race probe.
   Harness,   ///< Synthesized harness code (driver corpus).
+  Suspend,   ///< K>2: a forked thread parks itself for a later round.
+  Resume,    ///< K>2: the scheduler re-enters a suspended thread; on a
+             ///< call statement the callee continues the parked thread
+             ///< rather than starting a new one.
 };
 
 /// Base class of all statements.
@@ -673,6 +677,7 @@ public:
 
   const Stmt *getBody() const { return Body.get(); }
   Stmt *getBody() { return Body.get(); }
+  StmtPtr takeBody() { return std::move(Body); }
 
 private:
   StmtPtr Body;

@@ -283,9 +283,9 @@ TEST(DiffFuzzTest, CampaignIsInvariantAcrossJobs) {
   Opts.Seed = 11;
   Opts.Cases = 24;
   Opts.Shrink = false;
-  Opts.Jobs = 1;
+  Opts.Common.Jobs = 1;
   FuzzSummary A = runCampaign(Opts);
-  Opts.Jobs = 4;
+  Opts.Common.Jobs = 4;
   FuzzSummary B = runCampaign(Opts);
   EXPECT_EQ(A.CasesRun, B.CasesRun);
   for (int I = 0; I != 6; ++I)
@@ -295,6 +295,21 @@ TEST(DiffFuzzTest, CampaignIsInvariantAcrossJobs) {
     EXPECT_EQ(A.Findings[I].Seed, B.Findings[I].Seed);
     EXPECT_EQ(A.Findings[I].Source, B.Findings[I].Source);
   }
+}
+
+TEST(DiffFuzzTest, CampaignSmokeAtKFour) {
+  // The K-generalized oracle: at MaxSwitches = 4 the completeness bound
+  // widens to 2R+2 = 4 switches (with the K = 2 fallback for ineligible
+  // programs), and soundness must hold unconditionally — a short campaign
+  // ends with zero violations of either direction.
+  FuzzOptions Opts;
+  Opts.Seed = 7;
+  Opts.Cases = 40;
+  Opts.Shrink = false;
+  Opts.Oracle.MaxSwitches = 4;
+  FuzzSummary Sum = runCampaign(Opts);
+  EXPECT_EQ(Sum.CasesRun, 40u);
+  EXPECT_EQ(Sum.violations(), 0u) << "K=4 oracle disagreement";
 }
 
 TEST(DiffFuzzTest, CampaignFindsAndShrinksInjectedBug) {

@@ -23,7 +23,7 @@ namespace {
 constexpr uint64_t FieldStateBudget = 25000;
 
 KissVerdict checkField(const DriverSpec &D, unsigned FieldIdx,
-                       HarnessVersion V) {
+                       HarnessVersion V, unsigned MaxSwitches = 0) {
   auto C = compile(buildFieldProgram(D, FieldIdx, V));
   EXPECT_TRUE(C) << D.Name << " field " << FieldIdx;
   if (!C)
@@ -31,6 +31,8 @@ KissVerdict checkField(const DriverSpec &D, unsigned FieldIdx,
   KissOptions Opts;
   Opts.MaxTs = 0;
   Opts.Seq.MaxStates = FieldStateBudget;
+  if (MaxSwitches)
+    Opts.MaxSwitches = MaxSwitches;
   RaceTarget T =
       RaceTarget::field(C.Ctx->Syms.intern(getDeviceExtensionName()),
                         C.Ctx->Syms.intern(D.Fields[FieldIdx].Name));
@@ -170,6 +172,20 @@ TEST(DriverFieldTest, RealRaceFoundUnderBothHarnesses) {
             KissVerdict::RaceDetected);
   EXPECT_EQ(checkField(*D, 1, HarnessVersion::V2Refined),
             KissVerdict::RaceDetected);
+}
+
+TEST(DriverFieldTest, TableOneVerdictsUnchangedAtExplicitKTwo) {
+  // Table-1 verdicts are a K = 2 artifact of the paper; the MaxSwitches
+  // generalization must reproduce them exactly when K = 2 is requested.
+  auto Corpus = getTable1Corpus();
+  const DriverSpec *Racy = findDriver(Corpus, "toaster/toastmon");
+  EXPECT_EQ(checkField(*Racy, 1, HarnessVersion::V1Unconstrained,
+                       /*MaxSwitches=*/2),
+            KissVerdict::RaceDetected);
+  const DriverSpec *Clean = findDriver(Corpus, "tracedrv");
+  EXPECT_EQ(checkField(*Clean, 0, HarnessVersion::V1Unconstrained,
+                       /*MaxSwitches=*/2),
+            KissVerdict::NoErrorFound);
 }
 
 TEST(DriverFieldTest, SpuriousRaceVanishesUnderRefinedHarness) {

@@ -434,6 +434,164 @@ TEST(KissEndToEndTest, IncreasingMaxTsIncreasesCoverage) {
 }
 
 //===----------------------------------------------------------------------===//
+// The K-bound generalization (KissOptions::MaxSwitches)
+//===----------------------------------------------------------------------===//
+
+KissReport runAssertionsAtK(const Compiled &C, unsigned MaxTs, unsigned K) {
+  KissOptions Opts;
+  Opts.MaxTs = MaxTs;
+  Opts.MaxSwitches = K;
+  return checkAssertions(*C.Program, Opts, C.Ctx->Diags);
+}
+
+/// Thread 1 must run, park across main's write, and resume: the shortest
+/// failing schedule has 3 context switches, one more than Theorem 1's
+/// two-switch guarantee, so K = 2 provably misses it and K = 4 finds it.
+const char *ThreeSwitchSource = R"(
+  int a = 0;
+  int b = 0;
+  void w0() {
+    a = 1;
+    assume(b == 1);
+    assert(b == 0);
+  }
+  void main() {
+    async w0();
+    b = a;
+  }
+)";
+
+/// Thread 1 parks twice across main's two writes: 5 switches, so the bug
+/// is invisible below K = 6.
+const char *FiveSwitchSource = R"(
+  int a = 0;
+  int b = 0;
+  void w0() {
+    a = 1;
+    assume(b == 1);
+    a = 2;
+    assume(b == 2);
+    assert(b == 0);
+  }
+  void main() {
+    async w0();
+    b = a;
+    b = a;
+  }
+)";
+
+TEST(KissKBoundTest, ExplicitKTwoIsByteIdenticalToDefault) {
+  // K = 2 is the paper's Figure-4 transform; requesting it explicitly must
+  // be indistinguishable from the default on every observable: verdict,
+  // state and transition counts, and the reconstructed trace.
+  for (unsigned MaxTs : {0u, 1u, 2u}) {
+    auto A = compile(BluetoothSource);
+    auto B = compile(BluetoothSource);
+    ASSERT_TRUE(A && B);
+    KissReport Def = runAssertions(A, MaxTs);
+    KissReport K2 = runAssertionsAtK(B, MaxTs, 2);
+    EXPECT_EQ(Def.Verdict, K2.Verdict) << "MaxTs=" << MaxTs;
+    EXPECT_EQ(Def.Sequential.StatesExplored, K2.Sequential.StatesExplored)
+        << "MaxTs=" << MaxTs;
+    EXPECT_EQ(Def.Sequential.TransitionsExplored,
+              K2.Sequential.TransitionsExplored)
+        << "MaxTs=" << MaxTs;
+    EXPECT_EQ(formatConcurrentTrace(Def.Trace, *A.Program, &A.Ctx->SM),
+              formatConcurrentTrace(K2.Trace, *B.Program, &B.Ctx->SM))
+        << "MaxTs=" << MaxTs;
+    // No round machinery may be generated at K = 2.
+    EXPECT_EQ(K2.Stats.Rounds, 0u);
+    EXPECT_EQ(K2.Stats.ResumableFunctions, 0u);
+  }
+}
+
+TEST(KissKBoundTest, ExplicitKTwoRaceVerdictUnchanged) {
+  auto C = compile(BluetoothSource);
+  ASSERT_TRUE(C);
+  KissOptions Opts;
+  Opts.MaxTs = 0;
+  Opts.MaxSwitches = 2;
+  KissReport R =
+      checkRace(*C.Program, fieldTarget(C, "DEVICE_EXTENSION", "stoppingFlag"),
+                Opts, C.Ctx->Diags);
+  EXPECT_EQ(R.Verdict, KissVerdict::RaceDetected);
+}
+
+TEST(KissKBoundTest, FourSwitchBoundFindsThreeSwitchBug) {
+  auto C = compile(ThreeSwitchSource);
+  ASSERT_TRUE(C);
+
+  // Ground truth: the bug is real in the concurrent program.
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*C.Program);
+  EXPECT_TRUE(conc::checkProgram(*C.Program, CFG).foundError());
+
+  // Theorem 1's two-switch window cannot see it...
+  EXPECT_EQ(runAssertionsAtK(C, 2, 2).Verdict, KissVerdict::NoErrorFound);
+  // ...one extra round (K = 4 covers up to 4 switches) can.
+  KissReport R4 = runAssertionsAtK(C, 2, 4);
+  EXPECT_EQ(R4.Verdict, KissVerdict::AssertionViolation);
+  EXPECT_EQ(R4.Stats.Rounds, 1u);
+  EXPECT_GE(R4.Stats.ResumableFunctions, 1u);
+}
+
+TEST(KissKBoundTest, SixSwitchBoundFindsFiveSwitchBug) {
+  auto C = compile(FiveSwitchSource);
+  ASSERT_TRUE(C);
+  cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*C.Program);
+  EXPECT_TRUE(conc::checkProgram(*C.Program, CFG).foundError());
+
+  EXPECT_EQ(runAssertionsAtK(C, 2, 2).Verdict, KissVerdict::NoErrorFound);
+  EXPECT_EQ(runAssertionsAtK(C, 2, 4).Verdict, KissVerdict::NoErrorFound);
+  EXPECT_EQ(runAssertionsAtK(C, 2, 6).Verdict,
+            KissVerdict::AssertionViolation);
+}
+
+TEST(KissKBoundTest, KBoundErrorsAreStillRealErrors) {
+  // The soundness half of the generalized Theorem 1: a K = 4 trace on the
+  // 3-switch program replays as a real concurrent execution — both threads
+  // attributed, ending at the assert.
+  auto C = compile(ThreeSwitchSource);
+  ASSERT_TRUE(C);
+  KissReport R = runAssertionsAtK(C, 2, 4);
+  ASSERT_EQ(R.Verdict, KissVerdict::AssertionViolation);
+  std::string Text = formatConcurrentTrace(R.Trace, *C.Program, &C.Ctx->SM);
+  EXPECT_NE(Text.find("[t0]"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("[t1]"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("assert"), std::string::npos) << Text;
+}
+
+TEST(KissKBoundTest, IneligibleCalleeFallsBackToTwoSwitches) {
+  // The callee's call closure contains recursion, so it cannot be made
+  // resumable: the transform records the fallback and the thread runs to
+  // completion (K = 2 semantics) instead of silently claiming coverage.
+  auto C = compile(R"(
+    int g = 0;
+    int down(int n) {
+      int t;
+      t = 1;
+      if (n > 0) {
+        t = down(n - 1);
+        g = g + t;
+      }
+      return t;
+    }
+    void w() {
+      int r;
+      r = down(2);
+      g = g + r;
+    }
+    void main() {
+      async w();
+      assert(g != 1);
+    }
+  )");
+  ASSERT_TRUE(C);
+  KissReport R = runAssertionsAtK(C, 2, 4);
+  EXPECT_GE(R.Stats.IneligibleCandidates, 1u);
+  EXPECT_EQ(R.Stats.ResumableFunctions, 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // Trace mapping
 //===----------------------------------------------------------------------===//
 

@@ -97,11 +97,11 @@ TEST(ParallelRunnerTest, JobCountDoesNotChangeDriverResults) {
   for (const DriverSpec *D : {ByFields[0], ByFields[1]}) {
     ASSERT_GE(D->Fields.size(), 1u);
     CorpusRunOptions Serial;
-    Serial.Jobs = 1;
+    Serial.Common.Jobs = 1;
     DriverResult R1 = runDriver(*D, Serial);
 
     CorpusRunOptions Pooled;
-    Pooled.Jobs = 4;
+    Pooled.Common.Jobs = 4;
     DriverResult R4 = runDriver(*D, Pooled);
 
     expectSameResults(R1, R4);
@@ -121,11 +121,11 @@ TEST(ParallelRunnerTest, JobCountDoesNotChangeFieldSubsetRuns) {
   CorpusRunOptions Serial;
   Serial.Harness = HarnessVersion::V2Refined;
   Serial.OnlyFields = {2, 0};
-  Serial.Jobs = 1;
+  Serial.Common.Jobs = 1;
   DriverResult R1 = runDriver(*D, Serial);
 
   CorpusRunOptions Pooled = Serial;
-  Pooled.Jobs = 4;
+  Pooled.Common.Jobs = 4;
   DriverResult R4 = runDriver(*D, Pooled);
 
   ASSERT_EQ(R1.Fields.size(), 2u);
@@ -148,8 +148,8 @@ TEST(ParallelRunnerTest, JobCountDoesNotChangeTheTelemetryReport) {
   auto report = [&](unsigned Jobs) {
     telemetry::RunRecorder Rec;
     CorpusRunOptions Opts;
-    Opts.Jobs = Jobs;
-    Opts.Recorder = &Rec;
+    Opts.Common.Jobs = Jobs;
+    Opts.Common.Recorder = &Rec;
     runDriver(*D, Opts);
     telemetry::ReportOptions ZeroTimings;
     ZeroTimings.ZeroTimings = true;
@@ -173,7 +173,7 @@ TEST(ParallelRunnerTest, InjectedFaultDegradesOneFieldOnly) {
   ASSERT_NE(D, nullptr);
 
   CorpusRunOptions Clean;
-  Clean.Jobs = 1;
+  Clean.Common.Jobs = 1;
   DriverResult Baseline = runDriver(*D, Clean);
 
   // Field 1 throws bad_alloc mid-check; the runner must degrade it to a
@@ -203,9 +203,9 @@ TEST(ParallelRunnerTest, InjectedTripReportsRequestedReason) {
   ASSERT_NE(D, nullptr);
 
   CorpusRunOptions Opts;
-  Opts.Jobs = 1;
+  Opts.Common.Jobs = 1;
   Opts.InjectTripField = 0;
-  Opts.FieldBudget.TripReason = gov::BoundReason::Deadline;
+  Opts.Common.Budget.TripReason = gov::BoundReason::Deadline;
   DriverResult R = runDriver(*D, Opts);
 
   ASSERT_GE(R.Fields.size(), 2u);
@@ -225,9 +225,9 @@ TEST(ParallelRunnerTest, FaultInjectedRunsAreJobCountInvariant) {
 
   auto runAt = [&](unsigned Jobs, telemetry::RunRecorder *Rec) {
     CorpusRunOptions Opts;
-    Opts.Jobs = Jobs;
+    Opts.Common.Jobs = Jobs;
     Opts.InjectFailField = 1;
-    Opts.Recorder = Rec;
+    Opts.Common.Recorder = Rec;
     return runDriver(*D, Opts);
   };
 
@@ -255,9 +255,9 @@ TEST(ParallelRunnerTest, CancelledRunShortCircuitsAndMarksInterrupted) {
   Token.requestCancel();
   telemetry::RunRecorder Rec;
   CorpusRunOptions Opts;
-  Opts.Jobs = 1;
-  Opts.FieldBudget.Cancel = &Token;
-  Opts.Recorder = &Rec;
+  Opts.Common.Jobs = 1;
+  Opts.Common.Budget.Cancel = &Token;
+  Opts.Common.Recorder = &Rec;
   DriverResult R = runDriver(*D, Opts);
 
   for (const FieldResult &F : R.Fields) {

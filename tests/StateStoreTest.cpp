@@ -173,24 +173,27 @@ struct GoldenCount {
   uint64_t States;
 };
 
-TEST(StateStoreTest, CheckProgramVisitsSameStateCountAsSeed) {
-  const GoldenCount Goldens[] = {
-      {"queue.kiss", 0, 174},    {"queue.kiss", 2, 790},
-      // bank_fixed re-recorded after the atomicity-release fix: its lock
-      // acquire (`atomic { assume(*l == 0); ... }`) now carries the
-      // guarded raise choice that models blocking releasing atomicity.
-      {"bank_fixed.kiss", 0, 593}, {"bank_fixed.kiss", 2, 4283},
-      {"pingpong.kiss", 0, 47},  {"pingpong.kiss", 2, 638},
-      // refcount re-recorded after the call write-back fix: `v = f()` now
-      // routes through a temp committed on the no-raise path, which adds a
-      // handful of intermediate states.
-      {"refcount.kiss", 0, 782},
-  };
+const GoldenCount Goldens[] = {
+    {"queue.kiss", 0, 174},    {"queue.kiss", 2, 790},
+    // bank_fixed re-recorded after the atomicity-release fix: its lock
+    // acquire (`atomic { assume(*l == 0); ... }`) now carries the
+    // guarded raise choice that models blocking releasing atomicity.
+    {"bank_fixed.kiss", 0, 593}, {"bank_fixed.kiss", 2, 4283},
+    {"pingpong.kiss", 0, 47},  {"pingpong.kiss", 2, 638},
+    // refcount re-recorded after the call write-back fix: `v = f()` now
+    // routes through a temp committed on the no-raise path, which adds a
+    // handful of intermediate states.
+    {"refcount.kiss", 0, 782},
+};
+
+void expectGoldenCounts(unsigned MaxSwitches) {
   for (const GoldenCount &G : Goldens) {
     Compiled C = compile(readSample(G.File));
     ASSERT_TRUE(C);
     core::KissOptions Opts;
     Opts.MaxTs = G.MaxTs;
+    if (MaxSwitches)
+      Opts.MaxSwitches = MaxSwitches;
     core::KissReport R =
         core::checkAssertions(*C.Program, Opts, C.Ctx->Diags);
     EXPECT_EQ(R.Verdict, core::KissVerdict::NoErrorFound)
@@ -198,6 +201,17 @@ TEST(StateStoreTest, CheckProgramVisitsSameStateCountAsSeed) {
     EXPECT_EQ(R.Sequential.StatesExplored, G.States)
         << G.File << " MAX=" << G.MaxTs;
   }
+}
+
+TEST(StateStoreTest, CheckProgramVisitsSameStateCountAsSeed) {
+  expectGoldenCounts(/*MaxSwitches=*/0); // Library default (K = 2).
+}
+
+TEST(StateStoreTest, ExplicitTwoSwitchBoundReproducesGoldenCounts) {
+  // The K generalization must leave the paper's K = 2 transform alone:
+  // asking for --max-switches=2 explicitly reproduces the seed counts
+  // byte for byte.
+  expectGoldenCounts(/*MaxSwitches=*/2);
 }
 
 } // namespace

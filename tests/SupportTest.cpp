@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Cli.h"
 #include "support/Diagnostics.h"
 #include "support/Hashing.h"
 #include "support/SourceManager.h"
@@ -138,6 +139,115 @@ TEST(HashingTest, DeterministicAndSensitive) {
   EXPECT_EQ(A.finish(), B.finish());
   B.addByte(0);
   EXPECT_NE(A.finish(), B.finish());
+}
+
+//===----------------------------------------------------------------------===//
+// The shared CLI flag table (support/Cli.h)
+//===----------------------------------------------------------------------===//
+
+/// Runs \p P over \p Args (argv[0] is synthesized).
+bool parseArgs(cli::ArgParser &P, std::vector<std::string> Args) {
+  std::vector<char *> Argv;
+  std::string Tool = "tool";
+  Argv.push_back(Tool.data());
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  return P.parse(static_cast<int>(Argv.size()), Argv.data());
+}
+
+struct ToolFlags {
+  unsigned Jobs = 0;
+  uint64_t MemoryMB = 0;
+  double TimeoutSec = 0;
+  std::string Report;
+  bool ZeroTimings = false;
+  std::string Engine = "kiss";
+  std::string Input;
+};
+
+cli::ArgParser makeToolParser(ToolFlags &F) {
+  cli::ArgParser P("usage: tool [options] <file.kiss>");
+  P.flag("jobs", F.Jobs, "<n>", "worker threads (0 = all cores)");
+  P.flagPositive("timeout", F.TimeoutSec, "<secs>", "wall-clock deadline");
+  P.flag("memory-budget", F.MemoryMB, "<mb>", "exploration memory budget");
+  P.flag("report", F.Report, "<path>", "write a JSON run report");
+  P.flag("zero-timings", F.ZeroTimings, "zero out report timings");
+  P.custom("engine", "<kiss|conc>", "checking engine",
+           [&F](const std::string &V, std::string &Err) {
+             if (V != "kiss" && V != "conc") {
+               Err = "unknown engine";
+               return false;
+             }
+             F.Engine = V;
+             return true;
+           });
+  P.positional(F.Input);
+  P.footer("exit codes: 0 ok, 1 error found, 2 usage, 3 bound");
+  return P;
+}
+
+TEST(CliTest, ParsesEveryFlagShape) {
+  ToolFlags F;
+  cli::ArgParser P = makeToolParser(F);
+  EXPECT_TRUE(parseArgs(P, {"--jobs=4", "--timeout=1.5",
+                            "--memory-budget=64", "--report=out.json",
+                            "--zero-timings", "--engine=conc", "in.kiss"}));
+  EXPECT_EQ(F.Jobs, 4u);
+  EXPECT_DOUBLE_EQ(F.TimeoutSec, 1.5);
+  EXPECT_EQ(F.MemoryMB, 64u);
+  EXPECT_EQ(F.Report, "out.json");
+  EXPECT_TRUE(F.ZeroTimings);
+  EXPECT_EQ(F.Engine, "conc");
+  EXPECT_EQ(F.Input, "in.kiss");
+}
+
+TEST(CliTest, DefaultsSurviveAnEmptyCommandLine) {
+  ToolFlags F;
+  cli::ArgParser P = makeToolParser(F);
+  EXPECT_TRUE(parseArgs(P, {}));
+  EXPECT_EQ(F.Jobs, 0u);
+  EXPECT_FALSE(F.ZeroTimings);
+  EXPECT_EQ(F.Engine, "kiss");
+  EXPECT_TRUE(F.Input.empty());
+}
+
+TEST(CliTest, RejectsMalformedInput) {
+  // One scenario per line; each must fail without corrupting later runs.
+  const std::vector<std::vector<std::string>> Bad = {
+      {"--no-such-flag"},        // unknown option
+      {"--jobs=abc"},            // not a number
+      {"--timeout=0"},           // flagPositive rejects zero
+      {"--timeout=-1"},          // ... and negatives
+      {"--engine=magic"},        // custom parser error
+      {"--zero-timings=yes"},    // presence flag takes no value
+      {"a.kiss", "b.kiss"},      // second positional
+      {"--help"},                // help: parse fails, caller prints usage
+  };
+  for (const auto &Args : Bad) {
+    ToolFlags F;
+    cli::ArgParser P = makeToolParser(F);
+    EXPECT_FALSE(parseArgs(P, Args)) << Args.front();
+  }
+}
+
+TEST(CliTest, UsageIsGeneratedFromTheFlagTable) {
+  ToolFlags F;
+  cli::ArgParser P = makeToolParser(F);
+  std::string U = P.usage();
+  for (const char *Needle :
+       {"usage: tool [options] <file.kiss>", "--jobs=<n>",
+        "--timeout=<secs>", "--memory-budget=<mb>", "--report=<path>",
+        "--zero-timings", "--engine=<kiss|conc>",
+        "exit codes: 0 ok, 1 error found, 2 usage, 3 bound"})
+    EXPECT_NE(U.find(Needle), std::string::npos) << Needle;
+}
+
+TEST(CliTest, ExitCodeContract) {
+  EXPECT_EQ(cli::exitCode(false, false), cli::ExitNoError);
+  EXPECT_EQ(cli::exitCode(true, false), cli::ExitErrorFound);
+  EXPECT_EQ(cli::exitCode(false, true), cli::ExitBoundExceeded);
+  // Inconclusive dominates: a partial campaign is not a clean verdict.
+  EXPECT_EQ(cli::exitCode(true, true), cli::ExitBoundExceeded);
 }
 
 } // namespace

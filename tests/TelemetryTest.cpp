@@ -182,7 +182,7 @@ std::string checkedReport() {
 
   KissOptions Opts;
   Opts.MaxTs = 1;
-  Opts.Recorder = &Rec;
+  Opts.Common.Recorder = &Rec;
   KissReport R = checkAssertions(*P, Opts, Ctx->Diags);
   EXPECT_EQ(R.Verdict, KissVerdict::NoErrorFound);
 

@@ -7,10 +7,13 @@
 /// \file
 /// Command-line front end mirroring Figure 1: read a concurrent program in
 /// the modeling language, translate it, model check the translation, and
-/// report the mapped concurrent error trace.
+/// report the mapped concurrent error trace. The whole pipeline runs
+/// through kiss::Session (src/kiss/Kiss.h); this file is flag parsing,
+/// I/O, and report plumbing.
 ///
 ///   kisscheck file.kiss                          assertion check, MAX=0
 ///   kisscheck --max-ts=2 file.kiss               assertion check, MAX=2
+///   kisscheck --max-switches=4 file.kiss         K=4 round-aware check
 ///   kisscheck --race=g file.kiss                 race check on global g
 ///   kisscheck --race=S.f file.kiss               race check on field S.f
 ///   kisscheck --engine=conc file.kiss            ground-truth interleaving
@@ -27,15 +30,17 @@
 /// Exit codes: 0 = no error found, 1 = error found, 2 = usage/compile/IO
 /// problem, 3 = bound exceeded or interrupted (SIGINT/SIGTERM cancel the
 /// run cooperatively and flush a partial --report marked
-/// "interrupted": true). The full contract lives in docs/robustness.md.
+/// "interrupted": true). The full contract lives in docs/robustness.md and
+/// cli::exitCode.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "conc/ConcChecker.h"
 #include "drivers/Bluetooth.h"
-#include "kiss/KissChecker.h"
+#include "kiss/Kiss.h"
 #include "lang/ASTPrinter.h"
 #include "lower/Pipeline.h"
+#include "support/Cli.h"
 #include "support/Governor.h"
 #include "support/Parallel.h"
 #include "telemetry/Telemetry.h"
@@ -64,14 +69,18 @@ struct CliOptions {
   std::string RaceTargetSpec;
   bool RaceAll = false;
   unsigned MaxTs = 0;
+  unsigned MaxSwitches = 2;
   uint64_t MaxStates = 1'000'000;
+  bool NoAlias = false;
   bool UseAlias = true;
   bool DumpTranslation = false;
   bool DumpCfg = false;
   bool UseConcEngine = false;
   bool ShowStats = false;
+  bool Demo = false;
   unsigned Jobs = 1;
   std::string ReportPath;  ///< --report=<path>; empty = no report.
+  bool ZeroTimings = false;
   double ProgressSec = 0;  ///< --progress interval; 0 = no heartbeats.
   double TimeoutSec = 0;   ///< --timeout per-check deadline; 0 = none.
   uint64_t MemoryBudgetMB = 0; ///< --memory-budget per check; 0 = none.
@@ -95,166 +104,126 @@ gov::RunBudget makeBudget(const CliOptions &Opts) {
   return B;
 }
 
-void printUsage() {
-  std::fprintf(
-      stderr,
-      "usage: kisscheck [options] <file.kiss>\n"
-      "  --race=<global | Struct.field>  check races on one location\n"
-      "  --race-all                      check every global and field\n"
-      "  --max-ts=<n>                    ts multiset bound MAX "
-      "(default 0)\n"
-      "  --max-states=<n>                state budget (default 1000000)\n"
-      "  --timeout=<secs>                wall-clock deadline per check;\n"
-      "                                  exceeding it is a 'bound exceeded'\n"
-      "                                  verdict (reason: deadline), exit 3\n"
-      "  --memory-budget=<mb>            visited-set byte budget per check\n"
-      "                                  (reason: memory), exit 3\n"
-      "  --jobs=<n>                      worker threads for --race-all "
-      "(0 = all cores)\n"
-      "  --no-alias                      disable probe pruning\n"
-      "  --engine=conc                   explore all interleavings "
-      "instead\n"
-      "  --dump-translation              print the sequential program\n"
-      "  --dump-cfg                      print the CFGs in dot syntax\n"
-      "  --report=<path>                 write a machine-readable JSON run\n"
-      "                                  report (schema_version 1: phase\n"
-      "                                  spans, counters, per-check\n"
-      "                                  exploration records; see\n"
-      "                                  docs/observability.md)\n"
-      "  --progress[=<secs>]             print heartbeats (states, states/s,\n"
-      "                                  frontier size) to stderr every\n"
-      "                                  <secs> seconds (default 2) during\n"
-      "                                  exploration\n"
-      "  --stats                         print exploration statistics:\n"
-      "                                  states, transitions, dedup hits,\n"
-      "                                  hash probes/verifies/collisions,\n"
-      "                                  arena bytes, frontier peak, BFS\n"
-      "                                  depth, probe counts\n"
-      "  --demo                          check the built-in Figure-2 "
-      "model\n"
-      "  --inject-trip=<n>:<reason>      (testing) trip the budget at\n"
-      "                                  governor tick <n> with reason\n"
-      "                                  deadline|memory — deterministic\n"
-      "                                  stand-in for a real budget trip\n"
-      "  --inject-cancel-at=<n>          (testing) simulate SIGINT at\n"
-      "                                  governor tick <n>: cancel, drain,\n"
-      "                                  flush a partial report with\n"
-      "                                  interrupted: true, exit 3\n"
-      "\n"
-      "exit codes: 0 no error found; 1 error found; 2 usage/compile/IO\n"
-      "problem; 3 bound exceeded or interrupted (see docs/robustness.md)\n");
+/// The flag table. Shared spellings (--jobs, --timeout, --memory-budget,
+/// --report, --zero-timings, --max-switches, --progress) match kissfuzz.
+cli::ArgParser makeParser(CliOptions &Opts) {
+  cli::ArgParser P("usage: kisscheck [options] <file.kiss>");
+  P.custom("race", "<loc>",
+           "check races on one location: a global name or Struct.field",
+           [&Opts](const std::string &V, std::string &E) {
+             if (V.empty()) {
+               E = "--race needs a location";
+               return false;
+             }
+             Opts.RaceTargetSpec = V;
+             return true;
+           });
+  P.flag("race-all", Opts.RaceAll, "check every global and field");
+  P.flag("max-ts", Opts.MaxTs, "<n>", "ts multiset bound MAX (default 0)");
+  P.flagPositive("max-switches", Opts.MaxSwitches, "<k>",
+                 "context-switch bound K (default 2 = the paper's\n"
+                 "Theorem 1; K > 2 adds suspend/resume rounds)");
+  P.flag("max-states", Opts.MaxStates, "<n>",
+         "state budget (default 1000000)");
+  P.flagPositive("timeout", Opts.TimeoutSec, "<secs>",
+                 "wall-clock deadline per check; exceeding it is a\n"
+                 "'bound exceeded' verdict (reason: deadline), exit 3");
+  P.flagPositive("memory-budget", Opts.MemoryBudgetMB, "<mb>",
+                 "visited-set byte budget per check (reason: memory),\n"
+                 "exit 3");
+  P.flag("jobs", Opts.Jobs, "<n>",
+         "worker threads for --race-all (0 = all cores)");
+  P.flag("no-alias", Opts.NoAlias, "disable probe pruning");
+  P.custom("engine", "<kiss|conc>",
+           "kiss (default) = the Figure-4 sequentialization;\n"
+           "conc = explore all interleavings instead (ground truth)",
+           [&Opts](const std::string &V, std::string &E) {
+             if (V == "conc")
+               Opts.UseConcEngine = true;
+             else if (V == "kiss")
+               Opts.UseConcEngine = false;
+             else {
+               E = "--engine needs kiss or conc";
+               return false;
+             }
+             return true;
+           });
+  P.flag("dump-translation", Opts.DumpTranslation,
+         "print the sequential program");
+  P.flag("dump-cfg", Opts.DumpCfg, "print the CFGs in dot syntax");
+  P.flag("report", Opts.ReportPath, "<path>",
+         "write a machine-readable JSON run report\n"
+         "(schema_version 1: phase spans, counters, per-check\n"
+         "exploration records; see docs/observability.md)");
+  P.flag("zero-timings", Opts.ZeroTimings,
+         "zero wall_ms fields of the --report (byte-identical\n"
+         "reports across runs and --jobs settings)");
+  P.custom("progress", "<secs>",
+           "print heartbeats (states, states/s, frontier size) to\n"
+           "stderr every <secs> seconds (default 2) during\n"
+           "exploration",
+           [&Opts](const std::string &V, std::string &E) {
+             if (V.empty()) {
+               Opts.ProgressSec = 2.0;
+               return true;
+             }
+             char *End = nullptr;
+             Opts.ProgressSec = std::strtod(V.c_str(), &End);
+             if (End == V.c_str() || *End != '\0' || Opts.ProgressSec <= 0) {
+               E = "--progress needs a positive interval";
+               return false;
+             }
+             return true;
+           },
+           /*ValueOptional=*/true);
+  P.flag("stats", Opts.ShowStats,
+         "print exploration statistics: states, transitions,\n"
+         "dedup hits, hash probes/verifies/collisions, arena\n"
+         "bytes, frontier peak, BFS depth, probe counts");
+  P.flag("demo", Opts.Demo, "check the built-in Figure-2 model");
+  P.custom("inject-trip", "<n>:<reason>",
+           "(testing) trip the budget at governor tick <n> with\n"
+           "reason deadline|memory — deterministic stand-in for a\n"
+           "real budget trip",
+           [&Opts](const std::string &V, std::string &E) {
+             auto Colon = V.find(':');
+             if (Colon == std::string::npos) {
+               E = "--inject-trip needs <tick>:<reason>";
+               return false;
+             }
+             Opts.InjectTripTick = std::strtoull(V.c_str(), nullptr, 10);
+             if (Opts.InjectTripTick == 0 ||
+                 !gov::parseBoundReason(V.substr(Colon + 1),
+                                        Opts.InjectTripReason)) {
+               E = "--inject-trip needs a positive tick and a reason "
+                   "(deadline|memory|states|cancelled)";
+               return false;
+             }
+             return true;
+           });
+  P.flagPositive("inject-cancel-at", Opts.InjectCancelTick, "<n>",
+                 "(testing) simulate SIGINT at governor tick <n>:\n"
+                 "cancel, drain, flush a partial report with\n"
+                 "interrupted: true, exit 3");
+  P.positional(Opts.InputFile);
+  P.footer("exit codes: 0 no error found; 1 error found; 2 usage/compile/IO\n"
+           "problem; 3 bound exceeded or interrupted (see docs/robustness.md)");
+  return P;
 }
 
-bool parseArgs(int Argc, char **Argv, CliOptions &Opts, bool &Demo) {
-  Demo = false;
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg.rfind("--race=", 0) == 0) {
-      Opts.RaceTargetSpec = Arg.substr(7);
-    } else if (Arg == "--race-all") {
-      Opts.RaceAll = true;
-    } else if (Arg.rfind("--max-ts=", 0) == 0) {
-      Opts.MaxTs = std::strtoul(Arg.c_str() + 9, nullptr, 10);
-    } else if (Arg.rfind("--max-states=", 0) == 0) {
-      Opts.MaxStates = std::strtoull(Arg.c_str() + 13, nullptr, 10);
-    } else if (Arg.rfind("--timeout=", 0) == 0) {
-      Opts.TimeoutSec = std::strtod(Arg.c_str() + 10, nullptr);
-      if (Opts.TimeoutSec <= 0) {
-        std::fprintf(stderr, "--timeout needs a positive number of seconds\n");
-        return false;
-      }
-    } else if (Arg.rfind("--memory-budget=", 0) == 0) {
-      Opts.MemoryBudgetMB = std::strtoull(Arg.c_str() + 16, nullptr, 10);
-      if (Opts.MemoryBudgetMB == 0) {
-        std::fprintf(stderr, "--memory-budget needs a positive MB count\n");
-        return false;
-      }
-    } else if (Arg.rfind("--inject-trip=", 0) == 0) {
-      std::string Spec = Arg.substr(14);
-      auto Colon = Spec.find(':');
-      if (Colon == std::string::npos) {
-        std::fprintf(stderr, "--inject-trip needs <tick>:<reason>\n");
-        return false;
-      }
-      Opts.InjectTripTick = std::strtoull(Spec.c_str(), nullptr, 10);
-      if (Opts.InjectTripTick == 0 ||
-          !gov::parseBoundReason(Spec.substr(Colon + 1),
-                                 Opts.InjectTripReason)) {
-        std::fprintf(stderr,
-                     "--inject-trip needs a positive tick and a reason "
-                     "(deadline|memory|states|cancelled)\n");
-        return false;
-      }
-    } else if (Arg.rfind("--inject-cancel-at=", 0) == 0) {
-      Opts.InjectCancelTick = std::strtoull(Arg.c_str() + 19, nullptr, 10);
-      if (Opts.InjectCancelTick == 0) {
-        std::fprintf(stderr, "--inject-cancel-at needs a positive tick\n");
-        return false;
-      }
-    } else if (Arg.rfind("--jobs=", 0) == 0) {
-      Opts.Jobs = std::strtoul(Arg.c_str() + 7, nullptr, 10);
-    } else if (Arg.rfind("--report=", 0) == 0) {
-      Opts.ReportPath = Arg.substr(9);
-      if (Opts.ReportPath.empty()) {
-        std::fprintf(stderr, "--report needs a path\n");
-        return false;
-      }
-    } else if (Arg == "--progress") {
-      Opts.ProgressSec = 2.0;
-    } else if (Arg.rfind("--progress=", 0) == 0) {
-      Opts.ProgressSec = std::strtod(Arg.c_str() + 11, nullptr);
-      if (Opts.ProgressSec <= 0) {
-        std::fprintf(stderr, "--progress needs a positive interval\n");
-        return false;
-      }
-    } else if (Arg == "--no-alias") {
-      Opts.UseAlias = false;
-    } else if (Arg == "--engine=conc") {
-      Opts.UseConcEngine = true;
-    } else if (Arg == "--engine=kiss") {
-      Opts.UseConcEngine = false;
-    } else if (Arg == "--dump-translation") {
-      Opts.DumpTranslation = true;
-    } else if (Arg == "--dump-cfg") {
-      Opts.DumpCfg = true;
-    } else if (Arg == "--stats") {
-      Opts.ShowStats = true;
-    } else if (Arg == "--demo") {
-      Demo = true;
-    } else if (Arg == "--help" || Arg == "-h") {
-      return false;
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
-      return false;
-    } else {
-      Opts.InputFile = Arg;
-    }
-  }
-  return Demo || !Opts.InputFile.empty();
-}
-
-/// Parses "global" or "Struct.field" into a RaceTarget.
-bool parseRaceTarget(const std::string &Spec, lower::CompilerContext &Ctx,
-                     const lang::Program &P, RaceTarget &Out) {
-  auto Dot = Spec.find('.');
-  if (Dot == std::string::npos) {
-    Symbol G = Ctx.Syms.intern(Spec);
-    if (P.getGlobalIndex(G) < 0) {
-      std::fprintf(stderr, "error: no global named '%s'\n", Spec.c_str());
-      return false;
-    }
-    Out = RaceTarget::global(G);
-    return true;
-  }
-  Symbol S = Ctx.Syms.intern(Spec.substr(0, Dot));
-  Symbol F = Ctx.Syms.intern(Spec.substr(Dot + 1));
-  const lang::StructDecl *SD = P.getStruct(S);
-  if (!SD || SD->getFieldIndex(F) < 0) {
-    std::fprintf(stderr, "error: no field named '%s'\n", Spec.c_str());
-    return false;
-  }
-  Out = RaceTarget::field(S, F);
-  return true;
+/// The shared Session configuration for this invocation's checks.
+CheckConfig makeConfig(const CliOptions &Opts, telemetry::RunRecorder *Rec,
+                       telemetry::Heartbeat *Beat) {
+  CheckConfig Cfg;
+  Cfg.MaxTs = Opts.MaxTs;
+  Cfg.MaxSwitches = Opts.MaxSwitches;
+  Cfg.UseAliasAnalysis = Opts.UseAlias;
+  Cfg.MaxStates = Opts.MaxStates;
+  Cfg.Common.Budget = makeBudget(Opts);
+  Cfg.Common.Recorder = Rec;
+  Cfg.Common.Jobs = Opts.Jobs;
+  Cfg.Progress = Beat;
+  return Cfg;
 }
 
 /// Converts an exploration result to a report check record.
@@ -307,18 +276,20 @@ double msSince(std::chrono::steady_clock::time_point Start) {
 bool maybeWriteReport(const CliOptions &Opts, telemetry::RunRecorder &Rec) {
   if (Opts.ReportPath.empty())
     return true;
-  return telemetry::writeReport(Rec, Opts.ReportPath);
+  telemetry::ReportOptions RO;
+  RO.ZeroTimings = Opts.ZeroTimings;
+  return telemetry::writeReport(Rec, Opts.ReportPath, RO);
 }
 
 /// The paper's per-field workflow: one race check per global and per
 /// struct field, with a summary table (§6). Locations fan out over
 /// --jobs workers; the transform interns symbols into the program's
-/// table, so every worker task compiles its own copy of the source.
+/// table, so every worker task runs its own Session over the source.
 /// Telemetry: check records are appended after the join, in location
 /// order, so reports are deterministic at every job count.
-int runRaceAll(const lang::Program &P, const CliOptions &Opts,
-               lower::CompilerContext &Ctx, const std::string &Name,
-               const std::string &Source, telemetry::RunRecorder &Rec) {
+int runRaceAll(Session &S, const lang::Program &P, const CliOptions &Opts,
+               const std::string &Name, const std::string &Source,
+               telemetry::RunRecorder &Rec) {
   struct Row {
     std::string Name;
     KissVerdict V = KissVerdict::BoundExceeded;
@@ -326,14 +297,8 @@ int runRaceAll(const lang::Program &P, const CliOptions &Opts,
     double WallMs = 0;
   };
   std::vector<Row> Rows;
-
-  for (const lang::GlobalDecl &G : P.getGlobals())
-    Rows.push_back(Row{std::string(Ctx.Syms.str(G.Name)), {}, {}, 0});
-  for (const auto &S : P.getStructs())
-    for (const lang::FieldDecl &F : S->getFields())
-      Rows.push_back(Row{std::string(Ctx.Syms.str(S->getName())) + "." +
-                             std::string(Ctx.Syms.str(F.Name)),
-                         {}, {}, 0});
+  for (std::string &Loc : S.raceLocations(P))
+    Rows.push_back(Row{std::move(Loc), {}, {}, 0});
 
   parallelFor(Rows.size(), Opts.Jobs, [&](size_t I) {
     auto Start = std::chrono::steady_clock::now();
@@ -347,19 +312,19 @@ int runRaceAll(const lang::Program &P, const CliOptions &Opts,
       Rows[I].Sequential.Message = "run cancelled";
       return;
     }
-    lower::CompilerContext TaskCtx;
-    auto TaskP = lower::compileToCore(TaskCtx, Name, Source);
-    RaceTarget T;
-    if (!TaskP || !parseRaceTarget(Rows[I].Name, TaskCtx, *TaskP, T)) {
+    // One Session per task: the recorder is shared at the run level, so
+    // workers must not also stream compile spans into it concurrently.
+    CheckConfig Cfg = makeConfig(Opts, /*Rec=*/nullptr, /*Beat=*/nullptr);
+    Cfg.M = CheckConfig::Mode::Race;
+    Session Task(Cfg);
+    auto TaskP = Task.compile(Name, Source);
+    std::string Error;
+    if (!TaskP || !Task.resolveRaceTarget(Rows[I].Name, *TaskP,
+                                          Task.config().Race, Error)) {
       Rows[I].V = KissVerdict::BoundExceeded; // Cannot happen: P compiled.
       return;
     }
-    KissOptions KO;
-    KO.MaxTs = Opts.MaxTs;
-    KO.UseAliasAnalysis = Opts.UseAlias;
-    KO.Seq.MaxStates = Opts.MaxStates;
-    KO.Seq.Budget = makeBudget(Opts);
-    KissReport R = checkRace(*TaskP, T, KO, TaskCtx.Diags);
+    CheckResult R = Task.check(*TaskP);
     Rows[I].V = R.Verdict;
     Rows[I].Sequential = std::move(R.Sequential);
     Rows[I].WallMs = msSince(Start);
@@ -398,14 +363,16 @@ int runRaceAll(const lang::Program &P, const CliOptions &Opts,
     Rec.setInterrupted(true);
     std::printf("run interrupted; partial results above\n");
     if (!maybeWriteReport(Opts, Rec))
-      return 2;
-    return 3;
+      return cli::ExitUsage;
+    return cli::ExitBoundExceeded;
   }
   if (!maybeWriteReport(Opts, Rec))
-    return 2;
-  return Races ? 1 : 0;
+    return cli::ExitUsage;
+  return cli::exitCode(/*FoundError=*/Races != 0, /*Bound=*/false);
 }
 
+/// --engine=conc: the ground-truth interleaving exploration. This is the
+/// oracle side of Theorem 1, deliberately outside the Session pipeline.
 int runConcEngine(const lang::Program &P, const CliOptions &Opts,
                   const lower::CompilerContext &Ctx,
                   telemetry::RunRecorder &Rec, const std::string &Name,
@@ -443,21 +410,21 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
   if (R.Bound == gov::BoundReason::Cancelled || GlobalCancel.isCancelled())
     Rec.setInterrupted(true);
   if (!maybeWriteReport(Opts, Rec))
-    return 2;
-  if (R.Outcome == rt::CheckOutcome::BoundExceeded)
-    return 3;
-  return R.foundError() ? 1 : 0;
+    return cli::ExitUsage;
+  return cli::exitCode(R.foundError(),
+                       R.Outcome == rt::CheckOutcome::BoundExceeded);
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   CliOptions Opts;
-  bool Demo = false;
-  if (!parseArgs(Argc, Argv, Opts, Demo)) {
-    printUsage();
-    return 2;
+  cli::ArgParser Parser = makeParser(Opts);
+  if (!Parser.parse(Argc, Argv) || (!Opts.Demo && Opts.InputFile.empty())) {
+    std::fprintf(stderr, "%s", Parser.usage().c_str());
+    return cli::ExitUsage;
   }
+  Opts.UseAlias = !Opts.NoAlias;
 
   // Cooperative shutdown: the first SIGINT/SIGTERM cancels every running
   // and queued check; the run drains, flushes a partial report marked
@@ -467,7 +434,7 @@ int main(int Argc, char **Argv) {
 
   std::string Source;
   std::string Name;
-  if (Demo) {
+  if (Opts.Demo) {
     Source = drivers::getBluetoothSource();
     Name = "bluetooth.kiss";
   } else {
@@ -475,7 +442,7 @@ int main(int Argc, char **Argv) {
     if (!In) {
       std::fprintf(stderr, "error: cannot open '%s'\n",
                    Opts.InputFile.c_str());
-      return 2;
+      return cli::ExitUsage;
     }
     std::ostringstream Buffer;
     Buffer << In.rdbuf();
@@ -496,59 +463,54 @@ int main(int Argc, char **Argv) {
   telemetry::Heartbeat Beat(Opts.ProgressSec > 0 ? Opts.ProgressSec : 2.0);
   telemetry::Heartbeat *BeatPtr = Opts.ProgressSec > 0 ? &Beat : nullptr;
 
-  lower::CompilerContext Ctx;
-  Ctx.Recorder = &Rec;
-  auto Program = lower::compileToCore(Ctx, Name, Source);
+  Session S(makeConfig(Opts, &Rec, BeatPtr));
+  auto Program = S.compile(Name, Source);
   if (!Program) {
-    std::fprintf(stderr, "%s", Ctx.renderDiagnostics().c_str());
-    return 2;
+    std::fprintf(stderr, "%s", S.diagnostics().c_str());
+    return cli::ExitUsage;
   }
 
   if (Opts.DumpCfg) {
     cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*Program);
     for (uint32_t I = 0; I != CFG.getNumFunctions(); ++I)
-      std::printf("%s\n", CFG.getFunctionCFG(I).dump(Ctx.Syms).c_str());
-    return 0;
+      std::printf("%s\n",
+                  CFG.getFunctionCFG(I).dump(S.context().Syms).c_str());
+    return cli::ExitNoError;
   }
 
   if (Opts.UseConcEngine)
-    return runConcEngine(*Program, Opts, Ctx, Rec, Name, BeatPtr);
+    return runConcEngine(*Program, Opts, S.context(), Rec, Name, BeatPtr);
 
   if (Opts.RaceAll) {
     Rec.setMeta("mode", "race-all");
-    return runRaceAll(*Program, Opts, Ctx, Name, Source, Rec);
+    return runRaceAll(S, *Program, Opts, Name, Source, Rec);
   }
 
-  KissOptions KO;
-  KO.MaxTs = Opts.MaxTs;
-  KO.UseAliasAnalysis = Opts.UseAlias;
-  KO.Seq.MaxStates = Opts.MaxStates;
-  KO.Seq.Budget = makeBudget(Opts);
-  KO.Seq.Progress = BeatPtr;
-  KO.Recorder = &Rec;
-
-  auto Start = std::chrono::steady_clock::now();
-  KissReport R;
   if (!Opts.RaceTargetSpec.empty()) {
     Rec.setMeta("mode", "race");
     Rec.setMeta("race_target", Opts.RaceTargetSpec);
-    RaceTarget Target;
-    if (!parseRaceTarget(Opts.RaceTargetSpec, Ctx, *Program, Target))
-      return 2;
-    R = checkRace(*Program, Target, KO, Ctx.Diags);
+    S.config().M = CheckConfig::Mode::Race;
+    std::string Error;
+    if (!S.resolveRaceTarget(Opts.RaceTargetSpec, *Program, S.config().Race,
+                             Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return cli::ExitUsage;
+    }
   } else {
     Rec.setMeta("mode", "assert");
-    R = checkAssertions(*Program, KO, Ctx.Diags);
   }
 
-  if (Ctx.Diags.hasErrors()) {
-    std::fprintf(stderr, "%s", Ctx.renderDiagnostics().c_str());
-    return 2;
+  auto Start = std::chrono::steady_clock::now();
+  CheckResult R = S.check(*Program);
+
+  if (S.hasErrors()) {
+    std::fprintf(stderr, "%s", S.diagnostics().c_str());
+    return cli::ExitUsage;
   }
 
   if (Opts.DumpTranslation) {
     std::printf("%s", lang::printProgram(*R.Transformed).c_str());
-    return 0;
+    return cli::ExitNoError;
   }
 
   Rec.addCheck(makeCheckRecord(Name, getVerdictName(R.Verdict),
@@ -567,7 +529,8 @@ int main(int Argc, char **Argv) {
   if (R.foundError()) {
     std::printf("concurrent error trace (%u threads):\n%s",
                 R.Trace.NumThreads,
-                formatConcurrentTrace(R.Trace, *Program, &Ctx.SM).c_str());
+                formatConcurrentTrace(R.Trace, *Program,
+                                      &S.context().SM).c_str());
   }
   if (Opts.ShowStats) {
     printExplorationStats(R.Sequential);
@@ -578,8 +541,7 @@ int main(int Argc, char **Argv) {
       GlobalCancel.isCancelled())
     Rec.setInterrupted(true);
   if (!maybeWriteReport(Opts, Rec))
-    return 2;
-  if (R.Verdict == KissVerdict::BoundExceeded)
-    return 3;
-  return R.foundError() ? 1 : 0;
+    return cli::ExitUsage;
+  return cli::exitCode(R.foundError(),
+                       R.Verdict == KissVerdict::BoundExceeded);
 }

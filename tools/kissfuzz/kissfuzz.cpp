@@ -27,9 +27,11 @@
 
 #include "fuzz/Fuzzer.h"
 #include "fuzz/Repro.h"
+#include "support/Cli.h"
 #include "support/Governor.h"
 #include "telemetry/Telemetry.h"
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -52,10 +54,17 @@ struct CliOptions {
   uint64_t Cases = 100;
   unsigned Jobs = 1;
   unsigned MaxTs = 2;
+  unsigned MaxSwitches = 2;
   uint64_t MaxStates = 150'000;
   double TimeoutSec = 0;       ///< Per engine run; 0 = none.
   uint64_t MemoryBudgetMB = 0; ///< Per engine run; 0 = none.
   GenOptions Grammar;
+  // Presence flags for default-on behaviour; folded after parsing.
+  bool NoLocks = false;
+  bool NoAsserts = false;
+  bool NoVary = false;
+  bool NoShrink = false;
+  bool NoCompleteness = false;
   bool VaryGrammar = true;
   bool Shrink = true;
   bool CheckCompleteness = true;
@@ -69,134 +78,65 @@ struct CliOptions {
   uint64_t DumpSeed = 0;
 };
 
-void printUsage() {
-  std::fprintf(
-      stderr,
-      "usage: kissfuzz [options]\n"
-      "  --seed=<n>             campaign seed (case I uses seed+I; "
-      "default 1)\n"
-      "  --cases=<n>            number of cases (default 100)\n"
-      "  --jobs=<n>             worker threads (0 = all cores)\n"
-      "  --max-ts=<n>           MAX for the KISS side (default 2)\n"
-      "  --max-states=<n>       per-engine state budget (default 150000)\n"
-      "  --timeout=<secs>       per-engine wall-clock deadline\n"
-      "  --memory-budget=<mb>   per-engine visited-set byte budget\n"
-      "  --threads=<n>          grammar: max threads incl. main "
-      "(default 2)\n"
-      "  --stmts=<n>            grammar: statements per body (default 4)\n"
-      "  --depth=<n>            grammar: nesting budget (default 2)\n"
-      "  --helpers=<n>          grammar: helper procedures (default 1)\n"
-      "  --pointers             grammar: enable the pointer-bearing "
-      "variant\n"
-      "  --no-locks             grammar: drop the lock idiom\n"
-      "  --no-asserts           grammar: drop user assertions\n"
-      "  --no-vary              use the grammar verbatim (no per-case "
-      "sweep)\n"
-      "  --no-shrink            report findings unshrunk\n"
-      "  --no-completeness      soundness-only oracle\n"
-      "  --break-transform      (testing) sabotage the transform — the\n"
-      "                         oracle must flag every reported error\n"
-      "  --smoke                the fixed-seed CI preset (~30 s)\n"
-      "  --dump=<seed>          print the generated program and exit\n"
-      "  --verify-repro=<file>  re-run a repro, check its recorded "
-      "verdict\n"
-      "  --repro-dir=<dir>      write shrunk findings there as .kiss "
-      "files\n"
-      "  --report=<path>        machine-readable JSON campaign report\n"
-      "  --zero-timings         zero wall_ms fields (byte-identical "
-      "reports)\n"
-      "\n"
-      "exit codes: 0 no violation; 1 violation found / repro mismatch;\n"
-      "2 usage or I/O problem; 3 interrupted\n");
-}
-
-bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    auto Num = [&](size_t Prefix) -> uint64_t {
-      return std::strtoull(Arg.c_str() + Prefix, nullptr, 10);
-    };
-    if (Arg.rfind("--seed=", 0) == 0) {
-      Opts.Seed = Num(7);
-    } else if (Arg.rfind("--cases=", 0) == 0) {
-      Opts.Cases = Num(8);
-    } else if (Arg.rfind("--jobs=", 0) == 0) {
-      Opts.Jobs = static_cast<unsigned>(Num(7));
-    } else if (Arg.rfind("--max-ts=", 0) == 0) {
-      Opts.MaxTs = static_cast<unsigned>(Num(9));
-    } else if (Arg.rfind("--max-states=", 0) == 0) {
-      Opts.MaxStates = Num(13);
-    } else if (Arg.rfind("--timeout=", 0) == 0) {
-      Opts.TimeoutSec = std::strtod(Arg.c_str() + 10, nullptr);
-      if (Opts.TimeoutSec <= 0) {
-        std::fprintf(stderr, "--timeout needs a positive number of seconds\n");
-        return false;
-      }
-    } else if (Arg.rfind("--memory-budget=", 0) == 0) {
-      Opts.MemoryBudgetMB = Num(16);
-      if (Opts.MemoryBudgetMB == 0) {
-        std::fprintf(stderr, "--memory-budget needs a positive MB count\n");
-        return false;
-      }
-    } else if (Arg.rfind("--threads=", 0) == 0) {
-      Opts.Grammar.Threads = static_cast<unsigned>(Num(10));
-      if (Opts.Grammar.Threads == 0) {
-        std::fprintf(stderr, "--threads needs at least 1\n");
-        return false;
-      }
-    } else if (Arg.rfind("--stmts=", 0) == 0) {
-      Opts.Grammar.Stmts = static_cast<unsigned>(Num(8));
-    } else if (Arg.rfind("--depth=", 0) == 0) {
-      Opts.Grammar.Depth = static_cast<unsigned>(Num(8));
-    } else if (Arg.rfind("--helpers=", 0) == 0) {
-      Opts.Grammar.Helpers = static_cast<unsigned>(Num(10));
-    } else if (Arg == "--pointers") {
-      Opts.Grammar.WithPointers = true;
-    } else if (Arg == "--no-locks") {
-      Opts.Grammar.WithLocks = false;
-    } else if (Arg == "--no-asserts") {
-      Opts.Grammar.WithAsserts = false;
-    } else if (Arg == "--no-vary") {
-      Opts.VaryGrammar = false;
-    } else if (Arg == "--no-shrink") {
-      Opts.Shrink = false;
-    } else if (Arg == "--no-completeness") {
-      Opts.CheckCompleteness = false;
-    } else if (Arg == "--break-transform") {
-      Opts.BreakTransform = true;
-    } else if (Arg == "--smoke") {
-      Opts.Smoke = true;
-    } else if (Arg.rfind("--dump=", 0) == 0) {
-      Opts.DumpProgram = true;
-      Opts.DumpSeed = Num(7);
-    } else if (Arg.rfind("--verify-repro=", 0) == 0) {
-      Opts.VerifyReproPath = Arg.substr(15);
-      if (Opts.VerifyReproPath.empty()) {
-        std::fprintf(stderr, "--verify-repro needs a path\n");
-        return false;
-      }
-    } else if (Arg.rfind("--repro-dir=", 0) == 0) {
-      Opts.ReproDir = Arg.substr(12);
-      if (Opts.ReproDir.empty()) {
-        std::fprintf(stderr, "--repro-dir needs a path\n");
-        return false;
-      }
-    } else if (Arg.rfind("--report=", 0) == 0) {
-      Opts.ReportPath = Arg.substr(9);
-      if (Opts.ReportPath.empty()) {
-        std::fprintf(stderr, "--report needs a path\n");
-        return false;
-      }
-    } else if (Arg == "--zero-timings") {
-      Opts.ZeroTimings = true;
-    } else if (Arg == "--help" || Arg == "-h") {
-      return false;
-    } else {
-      std::fprintf(stderr, "unknown option '%s'\n", Arg.c_str());
-      return false;
-    }
-  }
-  return true;
+/// The flag table. Shared spellings (--jobs, --timeout, --memory-budget,
+/// --report, --zero-timings, --max-switches) match kisscheck.
+cli::ArgParser makeParser(CliOptions &Opts) {
+  cli::ArgParser P("usage: kissfuzz [options]");
+  P.flag("seed", Opts.Seed, "<n>",
+         "campaign seed (case I uses seed+I; default 1)");
+  P.flag("cases", Opts.Cases, "<n>", "number of cases (default 100)");
+  P.flag("jobs", Opts.Jobs, "<n>", "worker threads (0 = all cores)");
+  P.flag("max-ts", Opts.MaxTs, "<n>",
+         "MAX for the KISS side (default 2)");
+  P.flagPositive("max-switches", Opts.MaxSwitches, "<k>",
+                 "context-switch bound K for the KISS side (default 2)");
+  P.flag("max-states", Opts.MaxStates, "<n>",
+         "per-engine state budget (default 150000)");
+  P.flagPositive("timeout", Opts.TimeoutSec, "<secs>",
+                 "per-engine wall-clock deadline");
+  P.flagPositive("memory-budget", Opts.MemoryBudgetMB, "<mb>",
+                 "per-engine visited-set byte budget");
+  P.flagPositive("threads", Opts.Grammar.Threads, "<n>",
+                 "grammar: max threads incl. main (default 2)");
+  P.flag("stmts", Opts.Grammar.Stmts, "<n>",
+         "grammar: statements per body (default 4)");
+  P.flag("depth", Opts.Grammar.Depth, "<n>",
+         "grammar: nesting budget (default 2)");
+  P.flag("helpers", Opts.Grammar.Helpers, "<n>",
+         "grammar: helper procedures (default 1)");
+  P.flag("pointers", Opts.Grammar.WithPointers,
+         "grammar: enable the pointer-bearing variant");
+  P.flag("no-locks", Opts.NoLocks, "grammar: drop the lock idiom");
+  P.flag("no-asserts", Opts.NoAsserts, "grammar: drop user assertions");
+  P.flag("no-vary", Opts.NoVary,
+         "use the grammar verbatim (no per-case sweep)");
+  P.flag("no-shrink", Opts.NoShrink, "report findings unshrunk");
+  P.flag("no-completeness", Opts.NoCompleteness, "soundness-only oracle");
+  P.flag("break-transform", Opts.BreakTransform,
+         "(testing) sabotage the transform — the oracle must\n"
+         "flag every reported error");
+  P.flag("smoke", Opts.Smoke, "the fixed-seed CI preset (~30 s)");
+  P.custom("dump", "<seed>", "print the generated program and exit",
+           [&Opts](const std::string &V, std::string &E) {
+             if (V.empty()) {
+               E = "--dump needs a seed";
+               return false;
+             }
+             Opts.DumpProgram = true;
+             Opts.DumpSeed = std::strtoull(V.c_str(), nullptr, 10);
+             return true;
+           });
+  P.flag("verify-repro", Opts.VerifyReproPath, "<file>",
+         "re-run a repro, check its recorded verdict");
+  P.flag("repro-dir", Opts.ReproDir, "<dir>",
+         "write shrunk findings there as .kiss files");
+  P.flag("report", Opts.ReportPath, "<path>",
+         "machine-readable JSON campaign report");
+  P.flag("zero-timings", Opts.ZeroTimings,
+         "zero wall_ms fields (byte-identical reports)");
+  P.footer("exit codes: 0 no violation; 1 violation found / repro mismatch;\n"
+           "2 usage or I/O problem; 3 interrupted");
+  return P;
 }
 
 /// The CI preset: fixed seed, a case count that finishes in ~30 s on a
@@ -213,6 +153,7 @@ void applySmokePreset(CliOptions &Opts) {
 OracleOptions makeOracleOptions(const CliOptions &Opts) {
   OracleOptions OO;
   OO.MaxTs = Opts.MaxTs;
+  OO.MaxSwitches = Opts.MaxSwitches;
   OO.MaxStates = Opts.MaxStates;
   OO.Budget.DeadlineSec = Opts.TimeoutSec;
   OO.Budget.MemoryBytes = Opts.MemoryBudgetMB * 1024 * 1024;
@@ -227,7 +168,7 @@ int runVerifyRepro(const CliOptions &Opts) {
   if (!In) {
     std::fprintf(stderr, "error: cannot open '%s'\n",
                  Opts.VerifyReproPath.c_str());
-    return 2;
+    return cli::ExitUsage;
   }
   std::ostringstream Buffer;
   Buffer << In.rdbuf();
@@ -237,22 +178,27 @@ int runVerifyRepro(const CliOptions &Opts) {
   if (!parseRepro(Buffer.str(), R, Error)) {
     std::fprintf(stderr, "error: %s: %s\n", Opts.VerifyReproPath.c_str(),
                  Error.c_str());
-    return 2;
+    return cli::ExitUsage;
   }
 
   OracleOptions OO = makeOracleOptions(Opts);
   OO.MaxTs = R.MaxTs;
+  // Replay at the recorded K, widened when the command line asks for more
+  // (the CI --max-switches=4 leg): soundness is K-independent and coverage
+  // only grows with K, so every recorded verdict must survive a wider
+  // window. Never narrow below the recorded bound.
+  OO.MaxSwitches = std::max(R.MaxSwitches, Opts.MaxSwitches);
   OO.InjectBreakAsserts = OO.InjectBreakAsserts || R.BreakTransform;
   OracleResult O = runOracle(R.Source, OO);
   std::printf("%s: recorded %s, observed %s\n", Opts.VerifyReproPath.c_str(),
               getOracleVerdictName(R.Expect), getOracleVerdictName(O.V));
   if (O.V == R.Expect)
-    return 0;
+    return cli::ExitNoError;
   if (!O.Detail.empty())
     std::printf("detail: %s\n", O.Detail.c_str());
   if (!O.DiscardDiagnostics.empty())
     std::printf("%s", O.DiscardDiagnostics.c_str());
-  return 1;
+  return cli::ExitErrorFound;
 }
 
 /// Writes each finding to \p Dir as a self-describing repro file.
@@ -269,6 +215,7 @@ bool writeRepros(const std::string &Dir, const FuzzSummary &Sum) {
     Repro R;
     R.Seed = F.Seed;
     R.MaxTs = F.MaxTs;
+    R.MaxSwitches = F.MaxSwitches;
     R.BreakTransform = F.BreakTransform;
     R.Expect = F.V;
     R.Detail = F.Detail;
@@ -290,10 +237,16 @@ bool writeRepros(const std::string &Dir, const FuzzSummary &Sum) {
 
 int main(int Argc, char **Argv) {
   CliOptions Opts;
-  if (!parseArgs(Argc, Argv, Opts)) {
-    printUsage();
-    return 2;
+  cli::ArgParser Parser = makeParser(Opts);
+  if (!Parser.parse(Argc, Argv)) {
+    std::fprintf(stderr, "%s", Parser.usage().c_str());
+    return cli::ExitUsage;
   }
+  Opts.Grammar.WithLocks = !Opts.NoLocks;
+  Opts.Grammar.WithAsserts = !Opts.NoAsserts;
+  Opts.VaryGrammar = !Opts.NoVary;
+  Opts.Shrink = !Opts.NoShrink;
+  Opts.CheckCompleteness = !Opts.NoCompleteness;
   if (Opts.Smoke)
     applySmokePreset(Opts);
 
@@ -304,26 +257,34 @@ int main(int Argc, char **Argv) {
     GenOptions G = Opts.VaryGrammar ? varyOptions(Opts.DumpSeed, Opts.Grammar)
                                     : Opts.Grammar;
     std::printf("%s", generateProgram(Opts.DumpSeed, G).c_str());
-    return 0;
+    return cli::ExitNoError;
   }
 
   if (!Opts.VerifyReproPath.empty())
     return runVerifyRepro(Opts);
 
+  telemetry::RunRecorder Rec;
+
   FuzzOptions FO;
   FO.Seed = Opts.Seed;
   FO.Cases = Opts.Cases;
-  FO.Jobs = Opts.Jobs;
   FO.Grammar = Opts.Grammar;
   FO.VaryGrammar = Opts.VaryGrammar;
   FO.Oracle = makeOracleOptions(Opts);
   FO.Shrink = Opts.Shrink;
+  // The campaign-level budget: runCampaign propagates it into each
+  // oracle evaluation, overriding FO.Oracle.Budget.
+  FO.Common.Budget = FO.Oracle.Budget;
+  FO.Common.Recorder = &Rec;
+  FO.Common.Jobs = Opts.Jobs;
 
-  telemetry::RunRecorder Rec;
   Rec.setMeta("tool", "kissfuzz");
   Rec.setMeta("seed", std::to_string(Opts.Seed));
   Rec.setMeta("cases", std::to_string(Opts.Cases));
   Rec.setMeta("max_ts", std::to_string(Opts.MaxTs));
+  // Only recorded off-default so pre-K golden reports stay byte-identical.
+  if (Opts.MaxSwitches != 2)
+    Rec.setMeta("max_switches", std::to_string(Opts.MaxSwitches));
   Rec.setMeta("max_states", std::to_string(Opts.MaxStates));
   Rec.setMeta("grammar_threads", std::to_string(Opts.Grammar.Threads));
   Rec.setMeta("grammar_pointers",
@@ -331,7 +292,7 @@ int main(int Argc, char **Argv) {
   Rec.setMeta("break_transform", Opts.BreakTransform ? "true" : "false");
 
   auto FuzzSpan = Rec.beginPhase("fuzz");
-  FuzzSummary Sum = runCampaign(FO, &Rec);
+  FuzzSummary Sum = runCampaign(FO);
   FuzzSpan.end();
 
   std::printf("cases: %llu run, %llu skipped\n",
@@ -364,17 +325,15 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "discard diagnostics:\n%s", D.c_str());
 
   if (!Opts.ReproDir.empty() && !writeRepros(Opts.ReproDir, Sum))
-    return 2;
+    return cli::ExitUsage;
 
   telemetry::ReportOptions RO;
   RO.ZeroTimings = Opts.ZeroTimings;
   if (!Opts.ReportPath.empty() &&
       !telemetry::writeReport(Rec, Opts.ReportPath, RO))
-    return 2;
+    return cli::ExitUsage;
 
-  if (Sum.Interrupted) {
+  if (Sum.Interrupted)
     std::printf("run interrupted; partial results above\n");
-    return 3;
-  }
-  return Sum.violations() ? 1 : 0;
+  return cli::exitCode(Sum.violations() != 0, Sum.Interrupted);
 }
