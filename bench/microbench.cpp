@@ -206,8 +206,9 @@ template <typename F> double timePhase(F &&Fn) {
 
 /// Emits the machine-readable perf record future PRs diff against
 /// (tools/bench_diff.py): per-phase wall time on the Figure-2 Bluetooth
-/// model and the BFS explorer's throughput on the thread-family workload,
-/// through the shared telemetry report writer.
+/// model and the BFS explorers' throughput on the thread-family workload
+/// (one check record per engine/store configuration), through the shared
+/// telemetry report writer.
 void writeSeqcheckJson(const char *Path) {
   std::string BtSource = drivers::getBluetoothSource();
   telemetry::RunRecorder Rec;
@@ -238,36 +239,55 @@ void writeSeqcheckJson(const char *Path) {
   Rec.addPhase("transform", TransformSec * 1000.0);
 
   // The BFS workload of BM_SeqCheckerBFS: safe, exhaustive exploration.
+  // One record per engine/store configuration; the bare name is the
+  // default configuration (threaded + flat) that older baselines tracked,
+  // so its deterministic counts stay diffable across the engine switch.
   Compiled Fam = compileOrDie("family", makeFamily(5, 4));
   DiagnosticEngine Diags;
   auto TP = transformForAssertions(*Fam.Program, TO, Diags);
   cfg::ProgramCFG FamCFG = cfg::ProgramCFG::build(*TP);
-  seqcheck::SeqOptions SO;
-  rt::CheckResult Probe = seqcheck::checkProgram(*TP, FamCFG, SO);
-  double ExploreSec = timePhase([&] {
-    rt::CheckResult R = seqcheck::checkProgram(*TP, FamCFG, SO);
-    benchmark::DoNotOptimize(R.Outcome);
-  });
-  telemetry::PhaseRecord &Explore =
-      Rec.addPhase("explore", ExploreSec * 1000.0);
-  Explore.Counters.emplace_back(
-      "states_per_sec",
-      static_cast<uint64_t>(
-          static_cast<double>(Probe.StatesExplored) / ExploreSec));
 
-  telemetry::CheckRecord C;
-  C.Name = "family k=5 m=4, MAX=1";
-  C.Outcome = rt::getOutcomeName(Probe.Outcome);
-  C.WallMs = ExploreSec * 1000.0;
-  C.States = Probe.StatesExplored;
-  C.Transitions = Probe.TransitionsExplored;
-  C.DedupHits = Probe.Exploration.DedupHits;
-  C.ArenaBytes = Probe.Exploration.ArenaBytes;
-  C.IndexBytes = Probe.Exploration.IndexBytes;
-  C.FrontierPeak = Probe.Exploration.FrontierPeak;
-  C.DepthMax = Probe.Exploration.DepthMax;
-  C.BoundReason = gov::getBoundReasonName(Probe.Bound);
-  Rec.addCheck(std::move(C));
+  auto runFamily = [&](const char *Name, seqcheck::SeqOptions SO,
+                       bool RecordPhase) {
+    rt::CheckResult Probe = seqcheck::checkProgram(*TP, FamCFG, SO);
+    double ExploreSec = timePhase([&] {
+      rt::CheckResult R = seqcheck::checkProgram(*TP, FamCFG, SO);
+      benchmark::DoNotOptimize(R.Outcome);
+    });
+    uint64_t StatesPerSec = static_cast<uint64_t>(
+        static_cast<double>(Probe.StatesExplored) / ExploreSec);
+    if (RecordPhase) {
+      telemetry::PhaseRecord &Explore =
+          Rec.addPhase("explore", ExploreSec * 1000.0);
+      Explore.Counters.emplace_back("states_per_sec", StatesPerSec);
+    }
+    telemetry::CheckRecord C;
+    C.Name = Name;
+    C.Outcome = rt::getOutcomeName(Probe.Outcome);
+    C.WallMs = ExploreSec * 1000.0;
+    C.States = Probe.StatesExplored;
+    C.Transitions = Probe.TransitionsExplored;
+    C.DedupHits = Probe.Exploration.DedupHits;
+    C.ArenaBytes = Probe.Exploration.ArenaBytes;
+    C.IndexBytes = Probe.Exploration.IndexBytes;
+    C.FrontierPeak = Probe.Exploration.FrontierPeak;
+    C.DepthMax = Probe.Exploration.DepthMax;
+    C.BoundReason = gov::getBoundReasonName(Probe.Bound);
+    C.ExecEngine = rt::getExecEngineName(SO.Exec);
+    C.StatesPerSec = StatesPerSec;
+    Rec.addCheck(std::move(C));
+  };
+
+  seqcheck::SeqOptions Threaded;
+  runFamily("family k=5 m=4, MAX=1", Threaded, /*RecordPhase=*/true);
+
+  seqcheck::SeqOptions Interp;
+  Interp.Exec = rt::ExecEngine::Interp;
+  runFamily("family k=5 m=4, MAX=1 [interp]", Interp, /*RecordPhase=*/false);
+
+  seqcheck::SeqOptions Delta;
+  Delta.Store = rt::StoreMode::Delta;
+  runFamily("family k=5 m=4, MAX=1 [delta]", Delta, /*RecordPhase=*/false);
 
   if (telemetry::writeReport(Rec, Path))
     std::printf("wrote %s\n", Path);

@@ -83,7 +83,7 @@ CheckResult conc::checkProgram(const lang::Program &P,
     uint32_t Depth = 0; ///< BFS layer (root = 0).
   };
 
-  StateStore Store;
+  StateStore Store(Opts.Store);
   std::vector<ParentLink> Links;
   std::deque<WorkItem> Queue;
   std::string Scratch;
@@ -203,7 +203,7 @@ CheckResult conc::checkProgram(const lang::Program &P,
           for (MachineState &NS : SR.Successors) {
             ++R.TransitionsExplored;
             makeKeyInto(NS, NCtx, Bounded, Scratch);
-            auto [NId, Inserted] = Store.intern(Scratch);
+            auto [NId, Inserted] = Store.internChild(Scratch, Item.Id);
             if (!Inserted)
               continue;
             assert(NId == Links.size() &&

@@ -32,6 +32,7 @@
 #ifndef KISS_CONC_CONCCHECKER_H
 #define KISS_CONC_CONCCHECKER_H
 
+#include "seqcheck/CommonOptions.h"
 #include "seqcheck/Result.h"
 #include "seqcheck/Step.h"
 #include "support/Governor.h"
@@ -56,6 +57,9 @@ struct ConcOptions {
   /// If set, ticked once per expanded state with (distinct states,
   /// frontier size) — the CLI's --progress heartbeat. Not owned.
   telemetry::Heartbeat *Progress = nullptr;
+  /// Visited-set storage mode (see rt::StoreMode). Verdicts and counts
+  /// are identical across modes; Delta trades decode work for arena size.
+  rt::StoreMode Store = rt::StoreMode::Flat;
 };
 
 /// Model checks concurrent core program \p P from its entry function.

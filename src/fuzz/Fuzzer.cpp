@@ -42,7 +42,8 @@ FuzzSummary fuzz::runCampaign(const FuzzOptions &Opts) {
 
     bool Violation = S.O.V == OracleVerdict::SoundnessBug ||
                      S.O.V == OracleVerdict::TraceBug ||
-                     S.O.V == OracleVerdict::CompletenessBug;
+                     S.O.V == OracleVerdict::CompletenessBug ||
+                     S.O.V == OracleVerdict::ExecDivergence;
     if (Violation && Opts.Shrink) {
       ShrinkResult SR = shrink(S.Source, S.O.V, OO, Opts.ShrinkOpts);
       // The shrinker guarantees (Source, Final) are consistent; prefer the
@@ -68,7 +69,8 @@ FuzzSummary fuzz::runCampaign(const FuzzOptions &Opts) {
     switch (S.O.V) {
     case OracleVerdict::SoundnessBug:
     case OracleVerdict::TraceBug:
-    case OracleVerdict::CompletenessBug: {
+    case OracleVerdict::CompletenessBug:
+    case OracleVerdict::ExecDivergence: {
       Finding F;
       F.Seed = Opts.Seed + I;
       F.V = S.O.V;
@@ -97,7 +99,8 @@ FuzzSummary fuzz::runCampaign(const FuzzOptions &Opts) {
     Rec->addCounter("cases_skipped", Sum.CasesSkipped);
     for (auto V : {OracleVerdict::Agree, OracleVerdict::SoundnessBug,
                    OracleVerdict::TraceBug, OracleVerdict::CompletenessBug,
-                   OracleVerdict::Discard, OracleVerdict::Inconclusive})
+                   OracleVerdict::ExecDivergence, OracleVerdict::Discard,
+                   OracleVerdict::Inconclusive})
       Rec->addCounter(std::string("verdict_") + getOracleVerdictName(V),
                       Sum.Counts[static_cast<int>(V)]);
     Rec->addCounter("violations", Sum.violations());

@@ -78,7 +78,7 @@ struct FuzzSummary {
   uint64_t CasesRun = 0;     ///< Cases actually executed.
   uint64_t CasesSkipped = 0; ///< Cases skipped by cancellation.
   /// Verdict histogram, indexed by OracleVerdict.
-  uint64_t Counts[6] = {};
+  uint64_t Counts[7] = {};
   uint64_t ShrinkSteps = 0;
   uint64_t ShrinkEvals = 0;
   bool Interrupted = false;
@@ -91,7 +91,8 @@ struct FuzzSummary {
   uint64_t violations() const {
     return Counts[static_cast<int>(OracleVerdict::SoundnessBug)] +
            Counts[static_cast<int>(OracleVerdict::TraceBug)] +
-           Counts[static_cast<int>(OracleVerdict::CompletenessBug)];
+           Counts[static_cast<int>(OracleVerdict::CompletenessBug)] +
+           Counts[static_cast<int>(OracleVerdict::ExecDivergence)];
   }
   uint64_t discards() const {
     return Counts[static_cast<int>(OracleVerdict::Discard)];

@@ -22,6 +22,8 @@ const char *fuzz::getOracleVerdictName(OracleVerdict V) {
     return "trace-bug";
   case OracleVerdict::CompletenessBug:
     return "completeness-bug";
+  case OracleVerdict::ExecDivergence:
+    return "exec-divergence";
   case OracleVerdict::Discard:
     return "discard";
   case OracleVerdict::Inconclusive:
@@ -34,7 +36,8 @@ bool fuzz::parseOracleVerdict(std::string_view Name, OracleVerdict &Out) {
   for (auto V :
        {OracleVerdict::Agree, OracleVerdict::SoundnessBug,
         OracleVerdict::TraceBug, OracleVerdict::CompletenessBug,
-        OracleVerdict::Discard, OracleVerdict::Inconclusive}) {
+        OracleVerdict::ExecDivergence, OracleVerdict::Discard,
+        OracleVerdict::Inconclusive}) {
     if (Name == getOracleVerdictName(V)) {
       Out = V;
       return true;
@@ -157,6 +160,62 @@ OracleResult fuzz::runOracle(const std::string &Source,
     Res.V = OracleVerdict::Discard;
     Res.DiscardDiagnostics = S.diagnostics();
     return Res;
+  }
+
+  if (Opts.ExecDiff) {
+    // Differential engine mode: re-run the KISS side under the reference
+    // interpreter + delta store, and the ground truth under the delta
+    // store. Both engines implement the same transition relation over the
+    // same canonical encoding, so everything observable must match; a
+    // deadline/memory/cancel trip on either side is timing noise and
+    // skips the comparison (a States trip is deterministic and compares).
+    auto Noisy = [](const rt::CheckResult &R) {
+      return R.Bound == gov::BoundReason::Deadline ||
+             R.Bound == gov::BoundReason::Memory ||
+             R.Bound == gov::BoundReason::Cancelled;
+    };
+    auto Compare = [&](const char *Side, const rt::CheckResult &A,
+                       const rt::CheckResult &B) {
+      if (Noisy(A) || Noisy(B))
+        return;
+      std::string What;
+      if (A.Outcome != B.Outcome)
+        What = std::string("outcome ") + rt::getOutcomeName(A.Outcome) +
+               " vs " + rt::getOutcomeName(B.Outcome);
+      else if (A.StatesExplored != B.StatesExplored)
+        What = "distinct states " + std::to_string(A.StatesExplored) +
+               " vs " + std::to_string(B.StatesExplored);
+      else if (A.TransitionsExplored != B.TransitionsExplored)
+        What = "transitions " + std::to_string(A.TransitionsExplored) +
+               " vs " + std::to_string(B.TransitionsExplored);
+      else if (A.Message != B.Message)
+        What = "error message '" + A.Message + "' vs '" + B.Message + "'";
+      else if (A.ErrorLoc != B.ErrorLoc)
+        What = "error location offset " +
+               std::to_string(A.ErrorLoc.getOffset()) + " vs " +
+               std::to_string(B.ErrorLoc.getOffset());
+      if (What.empty())
+        return;
+      Res.V = OracleVerdict::ExecDivergence;
+      Res.Detail = std::string(Side) + " disagree: " + What;
+    };
+
+    S.config().Exec = rt::ExecEngine::Interp;
+    S.config().Store = rt::StoreMode::Delta;
+    core::KissReport K2 = S.check(*P);
+    S.config().Exec = rt::ExecEngine::Threaded;
+    S.config().Store = rt::StoreMode::Flat;
+    Compare("seq engines (threaded/flat vs interp/delta)", K.Sequential,
+            K2.Sequential);
+
+    if (Res.V != OracleVerdict::ExecDivergence) {
+      conc::ConcOptions CD = CO;
+      CD.Store = rt::StoreMode::Delta;
+      rt::CheckResult Truth2 = conc::checkProgram(*P, CFG, CD);
+      Compare("conc stores (flat vs delta)", Truth, Truth2);
+    }
+    if (Res.V == OracleVerdict::ExecDivergence)
+      return Res;
   }
 
   if (K.foundError()) {

@@ -44,6 +44,8 @@ enum class OracleVerdict : uint8_t {
   TraceBug,         ///< KISS error confirmed, but the mapped trace does not
                     ///< replay within its own context-switch budget.
   CompletenessBug,  ///< A two-switch 2-thread error KISS failed to find.
+  ExecDivergence,   ///< ExecDiff mode: the two execution engines (or the
+                    ///< two store modes) disagreed on anything observable.
   Discard,          ///< The program did not compile (generator defect).
   Inconclusive,     ///< A state/deadline/memory budget tripped somewhere.
 };
@@ -74,6 +76,12 @@ struct OracleOptions {
   /// Test-only: run the KISS side with the deliberately broken transform
   /// (negated assertions) to prove the oracle catches unsoundness.
   bool InjectBreakAsserts = false;
+  /// Differential engine mode (kissfuzz --exec-diff): additionally run
+  /// the KISS side under the reference interpreter + delta store and the
+  /// ground truth under the delta store, comparing verdict, message,
+  /// error location, and state/transition counts against the default
+  /// threaded/flat runs. Any mismatch is an ExecDivergence violation.
+  bool ExecDiff = false;
 };
 
 /// One differential run's outcome.

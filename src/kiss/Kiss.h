@@ -74,6 +74,18 @@ struct CheckConfig {
   bool InjectBreakAsserts = false;
   /// State budget of the sequential exploration.
   uint64_t MaxStates = 1'000'000;
+  /// Execution engine of the sequential exploration (kisscheck --exec).
+  /// Both engines are bit-identical in results; Threaded is the fast
+  /// default, Interp the reference oracle.
+  rt::ExecEngine Exec = rt::ExecEngine::Threaded;
+  /// Visited-set storage mode (kisscheck --store): Flat keeps full
+  /// encodings, Delta stores parent diffs with keyframes (smaller arena,
+  /// identical verdicts and counts).
+  rt::StoreMode Store = rt::StoreMode::Flat;
+  /// Threaded engine only: coarsen straight-line thread-local runs into
+  /// super-steps. Off by default — it preserves verdicts but changes
+  /// StatesExplored, breaking interp/threaded count equality.
+  bool SuperStep = false;
   /// Shared budget / recorder / jobs configuration. The recorder also
   /// receives the compile-phase spans of this session's compile() calls.
   rt::CommonOptions Common;

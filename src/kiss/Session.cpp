@@ -33,6 +33,9 @@ CheckResult Session::check(const lang::Program &P) {
   KO.InjectBreakAsserts = Cfg.InjectBreakAsserts;
   KO.Seq.MaxStates = Cfg.MaxStates;
   KO.Seq.Progress = Cfg.Progress;
+  KO.Seq.Exec = Cfg.Exec;
+  KO.Seq.Store = Cfg.Store;
+  KO.Seq.SuperStep = Cfg.SuperStep;
   KO.Common = Cfg.Common;
   if (Cfg.M == CheckConfig::Mode::Race)
     return checkRace(P, Cfg.Race, KO, Ctx->Diags);

@@ -19,11 +19,59 @@
 
 #include "support/Governor.h"
 
+#include <string_view>
+
 namespace kiss::telemetry {
 class RunRecorder;
 } // namespace kiss::telemetry
 
 namespace kiss::rt {
+
+/// Which execution engine drives the sequential exploration. Both engines
+/// implement the same transition relation over the same canonical state
+/// encoding and produce bit-identical results (verdicts, traces, and every
+/// ExplorationStats counter); Threaded is the fast path, Interp the simple
+/// reference kept alive as the differential oracle.
+enum class ExecEngine : uint8_t {
+  Interp,   ///< AST/CFG-walking interpreter (seqcheck/Step.cpp).
+  Threaded, ///< Flat pre-lowered instruction stream + in-place successor
+            ///< encoding (seqcheck/exec/), the default.
+};
+
+/// How the visited-state store keeps encoded states.
+enum class StoreMode : uint8_t {
+  Flat,  ///< Every state stored as its full encoding (fastest).
+  Delta, ///< States stored as byte diffs against their BFS parent with
+         ///< periodic full keyframes (smallest arena).
+};
+
+inline const char *getExecEngineName(ExecEngine E) {
+  return E == ExecEngine::Interp ? "interp" : "threaded";
+}
+
+inline bool parseExecEngine(std::string_view S, ExecEngine &Out) {
+  if (S == "interp")
+    Out = ExecEngine::Interp;
+  else if (S == "threaded")
+    Out = ExecEngine::Threaded;
+  else
+    return false;
+  return true;
+}
+
+inline const char *getStoreModeName(StoreMode M) {
+  return M == StoreMode::Flat ? "flat" : "delta";
+}
+
+inline bool parseStoreMode(std::string_view S, StoreMode &Out) {
+  if (S == "flat")
+    Out = StoreMode::Flat;
+  else if (S == "delta")
+    Out = StoreMode::Delta;
+  else
+    return false;
+  return true;
+}
 
 /// Run configuration shared by every entry point that can fan out over
 /// multiple checks: KissOptions, CorpusRunOptions, and FuzzOptions embed

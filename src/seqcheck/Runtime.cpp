@@ -77,13 +77,28 @@ namespace {
 class StateEncoder {
 public:
   StateEncoder(const MachineState &S, std::string &Out)
-      : S(S), Renumber(S.Heap.size(), NotSeen), Out(Out) {
-    Out.clear();
-  }
+      : S(S), Renumber(S.Heap.size(), NotSeen), Out(Out) {}
 
   void encode() {
     discover();
+    // Size the buffer once so emit() can write through a bare pointer:
+    // per-field append() calls (capacity check + size bookkeeping each)
+    // dominated BFS profiles. Every value record is at most 14 bytes;
+    // headers are 12 bytes of section counts, 4 per heap object, 8 per
+    // thread, and 17 per frame.
+    size_t Values = S.Globals.size() + HeapValues;
+    size_t Frames = 0;
+    for (const Thread &T : S.Threads) {
+      Frames += T.Frames.size();
+      for (const Frame &F : T.Frames)
+        Values += F.Locals.size();
+    }
+    size_t Bound = 12 + 14 * Values + 4 * Order.size() +
+                   8 * S.Threads.size() + 17 * Frames;
+    Out.resize(Bound);
+    P = Out.data();
     emit();
+    Out.resize(static_cast<size_t>(P - Out.data()));
   }
 
 private:
@@ -106,38 +121,39 @@ private:
         for (const Value &V : F.Locals)
           discoverValue(V);
     // BFS through object fields; Order grows as we scan it.
-    for (size_t I = 0; I != Order.size(); ++I)
+    for (size_t I = 0; I != Order.size(); ++I) {
+      HeapValues += S.Heap[Order[I]].Fields.size();
       for (const Value &V : S.Heap[Order[I]].Fields)
         discoverValue(V);
+    }
   }
 
-  // Multi-byte fields are appended by memcpy in host byte order: the
+  // Multi-byte fields are written by memcpy in host byte order: the
   // encoding is compared only within one process, so all that matters is
-  // that equal states produce equal bytes. Bulk appends keep the encoder
-  // off the byte-at-a-time push_back path, which dominated BFS profiles.
+  // that equal states produce equal bytes.
   void putU32(uint32_t V) {
-    Out.append(reinterpret_cast<const char *>(&V), sizeof(V));
+    std::memcpy(P, &V, sizeof(V));
+    P += sizeof(V);
   }
 
   void putValue(const Value &V) {
-    char Buf[2 + 3 * sizeof(uint32_t)];
-    Buf[0] = static_cast<char>(V.K);
+    P[0] = static_cast<char>(V.K);
     if (V.K == ValueKind::Ptr) {
-      Buf[1] = static_cast<char>(V.A.Space);
+      P[1] = static_cast<char>(V.A.Space);
       uint32_t Base = V.A.Base;
       if (V.A.Space == AddrSpace::Heap) {
         assert(Renumber[Base] != NotSeen && "pointer to undiscovered object");
         Base = Renumber[Base];
       }
-      std::memcpy(Buf + 2, &V.A.Thread, sizeof(uint32_t));
-      std::memcpy(Buf + 6, &Base, sizeof(uint32_t));
-      std::memcpy(Buf + 10, &V.A.Offset, sizeof(uint32_t));
-      Out.append(Buf, 14);
+      std::memcpy(P + 2, &V.A.Thread, sizeof(uint32_t));
+      std::memcpy(P + 6, &Base, sizeof(uint32_t));
+      std::memcpy(P + 10, &V.A.Offset, sizeof(uint32_t));
+      P += 14;
       return;
     }
     uint64_t I = static_cast<uint64_t>(V.I);
-    std::memcpy(Buf + 1, &I, sizeof(I));
-    Out.append(Buf, 9);
+    std::memcpy(P + 1, &I, sizeof(I));
+    P += 9;
   }
 
   void emit() {
@@ -160,7 +176,7 @@ private:
       for (const Frame &F : T.Frames) {
         putU32(F.Func);
         putU32(F.PC);
-        Out.push_back(static_cast<char>(F.RetVar.Scope));
+        *P++ = static_cast<char>(F.RetVar.Scope);
         putU32(F.RetVar.Index);
         putU32(F.Locals.size());
         for (const Value &V : F.Locals)
@@ -172,7 +188,9 @@ private:
   const MachineState &S;
   std::vector<uint32_t> Renumber; ///< Heap slot -> canonical id, NotSeen.
   std::vector<uint32_t> Order;
+  size_t HeapValues = 0; ///< Total field count across discovered objects.
   std::string &Out;
+  char *P = nullptr; ///< Write cursor into Out.
 };
 
 } // namespace
@@ -185,4 +203,121 @@ std::string rt::encodeState(const MachineState &S) {
 
 void rt::encodeStateInto(const MachineState &S, std::string &Out) {
   StateEncoder(S, Out).encode();
+}
+
+namespace {
+
+/// Mirror of StateEncoder::emit. No renumbering pass is needed: canonical
+/// keys already carry renumbered heap bases, and because renumbering is
+/// idempotent the decoded state re-encodes to the same bytes.
+class StateDecoder {
+public:
+  StateDecoder(std::string_view In, MachineState &S, KeyLayout *L)
+      : Start(In.data()), P(In.data()), S(S), L(L) {
+#ifndef NDEBUG
+    End = In.data() + In.size();
+#endif
+  }
+
+  void decode() {
+    if (L) {
+      L->GlobalOff.clear();
+      L->TopLocalOff.clear();
+      L->PrevLocalOff.clear();
+      L->HasTopFrame = false;
+    }
+    S.Globals.resize(getU32());
+    for (Value &V : S.Globals) {
+      if (L)
+        L->GlobalOff.push_back(off());
+      getValue(V);
+    }
+
+    S.Heap.resize(getU32());
+    for (HeapObject &H : S.Heap) {
+      H.Struct = nullptr;
+      H.Fields.resize(getU32());
+      for (Value &V : H.Fields)
+        getValue(V);
+    }
+
+    S.Threads.resize(getU32());
+    bool Thread0 = true;
+    for (Thread &T : S.Threads) {
+      if (L && Thread0)
+        L->AtomicOff = off();
+      T.AtomicDepth = getU32();
+      T.Frames.resize(getU32());
+      for (Frame &F : T.Frames) {
+        // Each frame overwrites the slots below, so after the loop the
+        // layout describes the top (last-decoded) frame, with the previous
+        // frame's local offsets rotated into PrevLocalOff.
+        if (L && Thread0) {
+          L->TopPCOff = off() + 4;
+          L->HasTopFrame = true;
+          L->PrevLocalOff.swap(L->TopLocalOff);
+          L->TopLocalOff.clear();
+        }
+        F.Func = getU32();
+        F.PC = getU32();
+        F.RetVar.Scope = static_cast<VarScope>(*P++);
+        F.RetVar.Index = getU32();
+        F.Locals.resize(getU32());
+        for (Value &V : F.Locals) {
+          if (L && Thread0)
+            L->TopLocalOff.push_back(off());
+          getValue(V);
+        }
+      }
+      Thread0 = false;
+    }
+    assert(P == End && "canonical key not fully consumed");
+  }
+
+private:
+  uint32_t off() const { return static_cast<uint32_t>(P - Start); }
+
+  uint32_t getU32() {
+    uint32_t V;
+    std::memcpy(&V, P, sizeof(V));
+    P += sizeof(V);
+    return V;
+  }
+
+  void getValue(Value &V) {
+    V.K = static_cast<ValueKind>(P[0]);
+    if (V.K == ValueKind::Ptr) {
+      V.I = 0;
+      V.A.Space = static_cast<AddrSpace>(P[1]);
+      std::memcpy(&V.A.Thread, P + 2, sizeof(uint32_t));
+      std::memcpy(&V.A.Base, P + 6, sizeof(uint32_t));
+      std::memcpy(&V.A.Offset, P + 10, sizeof(uint32_t));
+      P += 14;
+      return;
+    }
+    uint64_t I;
+    std::memcpy(&I, P + 1, sizeof(I));
+    V.I = static_cast<int64_t>(I);
+    V.A = MemAddr();
+    P += 9;
+  }
+
+  const char *Start;
+  const char *P;
+#ifndef NDEBUG
+  const char *End = nullptr;
+#endif
+  MachineState &S;
+  KeyLayout *L;
+};
+
+} // namespace
+
+void rt::decodeStateInto(std::string_view Key, MachineState &Out) {
+  StateDecoder(Key, Out, nullptr).decode();
+}
+
+void rt::decodeStateInto(std::string_view Key, MachineState &Out,
+                         KeyLayout &Layout) {
+  StateDecoder(Key, Out, &Layout).decode();
 }

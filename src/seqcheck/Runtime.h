@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace kiss::rt {
@@ -151,6 +152,45 @@ std::string encodeState(const MachineState &S);
 /// capacity. Successor loops call this with one scratch buffer instead of
 /// allocating a fresh string per state.
 void encodeStateInto(const MachineState &S, std::string &Out);
+
+/// Rebuilds a MachineState from a canonical encoding produced by
+/// encodeState. \p Out is reused in place (nested vectors keep their
+/// capacity), so a BFS cursor loop decoding one state per iteration
+/// settles into zero allocations. Canonical keys are fixed points of the
+/// encoder: re-encoding the decoded state reproduces \p Key byte for byte.
+/// HeapObject::Struct is not part of the encoding and comes back null; no
+/// engine reads it after allocation.
+void decodeStateInto(std::string_view Key, MachineState &Out);
+
+/// Byte offsets into one canonical key, recorded during decoding, that let
+/// an engine build a successor key by patching the parent's bytes in place
+/// instead of re-encoding the whole state. Only thread 0's hot slots are
+/// tracked (the sequential engines run exactly one live thread). A layout
+/// is valid only for the exact key it was decoded from, and only for
+/// patches that preserve record widths: a non-pointer value may be
+/// overwritten by any non-pointer value (both encode as 9 bytes), and the
+/// u32 PC / AtomicDepth fields may be overwritten freely. Pointer writes
+/// and allocation change layout and must re-encode. Frame push/pop is
+/// patchable only in the single-thread case, where the top frame is the
+/// final record of the key: a call appends a frame record (and a return
+/// truncates one) without disturbing any earlier byte, provided heap
+/// reachability is unaffected — see the engine's Call/Return fast paths.
+struct KeyLayout {
+  std::vector<uint32_t> GlobalOff;   ///< Value record offset per global.
+  std::vector<uint32_t> TopLocalOff; ///< Per local of thread 0's top frame.
+  /// Per local of thread 0's frame *below* the top one (the caller of the
+  /// top frame); empty when fewer than two frames. Lets a Return patch
+  /// its result into the caller's slot after truncating the top frame.
+  std::vector<uint32_t> PrevLocalOff;
+  uint32_t AtomicOff = 0;            ///< Thread 0's AtomicDepth field.
+  uint32_t TopPCOff = 0;             ///< Thread 0's top frame PC field.
+  bool HasTopFrame = false;          ///< False for a terminated thread 0.
+};
+
+/// As decodeStateInto, additionally filling \p Layout for in-place
+/// successor key patching.
+void decodeStateInto(std::string_view Key, MachineState &Out,
+                     KeyLayout &Layout);
 
 } // namespace kiss::rt
 

@@ -7,6 +7,7 @@
 #include "seqcheck/SeqChecker.h"
 
 #include "seqcheck/StateStore.h"
+#include "seqcheck/exec/ThreadedEngine.h"
 #include "telemetry/Telemetry.h"
 
 #include <cassert>
@@ -41,6 +42,9 @@ std::vector<TraceStep> rebuildTrace(const std::vector<ParentLink> &Links,
 CheckResult seqcheck::checkProgram(const lang::Program &P,
                                    const cfg::ProgramCFG &CFG,
                                    const SeqOptions &Opts) {
+  if (Opts.Exec == rt::ExecEngine::Threaded)
+    return exec::checkProgramThreaded(P, CFG, Opts);
+
   CheckResult R;
 
   const lang::FuncDecl *Entry = P.getEntryFunction();
@@ -61,7 +65,7 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
     uint32_t Depth; ///< BFS layer (root = 0).
   };
 
-  StateStore Store;
+  StateStore Store(Opts.Store);
   std::vector<ParentLink> Links;
   std::deque<WorkItem> Queue;
   std::string Scratch;
@@ -158,7 +162,7 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
       for (MachineState &NS : SR.Successors) {
         ++R.TransitionsExplored;
         encodeStateInto(NS, Scratch);
-        auto [NId, Inserted] = Store.intern(Scratch);
+        auto [NId, Inserted] = Store.internChild(Scratch, Id);
         if (!Inserted)
           continue;
         assert(NId == Links.size() && "ids are dense in insertion order");

@@ -18,6 +18,7 @@
 #ifndef KISS_SEQCHECK_SEQCHECKER_H
 #define KISS_SEQCHECK_SEQCHECKER_H
 
+#include "seqcheck/CommonOptions.h"
 #include "seqcheck/Result.h"
 #include "seqcheck/Step.h"
 #include "support/Governor.h"
@@ -40,6 +41,20 @@ struct SeqOptions {
   /// If set, ticked once per expanded state with (distinct states,
   /// frontier size) — the CLI's --progress heartbeat. Not owned.
   telemetry::Heartbeat *Progress = nullptr;
+  /// Which execution engine runs the exploration. Both produce
+  /// bit-identical results (see rt::ExecEngine); Threaded is the fast
+  /// default, Interp the reference oracle.
+  rt::ExecEngine Exec = rt::ExecEngine::Threaded;
+  /// Visited-set storage: full encodings (Flat) or parent diffs with
+  /// keyframes (Delta). Verdicts and counts are identical; only
+  /// ArenaBytes (and speed) differ.
+  rt::StoreMode Store = rt::StoreMode::Flat;
+  /// Threaded engine only: coarsen straight-line runs of deterministic,
+  /// error-free thread-local operations into one super-step, skipping the
+  /// interning of intermediate states. Verdicts are preserved, but
+  /// StatesExplored and traces are coarser, so this is opt-in and off by
+  /// default (it breaks interp/threaded count equality).
+  bool SuperStep = false;
 };
 
 /// Model checks sequential core program \p P (entry: Program entry

@@ -12,20 +12,32 @@
 /// states can never be conflated — the paper's no-false-errors guarantee
 /// does not rest on 64 bits of fingerprint.
 ///
-/// Compared to the previous unordered_map<std::string, ParentInfo> +
-/// deque<pair<MachineState, std::string>> layout, each state costs one
-/// arena copy of its encoding plus ~16 bytes of record and ~23 bytes of
-/// index instead of two heap-allocated string copies plus map-node
-/// overhead, and states are addressed by dense 32-bit ids that back-pointer
-/// chains and work queues can store directly.
+/// Two storage modes (rt::StoreMode):
+///  * Flat: every state keeps its full encoding in the arena (fastest).
+///  * Delta: a state whose BFS parent is known stores only a byte diff
+///    against that parent, with periodic full keyframes bounding every
+///    reconstruction chain. BFS parents and children differ in a handful
+///    of bytes (a PC and one or two values), so the arena typically
+///    shrinks by well over 2x on deep state spaces.
+///
+/// key() returns a KeyRef, a checked view that is invalidated by the next
+/// intern() (the arena may reallocate) and — in delta mode — by the next
+/// key() call (reconstruction shares one scratch buffer). Debug builds
+/// carry a store generation counter in each KeyRef and assert on stale
+/// access, so misuse traps deterministically instead of reading freed or
+/// overwritten memory.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef KISS_SEQCHECK_STATESTORE_H
 #define KISS_SEQCHECK_STATESTORE_H
 
+#include "seqcheck/CommonOptions.h"
+
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -37,15 +49,23 @@ public:
   /// Sentinel id: never returned by intern(); used for "no parent" links.
   static constexpr uint32_t InvalidId = 0xffffffffu;
 
-  StateStore();
+  explicit StateStore(rt::StoreMode Mode = rt::StoreMode::Flat);
 
   /// Interns encoded state \p Key. \returns the state's dense id (ids are
   /// assigned 0, 1, 2, ... in first-seen order) and whether the key was
   /// newly inserted. The bytes are copied; \p Key may be a reused scratch
-  /// buffer.
+  /// buffer. In delta mode a state interned without a parent stores a full
+  /// keyframe.
   std::pair<uint32_t, bool> intern(std::string_view Key);
 
-  /// As above with a caller-supplied 64-bit hash. Exposed so tests can
+  /// As intern(), additionally naming the BFS parent the state was
+  /// expanded from. In delta mode a newly inserted state is stored as a
+  /// diff against \p Parent (unless a keyframe is due); in flat mode the
+  /// parent is ignored. \p Parent may be InvalidId (root states).
+  std::pair<uint32_t, bool> internChild(std::string_view Key,
+                                        uint32_t Parent);
+
+  /// As intern() with a caller-supplied 64-bit hash. Exposed so tests can
   /// force two distinct keys into the same index bucket; production
   /// callers use the one-argument form.
   std::pair<uint32_t, bool> intern(std::string_view Key, uint64_t Hash);
@@ -53,10 +73,47 @@ public:
   /// Number of distinct states interned.
   size_t size() const { return Records.size(); }
 
-  /// The encoded bytes of state \p Id. Invalidated by the next intern().
-  std::string_view key(uint32_t Id) const;
+  /// Monotonic mutation counter: bumped by every intern() and by every
+  /// delta-mode key() reconstruction. A KeyRef taken at generation G is
+  /// valid only while generation() == G.
+  uint64_t generation() const { return Generation; }
 
-  /// Bytes held by the encoding arena (diagnostics/benchmarks).
+  /// A checked view of one interned key. Valid until the next intern()
+  /// (and, in delta mode, until the next key() call); debug builds assert
+  /// on stale access.
+  class KeyRef {
+  public:
+    KeyRef() = default;
+
+    std::string_view view() const {
+#ifndef NDEBUG
+      assert(Store && Gen == Store->generation() &&
+             "stale StateStore::key() view: invalidated by a later "
+             "intern() or key() call");
+#endif
+      return V;
+    }
+    const char *data() const { return view().data(); }
+    size_t size() const { return view().size(); }
+    operator std::string_view() const { return view(); }
+
+  private:
+    friend class StateStore;
+    std::string_view V;
+#ifndef NDEBUG
+    const StateStore *Store = nullptr;
+    uint64_t Gen = 0;
+#endif
+  };
+
+  /// The encoded bytes of state \p Id.
+  KeyRef key(uint32_t Id) const;
+
+  /// The storage mode this store was created with.
+  rt::StoreMode mode() const { return Mode; }
+
+  /// Bytes held by the encoding arena (diagnostics/benchmarks). In delta
+  /// mode this is the *compressed* footprint.
   size_t arenaBytes() const { return Arena.size(); }
 
   /// Bytes held by the hash index and the record table (the store's
@@ -82,20 +139,52 @@ public:
 
 private:
   struct Record {
-    uint64_t Offset; ///< Start of the encoding in Arena.
-    uint32_t Length;
+    uint64_t Offset;   ///< Start of the stored bytes in Arena.
+    uint32_t Stored;   ///< Bytes stored (== KeyLen for full keys).
+    uint32_t KeyLen;   ///< Length of the (reconstructed) key.
+    uint32_t Parent;   ///< Delta base id; InvalidId = full keyframe.
+    uint32_t Depth;    ///< Delta-chain depth (keyframe = 0).
   };
   struct Slot {
     uint64_t Hash;
     uint32_t Id; ///< InvalidId = empty slot.
   };
 
+  std::pair<uint32_t, bool> internImpl(std::string_view Key, uint64_t Hash,
+                                       uint32_t Parent);
   void grow();
 
-  std::vector<char> Arena;
+  /// The raw bytes of state \p Id, reconstructing through the delta chain
+  /// if needed. The view is valid until the next intern() or
+  /// materialize() call.
+  std::string_view materialize(uint32_t Id) const;
+
+  KeyRef makeRef(std::string_view V) const {
+    KeyRef R;
+    R.V = V;
+#ifndef NDEBUG
+    R.Store = this;
+    R.Gen = Generation;
+#endif
+    return R;
+  }
+
+  rt::StoreMode Mode;
+  /// A string rather than vector<char>: append(ptr, n) is a plain
+  /// capacity-checked memcpy, where vector's range insert went through the
+  /// generic path and cost more than the hash + probe combined.
+  std::string Arena;
   std::vector<Record> Records;
   std::vector<Slot> Slots; ///< Capacity is always a power of two.
   IndexStats Stats;
+  mutable uint64_t Generation = 0;
+  /// Delta-mode reconstruction scratch (ping-pong) and a one-entry cache
+  /// of the last materialized state — BFS materializes parents in nearly
+  /// sequential order, so the cache hit rate is high.
+  mutable std::string MatBuf, MatTmp;
+  mutable uint32_t MatId = InvalidId;
+  /// Scratch for building a candidate delta before committing it.
+  std::vector<char> DeltaBuf;
 };
 
 } // namespace kiss::seqcheck

@@ -6,355 +6,13 @@
 
 #include "seqcheck/Step.h"
 
+#include "seqcheck/Eval.h"
+
 #include <cassert>
 
 using namespace kiss;
 using namespace kiss::rt;
 using namespace kiss::lang;
-
-namespace {
-
-/// Evaluation/mutation context for one thread of one (mutable) state.
-class Machine {
-public:
-  Machine(const Program &P, MachineState &S, uint32_t Tid)
-      : P(P), S(S), Tid(Tid) {}
-
-  /// The error message of the first failed operation.
-  std::string Error;
-
-  bool failed() const { return !Error.empty(); }
-  bool fail(std::string Msg) {
-    if (Error.empty())
-      Error = std::move(Msg);
-    return false;
-  }
-
-  Frame &topFrame() { return S.Threads[Tid].Frames.back(); }
-
-  //===--- Variable and memory access ---===//
-
-  Value readVar(VarId Id) {
-    if (Id.isGlobal())
-      return S.Globals[Id.Index];
-    return topFrame().Locals[Id.Index];
-  }
-
-  void writeVar(VarId Id, const Value &V) {
-    if (Id.isGlobal())
-      S.Globals[Id.Index] = V;
-    else
-      topFrame().Locals[Id.Index] = V;
-  }
-
-  bool readAddr(const MemAddr &A, Value &Out) {
-    switch (A.Space) {
-    case AddrSpace::Null:
-      return fail("null pointer dereference");
-    case AddrSpace::Global:
-      if (A.Base >= S.Globals.size())
-        return fail("wild global pointer");
-      Out = S.Globals[A.Base];
-      return true;
-    case AddrSpace::Heap:
-      if (A.Base >= S.Heap.size() ||
-          A.Offset >= S.Heap[A.Base].Fields.size())
-        return fail("wild heap pointer");
-      Out = S.Heap[A.Base].Fields[A.Offset];
-      return true;
-    case AddrSpace::Local:
-      if (A.Thread >= S.Threads.size() ||
-          A.Base >= S.Threads[A.Thread].Frames.size() ||
-          A.Offset >= S.Threads[A.Thread].Frames[A.Base].Locals.size())
-        return fail("dangling pointer to a dead stack frame");
-      Out = S.Threads[A.Thread].Frames[A.Base].Locals[A.Offset];
-      return true;
-    }
-    return fail("corrupt address");
-  }
-
-  bool writeAddr(const MemAddr &A, const Value &V) {
-    switch (A.Space) {
-    case AddrSpace::Null:
-      return fail("null pointer store");
-    case AddrSpace::Global:
-      if (A.Base >= S.Globals.size())
-        return fail("wild global pointer");
-      S.Globals[A.Base] = V;
-      return true;
-    case AddrSpace::Heap:
-      if (A.Base >= S.Heap.size() ||
-          A.Offset >= S.Heap[A.Base].Fields.size())
-        return fail("wild heap pointer");
-      S.Heap[A.Base].Fields[A.Offset] = V;
-      return true;
-    case AddrSpace::Local:
-      if (A.Thread >= S.Threads.size() ||
-          A.Base >= S.Threads[A.Thread].Frames.size() ||
-          A.Offset >= S.Threads[A.Thread].Frames[A.Base].Locals.size())
-        return fail("dangling pointer to a dead stack frame");
-      S.Threads[A.Thread].Frames[A.Base].Locals[A.Offset] = V;
-      return true;
-    }
-    return fail("corrupt address");
-  }
-
-  //===--- Expression evaluation ---===//
-
-  /// Evaluates a core atom. Undef results are allowed here; consumers that
-  /// need a defined value must check.
-  bool evalAtom(const Expr *E, Value &Out) {
-    switch (E->getKind()) {
-    case ExprKind::IntLit:
-      Out = Value::makeInt(cast<IntLitExpr>(E)->getValue());
-      return true;
-    case ExprKind::BoolLit:
-      Out = Value::makeBool(cast<BoolLitExpr>(E)->getValue());
-      return true;
-    case ExprKind::NullLit:
-      Out = (E->getType() && E->getType()->isFunc()) ? Value::makeFunc(-1)
-                                                     : Value::makeNullPtr();
-      return true;
-    case ExprKind::VarRef:
-      Out = readVar(cast<VarRefExpr>(E)->getVarId());
-      return true;
-    case ExprKind::FuncRef:
-      Out = Value::makeFunc(cast<FuncRefExpr>(E)->getFuncIndex());
-      return true;
-    default:
-      return fail("expression is not a core atom");
-    }
-  }
-
-  /// Evaluates an atom that must be defined.
-  bool evalDefinedAtom(const Expr *E, Value &Out) {
-    if (!evalAtom(E, Out))
-      return false;
-    if (Out.isUndef())
-      return fail("use of an uninitialized value");
-    return true;
-  }
-
-  /// Evaluates a core condition (atom, !atom, or atom cmp atom) to a
-  /// boolean.
-  bool evalCondition(const Expr *E, bool &Out) {
-    Value V;
-    if (isa<BinaryExpr>(E) || isa<UnaryExpr>(E)) {
-      if (!evalSingleRHS(E, V))
-        return false;
-    } else if (!evalDefinedAtom(E, V)) {
-      return false;
-    }
-    if (V.K != ValueKind::Bool)
-      return fail("condition is not a boolean");
-    Out = V.asBool();
-    return true;
-  }
-
-  /// Computes the address of a core lvalue (x, *x, x->f).
-  bool evalLValueAddr(const Expr *E, MemAddr &Out) {
-    switch (E->getKind()) {
-    case ExprKind::Deref: {
-      Value Ptr;
-      if (!evalDefinedAtom(cast<DerefExpr>(E)->getSub(), Ptr))
-        return false;
-      if (Ptr.K != ValueKind::Ptr)
-        return fail("store through a non-pointer");
-      Out = Ptr.A;
-      return true;
-    }
-    case ExprKind::Field:
-      return fieldAddr(cast<FieldExpr>(E), Out);
-    default:
-      return fail("not a core lvalue");
-    }
-  }
-
-  bool fieldAddr(const FieldExpr *E, MemAddr &Out) {
-    Value Base;
-    if (!evalDefinedAtom(E->getBase(), Base))
-      return false;
-    if (Base.K != ValueKind::Ptr)
-      return fail("field access through a non-pointer");
-    if (Base.A.Space == AddrSpace::Null)
-      return fail("null pointer dereference");
-    if (Base.A.Space != AddrSpace::Heap || Base.A.Offset != 0)
-      return fail("field access through a non-object pointer");
-    if (Base.A.Base >= S.Heap.size())
-      return fail("wild heap pointer");
-    const HeapObject &Obj = S.Heap[Base.A.Base];
-    if (E->getFieldIndex() >= Obj.Fields.size())
-      return fail("field index out of range for the pointed-to object");
-    Out = MemAddr{AddrSpace::Heap, 0, Base.A.Base, E->getFieldIndex()};
-    return true;
-  }
-
-  /// Evaluates a core right-hand side that yields exactly one value
-  /// (everything except Nondet, which the caller expands).
-  bool evalSingleRHS(const Expr *E, Value &Out) {
-    switch (E->getKind()) {
-    case ExprKind::IntLit:
-    case ExprKind::BoolLit:
-    case ExprKind::NullLit:
-    case ExprKind::VarRef:
-    case ExprKind::FuncRef:
-      return evalAtom(E, Out);
-
-    case ExprKind::Unary: {
-      const auto *U = cast<UnaryExpr>(E);
-      Value V;
-      if (!evalDefinedAtom(U->getSub(), V))
-        return false;
-      if (U->getOp() == UnaryOp::Not) {
-        if (V.K != ValueKind::Bool)
-          return fail("'!' on a non-boolean");
-        Out = Value::makeBool(!V.asBool());
-      } else {
-        if (V.K != ValueKind::Int)
-          return fail("unary '-' on a non-integer");
-        Out = Value::makeInt(-V.I);
-      }
-      return true;
-    }
-
-    case ExprKind::Binary: {
-      const auto *B = cast<BinaryExpr>(E);
-      Value L, R;
-      if (!evalDefinedAtom(B->getLHS(), L) ||
-          !evalDefinedAtom(B->getRHS(), R))
-        return false;
-      switch (B->getOp()) {
-      case BinaryOp::Add:
-      case BinaryOp::Sub:
-      case BinaryOp::Mul:
-      case BinaryOp::Lt:
-      case BinaryOp::Le:
-      case BinaryOp::Gt:
-      case BinaryOp::Ge: {
-        if (L.K != ValueKind::Int || R.K != ValueKind::Int)
-          return fail("arithmetic on non-integers");
-        switch (B->getOp()) {
-        case BinaryOp::Add:
-          Out = Value::makeInt(L.I + R.I);
-          break;
-        case BinaryOp::Sub:
-          Out = Value::makeInt(L.I - R.I);
-          break;
-        case BinaryOp::Mul:
-          Out = Value::makeInt(L.I * R.I);
-          break;
-        case BinaryOp::Lt:
-          Out = Value::makeBool(L.I < R.I);
-          break;
-        case BinaryOp::Le:
-          Out = Value::makeBool(L.I <= R.I);
-          break;
-        case BinaryOp::Gt:
-          Out = Value::makeBool(L.I > R.I);
-          break;
-        case BinaryOp::Ge:
-          Out = Value::makeBool(L.I >= R.I);
-          break;
-        default:
-          break;
-        }
-        return true;
-      }
-      case BinaryOp::Eq:
-      case BinaryOp::Ne: {
-        if (L.K != R.K)
-          return fail("comparison of differently-typed values");
-        bool Equal = L == R;
-        Out = Value::makeBool(B->getOp() == BinaryOp::Eq ? Equal : !Equal);
-        return true;
-      }
-      case BinaryOp::LAnd:
-      case BinaryOp::LOr:
-        return fail("short-circuit operator survives lowering");
-      }
-      return false;
-    }
-
-    case ExprKind::Deref: {
-      Value Ptr;
-      if (!evalDefinedAtom(cast<DerefExpr>(E)->getSub(), Ptr))
-        return false;
-      if (Ptr.K != ValueKind::Ptr)
-        return fail("dereference of a non-pointer");
-      return readAddr(Ptr.A, Out);
-    }
-
-    case ExprKind::Field: {
-      MemAddr A;
-      if (!fieldAddr(cast<FieldExpr>(E), A))
-        return false;
-      return readAddr(A, Out);
-    }
-
-    case ExprKind::AddrOf: {
-      const Expr *Sub = cast<AddrOfExpr>(E)->getSub();
-      if (const auto *V = dyn_cast<VarRefExpr>(Sub)) {
-        VarId Id = V->getVarId();
-        if (Id.isGlobal()) {
-          Out = Value::makePtr(MemAddr{AddrSpace::Global, 0, Id.Index, 0});
-        } else {
-          uint32_t Depth = S.Threads[Tid].Frames.size() - 1;
-          Out = Value::makePtr(MemAddr{AddrSpace::Local, Tid, Depth,
-                                       Id.Index});
-        }
-        return true;
-      }
-      MemAddr A;
-      if (!fieldAddr(cast<FieldExpr>(Sub), A))
-        return false;
-      Out = Value::makePtr(A);
-      return true;
-    }
-
-    case ExprKind::New: {
-      const auto *N = cast<NewExpr>(E);
-      const StructDecl *SD = P.getStruct(N->getStructName());
-      assert(SD && "Sema admits only known structs in new");
-      HeapObject Obj;
-      Obj.Struct = SD;
-      for (const FieldDecl &F : SD->getFields())
-        Obj.Fields.push_back(defaultValue(F.Ty));
-      S.Heap.push_back(std::move(Obj));
-      Out = Value::makePtr(
-          MemAddr{AddrSpace::Heap, 0,
-                  static_cast<uint32_t>(S.Heap.size() - 1), 0});
-      return true;
-    }
-
-    case ExprKind::Nondet:
-      return fail("nondet right-hand side requires caller expansion");
-    case ExprKind::Call:
-      return fail("call right-hand side must execute as a Call node");
-    }
-    return false;
-  }
-
-  const Program &P;
-  MachineState &S;
-  uint32_t Tid;
-};
-
-/// Resolves the callee of a call/async to a function index.
-bool resolveCallee(Machine &M, const Expr *Callee, const Program &P,
-                   uint32_t &Out) {
-  Value V;
-  if (!M.evalDefinedAtom(Callee, V))
-    return false;
-  if (V.K != ValueKind::Func)
-    return M.fail("call through a non-function value");
-  if (V.I < 0 ||
-      static_cast<size_t>(V.I) >= P.getFunctions().size())
-    return M.fail("call through a null function value");
-  Out = static_cast<uint32_t>(V.I);
-  return true;
-}
-
-} // namespace
 
 StepResult rt::stepThread(const Program &P, const cfg::ProgramCFG &CFG,
                           const MachineState &S0, uint32_t Tid,

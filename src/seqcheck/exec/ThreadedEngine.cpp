@@ -1,0 +1,836 @@
+//===- ThreadedEngine.cpp -------------------------------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "seqcheck/exec/ThreadedEngine.h"
+
+#include "seqcheck/Eval.h"
+#include "seqcheck/StateStore.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace kiss;
+using namespace kiss::rt;
+using namespace kiss::lang;
+using namespace kiss::seqcheck;
+
+// Computed-goto dispatch where the toolchain has labels-as-values (GCC and
+// Clang both do); elsewhere the switch below compiles to the same jump
+// table. KISS_OP places a label on each opcode's case so one body serves
+// both dispatch paths.
+#if defined(__GNUC__)
+#define KISS_COMPUTED_GOTO 1
+#define KISS_OP(L) L:
+#else
+#define KISS_OP(L)
+#endif
+
+namespace {
+
+/// Pre-lowered opcodes: one per CFG node, dispatched without touching the
+/// cfg::Node or re-classifying statements. Order must match the JumpTable
+/// in expand().
+enum class OpCode : uint8_t {
+  Jump,        ///< Single-successor junction (Nop) or skip.
+  Branch,      ///< Multi-successor (or dead-end) junction.
+  AtomicBegin, ///< ++AtomicDepth.
+  AtomicEnd,   ///< --AtomicDepth.
+  AssignVar,   ///< v = single-valued rhs.
+  AssignMem,   ///< *p / p->f = single-valued rhs.
+  NondetBool,  ///< v = nondet bool: two successors, false then true.
+  NondetRange, ///< v = nondet [lo, hi]: one successor per value.
+  Assert,      ///< assert(cond).
+  Assume,      ///< assume(cond): false blocks the path.
+  Async,       ///< Always an error in a sequential program.
+  Trap,        ///< Unexpected statement kind (defensive).
+  Call,        ///< Push a frame.
+  Return,      ///< Pop a frame, optionally writing the return value.
+};
+
+/// One pre-lowered instruction. Operand slots are resolved at lowering
+/// time; the hot loop never walks the AST except to evaluate expressions.
+struct Op {
+  OpCode Code = OpCode::Trap;
+  /// Super-step-chainable: deterministic, single-successor, cannot fail.
+  bool Chain = false;
+  /// AssignVar only: evaluating RHS cannot allocate (RHS is not `new`), so
+  /// a scalar result may be patched into the parent key in place.
+  bool NoAlloc = false;
+  VarId Dst;                           ///< AssignVar/Nondet*/Call result.
+  uint32_t Succ0 = 0;                  ///< Primary successor PC.
+  uint32_t NSuccs = 0;                 ///< Branch successor count.
+  const uint32_t *Succs = nullptr;     ///< Branch successor list.
+  int64_t Lo = 0, Hi = 0;              ///< NondetRange bounds.
+  const Expr *RHS = nullptr;           ///< RHS / condition / return atom.
+  const Expr *LHS = nullptr;           ///< AssignMem lvalue.
+  const CallExpr *CallE = nullptr;     ///< Call expression.
+  const Stmt *S = nullptr;             ///< Error-location source.
+};
+
+/// Per-function facts the Call/Return opcodes need, pre-resolved.
+struct FuncInfo {
+  uint32_t Entry = 0;
+  uint32_t NumLocals = 0;
+  const Type *RetTy = nullptr;
+};
+
+/// Straight-line coarsening bound: a super-step chains at most this many
+/// chainable ops before interning (prevents unbounded work on Nop cycles).
+constexpr unsigned SuperStepCap = 64;
+
+/// Back-pointer for counterexample reconstruction, indexed by state id.
+struct ParentLink {
+  uint32_t Parent = StateStore::InvalidId; ///< InvalidId for the root.
+  TraceStep Step;
+};
+
+std::vector<TraceStep> rebuildTrace(const std::vector<ParentLink> &Links,
+                                    uint32_t Id, const TraceStep &Last) {
+  std::vector<TraceStep> Trace;
+  Trace.push_back(Last);
+  while (Links[Id].Parent != StateStore::InvalidId) {
+    Trace.push_back(Links[Id].Step);
+    Id = Links[Id].Parent;
+  }
+  std::reverse(Trace.begin(), Trace.end());
+  return Trace;
+}
+
+/// Appends a u32 in the canonical-key format at cursor \p C, which must
+/// point into a buffer with room for it.
+void putKeyU32(char *&C, uint32_t V) {
+  std::memcpy(C, &V, sizeof(V));
+  C += sizeof(V);
+}
+
+/// Appends one value record in the canonical-key format. Heap bases are
+/// taken verbatim: values read out of a decoded canonical state already
+/// carry renumbered bases, so no renumbering pass is needed.
+void putKeyValue(char *&C, const Value &V) {
+  C[0] = static_cast<char>(V.K);
+  if (V.K == ValueKind::Ptr) {
+    C[1] = static_cast<char>(V.A.Space);
+    std::memcpy(C + 2, &V.A.Thread, sizeof(uint32_t));
+    std::memcpy(C + 6, &V.A.Base, sizeof(uint32_t));
+    std::memcpy(C + 10, &V.A.Offset, sizeof(uint32_t));
+    C += 14;
+    return;
+  }
+  uint64_t I = static_cast<uint64_t>(V.I);
+  std::memcpy(C + 1, &I, sizeof(I));
+  C += 9;
+}
+
+bool isAtomExpr(const Expr *E) {
+  switch (E->getKind()) {
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+  case ExprKind::NullLit:
+  case ExprKind::VarRef:
+  case ExprKind::FuncRef:
+    return true;
+  default:
+    return false;
+  }
+}
+
+class ThreadedEngine {
+public:
+  ThreadedEngine(const Program &P, const cfg::ProgramCFG &CFG,
+                 const SeqOptions &Opts)
+      : P(P), CFG(CFG), Opts(Opts), Store(Opts.Store) {}
+
+  CheckResult run();
+
+private:
+  void lower();
+  Op lowerNode(const cfg::Node &N) const;
+
+  /// Expands the working state W (already decoded, thread 0 live) whose id
+  /// is \p Id. Successors are interned via emit(). On an error/bound
+  /// outcome EMsg/ELoc carry the details.
+  StepResult::Kind expand(uint32_t Id, uint32_t Depth,
+                          const TraceStep &Step);
+
+  /// Interns the current working state as a successor of \p Id.
+  void emit(uint32_t Id, uint32_t Depth, const TraceStep &Step) {
+    ++R.TransitionsExplored;
+    encodeStateInto(W, Scratch);
+    record(Store.internChild(Scratch, Id), Id, Depth, Step);
+  }
+
+  /// Interns PKey — the parent's key with successor bytes already patched
+  /// in place — as a successor of \p Id. The fast path: no re-encoding.
+  void emitKey(uint32_t Id, uint32_t Depth, const TraceStep &Step) {
+    ++R.TransitionsExplored;
+    record(Store.internChild(PKey, Id), Id, Depth, Step);
+  }
+
+  void record(std::pair<uint32_t, bool> Interned, uint32_t Id,
+              uint32_t Depth, const TraceStep &Step) {
+    if (!Interned.second)
+      return;
+    assert(Interned.first == Links.size() &&
+           "ids are dense in insertion order");
+    Links.push_back(ParentLink{Id, Step});
+    Depths.push_back(Depth + 1);
+  }
+
+  //===--- In-place key patching ---===//
+  //
+  // Successors that only rewrite thread 0's PC, its AtomicDepth, or a
+  // scalar (non-pointer over non-pointer) variable differ from the parent
+  // key in a fixed-width slice whose offset Layout recorded during the
+  // pop's decode. Patching those bytes directly produces exactly the bytes
+  // encodeState would: scalar records are always 9 bytes, and a scalar
+  // overwrite cannot change heap reachability, so the renumbering and
+  // every other byte of the key are untouched. W itself stays pristine
+  // (reads for expression evaluation still see the parent state).
+
+  void patchU32(uint32_t Off, uint32_t V) {
+    std::memcpy(PKey.data() + Off, &V, sizeof(V));
+  }
+
+  void patchValue(uint32_t Off, const Value &V) {
+    assert(V.K != ValueKind::Ptr && "pointer records are wider");
+    PKey[Off] = static_cast<char>(V.K);
+    uint64_t I = static_cast<uint64_t>(V.I);
+    std::memcpy(PKey.data() + Off + 1, &I, sizeof(I));
+  }
+
+  void patchPC(uint32_t PC) { patchU32(Layout.TopPCOff, PC); }
+
+  uint32_t varOff(VarId Id) const {
+    return Id.isGlobal() ? Layout.GlobalOff[Id.Index]
+                         : Layout.TopLocalOff[Id.Index];
+  }
+
+  /// The current value of \p Id in the (unmutated) working state.
+  const Value &varIn(VarId Id) const {
+    return Id.isGlobal() ? W.Globals[Id.Index]
+                         : W.Threads[0].Frames.back().Locals[Id.Index];
+  }
+
+  /// Opt-in super-step: after a single-successor op has repositioned the
+  /// working state, keep executing chainable ops in place (no interning of
+  /// the intermediate states) before the successor is encoded.
+  void chase() {
+    Thread &T0 = W.Threads[0];
+    for (unsigned Steps = 0; Steps != SuperStepCap; ++Steps) {
+      Frame &Top = T0.Frames.back();
+      const Op &J = Ops[FuncBase[Top.Func] + Top.PC];
+      if (!J.Chain)
+        return;
+      switch (J.Code) {
+      case OpCode::Jump:
+        break;
+      case OpCode::AtomicBegin:
+        ++T0.AtomicDepth;
+        break;
+      case OpCode::AtomicEnd:
+        assert(T0.AtomicDepth > 0 && "unbalanced atomic brackets");
+        --T0.AtomicDepth;
+        break;
+      case OpCode::AssignVar: {
+        // Chainable assigns have atom RHS: evaluation cannot fail.
+        Machine M(P, W, 0);
+        Value V;
+        M.evalAtom(J.RHS, V);
+        M.writeVar(J.Dst, V);
+        break;
+      }
+      default:
+        return;
+      }
+      T0.Frames.back().PC = J.Succ0;
+    }
+  }
+
+  StepResult::Kind err(std::string Msg, const Op &I) {
+    EMsg = std::move(Msg);
+    ELoc = I.S ? I.S->getLoc() : SourceLoc();
+    return StepResult::Kind::RuntimeError;
+  }
+
+  const Program &P;
+  const cfg::ProgramCFG &CFG;
+  const SeqOptions &Opts;
+
+  std::vector<Op> Ops;           ///< Flat instruction stream.
+  std::vector<uint32_t> FuncBase; ///< Function -> offset into Ops.
+  std::vector<FuncInfo> Funcs;
+
+  StateStore Store;
+  std::vector<ParentLink> Links;
+  std::vector<uint32_t> Depths; ///< BFS layer per state id.
+  std::string Scratch;          ///< Encoding buffer, reused per intern.
+  MachineState W;               ///< The one working state, reused per pop.
+  std::string PKey;             ///< The popped key, patched per successor.
+  KeyLayout Layout;             ///< Patch offsets into PKey.
+
+  CheckResult R;
+  std::string EMsg;
+  SourceLoc ELoc;
+};
+
+void ThreadedEngine::lower() {
+  const uint32_t NF = CFG.getNumFunctions();
+  FuncBase.resize(NF);
+  Funcs.resize(NF);
+  uint32_t Total = 0;
+  for (uint32_t F = 0; F != NF; ++F) {
+    FuncBase[F] = Total;
+    Total += CFG.getFunctionCFG(F).getNumNodes();
+  }
+  Ops.resize(Total);
+  for (uint32_t F = 0; F != NF; ++F) {
+    const cfg::FunctionCFG &FC = CFG.getFunctionCFG(F);
+    const FuncDecl *FD = P.getFunction(F);
+    Funcs[F] = FuncInfo{FC.getEntry(),
+                        static_cast<uint32_t>(FD->getLocals().size()),
+                        FD->getReturnType()};
+    for (uint32_t N = 0, E = FC.getNumNodes(); N != E; ++N)
+      Ops[FuncBase[F] + N] = lowerNode(FC.getNode(N));
+  }
+}
+
+Op ThreadedEngine::lowerNode(const cfg::Node &N) const {
+  Op O;
+  O.S = N.S;
+  O.NSuccs = static_cast<uint32_t>(N.Succs.size());
+  O.Succs = N.Succs.data();
+  O.Succ0 = N.Succs.empty() ? 0 : N.Succs[0];
+
+  switch (N.Kind) {
+  case cfg::NodeKind::Nop:
+    O.Code = N.Succs.size() == 1 ? OpCode::Jump : OpCode::Branch;
+    O.Chain = N.Succs.size() == 1;
+    return O;
+
+  case cfg::NodeKind::AtomicBegin:
+    O.Code = OpCode::AtomicBegin;
+    O.Chain = true;
+    return O;
+
+  case cfg::NodeKind::AtomicEnd:
+    O.Code = OpCode::AtomicEnd;
+    O.Chain = true;
+    return O;
+
+  case cfg::NodeKind::Stmt:
+    switch (N.S->getKind()) {
+    case StmtKind::Assign: {
+      const auto *A = cast<AssignStmt>(N.S);
+      if (const auto *ND = dyn_cast<NondetExpr>(A->getRHS())) {
+        O.Dst = cast<VarRefExpr>(A->getLHS())->getVarId();
+        if (ND->isBool()) {
+          O.Code = OpCode::NondetBool;
+        } else {
+          O.Code = OpCode::NondetRange;
+          O.Lo = ND->getLo();
+          O.Hi = ND->getHi();
+        }
+        return O;
+      }
+      if (const auto *LV = dyn_cast<VarRefExpr>(A->getLHS())) {
+        O.Code = OpCode::AssignVar;
+        O.Dst = LV->getVarId();
+        O.RHS = A->getRHS();
+        O.Chain = isAtomExpr(A->getRHS());
+        // `new` is the only single-valued RHS that mutates the state
+        // (and only ever as the whole RHS — atoms cannot nest it).
+        O.NoAlloc = A->getRHS()->getKind() != ExprKind::New;
+        return O;
+      }
+      O.Code = OpCode::AssignMem;
+      O.LHS = A->getLHS();
+      O.RHS = A->getRHS();
+      return O;
+    }
+    case StmtKind::Assert:
+      O.Code = OpCode::Assert;
+      O.RHS = cast<AssertStmt>(N.S)->getCond();
+      return O;
+    case StmtKind::Assume:
+      O.Code = OpCode::Assume;
+      O.RHS = cast<AssumeStmt>(N.S)->getCond();
+      return O;
+    case StmtKind::Async:
+      O.Code = OpCode::Async;
+      return O;
+    case StmtKind::Skip:
+      O.Code = OpCode::Jump;
+      O.Chain = true;
+      return O;
+    default:
+      O.Code = OpCode::Trap;
+      return O;
+    }
+
+  case cfg::NodeKind::Call:
+    O.Code = OpCode::Call;
+    if (const auto *A = dyn_cast<AssignStmt>(N.S)) {
+      O.CallE = cast<CallExpr>(A->getRHS());
+      O.Dst = cast<VarRefExpr>(A->getLHS())->getVarId();
+    } else {
+      O.CallE = cast<CallExpr>(cast<ExprStmt>(N.S)->getExpr());
+    }
+    return O;
+
+  case cfg::NodeKind::Return:
+    O.Code = OpCode::Return;
+    O.RHS = N.S ? cast<ReturnStmt>(N.S)->getValue() : nullptr;
+    return O;
+  }
+  return O;
+}
+
+StepResult::Kind ThreadedEngine::expand(uint32_t Id, uint32_t Depth,
+                                        const TraceStep &Step) {
+  Thread &T0 = W.Threads[0];
+  const Op &I = Ops[FuncBase[T0.Frames.back().Func] + T0.Frames.back().PC];
+
+#ifdef KISS_COMPUTED_GOTO
+  static const void *const JumpTable[] = {
+      &&L_Jump,      &&L_Branch,      &&L_AtomicBegin, &&L_AtomicEnd,
+      &&L_AssignVar, &&L_AssignMem,   &&L_NondetBool,  &&L_NondetRange,
+      &&L_Assert,    &&L_Assume,      &&L_Async,       &&L_Trap,
+      &&L_Call,      &&L_Return};
+  goto *JumpTable[static_cast<unsigned>(I.Code)];
+#endif
+
+  switch (I.Code) {
+  case OpCode::Jump:
+    KISS_OP(L_Jump) {
+      if (!Opts.SuperStep) {
+        patchPC(I.Succ0);
+        emitKey(Id, Depth, Step);
+        return StepResult::Kind::Ok;
+      }
+      T0.Frames.back().PC = I.Succ0;
+      chase();
+      emit(Id, Depth, Step);
+      return StepResult::Kind::Ok;
+    }
+
+  case OpCode::Branch:
+    KISS_OP(L_Branch) {
+      // PC is the only difference between successors (branches never
+      // chase), so each one is a patch of the same four key bytes.
+      for (uint32_t K = 0; K != I.NSuccs; ++K) {
+        patchPC(I.Succs[K]);
+        emitKey(Id, Depth, Step);
+      }
+      return StepResult::Kind::Ok;
+    }
+
+  case OpCode::AtomicBegin:
+    KISS_OP(L_AtomicBegin) {
+      if (!Opts.SuperStep) {
+        patchPC(I.Succ0);
+        patchU32(Layout.AtomicOff, T0.AtomicDepth + 1);
+        emitKey(Id, Depth, Step);
+        return StepResult::Kind::Ok;
+      }
+      T0.Frames.back().PC = I.Succ0;
+      ++T0.AtomicDepth;
+      chase();
+      emit(Id, Depth, Step);
+      return StepResult::Kind::Ok;
+    }
+
+  case OpCode::AtomicEnd:
+    KISS_OP(L_AtomicEnd) {
+      assert(T0.AtomicDepth > 0 && "unbalanced atomic brackets");
+      if (!Opts.SuperStep) {
+        patchPC(I.Succ0);
+        patchU32(Layout.AtomicOff, T0.AtomicDepth - 1);
+        emitKey(Id, Depth, Step);
+        return StepResult::Kind::Ok;
+      }
+      T0.Frames.back().PC = I.Succ0;
+      --T0.AtomicDepth;
+      chase();
+      emit(Id, Depth, Step);
+      return StepResult::Kind::Ok;
+    }
+
+  case OpCode::AssignVar:
+    KISS_OP(L_AssignVar) {
+      Machine M(P, W, 0);
+      Value V;
+      if (!M.evalSingleRHS(I.RHS, V))
+        return err(std::move(M.Error), I);
+      if (!Opts.SuperStep && I.NoAlloc && V.K != ValueKind::Ptr &&
+          varIn(I.Dst).K != ValueKind::Ptr) {
+        patchValue(varOff(I.Dst), V);
+        patchPC(I.Succ0);
+        emitKey(Id, Depth, Step);
+        return StepResult::Kind::Ok;
+      }
+      M.writeVar(I.Dst, V);
+      T0.Frames.back().PC = I.Succ0;
+      if (Opts.SuperStep)
+        chase();
+      emit(Id, Depth, Step);
+      return StepResult::Kind::Ok;
+    }
+
+  case OpCode::AssignMem:
+    KISS_OP(L_AssignMem) {
+      Machine M(P, W, 0);
+      Value V;
+      MemAddr A;
+      if (!M.evalSingleRHS(I.RHS, V) || !M.evalLValueAddr(I.LHS, A) ||
+          !M.writeAddr(A, V))
+        return err(std::move(M.Error), I);
+      T0.Frames.back().PC = I.Succ0;
+      if (Opts.SuperStep)
+        chase();
+      emit(Id, Depth, Step);
+      return StepResult::Kind::Ok;
+    }
+
+  case OpCode::NondetBool:
+    KISS_OP(L_NondetBool) {
+      // False then true, matching the interpreter's successor order.
+      // Nondet never chases, so the patch path is valid in every mode.
+      if (varIn(I.Dst).K != ValueKind::Ptr) {
+        patchPC(I.Succ0);
+        const uint32_t Off = varOff(I.Dst);
+        patchValue(Off, Value::makeBool(false));
+        emitKey(Id, Depth, Step);
+        patchValue(Off, Value::makeBool(true));
+        emitKey(Id, Depth, Step);
+        return StepResult::Kind::Ok;
+      }
+      T0.Frames.back().PC = I.Succ0;
+      Machine M(P, W, 0);
+      M.writeVar(I.Dst, Value::makeBool(false));
+      emit(Id, Depth, Step);
+      M.writeVar(I.Dst, Value::makeBool(true));
+      emit(Id, Depth, Step);
+      return StepResult::Kind::Ok;
+    }
+
+  case OpCode::NondetRange:
+    KISS_OP(L_NondetRange) {
+      if (varIn(I.Dst).K != ValueKind::Ptr) {
+        patchPC(I.Succ0);
+        const uint32_t Off = varOff(I.Dst);
+        for (int64_t V = I.Lo; V <= I.Hi; ++V) {
+          patchValue(Off, Value::makeInt(V));
+          emitKey(Id, Depth, Step);
+        }
+        return StepResult::Kind::Ok;
+      }
+      T0.Frames.back().PC = I.Succ0;
+      Machine M(P, W, 0);
+      for (int64_t V = I.Lo; V <= I.Hi; ++V) {
+        M.writeVar(I.Dst, Value::makeInt(V));
+        emit(Id, Depth, Step);
+      }
+      return StepResult::Kind::Ok;
+    }
+
+  case OpCode::Assert:
+    KISS_OP(L_Assert) {
+      Machine M(P, W, 0);
+      bool Cond;
+      if (!M.evalCondition(I.RHS, Cond))
+        return err(std::move(M.Error), I);
+      if (!Cond) {
+        EMsg = "assertion failed";
+        ELoc = I.S ? I.S->getLoc() : SourceLoc();
+        return StepResult::Kind::AssertFailure;
+      }
+      if (!Opts.SuperStep) {
+        patchPC(I.Succ0);
+        emitKey(Id, Depth, Step);
+        return StepResult::Kind::Ok;
+      }
+      T0.Frames.back().PC = I.Succ0;
+      chase();
+      emit(Id, Depth, Step);
+      return StepResult::Kind::Ok;
+    }
+
+  case OpCode::Assume:
+    KISS_OP(L_Assume) {
+      Machine M(P, W, 0);
+      bool Cond;
+      if (!M.evalCondition(I.RHS, Cond))
+        return err(std::move(M.Error), I);
+      if (!Cond)
+        return StepResult::Kind::Blocked;
+      if (!Opts.SuperStep) {
+        patchPC(I.Succ0);
+        emitKey(Id, Depth, Step);
+        return StepResult::Kind::Ok;
+      }
+      T0.Frames.back().PC = I.Succ0;
+      chase();
+      emit(Id, Depth, Step);
+      return StepResult::Kind::Ok;
+    }
+
+  case OpCode::Async:
+    KISS_OP(L_Async) {
+      return err("async statement in a sequential program", I);
+    }
+
+  case OpCode::Trap:
+    KISS_OP(L_Trap) {
+      return err("unexpected statement kind in a Stmt node", I);
+    }
+
+  case OpCode::Call:
+    KISS_OP(L_Call) {
+      if (T0.Frames.size() >= Opts.MaxFrames) {
+        EMsg = "stack depth bound exceeded";
+        ELoc = I.S ? I.S->getLoc() : SourceLoc();
+        return StepResult::Kind::BoundExceeded;
+      }
+      if (!Opts.SuperStep && W.Threads.size() == 1) {
+        // Fast path: with one thread the top frame is the final record of
+        // the key, so a call is "append the callee's frame record". Arg
+        // atoms are read from the unmutated parent state, whose heap
+        // bases are already canonical; any object an arg references is
+        // referenced by an earlier record too (the atom read it from a
+        // global or caller local), so appending cannot perturb the
+        // renumbering and every earlier byte stays valid.
+        Machine M(P, W, 0);
+        uint32_t Callee;
+        if (!resolveCallee(M, I.CallE->getCallee(), P, Callee))
+          return err(std::move(M.Error), I);
+        const FuncInfo &FI = Funcs[Callee];
+        const auto &Args = I.CallE->getArgs();
+        const size_t Base = PKey.size();
+        PKey.resize(Base + 17 + 14 * size_t(FI.NumLocals));
+        char *C = PKey.data() + Base;
+        putKeyU32(C, Callee);
+        putKeyU32(C, FI.Entry);
+        *C++ = static_cast<char>(I.Dst.Scope);
+        putKeyU32(C, I.Dst.Index);
+        putKeyU32(C, FI.NumLocals);
+        for (unsigned K = 0, E = Args.size(); K != E; ++K) {
+          Value V;
+          if (!M.evalAtom(Args[K].get(), V)) {
+            PKey.resize(Base);
+            return err(std::move(M.Error), I);
+          }
+          putKeyValue(C, V);
+        }
+        for (unsigned K = Args.size(); K < FI.NumLocals; ++K)
+          putKeyValue(C, Value());
+        PKey.resize(static_cast<size_t>(C - PKey.data()));
+        patchPC(I.Succ0); // Caller resumes after the call.
+        patchU32(Layout.AtomicOff + 4,
+                 static_cast<uint32_t>(T0.Frames.size()) + 1);
+        emitKey(Id, Depth, Step);
+        return StepResult::Kind::Ok;
+      }
+      T0.Frames.back().PC = I.Succ0; // Caller resumes after the call.
+      Machine M(P, W, 0);
+      uint32_t Callee;
+      if (!resolveCallee(M, I.CallE->getCallee(), P, Callee))
+        return err(std::move(M.Error), I);
+      const FuncInfo &FI = Funcs[Callee];
+      Frame NF;
+      NF.Func = Callee;
+      NF.PC = FI.Entry;
+      NF.Locals.resize(FI.NumLocals);
+      NF.RetVar = I.Dst;
+      for (unsigned K = 0, E = I.CallE->getArgs().size(); K != E; ++K) {
+        Value V;
+        if (!M.evalAtom(I.CallE->getArgs()[K].get(), V))
+          return err(std::move(M.Error), I);
+        NF.Locals[K] = V;
+      }
+      T0.Frames.push_back(std::move(NF));
+      if (Opts.SuperStep)
+        chase();
+      emit(Id, Depth, Step);
+      return StepResult::Kind::Ok;
+    }
+
+  case OpCode::Return:
+    KISS_OP(L_Return) {
+      Machine M(P, W, 0);
+      Value Ret = defaultValue(Funcs[T0.Frames.back().Func].RetTy);
+      if (I.RHS && !M.evalAtom(I.RHS, Ret))
+        return err(std::move(M.Error), I);
+      VarId RetVar = T0.Frames.back().RetVar;
+      if (!Opts.SuperStep && W.Threads.size() == 1) {
+        // Fast path: truncate the top frame record off the key. Valid only
+        // when the popped locals hold no heap pointers — the popped frame
+        // is the last reachability root, so dropping it can only orphan
+        // (and so renumber away) objects those locals pointed at — and
+        // when the return value lands as a scalar over a scalar (or not
+        // at all), keeping the caller-slot patch width-preserving.
+        const Frame &Pop = T0.Frames.back();
+        bool HeapRefs = false;
+        for (const Value &V : Pop.Locals)
+          if (V.K == ValueKind::Ptr && V.A.Space == AddrSpace::Heap) {
+            HeapRefs = true;
+            break;
+          }
+        const size_t NFrames = T0.Frames.size();
+        const bool Writes = NFrames > 1 && RetVar.isResolved();
+        bool WriteOk = true;
+        if (Writes) {
+          const Value &Slot = RetVar.isGlobal()
+                                  ? W.Globals[RetVar.Index]
+                                  : T0.Frames[NFrames - 2].Locals[RetVar.Index];
+          WriteOk = Ret.K != ValueKind::Ptr && Slot.K != ValueKind::Ptr;
+        }
+        if (!HeapRefs && WriteOk) {
+          PKey.resize(Layout.TopPCOff - 4); // Func field starts the record.
+          patchU32(Layout.AtomicOff + 4, static_cast<uint32_t>(NFrames) - 1);
+          if (Writes)
+            patchValue(RetVar.isGlobal() ? Layout.GlobalOff[RetVar.Index]
+                                         : Layout.PrevLocalOff[RetVar.Index],
+                       Ret);
+          emitKey(Id, Depth, Step);
+          return StepResult::Kind::Ok;
+        }
+      }
+      T0.Frames.pop_back();
+      if (!T0.Frames.empty() && RetVar.isResolved())
+        M.writeVar(RetVar, Ret); // Acts on the caller's top frame.
+      if (Opts.SuperStep && !T0.Frames.empty())
+        chase();
+      emit(Id, Depth, Step);
+      return StepResult::Kind::Ok;
+    }
+  }
+  return err("unknown CFG node kind", Ops[0]);
+}
+
+CheckResult ThreadedEngine::run() {
+  const FuncDecl *Entry = P.getEntryFunction();
+  if (!Entry || Entry->getNumParams() != 0) {
+    R.Outcome = CheckOutcome::RuntimeError;
+    R.Message = "program has no parameterless entry function";
+    return R;
+  }
+  uint32_t EntryIdx = P.getFunctionIndex(P.getEntryName());
+
+  lower();
+
+  uint64_t FrontierPeak = 1;
+  uint64_t DepthMax = 0;
+  auto finish = [&](CheckResult &R) {
+    R.StatesExplored = Store.size();
+    const StateStore::IndexStats &IS = Store.indexStats();
+    R.Exploration.DedupHits = IS.Hits;
+    R.Exploration.HashProbes = IS.Probes;
+    R.Exploration.KeyVerifies = IS.Verifies;
+    R.Exploration.HashCollisions = IS.Collisions;
+    R.Exploration.ArenaBytes = Store.arenaBytes();
+    R.Exploration.IndexBytes = Store.indexBytes();
+    R.Exploration.FrontierPeak = FrontierPeak;
+    R.Exploration.DepthMax = DepthMax;
+  };
+
+  {
+    MachineState Init = makeInitialState(P, CFG, EntryIdx);
+    encodeStateInto(Init, Scratch);
+    Store.intern(Scratch);
+    Links.push_back(ParentLink{});
+    Depths.push_back(0);
+  }
+
+  gov::Governor Gov(Opts.Budget);
+
+  // The BFS queue is implicit: ids are assigned in first-seen order and
+  // expanded in id order, which is exactly the interpreter's FIFO order.
+  for (uint32_t Cursor = 0; Cursor < Store.size(); ++Cursor) {
+    if (Store.size() > Opts.MaxStates) {
+      R.Outcome = CheckOutcome::BoundExceeded;
+      R.Bound = gov::BoundReason::States;
+      R.Message = "state budget of " + std::to_string(Opts.MaxStates) +
+                  " states exceeded";
+      finish(R);
+      return R;
+    }
+    if (Gov.shouldStop(Store.memoryBytes())) {
+      R.Outcome = CheckOutcome::BoundExceeded;
+      R.Bound = Gov.reason();
+      R.Message = Gov.message();
+      finish(R);
+      return R;
+    }
+    if (Opts.Progress)
+      Opts.Progress->tick(Store.size(), Store.size() - Cursor);
+
+    // Copy the popped key into the patch buffer: successor interns may
+    // grow the arena (or, in delta mode, reuse the materialization
+    // scratch), so the KeyRef view cannot outlive them.
+    {
+      StateStore::KeyRef K = Store.key(Cursor);
+      PKey.assign(K.data(), K.size());
+    }
+    decodeStateInto(PKey, W, Layout);
+    uint32_t Depth = Depths[Cursor];
+    if (Depth > DepthMax)
+      DepthMax = Depth;
+
+    if (W.Threads[0].Frames.empty())
+      continue; // Accepting leaf: the program ran to completion.
+
+    const Frame &Top = W.Threads[0].Frames.back();
+    TraceStep Step{0, Top.Func, Top.PC};
+
+    switch (expand(Cursor, Depth, Step)) {
+    case StepResult::Kind::Blocked:
+      continue;
+
+    case StepResult::Kind::AssertFailure:
+      R.Outcome = CheckOutcome::AssertionFailure;
+      R.Message = std::move(EMsg);
+      R.ErrorLoc = ELoc;
+      R.Trace = rebuildTrace(Links, Cursor, Step);
+      finish(R);
+      return R;
+
+    case StepResult::Kind::RuntimeError:
+      R.Outcome = CheckOutcome::RuntimeError;
+      R.Message = std::move(EMsg);
+      R.ErrorLoc = ELoc;
+      R.Trace = rebuildTrace(Links, Cursor, Step);
+      finish(R);
+      return R;
+
+    case StepResult::Kind::BoundExceeded:
+      R.Outcome = CheckOutcome::BoundExceeded;
+      R.Bound = gov::BoundReason::States; // Frame/thread analysis bound.
+      R.Message = std::move(EMsg);
+      R.ErrorLoc = ELoc;
+      finish(R);
+      return R;
+
+    case StepResult::Kind::Ok:
+      if (Store.size() - (Cursor + 1) > FrontierPeak)
+        FrontierPeak = Store.size() - (Cursor + 1);
+      break;
+    }
+  }
+
+  R.Outcome = CheckOutcome::Safe;
+  finish(R);
+  return R;
+}
+
+} // namespace
+
+CheckResult exec::checkProgramThreaded(const Program &P,
+                                       const cfg::ProgramCFG &CFG,
+                                       const SeqOptions &Opts) {
+  return ThreadedEngine(P, CFG, Opts).run();
+}

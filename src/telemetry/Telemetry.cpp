@@ -221,6 +221,10 @@ std::string telemetry::renderReport(const RunRecorder &R,
     appendU64(Out, C.FrontierPeak);
     Out += ", \"depth_max\": ";
     appendU64(Out, C.DepthMax);
+    Out += ", \"exec_engine\": \"";
+    Out += escapeJson(C.ExecEngine);
+    Out += "\", \"states_per_sec\": ";
+    appendU64(Out, Opts.ZeroTimings ? 0 : C.StatesPerSec);
     Out += ", \"bound_reason\": \"";
     Out += escapeJson(C.BoundReason);
     Out += "\"}";

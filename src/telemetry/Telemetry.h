@@ -9,7 +9,7 @@
 /// nested phase spans (parse -> sema -> lower -> transform -> alias -> cfg
 /// -> check), named monotonic counters, and per-check exploration records,
 /// and renders them as a versioned machine-readable JSON report
-/// (schema_version 2; see docs/observability.md for the schema reference).
+/// (schema_version 3; see docs/observability.md for the schema reference).
 ///
 /// Conventions:
 ///  * Phase spans nest; a nested span's reported name is its full
@@ -64,6 +64,14 @@ struct CheckRecord {
   uint64_t IndexBytes = 0;
   uint64_t FrontierPeak = 0;
   uint64_t DepthMax = 0;
+  /// Which execution engine produced the record (an rt::ExecEngine name,
+  /// "interp" or "threaded"; "none" for checks with no engine notion,
+  /// e.g. pure-transform phases).
+  std::string ExecEngine = "none";
+  /// End-to-end exploration throughput, distinct states per second of
+  /// wall time (rounded down). Zeroed by ReportOptions::ZeroTimings like
+  /// every other timing-derived field.
+  uint64_t StatesPerSec = 0;
   /// Why the check stopped short ("none" when it completed); a
   /// gov::BoundReason name.
   std::string BoundReason = "none";
@@ -169,7 +177,10 @@ bool writeReport(const RunRecorder &R, const std::string &Path,
 ///  * 2 — adds the top-level "interrupted" bool and the per-check
 ///    "index_bytes" and "bound_reason" fields (see docs/robustness.md for
 ///    the migration note; tools/bench_diff.py accepts both versions).
-inline constexpr int ReportSchemaVersion = 2;
+///  * 3 — adds the per-check "exec_engine" and "states_per_sec" fields
+///    (the dual-execution-engine release; tools/bench_diff.py accepts
+///    versions 1 through 3).
+inline constexpr int ReportSchemaVersion = 3;
 
 /// Rate-limited progress printer for long explorations: call tick() from
 /// the hot loop; roughly every IntervalSec seconds it prints one heartbeat

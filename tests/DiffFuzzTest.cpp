@@ -267,7 +267,8 @@ TEST(DiffFuzzTest, ReproRejectsMalformedHeaders) {
 TEST(DiffFuzzTest, VerdictNamesRoundTrip) {
   for (auto V : {OracleVerdict::Agree, OracleVerdict::SoundnessBug,
                  OracleVerdict::TraceBug, OracleVerdict::CompletenessBug,
-                 OracleVerdict::Discard, OracleVerdict::Inconclusive}) {
+                 OracleVerdict::ExecDivergence, OracleVerdict::Discard,
+                 OracleVerdict::Inconclusive}) {
     OracleVerdict Back;
     ASSERT_TRUE(parseOracleVerdict(getOracleVerdictName(V), Back));
     EXPECT_EQ(Back, V);
@@ -288,7 +289,7 @@ TEST(DiffFuzzTest, CampaignIsInvariantAcrossJobs) {
   Opts.Common.Jobs = 4;
   FuzzSummary B = runCampaign(Opts);
   EXPECT_EQ(A.CasesRun, B.CasesRun);
-  for (int I = 0; I != 6; ++I)
+  for (int I = 0; I != 7; ++I)
     EXPECT_EQ(A.Counts[I], B.Counts[I]);
   ASSERT_EQ(A.Findings.size(), B.Findings.size());
   for (size_t I = 0; I != A.Findings.size(); ++I) {

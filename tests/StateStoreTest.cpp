@@ -47,8 +47,8 @@ TEST(StateStoreTest, InternAssignsDenseIdsAndDedups) {
   EXPECT_EQ(A2, A);
   EXPECT_FALSE(A2Ins);
   EXPECT_EQ(Store.size(), 2u);
-  EXPECT_EQ(Store.key(A), "alpha");
-  EXPECT_EQ(Store.key(B), "beta");
+  EXPECT_EQ(Store.key(A).view(), "alpha");
+  EXPECT_EQ(Store.key(B).view(), "beta");
 }
 
 TEST(StateStoreTest, ForcedHashCollisionKeepsStatesDistinct) {
@@ -67,8 +67,8 @@ TEST(StateStoreTest, ForcedHashCollisionKeepsStatesDistinct) {
             (std::pair<uint32_t, bool>{A, false}));
   EXPECT_EQ(Store.intern("second-state", Hash),
             (std::pair<uint32_t, bool>{B, false}));
-  EXPECT_EQ(Store.key(A), "first-state");
-  EXPECT_EQ(Store.key(B), "second-state");
+  EXPECT_EQ(Store.key(A).view(), "first-state");
+  EXPECT_EQ(Store.key(B).view(), "second-state");
 }
 
 TEST(StateStoreTest, SurvivesRehashing) {
@@ -86,7 +86,115 @@ TEST(StateStoreTest, SurvivesRehashing) {
     EXPECT_EQ(Id, I);
     EXPECT_FALSE(Inserted);
   }
-  EXPECT_EQ(Store.key(4321), "key-4321");
+  EXPECT_EQ(Store.key(4321).view(), "key-4321");
+}
+
+//===----------------------------------------------------------------------===//
+// KeyRef lifetime checking
+//===----------------------------------------------------------------------===//
+
+TEST(StateStoreTest, GenerationAdvancesOnEveryIntern) {
+  StateStore Store;
+  uint64_t G0 = Store.generation();
+  Store.intern("one");
+  uint64_t G1 = Store.generation();
+  EXPECT_GT(G1, G0);
+  // Even a dedup hit invalidates outstanding views (the probe may have
+  // touched reconstruction scratch), so the counter still moves.
+  Store.intern("one");
+  EXPECT_GT(Store.generation(), G1);
+}
+
+TEST(StateStoreTest, FreshKeyRefReadsAreValid) {
+  StateStore Store(rt::StoreMode::Delta);
+  auto [A, AIns] = Store.intern("a-root-key-0123456789");
+  auto [B, BIns] = Store.internChild("a-root-key-0123456789!", A);
+  ASSERT_TRUE(AIns && BIns);
+  EXPECT_EQ(Store.key(B).view(), "a-root-key-0123456789!");
+  EXPECT_EQ(Store.key(A).view(), "a-root-key-0123456789");
+}
+
+#ifndef NDEBUG
+TEST(StateStoreDeathTest, StaleKeyRefTrapsAfterIntern) {
+  // The seed's key() returned a raw string_view into the arena, which the
+  // next intern() could reallocate — a silent use-after-free. KeyRef
+  // carries the store generation in debug builds and traps instead.
+  StateStore Store;
+  Store.intern("alpha");
+  StateStore::KeyRef Ref = Store.key(0);
+  Store.intern("beta"); // May reallocate the arena: Ref is now stale.
+  EXPECT_DEATH((void)Ref.view(), "stale StateStore::key\\(\\) view");
+}
+
+TEST(StateStoreDeathTest, StaleKeyRefTrapsAfterDeltaRematerialize) {
+  // In delta mode two key() calls share one reconstruction buffer, so the
+  // second call invalidates the first ref even without an intern.
+  StateStore Store(rt::StoreMode::Delta);
+  auto [A, AIns] = Store.intern("the-parent-key-aaaaaaaaaaaaaaaa");
+  auto [B, BIns] = Store.internChild("the-parent-key-aaaaaaaaaaaaaaab", A);
+  ASSERT_TRUE(AIns && BIns);
+  StateStore::KeyRef RefB = Store.key(B);
+  (void)Store.key(A);
+  EXPECT_DEATH((void)RefB.view(), "stale StateStore::key\\(\\) view");
+}
+#endif // !NDEBUG
+
+//===----------------------------------------------------------------------===//
+// Delta storage mode
+//===----------------------------------------------------------------------===//
+
+/// Builds a synthetic BFS-like workload: chains of keys where each child
+/// differs from its parent in a few bytes, as successor states do.
+TEST(StateStoreTest, DeltaModeRoundTripsEveryKey) {
+  StateStore Flat(rt::StoreMode::Flat);
+  StateStore Delta(rt::StoreMode::Delta);
+  std::vector<std::string> Keys;
+
+  std::string Base(200, 'x');
+  uint32_t Parent = StateStore::InvalidId;
+  for (unsigned I = 0; I != 600; ++I) {
+    std::string K = Base;
+    // Mutate a couple of positions per generation, plus occasionally
+    // grow/shrink so the unequal-length splice path runs too.
+    K[(I * 7) % K.size()] = static_cast<char>('a' + (I % 26));
+    K[(I * 31) % K.size()] = static_cast<char>('0' + (I % 10));
+    if (I % 97 == 0)
+      K += "grown-tail";
+    auto [FId, FIns] = Flat.internChild(K, Parent);
+    auto [DId, DIns] = Delta.internChild(K, Parent);
+    EXPECT_EQ(FId, DId);
+    EXPECT_EQ(FIns, DIns);
+    if (FIns) {
+      Keys.push_back(K);
+      Parent = FId;
+      Base = K;
+    }
+  }
+
+  ASSERT_EQ(Flat.size(), Delta.size());
+  ASSERT_EQ(Keys.size(), Delta.size());
+  for (uint32_t Id = 0; Id != Delta.size(); ++Id) {
+    EXPECT_EQ(Delta.key(Id).view(), Keys[Id]) << "id " << Id;
+    EXPECT_EQ(Flat.key(Id).view(), Keys[Id]) << "id " << Id;
+  }
+  // The point of the mode: near-identical chained keys compress hard.
+  EXPECT_LT(Delta.arenaBytes() * 2, Flat.arenaBytes());
+  // Dedup behavior is mode-independent.
+  EXPECT_EQ(Delta.indexStats().Hits, Flat.indexStats().Hits);
+}
+
+TEST(StateStoreTest, DeltaModeDedupsReinternedKeys) {
+  StateStore Store(rt::StoreMode::Delta);
+  std::string A(100, 'a'), B = A;
+  B[50] = 'b';
+  auto [AId, AIns] = Store.intern(A);
+  auto [BId, BIns] = Store.internChild(B, AId);
+  EXPECT_TRUE(AIns && BIns);
+  // Re-interning either key — with or without a parent — must hit.
+  EXPECT_EQ(Store.intern(A), (std::pair<uint32_t, bool>{AId, false}));
+  EXPECT_EQ(Store.internChild(B, AId), (std::pair<uint32_t, bool>{BId, false}));
+  EXPECT_EQ(Store.internChild(B, BId), (std::pair<uint32_t, bool>{BId, false}));
+  EXPECT_EQ(Store.size(), 2u);
 }
 
 //===----------------------------------------------------------------------===//

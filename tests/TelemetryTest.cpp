@@ -96,7 +96,7 @@ TEST(TelemetryTest, CountersAccumulateAndRenderSorted) {
 TEST(TelemetryTest, EmptyRecorderRendersTheBareEnvelope) {
   RunRecorder Rec;
   EXPECT_EQ(renderReport(Rec), "{\n"
-                               "  \"schema_version\": 2,\n"
+                               "  \"schema_version\": 3,\n"
                                "  \"kind\": \"kiss-telemetry-report\",\n"
                                "  \"interrupted\": false,\n"
                                "  \"meta\": {},\n"
@@ -196,6 +196,7 @@ std::string checkedReport() {
   C.IndexBytes = R.Sequential.Exploration.IndexBytes;
   C.FrontierPeak = R.Sequential.Exploration.FrontierPeak;
   C.DepthMax = R.Sequential.Exploration.DepthMax;
+  C.ExecEngine = rt::getExecEngineName(Opts.Seq.Exec);
   C.BoundReason = gov::getBoundReasonName(R.boundReason());
   Rec.addCheck(std::move(C));
 
@@ -210,7 +211,7 @@ std::string checkedReport() {
 /// actual value.
 const char *const GOLDEN_REPORT =
     "{\n"
-    "  \"schema_version\": 2,\n"
+    "  \"schema_version\": 3,\n"
     "  \"kind\": \"kiss-telemetry-report\",\n"
     "  \"interrupted\": false,\n"
     "  \"meta\": {\"input\": \"golden.kiss\"},\n"
@@ -231,8 +232,9 @@ const char *const GOLDEN_REPORT =
     "  \"checks\": [\n"
     "    {\"name\": \"golden.kiss\", \"outcome\": \"no error found\", "
     "\"wall_ms\": 0.000, \"states\": 344, \"transitions\": 358, "
-    "\"dedup_hits\": 15, \"arena_bytes\": 38999, \"index_bytes\": 21888, "
+    "\"dedup_hits\": 15, \"arena_bytes\": 38999, \"index_bytes\": 73792, "
     "\"frontier_peak\": 18, \"depth_max\": 63, "
+    "\"exec_engine\": \"threaded\", \"states_per_sec\": 0, "
     "\"bound_reason\": \"none\"}\n"
     "  ]\n"
     "}\n";

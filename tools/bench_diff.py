@@ -11,13 +11,18 @@ scalability) all emit the same envelope through telemetry::writeReport:
                  "index_bytes", ..., "bound_reason"}, ...]}
 
 Schema v2 (see docs/robustness.md) adds a top-level "interrupted" bool and
-per-check "index_bytes" / "bound_reason". This script accepts both v1 and
-v2 reports so committed v1 baselines keep working: the v2-only fields are
-optional during validation and only compared when present on both sides.
+per-check "index_bytes" / "bound_reason". Schema v3 adds per-check
+"exec_engine" (which execution engine produced the record) and
+"states_per_sec" (explorer throughput). This script accepts v1 through v3
+so committed older baselines keep working: newer-only fields are optional
+during validation and only compared when present on both sides.
+"states_per_sec" is timing-derived and is never diffed against a baseline;
+it is gated through --check-floor / --check-speed-ratio instead.
 
 Usage:
     bench_diff.py BASELINE.json CURRENT.json [--threshold=0.20] [--counts-only]
     bench_diff.py --validate REPORT.json
+    bench_diff.py --gate REPORT.json [GATE]...
     bench_diff.py --selftest
 
 Default mode diffs both wall-clock phase timings and the deterministic
@@ -29,13 +34,25 @@ guard uses this mode. --validate checks a single report against the
 envelope expected by this script (used to gate kisscheck --report output).
 --selftest exercises the comparison logic on built-in fixtures.
 
-Exit codes: 0 ok, 1 regression/validation failure, 2 usage/IO error.
+--gate evaluates absolute/relative assertions against ONE report's checks
+(matched by check name, which must not contain ':'):
+
+    --check-floor 'NAME:MIN'         states_per_sec of NAME >= MIN
+    --check-speed-ratio 'A:B:MIN'    states_per_sec(A) >= MIN * states_per_sec(B)
+    --check-arena-ratio 'A:B:MAX'    arena_bytes(A) <= MAX * arena_bytes(B)
+    --check-states-equal 'A:B'       states(A) == states(B)
+
+Ratio gates compare two checks of the same run, so they self-normalize
+machine-speed drift; the floor gate is an absolute tripwire and should be
+set with generous margin for shared hardware.
+
+Exit codes: 0 ok, 1 regression/validation/gate failure, 2 usage/IO error.
 """
 
 import json
 import sys
 
-SCHEMA_VERSIONS = (1, 2)
+SCHEMA_VERSIONS = (1, 2, 3)
 KIND = "kiss-telemetry-report"
 
 # Deterministic per-check fields: identical across runs and --jobs settings
@@ -46,6 +63,12 @@ COUNT_FIELDS = ("states", "transitions", "dedup_hits", "arena_bytes",
 # Added in schema v2; optional so v1 baselines still validate. Counts among
 # them are compared only when both reports carry them.
 V2_COUNT_FIELDS = ("index_bytes",)
+
+# Added in schema v3. "states_per_sec" is validated as an int but excluded
+# from the count diff: it is wall-clock-derived and noisy on shared
+# machines. "exec_engine" is compared as an identity (a silent engine swap
+# on a named check is a behavior change, not noise).
+V3_INT_FIELDS = ("states_per_sec",)
 
 
 def fail_usage(msg):
@@ -100,12 +123,13 @@ def validate(report, where="report"):
         for field in COUNT_FIELDS:
             if not isinstance(c.get(field), int):
                 problems.append("%s: checks[%d] bad field %r" % (where, i, field))
-        for field in V2_COUNT_FIELDS:
+        for field in V2_COUNT_FIELDS + V3_INT_FIELDS:
             if field in c and not isinstance(c[field], int):
                 problems.append("%s: checks[%d] bad field %r" % (where, i, field))
-        if "bound_reason" in c and not isinstance(c["bound_reason"], str):
-            problems.append("%s: checks[%d] bad field 'bound_reason'"
-                            % (where, i))
+        for field in ("bound_reason", "exec_engine"):
+            if field in c and not isinstance(c[field], str):
+                problems.append("%s: checks[%d] bad field %r"
+                                % (where, i, field))
     return problems
 
 
@@ -142,6 +166,10 @@ def compare(base, cur, threshold, counts_only):
                 b["bound_reason"] != c["bound_reason"]:
             regressions.append("check %s: bound_reason %s -> %s"
                                % (name, b["bound_reason"], c["bound_reason"]))
+        if "exec_engine" in b and "exec_engine" in c and \
+                b["exec_engine"] != c["exec_engine"]:
+            regressions.append("check %s: exec_engine %s -> %s"
+                               % (name, b["exec_engine"], c["exec_engine"]))
         for field in COUNT_FIELDS + V2_COUNT_FIELDS:
             if field in b and field in c and \
                     ratio_regressed(b[field], c[field], threshold):
@@ -172,6 +200,64 @@ def compare(base, cur, threshold, counts_only):
     return regressions, notes
 
 
+def split_gate(spec, nparts, flag):
+    """Splits 'A:B[:N]' on ':'; check names must not contain ':'."""
+    parts = spec.split(":")
+    if len(parts) != nparts:
+        fail_usage("%s expects %d ':'-separated parts, got %r"
+                   % (flag, nparts, spec))
+    return parts
+
+
+def run_gates(report, gates):
+    """Evaluates (kind, spec) gates against one report's checks. Returns a
+    list of human-readable failures (empty if every gate holds)."""
+    checks = {c["name"]: c for c in report.get("checks", [])}
+    failures = []
+
+    def get(name, field, flag):
+        if name not in checks:
+            failures.append("%s: no check named %r in report" % (flag, name))
+            return None
+        if field not in checks[name]:
+            failures.append("%s: check %r has no %r field"
+                            % (flag, name, field))
+            return None
+        return checks[name][field]
+
+    for kind, spec in gates:
+        if kind == "floor":
+            name, floor = split_gate(spec, 2, "--check-floor")
+            got = get(name, "states_per_sec", "--check-floor")
+            if got is not None and got < float(floor):
+                failures.append("--check-floor %s: states_per_sec %d < %s"
+                                % (name, got, floor))
+        elif kind == "speed-ratio":
+            a, b, ratio = split_gate(spec, 3, "--check-speed-ratio")
+            va = get(a, "states_per_sec", "--check-speed-ratio")
+            vb = get(b, "states_per_sec", "--check-speed-ratio")
+            if va is not None and vb is not None and va < float(ratio) * vb:
+                failures.append(
+                    "--check-speed-ratio %s vs %s: %d < %s * %d"
+                    % (a, b, va, ratio, vb))
+        elif kind == "arena-ratio":
+            a, b, ratio = split_gate(spec, 3, "--check-arena-ratio")
+            va = get(a, "arena_bytes", "--check-arena-ratio")
+            vb = get(b, "arena_bytes", "--check-arena-ratio")
+            if va is not None and vb is not None and va > float(ratio) * vb:
+                failures.append(
+                    "--check-arena-ratio %s vs %s: %d > %s * %d"
+                    % (a, b, va, ratio, vb))
+        elif kind == "states-equal":
+            a, b = split_gate(spec, 2, "--check-states-equal")
+            va = get(a, "states", "--check-states-equal")
+            vb = get(b, "states", "--check-states-equal")
+            if va is not None and vb is not None and va != vb:
+                failures.append("--check-states-equal %s vs %s: %d != %d"
+                                % (a, b, va, vb))
+    return failures
+
+
 def selftest():
     def report(states, wall, counters=None, version=1):
         r = {
@@ -187,6 +273,9 @@ def selftest():
             r["interrupted"] = False
             r["checks"][0]["index_bytes"] = 32
             r["checks"][0]["bound_reason"] = "none"
+        if version >= 3:
+            r["checks"][0]["exec_engine"] = "threaded"
+            r["checks"][0]["states_per_sec"] = 1000000
         return r
 
     base = report(1000, 10.0)
@@ -213,13 +302,13 @@ def selftest():
             ok = False
             sys.stderr.write("selftest case %d: expected %s, got %s (%s)\n"
                              % (i, expect, got, regs))
-    for version in (1, 2):
+    for version in (1, 2, 3):
         probs = validate(report(1, 1.0, version=version))
         if probs:
             ok = False
             sys.stderr.write("selftest: valid v%d report rejected: %s\n"
                              % (version, probs))
-    if not validate({"schema_version": 3}):
+    if not validate({"schema_version": 4}):
         ok = False
         sys.stderr.write("selftest: invalid report accepted\n")
     # v2-vs-v2 with a bound_reason flip must flag.
@@ -229,6 +318,43 @@ def selftest():
     if not regs:
         ok = False
         sys.stderr.write("selftest: bound_reason change not flagged\n")
+    # v3: a silent engine swap flags; a throughput swing does not (it is
+    # gated, not diffed).
+    b3, c3 = report(1000, 10.0, version=3), report(1000, 10.0, version=3)
+    c3["checks"][0]["exec_engine"] = "interp"
+    regs, _ = compare(b3, c3, 0.20, True)
+    if not regs:
+        ok = False
+        sys.stderr.write("selftest: exec_engine change not flagged\n")
+    c3 = report(1000, 10.0, version=3)
+    c3["checks"][0]["states_per_sec"] = 10
+    regs, _ = compare(b3, c3, 0.20, True)
+    if regs:
+        ok = False
+        sys.stderr.write("selftest: states_per_sec diffed as a count: %s\n"
+                         % regs)
+    # Gates: floor, same-run ratios, and state-count equality.
+    g = report(1000, 10.0, version=3)
+    g["checks"].append(dict(g["checks"][0], name="c [interp]",
+                            exec_engine="interp", states_per_sec=400000))
+    g["checks"].append(dict(g["checks"][0], name="c [delta]",
+                            arena_bytes=24, states_per_sec=900000))
+    gate_cases = [
+        ([("floor", "c:500000")], False),
+        ([("floor", "c:2000000")], True),
+        ([("floor", "missing:1")], True),
+        ([("speed-ratio", "c:c [interp]:2.0")], False),
+        ([("speed-ratio", "c:c [interp]:3.0")], True),
+        ([("arena-ratio", "c [delta]:c:0.5")], False),
+        ([("arena-ratio", "c [delta]:c:0.25")], True),
+        ([("states-equal", "c [delta]:c")], False),
+    ]
+    for i, (gates, expect_fail) in enumerate(gate_cases):
+        fails = run_gates(g, gates)
+        if bool(fails) != expect_fail:
+            ok = False
+            sys.stderr.write("selftest gate case %d: expected %s, got %s\n"
+                             % (i, expect_fail, fails))
     print("selftest %s" % ("PASSED" if ok else "FAILED"))
     return 0 if ok else 1
 
@@ -247,6 +373,39 @@ def main(argv):
             print("%s: valid %s (schema v%r)"
                   % (argv[1], KIND, load(argv[1]).get("schema_version")))
         return 1 if problems else 0
+
+    if argv and argv[0] == "--gate":
+        if len(argv) < 2:
+            fail_usage("--gate needs a report and at least one check")
+        report = load(argv[1])
+        problems = validate(report, argv[1])
+        if problems:
+            for p in problems:
+                sys.stderr.write("bench_diff: %s\n" % p)
+            return 1
+        gates = []
+        rest = argv[2:]
+        flags = {"--check-floor": "floor",
+                 "--check-speed-ratio": "speed-ratio",
+                 "--check-arena-ratio": "arena-ratio",
+                 "--check-states-equal": "states-equal"}
+        i = 0
+        while i < len(rest):
+            if rest[i] in flags:
+                if i + 1 == len(rest):
+                    fail_usage("%s needs an argument" % rest[i])
+                gates.append((flags[rest[i]], rest[i + 1]))
+                i += 2
+            else:
+                fail_usage("unknown gate flag %r" % rest[i])
+        if not gates:
+            fail_usage("--gate needs at least one check")
+        failures = run_gates(report, gates)
+        for f in failures:
+            print("GATE FAILED: %s" % f)
+        if not failures:
+            print("ok: %d gate(s) hold" % len(gates))
+        return 1 if failures else 0
 
     threshold = 0.20
     counts_only = False

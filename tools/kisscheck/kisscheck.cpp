@@ -76,6 +76,9 @@ struct CliOptions {
   bool DumpTranslation = false;
   bool DumpCfg = false;
   bool UseConcEngine = false;
+  rt::ExecEngine Exec = rt::ExecEngine::Threaded;
+  rt::StoreMode StoreM = rt::StoreMode::Flat;
+  bool SuperStep = false;
   bool ShowStats = false;
   bool Demo = false;
   unsigned Jobs = 1;
@@ -148,12 +151,37 @@ cli::ArgParser makeParser(CliOptions &Opts) {
              }
              return true;
            });
+  P.custom("exec", "<interp|threaded>",
+           "sequential execution engine: threaded (default) = flat\n"
+           "pre-lowered instruction stream; interp = the reference\n"
+           "CFG-walking interpreter (identical results, slower)",
+           [&Opts](const std::string &V, std::string &E) {
+             if (!rt::parseExecEngine(V, Opts.Exec)) {
+               E = "--exec needs interp or threaded";
+               return false;
+             }
+             return true;
+           });
+  P.custom("store", "<flat|delta>",
+           "visited-set storage: flat (default) = full encodings;\n"
+           "delta = parent diffs with keyframes (smaller arena,\n"
+           "identical verdicts and counts)",
+           [&Opts](const std::string &V, std::string &E) {
+             if (!rt::parseStoreMode(V, Opts.StoreM)) {
+               E = "--store needs flat or delta";
+               return false;
+             }
+             return true;
+           });
+  P.flag("super-step", Opts.SuperStep,
+         "coarsen straight-line runs into super-steps (threaded\n"
+         "engine only; preserves verdicts but changes state counts)");
   P.flag("dump-translation", Opts.DumpTranslation,
          "print the sequential program");
   P.flag("dump-cfg", Opts.DumpCfg, "print the CFGs in dot syntax");
   P.flag("report", Opts.ReportPath, "<path>",
          "write a machine-readable JSON run report\n"
-         "(schema_version 1: phase spans, counters, per-check\n"
+         "(schema_version 3: phase spans, counters, per-check\n"
          "exploration records; see docs/observability.md)");
   P.flag("zero-timings", Opts.ZeroTimings,
          "zero wall_ms fields of the --report (byte-identical\n"
@@ -219,6 +247,9 @@ CheckConfig makeConfig(const CliOptions &Opts, telemetry::RunRecorder *Rec,
   Cfg.MaxSwitches = Opts.MaxSwitches;
   Cfg.UseAliasAnalysis = Opts.UseAlias;
   Cfg.MaxStates = Opts.MaxStates;
+  Cfg.Exec = Opts.Exec;
+  Cfg.Store = Opts.StoreM;
+  Cfg.SuperStep = Opts.SuperStep;
   Cfg.Common.Budget = makeBudget(Opts);
   Cfg.Common.Recorder = Rec;
   Cfg.Common.Jobs = Opts.Jobs;
@@ -226,10 +257,13 @@ CheckConfig makeConfig(const CliOptions &Opts, telemetry::RunRecorder *Rec,
   return Cfg;
 }
 
-/// Converts an exploration result to a report check record.
+/// Converts an exploration result to a report check record. \p ExecEngine
+/// is the engine label for the record ("interp"/"threaded" for sequential
+/// explorations, "interp" for the conc engine's step interpreter).
 telemetry::CheckRecord makeCheckRecord(std::string Name, std::string Outcome,
                                        const rt::CheckResult &R,
-                                       double WallMs) {
+                                       double WallMs,
+                                       std::string ExecEngine) {
   telemetry::CheckRecord C;
   C.Name = std::move(Name);
   C.Outcome = std::move(Outcome);
@@ -241,6 +275,11 @@ telemetry::CheckRecord makeCheckRecord(std::string Name, std::string Outcome,
   C.IndexBytes = R.Exploration.IndexBytes;
   C.FrontierPeak = R.Exploration.FrontierPeak;
   C.DepthMax = R.Exploration.DepthMax;
+  C.ExecEngine = std::move(ExecEngine);
+  C.StatesPerSec =
+      WallMs > 0 ? static_cast<uint64_t>(
+                       static_cast<double>(R.StatesExplored) * 1000.0 / WallMs)
+                 : 0;
   C.BoundReason = gov::getBoundReasonName(R.Bound);
   return C;
 }
@@ -349,7 +388,8 @@ int runRaceAll(Session &S, const lang::Program &P, const CliOptions &Opts,
     else
       ++Other;
     Rec.addCheck(makeCheckRecord(Name + ":" + R.Name, getVerdictName(R.V),
-                                 R.Sequential, R.WallMs));
+                                 R.Sequential, R.WallMs,
+                                 rt::getExecEngineName(Opts.Exec)));
   }
   Rec.addCounter("locations_checked", Rows.size());
   Rec.addCounter("races", Races);
@@ -383,6 +423,7 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
 
   conc::ConcOptions CO;
   CO.MaxStates = Opts.MaxStates;
+  CO.Store = Opts.StoreM;
   CO.Budget = makeBudget(Opts);
   CO.Progress = Beat;
   auto Start = std::chrono::steady_clock::now();
@@ -392,7 +433,8 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
   CheckSpan.counter("transitions", R.TransitionsExplored);
   CheckSpan.end();
   Rec.addCheck(makeCheckRecord(Name, rt::getOutcomeName(R.Outcome), R,
-                               msSince(Start)));
+                               msSince(Start),
+                               rt::getExecEngineName(rt::ExecEngine::Interp)));
 
   if (R.Outcome == rt::CheckOutcome::BoundExceeded &&
       R.Bound != gov::BoundReason::None)
@@ -457,6 +499,8 @@ int main(int Argc, char **Argv) {
   Rec.setMeta("tool", "kisscheck");
   Rec.setMeta("input", Name);
   Rec.setMeta("engine", Opts.UseConcEngine ? "conc" : "kiss");
+  Rec.setMeta("exec", rt::getExecEngineName(Opts.Exec));
+  Rec.setMeta("store", rt::getStoreModeName(Opts.StoreM));
   Rec.setMeta("max_ts", std::to_string(Opts.MaxTs));
   Rec.setMeta("max_states", std::to_string(Opts.MaxStates));
 
@@ -513,8 +557,9 @@ int main(int Argc, char **Argv) {
     return cli::ExitNoError;
   }
 
-  Rec.addCheck(makeCheckRecord(Name, getVerdictName(R.Verdict),
-                               R.Sequential, msSince(Start)));
+  Rec.addCheck(makeCheckRecord(Name, getVerdictName(R.Verdict), R.Sequential,
+                               msSince(Start),
+                               rt::getExecEngineName(Opts.Exec)));
   Rec.addCounter("probes_emitted", R.Stats.ProbesEmitted);
   Rec.addCounter("probes_pruned", R.Stats.ProbesPruned);
 

@@ -69,6 +69,7 @@ struct CliOptions {
   bool Shrink = true;
   bool CheckCompleteness = true;
   bool BreakTransform = false;
+  bool ExecDiff = false;
   bool Smoke = false;
   bool ZeroTimings = false;
   std::string ReportPath;
@@ -115,6 +116,10 @@ cli::ArgParser makeParser(CliOptions &Opts) {
   P.flag("break-transform", Opts.BreakTransform,
          "(testing) sabotage the transform — the oracle must\n"
          "flag every reported error");
+  P.flag("exec-diff", Opts.ExecDiff,
+         "run every case under both sequential execution engines\n"
+         "and both store modes; any observable disagreement is an\n"
+         "exec-divergence violation");
   P.flag("smoke", Opts.Smoke, "the fixed-seed CI preset (~30 s)");
   P.custom("dump", "<seed>", "print the generated program and exit",
            [&Opts](const std::string &V, std::string &E) {
@@ -160,6 +165,7 @@ OracleOptions makeOracleOptions(const CliOptions &Opts) {
   OO.Budget.Cancel = &GlobalCancel;
   OO.CheckCompleteness = Opts.CheckCompleteness;
   OO.InjectBreakAsserts = Opts.BreakTransform;
+  OO.ExecDiff = Opts.ExecDiff;
   return OO;
 }
 
@@ -290,6 +296,9 @@ int main(int Argc, char **Argv) {
   Rec.setMeta("grammar_pointers",
               Opts.Grammar.WithPointers ? "true" : "false");
   Rec.setMeta("break_transform", Opts.BreakTransform ? "true" : "false");
+  // Only recorded when on so pre-v3 golden reports stay byte-identical.
+  if (Opts.ExecDiff)
+    Rec.setMeta("exec_diff", "true");
 
   auto FuzzSpan = Rec.beginPhase("fuzz");
   FuzzSummary Sum = runCampaign(FO);
@@ -305,14 +314,16 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(
                   Sum.Counts[static_cast<int>(OracleVerdict::Inconclusive)]));
   std::printf("violations: %llu (%llu soundness, %llu trace, "
-              "%llu completeness)\n",
+              "%llu completeness, %llu exec-divergence)\n",
               static_cast<unsigned long long>(Sum.violations()),
               static_cast<unsigned long long>(
                   Sum.Counts[static_cast<int>(OracleVerdict::SoundnessBug)]),
               static_cast<unsigned long long>(
                   Sum.Counts[static_cast<int>(OracleVerdict::TraceBug)]),
               static_cast<unsigned long long>(Sum.Counts[static_cast<int>(
-                  OracleVerdict::CompletenessBug)]));
+                  OracleVerdict::CompletenessBug)]),
+              static_cast<unsigned long long>(Sum.Counts[static_cast<int>(
+                  OracleVerdict::ExecDivergence)]));
   if (Sum.ShrinkSteps)
     std::printf("shrink: %llu steps over %llu oracle evaluations\n",
                 static_cast<unsigned long long>(Sum.ShrinkSteps),
