@@ -129,9 +129,7 @@ int main() {
       Rcd.Name = std::string(Ca.Name) + "@K=" + std::to_string(K);
       Rcd.Outcome = getVerdictName(R.Verdict);
       Rcd.WallMs = Sec * 1000.0;
-      Rcd.States = R.Sequential.StatesExplored;
-      Rcd.Transitions = R.Sequential.TransitionsExplored;
-      Rcd.BoundReason = gov::getBoundReasonName(R.Sequential.Bound);
+      rt::fillExplorationRecord(Rcd, R.Sequential);
       Rec.addCheck(Rcd);
 
       // Cost side: on no-error runs the state space grows with K.

@@ -265,14 +265,7 @@ void writeSeqcheckJson(const char *Path) {
     C.Name = Name;
     C.Outcome = rt::getOutcomeName(Probe.Outcome);
     C.WallMs = ExploreSec * 1000.0;
-    C.States = Probe.StatesExplored;
-    C.Transitions = Probe.TransitionsExplored;
-    C.DedupHits = Probe.Exploration.DedupHits;
-    C.ArenaBytes = Probe.Exploration.ArenaBytes;
-    C.IndexBytes = Probe.Exploration.IndexBytes;
-    C.FrontierPeak = Probe.Exploration.FrontierPeak;
-    C.DepthMax = Probe.Exploration.DepthMax;
-    C.BoundReason = gov::getBoundReasonName(Probe.Bound);
+    rt::fillExplorationRecord(C, Probe);
     C.ExecEngine = rt::getExecEngineName(SO.Exec);
     C.StatesPerSec = StatesPerSec;
     Rec.addCheck(std::move(C));

@@ -141,14 +141,7 @@ int main(int Argc, char **Argv) {
     C.Name = Name;
     C.Outcome = Outcome;
     C.WallMs = Sec * 1000.0;
-    C.States = R.StatesExplored;
-    C.Transitions = R.TransitionsExplored;
-    C.DedupHits = R.Exploration.DedupHits;
-    C.ArenaBytes = R.Exploration.ArenaBytes;
-    C.IndexBytes = R.Exploration.IndexBytes;
-    C.FrontierPeak = R.Exploration.FrontierPeak;
-    C.DepthMax = R.Exploration.DepthMax;
-    C.BoundReason = gov::getBoundReasonName(R.Bound);
+    rt::fillExplorationRecord(C, R);
     Rec.addCheck(std::move(C));
   };
 

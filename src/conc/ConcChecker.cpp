@@ -6,11 +6,13 @@
 
 #include "conc/ConcChecker.h"
 
+#include "seqcheck/Profile.h"
 #include "seqcheck/StateStore.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <deque>
 
 using namespace kiss;
@@ -92,6 +94,9 @@ CheckResult conc::checkProgram(const lang::Program &P,
   // from the StateStore at exit; the loop tracks frontier peak and depth.
   uint64_t FrontierPeak = 1;
   uint64_t DepthMax = 0;
+  ProfileCollector Prof;
+  if (Opts.Profile)
+    Prof.enable(CFG);
   auto finish = [&](CheckResult &R) {
     R.StatesExplored = Store.size();
     const StateStore::IndexStats &IS = Store.indexStats();
@@ -103,6 +108,31 @@ CheckResult conc::checkProgram(const lang::Program &P,
     R.Exploration.IndexBytes = Store.indexBytes();
     R.Exploration.FrontierPeak = FrontierPeak;
     R.Exploration.DepthMax = DepthMax;
+    if (Prof.on())
+      R.Profile = Prof.take();
+    if (Opts.Progress)
+      Opts.Progress->finish(Store.size(), Queue.size(),
+                            Store.memoryBytes());
+  };
+
+  // Deterministic time-series: sampled at the top of the pop loop, keyed
+  // by state count (see seqcheck's checkProgram for the contract).
+  const auto StartTime = std::chrono::steady_clock::now();
+  uint64_t NextSample = Opts.SampleEvery;
+  auto takeSample = [&](uint64_t Frontier) {
+    const StateStore::IndexStats &IS = Store.indexStats();
+    ExplorationSample Smp;
+    Smp.States = Store.size();
+    Smp.Transitions = R.TransitionsExplored;
+    Smp.DedupHits = IS.Hits;
+    Smp.Frontier = Frontier;
+    Smp.ArenaBytes = Store.arenaBytes();
+    Smp.IndexBytes = Store.indexBytes();
+    Smp.DepthMax = DepthMax;
+    Smp.WallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - StartTime)
+                     .count();
+    R.Series.push_back(Smp);
   };
 
   MachineState Init = makeInitialState(P, CFG, EntryIdx);
@@ -136,7 +166,11 @@ CheckResult conc::checkProgram(const lang::Program &P,
       return R;
     }
     if (Opts.Progress)
-      Opts.Progress->tick(Store.size(), Queue.size());
+      Opts.Progress->tick(Store.size(), Queue.size(), Store.memoryBytes());
+    if (Opts.SampleEvery && Store.size() >= NextSample) {
+      takeSample(Queue.size());
+      NextSample = (Store.size() / Opts.SampleEvery + 1) * Opts.SampleEvery;
+    }
 
     WorkItem Item = std::move(Queue.front());
     Queue.pop_front();
@@ -173,6 +207,8 @@ CheckResult conc::checkProgram(const lang::Program &P,
 
         switch (SR.K) {
         case StepResult::Kind::Blocked:
+          if (Prof.on())
+            Prof.bump(Step.Func, Step.Node, 0, 0);
           continue;
         case StepResult::Kind::AssertFailure:
         case StepResult::Kind::RuntimeError:
@@ -200,18 +236,23 @@ CheckResult conc::checkProgram(const lang::Program &P,
               ++NCtx.Switches;
             NCtx.LastThread = static_cast<int32_t>(T);
           }
+          uint64_t NewStates = 0;
           for (MachineState &NS : SR.Successors) {
             ++R.TransitionsExplored;
             makeKeyInto(NS, NCtx, Bounded, Scratch);
             auto [NId, Inserted] = Store.internChild(Scratch, Item.Id);
             if (!Inserted)
               continue;
+            ++NewStates;
             assert(NId == Links.size() &&
                    "ids are dense in insertion order");
             Links.push_back(ParentLink{Item.Id, Step});
             Queue.push_back(
                 WorkItem{std::move(NS), NCtx, NId, Item.Depth + 1});
           }
+          if (Prof.on())
+            Prof.bump(Step.Func, Step.Node, SR.Successors.size(),
+                      SR.Successors.size() - NewStates);
           if (Queue.size() > FrontierPeak)
             FrontierPeak = Queue.size();
           break;

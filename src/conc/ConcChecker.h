@@ -60,6 +60,12 @@ struct ConcOptions {
   /// Visited-set storage mode (see rt::StoreMode). Verdicts and counts
   /// are identical across modes; Delta trades decode work for arena size.
   rt::StoreMode Store = rt::StoreMode::Flat;
+  /// If nonzero, snapshot an rt::ExplorationSample into
+  /// CheckResult::Series every time the visited-state count crosses a
+  /// multiple of this stride (see seqcheck::SeqOptions::SampleEvery).
+  uint64_t SampleEvery = 0;
+  /// Collect the per-CFG-node hot-path profile into CheckResult::Profile.
+  bool Profile = false;
 };
 
 /// Model checks concurrent core program \p P from its entry function.

@@ -42,6 +42,8 @@ static void checkFieldBody(const DriverSpec &D, unsigned FieldIdx,
   Cfg.M = CheckConfig::Mode::Race;
   Cfg.MaxTs = 0; // §6: "we set the size of ts to 0" for race detection.
   Cfg.MaxStates = Opts.FieldStateBudget;
+  Cfg.SampleEvery = Opts.SampleEvery;
+  Cfg.Profile = Opts.Profile;
   Cfg.Common.Budget = Opts.Common.Budget;
   // Injected budget trips target exactly one field; every other field
   // runs under the plain budget.
@@ -74,6 +76,8 @@ static void checkFieldBody(const DriverSpec &D, unsigned FieldIdx,
   FR.StatesExplored = Report.Sequential.StatesExplored;
   FR.TransitionsExplored = Report.Sequential.TransitionsExplored;
   FR.Exploration = Report.Sequential.Exploration;
+  FR.Series = std::move(Report.Sequential.Series);
+  FR.Profile = std::move(Report.Profile);
 }
 
 /// One per-field check under the fault-isolation boundary: a task that
@@ -179,14 +183,16 @@ DriverResult kiss::drivers::runDriver(const DriverSpec &D,
       C.Name = D.Name + "." + D.Fields[FR.FieldIndex].Name;
       C.Outcome = core::getVerdictName(FR.Verdict);
       C.WallMs = FR.Seconds * 1000.0;
-      C.States = FR.StatesExplored;
-      C.Transitions = FR.TransitionsExplored;
-      C.DedupHits = FR.Exploration.DedupHits;
-      C.ArenaBytes = FR.Exploration.ArenaBytes;
-      C.IndexBytes = FR.Exploration.IndexBytes;
-      C.FrontierPeak = FR.Exploration.FrontierPeak;
-      C.DepthMax = FR.Exploration.DepthMax;
-      C.BoundReason = gov::getBoundReasonName(FR.Bound);
+      // Route the exploration side through the shared filler so field
+      // records carry the same v4 surface (hash stats, series, profile)
+      // as the CLI's records.
+      rt::CheckResult Expl;
+      Expl.Bound = FR.Bound;
+      Expl.StatesExplored = FR.StatesExplored;
+      Expl.TransitionsExplored = FR.TransitionsExplored;
+      Expl.Exploration = FR.Exploration;
+      Expl.Series = FR.Series;
+      rt::fillExplorationRecord(C, Expl, FR.Profile);
       Rec->addCheck(std::move(C));
     }
   }

@@ -41,6 +41,13 @@ struct FieldResult {
   uint64_t TransitionsExplored = 0;
   /// Exploration telemetry of the field's sequential run.
   rt::ExplorationStats Exploration;
+  /// Exploration time-series of the field's sequential run (empty unless
+  /// CorpusRunOptions::SampleEvery is set). Deterministic at every job
+  /// count: samples are keyed by state count, not wall clock.
+  std::vector<rt::ExplorationSample> Series;
+  /// Source-resolved hot-path profile (empty unless
+  /// CorpusRunOptions::Profile is set).
+  std::vector<rt::LineProfile> Profile;
   /// Wall time of this field's check alone (compile + transform + check),
   /// so reports can rank the slowest fields.
   double Seconds = 0;
@@ -88,6 +95,11 @@ struct CorpusRunOptions {
   /// If non-empty, only these field indices are checked (Table 2 re-runs
   /// the fields reported racy under the unconstrained harness).
   std::vector<unsigned> OnlyFields;
+  /// Exploration time-series sampling stride for every field check
+  /// (0 = off; see seqcheck::SeqOptions::SampleEvery).
+  uint64_t SampleEvery = 0;
+  /// Collect the per-line hot-path profile of every field check.
+  bool Profile = false;
 };
 
 /// Checks (a subset of) the fields of one driver. Fields are independent

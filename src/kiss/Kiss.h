@@ -91,6 +91,13 @@ struct CheckConfig {
   rt::CommonOptions Common;
   /// If set, ticked during exploration (CLI --progress). Not owned.
   telemetry::Heartbeat *Progress = nullptr;
+  /// If nonzero, sample the exploration time-series every this many
+  /// interned states (kisscheck --sample-every; see
+  /// seqcheck::SeqOptions::SampleEvery).
+  uint64_t SampleEvery = 0;
+  /// Collect the per-line hot-path profile (kisscheck --profile). The
+  /// resolved rows land in CheckResult::Profile.
+  bool Profile = false;
 };
 
 /// The result of one Session::check — the full end-to-end report

@@ -72,6 +72,12 @@ KissReport runPipeline(const Program &P, std::unique_ptr<Program> Transformed,
   CheckSpan.counter("depth_max", R.Sequential.Exploration.DepthMax);
   CheckSpan.end();
 
+  // Resolve the raw per-node profile against the translated program's
+  // CFG while it is still in scope. Instrumented statements carry the
+  // original program's source locations, so rows point at real lines.
+  if (Opts.Seq.Profile && Opts.SM)
+    R.Profile = rt::resolveProfile(R.Sequential.Profile, CFG, Opts.SM);
+
   switch (R.Sequential.Outcome) {
   case rt::CheckOutcome::Safe:
     R.Verdict = KissVerdict::NoErrorFound;

@@ -48,6 +48,10 @@ struct KissOptions {
   /// clones) so the fuzzing oracle's unsoundness detection can be
   /// validated end to end (kissfuzz --break-transform).
   bool InjectBreakAsserts = false;
+  /// Source manager of the input program, used to resolve the hot-path
+  /// profile (Seq.Profile) to file:line rows. Not owned; null leaves the
+  /// profile unresolved (KissReport::Profile stays empty).
+  const SourceManager *SM = nullptr;
 };
 
 /// What the checker concluded.
@@ -71,6 +75,11 @@ struct KissReport {
   rt::CheckResult Sequential;
   /// Instrumentation statistics (probe counts, ...).
   TransformStats Stats;
+  /// Source-resolved hot-path profile of the sequential exploration
+  /// (empty unless KissOptions::Seq.Profile and KissOptions::SM were
+  /// set). Lines refer to the *translated* program's statements, which
+  /// carry the original program's source locations.
+  std::vector<rt::LineProfile> Profile;
   /// The translated sequential program (for inspection/printing).
   std::unique_ptr<lang::Program> Transformed;
 

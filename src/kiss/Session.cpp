@@ -36,6 +36,9 @@ CheckResult Session::check(const lang::Program &P) {
   KO.Seq.Exec = Cfg.Exec;
   KO.Seq.Store = Cfg.Store;
   KO.Seq.SuperStep = Cfg.SuperStep;
+  KO.Seq.SampleEvery = Cfg.SampleEvery;
+  KO.Seq.Profile = Cfg.Profile;
+  KO.SM = &Ctx->SM;
   KO.Common = Cfg.Common;
   if (Cfg.M == CheckConfig::Mode::Race)
     return checkRace(P, Cfg.Race, KO, Ctx->Diags);

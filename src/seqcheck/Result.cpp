@@ -9,6 +9,9 @@
 #include "cfg/CFG.h"
 #include "lang/ASTPrinter.h"
 #include "support/SourceManager.h"
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
 
 using namespace kiss;
 using namespace kiss::rt;
@@ -59,4 +62,70 @@ std::string rt::formatTrace(const std::vector<TraceStep> &Trace,
     Out += '\n';
   }
   return Out;
+}
+
+std::vector<LineProfile>
+rt::resolveProfile(const std::vector<NodeProfile> &Raw,
+                   const cfg::ProgramCFG &CFG, const SourceManager *SM) {
+  std::vector<LineProfile> Rows;
+  auto merge = [&Rows](std::string File, uint32_t Line, const NodeProfile &NP) {
+    for (LineProfile &R : Rows)
+      if (R.Line == Line && R.File == File) {
+        R.States += NP.States;
+        R.Transitions += NP.Transitions;
+        R.DedupHits += NP.DedupHits;
+        return;
+      }
+    Rows.push_back({std::move(File), Line, NP.States, NP.Transitions,
+                    NP.DedupHits});
+  };
+  for (const NodeProfile &NP : Raw) {
+    const cfg::Node &N = CFG.getFunctionCFG(NP.Func).getNode(NP.Node);
+    std::string File = "<synthetic>";
+    uint32_t Line = 0;
+    if (SM && N.S && N.S->getLoc().isValid()) {
+      PresumedLoc PL = SM->getPresumedLoc(N.S->getLoc());
+      if (PL.isValid()) {
+        File = PL.BufferName;
+        Line = PL.Line;
+      }
+    }
+    merge(std::move(File), Line, NP);
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const LineProfile &A, const LineProfile &B) {
+              if (A.States != B.States)
+                return A.States > B.States;
+              if (A.Transitions != B.Transitions)
+                return A.Transitions > B.Transitions;
+              if (A.File != B.File)
+                return A.File < B.File;
+              return A.Line < B.Line;
+            });
+  return Rows;
+}
+
+void rt::fillExplorationRecord(telemetry::CheckRecord &C, const CheckResult &R,
+                               const std::vector<LineProfile> &Profile) {
+  C.States = R.StatesExplored;
+  C.Transitions = R.TransitionsExplored;
+  C.DedupHits = R.Exploration.DedupHits;
+  C.HashProbes = R.Exploration.HashProbes;
+  C.KeyVerifies = R.Exploration.KeyVerifies;
+  C.HashCollisions = R.Exploration.HashCollisions;
+  C.ArenaBytes = R.Exploration.ArenaBytes;
+  C.IndexBytes = R.Exploration.IndexBytes;
+  C.FrontierPeak = R.Exploration.FrontierPeak;
+  C.DepthMax = R.Exploration.DepthMax;
+  C.BoundReason = gov::getBoundReasonName(R.Bound);
+  C.Series.clear();
+  C.Series.reserve(R.Series.size());
+  for (const ExplorationSample &S : R.Series)
+    C.Series.push_back({S.States, S.Transitions, S.DedupHits, S.Frontier,
+                        S.ArenaBytes, S.IndexBytes, S.DepthMax, S.WallMs});
+  C.Profile.clear();
+  C.Profile.reserve(Profile.size());
+  for (const LineProfile &P : Profile)
+    C.Profile.push_back({P.File, P.Line, P.States, P.Transitions,
+                         P.DedupHits});
 }

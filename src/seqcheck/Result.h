@@ -72,6 +72,45 @@ struct ExplorationStats {
   uint64_t DepthMax = 0;
 };
 
+/// One point of the deterministic exploration time-series: a snapshot of
+/// the run's counters taken at the top of the BFS loop every time the
+/// visited-state count crosses a multiple of the configured sampling
+/// stride. Keyed by States (not wall clock), so for a fixed input the
+/// whole series is byte-identical across engines and --jobs settings;
+/// only WallMs varies and is zeroed under ReportOptions::ZeroTimings.
+struct ExplorationSample {
+  uint64_t States = 0;      ///< Distinct states interned so far.
+  uint64_t Transitions = 0; ///< Transitions explored so far.
+  uint64_t DedupHits = 0;   ///< Dedup hits so far.
+  uint64_t Frontier = 0;    ///< States queued but not yet expanded.
+  uint64_t ArenaBytes = 0;  ///< Store arena footprint at the sample.
+  uint64_t IndexBytes = 0;  ///< Store index footprint at the sample.
+  uint64_t DepthMax = 0;    ///< Deepest BFS layer reached so far.
+  double WallMs = 0;        ///< Wall time since the check started.
+};
+
+/// Raw per-CFG-node profile counters from one run, in deterministic
+/// (Func, Node) order. Both engines attribute work to the CFG node being
+/// expanded, so the vectors are bit-identical across --exec engines.
+struct NodeProfile {
+  uint32_t Func = 0;
+  uint32_t Node = 0;
+  uint64_t States = 0;      ///< Expansions of this node (popped states).
+  uint64_t Transitions = 0; ///< Successors generated from this node.
+  uint64_t DedupHits = 0;   ///< Successors that were already visited.
+};
+
+/// One row of the source-resolved profile: NodeProfile counters merged by
+/// presumed file:line. Synthetic nodes with no source location fold into
+/// the "<synthetic>":0 row.
+struct LineProfile {
+  std::string File;
+  uint32_t Line = 0;
+  uint64_t States = 0;
+  uint64_t Transitions = 0;
+  uint64_t DedupHits = 0;
+};
+
 /// The result of one model-checking run.
 struct CheckResult {
   CheckOutcome Outcome = CheckOutcome::Safe;
@@ -84,6 +123,11 @@ struct CheckResult {
   uint64_t StatesExplored = 0;
   uint64_t TransitionsExplored = 0;
   ExplorationStats Exploration;
+  /// Exploration time-series (empty unless SampleEvery was set).
+  std::vector<ExplorationSample> Series;
+  /// Raw per-node profile (empty unless Profile was set). Resolve to
+  /// source lines with resolveProfile().
+  std::vector<NodeProfile> Profile;
 
   bool foundError() const {
     return Outcome == CheckOutcome::AssertionFailure ||
@@ -97,6 +141,10 @@ namespace kiss::cfg {
 class ProgramCFG;
 } // namespace kiss::cfg
 
+namespace kiss::telemetry {
+struct CheckRecord;
+} // namespace kiss::telemetry
+
 namespace kiss::rt {
 
 /// Renders \p Trace as readable lines (one statement per step, with thread
@@ -105,6 +153,23 @@ namespace kiss::rt {
 std::string formatTrace(const std::vector<TraceStep> &Trace,
                         const lang::Program &P, const cfg::ProgramCFG &CFG,
                         const SourceManager *SM = nullptr);
+
+/// Resolves a raw per-node profile to source lines: maps each (Func, Node)
+/// through the CFG node's statement location and \p SM's presumed
+/// locations, merges rows that land on the same file:line, and sorts the
+/// result by States desc, Transitions desc, File asc, Line asc. Nodes with
+/// no usable location (synthetic junctions, or a null \p SM) merge into a
+/// single "<synthetic>":0 row. Deterministic for a fixed input.
+std::vector<LineProfile> resolveProfile(const std::vector<NodeProfile> &Raw,
+                                        const cfg::ProgramCFG &CFG,
+                                        const SourceManager *SM);
+
+/// Copies the exploration side of \p R — counts, hash-index stats, the
+/// sampled series, and \p Profile — into the telemetry check record \p C.
+/// Does not touch identity/timing fields (Name, Outcome, WallMs,
+/// ExecEngine, StatesPerSec); BoundReason is filled from R.Bound.
+void fillExplorationRecord(telemetry::CheckRecord &C, const CheckResult &R,
+                           const std::vector<LineProfile> &Profile = {});
 
 } // namespace kiss::rt
 

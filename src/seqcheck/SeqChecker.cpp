@@ -6,11 +6,13 @@
 
 #include "seqcheck/SeqChecker.h"
 
+#include "seqcheck/Profile.h"
 #include "seqcheck/StateStore.h"
 #include "seqcheck/exec/ThreadedEngine.h"
 #include "telemetry/Telemetry.h"
 
 #include <cassert>
+#include <chrono>
 #include <deque>
 
 using namespace kiss;
@@ -74,6 +76,9 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
   // from the StateStore at exit; the loop tracks frontier peak and depth.
   uint64_t FrontierPeak = 1;
   uint64_t DepthMax = 0;
+  ProfileCollector Prof;
+  if (Opts.Profile)
+    Prof.enable(CFG);
   auto finish = [&](CheckResult &R) {
     R.StatesExplored = Store.size();
     const StateStore::IndexStats &IS = Store.indexStats();
@@ -85,6 +90,34 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
     R.Exploration.IndexBytes = Store.indexBytes();
     R.Exploration.FrontierPeak = FrontierPeak;
     R.Exploration.DepthMax = DepthMax;
+    if (Prof.on())
+      R.Profile = Prof.take();
+    if (Opts.Progress)
+      Opts.Progress->finish(Store.size(), Queue.size(),
+                            Store.memoryBytes());
+  };
+
+  // Deterministic time-series: sample at the top of the loop every time
+  // the visited-state count crosses a multiple of SampleEvery. Keyed by
+  // state count, so the threaded engine (whose loop top sees the same
+  // Store.size(), frontier, and counters at the same pop index) produces
+  // the identical series; only WallMs is timing-dependent.
+  const auto StartTime = std::chrono::steady_clock::now();
+  uint64_t NextSample = Opts.SampleEvery;
+  auto takeSample = [&](uint64_t Frontier) {
+    const StateStore::IndexStats &IS = Store.indexStats();
+    ExplorationSample S;
+    S.States = Store.size();
+    S.Transitions = R.TransitionsExplored;
+    S.DedupHits = IS.Hits;
+    S.Frontier = Frontier;
+    S.ArenaBytes = Store.arenaBytes();
+    S.IndexBytes = Store.indexBytes();
+    S.DepthMax = DepthMax;
+    S.WallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - StartTime)
+                   .count();
+    R.Series.push_back(S);
   };
 
   MachineState Init = makeInitialState(P, CFG, EntryIdx);
@@ -117,7 +150,11 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
       return R;
     }
     if (Opts.Progress)
-      Opts.Progress->tick(Store.size(), Queue.size());
+      Opts.Progress->tick(Store.size(), Queue.size(), Store.memoryBytes());
+    if (Opts.SampleEvery && Store.size() >= NextSample) {
+      takeSample(Queue.size());
+      NextSample = (Store.size() / Opts.SampleEvery + 1) * Opts.SampleEvery;
+    }
 
     WorkItem Item = std::move(Queue.front());
     Queue.pop_front();
@@ -137,6 +174,8 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
     case StepResult::Kind::Blocked:
       // assume() false on a sequential path: the path is silently pruned
       // (§3: the program blocks forever; no error).
+      if (Prof.on())
+        Prof.bump(Step.Func, Step.Node, 0, 0);
       continue;
 
     case StepResult::Kind::AssertFailure:
@@ -158,20 +197,26 @@ CheckResult seqcheck::checkProgram(const lang::Program &P,
       finish(R);
       return R;
 
-    case StepResult::Kind::Ok:
+    case StepResult::Kind::Ok: {
+      uint64_t NewStates = 0;
       for (MachineState &NS : SR.Successors) {
         ++R.TransitionsExplored;
         encodeStateInto(NS, Scratch);
         auto [NId, Inserted] = Store.internChild(Scratch, Id);
         if (!Inserted)
           continue;
+        ++NewStates;
         assert(NId == Links.size() && "ids are dense in insertion order");
         Links.push_back(ParentLink{Id, Step});
         Queue.push_back(WorkItem{std::move(NS), NId, Item.Depth + 1});
       }
+      if (Prof.on())
+        Prof.bump(Step.Func, Step.Node, SR.Successors.size(),
+                  SR.Successors.size() - NewStates);
       if (Queue.size() > FrontierPeak)
         FrontierPeak = Queue.size();
       break;
+    }
     }
   }
 

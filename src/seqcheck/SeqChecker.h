@@ -55,6 +55,14 @@ struct SeqOptions {
   /// StatesExplored and traces are coarser, so this is opt-in and off by
   /// default (it breaks interp/threaded count equality).
   bool SuperStep = false;
+  /// If nonzero, snapshot an rt::ExplorationSample into
+  /// CheckResult::Series every time the visited-state count crosses a
+  /// multiple of this stride. Samples are keyed by state count and are
+  /// byte-identical across engines (see rt::ExplorationSample).
+  uint64_t SampleEvery = 0;
+  /// Collect the per-CFG-node hot-path profile into CheckResult::Profile.
+  /// Attribution is bit-identical across --exec engines.
+  bool Profile = false;
 };
 
 /// Model checks sequential core program \p P (entry: Program entry

@@ -7,11 +7,13 @@
 #include "seqcheck/exec/ThreadedEngine.h"
 
 #include "seqcheck/Eval.h"
+#include "seqcheck/Profile.h"
 #include "seqcheck/StateStore.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 
 using namespace kiss;
@@ -725,6 +727,10 @@ CheckResult ThreadedEngine::run() {
 
   uint64_t FrontierPeak = 1;
   uint64_t DepthMax = 0;
+  uint64_t PopCursor = 0; ///< States popped so far, for the heartbeat.
+  ProfileCollector Prof;
+  if (Opts.Profile)
+    Prof.enable(CFG);
   auto finish = [&](CheckResult &R) {
     R.StatesExplored = Store.size();
     const StateStore::IndexStats &IS = Store.indexStats();
@@ -736,6 +742,33 @@ CheckResult ThreadedEngine::run() {
     R.Exploration.IndexBytes = Store.indexBytes();
     R.Exploration.FrontierPeak = FrontierPeak;
     R.Exploration.DepthMax = DepthMax;
+    if (Prof.on())
+      R.Profile = Prof.take();
+    if (Opts.Progress)
+      Opts.Progress->finish(Store.size(), Store.size() - PopCursor,
+                            Store.memoryBytes());
+  };
+
+  // Deterministic time-series, mirroring the interpreter: sampled at the
+  // top of the pop loop, where Store.size(), the frontier
+  // (Store.size() - Cursor == the interpreter's Queue.size()), and every
+  // counter agree with the interpreter at the same pop index.
+  const auto StartTime = std::chrono::steady_clock::now();
+  uint64_t NextSample = Opts.SampleEvery;
+  auto takeSample = [&](uint64_t Frontier) {
+    const StateStore::IndexStats &IS = Store.indexStats();
+    ExplorationSample S;
+    S.States = Store.size();
+    S.Transitions = R.TransitionsExplored;
+    S.DedupHits = IS.Hits;
+    S.Frontier = Frontier;
+    S.ArenaBytes = Store.arenaBytes();
+    S.IndexBytes = Store.indexBytes();
+    S.DepthMax = DepthMax;
+    S.WallMs = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - StartTime)
+                   .count();
+    R.Series.push_back(S);
   };
 
   {
@@ -751,6 +784,7 @@ CheckResult ThreadedEngine::run() {
   // The BFS queue is implicit: ids are assigned in first-seen order and
   // expanded in id order, which is exactly the interpreter's FIFO order.
   for (uint32_t Cursor = 0; Cursor < Store.size(); ++Cursor) {
+    PopCursor = Cursor + 1;
     if (Store.size() > Opts.MaxStates) {
       R.Outcome = CheckOutcome::BoundExceeded;
       R.Bound = gov::BoundReason::States;
@@ -767,7 +801,12 @@ CheckResult ThreadedEngine::run() {
       return R;
     }
     if (Opts.Progress)
-      Opts.Progress->tick(Store.size(), Store.size() - Cursor);
+      Opts.Progress->tick(Store.size(), Store.size() - Cursor,
+                          Store.memoryBytes());
+    if (Opts.SampleEvery && Store.size() >= NextSample) {
+      takeSample(Store.size() - Cursor);
+      NextSample = (Store.size() / Opts.SampleEvery + 1) * Opts.SampleEvery;
+    }
 
     // Copy the popped key into the patch buffer: successor interns may
     // grow the arena (or, in delta mode, reuse the materialization
@@ -787,8 +826,18 @@ CheckResult ThreadedEngine::run() {
     const Frame &Top = W.Threads[0].Frames.back();
     TraceStep Step{0, Top.Func, Top.PC};
 
+    // Profile attribution: transitions/new states emitted by this
+    // expansion, recovered as counter deltas around expand(). Bumped only
+    // on the Ok and Blocked outcomes — error outcomes return the run
+    // immediately in both engines, so attribution stays bit-identical
+    // with the interpreter's per-successor accounting.
+    const uint64_t ProfTransBase = R.TransitionsExplored;
+    const uint64_t ProfStatesBase = Store.size();
+
     switch (expand(Cursor, Depth, Step)) {
     case StepResult::Kind::Blocked:
+      if (Prof.on())
+        Prof.bump(Step.Func, Step.Node, 0, 0);
       continue;
 
     case StepResult::Kind::AssertFailure:
@@ -816,6 +865,11 @@ CheckResult ThreadedEngine::run() {
       return R;
 
     case StepResult::Kind::Ok:
+      if (Prof.on()) {
+        const uint64_t Trans = R.TransitionsExplored - ProfTransBase;
+        const uint64_t NewStates = Store.size() - ProfStatesBase;
+        Prof.bump(Step.Func, Step.Node, Trans, Trans - NewStates);
+      }
       if (Store.size() - (Cursor + 1) > FrontierPeak)
         FrontierPeak = Store.size() - (Cursor + 1);
       break;

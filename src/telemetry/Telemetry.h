@@ -9,7 +9,8 @@
 /// nested phase spans (parse -> sema -> lower -> transform -> alias -> cfg
 /// -> check), named monotonic counters, and per-check exploration records,
 /// and renders them as a versioned machine-readable JSON report
-/// (schema_version 3; see docs/observability.md for the schema reference).
+/// (schema_version 4; see docs/observability.md for the schema reference),
+/// or as Chrome/Perfetto trace-event JSON (renderTrace/writeTrace).
 ///
 /// Conventions:
 ///  * Phase spans nest; a nested span's reported name is its full
@@ -47,8 +48,33 @@ std::string escapeJson(std::string_view S);
 struct PhaseRecord {
   std::string Name; ///< Full slash-joined path ("transform/alias").
   double WallMs = 0;
+  /// Start offset from the recorder's epoch, for the trace-event export
+  /// only (never rendered into the report, so reports stay deterministic).
+  double StartMs = 0;
   /// Insertion-ordered; rendered sorted by name.
   std::vector<std::pair<std::string, uint64_t>> Counters;
+};
+
+/// One point of a check's exploration time-series (mirrors
+/// rt::ExplorationSample; see docs/observability.md for the schema).
+struct SeriesPoint {
+  uint64_t States = 0;
+  uint64_t Transitions = 0;
+  uint64_t DedupHits = 0;
+  uint64_t Frontier = 0;
+  uint64_t ArenaBytes = 0;
+  uint64_t IndexBytes = 0;
+  uint64_t DepthMax = 0;
+  double WallMs = 0; ///< Zeroed by ReportOptions::ZeroTimings.
+};
+
+/// One row of a check's source-line profile (mirrors rt::LineProfile).
+struct ProfileRow {
+  std::string File;
+  uint32_t Line = 0;
+  uint64_t States = 0;
+  uint64_t Transitions = 0;
+  uint64_t DedupHits = 0;
 };
 
 /// One model-checking run's exploration record (the per-check envelope of
@@ -57,13 +83,27 @@ struct CheckRecord {
   std::string Name;    ///< What was checked ("bank.kiss", "toaster.irpSp").
   std::string Outcome; ///< Verdict/outcome name ("race detected", ...).
   double WallMs = 0;
+  /// Start offset from the recorder's epoch, for the trace-event export
+  /// only (never rendered into the report).
+  double StartMs = 0;
   uint64_t States = 0;
   uint64_t Transitions = 0;
   uint64_t DedupHits = 0;
+  /// Hash-index behaviour of the run's visited set (the StateStore
+  /// IndexStats): occupied slots probed, full-key verifications after a
+  /// hash match, and verifications that failed (true 64-bit collisions).
+  uint64_t HashProbes = 0;
+  uint64_t KeyVerifies = 0;
+  uint64_t HashCollisions = 0;
   uint64_t ArenaBytes = 0;
   uint64_t IndexBytes = 0;
   uint64_t FrontierPeak = 0;
   uint64_t DepthMax = 0;
+  /// Exploration time-series (empty unless sampling was enabled); always
+  /// rendered, as an empty array when no samples were taken.
+  std::vector<SeriesPoint> Series;
+  /// Source-line hot-path profile (empty unless profiling was enabled).
+  std::vector<ProfileRow> Profile;
   /// Which execution engine produced the record (an rt::ExecEngine name,
   /// "interp" or "threaded"; "none" for checks with no engine notion,
   /// e.g. pure-transform phases).
@@ -124,8 +164,9 @@ public:
   /// Adds \p Delta to run-level counter \p Name.
   void addCounter(std::string_view Name, uint64_t Delta = 1);
 
-  /// Appends one per-check record.
-  void addCheck(CheckRecord R) { Checks.push_back(std::move(R)); }
+  /// Appends one per-check record. The record's StartMs (trace-export
+  /// only) is back-dated from its WallMs against the recorder's epoch.
+  void addCheck(CheckRecord R);
 
   /// Sets report metadata \p Key to \p Value (string-valued; last write
   /// wins).
@@ -139,9 +180,16 @@ public:
   const std::vector<PhaseRecord> &phases() const { return Phases; }
   const std::vector<CheckRecord> &checks() const { return Checks; }
 
+  /// Milliseconds elapsed since the recorder was constructed (the trace
+  /// export's time origin).
+  double msSinceEpoch() const;
+
 private:
   friend class Span;
 
+  /// Construction time: the zero point of every StartMs offset.
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
   std::vector<PhaseRecord> Phases;
   std::vector<CheckRecord> Checks;
   bool Interrupted = false;
@@ -180,27 +228,62 @@ bool writeReport(const RunRecorder &R, const std::string &Path,
 ///  * 3 — adds the per-check "exec_engine" and "states_per_sec" fields
 ///    (the dual-execution-engine release; tools/bench_diff.py accepts
 ///    versions 1 through 3).
-inline constexpr int ReportSchemaVersion = 3;
+///  * 4 — adds the per-check hash-index fields ("hash_probes",
+///    "key_verifies", "hash_collisions") and the "series" and "profile"
+///    arrays (the observability release; tools/bench_diff.py accepts
+///    versions 1 through 4).
+inline constexpr int ReportSchemaVersion = 4;
+
+/// Renders \p R as Chrome/Perfetto trace-event JSON ("traceEvents"
+/// format): phase spans become complete ("X") slices on one track, checks
+/// become begin/end ("B"/"E") slices on another, and each check's sampled
+/// series becomes "C" counter tracks (states, frontier, memory_bytes).
+/// Open chrome://tracing or ui.perfetto.dev and load the file. The trace
+/// is a timing view and is NOT covered by the report determinism
+/// contract.
+std::string renderTrace(const RunRecorder &R);
+
+/// Writes renderTrace(\p R) to \p Path. \returns false (with a message on
+/// stderr) if the file cannot be written.
+bool writeTrace(const RunRecorder &R, const std::string &Path);
 
 /// Rate-limited progress printer for long explorations: call tick() from
 /// the hot loop; roughly every IntervalSec seconds it prints one heartbeat
 /// line (elapsed time, states, states/s since the last beat, frontier
-/// size) to the configured stream. The clock is only consulted every few
-/// thousand ticks, so the per-tick cost is an increment and a compare.
+/// size, memory) to the configured stream. The clock is only consulted
+/// every few thousand ticks, so the per-tick cost is an increment and a
+/// compare. Call finish() once at the end of the run (completion or
+/// cancellation alike) for a final summary beat with the whole-run rate.
 class Heartbeat {
 public:
-  explicit Heartbeat(double IntervalSec = 2.0, std::FILE *Out = stderr);
+  /// Seconds-since-start clock, injectable for tests (null = the real
+  /// steady clock).
+  using ClockFn = double (*)();
+
+  explicit Heartbeat(double IntervalSec = 2.0, std::FILE *Out = stderr,
+                     ClockFn Clock = nullptr, uint32_t Stride = 0);
 
   /// Reports progress: \p States distinct states so far, \p Frontier
-  /// states currently queued.
-  void tick(uint64_t States, uint64_t Frontier);
+  /// states currently queued, \p MemoryBytes the visited-set footprint
+  /// (arena + index; 0 = unknown, not printed).
+  void tick(uint64_t States, uint64_t Frontier, uint64_t MemoryBytes = 0);
+
+  /// Prints the final summary beat (always, regardless of the interval):
+  /// total elapsed time, states, whole-run average rate, frontier, and
+  /// memory. Idempotent per run.
+  void finish(uint64_t States, uint64_t Frontier, uint64_t MemoryBytes = 0);
 
 private:
+  double now() const;
+
   std::FILE *Out;
   double IntervalSec;
-  std::chrono::steady_clock::time_point Start, LastBeat;
+  ClockFn Clock;
+  uint32_t Stride;
+  double Start, LastBeat;
   uint64_t LastStates = 0;
   uint32_t TicksUntilClockCheck = 0;
+  bool Finished = false;
 };
 
 } // namespace kiss::telemetry

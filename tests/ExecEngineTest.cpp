@@ -40,6 +40,8 @@ struct RunOut {
   uint64_t DepthMax = 0;
   uint64_t ArenaBytes = 0;
   size_t TraceLen = 0;
+  std::vector<rt::ExplorationSample> Series;
+  std::vector<rt::LineProfile> Profile;
 };
 
 struct RunSpec {
@@ -59,6 +61,10 @@ RunOut runOnce(const std::string &Name, const std::string &Source,
   Cfg.MaxStates = Spec.MaxStates;
   Cfg.Exec = Exec;
   Cfg.Store = Store;
+  // Exercise the full determinism contract: the sampled series and the
+  // resolved profile must agree across engines and stores too.
+  Cfg.SampleEvery = 64;
+  Cfg.Profile = true;
   Session S(Cfg);
   auto P = S.compile(Name, Source);
   RunOut O;
@@ -81,7 +87,42 @@ RunOut runOnce(const std::string &Name, const std::string &Source,
   O.DepthMax = R.Sequential.Exploration.DepthMax;
   O.ArenaBytes = R.Sequential.Exploration.ArenaBytes;
   O.TraceLen = R.Trace.Steps.size();
+  O.Series = std::move(R.Sequential.Series);
+  O.Profile = std::move(R.Profile);
   return O;
+}
+
+/// Byte sizes inside a series depend on the store mode, so equality
+/// against the flat reference masks them when the run used a delta store.
+void expectSeriesAgree(const std::vector<rt::ExplorationSample> &Got,
+                       const std::vector<rt::ExplorationSample> &Ref,
+                       bool MaskBytes) {
+  ASSERT_EQ(Got.size(), Ref.size());
+  for (size_t I = 0; I != Got.size(); ++I) {
+    SCOPED_TRACE("series[" + std::to_string(I) + "]");
+    EXPECT_EQ(Got[I].States, Ref[I].States);
+    EXPECT_EQ(Got[I].Transitions, Ref[I].Transitions);
+    EXPECT_EQ(Got[I].DedupHits, Ref[I].DedupHits);
+    EXPECT_EQ(Got[I].Frontier, Ref[I].Frontier);
+    EXPECT_EQ(Got[I].DepthMax, Ref[I].DepthMax);
+    if (!MaskBytes) {
+      EXPECT_EQ(Got[I].ArenaBytes, Ref[I].ArenaBytes);
+      EXPECT_EQ(Got[I].IndexBytes, Ref[I].IndexBytes);
+    }
+  }
+}
+
+void expectProfilesAgree(const std::vector<rt::LineProfile> &Got,
+                         const std::vector<rt::LineProfile> &Ref) {
+  ASSERT_EQ(Got.size(), Ref.size());
+  for (size_t I = 0; I != Got.size(); ++I) {
+    SCOPED_TRACE("profile[" + std::to_string(I) + "]");
+    EXPECT_EQ(Got[I].File, Ref[I].File);
+    EXPECT_EQ(Got[I].Line, Ref[I].Line);
+    EXPECT_EQ(Got[I].States, Ref[I].States);
+    EXPECT_EQ(Got[I].Transitions, Ref[I].Transitions);
+    EXPECT_EQ(Got[I].DedupHits, Ref[I].DedupHits);
+  }
 }
 
 /// Runs \p Source under interp/flat (reference), threaded/flat, and
@@ -115,6 +156,9 @@ void expectEnginesAgree(const std::string &Name, const std::string &Source,
       EXPECT_LE(Got.ArenaBytes, Ref.ArenaBytes);
     else
       EXPECT_EQ(Got.ArenaBytes, Ref.ArenaBytes);
+    expectSeriesAgree(Got.Series, Ref.Series,
+                      /*MaskBytes=*/Store == rt::StoreMode::Delta);
+    expectProfilesAgree(Got.Profile, Ref.Profile);
   }
 }
 

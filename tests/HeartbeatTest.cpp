@@ -1,0 +1,115 @@
+//===- HeartbeatTest.cpp - Progress heartbeat unit tests ------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heartbeat contract: interval-gated beats with incremental rates,
+/// the stride gate that keeps the hot loop from hitting the clock on
+/// every tick, the memory suffix, and the idempotent final summary beat.
+/// All timing goes through the injectable clock, so the tests are exact.
+///
+//===----------------------------------------------------------------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace kiss::telemetry;
+
+namespace {
+
+double FakeNow = 0.0;
+double fakeClock() { return FakeNow; }
+
+/// Runs \p Body against a Heartbeat writing to a tmpfile and returns
+/// everything it printed.
+template <typename Fn> std::string capture(double IntervalSec, Fn Body) {
+  std::FILE *Out = std::tmpfile();
+  EXPECT_NE(Out, nullptr);
+  {
+    Heartbeat Beat(IntervalSec, Out, &fakeClock, /*Stride=*/1);
+    Body(Beat);
+  }
+  std::rewind(Out);
+  std::string Text;
+  char Buf[256];
+  while (std::fgets(Buf, sizeof(Buf), Out))
+    Text += Buf;
+  std::fclose(Out);
+  return Text;
+}
+
+TEST(HeartbeatTest, BeatsOnlyAfterTheIntervalElapses) {
+  FakeNow = 0.0;
+  std::string Text = capture(2.0, [](Heartbeat &Beat) {
+    FakeNow = 1.0;
+    Beat.tick(100, 10); // Under the interval: silent.
+    FakeNow = 2.5;
+    Beat.tick(500, 20); // 2.5s since the last beat: prints.
+  });
+  EXPECT_EQ(Text, "[progress] t=2.5s states=500 (200/s) frontier=20\n");
+}
+
+TEST(HeartbeatTest, RatesAreIncrementalBetweenBeats) {
+  FakeNow = 0.0;
+  std::string Text = capture(1.0, [](Heartbeat &Beat) {
+    FakeNow = 1.0;
+    Beat.tick(1000, 5);
+    FakeNow = 2.0;
+    Beat.tick(1500, 6); // 500 new states over 1s, not 1500 over 2s.
+  });
+  EXPECT_EQ(Text, "[progress] t=1.0s states=1000 (1000/s) frontier=5\n"
+                  "[progress] t=2.0s states=1500 (500/s) frontier=6\n");
+}
+
+TEST(HeartbeatTest, StrideSkipsClockChecksBetweenSamples) {
+  FakeNow = 0.0;
+  std::FILE *Out = std::tmpfile();
+  ASSERT_NE(Out, nullptr);
+  Heartbeat Beat(1.0, Out, &fakeClock, /*Stride=*/4);
+  FakeNow = 10.0;
+  Beat.tick(1, 1); // Tick 1 checks the clock (and beats)...
+  Beat.tick(2, 1); // ...then ticks 2-4 skip it entirely,
+  Beat.tick(3, 1);
+  Beat.tick(4, 1);
+  FakeNow = 20.0;
+  Beat.tick(5, 1); // ...and tick 5 checks again.
+  std::rewind(Out);
+  std::string Text;
+  char Buf[256];
+  while (std::fgets(Buf, sizeof(Buf), Out))
+    Text += Buf;
+  std::fclose(Out);
+  EXPECT_EQ(Text, "[progress] t=10.0s states=1 (0/s) frontier=1\n"
+                  "[progress] t=20.0s states=5 (0/s) frontier=1\n");
+}
+
+TEST(HeartbeatTest, MemorySuffixRendersInMegabytes) {
+  FakeNow = 0.0;
+  std::string Text = capture(1.0, [](Heartbeat &Beat) {
+    FakeNow = 2.0;
+    Beat.tick(10, 2, /*MemoryBytes=*/3 * 1024 * 1024);
+  });
+  EXPECT_EQ(Text, "[progress] t=2.0s states=10 (5/s) frontier=2 "
+                  "mem=3.0MB\n");
+}
+
+TEST(HeartbeatTest, FinishPrintsTheSummaryBeatExactlyOnce) {
+  FakeNow = 0.0;
+  std::string Text = capture(1000.0, [](Heartbeat &Beat) {
+    FakeNow = 0.5;
+    Beat.tick(100, 10); // Interval never elapses: no periodic beat.
+    FakeNow = 4.0;
+    Beat.finish(1000, 0, /*MemoryBytes=*/1024 * 1024);
+    Beat.finish(9999, 9); // Idempotent: the second call is silent.
+  });
+  EXPECT_EQ(Text, "[progress] done t=4.0s states=1000 (avg 250/s) "
+                  "frontier=0 mem=1.0MB\n");
+}
+
+} // namespace

@@ -150,6 +150,10 @@ TEST(ParallelRunnerTest, JobCountDoesNotChangeTheTelemetryReport) {
     CorpusRunOptions Opts;
     Opts.Common.Jobs = Jobs;
     Opts.Common.Recorder = &Rec;
+    // Sampling and profiling are part of the contract: the series and
+    // profile arrays must also be byte-identical at every job count.
+    Opts.SampleEvery = 64;
+    Opts.Profile = true;
     runDriver(*D, Opts);
     telemetry::ReportOptions ZeroTimings;
     ZeroTimings.ZeroTimings = true;

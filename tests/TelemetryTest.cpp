@@ -96,7 +96,7 @@ TEST(TelemetryTest, CountersAccumulateAndRenderSorted) {
 TEST(TelemetryTest, EmptyRecorderRendersTheBareEnvelope) {
   RunRecorder Rec;
   EXPECT_EQ(renderReport(Rec), "{\n"
-                               "  \"schema_version\": 3,\n"
+                               "  \"schema_version\": 4,\n"
                                "  \"kind\": \"kiss-telemetry-report\",\n"
                                "  \"interrupted\": false,\n"
                                "  \"meta\": {},\n"
@@ -157,11 +157,71 @@ TEST(TelemetryTest, WriteReportFailsCleanlyOnBadPath) {
 }
 
 //===----------------------------------------------------------------------===//
+// Chrome trace-event rendering
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, RenderTraceEmitsTheChromeEventEnvelope) {
+  RunRecorder Rec;
+  Rec.addPhase("explore", 5.0);
+  CheckRecord C;
+  C.Name = "main.kiss";
+  C.Outcome = "safe";
+  C.WallMs = 2.0;
+  C.States = 100;
+  SeriesPoint S;
+  S.States = 64;
+  S.Frontier = 7;
+  S.ArenaBytes = 1000;
+  S.IndexBytes = 24;
+  C.Series.push_back(S);
+  Rec.addCheck(std::move(C));
+
+  std::string T = renderTrace(Rec);
+  EXPECT_EQ(T.rfind("{\"traceEvents\": [", 0), 0u) << T;
+  // Metadata names the process and both tracks.
+  EXPECT_NE(T.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(T.find("\"pipeline phases\""), std::string::npos);
+  EXPECT_NE(T.find("\"checks\""), std::string::npos);
+  // The phase is a complete slice, the check a begin/end pair, and the
+  // series point a counter sample summing arena + index bytes.
+  EXPECT_NE(T.find("\"ph\": \"X\", \"pid\": 1, \"tid\": 1, "
+                   "\"name\": \"explore\""),
+            std::string::npos)
+      << T;
+  EXPECT_NE(T.find("\"ph\": \"B\", \"pid\": 1, \"tid\": 2, "
+                   "\"name\": \"main.kiss\""),
+            std::string::npos)
+      << T;
+  EXPECT_NE(T.find("\"ph\": \"E\", \"pid\": 1, \"tid\": 2"),
+            std::string::npos);
+  EXPECT_NE(T.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(T.find("\"memory_bytes\": 1024"), std::string::npos) << T;
+  // Balanced envelope: the file must end by closing the event array.
+  EXPECT_EQ(T.substr(T.size() - 4), "\n]}\n");
+}
+
+TEST(TelemetryTest, WriteTraceRoundTripsThroughDisk) {
+  RunRecorder Rec;
+  Rec.addPhase("p", 1.0);
+  std::string Path = testing::TempDir() + "telemetry_trace.json";
+  ASSERT_TRUE(writeTrace(Rec, Path));
+  std::ifstream In(Path, std::ios::binary);
+  ASSERT_TRUE(In.good());
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), renderTrace(Rec));
+  std::remove(Path.c_str());
+  EXPECT_FALSE(writeTrace(Rec, "/nonexistent-dir/trace.json"));
+}
+
+//===----------------------------------------------------------------------===//
 // Schema golden test on a real .kiss run
 //===----------------------------------------------------------------------===//
 
 /// Compiles and checks the fixed two-thread increment program with
-/// telemetry on, returning the ZeroTimings rendering.
+/// telemetry, sampling, and profiling on, returning the ZeroTimings
+/// rendering — so the golden covers the full v4 surface (index stats,
+/// series, profile).
 std::string checkedReport() {
   RunRecorder Rec;
   Rec.setMeta("input", "golden.kiss");
@@ -183,21 +243,17 @@ std::string checkedReport() {
   KissOptions Opts;
   Opts.MaxTs = 1;
   Opts.Common.Recorder = &Rec;
+  Opts.Seq.SampleEvery = 128;
+  Opts.Seq.Profile = true;
+  Opts.SM = &Ctx->SM;
   KissReport R = checkAssertions(*P, Opts, Ctx->Diags);
   EXPECT_EQ(R.Verdict, KissVerdict::NoErrorFound);
 
   CheckRecord C;
   C.Name = "golden.kiss";
   C.Outcome = getVerdictName(R.Verdict);
-  C.States = R.Sequential.StatesExplored;
-  C.Transitions = R.Sequential.TransitionsExplored;
-  C.DedupHits = R.Sequential.Exploration.DedupHits;
-  C.ArenaBytes = R.Sequential.Exploration.ArenaBytes;
-  C.IndexBytes = R.Sequential.Exploration.IndexBytes;
-  C.FrontierPeak = R.Sequential.Exploration.FrontierPeak;
-  C.DepthMax = R.Sequential.Exploration.DepthMax;
+  rt::fillExplorationRecord(C, R.Sequential, R.Profile);
   C.ExecEngine = rt::getExecEngineName(Opts.Seq.Exec);
-  C.BoundReason = gov::getBoundReasonName(R.boundReason());
   Rec.addCheck(std::move(C));
 
   ReportOptions ZeroTimings;
@@ -211,7 +267,7 @@ std::string checkedReport() {
 /// actual value.
 const char *const GOLDEN_REPORT =
     "{\n"
-    "  \"schema_version\": 3,\n"
+    "  \"schema_version\": 4,\n"
     "  \"kind\": \"kiss-telemetry-report\",\n"
     "  \"interrupted\": false,\n"
     "  \"meta\": {\"input\": \"golden.kiss\"},\n"
@@ -232,9 +288,26 @@ const char *const GOLDEN_REPORT =
     "  \"checks\": [\n"
     "    {\"name\": \"golden.kiss\", \"outcome\": \"no error found\", "
     "\"wall_ms\": 0.000, \"states\": 344, \"transitions\": 358, "
-    "\"dedup_hits\": 15, \"arena_bytes\": 38999, \"index_bytes\": 73792, "
-    "\"frontier_peak\": 18, \"depth_max\": 63, "
+    "\"dedup_hits\": 15, \"hash_probes\": 37, \"key_verifies\": 15, "
+    "\"hash_collisions\": 0, \"arena_bytes\": 38999, "
+    "\"index_bytes\": 73792, \"frontier_peak\": 18, \"depth_max\": 63, "
     "\"exec_engine\": \"threaded\", \"states_per_sec\": 0, "
+    "\"series\": ["
+    "{\"states\": 128, \"transitions\": 127, \"dedup_hits\": 0, "
+    "\"frontier\": 11, \"arena_bytes\": 14804, \"index_bytes\": 68608, "
+    "\"depth_max\": 37, \"wall_ms\": 0.000}, "
+    "{\"states\": 256, \"transitions\": 259, \"dedup_hits\": 4, "
+    "\"frontier\": 14, \"arena_bytes\": 29476, \"index_bytes\": 71680, "
+    "\"depth_max\": 47, \"wall_ms\": 0.000}], "
+    "\"profile\": ["
+    "{\"file\": \"<synthetic>\", \"line\": 0, \"states\": 324, "
+    "\"transitions\": 344, \"dedup_hits\": 15}, "
+    "{\"file\": \"golden.kiss\", \"line\": 6, \"states\": 6, "
+    "\"transitions\": 6, \"dedup_hits\": 0}, "
+    "{\"file\": \"golden.kiss\", \"line\": 2, \"states\": 5, "
+    "\"transitions\": 5, \"dedup_hits\": 0}, "
+    "{\"file\": \"golden.kiss\", \"line\": 5, \"states\": 3, "
+    "\"transitions\": 3, \"dedup_hits\": 0}], "
     "\"bound_reason\": \"none\"}\n"
     "  ]\n"
     "}\n";

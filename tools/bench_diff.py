@@ -13,11 +13,18 @@ scalability) all emit the same envelope through telemetry::writeReport:
 Schema v2 (see docs/robustness.md) adds a top-level "interrupted" bool and
 per-check "index_bytes" / "bound_reason". Schema v3 adds per-check
 "exec_engine" (which execution engine produced the record) and
-"states_per_sec" (explorer throughput). This script accepts v1 through v3
-so committed older baselines keep working: newer-only fields are optional
-during validation and only compared when present on both sides.
+"states_per_sec" (explorer throughput). Schema v4 (docs/observability.md)
+adds per-check visited-set index statistics ("hash_probes",
+"key_verifies", "hash_collisions"), the "series" exploration time-series,
+and the "profile" per-line hot-path table. This script accepts v1 through
+v4 so committed older baselines keep working: newer-only fields are
+optional during validation and only compared when present on both sides.
 "states_per_sec" is timing-derived and is never diffed against a baseline;
-it is gated through --check-floor / --check-speed-ratio instead.
+it is gated through --check-floor / --check-speed-ratio instead. "series"
+is validated for shape but never diffed (its sampling stride is a run
+setting, not a behavior). "profile" rows are matched by (file, line) and
+their counts diffed like any other deterministic field; wall clock never
+enters the profile comparison.
 
 Usage:
     bench_diff.py BASELINE.json CURRENT.json [--threshold=0.20] [--counts-only]
@@ -52,7 +59,7 @@ Exit codes: 0 ok, 1 regression/validation/gate failure, 2 usage/IO error.
 import json
 import sys
 
-SCHEMA_VERSIONS = (1, 2, 3)
+SCHEMA_VERSIONS = (1, 2, 3, 4)
 KIND = "kiss-telemetry-report"
 
 # Deterministic per-check fields: identical across runs and --jobs settings
@@ -69,6 +76,17 @@ V2_COUNT_FIELDS = ("index_bytes",)
 # machines. "exec_engine" is compared as an identity (a silent engine swap
 # on a named check is a behavior change, not noise).
 V3_INT_FIELDS = ("states_per_sec",)
+
+# Added in schema v4; optional like the v2/v3 additions. The index
+# statistics are deterministic counts and diff like the rest.
+V4_COUNT_FIELDS = ("hash_probes", "key_verifies", "hash_collisions")
+
+# Shape of one v4 "series" point (wall_ms is timing and never diffed) and
+# one v4 "profile" row (the counts are deterministic and diffed by
+# (file, line)).
+SERIES_INT_FIELDS = ("states", "transitions", "dedup_hits", "frontier",
+                     "arena_bytes", "index_bytes", "depth_max")
+PROFILE_COUNT_FIELDS = ("states", "transitions", "dedup_hits")
 
 
 def fail_usage(msg):
@@ -123,13 +141,43 @@ def validate(report, where="report"):
         for field in COUNT_FIELDS:
             if not isinstance(c.get(field), int):
                 problems.append("%s: checks[%d] bad field %r" % (where, i, field))
-        for field in V2_COUNT_FIELDS + V3_INT_FIELDS:
+        for field in V2_COUNT_FIELDS + V3_INT_FIELDS + V4_COUNT_FIELDS:
             if field in c and not isinstance(c[field], int):
                 problems.append("%s: checks[%d] bad field %r" % (where, i, field))
         for field in ("bound_reason", "exec_engine"):
             if field in c and not isinstance(c[field], str):
                 problems.append("%s: checks[%d] bad field %r"
                                 % (where, i, field))
+        if "series" in c:
+            if not isinstance(c["series"], list):
+                problems.append("%s: checks[%d] 'series' is not an array"
+                                % (where, i))
+            else:
+                for j, s in enumerate(c["series"]):
+                    for field in SERIES_INT_FIELDS:
+                        if not isinstance(s.get(field), int):
+                            problems.append(
+                                "%s: checks[%d] series[%d] bad field %r"
+                                % (where, i, j, field))
+                    if not isinstance(s.get("wall_ms"), (int, float)):
+                        problems.append(
+                            "%s: checks[%d] series[%d] bad field 'wall_ms'"
+                            % (where, i, j))
+        if "profile" in c:
+            if not isinstance(c["profile"], list):
+                problems.append("%s: checks[%d] 'profile' is not an array"
+                                % (where, i))
+            else:
+                for j, row in enumerate(c["profile"]):
+                    if not isinstance(row.get("file"), str):
+                        problems.append(
+                            "%s: checks[%d] profile[%d] bad field 'file'"
+                            % (where, i, j))
+                    for field in ("line",) + PROFILE_COUNT_FIELDS:
+                        if not isinstance(row.get(field), int):
+                            problems.append(
+                                "%s: checks[%d] profile[%d] bad field %r"
+                                % (where, i, j, field))
     return problems
 
 
@@ -170,11 +218,29 @@ def compare(base, cur, threshold, counts_only):
                 b["exec_engine"] != c["exec_engine"]:
             regressions.append("check %s: exec_engine %s -> %s"
                                % (name, b["exec_engine"], c["exec_engine"]))
-        for field in COUNT_FIELDS + V2_COUNT_FIELDS:
+        for field in COUNT_FIELDS + V2_COUNT_FIELDS + V4_COUNT_FIELDS:
             if field in b and field in c and \
                     ratio_regressed(b[field], c[field], threshold):
                 regressions.append("check %s: %s %d -> %d"
                                    % (name, field, b[field], c[field]))
+        # v4 profiles: counts only, matched by (file, line). Rows present
+        # on one side only are noted, not flagged (a new hot line is
+        # usually a workload change, which the states diff already sees).
+        if b.get("profile") and c.get("profile"):
+            brows = {(r["file"], r["line"]): r for r in b["profile"]}
+            crows = {(r["file"], r["line"]): r for r in c["profile"]}
+            for key in sorted(set(brows) & set(crows)):
+                for field in PROFILE_COUNT_FIELDS:
+                    if ratio_regressed(brows[key][field], crows[key][field],
+                                       threshold):
+                        regressions.append(
+                            "check %s: profile %s:%d %s %d -> %d"
+                            % (name, key[0], key[1], field,
+                               brows[key][field], crows[key][field]))
+            for key in sorted(set(brows) ^ set(crows)):
+                notes.append("check %s: profile row %s:%d only in %s"
+                             % (name, key[0], key[1],
+                                "baseline" if key in brows else "current"))
         if not counts_only and ratio_regressed(b.get("wall_ms", 0.0),
                                                c.get("wall_ms", 0.0), threshold):
             regressions.append("check %s: wall_ms %.3f -> %.3f"
@@ -276,6 +342,19 @@ def selftest():
         if version >= 3:
             r["checks"][0]["exec_engine"] = "threaded"
             r["checks"][0]["states_per_sec"] = 1000000
+        if version >= 4:
+            r["checks"][0]["hash_probes"] = 2000
+            r["checks"][0]["key_verifies"] = 1500
+            r["checks"][0]["hash_collisions"] = 2
+            r["checks"][0]["series"] = [
+                {"states": 512, "transitions": 1000, "dedup_hits": 0,
+                 "frontier": 40, "arena_bytes": 32, "index_bytes": 16,
+                 "depth_max": 6, "wall_ms": 1.5}]
+            r["checks"][0]["profile"] = [
+                {"file": "a.kiss", "line": 3, "states": 600,
+                 "transitions": 1200, "dedup_hits": 1},
+                {"file": "<synthetic>", "line": 0, "states": 400,
+                 "transitions": 800, "dedup_hits": 0}]
         return r
 
     base = report(1000, 10.0)
@@ -302,15 +381,25 @@ def selftest():
             ok = False
             sys.stderr.write("selftest case %d: expected %s, got %s (%s)\n"
                              % (i, expect, got, regs))
-    for version in (1, 2, 3):
+    for version in (1, 2, 3, 4):
         probs = validate(report(1, 1.0, version=version))
         if probs:
             ok = False
             sys.stderr.write("selftest: valid v%d report rejected: %s\n"
                              % (version, probs))
-    if not validate({"schema_version": 4}):
+    if not validate({"schema_version": 99}):
         ok = False
         sys.stderr.write("selftest: invalid report accepted\n")
+    bad4 = report(1, 1.0, version=4)
+    bad4["checks"][0]["series"][0]["frontier"] = "forty"
+    if not validate(bad4):
+        ok = False
+        sys.stderr.write("selftest: malformed v4 series accepted\n")
+    bad4 = report(1, 1.0, version=4)
+    del bad4["checks"][0]["profile"][0]["line"]
+    if not validate(bad4):
+        ok = False
+        sys.stderr.write("selftest: malformed v4 profile accepted\n")
     # v2-vs-v2 with a bound_reason flip must flag.
     b2, c2 = report(1000, 10.0, version=2), report(1000, 10.0, version=2)
     c2["checks"][0]["bound_reason"] = "deadline"
@@ -332,6 +421,42 @@ def selftest():
     if regs:
         ok = False
         sys.stderr.write("selftest: states_per_sec diffed as a count: %s\n"
+                         % regs)
+    # v4: index-stat growth flags; profile rows diff count-only by
+    # (file, line); a one-sided profile row is a note, not a regression;
+    # series swings (a sampling-stride artifact) never flag.
+    b4, c4 = report(1000, 10.0, version=4), report(1000, 10.0, version=4)
+    c4["checks"][0]["hash_probes"] = 4000
+    regs, _ = compare(b4, c4, 0.20, True)
+    if not regs:
+        ok = False
+        sys.stderr.write("selftest: hash_probes growth not flagged\n")
+    c4 = report(1000, 10.0, version=4)
+    c4["checks"][0]["profile"][0]["states"] = 900
+    regs, _ = compare(b4, c4, 0.20, True)
+    if not regs:
+        ok = False
+        sys.stderr.write("selftest: profile count growth not flagged\n")
+    c4 = report(1000, 10.0, version=4)
+    c4["checks"][0]["profile"].append(
+        {"file": "b.kiss", "line": 9, "states": 1, "transitions": 1,
+         "dedup_hits": 0})
+    regs, nts = compare(b4, c4, 0.20, True)
+    if regs or not any("only in current" in n for n in nts):
+        ok = False
+        sys.stderr.write("selftest: one-sided profile row mishandled\n")
+    c4 = report(1000, 10.0, version=4)
+    c4["checks"][0]["series"] = []
+    regs, _ = compare(b4, c4, 0.20, True)
+    if regs:
+        ok = False
+        sys.stderr.write("selftest: series change diffed: %s\n" % regs)
+    # v3 baseline vs v4 current: v4-only fields are ignored one-sided.
+    regs, _ = compare(report(1000, 10.0, version=3),
+                      report(1000, 10.0, version=4), 0.20, True)
+    if regs:
+        ok = False
+        sys.stderr.write("selftest: v3-vs-v4 cross-schema diff flagged: %s\n"
                          % regs)
     # Gates: floor, same-run ratios, and state-count equality.
     g = report(1000, 10.0, version=3)

@@ -45,6 +45,7 @@
 #include "support/Parallel.h"
 #include "telemetry/Telemetry.h"
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -83,6 +84,10 @@ struct CliOptions {
   bool Demo = false;
   unsigned Jobs = 1;
   std::string ReportPath;  ///< --report=<path>; empty = no report.
+  std::string TracePath;   ///< --trace=<path>; empty = no trace.
+  uint64_t SampleEvery = 0;    ///< --sample-every stride; 0 = off.
+  bool Profile = false;        ///< --profile hot-path profiling.
+  unsigned ProfileTopN = 10;   ///< --profile=N table depth.
   bool ZeroTimings = false;
   double ProgressSec = 0;  ///< --progress interval; 0 = no heartbeats.
   double TimeoutSec = 0;   ///< --timeout per-check deadline; 0 = none.
@@ -181,8 +186,37 @@ cli::ArgParser makeParser(CliOptions &Opts) {
   P.flag("dump-cfg", Opts.DumpCfg, "print the CFGs in dot syntax");
   P.flag("report", Opts.ReportPath, "<path>",
          "write a machine-readable JSON run report\n"
-         "(schema_version 3: phase spans, counters, per-check\n"
-         "exploration records; see docs/observability.md)");
+         "(schema_version 4: phase spans, counters, per-check\n"
+         "exploration records, series, profile; see\n"
+         "docs/observability.md)");
+  P.flag("trace", Opts.TracePath, "<path>",
+         "write a Chrome/Perfetto trace-event JSON file (phase\n"
+         "spans, per-check slices, sampled counter tracks); open\n"
+         "it in chrome://tracing or ui.perfetto.dev");
+  P.flag("sample-every", Opts.SampleEvery, "<n>",
+         "sample the exploration time-series every <n> interned\n"
+         "states into the report's per-check \"series\" array\n"
+         "(deterministic: keyed by state count, identical across\n"
+         "--exec engines and --jobs)");
+  P.custom("profile", "<n>",
+           "collect the per-line hot-path profile (states,\n"
+           "transitions, dedup hits by source line), print the\n"
+           "top-<n> table (default 10), and embed the full profile\n"
+           "in the report; identical across --exec engines",
+           [&Opts](const std::string &V, std::string &E) {
+             Opts.Profile = true;
+             if (V.empty())
+               return true;
+             char *End = nullptr;
+             unsigned long N = std::strtoul(V.c_str(), &End, 10);
+             if (End == V.c_str() || *End != '\0' || N == 0) {
+               E = "--profile needs a positive table depth";
+               return false;
+             }
+             Opts.ProfileTopN = static_cast<unsigned>(N);
+             return true;
+           },
+           /*ValueOptional=*/true);
   P.flag("zero-timings", Opts.ZeroTimings,
          "zero wall_ms fields of the --report (byte-identical\n"
          "reports across runs and --jobs settings)");
@@ -250,6 +284,8 @@ CheckConfig makeConfig(const CliOptions &Opts, telemetry::RunRecorder *Rec,
   Cfg.Exec = Opts.Exec;
   Cfg.Store = Opts.StoreM;
   Cfg.SuperStep = Opts.SuperStep;
+  Cfg.SampleEvery = Opts.SampleEvery;
+  Cfg.Profile = Opts.Profile;
   Cfg.Common.Budget = makeBudget(Opts);
   Cfg.Common.Recorder = Rec;
   Cfg.Common.Jobs = Opts.Jobs;
@@ -262,26 +298,39 @@ CheckConfig makeConfig(const CliOptions &Opts, telemetry::RunRecorder *Rec,
 /// explorations, "interp" for the conc engine's step interpreter).
 telemetry::CheckRecord makeCheckRecord(std::string Name, std::string Outcome,
                                        const rt::CheckResult &R,
-                                       double WallMs,
-                                       std::string ExecEngine) {
+                                       double WallMs, std::string ExecEngine,
+                                       const std::vector<rt::LineProfile>
+                                           &Profile = {}) {
   telemetry::CheckRecord C;
   C.Name = std::move(Name);
   C.Outcome = std::move(Outcome);
   C.WallMs = WallMs;
-  C.States = R.StatesExplored;
-  C.Transitions = R.TransitionsExplored;
-  C.DedupHits = R.Exploration.DedupHits;
-  C.ArenaBytes = R.Exploration.ArenaBytes;
-  C.IndexBytes = R.Exploration.IndexBytes;
-  C.FrontierPeak = R.Exploration.FrontierPeak;
-  C.DepthMax = R.Exploration.DepthMax;
+  rt::fillExplorationRecord(C, R, Profile);
   C.ExecEngine = std::move(ExecEngine);
   C.StatesPerSec =
       WallMs > 0 ? static_cast<uint64_t>(
                        static_cast<double>(R.StatesExplored) * 1000.0 / WallMs)
                  : 0;
-  C.BoundReason = gov::getBoundReasonName(R.Bound);
   return C;
+}
+
+/// Prints the --profile top-N file:line table.
+void printProfile(const std::vector<rt::LineProfile> &Profile,
+                  unsigned TopN) {
+  std::printf("\nhot paths (top %zu of %zu lines, by states expanded):\n",
+              std::min<size_t>(TopN, Profile.size()), Profile.size());
+  std::printf("%-36s %10s %12s %12s\n", "file:line", "states", "transitions",
+              "dedup hits");
+  for (size_t I = 0; I != Profile.size() && I != TopN; ++I) {
+    const rt::LineProfile &Row = Profile[I];
+    std::string Loc = Row.Line == 0
+                          ? Row.File
+                          : Row.File + ":" + std::to_string(Row.Line);
+    std::printf("%-36s %10llu %12llu %12llu\n", Loc.c_str(),
+                static_cast<unsigned long long>(Row.States),
+                static_cast<unsigned long long>(Row.Transitions),
+                static_cast<unsigned long long>(Row.DedupHits));
+  }
 }
 
 /// Prints the full per-run exploration statistics (--stats).
@@ -311,13 +360,18 @@ double msSince(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
-/// Writes the report if --report was given. \returns false on I/O failure.
+/// Writes the report (--report) and the trace-event file (--trace), each
+/// if requested. \returns false on any I/O failure.
 bool maybeWriteReport(const CliOptions &Opts, telemetry::RunRecorder &Rec) {
-  if (Opts.ReportPath.empty())
-    return true;
-  telemetry::ReportOptions RO;
-  RO.ZeroTimings = Opts.ZeroTimings;
-  return telemetry::writeReport(Rec, Opts.ReportPath, RO);
+  bool Ok = true;
+  if (!Opts.ReportPath.empty()) {
+    telemetry::ReportOptions RO;
+    RO.ZeroTimings = Opts.ZeroTimings;
+    Ok &= telemetry::writeReport(Rec, Opts.ReportPath, RO);
+  }
+  if (!Opts.TracePath.empty())
+    Ok &= telemetry::writeTrace(Rec, Opts.TracePath);
+  return Ok;
 }
 
 /// The paper's per-field workflow: one race check per global and per
@@ -333,11 +387,15 @@ int runRaceAll(Session &S, const lang::Program &P, const CliOptions &Opts,
     std::string Name;
     KissVerdict V = KissVerdict::BoundExceeded;
     rt::CheckResult Sequential;
+    std::vector<rt::LineProfile> Profile;
     double WallMs = 0;
   };
   std::vector<Row> Rows;
-  for (std::string &Loc : S.raceLocations(P))
-    Rows.push_back(Row{std::move(Loc), {}, {}, 0});
+  for (std::string &Loc : S.raceLocations(P)) {
+    Row R;
+    R.Name = std::move(Loc);
+    Rows.push_back(std::move(R));
+  }
 
   parallelFor(Rows.size(), Opts.Jobs, [&](size_t I) {
     auto Start = std::chrono::steady_clock::now();
@@ -366,6 +424,7 @@ int runRaceAll(Session &S, const lang::Program &P, const CliOptions &Opts,
     CheckResult R = Task.check(*TaskP);
     Rows[I].V = R.Verdict;
     Rows[I].Sequential = std::move(R.Sequential);
+    Rows[I].Profile = std::move(R.Profile);
     Rows[I].WallMs = msSince(Start);
   });
 
@@ -389,7 +448,7 @@ int runRaceAll(Session &S, const lang::Program &P, const CliOptions &Opts,
       ++Other;
     Rec.addCheck(makeCheckRecord(Name + ":" + R.Name, getVerdictName(R.V),
                                  R.Sequential, R.WallMs,
-                                 rt::getExecEngineName(Opts.Exec)));
+                                 rt::getExecEngineName(Opts.Exec), R.Profile));
   }
   Rec.addCounter("locations_checked", Rows.size());
   Rec.addCounter("races", Races);
@@ -426,15 +485,21 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
   CO.Store = Opts.StoreM;
   CO.Budget = makeBudget(Opts);
   CO.Progress = Beat;
+  CO.SampleEvery = Opts.SampleEvery;
+  CO.Profile = Opts.Profile;
   auto Start = std::chrono::steady_clock::now();
   auto CheckSpan = Rec.beginPhase("check");
   rt::CheckResult R = conc::checkProgram(P, CFG, CO);
   CheckSpan.counter("states", R.StatesExplored);
   CheckSpan.counter("transitions", R.TransitionsExplored);
   CheckSpan.end();
+  std::vector<rt::LineProfile> Prof;
+  if (Opts.Profile)
+    Prof = rt::resolveProfile(R.Profile, CFG, &Ctx.SM);
   Rec.addCheck(makeCheckRecord(Name, rt::getOutcomeName(R.Outcome), R,
                                msSince(Start),
-                               rt::getExecEngineName(rt::ExecEngine::Interp)));
+                               rt::getExecEngineName(rt::ExecEngine::Interp),
+                               Prof));
 
   if (R.Outcome == rt::CheckOutcome::BoundExceeded &&
       R.Bound != gov::BoundReason::None)
@@ -449,6 +514,8 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
                 rt::formatTrace(R.Trace, P, CFG, &Ctx.SM).c_str());
   if (Opts.ShowStats)
     printExplorationStats(R);
+  if (Opts.Profile)
+    printProfile(Prof, Opts.ProfileTopN);
   if (R.Bound == gov::BoundReason::Cancelled || GlobalCancel.isCancelled())
     Rec.setInterrupted(true);
   if (!maybeWriteReport(Opts, Rec))
@@ -503,6 +570,10 @@ int main(int Argc, char **Argv) {
   Rec.setMeta("store", rt::getStoreModeName(Opts.StoreM));
   Rec.setMeta("max_ts", std::to_string(Opts.MaxTs));
   Rec.setMeta("max_states", std::to_string(Opts.MaxStates));
+  if (Opts.SampleEvery)
+    Rec.setMeta("sample_every", std::to_string(Opts.SampleEvery));
+  if (Opts.Profile)
+    Rec.setMeta("profile", "on");
 
   telemetry::Heartbeat Beat(Opts.ProgressSec > 0 ? Opts.ProgressSec : 2.0);
   telemetry::Heartbeat *BeatPtr = Opts.ProgressSec > 0 ? &Beat : nullptr;
@@ -559,7 +630,7 @@ int main(int Argc, char **Argv) {
 
   Rec.addCheck(makeCheckRecord(Name, getVerdictName(R.Verdict), R.Sequential,
                                msSince(Start),
-                               rt::getExecEngineName(Opts.Exec)));
+                               rt::getExecEngineName(Opts.Exec), R.Profile));
   Rec.addCounter("probes_emitted", R.Stats.ProbesEmitted);
   Rec.addCounter("probes_pruned", R.Stats.ProbesPruned);
 
@@ -582,6 +653,8 @@ int main(int Argc, char **Argv) {
     std::printf("probes: %u emitted, %u pruned\n", R.Stats.ProbesEmitted,
                 R.Stats.ProbesPruned);
   }
+  if (Opts.Profile)
+    printProfile(R.Profile, Opts.ProfileTopN);
   if (R.Sequential.Bound == gov::BoundReason::Cancelled ||
       GlobalCancel.isCancelled())
     Rec.setInterrupted(true);

@@ -73,6 +73,7 @@ struct CliOptions {
   bool Smoke = false;
   bool ZeroTimings = false;
   std::string ReportPath;
+  std::string TracePath;
   std::string ReproDir;
   std::string VerifyReproPath;
   bool DumpProgram = false;
@@ -137,6 +138,8 @@ cli::ArgParser makeParser(CliOptions &Opts) {
          "write shrunk findings there as .kiss files");
   P.flag("report", Opts.ReportPath, "<path>",
          "machine-readable JSON campaign report");
+  P.flag("trace", Opts.TracePath, "<path>",
+         "Chrome trace-event JSON of the campaign's phases");
   P.flag("zero-timings", Opts.ZeroTimings,
          "zero wall_ms fields (byte-identical reports)");
   P.footer("exit codes: 0 no violation; 1 violation found / repro mismatch;\n"
@@ -342,6 +345,8 @@ int main(int Argc, char **Argv) {
   RO.ZeroTimings = Opts.ZeroTimings;
   if (!Opts.ReportPath.empty() &&
       !telemetry::writeReport(Rec, Opts.ReportPath, RO))
+    return cli::ExitUsage;
+  if (!Opts.TracePath.empty() && !telemetry::writeTrace(Rec, Opts.TracePath))
     return cli::ExitUsage;
 
   if (Sum.Interrupted)
