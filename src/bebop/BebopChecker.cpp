@@ -8,9 +8,11 @@
 
 #include "support/Hashing.h"
 
+#include <algorithm>
 #include <cassert>
 #include <deque>
 #include <map>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace kiss;
@@ -46,6 +48,29 @@ struct PathEdgeHash {
   }
 };
 
+/// How a path edge came to exist — enough to replay a concrete witness
+/// backwards. Every referenced index is strictly smaller than the edge's
+/// own (edges only ever point at already-recorded edges), so the
+/// provenance graph is acyclic by construction.
+struct Provenance {
+  enum class Kind : uint8_t {
+    Root,          ///< The program-entry seed.
+    Step,          ///< Intra-procedural successor of Parent.
+    CallEnter,     ///< Callee entry, seeded by the call edge Parent.
+    SummaryResume, ///< Call-successor via a summary: Parent is the call
+                   ///< edge, Exit the callee exit edge that produced the
+                   ///< summary's output valuation.
+  };
+  Kind K = Kind::Root;
+  size_t Parent = 0;
+  size_t Exit = 0;
+};
+
+struct StoredEdge {
+  PathEdge E;
+  Provenance P;
+};
+
 /// A procedure-entry configuration (the summary key).
 struct EntryKey {
   uint32_t Func = 0;
@@ -61,9 +86,10 @@ struct EntryKey {
   }
 };
 
-/// A caller configuration waiting for a summary.
+/// A caller configuration waiting for a summary: the index of the caller's
+/// path edge at the Call node.
 struct CallSite {
-  PathEdge AtCall; ///< The caller's path edge at the Call node.
+  size_t AtCallIdx = 0;
 };
 
 /// Deterministic evaluation (Nondet only appears as a whole Assign RHS).
@@ -99,49 +125,133 @@ uint64_t setBit(uint64_t Bits, uint32_t Index, bool V) {
 /// The saturation engine.
 class Solver {
 public:
-  Solver(const BoolProgram &P, const BebopOptions &Opts) : P(P), Opts(Opts) {}
+  Solver(const BoolProgram &P, const BebopOptions &Opts)
+      : P(P), Opts(Opts), Gov(Opts.Budget), NextSample(Opts.SampleEvery) {}
 
   BebopResult run() {
-    const BFunction &Main = P.Funcs[P.EntryFunc];
-    (void)Main;
     seed(PathEdge{P.EntryFunc, P.InitialGlobals, 0,
-                  P.Funcs[P.EntryFunc].Entry, P.InitialGlobals, 0});
+                  P.Funcs[P.EntryFunc].Entry, P.InitialGlobals, 0},
+         Provenance{Provenance::Kind::Root, 0, 0});
 
     while (!Worklist.empty()) {
-      if (Edges.size() > Opts.MaxPathEdges) {
+      // The path-edge budget is checked against the count *before* the next
+      // expansion, so a budget of N stops with exactly N edges recorded —
+      // the same fencepost contract as the Heartbeat stride gate.
+      if (EdgeList.size() >= Opts.MaxPathEdges) {
         Result.Outcome = BebopOutcome::BoundExceeded;
+        Result.Bound = gov::BoundReason::States;
+        Result.Message = "path-edge budget exceeded";
         break;
       }
-      PathEdge E = Worklist.front();
+      if (Gov.shouldStop(accountedBytes())) {
+        Result.Outcome = BebopOutcome::BoundExceeded;
+        Result.Bound = Gov.reason();
+        Result.Message = Gov.message();
+        break;
+      }
+      size_t Idx = Worklist.front();
       Worklist.pop_front();
-      if (!process(E))
+      if (!process(Idx))
         break; // Assertion failure recorded.
+      maybeSample();
     }
 
-    Result.PathEdges = Edges.size();
+    Result.PathEdges = EdgeList.size();
     Result.SummaryEdges = NumSummaries;
+    Result.Propagations = Propagations;
+    Result.DedupHits = DedupHits;
+    Result.MemoryBytes = accountedBytes();
     return Result;
   }
 
 private:
-  void seed(PathEdge E) {
-    if (Edges.insert(E).second)
-      Worklist.push_back(E);
+  /// Approximate accounted memory: the edge list, the dedup index, and the
+  /// worklist. Deterministic for a fixed input (no allocator probing).
+  uint64_t accountedBytes() const {
+    return EdgeList.size() * (sizeof(StoredEdge) + sizeof(PathEdge) +
+                              sizeof(size_t) + 2 * sizeof(void *)) +
+           Worklist.size() * sizeof(size_t);
   }
 
-  void propagate(const PathEdge &E, uint32_t Node, uint64_t G, uint64_t L) {
-    seed(PathEdge{E.Func, E.GE, E.LE, Node, G, L});
+  void maybeSample() {
+    if (!Opts.SampleEvery || EdgeList.size() < NextSample)
+      return;
+    NextSample += Opts.SampleEvery;
+    Result.Series.push_back(BebopSample{EdgeList.size(), NumSummaries,
+                                        Propagations, DedupHits,
+                                        Worklist.size(), accountedBytes()});
+  }
+
+  /// Records \p E (if new) with provenance \p Prov and queues it.
+  /// \returns the edge's index either way.
+  size_t seed(const PathEdge &E, const Provenance &Prov) {
+    ++Propagations;
+    auto [It, Inserted] = Index.try_emplace(E, EdgeList.size());
+    if (Inserted) {
+      EdgeList.push_back(StoredEdge{E, Prov});
+      Worklist.push_back(It->second);
+      Result.FrontierPeak = std::max<uint64_t>(Result.FrontierPeak,
+                                               Worklist.size());
+    } else {
+      ++DedupHits;
+    }
+    return It->second;
+  }
+
+  void propagate(size_t ParentIdx, uint32_t Node, uint64_t G, uint64_t L) {
+    const PathEdge &E = EdgeList[ParentIdx].E;
+    seed(PathEdge{E.Func, E.GE, E.LE, Node, G, L},
+         Provenance{Provenance::Kind::Step, ParentIdx, 0});
+  }
+
+  /// Appends (in reverse execution order) the steps from edge \p Idx back
+  /// to, and including, the entry edge of its own call context. Summary
+  /// reuses splice the tabulated callee path recursively. \returns the
+  /// index of the entry edge reached.
+  size_t emitSegment(size_t Idx, std::vector<BebopTraceStep> &Rev) const {
+    while (true) {
+      const StoredEdge &SE = EdgeList[Idx];
+      Rev.push_back(BebopTraceStep{SE.E.Func, SE.E.Node});
+      switch (SE.P.K) {
+      case Provenance::Kind::Root:
+      case Provenance::Kind::CallEnter:
+        return Idx;
+      case Provenance::Kind::Step:
+        Idx = SE.P.Parent;
+        break;
+      case Provenance::Kind::SummaryResume:
+        // The callee's path, exit back to entry — then continue from the
+        // call edge in this caller (NOT the entry edge's recorded caller,
+        // which may be a different call site sharing the entry
+        // configuration).
+        emitSegment(SE.P.Exit, Rev);
+        Idx = SE.P.Parent;
+        break;
+      }
+    }
+  }
+
+  /// Reconstructs the witness ending at edge \p ErrIdx.
+  std::vector<BebopTraceStep> reconstruct(size_t ErrIdx) const {
+    std::vector<BebopTraceStep> Rev;
+    size_t At = emitSegment(ErrIdx, Rev);
+    // Cross into callers until the program-entry seed.
+    while (EdgeList[At].P.K == Provenance::Kind::CallEnter)
+      At = emitSegment(EdgeList[At].P.Parent, Rev);
+    std::reverse(Rev.begin(), Rev.end());
+    return Rev;
   }
 
   /// \returns false when an assertion failure ends the search.
-  bool process(const PathEdge &E) {
+  bool process(size_t Idx) {
+    const PathEdge E = EdgeList[Idx].E;
     const BFunction &F = P.Funcs[E.Func];
     const BNode &N = F.Nodes[E.Node];
 
     switch (N.K) {
     case BNode::Kind::Nop:
       for (uint32_t S : N.Succs)
-        propagate(E, S, E.G, E.L);
+        propagate(Idx, S, E.G, E.L);
       return true;
 
     case BNode::Kind::Assign: {
@@ -163,7 +273,7 @@ private:
         else
           L = setBit(L, N.Target, Values[I]);
         for (uint32_t S : N.Succs)
-          propagate(E, S, G, L);
+          propagate(Idx, S, G, L);
       }
       return true;
     }
@@ -171,18 +281,20 @@ private:
     case BNode::Kind::Assume:
       if (evalExpr(N.Expr, E.G, E.L))
         for (uint32_t S : N.Succs)
-          propagate(E, S, E.G, E.L);
+          propagate(Idx, S, E.G, E.L);
       return true;
 
     case BNode::Kind::Assert:
       if (!evalExpr(N.Expr, E.G, E.L)) {
         Result.Outcome = BebopOutcome::AssertionFailure;
+        Result.Message = "assertion failed";
         Result.ErrorFunc = E.Func;
         Result.ErrorNode = E.Node;
+        Result.Trace = reconstruct(Idx);
         return false;
       }
       for (uint32_t S : N.Succs)
-        propagate(E, S, E.G, E.L);
+        propagate(Idx, S, E.G, E.L);
       return true;
 
     case BNode::Kind::Call: {
@@ -192,33 +304,38 @@ private:
         LE = setBit(LE, I, evalExpr(N.Args[I], E.G, E.L));
       EntryKey Key{N.Callee, E.G, LE};
 
-      CallSites[Key].push_back(CallSite{E});
+      CallSites[Key].push_back(CallSite{Idx});
       // Seed the callee...
-      seed(PathEdge{N.Callee, E.G, LE, Callee.Entry, E.G, LE});
+      seed(PathEdge{N.Callee, E.G, LE, Callee.Entry, E.G, LE},
+           Provenance{Provenance::Kind::CallEnter, Idx, 0});
       // ...and apply already-known summaries immediately.
-      auto It = Summaries.find(Key);
-      if (It != Summaries.end())
-        for (uint64_t GOut : It->second)
+      auto It = SummaryExits.find(Key);
+      if (It != SummaryExits.end())
+        for (const auto &[GOut, ExitIdx] : It->second)
           for (uint32_t S : N.Succs)
-            propagate(E, S, GOut, E.L);
+            seed(PathEdge{E.Func, E.GE, E.LE, S, GOut, E.L},
+                 Provenance{Provenance::Kind::SummaryResume, Idx, ExitIdx});
       return true;
     }
 
     case BNode::Kind::Exit: {
       EntryKey Key{E.Func, E.GE, E.LE};
-      auto &Outs = Summaries[Key];
-      if (!Outs.insert(E.G).second)
+      auto &Outs = SummaryExits[Key];
+      if (!Outs.emplace(E.G, Idx).second)
         return true; // Known summary.
       ++NumSummaries;
       // Resume every caller waiting on this entry configuration.
       auto It = CallSites.find(Key);
       if (It != CallSites.end()) {
         for (const CallSite &CS : It->second) {
+          const StoredEdge &Caller = EdgeList[CS.AtCallIdx];
           const BNode &CallNode =
-              P.Funcs[CS.AtCall.Func].Nodes[CS.AtCall.Node];
+              P.Funcs[Caller.E.Func].Nodes[Caller.E.Node];
           for (uint32_t S : CallNode.Succs)
-            seed(PathEdge{CS.AtCall.Func, CS.AtCall.GE, CS.AtCall.LE, S,
-                          E.G, CS.AtCall.L});
+            seed(PathEdge{Caller.E.Func, Caller.E.GE, Caller.E.LE, S, E.G,
+                          Caller.E.L},
+                 Provenance{Provenance::Kind::SummaryResume, CS.AtCallIdx,
+                            Idx});
         }
       }
       return true;
@@ -229,12 +346,20 @@ private:
 
   const BoolProgram &P;
   const BebopOptions &Opts;
+  gov::Governor Gov;
   BebopResult Result;
-  std::unordered_set<PathEdge, PathEdgeHash> Edges;
-  std::deque<PathEdge> Worklist;
-  std::map<EntryKey, std::unordered_set<uint64_t>> Summaries;
+  /// Insertion-ordered edges with provenance; Index deduplicates.
+  std::vector<StoredEdge> EdgeList;
+  std::unordered_map<PathEdge, size_t, PathEdgeHash> Index;
+  std::deque<size_t> Worklist;
+  /// Summaries with the exit edge that first produced each output
+  /// valuation: Func × entry config → { globals-out → exit edge index }.
+  std::map<EntryKey, std::map<uint64_t, size_t>> SummaryExits;
   std::map<EntryKey, std::vector<CallSite>> CallSites;
   uint64_t NumSummaries = 0;
+  uint64_t Propagations = 0;
+  uint64_t DedupHits = 0;
+  uint64_t NextSample = 0;
 };
 
 } // namespace

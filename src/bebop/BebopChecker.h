@@ -17,12 +17,19 @@
 ///    |C| * 2^(2g + 2l), giving the O(|C| * 2^(g+l))-flavored scaling of
 ///    §4 (measured by the complexity_claim bench).
 ///
+/// The checker honors the same run contract as the explicit-state engines:
+/// a gov::RunBudget enforced on the worklist loop (deadline / memory /
+/// cancellation trips exit through BoundExceeded with a precise
+/// BoundReason), an error witness reconstructed from path-edge provenance,
+/// and an exploration time-series sampled by path-edge count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef KISS_BEBOP_BEBOPCHECKER_H
 #define KISS_BEBOP_BEBOPCHECKER_H
 
 #include "bebop/BoolProgram.h"
+#include "support/Governor.h"
 
 #include <cstdint>
 #include <string>
@@ -36,23 +43,66 @@ enum class BebopOutcome : uint8_t {
   BoundExceeded,
 };
 
-/// One step of a reconstructed witness: function and node id.
+/// One step of a reconstructed witness: function and node id, in forward
+/// execution order. Call steps are followed by the callee's steps; a
+/// summary reuse replays the tabulated callee path, so the witness is
+/// always a real interleaving-free execution.
 struct BebopTraceStep {
   uint32_t Func = 0;
   uint32_t Node = 0;
 };
 
+/// One point of the exploration time-series, sampled every
+/// BebopOptions::SampleEvery path edges.
+struct BebopSample {
+  uint64_t PathEdges = 0;
+  uint64_t SummaryEdges = 0;
+  uint64_t Propagations = 0;
+  uint64_t DedupHits = 0;
+  uint64_t Frontier = 0;
+  uint64_t MemoryBytes = 0;
+};
+
 struct BebopResult {
   BebopOutcome Outcome = BebopOutcome::Safe;
+  /// Why a BoundExceeded run stopped (None otherwise): States for the
+  /// path-edge budget, Deadline/Memory/Cancelled for governor trips.
+  gov::BoundReason Bound = gov::BoundReason::None;
+  /// Human-readable outcome detail ("assertion failed", a governor trip
+  /// message); empty for Safe.
+  std::string Message;
   /// Function/node of the failing assert (errors only).
   uint32_t ErrorFunc = 0;
   uint32_t ErrorNode = 0;
+  /// The reconstructed error witness, entry to failing assert (errors
+  /// only).
+  std::vector<BebopTraceStep> Trace;
   uint64_t PathEdges = 0;
   uint64_t SummaryEdges = 0;
+  /// Propagation attempts (worklist seeds, including duplicates).
+  uint64_t Propagations = 0;
+  /// Seeds that hit an already-known path edge.
+  uint64_t DedupHits = 0;
+  /// Peak worklist size.
+  uint64_t FrontierPeak = 0;
+  /// Approximate accounted memory of the edge table and worklist.
+  uint64_t MemoryBytes = 0;
+  /// Exploration time-series (empty unless SampleEvery was set).
+  std::vector<BebopSample> Series;
+
+  bool foundError() const { return Outcome == BebopOutcome::AssertionFailure; }
 };
 
 struct BebopOptions {
+  /// The run stops with BoundExceeded(States) once this many path edges
+  /// exist.
   uint64_t MaxPathEdges = 50'000'000;
+  /// Deadline / memory / cancellation budget, checked on the worklist
+  /// loop. A default budget never trips.
+  gov::RunBudget Budget;
+  /// Sample the exploration series every this many new path edges
+  /// (0 = off).
+  uint64_t SampleEvery = 0;
 };
 
 /// Decides assertion reachability for \p P.

@@ -17,29 +17,114 @@ using namespace kiss;
 using namespace kiss::bebop;
 using namespace kiss::lang;
 
-bool kiss::bebop::isBooleanFragment(const Program &P, std::string *Why) {
-  auto fail = [&](std::string Reason) {
+namespace {
+
+/// "int" / "a pointer" / "non-bool" for fragment-rejection messages.
+const char *describeNonBoolType(const Type *Ty) {
+  if (Ty->isInt())
+    return "int";
+  if (Ty->isPointer())
+    return "a pointer";
+  return "non-bool";
+}
+
+/// \returns the first async statement in \p S (or a nested block), null if
+/// none. Also finds non-bool surface declarations via \p BadDecl.
+const Stmt *findAsyncOrBadDecl(const Stmt *S, const Stmt *&BadDecl) {
+  if (!S)
+    return nullptr;
+  switch (S->getKind()) {
+  case StmtKind::Async:
+    return S;
+  case StmtKind::Decl:
+    if (!BadDecl && !cast<DeclStmt>(S)->getDeclType()->isBool())
+      BadDecl = S;
+    return nullptr;
+  case StmtKind::Block:
+    for (const StmtPtr &Sub : cast<BlockStmt>(S)->getStmts())
+      if (const Stmt *A = findAsyncOrBadDecl(Sub.get(), BadDecl))
+        return A;
+    return nullptr;
+  case StmtKind::Atomic:
+    return findAsyncOrBadDecl(cast<AtomicStmt>(S)->getBody(), BadDecl);
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    if (const Stmt *A = findAsyncOrBadDecl(I->getThen(), BadDecl))
+      return A;
+    return findAsyncOrBadDecl(I->getElse(), BadDecl);
+  }
+  case StmtKind::While:
+    return findAsyncOrBadDecl(cast<WhileStmt>(S)->getBody(), BadDecl);
+  case StmtKind::Choice:
+    for (const StmtPtr &Br : cast<ChoiceStmt>(S)->getBranches())
+      if (const Stmt *A = findAsyncOrBadDecl(Br.get(), BadDecl))
+        return A;
+    return nullptr;
+  case StmtKind::Iter:
+    return findAsyncOrBadDecl(cast<IterStmt>(S)->getBody(), BadDecl);
+  default:
+    return nullptr;
+  }
+}
+
+} // namespace
+
+bool kiss::bebop::isBooleanFragment(const Program &P, std::string *Why,
+                                    SourceLoc *Where) {
+  auto fail = [&](std::string Reason, SourceLoc Loc) {
     if (Why)
       *Why = std::move(Reason);
+    if (Where)
+      *Where = Loc;
     return false;
   };
 
   if (!P.getStructs().empty())
-    return fail("program declares structs");
+    return fail("program declares structs", SourceLoc());
   for (const GlobalDecl &G : P.getGlobals())
     if (!G.Ty->isBool())
       return fail("global '" + std::string(P.getSymbolTable().str(G.Name)) +
-                  "' is not bool");
+                      "' is " + describeNonBoolType(G.Ty),
+                  G.Loc);
+  // Return slots become extra globals, so the 64-global scope limit covers
+  // program globals plus one slot per bool-returning function.
+  size_t NumGlobals = P.getGlobals().size();
   for (const auto &F : P.getFunctions()) {
+    const std::string Name(P.getSymbolTable().str(F->getName()));
     if (!F->getReturnType()->isVoid() && !F->getReturnType()->isBool())
-      return fail("function '" +
-                  std::string(P.getSymbolTable().str(F->getName())) +
-                  "' returns a non-bool value");
+      return fail("function '" + Name + "' returns " +
+                      describeNonBoolType(F->getReturnType()),
+                  F->getLoc());
+    if (F->getReturnType()->isBool())
+      ++NumGlobals;
+    if (F->getLocals().size() > MaxVarsPerScope)
+      return fail("function '" + Name + "' declares " +
+                      std::to_string(F->getLocals().size()) +
+                      " locals, over the 64-variable scope limit",
+                  F->getLoc());
     for (const VarDecl &L : F->getLocals())
       if (!L.Ty->isBool())
         return fail("local '" + std::string(P.getSymbolTable().str(L.Name)) +
-                    "' is not bool");
+                        "' of function '" + Name + "' is " +
+                        describeNonBoolType(L.Ty),
+                    L.Loc);
+    const Stmt *BadDecl = nullptr;
+    if (const Stmt *A = findAsyncOrBadDecl(F->getBody(), BadDecl))
+      return fail("function '" + Name +
+                      "' forks a thread (async is outside the sequential "
+                      "fragment)",
+                  A->getLoc());
+    if (BadDecl)
+      return fail("declaration in function '" + Name + "' is " +
+                      describeNonBoolType(
+                          cast<DeclStmt>(BadDecl)->getDeclType()),
+                  BadDecl->getLoc());
   }
+  if (NumGlobals > MaxVarsPerScope)
+    return fail("program needs " + std::to_string(NumGlobals) +
+                    " globals (including return slots), over the "
+                    "64-variable scope limit",
+                SourceLoc());
   return true;
 }
 
@@ -58,8 +143,8 @@ private:
   bool convertCondition(const Expr *E, BExpr &Out);
   bool convertFunction(uint32_t FuncIdx, const cfg::FunctionCFG &FCFG);
 
-  bool error(std::string Msg) {
-    Diags.error(SourceLoc(), std::move(Msg));
+  bool error(SourceLoc Loc, std::string Msg) {
+    Diags.error(Loc, std::move(Msg));
     return false;
   }
 
@@ -83,7 +168,7 @@ bool Converter::convertExpr(const Expr *E, BExpr &Out) {
   case ExprKind::Unary: {
     const auto *U = cast<UnaryExpr>(E);
     if (U->getOp() != UnaryOp::Not)
-      return error("non-boolean unary operator");
+      return error(E->getLoc(), "non-boolean unary operator");
     BExpr Sub;
     if (!convertExpr(U->getSub(), Sub))
       return false;
@@ -101,7 +186,7 @@ bool Converter::convertExpr(const Expr *E, BExpr &Out) {
       K = BExpr::Kind::Ne;
       break;
     default:
-      return error("non-boolean binary operator");
+      return error(E->getLoc(), "non-boolean binary operator");
     }
     BExpr L, R;
     if (!convertExpr(B->getLHS(), L) || !convertExpr(B->getRHS(), R))
@@ -113,7 +198,7 @@ bool Converter::convertExpr(const Expr *E, BExpr &Out) {
     Out = BExpr::nondet();
     return true;
   default:
-    return error("expression outside the boolean fragment");
+    return error(E->getLoc(), "expression outside the boolean fragment");
   }
 }
 
@@ -129,7 +214,8 @@ bool Converter::convertFunction(uint32_t FuncIdx,
   BF.NumParams = F.getNumParams();
   BF.NumLocals = F.getLocals().size();
   if (BF.NumLocals > MaxVarsPerScope)
-    return error("function '" + BF.Name + "' exceeds the 64-local limit");
+    return error(F.getLoc(),
+                 "function '" + BF.Name + "' exceeds the 64-local limit");
 
   // First pass: one primary boolean node per CFG node (placeholders), so
   // successor ids can be copied through; extra nodes are appended.
@@ -161,7 +247,8 @@ bool Converter::convertFunction(uint32_t FuncIdx,
         const auto *A = cast<AssignStmt>(S);
         const auto *LHS = dyn_cast<VarRefExpr>(A->getLHS());
         if (!LHS)
-          return error("assignment through memory outside the fragment");
+          return error(S->getLoc(),
+                       "assignment through memory outside the fragment");
         BF.Nodes[I].K = BNode::Kind::Assign;
         BF.Nodes[I].IsGlobalTarget = LHS->getVarId().isGlobal();
         BF.Nodes[I].Target = LHS->getVarId().Index;
@@ -184,9 +271,11 @@ bool Converter::convertFunction(uint32_t FuncIdx,
       case StmtKind::Skip:
         break;
       case StmtKind::Async:
-        return error("async statement outside the sequential fragment");
+        return error(S->getLoc(),
+                     "async statement outside the sequential fragment");
       default:
-        return error("unexpected statement in the boolean fragment");
+        return error(S->getLoc(),
+                     "unexpected statement in the boolean fragment");
       }
       break;
     }
@@ -202,7 +291,8 @@ bool Converter::convertFunction(uint32_t FuncIdx,
       }
       const auto *Callee = dyn_cast<FuncRefExpr>(Call->getCallee());
       if (!Callee)
-        return error("indirect calls are outside the boolean fragment");
+        return error(N.S->getLoc(),
+                     "indirect calls are outside the boolean fragment");
 
       BF.Nodes[I].K = BNode::Kind::Call;
       BF.Nodes[I].Callee = Callee->getFuncIndex();
@@ -211,7 +301,8 @@ bool Converter::convertFunction(uint32_t FuncIdx,
         if (!convertExpr(Arg.get(), BA))
           return false;
         if (BA.K == BExpr::Kind::Nondet)
-          return error("nondet call arguments are not supported");
+          return error(Arg->getLoc(),
+                       "nondet call arguments are not supported");
         BF.Nodes[I].Args.push_back(std::move(BA));
       }
 
@@ -252,12 +343,13 @@ bool Converter::convertFunction(uint32_t FuncIdx,
 
 std::optional<BoolProgram> Converter::run() {
   std::string Why;
-  if (!isBooleanFragment(P, &Why)) {
-    error("program is outside the boolean fragment: " + Why);
+  SourceLoc Where;
+  if (!isBooleanFragment(P, &Why, &Where)) {
+    error(Where, "program is outside the boolean fragment: " + Why);
     return std::nullopt;
   }
   if (!lower::isCoreProgram(P, &Why)) {
-    error("program is not in core form: " + Why);
+    error(SourceLoc(), "program is not in core form: " + Why);
     return std::nullopt;
   }
 
@@ -273,7 +365,7 @@ std::optional<BoolProgram> Converter::run() {
     if (P.getFunctions()[I]->getReturnType()->isBool())
       RetGlobal[I] = Out.NumGlobals++;
   if (Out.NumGlobals > MaxVarsPerScope) {
-    error("program exceeds the 64-global limit");
+    error(SourceLoc(), "program exceeds the 64-global limit");
     return std::nullopt;
   }
 
@@ -285,7 +377,7 @@ std::optional<BoolProgram> Converter::run() {
 
   int Entry = P.getFunctionIndex(P.getEntryName());
   if (Entry < 0) {
-    error("program has no entry function");
+    error(SourceLoc(), "program has no entry function");
     return std::nullopt;
   }
   Out.EntryFunc = Entry;

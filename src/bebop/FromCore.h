@@ -30,8 +30,13 @@ class DiagnosticEngine;
 
 namespace kiss::bebop {
 
-/// \returns true if \p P is in the boolean fragment (reasons via \p Why).
-bool isBooleanFragment(const lang::Program &P, std::string *Why = nullptr);
+/// \returns true if \p P is in the boolean fragment. On rejection \p Why
+/// (if non-null) receives a precise reason naming the first out-of-fragment
+/// construct (pointer, int, async, over-64-variable scope, ...) and
+/// \p Where its source location. Never emits diagnostics, so Auto engine
+/// selection can probe and fall back without poisoning the session.
+bool isBooleanFragment(const lang::Program &P, std::string *Why = nullptr,
+                       SourceLoc *Where = nullptr);
 
 /// Converts core program \p P. \returns nullopt (with diagnostics) when
 /// \p P is outside the boolean fragment or exceeds the 64-variable scope

@@ -190,10 +190,174 @@ private:
   const GenOptions &Opts;
 };
 
+/// Boolean-fragment emitter: every value is a bool and every expression
+/// stays inside the summary engine's grammar — constants, variables, !,
+/// ==, !=, and nondet_bool() as a full assignment RHS. No &&/|| (the
+/// fragment converter rejects them), no ints, no pointers, no threads.
+class FragEmitter {
+public:
+  FragEmitter(Rng &R, const GenOptions &Opts) : R(R), Opts(Opts) {}
+
+  /// Globals b0..bN-1 plus main's locals l0..lM-1 once declared.
+  std::string var() {
+    unsigned N = Opts.BoolGlobals + Locals;
+    unsigned I = R.next(N > 0 ? N : 1);
+    if (I < Opts.BoolGlobals)
+      return "b" + std::to_string(I);
+    return "l" + std::to_string(I - Opts.BoolGlobals);
+  }
+
+  void addLocal() { ++Locals; }
+
+  /// A fragment condition (if/assume/assert argument): no nondet here —
+  /// nondet is only generated as a full assignment RHS, where the core
+  /// form is guaranteed to keep it legal.
+  std::string cond() {
+    switch (R.next(5)) {
+    case 0:
+      return var();
+    case 1:
+      return "!" + var();
+    case 2:
+      return var() + " == " + var();
+    case 3:
+      return var() + " != " + var();
+    default:
+      return var() + " == " + (R.chance(50) ? "true" : "false");
+    }
+  }
+
+  /// A full assignment RHS (may be nondet).
+  std::string expr() {
+    switch (R.next(6)) {
+    case 0:
+      return R.chance(50) ? "true" : "false";
+    case 1:
+      return var();
+    case 2:
+      return "!" + var();
+    case 3:
+      return var() + " == " + var();
+    case 4:
+      return var() + " != " + var();
+    default:
+      return "nondet_bool()";
+    }
+  }
+
+  /// A helper-call argument: simple values only (the converter rejects
+  /// nondet arguments).
+  std::string arg() {
+    switch (R.next(4)) {
+    case 0:
+      return var();
+    case 1:
+      return "!" + var();
+    case 2:
+      return R.chance(50) ? "true" : "false";
+    default:
+      return var() + " == " + var();
+    }
+  }
+
+  std::string stmt(unsigned Depth, bool AllowCall, bool AllowAssert) {
+    unsigned Roll = R.next(100);
+    if (Roll < 34)
+      return var() + " = " + expr() + ";";
+    if (Roll < 46 && Depth > 0) {
+      std::string S = "if (" + cond() + ") { " +
+                      block(1 + R.next(2), Depth - 1, AllowCall,
+                            AllowAssert) +
+                      " }";
+      if (R.chance(40))
+        S += " else { " + block(1, Depth - 1, AllowCall, AllowAssert) + " }";
+      return S;
+    }
+    if (Roll < 54 && Depth > 0)
+      return "choice { " +
+             block(1 + R.next(2), Depth - 1, AllowCall, AllowAssert) +
+             " } or { " + block(1, Depth - 1, AllowCall, AllowAssert) + " }";
+    if (Roll < 60 && Depth > 0)
+      return "iter { " +
+             block(1, Depth - 1, AllowCall, /*AllowAssert=*/false) + " }";
+    if (Roll < 66 && Depth > 0 && AllowCall)
+      return "atomic { " +
+             block(1 + R.next(2), 0, /*AllowCall=*/false,
+                   /*AllowAssert=*/false) +
+             " }";
+    if (Roll < 74)
+      return "assume(" + cond() + ");";
+    if (Roll < 84 && AllowCall && Opts.Helpers)
+      return var() + " = h" + std::to_string(R.next(Opts.Helpers)) + "(" +
+             arg() + ");";
+    if (Roll < 96 && AllowAssert && Opts.WithAsserts)
+      return "assert(" + cond() + ");";
+    return "skip;";
+  }
+
+  std::string block(unsigned N, unsigned Depth, bool AllowCall,
+                    bool AllowAssert) {
+    std::string Out;
+    for (unsigned I = 0; I != N; ++I) {
+      if (I)
+        Out += ' ';
+      Out += stmt(Depth, AllowCall, AllowAssert);
+    }
+    return Out;
+  }
+
+private:
+  Rng &R;
+  const GenOptions &Opts;
+  unsigned Locals = 0;
+};
+
+/// The boolean-fragment program family: bool globals, bool(bool) helpers
+/// (which may recurse — the summary engine's home turf), bool locals in
+/// main, and a fragment-only statement grammar.
+std::string generateBoolProgram(Rng &R, const GenOptions &Opts) {
+  FragEmitter E(R, Opts);
+  std::string Src;
+
+  for (unsigned I = 0; I != Opts.BoolGlobals; ++I)
+    Src += "bool b" + std::to_string(I) +
+           (R.chance(50) ? " = true;\n" : " = false;\n");
+
+  for (unsigned H = 0; H != Opts.Helpers; ++H) {
+    std::string Name = "h" + std::to_string(H);
+    // A helper flips or forwards its argument behind a branch; with a
+    // coin flip the recursive arm calls itself on the negated argument,
+    // which terminates concretely but exercises summary reuse (and, under
+    // nondet arguments upstream, genuine cycles in the summary graph).
+    Src += "bool " + Name + "(bool a) { if (a == " +
+           (R.chance(50) ? "true" : "false") + ") { ";
+    if (R.chance(40))
+      Src += "return " + Name + "(!a); ";
+    else
+      Src += "return " + std::string(R.chance(50) ? "!a" : "a") + "; ";
+    Src += "} return " + std::string(R.chance(60) ? "a" : "!a") + "; }\n";
+  }
+
+  Src += "void main() {\n";
+  unsigned Locals = R.next(3);
+  for (unsigned L = 0; L != Locals; ++L) {
+    Src += "  bool l" + std::to_string(L) + " = " + E.expr() + ";\n";
+    E.addLocal();
+  }
+  for (unsigned I = 0; I != Opts.Stmts; ++I)
+    Src += "  " +
+           E.stmt(Opts.Depth, /*AllowCall=*/true, /*AllowAssert=*/true) +
+           "\n";
+  Src += "}\n";
+  return Src;
+}
+
 } // namespace
 
 std::string fuzz::generateProgram(uint64_t Seed, const GenOptions &Opts) {
   Rng R(Seed);
+  if (Opts.BoolFragment)
+    return generateBoolProgram(R, Opts);
   Emitter E(R, Opts);
   std::string Src;
 
@@ -268,5 +432,14 @@ GenOptions fuzz::varyOptions(uint64_t Seed, const GenOptions &Base) {
   O.WithPointers = Base.WithPointers && R.chance(35);
   O.WithLocks = Base.WithLocks && R.chance(40);
   O.WithAsserts = Base.WithAsserts && !R.chance(15);
+  if (Base.BoolFragment) {
+    // The fragment pins are invariant under variation; only the shape
+    // knobs (statements, depth, helpers, asserts) sweep.
+    O.BoolFragment = true;
+    O.Threads = 1;
+    O.WithPointers = false;
+    O.WithLocks = false;
+    O.BoolGlobals = 1 + R.next(Base.BoolGlobals > 0 ? Base.BoolGlobals : 1);
+  }
   return O;
 }

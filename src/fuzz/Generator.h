@@ -76,6 +76,14 @@ struct GenOptions {
   unsigned AssertSlack = 2;
   /// Integer constants are drawn from [0, ConstRange].
   unsigned ConstRange = 2;
+  /// Boolean-fragment variant (kissfuzz --engine-diff=bebop): every
+  /// variable is a bool, helpers are bool(bool), and expressions stay
+  /// within the summary engine's fragment grammar (constants, variables,
+  /// !, ==, !=, nondet_bool()) — no ints, pointers, locks, or threads.
+  /// Pins Threads=1, WithPointers=false, WithLocks=false; varyOptions
+  /// preserves the pin. Generated programs are accepted by
+  /// bebop::isBooleanFragment by construction (pinned by the fuzz smoke).
+  bool BoolFragment = false;
 };
 
 /// Generates one program from \p Seed. Deterministic: same seed and

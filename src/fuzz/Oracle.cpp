@@ -218,6 +218,61 @@ OracleResult fuzz::runOracle(const std::string &Source,
       return Res;
   }
 
+  if (Opts.EngineDiff) {
+    // Differential check-backend mode: re-run the KISS side under the
+    // bebop summary engine. Verdicts must agree — Theorem 1 holds for
+    // whichever backend explores the transformed program — but the
+    // exploration counts are incomparable (path edges vs states), so a
+    // budget trip on either side makes the pair inconclusive rather than
+    // a divergence.
+    S.config().Engine = rt::Engine::Bebop;
+    core::KissReport KB = S.check(*P);
+    S.config().Engine = rt::Engine::Seq;
+    if (S.hasErrors()) {
+      // Bebop rejected the program: the boolean-fragment generator's
+      // contract says that should not happen.
+      Res.V = OracleVerdict::Discard;
+      Res.DiscardDiagnostics = S.diagnostics();
+      return Res;
+    }
+    if (K.Verdict == core::KissVerdict::BoundExceeded ||
+        KB.Verdict == core::KissVerdict::BoundExceeded) {
+      Res.V = OracleVerdict::Inconclusive;
+      Res.Detail = "an engine-diff side exceeded its budget";
+      return Res;
+    }
+    if (KB.Verdict != K.Verdict) {
+      Res.V = OracleVerdict::ExecDivergence;
+      Res.Detail = std::string("check engines (seq vs bebop) disagree: "
+                               "verdict ") +
+                   core::getVerdictName(K.Verdict) + " vs " +
+                   core::getVerdictName(KB.Verdict);
+      return Res;
+    }
+    if (KB.foundError()) {
+      // The bebop-reconstructed witness must be a real execution: replay
+      // it under the ground truth bounded to its own switch count.
+      conc::ConcOptions Replay = CO;
+      Replay.ContextSwitchBound =
+          static_cast<int32_t>(countContextSwitches(KB.Trace));
+      rt::CheckResult Bounded = conc::checkProgram(*P, CFG, Replay);
+      if (Bounded.Outcome == rt::CheckOutcome::BoundExceeded) {
+        Res.V = OracleVerdict::Inconclusive;
+        Res.Detail = "bebop trace replay exceeded its budget";
+        return Res;
+      }
+      if (!Bounded.foundError()) {
+        Res.V = OracleVerdict::ExecDivergence;
+        Res.Detail =
+            "bebop-mapped trace uses " +
+            std::to_string(countContextSwitches(KB.Trace)) +
+            " context switches but no erroneous execution exists within "
+            "that bound";
+        return Res;
+      }
+    }
+  }
+
   if (K.foundError()) {
     Res.TraceThreads = K.Trace.NumThreads;
     Res.TraceSwitches = countContextSwitches(K.Trace);

@@ -82,6 +82,17 @@ struct OracleOptions {
   /// error location, and state/transition counts against the default
   /// threaded/flat runs. Any mismatch is an ExecDivergence violation.
   bool ExecDiff = false;
+  /// Differential check-backend mode (kissfuzz --engine-diff=bebop):
+  /// additionally run the KISS side under the bebop summary engine and
+  /// compare verdicts against the explicit-state run; when both report an
+  /// error, the bebop-mapped concurrent trace must replay within its own
+  /// context-switch count under the ground truth. Verdict disagreement or
+  /// a non-replaying trace is an ExecDivergence violation. Exploration
+  /// counts are NOT compared — path edges and states measure different
+  /// things — so a budget trip on either side skips the comparison.
+  /// Meaningful only on boolean-fragment programs (GenOptions
+  /// BoolFragment); a fragment rejection is a Discard (generator defect).
+  bool EngineDiff = false;
 };
 
 /// One differential run's outcome.

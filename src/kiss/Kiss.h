@@ -72,8 +72,15 @@ struct CheckConfig {
   bool UseAliasAnalysis = true;
   /// Test-only sabotage switch (kissfuzz --break-transform).
   bool InjectBreakAsserts = false;
-  /// State budget of the sequential exploration.
+  /// State budget of the sequential exploration. Under the bebop engine
+  /// the same knob bounds the number of path edges.
   uint64_t MaxStates = 1'000'000;
+  /// Check backend (kisscheck --engine): Seq explicit-state (default),
+  /// Bebop summaries (boolean-fragment programs only; other inputs reject
+  /// with diagnostics), or Auto — bebop when the transformed program is in
+  /// the fragment, seq otherwise with the reason recorded in
+  /// CheckResult::EngineFallbackReason. See docs/api.md "Engines".
+  rt::Engine Engine = rt::Engine::Seq;
   /// Execution engine of the sequential exploration (kisscheck --exec).
   /// Both engines are bit-identical in results; Threaded is the fast
   /// default, Interp the reference oracle.

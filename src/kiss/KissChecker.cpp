@@ -6,6 +6,8 @@
 
 #include "kiss/KissChecker.h"
 
+#include "bebop/BebopChecker.h"
+#include "bebop/FromCore.h"
 #include "cfg/CFG.h"
 #include "telemetry/Telemetry.h"
 
@@ -40,13 +42,88 @@ telemetry::RunRecorder::Span phase(const KissOptions &Opts,
   return Opts.Common.Recorder->beginPhase(Name);
 }
 
-/// Runs the translated program through the sequential checker and
+/// Runs the boolean-program summary engine on the translated program and
+/// synthesizes the rt contract from its result, so every downstream
+/// consumer (trace mapping, telemetry, exit codes) sees one shape.
+/// \returns false when conversion fails (diagnostics explain why).
+bool runBebop(const Program &Transformed, const cfg::ProgramCFG &CFG,
+              const KissOptions &Opts, DiagnosticEngine &Diags,
+              KissReport &R) {
+  auto ConvertSpan = phase(Opts, "convert");
+  std::optional<bebop::BoolProgram> BP =
+      bebop::convertFromCore(Transformed, Diags);
+  ConvertSpan.end();
+  if (!BP)
+    return false;
+
+  auto CheckSpan = phase(Opts, "check");
+  bebop::BebopOptions BO;
+  BO.MaxPathEdges = Opts.Seq.MaxStates;
+  BO.Budget = Opts.Common.Budget;
+  BO.SampleEvery = Opts.Seq.SampleEvery;
+  bebop::BebopResult BR = bebop::check(*BP, BO);
+  CheckSpan.counter("path_edges", BR.PathEdges);
+  CheckSpan.counter("summary_edges", BR.SummaryEdges);
+  CheckSpan.counter("propagations", BR.Propagations);
+  CheckSpan.counter("dedup_hits", BR.DedupHits);
+  CheckSpan.counter("frontier_peak", BR.FrontierPeak);
+  CheckSpan.end();
+
+  R.PathEdges = BR.PathEdges;
+  R.SummaryEdges = BR.SummaryEdges;
+  R.Sequential.StatesExplored = BR.PathEdges;
+  R.Sequential.TransitionsExplored = BR.Propagations;
+  R.Sequential.Exploration.DedupHits = BR.DedupHits;
+  R.Sequential.Exploration.FrontierPeak = BR.FrontierPeak;
+  R.Sequential.Exploration.ArenaBytes = BR.MemoryBytes;
+  for (const bebop::BebopSample &S : BR.Series) {
+    rt::ExplorationSample P;
+    P.States = S.PathEdges;
+    P.Transitions = S.Propagations;
+    P.DedupHits = S.DedupHits;
+    P.Frontier = S.Frontier;
+    P.ArenaBytes = S.MemoryBytes;
+    R.Sequential.Series.push_back(P);
+  }
+
+  switch (BR.Outcome) {
+  case bebop::BebopOutcome::Safe:
+    R.Sequential.Outcome = rt::CheckOutcome::Safe;
+    break;
+  case bebop::BebopOutcome::BoundExceeded:
+    R.Sequential.Outcome = rt::CheckOutcome::BoundExceeded;
+    R.Sequential.Bound = BR.Bound;
+    R.Sequential.Message = BR.Message;
+    break;
+  case bebop::BebopOutcome::AssertionFailure: {
+    R.Sequential.Outcome = rt::CheckOutcome::AssertionFailure;
+    R.Sequential.Message = BR.Message;
+    const cfg::Node &ErrN =
+        CFG.getFunctionCFG(BR.ErrorFunc).getNode(BR.ErrorNode);
+    if (ErrN.S)
+      R.Sequential.ErrorLoc = ErrN.S->getLoc();
+    // The conversion appends synthetic nodes (dedicated exits, call-result
+    // copies) past the CFG node count; drop them so the trace maps 1:1
+    // onto CFG nodes, as the explicit-state trace contract requires.
+    for (const bebop::BebopTraceStep &TS : BR.Trace)
+      if (TS.Node < CFG.getFunctionCFG(TS.Func).getNumNodes())
+        R.Sequential.Trace.push_back(rt::TraceStep{0, TS.Func, TS.Node});
+    break;
+  }
+  }
+  return true;
+}
+
+/// Runs the translated program through the selected check engine and
 /// classifies the outcome.
 KissReport runPipeline(const Program &P, std::unique_ptr<Program> Transformed,
-                       const KissOptions &Opts, TransformStats Stats) {
+                       const KissOptions &Opts, TransformStats Stats,
+                       DiagnosticEngine &Diags) {
   (void)P;
   KissReport R;
   R.Stats = Stats;
+  R.EngineUsed =
+      Opts.Engine == rt::Engine::Bebop ? rt::Engine::Bebop : rt::Engine::Seq;
 
   if (!Transformed) {
     R.Verdict = KissVerdict::BoundExceeded;
@@ -56,21 +133,53 @@ KissReport runPipeline(const Program &P, std::unique_ptr<Program> Transformed,
     return R;
   }
 
+  // Auto: bebop exactly when the *transformed* program is in the boolean
+  // fragment — probed without diagnostics, so falling back is silent
+  // except for the recorded reason.
+  if (Opts.Engine == rt::Engine::Auto) {
+    std::string Why;
+    if (bebop::isBooleanFragment(*Transformed, &Why)) {
+      R.EngineUsed = rt::Engine::Bebop;
+    } else {
+      R.EngineUsed = rt::Engine::Seq;
+      R.EngineFallbackReason = Why;
+    }
+    if (Opts.Common.Recorder) {
+      Opts.Common.Recorder->setMeta("engine_selected",
+                                    rt::getEngineName(R.EngineUsed));
+      if (!R.EngineFallbackReason.empty())
+        Opts.Common.Recorder->setMeta("engine_fallback_reason",
+                                      R.EngineFallbackReason);
+    }
+  }
+
   auto CfgSpan = phase(Opts, "cfg");
   cfg::ProgramCFG CFG = cfg::ProgramCFG::build(*Transformed);
   CfgSpan.counter("cfg_nodes", CFG.getTotalNodes());
   CfgSpan.end();
 
-  auto CheckSpan = phase(Opts, "check");
-  seqcheck::SeqOptions SO = Opts.Seq;
-  SO.Budget = Opts.Common.Budget;
-  R.Sequential = seqcheck::checkProgram(*Transformed, CFG, SO);
-  CheckSpan.counter("states", R.Sequential.StatesExplored);
-  CheckSpan.counter("transitions", R.Sequential.TransitionsExplored);
-  CheckSpan.counter("dedup_hits", R.Sequential.Exploration.DedupHits);
-  CheckSpan.counter("frontier_peak", R.Sequential.Exploration.FrontierPeak);
-  CheckSpan.counter("depth_max", R.Sequential.Exploration.DepthMax);
-  CheckSpan.end();
+  if (R.EngineUsed == rt::Engine::Bebop) {
+    if (!runBebop(*Transformed, CFG, Opts, Diags, R)) {
+      R.Verdict = KissVerdict::BoundExceeded;
+      R.Message = "program is outside the boolean fragment";
+      R.Sequential.Outcome = rt::CheckOutcome::BoundExceeded;
+      R.Sequential.Bound = gov::BoundReason::Fault;
+      R.Sequential.Message = R.Message;
+      R.Transformed = std::move(Transformed);
+      return R;
+    }
+  } else {
+    auto CheckSpan = phase(Opts, "check");
+    seqcheck::SeqOptions SO = Opts.Seq;
+    SO.Budget = Opts.Common.Budget;
+    R.Sequential = seqcheck::checkProgram(*Transformed, CFG, SO);
+    CheckSpan.counter("states", R.Sequential.StatesExplored);
+    CheckSpan.counter("transitions", R.Sequential.TransitionsExplored);
+    CheckSpan.counter("dedup_hits", R.Sequential.Exploration.DedupHits);
+    CheckSpan.counter("frontier_peak", R.Sequential.Exploration.FrontierPeak);
+    CheckSpan.counter("depth_max", R.Sequential.Exploration.DepthMax);
+    CheckSpan.end();
+  }
 
   // Resolve the raw per-node profile against the translated program's
   // CFG while it is still in scope. Instrumented statements carry the
@@ -137,7 +246,7 @@ KissReport core::checkAssertions(const Program &P, const KissOptions &Opts,
   auto Transformed = transformForAssertions(P, TO, Diags, &Stats);
   recordTransformStats(TransformSpan, Stats);
   TransformSpan.end();
-  return runPipeline(P, std::move(Transformed), Opts, Stats);
+  return runPipeline(P, std::move(Transformed), Opts, Stats, Diags);
 }
 
 KissReport core::checkRace(const Program &P, const RaceTarget &Target,
@@ -153,5 +262,5 @@ KissReport core::checkRace(const Program &P, const RaceTarget &Target,
   auto Transformed = transformForRace(P, Target, TO, Diags, &Stats);
   recordTransformStats(TransformSpan, Stats);
   TransformSpan.end();
-  return runPipeline(P, std::move(Transformed), Opts, Stats);
+  return runPipeline(P, std::move(Transformed), Opts, Stats, Diags);
 }

@@ -37,6 +37,12 @@ struct KissOptions {
   unsigned MaxSwitches = 2;
   /// Prune race probes with the points-to analysis.
   bool UseAliasAnalysis = true;
+  /// Which check backend runs the translated sequential program: the
+  /// explicit-state engine (Seq, the default), the summary-based
+  /// boolean-program engine (Bebop, boolean-fragment inputs only), or
+  /// Auto — bebop when the *transformed* program is in the fragment,
+  /// seq otherwise (with the reason recorded in the report).
+  rt::Engine Engine = rt::Engine::Seq;
   /// Budgets of the underlying sequential model checker. Seq.Budget is
   /// overwritten from Common.Budget — set the budget there.
   seqcheck::SeqOptions Seq;
@@ -82,6 +88,15 @@ struct KissReport {
   std::vector<rt::LineProfile> Profile;
   /// The translated sequential program (for inspection/printing).
   std::unique_ptr<lang::Program> Transformed;
+  /// Which backend actually ran (Auto resolves to Seq or Bebop).
+  rt::Engine EngineUsed = rt::Engine::Seq;
+  /// Auto mode only: why bebop was not applicable (empty when it was, or
+  /// when the engine was selected explicitly).
+  std::string EngineFallbackReason;
+  /// Summary-engine counters (zero under seq): path edges saturated and
+  /// procedure summaries tabulated.
+  uint64_t PathEdges = 0;
+  uint64_t SummaryEdges = 0;
 
   bool foundError() const {
     return Verdict == KissVerdict::AssertionViolation ||

@@ -30,6 +30,7 @@ CheckResult Session::check(const lang::Program &P) {
   KO.MaxTs = Cfg.MaxTs;
   KO.MaxSwitches = Cfg.MaxSwitches;
   KO.UseAliasAnalysis = Cfg.UseAliasAnalysis;
+  KO.Engine = Cfg.Engine;
   KO.InjectBreakAsserts = Cfg.InjectBreakAsserts;
   KO.Seq.MaxStates = Cfg.MaxStates;
   KO.Seq.Progress = Cfg.Progress;

@@ -59,6 +59,42 @@ inline bool parseExecEngine(std::string_view S, ExecEngine &Out) {
   return true;
 }
 
+/// Which check backend answers a reachability query. Seq is the
+/// explicit-state engine (the default); Bebop is the summary-based
+/// boolean-program engine, applicable only to programs inside the boolean
+/// fragment (bebop::isBooleanFragment); Auto picks Bebop when the
+/// *transformed* program is in the fragment and falls back to Seq with a
+/// recorded reason otherwise.
+enum class Engine : uint8_t {
+  Seq,
+  Bebop,
+  Auto,
+};
+
+inline const char *getEngineName(Engine E) {
+  switch (E) {
+  case Engine::Seq:
+    return "seq";
+  case Engine::Bebop:
+    return "bebop";
+  case Engine::Auto:
+    return "auto";
+  }
+  return "seq";
+}
+
+inline bool parseEngine(std::string_view S, Engine &Out) {
+  if (S == "seq")
+    Out = Engine::Seq;
+  else if (S == "bebop")
+    Out = Engine::Bebop;
+  else if (S == "auto")
+    Out = Engine::Auto;
+  else
+    return false;
+  return true;
+}
+
 inline const char *getStoreModeName(StoreMode M) {
   return M == StoreMode::Flat ? "flat" : "delta";
 }

@@ -246,8 +246,14 @@ std::string telemetry::renderReport(const RunRecorder &R,
     appendU64(Out, C.FrontierPeak);
     Out += ", \"depth_max\": ";
     appendU64(Out, C.DepthMax);
+    Out += ", \"path_edges\": ";
+    appendU64(Out, C.PathEdges);
+    Out += ", \"summary_edges\": ";
+    appendU64(Out, C.SummaryEdges);
     Out += ", \"exec_engine\": \"";
     Out += escapeJson(C.ExecEngine);
+    Out += "\", \"engine\": \"";
+    Out += escapeJson(C.Engine);
     Out += "\", \"states_per_sec\": ";
     appendU64(Out, Opts.ZeroTimings ? 0 : C.StatesPerSec);
     Out += ", \"series\": [";

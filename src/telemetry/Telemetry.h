@@ -9,7 +9,7 @@
 /// nested phase spans (parse -> sema -> lower -> transform -> alias -> cfg
 /// -> check), named monotonic counters, and per-check exploration records,
 /// and renders them as a versioned machine-readable JSON report
-/// (schema_version 4; see docs/observability.md for the schema reference),
+/// (schema_version 5; see docs/observability.md for the schema reference),
 /// or as Chrome/Perfetto trace-event JSON (renderTrace/writeTrace).
 ///
 /// Conventions:
@@ -115,6 +115,14 @@ struct CheckRecord {
   /// Why the check stopped short ("none" when it completed); a
   /// gov::BoundReason name.
   std::string BoundReason = "none";
+  /// Path edges saturated by the summary engine (0 under other engines).
+  uint64_t PathEdges = 0;
+  /// Procedure summaries tabulated by the summary engine (0 otherwise).
+  uint64_t SummaryEdges = 0;
+  /// Which check backend produced the record (an rt::Engine name, "seq"
+  /// or "bebop"; "conc" for the ground-truth engine, "none" for records
+  /// with no backend notion).
+  std::string Engine = "none";
 };
 
 /// Collects the telemetry of one run. Create one per process/run, thread a
@@ -232,7 +240,10 @@ bool writeReport(const RunRecorder &R, const std::string &Path,
 ///    "key_verifies", "hash_collisions") and the "series" and "profile"
 ///    arrays (the observability release; tools/bench_diff.py accepts
 ///    versions 1 through 4).
-inline constexpr int ReportSchemaVersion = 4;
+///  * 5 — adds the per-check "path_edges" and "summary_edges" counters and
+///    the "engine" field (the summary-engine release; tools/bench_diff.py
+///    accepts versions 1 through 5).
+inline constexpr int ReportSchemaVersion = 5;
 
 /// Renders \p R as Chrome/Perfetto trace-event JSON ("traceEvents"
 /// format): phase spans become complete ("X") slices on one track, checks

@@ -9,7 +9,13 @@
 
 #include "bebop/BebopChecker.h"
 #include "bebop/FromCore.h"
+#include "kiss/Kiss.h"
+#include "kiss/TraceMap.h"
 #include "seqcheck/SeqChecker.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 using namespace kiss;
 using namespace kiss::bebop;
@@ -187,12 +193,37 @@ TEST(BebopTest, AgreesWithExplicitEngineOnBooleanPrograms) {
   }
 }
 
+TEST(BebopTest, SummaryReuseCounted) {
+  // Four calls, two distinct entry configurations: the second call of each
+  // value must reuse the tabulated summary instead of re-exploring, which
+  // shows up as path-edge dedup hits.
+  // id(false) leaves the return slot at its initial value, so the second
+  // call's entry configuration is identical to the first: its propagation
+  // is a dedup hit and the tabulated summary is applied instead of
+  // re-exploring the body.
+  BebopResult R = runBebop(R"(
+    bool id(bool x) { return x; }
+    void main() {
+      bool a = id(false);
+      bool b = id(false);
+      bool c = id(true);
+      assert(a == b);
+      assert(c != a);
+    }
+  )");
+  EXPECT_EQ(R.Outcome, BebopOutcome::Safe);
+  EXPECT_LE(R.SummaryEdges, 8u);
+  EXPECT_GT(R.DedupHits, 0u);
+  EXPECT_GT(R.PathEdges, 0u);
+  EXPECT_GE(R.Propagations, R.PathEdges);
+}
+
 TEST(BebopTest, RejectsNonBooleanPrograms) {
   auto C = compile("int g; void main() { g = 1; }");
   ASSERT_TRUE(C);
   std::string Why;
   EXPECT_FALSE(isBooleanFragment(*C.Program, &Why));
-  EXPECT_NE(Why.find("not bool"), std::string::npos);
+  EXPECT_NE(Why.find("global 'g' is int"), std::string::npos) << Why;
   DiagnosticEngine Diags;
   EXPECT_FALSE(convertFromCore(*C.Program, Diags).has_value());
   EXPECT_TRUE(Diags.hasErrors());
@@ -210,7 +241,10 @@ TEST(BebopTest, RejectsStructsAndPointers) {
   EXPECT_FALSE(isBooleanFragment(*C.Program));
 }
 
-TEST(BebopTest, PathEdgeBudgetReported) {
+TEST(BebopTest, PathEdgeBudgetTripsExactlyAtTheBound) {
+  // The worklist gate is checked BEFORE each propagation (the off-by-one
+  // class fixed in the Heartbeat stride gate): a budget of N stops with
+  // exactly N path edges saturated, never N+1.
   BebopOptions Opts;
   Opts.MaxPathEdges = 4;
   BebopResult R = runBebop(R"(
@@ -223,6 +257,277 @@ TEST(BebopTest, PathEdgeBudgetReported) {
     }
   )", Opts);
   EXPECT_EQ(R.Outcome, BebopOutcome::BoundExceeded);
+  EXPECT_EQ(R.Bound, gov::BoundReason::States);
+  EXPECT_EQ(R.PathEdges, 4u);
+  EXPECT_EQ(R.Message, "path-edge budget exceeded");
+}
+
+TEST(BebopTest, GovernorInjectionTripsDeterministically) {
+  // A deterministic injected trip (gov::RunBudget::TripAtTick) must stop
+  // the saturation loop with the injected reason — the same budget
+  // contract the explicit-state engines honor.
+  BebopOptions Opts;
+  Opts.Budget.TripAtTick = 2;
+  Opts.Budget.TripReason = gov::BoundReason::Deadline;
+  BebopResult R = runBebop(R"(
+    bool a; bool b;
+    void main() {
+      a = nondet_bool();
+      b = nondet_bool();
+      assert(true);
+    }
+  )", Opts);
+  EXPECT_EQ(R.Outcome, BebopOutcome::BoundExceeded);
+  EXPECT_EQ(R.Bound, gov::BoundReason::Deadline);
+}
+
+//===----------------------------------------------------------------------===//
+// Session-level engine routing, witnesses, and the recursion differential
+//===----------------------------------------------------------------------===//
+
+CheckResult checkWith(Session &S, const std::string &Source) {
+  auto P = S.compile("test.kiss", Source);
+  EXPECT_TRUE(P != nullptr) << S.diagnostics();
+  if (!P)
+    return CheckResult{};
+  return S.check(*P);
+}
+
+TEST(BebopSessionTest, BebopEngineProducesTheSeqWitnessByteForByte) {
+  const std::string Source = "bool g = false;\n"
+                             "void set(bool v) { g = v; }\n"
+                             "void main() {\n"
+                             "  set(true);\n"
+                             "  assert(!g);\n"
+                             "}\n";
+  std::string Traces[2];
+  for (int I = 0; I != 2; ++I) {
+    CheckConfig Cfg;
+    Cfg.Engine = I == 0 ? rt::Engine::Seq : rt::Engine::Bebop;
+    Session S(Cfg);
+    auto P = S.compile("test.kiss", Source);
+    ASSERT_TRUE(P != nullptr) << S.diagnostics();
+    CheckResult R = S.check(*P);
+    EXPECT_EQ(R.Verdict, core::KissVerdict::AssertionViolation);
+    EXPECT_EQ(R.EngineUsed, Cfg.Engine);
+    Traces[I] = core::formatConcurrentTrace(R.Trace, *P, &S.context().SM);
+  }
+  // The reconstructed summary-engine witness maps back through TraceMap to
+  // the identical concurrent trace the explicit-state engine reports.
+  EXPECT_EQ(Traces[0], Traces[1]);
+  EXPECT_EQ(Traces[1], "[t0] set(true);   // test.kiss:4\n"
+                       "[t0] g = v;   // test.kiss:2\n"
+                       "[t0] assert(!(g));   // test.kiss:5\n");
+}
+
+TEST(BebopSessionTest, AutoSelectsBebopInsideTheFragment) {
+  CheckConfig Cfg;
+  Cfg.Engine = rt::Engine::Auto;
+  Session S(Cfg);
+  CheckResult R = checkWith(S, R"(
+    bool g;
+    void main() { g = nondet_bool(); assert(g == g); }
+  )");
+  EXPECT_EQ(R.Verdict, core::KissVerdict::NoErrorFound);
+  EXPECT_EQ(R.EngineUsed, rt::Engine::Bebop);
+  EXPECT_TRUE(R.EngineFallbackReason.empty());
+  EXPECT_GT(R.PathEdges, 0u);
+  EXPECT_FALSE(S.hasErrors());
+}
+
+TEST(BebopSessionTest, AutoFallsBackToSeqOutsideTheFragment) {
+  CheckConfig Cfg;
+  Cfg.Engine = rt::Engine::Auto;
+  Session S(Cfg);
+  CheckResult R = checkWith(S, R"(
+    int g = 0;
+    void main() { g = g + 1; assert(g == 1); }
+  )");
+  // The fallback is silent: the fragment probe never emits diagnostics,
+  // the verdict comes from the explicit-state engine, and the reason is
+  // recorded for the report.
+  EXPECT_EQ(R.Verdict, core::KissVerdict::NoErrorFound);
+  EXPECT_EQ(R.EngineUsed, rt::Engine::Seq);
+  EXPECT_NE(R.EngineFallbackReason.find("int"), std::string::npos)
+      << R.EngineFallbackReason;
+  EXPECT_EQ(R.PathEdges, 0u);
+  EXPECT_FALSE(S.hasErrors()) << S.diagnostics();
+}
+
+TEST(BebopSessionTest, ExplicitBebopRejectsOutsideTheFragment) {
+  CheckConfig Cfg;
+  Cfg.Engine = rt::Engine::Bebop;
+  Session S(Cfg);
+  CheckResult R = checkWith(S, "int g; void main() { g = 1; }");
+  EXPECT_EQ(R.Verdict, core::KissVerdict::BoundExceeded);
+  EXPECT_TRUE(S.hasErrors());
+  EXPECT_NE(S.diagnostics().find("outside the boolean fragment"),
+            std::string::npos)
+      << S.diagnostics();
+}
+
+TEST(BebopSessionTest, UnboundedRecursionSafeUnderBebopBoundedUnderSeq) {
+  // The flagship differential: a nondet-depth recursion has no explicit-
+  // state bound (the stack grows until the frame budget trips) but a
+  // finite boolean configuration space, so summaries saturate and prove
+  // it safe.
+  const std::string Source = R"(
+    bool parity(bool p) {
+      bool more = nondet_bool();
+      if (more) { return parity(!p); }
+      return p;
+    }
+    void main() {
+      bool start = nondet_bool();
+      bool end = parity(start);
+      assert(end == end);
+    }
+  )";
+  {
+    CheckConfig Cfg;
+    Cfg.Engine = rt::Engine::Bebop;
+    Session S(Cfg);
+    CheckResult R = checkWith(S, Source);
+    EXPECT_EQ(R.Verdict, core::KissVerdict::NoErrorFound);
+    EXPECT_GT(R.SummaryEdges, 0u);
+  }
+  {
+    CheckConfig Cfg;
+    Cfg.Engine = rt::Engine::Seq;
+    Session S(Cfg);
+    CheckResult R = checkWith(S, Source);
+    EXPECT_EQ(R.Verdict, core::KissVerdict::BoundExceeded);
+    EXPECT_EQ(R.boundReason(), gov::BoundReason::States);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Verdict equality over the committed corpora
+//===----------------------------------------------------------------------===//
+
+std::string slurp(const std::filesystem::path &P) {
+  std::ifstream In(P, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// Every committed boolean-fragment program (example gallery and shrunk
+/// fuzz repros alike) must get the same verdict — and, on errors, the same
+/// witness — from both check backends. Out-of-fragment programs and bound
+/// trips (path edges and states are incomparable budgets) are skipped.
+void expectEngineAgreement(const std::filesystem::path &Dir) {
+  ASSERT_TRUE(std::filesystem::exists(Dir)) << Dir;
+  unsigned Compared = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir)) {
+    if (Entry.path().extension() != ".kiss")
+      continue;
+    std::string Source = slurp(Entry.path());
+    std::string Name = Entry.path().filename().string();
+
+    CheckResult Results[2];
+    std::string Traces[2];
+    bool Skip = false;
+    for (int I = 0; I != 2; ++I) {
+      CheckConfig Cfg;
+      Cfg.Engine = I == 0 ? rt::Engine::Seq : rt::Engine::Bebop;
+      Session S(Cfg);
+      auto P = S.compile(Name, Source);
+      ASSERT_TRUE(P != nullptr) << Name << "\n" << S.diagnostics();
+      if (I == 1 && !bebop::isBooleanFragment(*P)) {
+        Skip = true;
+        break;
+      }
+      Results[I] = S.check(*P);
+      if (I == 1)
+        EXPECT_FALSE(S.hasErrors()) << Name << "\n" << S.diagnostics();
+      Traces[I] =
+          core::formatConcurrentTrace(Results[I].Trace, *P, &S.context().SM);
+    }
+    if (Skip || Results[0].Verdict == core::KissVerdict::BoundExceeded ||
+        Results[1].Verdict == core::KissVerdict::BoundExceeded)
+      continue;
+    ++Compared;
+    EXPECT_EQ(Results[0].Verdict, Results[1].Verdict) << Name;
+    EXPECT_EQ(Traces[0], Traces[1]) << Name;
+  }
+  // The corpus must actually exercise the comparison (handshake.kiss at
+  // minimum lives in the gallery).
+  if (Dir == std::filesystem::path(KISS_SAMPLES_DIR))
+    EXPECT_GT(Compared, 0u);
+}
+
+TEST(BebopCorpusTest, EnginesAgreeOnEverySampleProgram) {
+  expectEngineAgreement(KISS_SAMPLES_DIR);
+}
+
+TEST(BebopCorpusTest, EnginesAgreeOnEveryRegressRepro) {
+  expectEngineAgreement(KISS_REGRESS_DIR);
+}
+
+//===----------------------------------------------------------------------===//
+// Located fragment-rejection diagnostics
+//===----------------------------------------------------------------------===//
+
+/// Converts \p Source expecting rejection; returns the rendered
+/// diagnostics (which must carry file:line:col).
+std::string rejectionDiagnostics(const std::string &Source) {
+  auto C = compile(Source);
+  EXPECT_TRUE(C);
+  if (!C)
+    return "";
+  EXPECT_FALSE(convertFromCore(*C.Program, C.Ctx->Diags).has_value());
+  return C.diagnostics();
+}
+
+TEST(BebopDiagnosticsTest, IntGlobalCarriesLocationAndReason) {
+  std::string D = rejectionDiagnostics("int g = 0;\n"
+                                       "void main() { g = 1; }\n");
+  EXPECT_NE(D.find("test.kiss:1:"), std::string::npos) << D;
+  EXPECT_NE(D.find("global 'g' is int"), std::string::npos) << D;
+}
+
+TEST(BebopDiagnosticsTest, PointerLocalCarriesLocationAndReason) {
+  std::string D = rejectionDiagnostics("struct S { bool b; }\n"
+                                       "void main() {\n"
+                                       "  S *p = new S;\n"
+                                       "  p->b = true;\n"
+                                       "}\n");
+  // Struct programs are rejected at the program level before any local is
+  // inspected; the reason names the construct.
+  EXPECT_NE(D.find("struct"), std::string::npos) << D;
+}
+
+TEST(BebopDiagnosticsTest, AsyncCarriesLocationAndReason) {
+  std::string D = rejectionDiagnostics("bool g;\n"
+                                       "void w() { g = true; }\n"
+                                       "void main() {\n"
+                                       "  async w();\n"
+                                       "}\n");
+  EXPECT_NE(D.find("test.kiss:4:"), std::string::npos) << D;
+  EXPECT_NE(D.find("forks a thread"), std::string::npos) << D;
+}
+
+TEST(BebopDiagnosticsTest, TooManyLocalsCarriesLocationAndReason) {
+  std::string Source = "void main() {\n";
+  for (int I = 0; I != 70; ++I)
+    Source += "  bool x" + std::to_string(I) + " = false;\n";
+  Source += "}\n";
+  std::string D = rejectionDiagnostics(Source);
+  EXPECT_NE(D.find("test.kiss:1:"), std::string::npos) << D;
+  EXPECT_NE(D.find("over the 64-variable scope limit"), std::string::npos)
+      << D;
+}
+
+TEST(BebopDiagnosticsTest, IntLocalCarriesLocationAndReason) {
+  std::string D = rejectionDiagnostics("void main() {\n"
+                                       "  int n = 0;\n"
+                                       "  n = n + 1;\n"
+                                       "}\n");
+  EXPECT_NE(D.find("test.kiss:2:"), std::string::npos) << D;
+  EXPECT_NE(D.find("local 'n' of function 'main' is int"),
+            std::string::npos)
+      << D;
 }
 
 //===----------------------------------------------------------------------===//

@@ -96,7 +96,7 @@ TEST(TelemetryTest, CountersAccumulateAndRenderSorted) {
 TEST(TelemetryTest, EmptyRecorderRendersTheBareEnvelope) {
   RunRecorder Rec;
   EXPECT_EQ(renderReport(Rec), "{\n"
-                               "  \"schema_version\": 4,\n"
+                               "  \"schema_version\": 5,\n"
                                "  \"kind\": \"kiss-telemetry-report\",\n"
                                "  \"interrupted\": false,\n"
                                "  \"meta\": {},\n"
@@ -220,8 +220,8 @@ TEST(TelemetryTest, WriteTraceRoundTripsThroughDisk) {
 
 /// Compiles and checks the fixed two-thread increment program with
 /// telemetry, sampling, and profiling on, returning the ZeroTimings
-/// rendering — so the golden covers the full v4 surface (index stats,
-/// series, profile).
+/// rendering — so the golden covers the full v5 surface (index stats,
+/// series, profile, engine identity).
 std::string checkedReport() {
   RunRecorder Rec;
   Rec.setMeta("input", "golden.kiss");
@@ -254,6 +254,7 @@ std::string checkedReport() {
   C.Outcome = getVerdictName(R.Verdict);
   rt::fillExplorationRecord(C, R.Sequential, R.Profile);
   C.ExecEngine = rt::getExecEngineName(Opts.Seq.Exec);
+  C.Engine = rt::getEngineName(R.EngineUsed);
   Rec.addCheck(std::move(C));
 
   ReportOptions ZeroTimings;
@@ -267,7 +268,7 @@ std::string checkedReport() {
 /// actual value.
 const char *const GOLDEN_REPORT =
     "{\n"
-    "  \"schema_version\": 4,\n"
+    "  \"schema_version\": 5,\n"
     "  \"kind\": \"kiss-telemetry-report\",\n"
     "  \"interrupted\": false,\n"
     "  \"meta\": {\"input\": \"golden.kiss\"},\n"
@@ -291,7 +292,9 @@ const char *const GOLDEN_REPORT =
     "\"dedup_hits\": 15, \"hash_probes\": 37, \"key_verifies\": 15, "
     "\"hash_collisions\": 0, \"arena_bytes\": 38999, "
     "\"index_bytes\": 73792, \"frontier_peak\": 18, \"depth_max\": 63, "
-    "\"exec_engine\": \"threaded\", \"states_per_sec\": 0, "
+    "\"path_edges\": 0, \"summary_edges\": 0, "
+    "\"exec_engine\": \"threaded\", \"engine\": \"seq\", "
+    "\"states_per_sec\": 0, "
     "\"series\": ["
     "{\"states\": 128, \"transitions\": 127, \"dedup_hits\": 0, "
     "\"frontier\": 11, \"arena_bytes\": 14804, \"index_bytes\": 68608, "

@@ -16,9 +16,13 @@ per-check "index_bytes" / "bound_reason". Schema v3 adds per-check
 "states_per_sec" (explorer throughput). Schema v4 (docs/observability.md)
 adds per-check visited-set index statistics ("hash_probes",
 "key_verifies", "hash_collisions"), the "series" exploration time-series,
-and the "profile" per-line hot-path table. This script accepts v1 through
-v4 so committed older baselines keep working: newer-only fields are
-optional during validation and only compared when present on both sides.
+and the "profile" per-line hot-path table. Schema v5 adds the per-check
+"path_edges" and "summary_edges" counters (the summary engine's saturation
+counts; 0 under the explicit-state engines) and the "engine" identity
+(which check backend produced the record: "seq", "bebop", "conc", or
+"none"). This script accepts v1 through v5 so committed older baselines
+keep working: newer-only fields are optional during validation and only
+compared when present on both sides.
 "states_per_sec" is timing-derived and is never diffed against a baseline;
 it is gated through --check-floor / --check-speed-ratio instead. "series"
 is validated for shape but never diffed (its sampling stride is a run
@@ -59,7 +63,7 @@ Exit codes: 0 ok, 1 regression/validation/gate failure, 2 usage/IO error.
 import json
 import sys
 
-SCHEMA_VERSIONS = (1, 2, 3, 4)
+SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 KIND = "kiss-telemetry-report"
 
 # Deterministic per-check fields: identical across runs and --jobs settings
@@ -80,6 +84,11 @@ V3_INT_FIELDS = ("states_per_sec",)
 # Added in schema v4; optional like the v2/v3 additions. The index
 # statistics are deterministic counts and diff like the rest.
 V4_COUNT_FIELDS = ("hash_probes", "key_verifies", "hash_collisions")
+
+# Added in schema v5; deterministic summary-engine saturation counts.
+# "engine" (the check backend identity) is compared like "exec_engine":
+# a silent backend swap on a named check is a behavior change.
+V5_COUNT_FIELDS = ("path_edges", "summary_edges")
 
 # Shape of one v4 "series" point (wall_ms is timing and never diffed) and
 # one v4 "profile" row (the counts are deterministic and diffed by
@@ -141,10 +150,11 @@ def validate(report, where="report"):
         for field in COUNT_FIELDS:
             if not isinstance(c.get(field), int):
                 problems.append("%s: checks[%d] bad field %r" % (where, i, field))
-        for field in V2_COUNT_FIELDS + V3_INT_FIELDS + V4_COUNT_FIELDS:
+        for field in (V2_COUNT_FIELDS + V3_INT_FIELDS + V4_COUNT_FIELDS +
+                      V5_COUNT_FIELDS):
             if field in c and not isinstance(c[field], int):
                 problems.append("%s: checks[%d] bad field %r" % (where, i, field))
-        for field in ("bound_reason", "exec_engine"):
+        for field in ("bound_reason", "exec_engine", "engine"):
             if field in c and not isinstance(c[field], str):
                 problems.append("%s: checks[%d] bad field %r"
                                 % (where, i, field))
@@ -218,7 +228,11 @@ def compare(base, cur, threshold, counts_only):
                 b["exec_engine"] != c["exec_engine"]:
             regressions.append("check %s: exec_engine %s -> %s"
                                % (name, b["exec_engine"], c["exec_engine"]))
-        for field in COUNT_FIELDS + V2_COUNT_FIELDS + V4_COUNT_FIELDS:
+        if "engine" in b and "engine" in c and b["engine"] != c["engine"]:
+            regressions.append("check %s: engine %s -> %s"
+                               % (name, b["engine"], c["engine"]))
+        for field in (COUNT_FIELDS + V2_COUNT_FIELDS + V4_COUNT_FIELDS +
+                      V5_COUNT_FIELDS):
             if field in b and field in c and \
                     ratio_regressed(b[field], c[field], threshold):
                 regressions.append("check %s: %s %d -> %d"
@@ -355,6 +369,10 @@ def selftest():
                  "transitions": 1200, "dedup_hits": 1},
                 {"file": "<synthetic>", "line": 0, "states": 400,
                  "transitions": 800, "dedup_hits": 0}]
+        if version >= 5:
+            r["checks"][0]["path_edges"] = 0
+            r["checks"][0]["summary_edges"] = 0
+            r["checks"][0]["engine"] = "seq"
         return r
 
     base = report(1000, 10.0)
@@ -381,7 +399,7 @@ def selftest():
             ok = False
             sys.stderr.write("selftest case %d: expected %s, got %s (%s)\n"
                              % (i, expect, got, regs))
-    for version in (1, 2, 3, 4):
+    for version in (1, 2, 3, 4, 5):
         probs = validate(report(1, 1.0, version=version))
         if probs:
             ok = False
@@ -457,6 +475,32 @@ def selftest():
     if regs:
         ok = False
         sys.stderr.write("selftest: v3-vs-v4 cross-schema diff flagged: %s\n"
+                         % regs)
+    # v5: a silent check-backend swap flags; path-edge growth flags; a v4
+    # baseline against a v5 current ignores the v5-only fields one-sided.
+    b5, c5 = report(1000, 10.0, version=5), report(1000, 10.0, version=5)
+    c5["checks"][0]["engine"] = "bebop"
+    regs, _ = compare(b5, c5, 0.20, True)
+    if not regs:
+        ok = False
+        sys.stderr.write("selftest: engine change not flagged\n")
+    b5["checks"][0]["path_edges"] = 1000
+    c5 = report(1000, 10.0, version=5)
+    c5["checks"][0]["path_edges"] = 1300
+    regs, _ = compare(b5, c5, 0.20, True)
+    if not regs:
+        ok = False
+        sys.stderr.write("selftest: path_edges growth not flagged\n")
+    bad5 = report(1, 1.0, version=5)
+    bad5["checks"][0]["summary_edges"] = "eight"
+    if not validate(bad5):
+        ok = False
+        sys.stderr.write("selftest: malformed v5 summary_edges accepted\n")
+    regs, _ = compare(report(1000, 10.0, version=4),
+                      report(1000, 10.0, version=5), 0.20, True)
+    if regs:
+        ok = False
+        sys.stderr.write("selftest: v4-vs-v5 cross-schema diff flagged: %s\n"
                          % regs)
     # Gates: floor, same-run ratios, and state-count equality.
     g = report(1000, 10.0, version=3)

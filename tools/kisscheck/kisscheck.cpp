@@ -77,6 +77,7 @@ struct CliOptions {
   bool DumpTranslation = false;
   bool DumpCfg = false;
   bool UseConcEngine = false;
+  rt::Engine Engine = rt::Engine::Seq;
   rt::ExecEngine Exec = rt::ExecEngine::Threaded;
   rt::StoreMode StoreM = rt::StoreMode::Flat;
   bool SuperStep = false;
@@ -142,16 +143,22 @@ cli::ArgParser makeParser(CliOptions &Opts) {
   P.flag("jobs", Opts.Jobs, "<n>",
          "worker threads for --race-all (0 = all cores)");
   P.flag("no-alias", Opts.NoAlias, "disable probe pruning");
-  P.custom("engine", "<kiss|conc>",
-           "kiss (default) = the Figure-4 sequentialization;\n"
+  P.custom("engine", "<seq|bebop|auto|conc>",
+           "check backend for the Figure-4 sequentialization:\n"
+           "seq (default; alias: kiss) = explicit-state exploration;\n"
+           "bebop = summary-based boolean-program engine (rejects\n"
+           "programs outside the boolean fragment, exit 2);\n"
+           "auto = bebop when the translated program is in the\n"
+           "fragment, seq otherwise (reason recorded in the report);\n"
            "conc = explore all interleavings instead (ground truth)",
            [&Opts](const std::string &V, std::string &E) {
+             Opts.UseConcEngine = false;
              if (V == "conc")
                Opts.UseConcEngine = true;
              else if (V == "kiss")
-               Opts.UseConcEngine = false;
-             else {
-               E = "--engine needs kiss or conc";
+               Opts.Engine = rt::Engine::Seq;
+             else if (!rt::parseEngine(V, Opts.Engine)) {
+               E = "--engine needs seq, bebop, auto, or conc";
                return false;
              }
              return true;
@@ -186,7 +193,7 @@ cli::ArgParser makeParser(CliOptions &Opts) {
   P.flag("dump-cfg", Opts.DumpCfg, "print the CFGs in dot syntax");
   P.flag("report", Opts.ReportPath, "<path>",
          "write a machine-readable JSON run report\n"
-         "(schema_version 4: phase spans, counters, per-check\n"
+         "(schema_version 5: phase spans, counters, per-check\n"
          "exploration records, series, profile; see\n"
          "docs/observability.md)");
   P.flag("trace", Opts.TracePath, "<path>",
@@ -281,6 +288,7 @@ CheckConfig makeConfig(const CliOptions &Opts, telemetry::RunRecorder *Rec,
   Cfg.MaxSwitches = Opts.MaxSwitches;
   Cfg.UseAliasAnalysis = Opts.UseAlias;
   Cfg.MaxStates = Opts.MaxStates;
+  Cfg.Engine = Opts.Engine;
   Cfg.Exec = Opts.Exec;
   Cfg.Store = Opts.StoreM;
   Cfg.SuperStep = Opts.SuperStep;
@@ -389,6 +397,9 @@ int runRaceAll(Session &S, const lang::Program &P, const CliOptions &Opts,
     rt::CheckResult Sequential;
     std::vector<rt::LineProfile> Profile;
     double WallMs = 0;
+    rt::Engine EngineUsed = rt::Engine::Seq;
+    uint64_t PathEdges = 0;
+    uint64_t SummaryEdges = 0;
   };
   std::vector<Row> Rows;
   for (std::string &Loc : S.raceLocations(P)) {
@@ -426,6 +437,9 @@ int runRaceAll(Session &S, const lang::Program &P, const CliOptions &Opts,
     Rows[I].Sequential = std::move(R.Sequential);
     Rows[I].Profile = std::move(R.Profile);
     Rows[I].WallMs = msSince(Start);
+    Rows[I].EngineUsed = R.EngineUsed;
+    Rows[I].PathEdges = R.PathEdges;
+    Rows[I].SummaryEdges = R.SummaryEdges;
   });
 
   unsigned Races = 0, Clean = 0, Other = 0;
@@ -446,9 +460,16 @@ int runRaceAll(Session &S, const lang::Program &P, const CliOptions &Opts,
       ++Clean;
     else
       ++Other;
-    Rec.addCheck(makeCheckRecord(Name + ":" + R.Name, getVerdictName(R.V),
-                                 R.Sequential, R.WallMs,
-                                 rt::getExecEngineName(Opts.Exec), R.Profile));
+    telemetry::CheckRecord C = makeCheckRecord(
+        Name + ":" + R.Name, getVerdictName(R.V), R.Sequential, R.WallMs,
+        R.EngineUsed == rt::Engine::Bebop
+            ? "none"
+            : rt::getExecEngineName(Opts.Exec),
+        R.Profile);
+    C.Engine = rt::getEngineName(R.EngineUsed);
+    C.PathEdges = R.PathEdges;
+    C.SummaryEdges = R.SummaryEdges;
+    Rec.addCheck(std::move(C));
   }
   Rec.addCounter("locations_checked", Rows.size());
   Rec.addCounter("races", Races);
@@ -496,10 +517,11 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
   std::vector<rt::LineProfile> Prof;
   if (Opts.Profile)
     Prof = rt::resolveProfile(R.Profile, CFG, &Ctx.SM);
-  Rec.addCheck(makeCheckRecord(Name, rt::getOutcomeName(R.Outcome), R,
-                               msSince(Start),
-                               rt::getExecEngineName(rt::ExecEngine::Interp),
-                               Prof));
+  telemetry::CheckRecord C = makeCheckRecord(
+      Name, rt::getOutcomeName(R.Outcome), R, msSince(Start),
+      rt::getExecEngineName(rt::ExecEngine::Interp), Prof);
+  C.Engine = "conc";
+  Rec.addCheck(std::move(C));
 
   if (R.Outcome == rt::CheckOutcome::BoundExceeded &&
       R.Bound != gov::BoundReason::None)
@@ -565,7 +587,8 @@ int main(int Argc, char **Argv) {
   telemetry::RunRecorder Rec;
   Rec.setMeta("tool", "kisscheck");
   Rec.setMeta("input", Name);
-  Rec.setMeta("engine", Opts.UseConcEngine ? "conc" : "kiss");
+  Rec.setMeta("engine", Opts.UseConcEngine ? "conc"
+                                           : rt::getEngineName(Opts.Engine));
   Rec.setMeta("exec", rt::getExecEngineName(Opts.Exec));
   Rec.setMeta("store", rt::getStoreModeName(Opts.StoreM));
   Rec.setMeta("max_ts", std::to_string(Opts.MaxTs));
@@ -628,9 +651,15 @@ int main(int Argc, char **Argv) {
     return cli::ExitNoError;
   }
 
-  Rec.addCheck(makeCheckRecord(Name, getVerdictName(R.Verdict), R.Sequential,
-                               msSince(Start),
-                               rt::getExecEngineName(Opts.Exec), R.Profile));
+  telemetry::CheckRecord C = makeCheckRecord(
+      Name, getVerdictName(R.Verdict), R.Sequential, msSince(Start),
+      R.EngineUsed == rt::Engine::Bebop ? "none"
+                                        : rt::getExecEngineName(Opts.Exec),
+      R.Profile);
+  C.Engine = rt::getEngineName(R.EngineUsed);
+  C.PathEdges = R.PathEdges;
+  C.SummaryEdges = R.SummaryEdges;
+  Rec.addCheck(std::move(C));
   Rec.addCounter("probes_emitted", R.Stats.ProbesEmitted);
   Rec.addCounter("probes_pruned", R.Stats.ProbesPruned);
 

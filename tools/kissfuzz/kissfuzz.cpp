@@ -70,6 +70,7 @@ struct CliOptions {
   bool CheckCompleteness = true;
   bool BreakTransform = false;
   bool ExecDiff = false;
+  bool EngineDiff = false;
   bool Smoke = false;
   bool ZeroTimings = false;
   std::string ReportPath;
@@ -121,6 +122,20 @@ cli::ArgParser makeParser(CliOptions &Opts) {
          "run every case under both sequential execution engines\n"
          "and both store modes; any observable disagreement is an\n"
          "exec-divergence violation");
+  P.custom("engine-diff", "=bebop",
+           "restrict the grammar to the boolean fragment and run\n"
+           "every case under both check backends (seq and bebop);\n"
+           "a verdict disagreement or non-replaying bebop witness\n"
+           "is an exec-divergence violation",
+           [&Opts](const std::string &V, std::string &E) {
+             if (V != "bebop") {
+               E = "--engine-diff only supports 'bebop'";
+               return false;
+             }
+             Opts.EngineDiff = true;
+             Opts.Grammar.BoolFragment = true;
+             return true;
+           });
   P.flag("smoke", Opts.Smoke, "the fixed-seed CI preset (~30 s)");
   P.custom("dump", "<seed>", "print the generated program and exit",
            [&Opts](const std::string &V, std::string &E) {
@@ -169,6 +184,7 @@ OracleOptions makeOracleOptions(const CliOptions &Opts) {
   OO.CheckCompleteness = Opts.CheckCompleteness;
   OO.InjectBreakAsserts = Opts.BreakTransform;
   OO.ExecDiff = Opts.ExecDiff;
+  OO.EngineDiff = Opts.EngineDiff;
   return OO;
 }
 
@@ -302,6 +318,9 @@ int main(int Argc, char **Argv) {
   // Only recorded when on so pre-v3 golden reports stay byte-identical.
   if (Opts.ExecDiff)
     Rec.setMeta("exec_diff", "true");
+  // Likewise only-when-on, for pre-v5 reports.
+  if (Opts.EngineDiff)
+    Rec.setMeta("engine_diff", "bebop");
 
   auto FuzzSpan = Rec.beginPhase("fuzz");
   FuzzSummary Sum = runCampaign(FO);
