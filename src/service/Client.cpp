@@ -1,0 +1,83 @@
+//===- Client.cpp - The kissd client connection ---------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "service/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace kiss::service;
+
+bool Client::connectUnix(const std::string &Path, std::string &Error) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path too long: " + Path;
+    return false;
+  }
+  std::strcpy(Addr.sun_path, Path.c_str());
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = Path + ": connect: " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::connectTcp(int Port, std::string &Error) {
+  close();
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Error = "127.0.0.1:" + std::to_string(Port) + ": connect: " +
+            std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::call(std::string_view Request, std::string &Response,
+                  std::string &Error) {
+  if (Fd < 0) {
+    Error = "not connected";
+    return false;
+  }
+  if (!writeFrame(Fd, Request, Error))
+    return false;
+  IoStatus S = readFrame(Fd, Response, Error);
+  if (S == IoStatus::Ok)
+    return true;
+  if (S == IoStatus::Eof)
+    Error = "server closed the connection";
+  return false;
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}

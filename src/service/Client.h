@@ -1,0 +1,48 @@
+//===- Client.h - The kissd client connection -------------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of the kissd protocol: connect over a Unix-domain or
+/// local TCP socket, then call() request payloads frame-for-frame.
+/// kissctl and the service load bench are thin wrappers around this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SERVICE_CLIENT_H
+#define KISS_SERVICE_CLIENT_H
+
+#include <string>
+#include <string_view>
+
+namespace kiss::service {
+
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  bool connectUnix(const std::string &Path, std::string &Error);
+  bool connectTcp(int Port, std::string &Error); ///< 127.0.0.1 only.
+
+  /// One round trip: write \p Request as a frame, read one response
+  /// frame into \p Response. \returns false with \p Error set on I/O or
+  /// protocol failure (including the server closing the connection).
+  bool call(std::string_view Request, std::string &Response,
+            std::string &Error);
+
+  bool isConnected() const { return Fd >= 0; }
+  void close();
+
+private:
+  int Fd = -1;
+};
+
+} // namespace kiss::service
+
+#endif // KISS_SERVICE_CLIENT_H

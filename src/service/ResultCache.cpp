@@ -1,0 +1,127 @@
+//===- ResultCache.cpp - The persistent check-result cache ----------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ResultCache.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+using namespace kiss::service;
+
+namespace {
+
+/// Snapshot header. The version is part of the text: an incompatible
+/// future format simply fails the header check and the daemon starts
+/// cold instead of misreading records.
+constexpr char Magic[] = "kissd-cache v1\n";
+constexpr size_t MagicLen = sizeof(Magic) - 1;
+
+void appendU32(std::string &Out, uint32_t V) {
+  Out.push_back(static_cast<char>(V));
+  Out.push_back(static_cast<char>(V >> 8));
+  Out.push_back(static_cast<char>(V >> 16));
+  Out.push_back(static_cast<char>(V >> 24));
+}
+
+uint32_t readU32(const char *P) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(P[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(P[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(P[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(P[3])) << 24;
+}
+
+} // namespace
+
+bool ResultCache::lookup(const std::string &Key, std::string &Value) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    ++Misses;
+    return false;
+  }
+  ++Hits;
+  Value = It->second;
+  return true;
+}
+
+void ResultCache::insert(const std::string &Key, std::string Value) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Map[Key] = std::move(Value);
+}
+
+bool ResultCache::load(const std::string &Path, std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return true; // No snapshot yet: a fresh daemon.
+  std::string Data((std::istreambuf_iterator<char>(In)),
+                   std::istreambuf_iterator<char>());
+  if (In.bad()) {
+    Error = Path + ": read failed";
+    return false;
+  }
+  if (Data.size() < MagicLen || std::memcmp(Data.data(), Magic, MagicLen)) {
+    Error = Path + ": not a kissd cache snapshot";
+    return false;
+  }
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t Pos = MagicLen;
+  // Each record: [u32 key length][u32 value length][key][value]. Stop at
+  // the first incomplete record — a mid-save kill loses only the tail.
+  while (Pos + 8 <= Data.size()) {
+    uint32_t KLen = readU32(Data.data() + Pos);
+    uint32_t VLen = readU32(Data.data() + Pos + 4);
+    if (Pos + 8 + KLen + VLen > Data.size())
+      break;
+    Map[Data.substr(Pos + 8, KLen)] = Data.substr(Pos + 8 + KLen, VLen);
+    Pos += 8 + static_cast<size_t>(KLen) + VLen;
+  }
+  return true;
+}
+
+bool ResultCache::save(const std::string &Path, std::string &Error) const {
+  std::string Data = Magic;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    for (const auto &[Key, Value] : Map) {
+      appendU32(Data, static_cast<uint32_t>(Key.size()));
+      appendU32(Data, static_cast<uint32_t>(Value.size()));
+      Data += Key;
+      Data += Value;
+    }
+  }
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::binary | std::ios::trunc);
+    if (!Out || !Out.write(Data.data(),
+                           static_cast<std::streamsize>(Data.size()))) {
+      Error = Tmp + ": write failed";
+      return false;
+    }
+  }
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Error = Path + ": rename failed";
+    std::remove(Tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Hits;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Misses;
+}
+
+uint64_t ResultCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Map.size();
+}

@@ -1,0 +1,66 @@
+//===- ResultCache.h - The persistent check-result cache --------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// kissd's result cache: canonical request key (config::cacheKey plus the
+/// program name) to deterministic result core. Keys are stored in full —
+/// hash-then-verify through the unordered_map, so equal results require
+/// equal requests and a 64-bit hash collision can never replay the wrong
+/// verdict.
+///
+/// The cache is optionally persistent: load() reads a snapshot written by
+/// a previous daemon, save() writes one atomically (temp file + rename).
+/// The snapshot is a length-prefixed record stream behind a version
+/// header; loading is truncation-tolerant, so a daemon killed mid-save at
+/// worst loses the tail of the cache, never the ability to start.
+///
+/// Thread-safe: workers and connection threads share one instance behind
+/// a single mutex (entries are small and lookups are rare relative to
+/// check work, so sharding the map is not worth the complexity).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SERVICE_RESULTCACHE_H
+#define KISS_SERVICE_RESULTCACHE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace kiss::service {
+
+class ResultCache {
+public:
+  /// Looks up \p Key, copying the cached core into \p Value on a hit.
+  /// Counts the probe as a hit or miss.
+  bool lookup(const std::string &Key, std::string &Value);
+
+  /// Inserts (or overwrites — same key means same bytes) one entry.
+  void insert(const std::string &Key, std::string Value);
+
+  /// Loads a snapshot file over the current contents. A missing file is
+  /// success (a fresh daemon); a malformed header is an error; a
+  /// truncated record stream keeps every complete record read so far.
+  bool load(const std::string &Path, std::string &Error);
+
+  /// Writes the snapshot atomically: \p Path + ".tmp", then rename.
+  bool save(const std::string &Path, std::string &Error) const;
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t size() const;
+
+private:
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, std::string> Map;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace kiss::service
+
+#endif // KISS_SERVICE_RESULTCACHE_H

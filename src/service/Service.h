@@ -1,0 +1,131 @@
+//===- Service.h - The warm-session check service ---------------*- C++ -*-===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The socket-free heart of kissd: a pool of worker threads, each holding
+/// a warm kiss::Session, fed by a sharded job queue and fronted by the
+/// persistent result cache. The Server (Server.h) is framing and
+/// connection plumbing on top of this class; tests drive it directly, so
+/// every dispatch/cache/budget behaviour is checkable in-process without
+/// sockets.
+///
+/// Determinism contract: a check's *result core* — code, verdict, trace,
+/// diagnostics, and the embedded schema-v5 record rendered with zeroed
+/// timings — depends only on (name, source, field, cache-relevant
+/// config). runRequest() is the single implementation of that mapping;
+/// workers, tests, and any future embedder call the same function, so a
+/// cached core and a freshly computed one can never drift.
+///
+/// Caching policy: only deterministic outcomes are cached — verdicts
+/// (codes 0/1), compile/transform rejections (code 2), and the structural
+/// state-budget bound (code 3, reason "states"). Wall-clock, memory, and
+/// cancellation trips depend on the machine of the moment and are never
+/// cached; requests carrying an injected test trip bypass the cache
+/// entirely.
+///
+/// Isolation contract: each request runs under its own gov::RunBudget
+/// (the request's deadline/memory knobs plus the service's shutdown
+/// token), so a tripping or throwing request degrades to a bound/error
+/// response without killing its worker. A worker's Session is reused
+/// while it stays clean and is rebuilt after any diagnostic error or
+/// after SessionReuseLimit requests, bounding table growth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef KISS_SERVICE_SERVICE_H
+#define KISS_SERVICE_SERVICE_H
+
+#include "service/Protocol.h"
+#include "service/ResultCache.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace kiss::service {
+
+/// Runs one check request on \p S — which must have been constructed (or
+/// reconfigured) with the request's config — and renders the
+/// deterministic result core. \p Cacheable reports whether the outcome
+/// falls under the caching policy (injected trips excluded by the
+/// caller). \returns the response code (the CLI exit-code contract:
+/// 0 clean, 1 error found, 2 rejected, 3 bound exceeded).
+int runRequest(Session &S, const Request &R, std::string &Core,
+               bool &Cacheable);
+
+/// The canonical cache key of one request: the program name folded onto
+/// config::cacheKey (the name reaches diagnostics, traces, and the
+/// record's "name" field, so it is part of the result bytes).
+std::string requestCacheKey(const Request &R);
+
+struct ServiceOptions {
+  unsigned Workers = 1;
+  /// Snapshot path; loaded at construction, written by saveCache().
+  /// Empty = in-memory only.
+  std::string CachePath;
+};
+
+/// One answered check request.
+struct Reply {
+  int Code = 2;
+  CacheDisposition Cache = CacheDisposition::Miss;
+  std::string Core; ///< The deterministic result JSON.
+};
+
+class CheckService {
+public:
+  explicit CheckService(ServiceOptions O);
+  ~CheckService(); ///< Drains queued jobs, then joins the workers.
+
+  CheckService(const CheckService &) = delete;
+  CheckService &operator=(const CheckService &) = delete;
+
+  /// Serves one check request: cache lookup, or dispatch to the worker
+  /// keyed by the request hash and wait. Thread-safe; blocks until the
+  /// result is ready.
+  Reply check(const Request &R);
+
+  /// The shutdown token, woven into every request's budget. Setting it
+  /// (SIGTERM) trips in-flight explorations with reason "cancelled".
+  gov::CancellationToken &cancelToken() { return Cancel; }
+
+  /// Saves the cache snapshot if a path was configured. \returns false
+  /// with \p Error set on I/O failure.
+  bool saveCache(std::string &Error);
+
+  /// Service counters as a JSON object (the "stats" response).
+  std::string statsJson() const;
+
+  unsigned workers() const { return static_cast<unsigned>(Shards.size()); }
+  const ResultCache &cache() const { return Cache; }
+  /// If nonzero on construction, load() failed; the daemon should report
+  /// and exit instead of silently running cold.
+  const std::string &cacheLoadError() const { return CacheLoadError; }
+
+private:
+  struct Job;
+  struct Shard;
+
+  void workerLoop(Shard &S);
+
+  gov::CancellationToken Cancel;
+  ResultCache Cache;
+  std::string CachePath;
+  std::string CacheLoadError;
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::vector<std::thread> Threads;
+  std::atomic<uint64_t> Requests{0};
+  std::atomic<uint64_t> Bypasses{0};
+};
+
+} // namespace kiss::service
+
+#endif // KISS_SERVICE_SERVICE_H

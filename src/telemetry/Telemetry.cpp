@@ -174,6 +174,91 @@ void appendCounters(std::string &Out,
 
 } // namespace
 
+std::string telemetry::renderCheckRecord(const CheckRecord &C,
+                                         const ReportOptions &Opts) {
+  std::string Out;
+  Out += "{\"name\": \"";
+  Out += escapeJson(C.Name);
+  Out += "\", \"outcome\": \"";
+  Out += escapeJson(C.Outcome);
+  Out += "\", \"wall_ms\": ";
+  appendMs(Out, C.WallMs, Opts.ZeroTimings);
+  Out += ", \"states\": ";
+  appendU64(Out, C.States);
+  Out += ", \"transitions\": ";
+  appendU64(Out, C.Transitions);
+  Out += ", \"dedup_hits\": ";
+  appendU64(Out, C.DedupHits);
+  Out += ", \"hash_probes\": ";
+  appendU64(Out, C.HashProbes);
+  Out += ", \"key_verifies\": ";
+  appendU64(Out, C.KeyVerifies);
+  Out += ", \"hash_collisions\": ";
+  appendU64(Out, C.HashCollisions);
+  Out += ", \"arena_bytes\": ";
+  appendU64(Out, C.ArenaBytes);
+  Out += ", \"index_bytes\": ";
+  appendU64(Out, C.IndexBytes);
+  Out += ", \"frontier_peak\": ";
+  appendU64(Out, C.FrontierPeak);
+  Out += ", \"depth_max\": ";
+  appendU64(Out, C.DepthMax);
+  Out += ", \"path_edges\": ";
+  appendU64(Out, C.PathEdges);
+  Out += ", \"summary_edges\": ";
+  appendU64(Out, C.SummaryEdges);
+  Out += ", \"exec_engine\": \"";
+  Out += escapeJson(C.ExecEngine);
+  Out += "\", \"engine\": \"";
+  Out += escapeJson(C.Engine);
+  Out += "\", \"states_per_sec\": ";
+  appendU64(Out, Opts.ZeroTimings ? 0 : C.StatesPerSec);
+  Out += ", \"series\": [";
+  for (size_t J = 0; J != C.Series.size(); ++J) {
+    const SeriesPoint &S = C.Series[J];
+    if (J)
+      Out += ", ";
+    Out += "{\"states\": ";
+    appendU64(Out, S.States);
+    Out += ", \"transitions\": ";
+    appendU64(Out, S.Transitions);
+    Out += ", \"dedup_hits\": ";
+    appendU64(Out, S.DedupHits);
+    Out += ", \"frontier\": ";
+    appendU64(Out, S.Frontier);
+    Out += ", \"arena_bytes\": ";
+    appendU64(Out, S.ArenaBytes);
+    Out += ", \"index_bytes\": ";
+    appendU64(Out, S.IndexBytes);
+    Out += ", \"depth_max\": ";
+    appendU64(Out, S.DepthMax);
+    Out += ", \"wall_ms\": ";
+    appendMs(Out, S.WallMs, Opts.ZeroTimings);
+    Out += '}';
+  }
+  Out += "], \"profile\": [";
+  for (size_t J = 0; J != C.Profile.size(); ++J) {
+    const ProfileRow &P = C.Profile[J];
+    if (J)
+      Out += ", ";
+    Out += "{\"file\": \"";
+    Out += escapeJson(P.File);
+    Out += "\", \"line\": ";
+    appendU64(Out, P.Line);
+    Out += ", \"states\": ";
+    appendU64(Out, P.States);
+    Out += ", \"transitions\": ";
+    appendU64(Out, P.Transitions);
+    Out += ", \"dedup_hits\": ";
+    appendU64(Out, P.DedupHits);
+    Out += '}';
+  }
+  Out += "], \"bound_reason\": \"";
+  Out += escapeJson(C.BoundReason);
+  Out += "\"}";
+  return Out;
+}
+
 std::string telemetry::renderReport(const RunRecorder &R,
                                     const ReportOptions &Opts) {
   std::string Out;
@@ -218,87 +303,8 @@ std::string telemetry::renderReport(const RunRecorder &R,
 
   Out += "  \"checks\": [";
   for (size_t I = 0; I != R.Checks.size(); ++I) {
-    const CheckRecord &C = R.Checks[I];
     Out += I ? ",\n    " : "\n    ";
-    Out += "{\"name\": \"";
-    Out += escapeJson(C.Name);
-    Out += "\", \"outcome\": \"";
-    Out += escapeJson(C.Outcome);
-    Out += "\", \"wall_ms\": ";
-    appendMs(Out, C.WallMs, Opts.ZeroTimings);
-    Out += ", \"states\": ";
-    appendU64(Out, C.States);
-    Out += ", \"transitions\": ";
-    appendU64(Out, C.Transitions);
-    Out += ", \"dedup_hits\": ";
-    appendU64(Out, C.DedupHits);
-    Out += ", \"hash_probes\": ";
-    appendU64(Out, C.HashProbes);
-    Out += ", \"key_verifies\": ";
-    appendU64(Out, C.KeyVerifies);
-    Out += ", \"hash_collisions\": ";
-    appendU64(Out, C.HashCollisions);
-    Out += ", \"arena_bytes\": ";
-    appendU64(Out, C.ArenaBytes);
-    Out += ", \"index_bytes\": ";
-    appendU64(Out, C.IndexBytes);
-    Out += ", \"frontier_peak\": ";
-    appendU64(Out, C.FrontierPeak);
-    Out += ", \"depth_max\": ";
-    appendU64(Out, C.DepthMax);
-    Out += ", \"path_edges\": ";
-    appendU64(Out, C.PathEdges);
-    Out += ", \"summary_edges\": ";
-    appendU64(Out, C.SummaryEdges);
-    Out += ", \"exec_engine\": \"";
-    Out += escapeJson(C.ExecEngine);
-    Out += "\", \"engine\": \"";
-    Out += escapeJson(C.Engine);
-    Out += "\", \"states_per_sec\": ";
-    appendU64(Out, Opts.ZeroTimings ? 0 : C.StatesPerSec);
-    Out += ", \"series\": [";
-    for (size_t J = 0; J != C.Series.size(); ++J) {
-      const SeriesPoint &S = C.Series[J];
-      if (J)
-        Out += ", ";
-      Out += "{\"states\": ";
-      appendU64(Out, S.States);
-      Out += ", \"transitions\": ";
-      appendU64(Out, S.Transitions);
-      Out += ", \"dedup_hits\": ";
-      appendU64(Out, S.DedupHits);
-      Out += ", \"frontier\": ";
-      appendU64(Out, S.Frontier);
-      Out += ", \"arena_bytes\": ";
-      appendU64(Out, S.ArenaBytes);
-      Out += ", \"index_bytes\": ";
-      appendU64(Out, S.IndexBytes);
-      Out += ", \"depth_max\": ";
-      appendU64(Out, S.DepthMax);
-      Out += ", \"wall_ms\": ";
-      appendMs(Out, S.WallMs, Opts.ZeroTimings);
-      Out += '}';
-    }
-    Out += "], \"profile\": [";
-    for (size_t J = 0; J != C.Profile.size(); ++J) {
-      const ProfileRow &P = C.Profile[J];
-      if (J)
-        Out += ", ";
-      Out += "{\"file\": \"";
-      Out += escapeJson(P.File);
-      Out += "\", \"line\": ";
-      appendU64(Out, P.Line);
-      Out += ", \"states\": ";
-      appendU64(Out, P.States);
-      Out += ", \"transitions\": ";
-      appendU64(Out, P.Transitions);
-      Out += ", \"dedup_hits\": ";
-      appendU64(Out, P.DedupHits);
-      Out += '}';
-    }
-    Out += "], \"bound_reason\": \"";
-    Out += escapeJson(C.BoundReason);
-    Out += "\"}";
+    Out += renderCheckRecord(R.Checks[I], Opts);
   }
   Out += R.Checks.empty() ? "]\n" : "\n  ]\n";
 

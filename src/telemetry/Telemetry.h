@@ -223,6 +223,15 @@ struct ReportOptions {
 std::string renderReport(const RunRecorder &R,
                          const ReportOptions &Opts = ReportOptions());
 
+/// Renders one check record as exactly the JSON object the report's
+/// "checks" array carries (one line, schema v5). This is the embeddable
+/// per-check envelope: kissd responses include it so every request is
+/// billed (latency, states, bound reason) in the same schema the batch
+/// tools report. With ZeroTimings the object is deterministic for a fixed
+/// input — the property the service result cache relies on.
+std::string renderCheckRecord(const CheckRecord &C,
+                              const ReportOptions &Opts = ReportOptions());
+
 /// Writes the report to \p Path. \returns false (with a message on stderr)
 /// if the file cannot be written.
 bool writeReport(const RunRecorder &R, const std::string &Path,

@@ -1,0 +1,106 @@
+//===- JsonTest.cpp - The support JSON parser ----------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+//
+// The recursive-descent parser behind kisscheck --config and the kissd
+// wire protocol: value kinds, key/value source positions (the hook for
+// file:line:col config diagnostics), located errors, raw number
+// preservation, and the quote() escaping twin.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "gtest/gtest.h"
+
+using namespace kiss;
+
+namespace {
+
+json::Value parseOk(std::string_view Text) {
+  json::Value V;
+  std::string Error;
+  EXPECT_TRUE(json::parse(Text, "t.json", V, Error)) << Error;
+  return V;
+}
+
+std::string parseErr(std::string_view Text) {
+  json::Value V;
+  std::string Error;
+  EXPECT_FALSE(json::parse(Text, "t.json", V, Error));
+  return Error;
+}
+
+TEST(Json, Scalars) {
+  EXPECT_TRUE(parseOk("null").isNull());
+  EXPECT_TRUE(parseOk("true").asBool());
+  EXPECT_FALSE(parseOk("false").asBool());
+  EXPECT_EQ(parseOk("\"hi\\n\"").asString(), "hi\n");
+  EXPECT_EQ(parseOk("  42 ").asDouble(), 42.0);
+  EXPECT_EQ(parseOk("-1.5e2").asDouble(), -150.0);
+}
+
+TEST(Json, RawNumberPreserved) {
+  // Integer consumers re-parse the token text, immune to double rounding.
+  EXPECT_EQ(parseOk("18446744073709551615").rawNumber(),
+            "18446744073709551615");
+  uint64_t N = 0;
+  EXPECT_TRUE(parseOk("18446744073709551615").asU64(N));
+  EXPECT_EQ(N, 18446744073709551615ull);
+  EXPECT_FALSE(parseOk("18446744073709551616").asU64(N)); // overflow
+  EXPECT_FALSE(parseOk("-3").asU64(N));                   // negative
+  EXPECT_FALSE(parseOk("2.0").asU64(N));                  // fraction
+  EXPECT_FALSE(parseOk("1e3").asU64(N));                  // exponent
+}
+
+TEST(Json, ObjectKeepsOrderAndPositions) {
+  json::Value V = parseOk("{\n  \"a\": 1,\n  \"b\": [true, null]\n}");
+  ASSERT_TRUE(V.isObject());
+  ASSERT_EQ(V.members().size(), 2u);
+  EXPECT_EQ(V.members()[0].Key, "a");
+  EXPECT_EQ(V.members()[0].KeyLine, 2u);
+  EXPECT_EQ(V.members()[0].KeyCol, 3u);
+  EXPECT_EQ(V.members()[1].Key, "b");
+  EXPECT_EQ(V.members()[1].KeyLine, 3u);
+  const json::Value *B = V.find("b");
+  ASSERT_NE(B, nullptr);
+  ASSERT_TRUE(B->isArray());
+  ASSERT_EQ(B->items().size(), 2u);
+  EXPECT_TRUE(B->items()[0].asBool());
+  EXPECT_TRUE(B->items()[1].isNull());
+  EXPECT_EQ(V.find("missing"), nullptr);
+  // The value position points at the value, not the key.
+  EXPECT_EQ(V.memberValue(V.members()[0]).line(), 2u);
+  EXPECT_EQ(V.memberValue(V.members()[0]).col(), 8u);
+}
+
+TEST(Json, ErrorsAreLocated) {
+  EXPECT_EQ(parseErr(""), "t.json:1:1: unexpected end of input");
+  EXPECT_EQ(parseErr("{\"a\": }"), "t.json:1:7: unexpected character");
+  EXPECT_EQ(parseErr("{\"a\": 1,}"), "t.json:1:9: expected '\"'");
+  EXPECT_EQ(parseErr("[1 2]"), "t.json:1:4: expected ',' or ']'");
+  EXPECT_EQ(parseErr("{\n \"a\" 1}"), "t.json:2:6: expected ':'");
+  EXPECT_EQ(parseErr("1 2"), "t.json:1:3: trailing characters after JSON value");
+  EXPECT_EQ(parseErr("01"), "t.json:1:2: leading zero in number");
+  EXPECT_EQ(parseErr("\"ab"), "t.json:1:4: unterminated string");
+  EXPECT_EQ(parseErr("\"\\q\""), "t.json:1:4: invalid escape character");
+}
+
+TEST(Json, DepthBounded) {
+  std::string Deep(100, '[');
+  Deep += std::string(100, ']');
+  std::string E = parseErr(Deep);
+  EXPECT_NE(E.find("nesting too deep"), std::string::npos) << E;
+}
+
+TEST(Json, QuoteRoundTrips) {
+  std::string Hostile = "a\"b\\c\nd\te\x01";
+  json::Value V;
+  std::string Error;
+  ASSERT_TRUE(json::parse(json::quote(Hostile), "q", V, Error)) << Error;
+  EXPECT_EQ(V.asString(), Hostile);
+}
+
+} // namespace

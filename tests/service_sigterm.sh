@@ -1,0 +1,57 @@
+#!/bin/sh
+# SIGTERM drain: a daemon killed mid-batch must shut down cleanly (exit
+# 0), answering or tripping in-flight requests rather than crashing, and
+# still write its cache snapshot. The client may see a clean code, a bound
+# trip (3), or a closed connection (2) depending on where the signal
+# lands; the contract under test is the daemon side.
+#
+#   service_sigterm.sh <kissd> <kissctl> <workdir> <program.kiss>
+set -u
+
+KISSD=$1
+KISSCTL=$2
+DIR=$3
+PROGRAM=$4
+
+SOCK=$DIR/sigterm.sock
+CACHE=$DIR/sigterm.cache
+LOG=$DIR/sigterm.kissd.log
+rm -f "$SOCK" "$CACHE"
+
+fail() {
+  echo "service_sigterm: $1" >&2
+  [ -f "$LOG" ] && sed 's/^/  kissd: /' "$LOG" >&2
+  kill "$KISSD_PID" 2>/dev/null
+  exit 1
+}
+
+"$KISSD" --socket="$SOCK" --workers=2 --cache="$CACHE" 2>"$LOG" &
+KISSD_PID=$!
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  [ $i -gt 100 ] && fail "daemon never created $SOCK"
+  kill -0 "$KISSD_PID" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.1
+done
+
+# A long batch: the same program over and over, cache disabled so every
+# request does real work and the signal has in-flight checks to drain.
+"$KISSCTL" --socket="$SOCK" --no-cache --repeat=200 --print=quiet \
+  --max-ts=1 "$PROGRAM" >/dev/null 2>&1 &
+CLIENT_PID=$!
+
+sleep 0.5
+kill -TERM "$KISSD_PID" || fail "could not signal the daemon"
+wait "$KISSD_PID"
+CODE=$?
+[ "$CODE" = 0 ] || fail "daemon exited $CODE on SIGTERM (want clean drain 0)"
+[ -f "$CACHE" ] || fail "drained daemon did not write its snapshot"
+
+wait "$CLIENT_PID"
+CLIENT_CODE=$?
+case "$CLIENT_CODE" in
+  0|2|3) ;;
+  *) fail "client exited $CLIENT_CODE (want 0, 2, or 3)" ;;
+esac
+echo "service_sigterm: ok (client exit $CLIENT_CODE)"

@@ -51,6 +51,7 @@ envelope expected by this script (used to gate kisscheck --report output).
     --check-floor 'NAME:MIN'         states_per_sec of NAME >= MIN
     --check-speed-ratio 'A:B:MIN'    states_per_sec(A) >= MIN * states_per_sec(B)
     --check-arena-ratio 'A:B:MAX'    arena_bytes(A) <= MAX * arena_bytes(B)
+    --check-wall-ratio 'A:B:MAX'     wall_ms(A) <= MAX * wall_ms(B)
     --check-states-equal 'A:B'       states(A) == states(B)
 
 Ratio gates compare two checks of the same run, so they self-normalize
@@ -328,6 +329,17 @@ def run_gates(report, gates):
                 failures.append(
                     "--check-arena-ratio %s vs %s: %d > %s * %d"
                     % (a, b, va, ratio, vb))
+        elif kind == "wall-ratio":
+            # Same-run wall-clock ratio: both sides move with machine
+            # speed, so the gate is stable on shared hardware (used for
+            # the kissd cache-hit-vs-cold-check latency bound).
+            a, b, ratio = split_gate(spec, 3, "--check-wall-ratio")
+            va = get(a, "wall_ms", "--check-wall-ratio")
+            vb = get(b, "wall_ms", "--check-wall-ratio")
+            if va is not None and vb is not None and va > float(ratio) * vb:
+                failures.append(
+                    "--check-wall-ratio %s vs %s: %.3f > %s * %.3f"
+                    % (a, b, va, ratio, vb))
         elif kind == "states-equal":
             a, b = split_gate(spec, 2, "--check-states-equal")
             va = get(a, "states", "--check-states-equal")
@@ -508,6 +520,7 @@ def selftest():
                             exec_engine="interp", states_per_sec=400000))
     g["checks"].append(dict(g["checks"][0], name="c [delta]",
                             arena_bytes=24, states_per_sec=900000))
+    g["checks"].append(dict(g["checks"][0], name="c [hot]", wall_ms=0.5))
     gate_cases = [
         ([("floor", "c:500000")], False),
         ([("floor", "c:2000000")], True),
@@ -517,6 +530,9 @@ def selftest():
         ([("arena-ratio", "c [delta]:c:0.5")], False),
         ([("arena-ratio", "c [delta]:c:0.25")], True),
         ([("states-equal", "c [delta]:c")], False),
+        ([("wall-ratio", "c [hot]:c:0.1")], False),
+        ([("wall-ratio", "c [hot]:c:0.01")], True),
+        ([("wall-ratio", "c [hot]:missing:0.1")], True),
     ]
     for i, (gates, expect_fail) in enumerate(gate_cases):
         fails = run_gates(g, gates)
@@ -557,6 +573,7 @@ def main(argv):
         flags = {"--check-floor": "floor",
                  "--check-speed-ratio": "speed-ratio",
                  "--check-arena-ratio": "arena-ratio",
+                 "--check-wall-ratio": "wall-ratio",
                  "--check-states-equal": "states-equal"}
         i = 0
         while i < len(rest):

@@ -37,6 +37,7 @@
 
 #include "conc/ConcChecker.h"
 #include "drivers/Bluetooth.h"
+#include "kiss/Config.h"
 #include "kiss/Kiss.h"
 #include "lang/ASTPrinter.h"
 #include "lower/Pipeline.h"
@@ -66,33 +67,23 @@ gov::CancellationToken GlobalCancel;
 extern "C" void handleTerminationSignal(int) { GlobalCancel.requestCancel(); }
 
 struct CliOptions {
+  /// The shared check configuration — populated by the config::addFlags
+  /// table (and --config=FILE), so the knobs parse exactly like the kissd
+  /// request schema.
+  CheckConfig Cfg;
   std::string InputFile;
   std::string RaceTargetSpec;
   bool RaceAll = false;
-  unsigned MaxTs = 0;
-  unsigned MaxSwitches = 2;
-  uint64_t MaxStates = 1'000'000;
-  bool NoAlias = false;
-  bool UseAlias = true;
   bool DumpTranslation = false;
   bool DumpCfg = false;
   bool UseConcEngine = false;
-  rt::Engine Engine = rt::Engine::Seq;
-  rt::ExecEngine Exec = rt::ExecEngine::Threaded;
-  rt::StoreMode StoreM = rt::StoreMode::Flat;
-  bool SuperStep = false;
   bool ShowStats = false;
   bool Demo = false;
-  unsigned Jobs = 1;
   std::string ReportPath;  ///< --report=<path>; empty = no report.
   std::string TracePath;   ///< --trace=<path>; empty = no trace.
-  uint64_t SampleEvery = 0;    ///< --sample-every stride; 0 = off.
-  bool Profile = false;        ///< --profile hot-path profiling.
   unsigned ProfileTopN = 10;   ///< --profile=N table depth.
   bool ZeroTimings = false;
   double ProgressSec = 0;  ///< --progress interval; 0 = no heartbeats.
-  double TimeoutSec = 0;   ///< --timeout per-check deadline; 0 = none.
-  uint64_t MemoryBudgetMB = 0; ///< --memory-budget per check; 0 = none.
   /// --inject-trip=N:REASON — deterministic budget trip (tests).
   uint64_t InjectTripTick = 0;
   gov::BoundReason InjectTripReason = gov::BoundReason::Deadline;
@@ -100,12 +91,12 @@ struct CliOptions {
   uint64_t InjectCancelTick = 0;
 };
 
-/// The per-check resource budget from the CLI flags. Every check of the
-/// run shares GlobalCancel, so one SIGINT drains them all.
+/// The per-check resource budget: the config table already filled in the
+/// deadline and memory knobs; this adds the process-level cancellation
+/// (every check of the run shares GlobalCancel, so one SIGINT drains them
+/// all) and the deterministic test-trip hooks.
 gov::RunBudget makeBudget(const CliOptions &Opts) {
-  gov::RunBudget B;
-  B.DeadlineSec = Opts.TimeoutSec;
-  B.MemoryBytes = Opts.MemoryBudgetMB * 1024 * 1024;
+  gov::RunBudget B = Opts.Cfg.Common.Budget;
   B.Cancel = &GlobalCancel;
   B.TripAtTick = Opts.InjectTripTick;
   B.TripReason = Opts.InjectTripReason;
@@ -128,21 +119,18 @@ cli::ArgParser makeParser(CliOptions &Opts) {
              return true;
            });
   P.flag("race-all", Opts.RaceAll, "check every global and field");
-  P.flag("max-ts", Opts.MaxTs, "<n>", "ts multiset bound MAX (default 0)");
-  P.flagPositive("max-switches", Opts.MaxSwitches, "<k>",
-                 "context-switch bound K (default 2 = the paper's\n"
-                 "Theorem 1; K > 2 adds suspend/resume rounds)");
-  P.flag("max-states", Opts.MaxStates, "<n>",
-         "state budget (default 1000000)");
-  P.flagPositive("timeout", Opts.TimeoutSec, "<secs>",
-                 "wall-clock deadline per check; exceeding it is a\n"
-                 "'bound exceeded' verdict (reason: deadline), exit 3");
-  P.flagPositive("memory-budget", Opts.MemoryBudgetMB, "<mb>",
-                 "visited-set byte budget per check (reason: memory),\n"
-                 "exit 3");
-  P.flag("jobs", Opts.Jobs, "<n>",
-         "worker threads for --race-all (0 = all cores)");
-  P.flag("no-alias", Opts.NoAlias, "disable probe pruning");
+  P.custom("config", "<file>",
+           "load check configuration from a JSON file (the schema\n"
+           "of docs/service.md; same keys as the kissd request\n"
+           "API); later flags override the file's settings",
+           [&Opts](const std::string &V, std::string &E) {
+             return config::loadFile(V, Opts.Cfg, E);
+           });
+  // The shared knob surface — one table serves kisscheck, kissd, and
+  // kissctl (docs/api.md "Stability expectations"). --engine and
+  // --profile are excluded: kisscheck wraps them below with the
+  // conc/kiss aliases and the optional table depth.
+  config::addFlags(P, Opts.Cfg, {"engine", "profile"});
   P.custom("engine", "<seq|bebop|auto|conc>",
            "check backend for the Figure-4 sequentialization:\n"
            "seq (default; alias: kiss) = explicit-state exploration;\n"
@@ -153,41 +141,16 @@ cli::ArgParser makeParser(CliOptions &Opts) {
            "conc = explore all interleavings instead (ground truth)",
            [&Opts](const std::string &V, std::string &E) {
              Opts.UseConcEngine = false;
+             std::string Err;
              if (V == "conc")
                Opts.UseConcEngine = true;
-             else if (V == "kiss")
-               Opts.Engine = rt::Engine::Seq;
-             else if (!rt::parseEngine(V, Opts.Engine)) {
+             else if (!config::setField(Opts.Cfg, "engine",
+                                        V == "kiss" ? "seq" : V, Err)) {
                E = "--engine needs seq, bebop, auto, or conc";
                return false;
              }
              return true;
            });
-  P.custom("exec", "<interp|threaded>",
-           "sequential execution engine: threaded (default) = flat\n"
-           "pre-lowered instruction stream; interp = the reference\n"
-           "CFG-walking interpreter (identical results, slower)",
-           [&Opts](const std::string &V, std::string &E) {
-             if (!rt::parseExecEngine(V, Opts.Exec)) {
-               E = "--exec needs interp or threaded";
-               return false;
-             }
-             return true;
-           });
-  P.custom("store", "<flat|delta>",
-           "visited-set storage: flat (default) = full encodings;\n"
-           "delta = parent diffs with keyframes (smaller arena,\n"
-           "identical verdicts and counts)",
-           [&Opts](const std::string &V, std::string &E) {
-             if (!rt::parseStoreMode(V, Opts.StoreM)) {
-               E = "--store needs flat or delta";
-               return false;
-             }
-             return true;
-           });
-  P.flag("super-step", Opts.SuperStep,
-         "coarsen straight-line runs into super-steps (threaded\n"
-         "engine only; preserves verdicts but changes state counts)");
   P.flag("dump-translation", Opts.DumpTranslation,
          "print the sequential program");
   P.flag("dump-cfg", Opts.DumpCfg, "print the CFGs in dot syntax");
@@ -200,18 +163,13 @@ cli::ArgParser makeParser(CliOptions &Opts) {
          "write a Chrome/Perfetto trace-event JSON file (phase\n"
          "spans, per-check slices, sampled counter tracks); open\n"
          "it in chrome://tracing or ui.perfetto.dev");
-  P.flag("sample-every", Opts.SampleEvery, "<n>",
-         "sample the exploration time-series every <n> interned\n"
-         "states into the report's per-check \"series\" array\n"
-         "(deterministic: keyed by state count, identical across\n"
-         "--exec engines and --jobs)");
   P.custom("profile", "<n>",
            "collect the per-line hot-path profile (states,\n"
            "transitions, dedup hits by source line), print the\n"
            "top-<n> table (default 10), and embed the full profile\n"
            "in the report; identical across --exec engines",
            [&Opts](const std::string &V, std::string &E) {
-             Opts.Profile = true;
+             Opts.Cfg.Profile = true;
              if (V.empty())
                return true;
              char *End = nullptr;
@@ -280,23 +238,14 @@ cli::ArgParser makeParser(CliOptions &Opts) {
   return P;
 }
 
-/// The shared Session configuration for this invocation's checks.
+/// The shared Session configuration for this invocation's checks: the
+/// table-parsed knobs plus the per-process wiring (cancellation, test
+/// trips, recorder, heartbeat) that never comes from a config file.
 CheckConfig makeConfig(const CliOptions &Opts, telemetry::RunRecorder *Rec,
                        telemetry::Heartbeat *Beat) {
-  CheckConfig Cfg;
-  Cfg.MaxTs = Opts.MaxTs;
-  Cfg.MaxSwitches = Opts.MaxSwitches;
-  Cfg.UseAliasAnalysis = Opts.UseAlias;
-  Cfg.MaxStates = Opts.MaxStates;
-  Cfg.Engine = Opts.Engine;
-  Cfg.Exec = Opts.Exec;
-  Cfg.Store = Opts.StoreM;
-  Cfg.SuperStep = Opts.SuperStep;
-  Cfg.SampleEvery = Opts.SampleEvery;
-  Cfg.Profile = Opts.Profile;
+  CheckConfig Cfg = Opts.Cfg;
   Cfg.Common.Budget = makeBudget(Opts);
   Cfg.Common.Recorder = Rec;
-  Cfg.Common.Jobs = Opts.Jobs;
   Cfg.Progress = Beat;
   return Cfg;
 }
@@ -408,7 +357,7 @@ int runRaceAll(Session &S, const lang::Program &P, const CliOptions &Opts,
     Rows.push_back(std::move(R));
   }
 
-  parallelFor(Rows.size(), Opts.Jobs, [&](size_t I) {
+  parallelFor(Rows.size(), Opts.Cfg.Common.Jobs, [&](size_t I) {
     auto Start = std::chrono::steady_clock::now();
     // Cancel-and-drain: locations not yet started degrade to a cancelled
     // bound-exceeded row without running; locations already exploring
@@ -464,7 +413,7 @@ int runRaceAll(Session &S, const lang::Program &P, const CliOptions &Opts,
         Name + ":" + R.Name, getVerdictName(R.V), R.Sequential, R.WallMs,
         R.EngineUsed == rt::Engine::Bebop
             ? "none"
-            : rt::getExecEngineName(Opts.Exec),
+            : rt::getExecEngineName(Opts.Cfg.Exec),
         R.Profile);
     C.Engine = rt::getEngineName(R.EngineUsed);
     C.PathEdges = R.PathEdges;
@@ -502,12 +451,12 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
   CfgSpan.end();
 
   conc::ConcOptions CO;
-  CO.MaxStates = Opts.MaxStates;
-  CO.Store = Opts.StoreM;
+  CO.MaxStates = Opts.Cfg.MaxStates;
+  CO.Store = Opts.Cfg.Store;
   CO.Budget = makeBudget(Opts);
   CO.Progress = Beat;
-  CO.SampleEvery = Opts.SampleEvery;
-  CO.Profile = Opts.Profile;
+  CO.SampleEvery = Opts.Cfg.SampleEvery;
+  CO.Profile = Opts.Cfg.Profile;
   auto Start = std::chrono::steady_clock::now();
   auto CheckSpan = Rec.beginPhase("check");
   rt::CheckResult R = conc::checkProgram(P, CFG, CO);
@@ -515,7 +464,7 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
   CheckSpan.counter("transitions", R.TransitionsExplored);
   CheckSpan.end();
   std::vector<rt::LineProfile> Prof;
-  if (Opts.Profile)
+  if (Opts.Cfg.Profile)
     Prof = rt::resolveProfile(R.Profile, CFG, &Ctx.SM);
   telemetry::CheckRecord C = makeCheckRecord(
       Name, rt::getOutcomeName(R.Outcome), R, msSince(Start),
@@ -536,7 +485,7 @@ int runConcEngine(const lang::Program &P, const CliOptions &Opts,
                 rt::formatTrace(R.Trace, P, CFG, &Ctx.SM).c_str());
   if (Opts.ShowStats)
     printExplorationStats(R);
-  if (Opts.Profile)
+  if (Opts.Cfg.Profile)
     printProfile(Prof, Opts.ProfileTopN);
   if (R.Bound == gov::BoundReason::Cancelled || GlobalCancel.isCancelled())
     Rec.setInterrupted(true);
@@ -555,7 +504,6 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "%s", Parser.usage().c_str());
     return cli::ExitUsage;
   }
-  Opts.UseAlias = !Opts.NoAlias;
 
   // Cooperative shutdown: the first SIGINT/SIGTERM cancels every running
   // and queued check; the run drains, flushes a partial report marked
@@ -588,14 +536,14 @@ int main(int Argc, char **Argv) {
   Rec.setMeta("tool", "kisscheck");
   Rec.setMeta("input", Name);
   Rec.setMeta("engine", Opts.UseConcEngine ? "conc"
-                                           : rt::getEngineName(Opts.Engine));
-  Rec.setMeta("exec", rt::getExecEngineName(Opts.Exec));
-  Rec.setMeta("store", rt::getStoreModeName(Opts.StoreM));
-  Rec.setMeta("max_ts", std::to_string(Opts.MaxTs));
-  Rec.setMeta("max_states", std::to_string(Opts.MaxStates));
-  if (Opts.SampleEvery)
-    Rec.setMeta("sample_every", std::to_string(Opts.SampleEvery));
-  if (Opts.Profile)
+                                           : rt::getEngineName(Opts.Cfg.Engine));
+  Rec.setMeta("exec", rt::getExecEngineName(Opts.Cfg.Exec));
+  Rec.setMeta("store", rt::getStoreModeName(Opts.Cfg.Store));
+  Rec.setMeta("max_ts", std::to_string(Opts.Cfg.MaxTs));
+  Rec.setMeta("max_states", std::to_string(Opts.Cfg.MaxStates));
+  if (Opts.Cfg.SampleEvery)
+    Rec.setMeta("sample_every", std::to_string(Opts.Cfg.SampleEvery));
+  if (Opts.Cfg.Profile)
     Rec.setMeta("profile", "on");
 
   telemetry::Heartbeat Beat(Opts.ProgressSec > 0 ? Opts.ProgressSec : 2.0);
@@ -654,7 +602,7 @@ int main(int Argc, char **Argv) {
   telemetry::CheckRecord C = makeCheckRecord(
       Name, getVerdictName(R.Verdict), R.Sequential, msSince(Start),
       R.EngineUsed == rt::Engine::Bebop ? "none"
-                                        : rt::getExecEngineName(Opts.Exec),
+                                        : rt::getExecEngineName(Opts.Cfg.Exec),
       R.Profile);
   C.Engine = rt::getEngineName(R.EngineUsed);
   C.PathEdges = R.PathEdges;
@@ -682,7 +630,7 @@ int main(int Argc, char **Argv) {
     std::printf("probes: %u emitted, %u pruned\n", R.Stats.ProbesEmitted,
                 R.Stats.ProbesPruned);
   }
-  if (Opts.Profile)
+  if (Opts.Cfg.Profile)
     printProfile(R.Profile, Opts.ProfileTopN);
   if (R.Sequential.Bound == gov::BoundReason::Cancelled ||
       GlobalCancel.isCancelled())

@@ -1,0 +1,392 @@
+//===- kissctl.cpp - The kissd command-line client ------------------------===//
+//
+// Part of the KISS reproduction of Qadeer & Wu, PLDI 2004.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives a running kissd over the framed protocol of docs/service.md.
+/// Check knobs come from the same config table as kisscheck and the
+/// request schema — the flags parse identically by construction.
+///
+///   kissctl --socket=/tmp/kiss.sock file.kiss          one check
+///   kissctl --port=7777 --field=g file.kiss            race check
+///   kissctl ... --batch=runs.txt --repeat=10           batch with repeats
+///   kissctl ... --ping | --stats | --shutdown          control actions
+///   kissctl ... --print=result file.kiss               raw result core
+///
+/// A batch manifest is one request per line: `<file> [field]`, with blank
+/// lines and `#` comments skipped. Exit code aggregates all responses:
+/// any rejected/protocol problem -> 2, else any error found -> 1, else
+/// any bound exceeded -> 3, else 0.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kiss/Config.h"
+#include "service/Client.h"
+#include "service/Protocol.h"
+#include "support/Cli.h"
+#include "support/Json.h"
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace kiss;
+
+namespace {
+
+struct CtlOptions {
+  std::string SocketPath;
+  int Port = -1;
+  bool Ping = false;
+  bool Stats = false;
+  bool Shutdown = false;
+  std::string InputFile;
+  std::string BatchFile;
+  std::string Field;
+  std::string NameOverride;
+  bool NoCache = false;
+  unsigned Repeat = 1;
+  uint64_t InjectTripTick = 0;
+  gov::BoundReason InjectTripReason = gov::BoundReason::Deadline;
+  std::string Print = "text"; ///< text | response | result | quiet
+  CheckConfig Cfg;
+};
+
+cli::ArgParser makeParser(CtlOptions &Opts) {
+  cli::ArgParser P("usage: kissctl (--socket=<path> | --port=<n>) "
+                   "[options] [<file.kiss>]");
+  P.flag("socket", Opts.SocketPath, "<path>",
+         "connect to a kissd Unix-domain socket");
+  P.custom("port", "<n>",
+           "connect to kissd on TCP 127.0.0.1:<n>",
+           [&Opts](const std::string &V, std::string &E) {
+             char *End = nullptr;
+             unsigned long N = std::strtoul(V.c_str(), &End, 10);
+             if (V.empty() || End == V.c_str() || *End != '\0' || N == 0 ||
+                 N > 65535) {
+               E = "--port needs a port number (1-65535)";
+               return false;
+             }
+             Opts.Port = static_cast<int>(N);
+             return true;
+           });
+  P.flag("ping", Opts.Ping, "liveness probe: expect a pong");
+  P.flag("stats", Opts.Stats,
+         "print the service counters (requests, cache hits/misses,\n"
+         "workers) as JSON");
+  P.flag("shutdown", Opts.Shutdown,
+         "ask the daemon to drain and stop");
+  P.custom("field", "<loc>",
+           "check races on one location: a global name or\n"
+           "Struct.field (empty = assertion mode)",
+           [&Opts](const std::string &V, std::string &E) {
+             if (V.empty()) {
+               E = "--field needs a location";
+               return false;
+             }
+             Opts.Field = V;
+             return true;
+           });
+  P.flag("name", Opts.NameOverride, "<name>",
+         "program name used in diagnostics, traces, and the\n"
+         "result record (default: the file path)");
+  P.flag("no-cache", Opts.NoCache,
+         "bypass the result cache (no lookup, no insertion)");
+  P.flagPositive("repeat", Opts.Repeat, "<n>",
+                 "send the request list <n> times (cache-hit exercise)");
+  P.custom("batch", "<manifest>",
+           "send one request per manifest line: <file> [field];\n"
+           "blank lines and # comments are skipped",
+           [&Opts](const std::string &V, std::string &E) {
+             if (V.empty()) {
+               E = "--batch needs a manifest path";
+               return false;
+             }
+             Opts.BatchFile = V;
+             return true;
+           });
+  P.custom("config", "<file>",
+           "load check configuration from a JSON file (the schema\n"
+           "of docs/service.md); later flags override",
+           [&Opts](const std::string &V, std::string &E) {
+             return config::loadFile(V, Opts.Cfg, E);
+           });
+  config::addFlags(P, Opts.Cfg);
+  P.custom("inject-trip", "<n>:<reason>",
+           "(testing) have the daemon trip this request's budget at\n"
+           "governor tick <n> with reason deadline|memory — the\n"
+           "degraded-response path, never cached",
+           [&Opts](const std::string &V, std::string &E) {
+             auto Colon = V.find(':');
+             if (Colon == std::string::npos) {
+               E = "--inject-trip needs <tick>:<reason>";
+               return false;
+             }
+             Opts.InjectTripTick = std::strtoull(V.c_str(), nullptr, 10);
+             if (Opts.InjectTripTick == 0 ||
+                 !gov::parseBoundReason(V.substr(Colon + 1),
+                                        Opts.InjectTripReason)) {
+               E = "--inject-trip needs a positive tick and a reason "
+                   "(deadline|memory|states|cancelled)";
+               return false;
+             }
+             return true;
+           });
+  P.custom("print", "<mode>",
+           "per-response output: text (default; verdict/trace like\n"
+           "kisscheck), response (raw envelope JSON), result (the\n"
+           "deterministic result core only), quiet",
+           [&Opts](const std::string &V, std::string &E) {
+             if (V != "text" && V != "response" && V != "result" &&
+                 V != "quiet") {
+               E = "--print needs text, response, result, or quiet";
+               return false;
+             }
+             Opts.Print = V;
+             return true;
+           });
+  P.positional(Opts.InputFile);
+  P.footer("exit codes: 0 no error found; 1 error found; 2 usage/\n"
+           "rejected/protocol problem; 3 bound exceeded");
+  return P;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+/// One check to send: file + race field.
+struct RequestSpec {
+  std::string File;
+  std::string Field;
+};
+
+bool loadBatch(const std::string &Path, const std::string &DefaultField,
+               std::vector<RequestSpec> &Out) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::istringstream Split(Line);
+    RequestSpec S;
+    if (!(Split >> S.File) || S.File[0] == '#')
+      continue;
+    if (!(Split >> S.Field))
+      S.Field = DefaultField;
+    Out.push_back(std::move(S));
+  }
+  return true;
+}
+
+/// Recovers the result core's bytes from a check envelope. The envelope
+/// renderer (renderCheckEnvelope) always emits the core as the final
+/// member, verbatim — so the substring after the "result" key up to the
+/// envelope's closing brace IS the cached/deterministic bytes.
+bool extractResultCore(const std::string &Envelope, std::string &Core) {
+  static const char Key[] = "\"result\": ";
+  size_t At = Envelope.find(Key);
+  if (At == std::string::npos || Envelope.empty() ||
+      Envelope.back() != '}')
+    return false;
+  At += sizeof(Key) - 1;
+  Core = Envelope.substr(At, Envelope.size() - At - 1);
+  return true;
+}
+
+/// Tracks the worst response seen, by the severity order of the footer.
+struct ExitTracker {
+  bool SawUsage = false, SawError = false, SawBound = false;
+  void add(int Code) {
+    SawUsage |= Code == cli::ExitUsage;
+    SawError |= Code == cli::ExitErrorFound;
+    SawBound |= Code == cli::ExitBoundExceeded;
+  }
+  int code() const {
+    if (SawUsage)
+      return cli::ExitUsage;
+    if (SawError)
+      return cli::ExitErrorFound;
+    if (SawBound)
+      return cli::ExitBoundExceeded;
+    return cli::ExitNoError;
+  }
+};
+
+/// Prints one check response per --print and folds it into the trackers.
+/// \returns false on a malformed response (protocol error).
+bool consumeCheckResponse(const std::string &Envelope,
+                          const CtlOptions &Opts, ExitTracker &Exit,
+                          uint64_t &Hits, uint64_t &Misses) {
+  json::Value V;
+  std::string Error;
+  if (!json::parse(Envelope, "response", V, Error) || !V.isObject()) {
+    std::fprintf(stderr, "kissctl: malformed response: %s\n", Error.c_str());
+    return false;
+  }
+  const json::Value *Kind = V.find("kind");
+  if (Kind && Kind->isString() && Kind->asString() == "error") {
+    const json::Value *Msg = V.find("message");
+    std::fprintf(stderr, "kissctl: %s\n",
+                 Msg && Msg->isString() ? Msg->asString().c_str()
+                                        : "request rejected");
+    Exit.add(cli::ExitUsage);
+    return true;
+  }
+  const json::Value *Cache = V.find("cache");
+  if (Cache && Cache->isString()) {
+    if (Cache->asString() == "hit")
+      ++Hits;
+    else if (Cache->asString() == "miss")
+      ++Misses;
+  }
+  const json::Value *Result = V.find("result");
+  uint64_t Code = cli::ExitUsage;
+  if (!Result || !Result->isObject() ||
+      !(Result->find("code") && Result->find("code")->asU64(Code))) {
+    std::fprintf(stderr, "kissctl: malformed check response\n");
+    return false;
+  }
+  Exit.add(static_cast<int>(Code));
+
+  if (Opts.Print == "quiet")
+    return true;
+  if (Opts.Print == "response") {
+    std::printf("%s\n", Envelope.c_str());
+    return true;
+  }
+  if (Opts.Print == "result") {
+    std::string Core;
+    if (!extractResultCore(Envelope, Core)) {
+      std::fprintf(stderr, "kissctl: malformed check response\n");
+      return false;
+    }
+    std::printf("%s\n", Core.c_str());
+    return true;
+  }
+  // text: the kisscheck-like human rendering.
+  auto Str = [&](const char *Key) -> std::string {
+    const json::Value *F = Result->find(Key);
+    return F && F->isString() ? F->asString() : std::string();
+  };
+  std::string Verdict = Str("verdict"), Bound = Str("bound_reason");
+  if (!Bound.empty() && Bound != "none")
+    std::printf("verdict: %s (%s)\n", Verdict.c_str(), Bound.c_str());
+  else
+    std::printf("verdict: %s\n", Verdict.c_str());
+  std::string Message = Str("message");
+  if (!Message.empty())
+    std::printf("detail: %s\n", Message.c_str());
+  std::string Trace = Str("trace");
+  if (!Trace.empty())
+    std::printf("%s", Trace.c_str());
+  std::string Diags = Str("diagnostics");
+  if (!Diags.empty())
+    std::fprintf(stderr, "%s", Diags.c_str());
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CtlOptions Opts;
+  cli::ArgParser Parser = makeParser(Opts);
+  bool HaveTarget = false;
+  if (Parser.parse(Argc, Argv)) {
+    int Actions = int(Opts.Ping) + int(Opts.Stats) + int(Opts.Shutdown) +
+                  int(!Opts.InputFile.empty() || !Opts.BatchFile.empty());
+    HaveTarget = (!Opts.SocketPath.empty() || Opts.Port > 0) && Actions == 1;
+  }
+  if (!HaveTarget) {
+    std::fprintf(stderr, "%s", Parser.usage().c_str());
+    return cli::ExitUsage;
+  }
+  std::signal(SIGPIPE, SIG_IGN);
+
+  service::Client C;
+  std::string Error;
+  bool Connected = Opts.SocketPath.empty()
+                       ? C.connectTcp(Opts.Port, Error)
+                       : C.connectUnix(Opts.SocketPath, Error);
+  if (!Connected) {
+    std::fprintf(stderr, "kissctl: %s\n", Error.c_str());
+    return cli::ExitUsage;
+  }
+
+  // Control actions: one round trip, print the response, done.
+  if (Opts.Ping || Opts.Stats || Opts.Shutdown) {
+    service::Request R;
+    R.A = Opts.Ping ? service::Action::Ping
+                    : Opts.Stats ? service::Action::Stats
+                                 : service::Action::Shutdown;
+    std::string Response;
+    if (!C.call(service::renderRequest(R), Response, Error)) {
+      std::fprintf(stderr, "kissctl: %s\n", Error.c_str());
+      return cli::ExitUsage;
+    }
+    std::printf("%s\n", Response.c_str());
+    const char *Want = Opts.Ping ? "\"pong\"" : Opts.Stats ? "\"stats\""
+                                                           : "\"bye\"";
+    return Response.find(Want) != std::string::npos ? cli::ExitNoError
+                                                    : cli::ExitUsage;
+  }
+
+  // Check requests: the single positional file, or the batch manifest.
+  std::vector<RequestSpec> Specs;
+  if (!Opts.BatchFile.empty()) {
+    if (!loadBatch(Opts.BatchFile, Opts.Field, Specs) || Specs.empty()) {
+      std::fprintf(stderr, "kissctl: cannot read batch manifest '%s'\n",
+                   Opts.BatchFile.c_str());
+      return cli::ExitUsage;
+    }
+  } else {
+    Specs.push_back({Opts.InputFile, Opts.Field});
+  }
+
+  ExitTracker Exit;
+  uint64_t Sent = 0, Hits = 0, Misses = 0;
+  for (unsigned Round = 0; Round != Opts.Repeat; ++Round) {
+    for (const RequestSpec &Spec : Specs) {
+      service::Request R;
+      R.Name = Opts.NameOverride.empty() ? Spec.File : Opts.NameOverride;
+      R.Field = Spec.Field;
+      R.Cfg = Opts.Cfg;
+      R.NoCache = Opts.NoCache;
+      R.InjectTripTick = Opts.InjectTripTick;
+      R.InjectTripReason = Opts.InjectTripReason;
+      if (!readFile(Spec.File, R.Source)) {
+        std::fprintf(stderr, "kissctl: cannot open '%s'\n",
+                     Spec.File.c_str());
+        Exit.add(cli::ExitUsage);
+        continue;
+      }
+      std::string Response;
+      if (!C.call(service::renderRequest(R), Response, Error)) {
+        std::fprintf(stderr, "kissctl: %s\n", Error.c_str());
+        Exit.add(cli::ExitUsage);
+        return Exit.code(); // The connection is gone; stop the batch.
+      }
+      ++Sent;
+      if (!consumeCheckResponse(Response, Opts, Exit, Hits, Misses))
+        Exit.add(cli::ExitUsage);
+    }
+  }
+  if (Sent > 1)
+    std::fprintf(stderr,
+                 "kissctl: %llu requests, %llu hits, %llu misses\n",
+                 static_cast<unsigned long long>(Sent),
+                 static_cast<unsigned long long>(Hits),
+                 static_cast<unsigned long long>(Misses));
+  return Exit.code();
+}

@@ -360,12 +360,17 @@ int main(int Argc, char **Argv) {
   if (!Opts.ReproDir.empty() && !writeRepros(Opts.ReproDir, Sum))
     return cli::ExitUsage;
 
+  // Attempt every requested artifact before failing: an unwritable
+  // --report must not discard a --trace that would have succeeded.
   telemetry::ReportOptions RO;
   RO.ZeroTimings = Opts.ZeroTimings;
+  bool ArtifactFailed = false;
   if (!Opts.ReportPath.empty() &&
       !telemetry::writeReport(Rec, Opts.ReportPath, RO))
-    return cli::ExitUsage;
+    ArtifactFailed = true;
   if (!Opts.TracePath.empty() && !telemetry::writeTrace(Rec, Opts.TracePath))
+    ArtifactFailed = true;
+  if (ArtifactFailed)
     return cli::ExitUsage;
 
   if (Sum.Interrupted)
